@@ -1,0 +1,35 @@
+"""Benchmark-harness helpers.
+
+Every benchmark prints the experiment's result table (the rows the paper
+would report) through :func:`emit`, which both echoes to stdout (visible
+with ``pytest -s`` / captured in CI logs) and appends to
+``benchmarks/results.txt`` so EXPERIMENTS.md can be regenerated from one
+file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def pytest_configure(config):
+    # Fresh results file per benchmark session.
+    if config.getoption("--benchmark-only", default=False):
+        RESULTS_PATH.write_text("")
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print and persist an experiment table."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return _emit

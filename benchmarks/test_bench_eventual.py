@@ -1,0 +1,37 @@
+"""EVENTUAL-LB: ♦Psrcs(k) is too weak — the bad-prefix step function."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.eventual import eventual_lower_bound
+
+
+def sweep(n=8):
+    rows = []
+    for bad in (0, 1, 2, 4, 8, 12, 20):
+        rep = eventual_lower_bound(n, bad_rounds=bad)
+        rows.append(
+            [n, bad, rep.distinct_decisions, rep.all_decided_own]
+        )
+    return rows
+
+
+def test_bench_eventual_lower_bound(benchmark, emit):
+    n = 8
+    rows = benchmark.pedantic(sweep, args=(n,), rounds=1, iterations=1)
+    for _, bad, distinct, own in rows:
+        if bad == 0:
+            assert distinct == 1
+        else:
+            # PT is a prefix intersection: a single isolated round already
+            # pins PT(p) = {p}, forcing all n own-value decisions — the
+            # sharp form of the paper's ♦Psrcs impossibility discussion.
+            assert distinct == n and own
+    emit(
+        format_table(
+            ["n", "bad_prefix_rounds", "distinct_decisions", "all_decided_own"],
+            rows,
+            title="EVENTUAL-LB — ♦Psrcs step function: any isolated prefix "
+            "collapses to n values (perpetual synchrony is necessary, §III)",
+        )
+    )

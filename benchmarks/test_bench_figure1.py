@@ -1,0 +1,48 @@
+"""FIG1: regenerate Figure 1 (a)–(h) and validate every property the
+paper's text states about it."""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import (
+    FIGURE1_N,
+    ROOT_COMPONENTS,
+    figure1_adversary,
+    figure1_panels,
+    figure1_run,
+    render_figure1,
+)
+from repro.graphs.condensation import root_components
+from repro.predicates.psrcs import Psrcs
+
+
+def test_bench_figure1_regeneration(benchmark, emit):
+    panels = benchmark.pedantic(figure1_panels, rounds=1, iterations=1)
+    # Claims from the paper's text:
+    stable = panels.stable_skeleton
+    assert Psrcs(3).check_skeleton(stable).holds          # caption
+    assert set(root_components(stable)) == set(ROOT_COMPONENTS)  # §II
+    assert panels.skeleton_round2.is_supergraph_of(stable)
+    assert panels.skeleton_round2 != stable               # 1a ⊋ 1b
+    assert sorted(panels.approximations) == [1, 2, 3, 4, 5, 6]
+    emit("FIG1 — Figure 1 regeneration (panels a–h)\n" + render_figure1())
+
+
+def test_bench_figure1_algorithm_outcome(benchmark, emit):
+    run, _ = benchmark.pedantic(figure1_run, rounds=1, iterations=1)
+    assert run.all_decided()
+    assert run.decision_values() == {1, 3}
+    from repro.analysis.reporting import format_table
+
+    rows = [
+        [f"p{p + 1}", run.initial_values[p], run.decisions[p].value,
+         run.decisions[p].round_no]
+        for p in range(FIGURE1_N)
+    ]
+    emit(
+        format_table(
+            ["process", "proposal", "decision", "round"],
+            rows,
+            title="FIG1 — Algorithm 1 on the Figure 1 system "
+            "(2 decision values <= k=3)",
+        )
+    )

@@ -1,0 +1,57 @@
+"""SCC-KERNEL: substrate benchmark — Tarjan vs Kosaraju vs boolean-matrix
+closure on random digraphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import gnp_random, to_adjacency
+from repro.graphs.matrices import scc_labels
+from repro.graphs.scc import kosaraju_scc, tarjan_scc
+
+
+def graphs_of(n, count=3, p=None):
+    p = p if p is not None else 4.0 / n
+    return [
+        gnp_random(n, p, np.random.default_rng(seed)) for seed in range(count)
+    ]
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_tarjan(benchmark, n):
+    gs = graphs_of(n)
+    result = benchmark(lambda: [tarjan_scc(g) for g in gs])
+    assert all(r for r in result)
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_kosaraju(benchmark, n):
+    gs = graphs_of(n)
+    result = benchmark(lambda: [kosaraju_scc(g) for g in gs])
+    assert all(r for r in result)
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_matrix_closure(benchmark, n):
+    mats = [to_adjacency(g, n) for g in graphs_of(n)]
+    result = benchmark(lambda: [scc_labels(m) for m in mats])
+    assert all(len(r) == n for r in result)
+
+
+def _kernels_agree() -> bool:
+    for n in (16, 64):
+        for g in graphs_of(n, count=2):
+            tarjan = {frozenset(c) for c in tarjan_scc(g)}
+            kosaraju = {frozenset(c) for c in kosaraju_scc(g)}
+            labels = scc_labels(to_adjacency(g, n))
+            matrix = {}
+            for node in range(n):
+                matrix.setdefault(labels[node], set()).add(node)
+            matrix_comps = {frozenset(c) for c in matrix.values()}
+            assert tarjan == kosaraju == matrix_comps
+    return True
+
+
+def test_bench_kernels_agree(benchmark):
+    assert benchmark.pedantic(_kernels_agree, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+"""MSG-COMPLEX: §V claims worst-case message bit complexity polynomial in
+n.  Measure encoded message sizes across n and check the growth exponent."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import message_stats, polynomial_bit_bound
+from repro.experiments.sweeps import run_algorithm1
+
+
+def measure():
+    rows = []
+    sizes = []
+    ns = (4, 8, 16, 32, 64)
+    for n in ns:
+        adv = GroupedSourceAdversary(n, num_groups=2, seed=0, noise=0.1)
+        run = run_algorithm1(adv, record_messages=True, max_rounds=3 * n + 10)
+        stats = message_stats(run)
+        bound = polynomial_bit_bound(n, run.num_rounds)
+        rows.append(
+            [n, run.num_rounds, stats.max_bits, round(stats.mean_bits),
+             bound, stats.max_bits < bound]
+        )
+        sizes.append(stats.max_bits)
+    return rows, list(ns), sizes
+
+
+def measure_codec():
+    """Wire-format sizes under the exact binary codec (LEB128 varints)."""
+    from repro.rounds.codec import encoded_bit_size, worst_case_bits
+
+    rows = []
+    for n in (4, 8, 16, 32):
+        adv = GroupedSourceAdversary(n, num_groups=2, seed=0, noise=0.1)
+        run = run_algorithm1(adv, record_messages=True, max_rounds=3 * n + 10)
+        observed = max(
+            encoded_bit_size(msg)
+            for r in range(1, run.num_rounds + 1)
+            for msg in run.messages(r).values()
+        )
+        bound = worst_case_bits(n, run.num_rounds)
+        rows.append([n, observed, bound, observed <= bound])
+    return rows
+
+
+def test_bench_message_complexity_codec(benchmark, emit):
+    rows = benchmark.pedantic(measure_codec, rounds=1, iterations=1)
+    assert all(row[3] for row in rows)
+    emit(
+        format_table(
+            ["n", "max wire bits (binary codec)", "analytic worst case",
+             "under"],
+            rows,
+            title="MSG-COMPLEX — exact binary wire format vs the analytic "
+            "O(n^2 (log n + log r)) worst case (§V: polynomial in n)",
+        )
+    )
+
+
+def test_bench_message_complexity(benchmark, emit):
+    rows, ns, sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert all(row[5] for row in rows), "polynomial ceiling exceeded"
+    # Growth-shape check: fit log(max_bits) ~ a*log(n); the approximation
+    # graph has O(n^2) labeled edges so a should be comfortably below 3.
+    slope = np.polyfit(np.log(ns), np.log(sizes), 1)[0]
+    assert 0.5 < slope < 3.0, f"unexpected growth exponent {slope:.2f}"
+    emit(
+        format_table(
+            ["n", "rounds", "max_bits", "mean_bits", "O(n^2 log nr) ceiling",
+             "under"],
+            rows,
+            title=f"MSG-COMPLEX — message size vs n "
+            f"(fit exponent ~ n^{slope:.2f}; paper §V: polynomial in n)",
+        )
+    )

@@ -1,0 +1,60 @@
+"""PRED-CHECK: cost of checking Psrcs(k) — the conflict-graph α-based
+checker vs naive subset enumeration."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.graphs.generators import gnp_random
+from repro.predicates.psrcs import Psrcs
+
+
+def skeletons(n, count=3, p=0.2):
+    return [
+        gnp_random(n, p, np.random.default_rng(seed), self_loops=True)
+        for seed in range(count)
+    ]
+
+
+def check_all(graphs, k, method):
+    return [Psrcs(k, method=method).check_skeleton(g).holds for g in graphs]
+
+
+def test_bench_conflict_checker_large(benchmark, emit):
+    graphs = skeletons(64)
+    results = benchmark(check_all, graphs, 4, "conflict")
+    assert len(results) == len(graphs)
+    # timing table across n for both methods (naive only where feasible)
+    rows = []
+    for n in (8, 12, 16, 32, 64):
+        gs = skeletons(n, count=2)
+        t0 = time.perf_counter()
+        fast = check_all(gs, 4, "conflict")
+        t_fast = time.perf_counter() - t0
+        if n <= 16:
+            t0 = time.perf_counter()
+            naive = check_all(gs, 4, "naive")
+            t_naive = time.perf_counter() - t0
+            assert naive == fast
+        else:
+            t_naive = None
+        rows.append([n, f"{t_fast * 1e3:.2f}",
+                     f"{t_naive * 1e3:.2f}" if t_naive else "(skipped)",
+                     fast])
+    emit(
+        format_table(
+            ["n", "conflict_ms", "naive_ms", "holds"],
+            rows,
+            title="PRED-CHECK — Psrcs(4) checking cost: α(H)-based vs "
+            "naive C(n,k+1) enumeration (agree wherever both run)",
+        )
+    )
+
+
+def test_bench_naive_checker_small(benchmark):
+    graphs = skeletons(10)
+    results = benchmark(check_all, graphs, 3, "naive")
+    assert len(results) == len(graphs)

@@ -1,0 +1,69 @@
+"""THM1: at most k root components in any Psrcs(k) run — swept over n, k,
+group counts and seeds."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.reporting import format_table
+from repro.graphs.condensation import count_root_components
+from repro.graphs.generators import gnp_random
+from repro.predicates.psrcs import Psrcs
+
+
+def sweep_rows():
+    rows = []
+    for n in (6, 12, 24, 48):
+        for m in (1, 2, 4, 8):
+            if m > n:
+                continue
+            for seed in (0, 1, 2):
+                adv = GroupedSourceAdversary(
+                    n, num_groups=m, seed=seed, noise=0.2
+                )
+                stable = adv.declared_stable_graph()
+                roots = count_root_components(stable)
+                holds = Psrcs(m).check_skeleton(stable).holds
+                rows.append([n, m, seed, roots, holds, roots <= m])
+    return rows
+
+
+def test_bench_theorem1_designed_runs(benchmark, emit):
+    rows = benchmark.pedantic(sweep_rows, rounds=1, iterations=1)
+    assert all(row[4] for row in rows), "Psrcs(m) must hold by construction"
+    assert all(row[5] for row in rows), "Theorem 1 bound violated"
+    # The designed runs are tight: bound met with equality.
+    assert all(row[3] == row[1] for row in rows)
+    emit(
+        format_table(
+            ["n", "k=m", "seed", "root_components", "Psrcs(k)", "roots<=k"],
+            rows,
+            title="THM1 — root components vs k on designed Psrcs(k) runs "
+            "(paper: <= k; designs are tight)",
+        )
+    )
+
+
+def random_skeleton_rows():
+    rows = []
+    for n in (6, 8, 10):
+        for seed in range(4):
+            g = gnp_random(n, 0.15, np.random.default_rng(seed), self_loops=True)
+            k_star = Psrcs(1).tightest_k(g)
+            roots = count_root_components(g)
+            rows.append([n, seed, k_star, roots, roots <= k_star])
+    return rows
+
+
+def test_bench_theorem1_random_skeletons(benchmark, emit):
+    """Random stable skeletons: Theorem 1 as roots <= tightest-k = α(H)."""
+    rows = benchmark.pedantic(random_skeleton_rows, rounds=1, iterations=1)
+    assert all(row[4] for row in rows)
+    emit(
+        format_table(
+            ["n", "seed", "tightest_k (α)", "root_components", "roots<=k"],
+            rows,
+            title="THM1 — random skeletons: roots <= α(conflict graph)",
+        )
+    )

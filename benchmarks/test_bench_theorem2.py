@@ -1,0 +1,48 @@
+"""THM2: the impossibility construction — Psrcs(k) holds, Psrcs(k-1)
+fails, and Algorithm 1 is forced to exactly k decision values."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.theorem2 import theorem2_experiment
+
+
+def sweep():
+    reports = []
+    for n, k in [(4, 2), (6, 3), (8, 4), (12, 6), (16, 8), (32, 8)]:
+        reports.append(theorem2_experiment(n, k))
+    return reports
+
+
+def test_bench_theorem2(benchmark, emit):
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for rep in reports:
+        assert rep.confirms_theorem, (rep.n, rep.k)
+    rows = [
+        [
+            rep.n,
+            rep.k,
+            rep.psrcs_k_holds,
+            rep.psrcs_k_minus_1_holds,
+            rep.distinct_decisions,
+            rep.isolated_decided_own,
+            rep.agreement.all_hold,
+        ]
+        for rep in reports
+    ]
+    emit(
+        format_table(
+            [
+                "n",
+                "k",
+                "Psrcs(k)",
+                "Psrcs(k-1)",
+                "distinct_decisions",
+                "isolated_own_value",
+                "k_agreement_ok",
+            ],
+            rows,
+            title="THM2 — impossibility construction: exactly k values; "
+            "(k-1)-set agreement unattainable (paper Theorem 2)",
+        )
+    )

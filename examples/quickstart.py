@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: solve k-set agreement with the stable-skeleton algorithm.
+
+This walks the full pipeline of the paper on a small system:
+
+1. pick an adversary (the "network") that guarantees ``Psrcs(k)``,
+2. run Algorithm 1 (one ``SkeletonAgreementProcess`` per process),
+3. verify the three k-set agreement properties on the resulting run,
+4. inspect the structures the proofs talk about: the stable skeleton, its
+   root components, and the decision latency against Lemma 11's bound.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    GroupedSourceAdversary,
+    Psrcs,
+    RoundSimulator,
+    SimulationConfig,
+    check_agreement_properties,
+    decision_stats,
+    make_processes,
+)
+from repro.analysis.reporting import format_table
+from repro.graphs.condensation import root_components
+from repro.viz.ascii import render_edge_list
+
+
+def main() -> None:
+    n, k = 9, 3
+
+    # -- 1. The network ---------------------------------------------------
+    # Three groups, each with a perpetual 2-source, plus 20% per-round
+    # random noise edges.  Pigeonhole over the groups guarantees Psrcs(3).
+    adversary = GroupedSourceAdversary(n, num_groups=k, seed=7, noise=0.2)
+    assert Psrcs(k).check_adversary(adversary).holds
+
+    # -- 2. The algorithm --------------------------------------------------
+    # Distinct proposals 0..n-1 — the hardest case for agreement.
+    processes = make_processes(n)
+    run = RoundSimulator(
+        processes, adversary, SimulationConfig(max_rounds=120)
+    ).run()
+
+    # -- 3. Verification ---------------------------------------------------
+    report = check_agreement_properties(run, k)
+    print(report.summary())
+    assert report.all_hold
+
+    # -- 4. The paper's structures ------------------------------------------
+    stable = run.stable_skeleton()
+    roots = root_components(stable)
+    print()
+    print(render_edge_list(stable, title="Stable skeleton G^∩∞ (self-loops omitted):"))
+    print()
+    print(f"Root components ({len(roots)} <= k={k}, Theorem 1):")
+    for comp in roots:
+        print(f"  {sorted(comp)}")
+
+    stats = decision_stats(run)
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["processes", n],
+                ["distinct decisions", report.num_decision_values],
+                ["decision values", list(report.decision_values)],
+                ["skeleton stabilized at round", stats.stabilization],
+                ["last decision round", stats.last_decision_round],
+                ["Lemma 11 bound (r_ST + 2n - 1)", stats.lemma11_bound],
+            ],
+            title="Run summary",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

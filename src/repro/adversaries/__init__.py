@@ -1,0 +1,51 @@
+"""Adversaries: the network side of a run.
+
+In the paper's model, a run is determined by the initial states and the
+sequence of communication graphs — the latter is chosen by an *adversary*
+constrained only by the system's communication predicate.  Each adversary in
+this package produces a per-round :class:`~repro.graphs.digraph.DiGraph` and
+*declares* the set of edges it guarantees to keep timely forever, so the
+analysis layer can compute the true stable skeleton ``G^∩∞`` and evaluate
+predicates exactly on finite prefixes.
+
+Inventory
+---------
+* :class:`~repro.adversaries.static.StaticAdversary` — the same graph every
+  round (fully synchronous special case).
+* :class:`~repro.adversaries.static.ScheduleAdversary` — an explicit finite
+  schedule with a static tail (used to encode Figure 1).
+* :class:`~repro.adversaries.grouped.GroupedSourceAdversary` — the workhorse:
+  constructs runs satisfying ``Psrcs(k)`` *by design* with a tunable number
+  of root components plus per-round random noise.
+* :class:`~repro.adversaries.partition.PartitionAdversary` — the Theorem 2
+  impossibility construction (`k-1` loners + one 2-source).
+* :class:`~repro.adversaries.eventual.EventuallyGoodAdversary` — ``♦Psrcs``:
+  an arbitrary bad prefix followed by a good adversary.
+* :class:`~repro.adversaries.crash.CrashAdversary` — classic synchronous
+  crash faults (crashed = internally correct, outgoing edges removed).
+* :class:`~repro.adversaries.mobile.MobileOmissionAdversary` — Santoro-
+  Widmayer style per-round mobile omission faults.
+"""
+
+from repro.adversaries.base import Adversary, RecordedAdversary, ReplayAdversary
+from repro.adversaries.static import StaticAdversary, ScheduleAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.adversaries.eventual import EventuallyGoodAdversary
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.mobile import MobileOmissionAdversary
+from repro.adversaries.synthesis import SkeletonRealizingAdversary
+
+__all__ = [
+    "Adversary",
+    "RecordedAdversary",
+    "ReplayAdversary",
+    "StaticAdversary",
+    "ScheduleAdversary",
+    "GroupedSourceAdversary",
+    "PartitionAdversary",
+    "EventuallyGoodAdversary",
+    "CrashAdversary",
+    "MobileOmissionAdversary",
+    "SkeletonRealizingAdversary",
+]

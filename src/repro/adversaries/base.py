@@ -1,0 +1,131 @@
+"""Adversary interface.
+
+An adversary chooses the communication graph of every round.  Because the
+paper's predicates quantify over *infinite* runs (``PT(p)`` intersects all
+rounds), a finite simulation can only evaluate them exactly if the adversary
+*commits* to the edges it will keep timely forever.  Hence the two-method
+interface:
+
+* :meth:`Adversary.graph` — the round-``r`` communication graph; must be a
+  supergraph of the declared stable edges in every round.
+* :meth:`Adversary.declared_stable_graph` — the committed stable skeleton
+  ``G^∩∞`` (or ``None`` if the adversary makes no commitment, e.g. ``Ptrue``).
+
+:class:`RecordedAdversary` wraps any adversary and remembers the produced
+graphs, so a run can be replayed deterministically (useful to feed the same
+graph sequence to two different algorithms — the BASELINE experiment).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.graphs.digraph import DiGraph
+
+
+class Adversary(abc.ABC):
+    """Abstract adversary over a fixed process set ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("adversary needs at least one process")
+        self.n = n
+
+    @abc.abstractmethod
+    def graph(self, round_no: int) -> DiGraph:
+        """The communication graph ``G^r`` for round ``round_no`` (>= 1).
+
+        Must contain exactly the nodes ``0..n-1`` and every edge of
+        :meth:`declared_stable_graph` (when one is declared); the simulator
+        adds missing self-loops when self-delivery is enforced.
+        """
+
+    def declared_stable_graph(self) -> DiGraph | None:
+        """The committed-forever edge set, i.e. the true ``G^∩∞``.
+
+        Subclasses that construct runs satisfying a predicate *by design*
+        override this; the default makes no commitment.
+        """
+        return None
+
+    def base_graph(self) -> DiGraph:
+        """An all-nodes, self-loops-only starting graph (helper)."""
+        g = DiGraph(nodes=range(self.n))
+        for p in range(self.n):
+            g.add_edge(p, p)
+        return g
+
+    def _validate_stable_subset(self, graph: DiGraph, round_no: int) -> DiGraph:
+        """Debug helper: assert the declared stable edges are present."""
+        stable = self.declared_stable_graph()
+        if stable is not None:
+            missing = [
+                e for e in stable.iter_edges() if not graph.has_edge(*e)
+            ]
+            if missing:
+                raise AssertionError(
+                    f"round {round_no}: adversary dropped declared stable "
+                    f"edges {missing}"
+                )
+        return graph
+
+
+class RecordedAdversary(Adversary):
+    """Wraps an adversary, recording every produced graph for replay.
+
+    The wrapped adversary is consulted the first time each round is
+    requested; repeated requests for the same round return the recorded
+    graph, so two simulations driven by the same :class:`RecordedAdversary`
+    instance observe the *same* run (graph-sequence-wise).
+    """
+
+    def __init__(self, inner: Adversary) -> None:
+        super().__init__(inner.n)
+        self.inner = inner
+        self._recorded: dict[int, DiGraph] = {}
+
+    def graph(self, round_no: int) -> DiGraph:
+        if round_no not in self._recorded:
+            self._recorded[round_no] = self.inner.graph(round_no)
+        return self._recorded[round_no]
+
+    def declared_stable_graph(self) -> DiGraph | None:
+        return self.inner.declared_stable_graph()
+
+    def recorded_rounds(self) -> list[int]:
+        return sorted(self._recorded)
+
+
+class ReplayAdversary(Adversary):
+    """Replays an explicit pre-recorded graph sequence.
+
+    Rounds beyond the sequence repeat the last graph (a run must be
+    extensible to infinity; repeating the tail preserves any predicate the
+    tail satisfies).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        graphs: list[DiGraph],
+        stable: DiGraph | None = None,
+    ) -> None:
+        super().__init__(n)
+        if not graphs:
+            raise ValueError("replay needs at least one graph")
+        self.graphs = list(graphs)
+        self._stable = stable
+
+    def graph(self, round_no: int) -> DiGraph:
+        idx = min(round_no - 1, len(self.graphs) - 1)
+        return self.graphs[idx]
+
+    def declared_stable_graph(self) -> DiGraph | None:
+        if self._stable is not None:
+            return self._stable
+        # The tail repeats the final graph forever, so the true stable
+        # skeleton is the intersection of all scheduled graphs.
+        stable = self.graphs[0].copy()
+        for g in self.graphs[1:]:
+            stable = stable.intersection(g)
+        return stable

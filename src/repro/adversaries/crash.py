@@ -1,0 +1,105 @@
+"""Classic synchronous crash faults.
+
+The HO-style modeling of §II: a crashed process is an "internally correct"
+process that no other process receives messages from after it crashes.  The
+simulator keeps executing it; this adversary removes its outgoing edges
+(except the self-loop — a process always hears itself).
+
+Semantics of a crash at round ``r_c`` (``clean=False``):
+
+* rounds ``< r_c``: all outgoing edges present;
+* round ``r_c``: an arbitrary adversary-chosen subset of receivers still
+  gets the message (the classic "crash during broadcast" partial delivery);
+* rounds ``> r_c``: no outgoing edges.
+
+With ``clean=True`` the crash round delivers to nobody.
+
+This is the substrate for the BASELINE experiment: FloodMin assumes this
+fault model (at most ``f`` crashes, everything else synchronous); the
+skeleton-agreement algorithm works here too, since the stable skeleton of a
+crash run contains the complete graph among never-crashed processes —
+a single root component, so Algorithm 1 even reaches consensus (the §V
+remark that the algorithm solves consensus in well-behaved runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.adversaries.base import Adversary
+from repro.graphs.digraph import DiGraph
+
+
+class CrashAdversary(Adversary):
+    """At most ``f`` crash faults in an otherwise fully synchronous system.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    crash_rounds:
+        Mapping ``pid -> round`` of crash times (round >= 1).
+    seed:
+        Seed for the partial-delivery choices in crash rounds.
+    clean:
+        If True, a crashing process delivers to nobody in its crash round.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        crash_rounds: Mapping[int, int],
+        seed: int = 0,
+        clean: bool = False,
+    ) -> None:
+        super().__init__(n)
+        for pid, rnd in crash_rounds.items():
+            if not 0 <= pid < n:
+                raise ValueError(f"crashing pid {pid} out of range")
+            if rnd < 1:
+                raise ValueError(f"crash round {rnd} must be >= 1")
+        if len(crash_rounds) >= n:
+            raise ValueError("at least one process must never crash")
+        self.crash_rounds = dict(crash_rounds)
+        self.seed = seed
+        self.clean = clean
+        survivors = [p for p in range(n) if p not in self.crash_rounds]
+        # Stable skeleton: self-loops + every edge whose sender never
+        # crashes.  (A crashed sender's edges disappear from its crash round
+        # on, so they are not timely in all rounds.)
+        g = self.base_graph()
+        for u in survivors:
+            for v in range(n):
+                g.add_edge(u, v)
+        self._stable = g
+        self.survivors = frozenset(survivors)
+
+    @property
+    def f(self) -> int:
+        """Number of crash faults."""
+        return len(self.crash_rounds)
+
+    def graph(self, round_no: int) -> DiGraph:
+        if round_no < 1:
+            raise ValueError("rounds are 1-indexed")
+        g = self.base_graph()
+        for u in range(self.n):
+            crash = self.crash_rounds.get(u)
+            if crash is None or round_no < crash:
+                receivers = range(self.n)
+            elif round_no == crash and not self.clean:
+                # Partial delivery: a per-(process, round) deterministic
+                # random subset of receivers.
+                rng = np.random.default_rng([self.seed, u, round_no])
+                mask = rng.random(self.n) < 0.5
+                receivers = [v for v in range(self.n) if mask[v]]
+            else:
+                receivers = []
+            for v in receivers:
+                g.add_edge(u, v)
+        return g
+
+    def declared_stable_graph(self) -> DiGraph:
+        return self._stable

@@ -1,0 +1,72 @@
+"""``♦Psrcs(k)``: the eventually-good adversary.
+
+Section III argues that the *eventual* variant of the predicate — (8) holds
+only from some round on — is too weak for k-set agreement: it admits runs
+where every process forms a root component by itself for a finite number of
+rounds, during which a correct algorithm (unable to distinguish this prefix
+from the infinite all-isolated run) must decide on its own value.  With a
+long enough bad prefix, **all n processes decide n distinct values**.
+
+:class:`EventuallyGoodAdversary` realizes exactly that: ``bad_rounds``
+rounds of a (default: self-loops-only) bad graph, then delegation to any
+good adversary.  The declared stable skeleton is the intersection of the bad
+graph with the good adversary's declaration — for the default bad graph,
+just the self-loops.
+
+The EVENTUAL-LB experiment sweeps ``bad_rounds`` and shows the number of
+distinct decisions of Algorithm 1 jumping from ``<= k`` (short prefixes,
+decisions happen after stabilization) to ``n`` once the prefix exceeds the
+decision latency — the paper's lower-bound intuition made quantitative.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.base import Adversary
+from repro.graphs.digraph import DiGraph
+
+
+class EventuallyGoodAdversary(Adversary):
+    """A bad prefix followed by a good adversary.
+
+    Parameters
+    ----------
+    good:
+        The adversary controlling rounds ``> bad_rounds``.
+    bad_rounds:
+        Length of the bad prefix.
+    bad_graph:
+        Communication graph during the prefix; defaults to self-loops only
+        (every process a root component by itself — the paper's scenario).
+    """
+
+    def __init__(
+        self,
+        good: Adversary,
+        bad_rounds: int,
+        bad_graph: DiGraph | None = None,
+    ) -> None:
+        super().__init__(good.n)
+        if bad_rounds < 0:
+            raise ValueError("bad_rounds must be >= 0")
+        self.good = good
+        self.bad_rounds = bad_rounds
+        self._bad = bad_graph.with_self_loops() if bad_graph is not None else self.base_graph()
+        if self._bad.nodes() != frozenset(range(self.n)):
+            raise ValueError("bad graph nodes must be exactly 0..n-1")
+
+    def graph(self, round_no: int) -> DiGraph:
+        if round_no <= self.bad_rounds:
+            return self._bad
+        return self.good.graph(round_no)
+
+    def declared_stable_graph(self) -> DiGraph | None:
+        good_stable = self.good.declared_stable_graph()
+        if good_stable is None:
+            return None
+        if self.bad_rounds == 0:
+            return good_stable
+        return good_stable.intersection(self._bad)
+
+    def holds_from_round(self) -> int:
+        """The round from which the good predicate holds (``bad_rounds+1``)."""
+        return self.bad_rounds + 1

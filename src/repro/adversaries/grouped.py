@@ -1,0 +1,193 @@
+"""The grouped-source adversary: ``Psrcs(k)`` runs by construction.
+
+Construction
+------------
+Partition the process set into ``m`` nonempty groups; in each group ``i``
+designate a *source* ``s_i`` and keep the edges ``s_i -> q`` timely forever
+for every member ``q`` of group ``i``.
+
+**Why this satisfies** ``Psrcs(m)`` (and hence ``Psrcs(k)`` for every
+``k >= m``, by monotonicity): any set ``S`` of ``m + 1`` processes contains —
+pigeonhole over the ``m`` groups — two distinct processes ``q, q'`` of the
+same group ``i``; its source satisfies ``s_i ∈ PT(q) ∩ PT(q')``, so ``s_i``
+is the required 2-source.  This mirrors exactly how Theorem 2's run satisfies
+the predicate (there ``m = k`` with ``k-1`` singleton groups and one big
+group around ``s``).
+
+Group topologies (stable intra-group edges on top of the mandatory out-star
+from the source):
+
+* ``"star"`` — only ``s_i -> members``.  Each source is a singleton root
+  component; other members are non-root singletons.
+* ``"cycle"`` — a bidirectional cycle through the group's members plus the
+  star.  The whole group is one strongly connected root component.
+* ``"clique"`` — all-to-all inside the group; likewise one root component.
+
+With ``m`` groups and no stable cross-group edges, the stable skeleton has
+exactly ``m`` root components, making Theorem 1's ``<= k`` bound tight at
+``m = k``.  Optional ``extra_stable_edges`` let experiments add stable
+cross-group edges (turning target groups into non-root components).
+
+Noise: on top of the stable edges, every other ordered pair appears in a
+given round independently with probability ``noise``.  To keep the declared
+stable skeleton *exact* (not just a lower bound), every ``quiet_period``-th
+round plays exactly the stable graph — hence no noise edge is timely in all
+rounds, and the true ``G^∩∞`` equals the declaration.
+
+Randomness is derived per round from ``(seed, round_no)``, so the adversary
+is a pure function of the round number — replays and repeated queries are
+consistent by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.adversaries.base import Adversary
+from repro.graphs.digraph import DiGraph
+
+
+class GroupedSourceAdversary(Adversary):
+    """See module docstring.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    num_groups:
+        ``m`` — number of groups; guarantees ``Psrcs(m)``.
+    seed:
+        Base seed for the per-round noise RNG.
+    noise:
+        Probability for each non-stable ordered pair to appear in a noisy
+        round.
+    quiet_period:
+        Every ``quiet_period``-th round is noise-free (must be >= 1; with 1
+        every round is exactly the stable graph).
+    topology:
+        ``"star"``, ``"cycle"`` or ``"clique"`` (see module docstring).
+    groups:
+        Explicit partition (list of disjoint, covering member lists; the
+        first member of each is its source).  Defaults to contiguous
+        near-equal blocks.
+    extra_stable_edges:
+        Additional edges kept timely forever (e.g. cross-group downstream
+        links).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        num_groups: int,
+        seed: int = 0,
+        noise: float = 0.0,
+        quiet_period: int = 5,
+        topology: str = "cycle",
+        groups: Sequence[Sequence[int]] | None = None,
+        extra_stable_edges: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        super().__init__(n)
+        if groups is None:
+            groups = _contiguous_partition(n, num_groups)
+        self.groups = [list(g) for g in groups]
+        _validate_partition(n, self.groups)
+        if len(self.groups) != num_groups:
+            raise ValueError(
+                f"expected {num_groups} groups, got {len(self.groups)}"
+            )
+        if topology not in ("star", "cycle", "clique"):
+            raise ValueError(f"unknown topology {topology!r}")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        if quiet_period < 1:
+            raise ValueError("quiet_period must be >= 1")
+        self.num_groups = num_groups
+        self.seed = seed
+        self.noise = noise
+        self.quiet_period = quiet_period
+        self.topology = topology
+        self.sources = [g[0] for g in self.groups]
+        self._stable = self._build_stable(extra_stable_edges)
+
+    # ------------------------------------------------------------------
+    def _build_stable(self, extra: Iterable[tuple[int, int]]) -> DiGraph:
+        g = self.base_graph()  # self-loops everywhere
+        for group in self.groups:
+            source = group[0]
+            for member in group:
+                g.add_edge(source, member)  # the mandatory out-star
+            if self.topology == "cycle" and len(group) > 1:
+                for i in range(len(group)):
+                    a, b = group[i], group[(i + 1) % len(group)]
+                    g.add_edge(a, b)
+                    g.add_edge(b, a)
+            elif self.topology == "clique":
+                for a in group:
+                    for b in group:
+                        g.add_edge(a, b)
+        for u, v in extra:
+            g.add_edge(u, v)
+        return g
+
+    # ------------------------------------------------------------------
+    def graph(self, round_no: int) -> DiGraph:
+        if round_no < 1:
+            raise ValueError("rounds are 1-indexed")
+        g = self._stable.copy()
+        if self.noise > 0.0 and round_no % self.quiet_period != 0:
+            rng = np.random.default_rng([self.seed, round_no])
+            mask = rng.random((self.n, self.n)) < self.noise
+            rows, cols = np.nonzero(mask)
+            for u, v in zip(rows.tolist(), cols.tolist()):
+                g.add_edge(u, v)
+        return g
+
+    def declared_stable_graph(self) -> DiGraph:
+        return self._stable
+
+    # ------------------------------------------------------------------
+    def group_of(self, pid: int) -> int:
+        """Index of the group containing ``pid``."""
+        for idx, group in enumerate(self.groups):
+            if pid in group:
+                return idx
+        raise KeyError(pid)
+
+    def two_source_for(self, subset: Iterable[int]) -> tuple[int, int, int]:
+        """A certified 2-source witness ``(p, q, q')`` for ``subset``.
+
+        For any subset with two members in the same group this returns that
+        group's source and the two members — the constructive content of the
+        pigeonhole argument.  Raises if the subset has at most one member
+        per group (only possible for ``|subset| <= m``).
+        """
+        seen: dict[int, int] = {}
+        for q in subset:
+            gid = self.group_of(q)
+            if gid in seen:
+                return (self.sources[gid], seen[gid], q)
+            seen[gid] = q
+        raise ValueError(
+            f"subset {sorted(subset)} has at most one member per group; "
+            "no pigeonhole witness"
+        )
+
+
+def _contiguous_partition(n: int, m: int) -> list[list[int]]:
+    """Split ``0..n-1`` into ``m`` contiguous near-equal blocks."""
+    if not 1 <= m <= n:
+        raise ValueError(f"need 1 <= num_groups <= n, got m={m}, n={n}")
+    bounds = np.linspace(0, n, m + 1).astype(int)
+    return [list(range(bounds[i], bounds[i + 1])) for i in range(m)]
+
+
+def _validate_partition(n: int, groups: list[list[int]]) -> None:
+    flat = [p for g in groups for p in g]
+    if sorted(flat) != list(range(n)):
+        raise ValueError(
+            "groups must be disjoint, nonempty and cover exactly 0..n-1"
+        )
+    if any(not g for g in groups):
+        raise ValueError("groups must be nonempty")

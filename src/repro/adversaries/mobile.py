@@ -1,0 +1,96 @@
+"""Santoro–Widmayer style mobile omission faults.
+
+Santoro and Widmayer's "Time is not a healer" model — cited by the paper as
+the origin of the unified treatment of asynchrony and failures — allows a
+bounded number of *end-to-end communication failures* per round, striking
+arbitrary (moving) links.  This adversary implements that: each round it
+removes up to ``per_round_omissions`` non-core edges from the complete
+graph, choosing victims at random.
+
+A *core* graph of protected edges is never touched.  Two uses:
+
+* core = a grouped-source stable structure → a ``Psrcs(k)`` system under
+  heavy transient lossage (stress test for Algorithm 1's approximation);
+* core = self-loops only → no perpetual guarantee at all; ``Psrcs(n-1)``
+  may or may not hold, and Algorithm 1's *approximation* must still be
+  correct (Lemmas 3–8 are predicate-independent — the ALG-APPROX
+  experiment exercises exactly this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary
+from repro.graphs.digraph import DiGraph
+
+
+class MobileOmissionAdversary(Adversary):
+    """Per-round mobile omissions on top of a protected core.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    per_round_omissions:
+        Maximum number of (non-core, non-self-loop) edges removed per round.
+    seed:
+        Base RNG seed; per-round randomness derives from ``(seed, round)``.
+    core:
+        Edges never removed.  Defaults to self-loops only.  The declared
+        stable skeleton is exactly the core plus self-loops *only if*
+        omissions actually recur on every other edge; to make the
+        declaration exact, every ``sweep_period`` rounds the adversary
+        removes every non-core edge once (a "sweep" round), guaranteeing no
+        non-core edge is timely forever.
+    sweep_period:
+        How often the sweep rounds occur (>= 1).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        per_round_omissions: int,
+        seed: int = 0,
+        core: DiGraph | None = None,
+        sweep_period: int = 7,
+    ) -> None:
+        super().__init__(n)
+        if per_round_omissions < 0:
+            raise ValueError("per_round_omissions must be >= 0")
+        if sweep_period < 1:
+            raise ValueError("sweep_period must be >= 1")
+        self.per_round_omissions = per_round_omissions
+        self.seed = seed
+        self.sweep_period = sweep_period
+        base = self.base_graph()
+        if core is not None:
+            for u, v in core.iter_edges():
+                base.add_edge(u, v)
+        self._core = base
+        # All removable edges (complete graph minus core minus self-loops).
+        self._removable = [
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and not self._core.has_edge(u, v)
+        ]
+
+    def graph(self, round_no: int) -> DiGraph:
+        if round_no < 1:
+            raise ValueError("rounds are 1-indexed")
+        g = DiGraph.complete(range(self.n), self_loops=True)
+        if round_no % self.sweep_period == 0:
+            # Sweep round: only the core survives, so no non-core edge can
+            # be timely in all rounds — the declaration is exact.
+            return self._core.copy()
+        if self.per_round_omissions and self._removable:
+            rng = np.random.default_rng([self.seed, round_no])
+            count = min(self.per_round_omissions, len(self._removable))
+            idx = rng.choice(len(self._removable), size=count, replace=False)
+            for i in np.atleast_1d(idx).tolist():
+                g.discard_edge(*self._removable[i])
+        return g
+
+    def declared_stable_graph(self) -> DiGraph:
+        return self._core

@@ -1,0 +1,92 @@
+"""The Theorem 2 impossibility construction.
+
+Theorem 2 proves that no algorithm solves ``(k-1)``-set agreement in system
+``Psrcs(k)`` by exhibiting a run ``α`` with ``k`` forced decision values:
+
+* a set ``L`` of ``k - 1`` *loners* that only ever hear from themselves
+  (``PT(p) = {p}`` and — crucially for the indistinguishability argument —
+  no transient in-edges either, so they can never learn another value);
+* one process ``s`` such that every process outside ``L`` hears exactly from
+  itself and ``s``: ``PT(p) = {p, s}``.
+
+``Psrcs(k)`` holds: for any ``S`` with ``|S| = k + 1``, the set ``S \\ L``
+has at least two members, each of which permanently hears from ``s`` — so
+``s`` is the 2-source (the paper's proof verbatim).
+
+Validity + termination force each loner and ``s`` to decide their own input;
+with pairwise distinct inputs that is ``k`` distinct values.  Running
+Algorithm 1 on this adversary therefore must produce *exactly* ``k`` values —
+the THM2 experiment checks this.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.adversaries.base import Adversary
+from repro.graphs.digraph import DiGraph
+
+
+class PartitionAdversary(Adversary):
+    """The run ``α`` from the proof of Theorem 2.
+
+    Parameters
+    ----------
+    n:
+        Number of processes (needs ``n > k`` so that ``Π \\ L`` has >= 2
+        members, matching the theorem's ``1 < k < n``).
+    k:
+        The agreement parameter: the construction produces ``k - 1`` loners
+        and forces ``k`` decision values.
+    loners:
+        Explicit loner set (default: processes ``1..k-1``).
+    source:
+        The 2-source ``s`` (default: process ``0``); must not be a loner.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        loners: Sequence[int] | None = None,
+        source: int = 0,
+    ) -> None:
+        super().__init__(n)
+        if not 1 <= k < n:
+            raise ValueError(f"need 1 <= k < n, got k={k}, n={n}")
+        if loners is None:
+            loners = [p for p in range(n) if p != source][: k - 1]
+        self.loners = frozenset(loners)
+        if len(self.loners) != k - 1:
+            raise ValueError(
+                f"need exactly k-1={k-1} loners, got {len(self.loners)}"
+            )
+        if source in self.loners:
+            raise ValueError("the source must not be a loner")
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range")
+        self.k = k
+        self.source = source
+        g = self.base_graph()
+        for p in range(n):
+            if p not in self.loners:
+                g.add_edge(source, p)
+        self._graph = g
+
+    def graph(self, round_no: int) -> DiGraph:
+        # The construction is fully static: the indistinguishability argument
+        # needs loners (and s) to receive nothing extra in *any* round.
+        return self._graph
+
+    def declared_stable_graph(self) -> DiGraph:
+        return self._graph
+
+    def forced_decision_count(self) -> int:
+        """The number of decision values any correct algorithm must produce
+        on this run with pairwise distinct inputs: ``k`` (the ``k-1`` loners
+        plus ``s`` each decide their own input)."""
+        return self.k
+
+    def isolated_deciders(self) -> frozenset[int]:
+        """Processes forced to decide their own value: ``L ∪ {s}``."""
+        return self.loners | {self.source}

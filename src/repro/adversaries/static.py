@@ -1,0 +1,84 @@
+"""Static and scheduled adversaries.
+
+:class:`StaticAdversary` plays the same graph in every round — the fully
+"perpetually synchronous" special case where ``G^r = G^∩r = G^∩∞`` for all
+``r``.  :class:`ScheduleAdversary` plays an explicit finite schedule and then
+a static tail; Figure 1's run is encoded this way (extra edges in the early
+rounds that later turn untimely).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.adversaries.base import Adversary
+from repro.graphs.digraph import DiGraph
+
+
+class StaticAdversary(Adversary):
+    """The same communication graph in every round."""
+
+    def __init__(self, n: int, graph: DiGraph, self_loops: bool = True) -> None:
+        super().__init__(n)
+        g = graph.with_self_loops() if self_loops else graph.copy()
+        if g.nodes() != frozenset(range(n)):
+            raise ValueError(
+                f"graph nodes {sorted(g.nodes(), key=repr)} do not match 0..{n-1}"
+            )
+        self._graph = g
+
+    def graph(self, round_no: int) -> DiGraph:
+        return self._graph
+
+    def declared_stable_graph(self) -> DiGraph:
+        return self._graph
+
+
+class ScheduleAdversary(Adversary):
+    """An explicit schedule of graphs followed by a static tail.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    schedule:
+        Graphs for rounds ``1..len(schedule)``.
+    tail:
+        Graph for every round after the schedule.  Defaults to the last
+        scheduled graph.  The declared stable skeleton is the intersection
+        of all scheduled graphs and the tail (exact, since the tail repeats
+        forever).
+    self_loops:
+        Add self-loops to every graph (the paper's convention).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        schedule: Sequence[DiGraph],
+        tail: DiGraph | None = None,
+        self_loops: bool = True,
+    ) -> None:
+        super().__init__(n)
+        if not schedule and tail is None:
+            raise ValueError("need a schedule or a tail")
+        fix = (lambda g: g.with_self_loops()) if self_loops else (lambda g: g.copy())
+        self._schedule = [fix(g) for g in schedule]
+        self._tail = fix(tail) if tail is not None else self._schedule[-1]
+        for idx, g in enumerate([*self._schedule, self._tail]):
+            if g.nodes() != frozenset(range(n)):
+                raise ValueError(f"graph #{idx} nodes do not match 0..{n-1}")
+        stable = self._tail.copy()
+        for g in self._schedule:
+            stable = stable.intersection(g)
+        self._stable = stable
+
+    def graph(self, round_no: int) -> DiGraph:
+        if round_no < 1:
+            raise ValueError("rounds are 1-indexed")
+        if round_no <= len(self._schedule):
+            return self._schedule[round_no - 1]
+        return self._tail
+
+    def declared_stable_graph(self) -> DiGraph:
+        return self._stable

@@ -1,0 +1,37 @@
+"""Run analysis: agreement-property verification and statistics.
+
+* :mod:`repro.analysis.properties` — check k-agreement, validity and
+  termination on finished runs (the definitions of §II.A);
+* :mod:`repro.analysis.stats` — decision-round and message-complexity
+  statistics backing the ALG-TERM and MSG-COMPLEX experiments;
+* :mod:`repro.analysis.reporting` — plain-text tables for the benchmark
+  harness (the "rows the paper would report").
+"""
+
+from repro.analysis.properties import (
+    AgreementReport,
+    check_agreement_properties,
+    check_k_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.analysis.stats import (
+    DecisionStats,
+    MessageStats,
+    decision_stats,
+    message_stats,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "AgreementReport",
+    "check_agreement_properties",
+    "check_k_agreement",
+    "check_termination",
+    "check_validity",
+    "DecisionStats",
+    "MessageStats",
+    "decision_stats",
+    "message_stats",
+    "format_table",
+]

@@ -1,0 +1,137 @@
+"""Cross-run statistical summaries.
+
+The single-run statistics in :mod:`repro.analysis.stats` answer "did this
+run meet the bound"; experiments also need distributional answers — how
+decision latency scales with n, how noise affects stabilization, how often
+noisy runs collapse to fewer values than root components.  This module
+aggregates seed ensembles into percentile tables (the closest thing to the
+"figures" a systems paper would plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.stats import decision_stats
+from repro.experiments.sweeps import run_algorithm1
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """Decision-latency distribution over a seed ensemble."""
+
+    n: int
+    num_groups: int
+    noise: float
+    runs: int
+    p50_last_decide: float
+    p95_last_decide: float
+    max_last_decide: int
+    p50_stabilization: float
+    mean_values: float
+    bound_violations: int
+
+    def as_row(self) -> list:
+        return [
+            self.n,
+            self.num_groups,
+            self.noise,
+            self.runs,
+            self.p50_last_decide,
+            self.p95_last_decide,
+            self.max_last_decide,
+            self.p50_stabilization,
+            round(self.mean_values, 2),
+            self.bound_violations,
+        ]
+
+    HEADERS = [
+        "n",
+        "groups",
+        "noise",
+        "runs",
+        "p50_decide",
+        "p95_decide",
+        "max_decide",
+        "p50_r_ST",
+        "mean_values",
+        "bound_viol",
+    ]
+
+
+def latency_distribution(
+    n: int,
+    num_groups: int,
+    noise: float,
+    seeds: Sequence[int],
+    topology: str = "cycle",
+) -> LatencyDistribution:
+    """Run a seed ensemble and summarize decision latency."""
+    last_rounds: list[int] = []
+    stabilizations: list[int] = []
+    value_counts: list[int] = []
+    violations = 0
+    for seed in seeds:
+        adversary = GroupedSourceAdversary(
+            n, num_groups=num_groups, seed=seed, noise=noise,
+            topology=topology,
+        )
+        run = run_algorithm1(adversary)
+        stats = decision_stats(run)
+        if stats.last_decision_round is None:
+            violations += 1
+            continue
+        last_rounds.append(stats.last_decision_round)
+        if stats.stabilization is not None:
+            stabilizations.append(stats.stabilization)
+        value_counts.append(len(run.decision_values()))
+        if stats.within_bound is False:
+            violations += 1
+    if not last_rounds:
+        raise RuntimeError("no run produced decisions")
+    arr = np.asarray(last_rounds, dtype=float)
+    st_arr = np.asarray(stabilizations or [np.nan], dtype=float)
+    return LatencyDistribution(
+        n=n,
+        num_groups=num_groups,
+        noise=noise,
+        runs=len(seeds),
+        p50_last_decide=float(np.percentile(arr, 50)),
+        p95_last_decide=float(np.percentile(arr, 95)),
+        max_last_decide=int(arr.max()),
+        p50_stabilization=float(np.nanpercentile(st_arr, 50)),
+        mean_values=float(np.mean(value_counts)),
+        bound_violations=violations,
+    )
+
+
+def latency_scaling_table(
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    num_groups: int = 2,
+    noise: float = 0.2,
+) -> list[LatencyDistribution]:
+    """LATENCY-DIST: percentile latencies vs n (linear per Lemma 11)."""
+    return [
+        latency_distribution(n, min(num_groups, n), noise, seeds)
+        for n in ns
+    ]
+
+
+def noise_sensitivity_table(
+    noises: Sequence[float],
+    seeds: Sequence[int],
+    n: int = 10,
+    num_groups: int = 3,
+) -> list[LatencyDistribution]:
+    """How transient noise shifts stabilization and value collapse:
+    more noise → later stabilization (more edges must die) but also more
+    early value leakage (fewer distinct decisions)."""
+    return [
+        latency_distribution(n, num_groups, noise, seeds)
+        for noise in noises
+    ]

@@ -1,0 +1,111 @@
+"""k-set agreement property verification (§II.A).
+
+Every process starts with a proposal value and must eventually and
+irrevocably decide, subject to:
+
+* **k-Agreement** — at most ``k`` different decision values;
+* **Validity** — every decision was proposed by some process;
+* **Termination** — every process eventually decides.
+
+Irrevocability and decide-at-most-once are enforced structurally by
+:class:`~repro.rounds.process.Process`; these checkers verify the three
+run-level properties on a finished :class:`~repro.rounds.run.Run`.
+Termination on a finite prefix means "every process decided within the
+prefix" — callers size ``max_rounds`` generously (the paper's bound is
+``r_ST + 2n - 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rounds.run import Run
+
+
+@dataclass(frozen=True)
+class PropertyCheck:
+    """Outcome of a single property check."""
+
+    name: str
+    holds: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Combined verdict for one run."""
+
+    k: int
+    k_agreement: PropertyCheck
+    validity: PropertyCheck
+    termination: PropertyCheck
+    num_decision_values: int
+    decision_values: tuple
+
+    @property
+    def all_hold(self) -> bool:
+        return bool(self.k_agreement and self.validity and self.termination)
+
+    def summary(self) -> str:
+        lines = [f"k-set agreement report (k={self.k}):"]
+        for check in (self.k_agreement, self.validity, self.termination):
+            status = "OK " if check.holds else "FAIL"
+            lines.append(f"  [{status}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+
+def check_k_agreement(run: Run, k: int) -> PropertyCheck:
+    """At most ``k`` distinct decision values among all decisions so far."""
+    values = run.decision_values()
+    holds = len(values) <= k
+    return PropertyCheck(
+        name="k-agreement",
+        holds=holds,
+        detail=f"{len(values)} distinct values {sorted(map(repr, values))} "
+        f"(bound {k})",
+    )
+
+
+def check_validity(run: Run) -> PropertyCheck:
+    """Every decided value was proposed by some process."""
+    proposals = set(run.initial_values)
+    bad = {
+        pid: d.value
+        for pid, d in run.decisions.items()
+        if d.value not in proposals
+    }
+    return PropertyCheck(
+        name="validity",
+        holds=not bad,
+        detail="all decisions were proposals"
+        if not bad
+        else f"non-proposal decisions: {bad}",
+    )
+
+
+def check_termination(run: Run) -> PropertyCheck:
+    """Every process decided within the recorded prefix."""
+    undecided = run.undecided()
+    return PropertyCheck(
+        name="termination",
+        holds=not undecided,
+        detail=f"all {run.n} processes decided"
+        if not undecided
+        else f"undecided after {run.num_rounds} rounds: {undecided}",
+    )
+
+
+def check_agreement_properties(run: Run, k: int) -> AgreementReport:
+    """All three §II.A properties at once."""
+    values = tuple(sorted(run.decision_values(), key=repr))
+    return AgreementReport(
+        k=k,
+        k_agreement=check_k_agreement(run, k),
+        validity=check_validity(run),
+        termination=check_termination(run),
+        num_decision_values=len(values),
+        decision_values=values,
+    )

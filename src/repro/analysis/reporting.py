@@ -1,0 +1,56 @@
+"""Plain-text result tables.
+
+The benchmark harness prints, for every experiment, the rows the paper
+would report (the paper itself is theory-only, so the rows are the
+theorem-shaped quantities: root-component counts, decision-value counts,
+latency vs bound, message bits vs n).  One small formatter keeps all of
+them consistent and diff-friendly for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["n", "k"], [[6, 3], [12, 4]], title="demo"))
+    demo
+    n   k
+    --  -
+    6   3
+    12  4
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row} has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

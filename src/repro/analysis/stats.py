@@ -1,0 +1,125 @@
+"""Decision-latency and message-complexity statistics.
+
+Backs two experiments:
+
+* **ALG-TERM** — Lemma 11 bounds every decision by round ``r_ST + 2n - 1``
+  (skeleton stabilization + approximation convergence + decide flooding).
+  :func:`decision_stats` extracts the empirical latencies and the bound.
+* **MSG-COMPLEX** — §V claims worst-case message *bit* complexity polynomial
+  in ``n``: a message carries an estimate plus the approximation graph,
+  which has at most ``n`` nodes and ``n²`` round-labeled edges, each label
+  bounded by the current round — so O(n² log r) bits.  :func:`message_stats`
+  measures encoded sizes from recorded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rounds.run import Run
+from repro.skeleton.analysis import stabilization_round
+
+
+@dataclass(frozen=True)
+class DecisionStats:
+    """Per-run decision-latency summary."""
+
+    n: int
+    num_rounds: int
+    num_decided: int
+    first_decision_round: int | None
+    last_decision_round: int | None
+    stabilization: int | None
+    lemma11_bound: int | None  # r_ST + 2n - 1, when r_ST is known
+    stabilization_known: bool  # whether the run could even measure r_ST
+
+    @property
+    def within_bound(self) -> bool | None:
+        """Whether every decision met Lemma 11's ``r_ST + 2n - 1``.
+
+        When the recorded prefix ends *before* stabilization (the run may
+        stop as soon as everyone decided), the true ``r_ST`` exceeds the
+        prefix length, so the bound holds trivially for decisions inside
+        the prefix.  ``None`` only when the run carries no stable-skeleton
+        declaration (the bound is then unmeasurable).
+        """
+        if self.last_decision_round is None:
+            return None
+        if self.lemma11_bound is not None:
+            return self.last_decision_round <= self.lemma11_bound
+        if self.stabilization_known:
+            # r_ST > num_rounds >= last_decision_round.
+            return True
+        return None
+
+
+def decision_stats(run: Run) -> DecisionStats:
+    """Extract decision-latency statistics from a finished run."""
+    rounds = sorted(d.round_no for d in run.decisions.values())
+    r_st = stabilization_round(run)
+    return DecisionStats(
+        n=run.n,
+        num_rounds=run.num_rounds,
+        num_decided=len(rounds),
+        first_decision_round=rounds[0] if rounds else None,
+        last_decision_round=rounds[-1] if rounds else None,
+        stabilization=r_st,
+        lemma11_bound=(r_st + 2 * run.n - 1) if r_st is not None else None,
+        stabilization_known=run.declared_stable_graph is not None,
+    )
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Per-run message-size summary (bits)."""
+
+    n: int
+    num_rounds: int
+    num_messages: int
+    max_bits: int
+    mean_bits: float
+    total_bits: int
+
+    @property
+    def max_bits_per_message(self) -> int:
+        return self.max_bits
+
+
+def message_stats(run: Run) -> MessageStats:
+    """Measure encoded message sizes.
+
+    Requires the run to have been recorded with
+    ``SimulationConfig(record_messages=True)``.
+    """
+    sizes: list[int] = []
+    for r in range(1, run.num_rounds + 1):
+        for msg in run.messages(r).values():
+            sizes.append(msg.bit_size())
+    if not sizes:
+        raise ValueError(
+            "run has no recorded messages; simulate with record_messages=True"
+        )
+    arr = np.asarray(sizes, dtype=np.int64)
+    return MessageStats(
+        n=run.n,
+        num_rounds=run.num_rounds,
+        num_messages=len(sizes),
+        max_bits=int(arr.max()),
+        mean_bits=float(arr.mean()),
+        total_bits=int(arr.sum()),
+    )
+
+
+def polynomial_bit_bound(n: int, round_no: int) -> int:
+    """The §V-style worst-case bound used as a sanity ceiling in tests:
+    an approximation graph has <= n nodes and <= n² labeled edges; with a
+    generous per-edge encoding of ``3 * (ceil(log2(n)) + ceil(log2(r)))``
+    bits plus headers, the bound is O(n² log(n r))."""
+    import math
+
+    word = math.ceil(math.log2(max(n, 2))) + math.ceil(math.log2(max(round_no, 2)))
+    # nodes + edges * 3 fields + estimate + headers; constant factor chosen
+    # loose on purpose (we assert growth *shape*, not constants).
+    return 64 * (n + 3 * n * n) * word

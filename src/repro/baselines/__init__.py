@@ -1,0 +1,32 @@
+"""Baseline algorithms for comparison (BASELINE experiment).
+
+* :class:`~repro.baselines.floodmin.FloodMinProcess` — the classic
+  synchronous k-set agreement algorithm (Chaudhuri): flood minima for
+  ``⌊f/k⌋ + 1`` rounds, decide the minimum seen.  Correct with at most
+  ``f`` crashes; **incorrect** under ``Psrcs(k)`` partitioning — the
+  benchmark shows it.
+* :class:`~repro.baselines.flooding.FloodingConsensusProcess` — ``f + 1``
+  round flooding consensus, the k = 1 special case.
+* :class:`~repro.baselines.local_min.LocalMinProcess` — a deliberately
+  naive foil: decide the minimum heard value after a fixed horizon.  Its
+  failures delineate what the skeleton approximation buys.
+"""
+
+from repro.baselines.floodmin import FloodMinProcess, make_floodmin_processes
+from repro.baselines.flooding import (
+    FloodingConsensusProcess,
+    make_flooding_processes,
+)
+from repro.baselines.local_min import LocalMinProcess, make_local_min_processes
+from repro.baselines.async_kset import AsyncKSetProcess, make_async_kset_processes
+
+__all__ = [
+    "FloodMinProcess",
+    "make_floodmin_processes",
+    "FloodingConsensusProcess",
+    "make_flooding_processes",
+    "LocalMinProcess",
+    "make_local_min_processes",
+    "AsyncKSetProcess",
+    "make_async_kset_processes",
+]

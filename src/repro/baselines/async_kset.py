@@ -1,0 +1,67 @@
+"""The classic one-shot asynchronous k-set agreement baseline.
+
+Chaudhuri's observation (cited as [5]): with at most ``f < k`` crash
+failures, asynchronous k-set agreement is trivially solvable — collect
+``n - f`` proposals, decide the minimum.  At most ``f + 1 <= k`` distinct
+minima can be decided (a process misses at most ``f`` of the smallest
+values).
+
+In the round-based simulation the "collect n - f values" step becomes:
+stay in the collection phase until proposals from ``n - f`` distinct
+processes have been received (accumulated across rounds), then decide.
+
+Why include it: it brackets Algorithm 1 from the *asynchronous* side the
+way FloodMin does from the synchronous side.
+
+* Under crash adversaries with ``f_actual <= f`` it is correct and decides
+  as soon as enough values arrive (typically round 1).
+* Under ``Psrcs(k)`` partition adversaries it **deadlocks**: a loner never
+  hears ``n - f`` processes, so termination fails — the liveness failure
+  mode, complementary to FloodMin's safety failure.  Algorithm 1 is the
+  only one of the three that adapts to what the network actually provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.rounds.messages import Message
+from repro.rounds.process import Process
+
+
+class AsyncKSetProcess(Process):
+    """Collect ``n - f`` proposals (cumulative), decide the minimum."""
+
+    def __init__(self, pid: int, n: int, initial_value: Any, f: int) -> None:
+        super().__init__(pid, n, initial_value)
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 <= f < n, got f={f}")
+        self.f = f
+        self.quorum = n - f
+        self.collected: dict[int, Any] = {pid: initial_value}
+
+    def send(self, round_no: int) -> Message:
+        return Message(
+            sender=self.pid,
+            round_no=round_no,
+            kind="prop",
+            payload={"value": self.initial_value},
+        )
+
+    def transition(self, round_no: int, received: Mapping[int, Message]) -> None:
+        for sender, msg in received.items():
+            self.collected.setdefault(sender, msg.payload["value"])
+        if not self.decided and len(self.collected) >= self.quorum:
+            self._decide(round_no, min(self.collected.values()))
+
+
+def make_async_kset_processes(
+    n: int, f: int, values: list[Any] | None = None
+) -> list[AsyncKSetProcess]:
+    """Process vector for the asynchronous baseline (tolerates ``f < k``
+    crashes for k-set agreement)."""
+    if values is None:
+        values = list(range(n))
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    return [AsyncKSetProcess(pid, n, values[pid], f=f) for pid in range(n)]

@@ -1,0 +1,56 @@
+"""Flooding consensus: the ``f + 1``-round synchronous classic.
+
+The k = 1 counterpart of FloodMin: every process floods the full set of
+values it has seen; after ``f + 1`` rounds there must have been a clean
+round (at most ``f`` crashes spread over ``f + 1`` rounds), after which all
+non-crashed processes hold the same value set and decide its minimum.
+
+Included to situate Algorithm 1's §V consensus remark: under a crash
+adversary both reach consensus; under a single-root-component ``Psrcs``
+adversary only Algorithm 1 does (flooding consensus assumes it hears from
+all correct processes, which partitions break).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.rounds.messages import Message
+from repro.rounds.process import Process
+
+
+class FloodingConsensusProcess(Process):
+    """One flooding-consensus process (decide min of the value set after
+    ``f + 1`` rounds)."""
+
+    def __init__(self, pid: int, n: int, initial_value: Any, f: int) -> None:
+        super().__init__(pid, n, initial_value)
+        if f < 0:
+            raise ValueError("f must be >= 0")
+        self.f = f
+        self.decision_round = f + 1
+        self.seen: set[Any] = {initial_value}
+
+    def send(self, round_no: int) -> Message:
+        return Message(
+            sender=self.pid,
+            round_no=round_no,
+            kind="flood",
+            payload={"seen": sorted(self.seen, key=repr)},
+        )
+
+    def transition(self, round_no: int, received: Mapping[int, Message]) -> None:
+        for msg in received.values():
+            self.seen.update(msg.payload["seen"])
+        if round_no == self.decision_round and not self.decided:
+            self._decide(round_no, min(self.seen))
+
+
+def make_flooding_processes(
+    n: int, f: int, values: list[Any] | None = None
+) -> list[FloodingConsensusProcess]:
+    if values is None:
+        values = list(range(n))
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    return [FloodingConsensusProcess(pid, n, values[pid], f=f) for pid in range(n)]

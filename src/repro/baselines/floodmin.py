@@ -1,0 +1,76 @@
+"""FloodMin: synchronous k-set agreement under crash faults.
+
+The classic algorithm (Chaudhuri '93 [5]): tolerate up to ``f`` crashes by
+flooding the minimum for ``⌊f/k⌋ + 1`` rounds, then deciding the minimum
+value seen.  Correctness intuition: the run contains at least one *clean*
+round (fewer than ``k`` crashes in each of the ``⌊f/k⌋ + 1`` round slots is
+impossible by pigeonhole), after which at most ``k`` distinct minima can
+survive.
+
+FloodMin is the natural baseline for Algorithm 1 because it shows what the
+crash-synchronous assumption buys (decision in ``⌊f/k⌋ + 1`` rounds, versus
+``r_ST + 2n - 1``) and what it costs (no tolerance for partitioning: under
+the Theorem 2 / grouped-source adversaries the loner components never hear
+the flood, so FloodMin's decisions can exceed ``k`` distinct values or
+violate nothing but produce them trivially — the BASELINE benchmark
+tabulates both regimes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.rounds.messages import Message
+from repro.rounds.process import Process
+
+
+class FloodMinProcess(Process):
+    """One FloodMin process.
+
+    Parameters
+    ----------
+    pid, n, initial_value:
+        See :class:`~repro.rounds.process.Process`.
+    f:
+        Crash-fault bound the algorithm is configured for.
+    k:
+        Agreement parameter; decision happens at the end of round
+        ``⌊f/k⌋ + 1``.
+    """
+
+    def __init__(self, pid: int, n: int, initial_value: Any, f: int, k: int) -> None:
+        super().__init__(pid, n, initial_value)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if f < 0:
+            raise ValueError("f must be >= 0")
+        self.f = f
+        self.k = k
+        self.decision_round = f // k + 1
+        self.current_min: Any = initial_value
+
+    def send(self, round_no: int) -> Message:
+        return Message(
+            sender=self.pid,
+            round_no=round_no,
+            kind="floodmin",
+            payload={"min": self.current_min},
+        )
+
+    def transition(self, round_no: int, received: Mapping[int, Message]) -> None:
+        values = [msg.payload["min"] for msg in received.values()]
+        if values:
+            self.current_min = min([self.current_min, *values])
+        if round_no == self.decision_round and not self.decided:
+            self._decide(round_no, self.current_min)
+
+
+def make_floodmin_processes(
+    n: int, f: int, k: int, values: list[Any] | None = None
+) -> list[FloodMinProcess]:
+    """The full FloodMin process vector (distinct proposals by default)."""
+    if values is None:
+        values = list(range(n))
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    return [FloodMinProcess(pid, n, values[pid], f=f, k=k) for pid in range(n)]

@@ -1,0 +1,58 @@
+"""LocalMin: the naive foil baseline.
+
+Decide the minimum value heard within a fixed horizon of ``R`` rounds — no
+skeleton reasoning, no fault model.  It "works" exactly when information
+from a common source reaches everyone within the horizon and fails
+otherwise:
+
+* under a crash adversary with an early crash it can decide more than ``k``
+  values (processes that heard the crashed minimum vs. those that did not);
+* under ``Psrcs(k)`` adversaries it decides up to one value per root
+  component *plus* noise-dependent extras, with no bound tied to ``k``.
+
+The BASELINE experiment runs it side by side with FloodMin and Algorithm 1
+to make visible what the stable-skeleton approximation actually buys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.rounds.messages import Message
+from repro.rounds.process import Process
+
+
+class LocalMinProcess(Process):
+    """Decide ``min`` of everything heard by round ``horizon``."""
+
+    def __init__(self, pid: int, n: int, initial_value: Any, horizon: int) -> None:
+        super().__init__(pid, n, initial_value)
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = horizon
+        self.current_min: Any = initial_value
+
+    def send(self, round_no: int) -> Message:
+        return Message(
+            sender=self.pid,
+            round_no=round_no,
+            kind="localmin",
+            payload={"min": self.current_min},
+        )
+
+    def transition(self, round_no: int, received: Mapping[int, Message]) -> None:
+        values = [msg.payload["min"] for msg in received.values()]
+        if values:
+            self.current_min = min([self.current_min, *values])
+        if round_no == self.horizon and not self.decided:
+            self._decide(round_no, self.current_min)
+
+
+def make_local_min_processes(
+    n: int, horizon: int, values: list[Any] | None = None
+) -> list[LocalMinProcess]:
+    if values is None:
+        values = list(range(n))
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    return [LocalMinProcess(pid, n, values[pid], horizon=horizon) for pid in range(n)]

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Subcommands::
+
+    skeleton-agreement figure1            # regenerate Figure 1 (a)-(h)
+    skeleton-agreement run ...            # simulate Algorithm 1
+    skeleton-agreement theorem2 ...       # the impossibility construction
+    skeleton-agreement check ...          # Psrcs(k) on a grouped adversary
+    skeleton-agreement sweep ...          # ALG-AGREE/THM1 parameter sweep
+    skeleton-agreement ablation ...       # design-knob ablation matrix
+    skeleton-agreement duality ...        # §V rc-vs-α exploration
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import decision_stats
+from repro.core.algorithm import make_processes
+from repro.experiments.figure1 import render_figure1
+from repro.experiments.sweeps import run_algorithm1
+from repro.experiments.theorem2 import theorem2_experiment
+from repro.graphs.condensation import root_components
+from repro.predicates.psrcs import Psrcs
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    print("Figure 1 — 6 processes, Psrcs(3) holds (self-loops omitted)")
+    print()
+    print(render_figure1())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    adversary = GroupedSourceAdversary(
+        args.n,
+        num_groups=args.groups,
+        seed=args.seed,
+        noise=args.noise,
+        topology=args.topology,
+    )
+    run = run_algorithm1(adversary, max_rounds=args.max_rounds)
+    report = check_agreement_properties(run, args.k)
+    stats = decision_stats(run)
+    print(report.summary())
+    print()
+    rows = [
+        ["processes", run.n],
+        ["rounds simulated", run.num_rounds],
+        ["root components", len(root_components(run.stable_skeleton()))],
+        ["distinct decisions", report.num_decision_values],
+        ["last decision round", stats.last_decision_round],
+        ["Lemma 11 bound", stats.lemma11_bound],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0 if report.all_hold else 1
+
+
+def _cmd_theorem2(args: argparse.Namespace) -> int:
+    report = theorem2_experiment(args.n, args.k)
+    rows = [
+        ["Psrcs(k) holds", report.psrcs_k_holds],
+        ["Psrcs(k-1) holds", report.psrcs_k_minus_1_holds],
+        ["distinct decisions", report.distinct_decisions],
+        ["forced value count (=k)", report.k],
+        ["isolated decided own value", report.isolated_decided_own],
+        ["confirms Theorem 2", report.confirms_theorem],
+    ]
+    print(format_table(["check", "result"], rows, title=f"Theorem 2, n={args.n}, k={args.k}"))
+    return 0 if report.confirms_theorem else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    adversary = GroupedSourceAdversary(
+        args.n, num_groups=args.groups, seed=args.seed, topology=args.topology
+    )
+    stable = adversary.declared_stable_graph()
+    predicate = Psrcs(args.k)
+    result = predicate.check_skeleton(stable)
+    print(result.explain())
+    print(f"tightest k (α of conflict graph): {predicate.tightest_k(stable)}")
+    print(f"root components: {len(root_components(stable))}")
+    return 0 if result.holds else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import SweepResult, agreement_sweep
+
+    rows = agreement_sweep(
+        ns=args.n, ks=args.k, seeds=range(args.seeds), noise=args.noise
+    )
+    print(
+        format_table(
+            SweepResult.HEADERS,
+            [r.as_row() for r in rows],
+            title="Agreement sweep (Theorem 16 / Theorem 1)",
+        )
+    )
+    bad = [r for r in rows if r.distinct_decisions > r.k or not r.all_decided]
+    if bad:
+        print(f"\n{len(bad)} runs violated their bound!")
+        return 1
+    print(f"\nall {len(rows)} runs within their k bound and terminated")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import AblationOutcome, standard_ablation_suite
+
+    outcomes = standard_ablation_suite(
+        n=args.n, k=args.k, seeds=range(args.seeds)
+    )
+    print(
+        format_table(
+            AblationOutcome.HEADERS,
+            [o.as_row() for o in outcomes],
+            title=f"Ablation matrix (n={args.n}, k={args.k}, "
+            f"{args.seeds} seeds)",
+        )
+    )
+    paper = outcomes[0]
+    clean = (
+        paper.invariant_violations == 0
+        and paper.agreement_violations == 0
+        and paper.termination_failures == 0
+    )
+    return 0 if clean else 1
+
+
+def _cmd_duality(args: argparse.Namespace) -> int:
+    from repro.experiments.duality import duality_sweep
+
+    rows = duality_sweep(
+        ns=tuple(args.n), densities=tuple(args.density), seeds=range(args.seeds)
+    )
+    print(
+        format_table(
+            ["n", "density", "mean rc", "mean α", "mean gap", "Thm1 violations"],
+            rows,
+            title="Duality: root components vs tightest Psrcs level (§V)",
+        )
+    )
+    return 0 if all(row[5] == 0 for row in rows) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="skeleton-agreement",
+        description="k-set agreement with stable skeleton graphs "
+        "(Biely, Robinson, Schmid 2011) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure1", help="regenerate Figure 1").set_defaults(
+        func=_cmd_figure1
+    )
+
+    p_run = sub.add_parser("run", help="simulate Algorithm 1")
+    p_run.add_argument("-n", type=int, default=9, help="number of processes")
+    p_run.add_argument("-k", type=int, default=3, help="agreement parameter")
+    p_run.add_argument("--groups", type=int, default=3, help="root components")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--noise", type=float, default=0.15)
+    p_run.add_argument(
+        "--topology", choices=["star", "cycle", "clique"], default="cycle"
+    )
+    p_run.add_argument("--max-rounds", type=int, default=None)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_thm2 = sub.add_parser("theorem2", help="impossibility construction")
+    p_thm2.add_argument("-n", type=int, default=8)
+    p_thm2.add_argument("-k", type=int, default=3)
+    p_thm2.set_defaults(func=_cmd_theorem2)
+
+    p_check = sub.add_parser("check", help="check Psrcs(k) on an adversary")
+    p_check.add_argument("-n", type=int, default=9)
+    p_check.add_argument("-k", type=int, default=3)
+    p_check.add_argument("--groups", type=int, default=3)
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument(
+        "--topology", choices=["star", "cycle", "clique"], default="cycle"
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    p_sweep = sub.add_parser("sweep", help="agreement parameter sweep")
+    p_sweep.add_argument("-n", type=int, nargs="+", default=[6, 9])
+    p_sweep.add_argument("-k", type=int, nargs="+", default=[2, 3])
+    p_sweep.add_argument("--seeds", type=int, default=2)
+    p_sweep.add_argument("--noise", type=float, default=0.2)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_abl = sub.add_parser("ablation", help="design-knob ablation matrix")
+    p_abl.add_argument("-n", type=int, default=9)
+    p_abl.add_argument("-k", type=int, default=3)
+    p_abl.add_argument("--seeds", type=int, default=6)
+    p_abl.set_defaults(func=_cmd_ablation)
+
+    p_dual = sub.add_parser("duality", help="rc vs α exploration (§V)")
+    p_dual.add_argument("-n", type=int, nargs="+", default=[6, 8, 10])
+    p_dual.add_argument("--density", type=float, nargs="+",
+                        default=[0.05, 0.15, 0.3])
+    p_dual.add_argument("--seeds", type=int, default=5)
+    p_dual.set_defaults(func=_cmd_duality)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's primary contribution: Algorithm 1.
+
+* :class:`~repro.core.approximation.ApproximationGraph` — the generic stable
+  skeleton approximation (Alg. 1 lines 14–25),
+* :class:`~repro.core.algorithm.SkeletonAgreementProcess` — the full k-set
+  agreement algorithm,
+* :mod:`repro.core.invariants` — runtime checkers for Observation 1,
+  Lemmas 3–7 and Theorem 8 that can be attached to any simulation,
+* :func:`~repro.core.consensus.make_consensus_processes` — the k = 1
+  specialization (§V: the algorithm solves consensus in sufficiently
+  well-behaved runs).
+"""
+
+from repro.core.approximation import ApproximationGraph
+from repro.core.algorithm import SkeletonAgreementProcess, make_processes
+from repro.core.consensus import make_consensus_processes
+
+__all__ = [
+    "ApproximationGraph",
+    "SkeletonAgreementProcess",
+    "make_processes",
+    "make_consensus_processes",
+]

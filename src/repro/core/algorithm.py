@@ -1,0 +1,199 @@
+"""Algorithm 1: approximating the stable skeleton and solving k-set
+agreement with ``Psrcs(k)``.
+
+The implementation is a line-by-line transcription of the paper's
+pseudocode; the table below maps pseudocode lines to methods.
+
+=====  =============================================================
+Line   Where
+=====  =============================================================
+1–4    :meth:`SkeletonAgreementProcess.__init__` (``PTp = Π``,
+       ``xp = vp``, ``Gp = <{p}, ∅>``, ``decided = 0``)
+5–8    :meth:`SkeletonAgreementProcess.send` (``decide`` vs ``prop``)
+9      :meth:`SkeletonAgreementProcess.transition` — ``PTp`` update
+10–13  decide-message adoption
+14–25  :meth:`repro.core.approximation.ApproximationGraph.round_update`
+26–27  min-estimate update over ``PTp``
+28–30  the decision rule (``r > n`` and ``Gp`` strongly connected)
+=====  =============================================================
+
+Determinism notes (where the pseudocode leaves freedom):
+
+* Line 10 says "received (decide, xq, _) from q ∈ PTp" without fixing *which*
+  decide message to adopt when several arrive in the same round.  We adopt
+  from the smallest sender id; any choice preserves Lemma 13 (the adopted
+  value can be traced back to a line-29 decision).
+* Estimates must be totally ordered for the ``min`` of line 27; proposal
+  values are therefore required to be mutually comparable (ints in all the
+  experiments, matching the paper's ``xp ∈ N``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.approximation import ApproximationGraph
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.rounds.messages import Message
+from repro.rounds.process import Process
+
+PROP = "prop"
+DECIDE = "decide"
+
+
+class SkeletonAgreementProcess(Process):
+    """One process running Algorithm 1.
+
+    Parameters
+    ----------
+    pid, n, initial_value:
+        See :class:`~repro.rounds.process.Process`.
+    track_history:
+        Keep per-round snapshots of ``Gp`` and ``PTp`` (needed by the lemma
+        checkers, which reason about ``G^r_p`` for past rounds ``r``).
+    purge_window, prune_unreachable:
+        Ablation knobs forwarded to :class:`ApproximationGraph`; leave at
+        defaults for the paper's algorithm.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        initial_value: Any,
+        track_history: bool = False,
+        purge_window: int | None = None,
+        prune_unreachable: bool = True,
+    ) -> None:
+        super().__init__(pid, n, initial_value)
+        # Line 1: PTp := Π.
+        self.pt: frozenset[int] = frozenset(range(n))
+        # Line 2: xp := vp.
+        self.estimate: Any = initial_value
+        # Line 3: Gp := <{p}, ∅> (weighted digraph).
+        self.approx = ApproximationGraph(
+            pid, n, purge_window=purge_window, prune_unreachable=prune_unreachable
+        )
+        # Line 4 is the base class's decided flag.
+        self.track_history = track_history
+        #: per-round history: round -> (PTp, snapshot of Gp, estimate)
+        self.history: dict[int, tuple[frozenset[int], RoundLabeledDigraph, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Sending function S_p^r (lines 5–8)
+    # ------------------------------------------------------------------
+    def send(self, round_no: int) -> Message:
+        kind = DECIDE if self.decided else PROP
+        return Message(
+            sender=self.pid,
+            round_no=round_no,
+            kind=kind,
+            payload={"x": self.estimate, "graph": self.approx.snapshot()},
+        )
+
+    # ------------------------------------------------------------------
+    # Transition function T_p^r (lines 9–30)
+    # ------------------------------------------------------------------
+    def transition(self, round_no: int, received: Mapping[int, Message]) -> None:
+        # Line 9: update PTp — equation (7): intersect with this round's
+        # heard-of set.
+        self.pt = self.pt & frozenset(received)
+
+        # Lines 10–13: adopt a decision from a timely neighbor.
+        if not self.decided:
+            deciders = sorted(
+                q for q in self.pt if received[q].kind == DECIDE
+            )
+            if deciders:
+                q = deciders[0]
+                self.estimate = received[q].payload["x"]
+                self._decide(round_no, self.estimate)
+
+        # Lines 14–25: approximate the stable skeleton.
+        graphs = {q: received[q].payload["graph"] for q in self.pt}
+        self.approx.round_update(round_no, self.pt, graphs)
+
+        # Lines 26–30.
+        if not self.decided:
+            # Line 27: xp <- min over estimates of timely neighbors.  PTp
+            # always contains p under self-delivery; the guard covers the
+            # degenerate no-self-delivery configuration, where the estimate
+            # is simply retained.
+            candidates = [received[q].payload["x"] for q in self.pt]
+            if candidates:
+                self.estimate = min(candidates)
+            # Line 28: the decision test.
+            if round_no > self.n and self.approx.is_strongly_connected():
+                # Lines 29–30.
+                self._decide(round_no, self.estimate)
+
+        if self.track_history:
+            self.history[round_no] = (
+                self.pt,
+                self.approx.snapshot(),
+                self.estimate,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def approximation_at(self, round_no: int) -> RoundLabeledDigraph:
+        """``G^r_p`` — requires ``track_history=True``."""
+        if not self.track_history:
+            raise RuntimeError("history tracking is disabled")
+        return self.history[round_no][1]
+
+    def pt_at(self, round_no: int) -> frozenset[int]:
+        """``PT_p`` at the end of round ``round_no`` — requires history."""
+        if not self.track_history:
+            raise RuntimeError("history tracking is disabled")
+        return self.history[round_no][0]
+
+    def estimate_at(self, round_no: int) -> Any:
+        """``x^r_p`` — requires history."""
+        if not self.track_history:
+            raise RuntimeError("history tracking is disabled")
+        return self.history[round_no][2]
+
+    def state_snapshot(self) -> dict[str, Any]:
+        snap = super().state_snapshot()
+        snap.update(
+            {
+                "pt": sorted(self.pt),
+                "estimate": self.estimate,
+                "approx_nodes": sorted(self.approx.nodes(), key=repr),
+                "approx_edges": sorted(
+                    self.approx.labeled_edges(), key=repr
+                ),
+            }
+        )
+        return snap
+
+
+def make_processes(
+    n: int,
+    values: list[Any] | None = None,
+    track_history: bool = False,
+    purge_window: int | None = None,
+    prune_unreachable: bool = True,
+) -> list[SkeletonAgreementProcess]:
+    """Build the full process vector for a run of Algorithm 1.
+
+    ``values`` defaults to pairwise distinct proposals ``0..n-1`` — the
+    worst case for agreement (used by Theorem 2 and most experiments).
+    """
+    if values is None:
+        values = list(range(n))
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    return [
+        SkeletonAgreementProcess(
+            pid,
+            n,
+            values[pid],
+            track_history=track_history,
+            purge_window=purge_window,
+            prune_unreachable=prune_unreachable,
+        )
+        for pid in range(n)
+    ]

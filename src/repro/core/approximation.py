@@ -1,0 +1,165 @@
+"""The stable-skeleton approximation graph (Algorithm 1, lines 14–25).
+
+Every process ``p`` locally maintains a round-labeled digraph ``Gp``
+approximating the stable skeleton of the run.  Per round ``r`` the update is
+(line numbers from the paper's Algorithm 1):
+
+=====  ==============================================================
+Line   Operation
+=====  ==============================================================
+15     ``Gp <- <{p}, ∅>`` — reset
+16–17  for each timely neighbor ``q ∈ PTp``: add edge ``(q --r--> p)``
+18     ``Vp <- Vp ∪ Vq`` — union in the node sets of received graphs
+19–23  for every node pair: keep the **maximum** round label over all
+       graphs received from timely neighbors
+24     discard edges with label ``re <= r - n`` (purge window)
+25     discard nodes ``pi ≠ p`` from which ``p`` is unreachable
+=====  ==============================================================
+
+The label max-merge is why the structure is correct: by Lemma 6 an edge
+``(q' --s--> q)`` certifies ``q' ∈ PT(q, s)``, and keeping the *latest*
+certificate while purging certificates older than ``n`` rounds guarantees
+both soundness (Lemma 7: a strongly connected approximation is contained in
+a recent skeleton SCC) and completeness (Lemma 5: the approximation covers
+``C^r_p`` from round ``n`` on).
+
+The purge window ``n`` and the pruning step are exposed as parameters so the
+ablation benchmarks can demonstrate *why* the paper's choices are the right
+ones (see ``benchmarks/test_bench_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.graphs.paths import reaches
+from repro.graphs.scc import is_strongly_connected
+
+
+class ApproximationGraph:
+    """Process-local approximation ``Gp`` of the stable skeleton.
+
+    Parameters
+    ----------
+    owner:
+        The maintaining process ``p``.
+    n:
+        System size; the purge window of line 24 (edges older than ``n``
+        rounds are discarded).
+    purge_window:
+        Override of the purge window for ablation studies; defaults to
+        ``n`` (the paper's choice — provably the smallest safe value).
+    prune_unreachable:
+        Whether to perform line 25; default True (the paper's algorithm).
+        Disabling it is *only* for the ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        owner: int,
+        n: int,
+        purge_window: int | None = None,
+        prune_unreachable: bool = True,
+    ) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.owner = owner
+        self.n = n
+        self.purge_window = n if purge_window is None else purge_window
+        if self.purge_window < 1:
+            raise ValueError("purge window must be >= 1")
+        self.prune_unreachable = prune_unreachable
+        # Line 3: Gp := <{p}, ∅>.
+        self._g = RoundLabeledDigraph(nodes=[owner])
+
+    # ------------------------------------------------------------------
+    # The round update (lines 14–25)
+    # ------------------------------------------------------------------
+    def round_update(
+        self,
+        round_no: int,
+        timely: Iterable[int],
+        received_graphs: Mapping[int, RoundLabeledDigraph],
+    ) -> None:
+        """Apply one round of Algorithm 1's approximation update.
+
+        Parameters
+        ----------
+        round_no:
+            Current round ``r``.
+        timely:
+            The updated ``PTp`` (line 9 has already been applied).
+        received_graphs:
+            ``q -> Gq`` for each ``q ∈ PTp``: the approximation graph ``q``
+            broadcast this round (i.e. ``q``'s graph at the *beginning* of
+            round ``r``).
+        """
+        pt = set(timely)
+        missing = pt - set(received_graphs)
+        if missing:
+            raise ValueError(
+                f"round {round_no}: no received graph for timely neighbors "
+                f"{sorted(missing)}"
+            )
+        # Line 15: reset.
+        g = RoundLabeledDigraph(nodes=[self.owner])
+        # Lines 16–18: fresh in-edges from timely neighbors + node union.
+        for q in sorted(pt):
+            g.add_edge(q, self.owner, round_no)
+            g.add_nodes(received_graphs[q].nodes())
+        # Lines 19–23: per-pair maximum label over all received graphs.
+        # Merging each received graph with max semantics is equivalent to
+        # the paper's pairwise loop: every pair (pi, pj) with R_{i,j} ≠ ∅
+        # ends up with label max(R_{i,j}); the fresh label-r edges from
+        # line 17 dominate any older label for the same pair.
+        for q in sorted(pt):
+            g.merge_max(received_graphs[q])
+        # Line 24: purge edges with label re <= r - n.
+        g.purge_older_than(round_no - self.purge_window)
+        # Line 25: discard pi != p when p is unreachable from pi.
+        if self.prune_unreachable:
+            keep = reaches(g.unweighted(), self.owner)
+            for node in sorted(g.nodes() - keep, key=repr):
+                g.remove_node(node)
+        self._g = g
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RoundLabeledDigraph:
+        """An independent copy of ``Gp`` — what the process broadcasts.
+
+        The copy matters: the simulator evaluates all sending functions
+        before any transition, and receivers must observe the sender's
+        beginning-of-round graph even after the sender mutates its own.
+        """
+        return self._g.copy()
+
+    @property
+    def graph(self) -> RoundLabeledDigraph:
+        """The live graph (mutated by :meth:`round_update`); treat as
+        read-only."""
+        return self._g
+
+    def unweighted(self) -> DiGraph:
+        """The unweighted view used in subgraph relations and the strong
+        connectivity test."""
+        return self._g.unweighted()
+
+    def is_strongly_connected(self) -> bool:
+        """The decision test of line 28."""
+        return is_strongly_connected(self._g.unweighted())
+
+    def nodes(self) -> frozenset[int]:
+        return self._g.nodes()
+
+    def labeled_edges(self) -> frozenset[tuple[int, int, int]]:
+        return self._g.labeled_edges()
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximationGraph(owner={self.owner}, |V|={len(self._g)}, "
+            f"|E|={self._g.number_of_edges()})"
+        )

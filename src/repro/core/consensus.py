@@ -1,0 +1,42 @@
+"""The consensus specialization (§V closing remark).
+
+"Note that the algorithm actually solves consensus in sufficiently
+well-behaved runs."  Concretely: whenever the stable skeleton has a *single*
+root component (the :class:`~repro.predicates.classic.SingleRootComponent`
+predicate), Lemma 15's one-to-one correspondence between root components and
+decision values forces exactly one decision value — consensus.
+
+This module packages that usage: the processes are plain
+:class:`~repro.core.algorithm.SkeletonAgreementProcess` instances; the only
+difference is intent, captured by the helper and verified by the consensus
+integration tests (crash adversaries and single-group grouped adversaries
+both produce single-root skeletons).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.algorithm import SkeletonAgreementProcess, make_processes
+from repro.graphs.condensation import root_components
+from repro.rounds.run import Run
+
+
+def make_consensus_processes(
+    n: int, values: list[Any] | None = None, track_history: bool = False
+) -> list[SkeletonAgreementProcess]:
+    """Processes for a consensus (k = 1) deployment of Algorithm 1."""
+    return make_processes(n, values, track_history=track_history)
+
+
+def run_reached_consensus(run: Run) -> bool:
+    """Whether the run decided on exactly one value (all processes)."""
+    return run.all_decided() and len(run.decision_values()) == 1
+
+
+def consensus_was_guaranteed(run: Run) -> bool:
+    """Whether the run's stable skeleton structurally guaranteed consensus:
+    a single root component.  ``consensus_was_guaranteed(run)`` implies
+    ``run_reached_consensus(run)`` for complete runs of Algorithm 1 — the
+    implication the integration tests verify."""
+    return len(root_components(run.stable_skeleton())) == 1

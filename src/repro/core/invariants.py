@@ -1,0 +1,238 @@
+"""Runtime checkers for the paper's correctness machinery.
+
+Each checker verifies one of the paper's statements *on the fly* against a
+live simulation: attach :func:`make_invariant_hook` to a
+:class:`~repro.rounds.simulator.RoundSimulator` and every round of every run
+becomes a test of Observation 1/2, Lemmas 3, 5, 6, 7, 12 and Theorem 8.
+
+A crucial point from the paper: the approximation results (Obs. 1, Lemmas
+3–7, Thm 8) hold in **all runs, regardless of the communication predicate**
+— so the checkers are attached to adversaries that violate ``Psrcs``, too
+(the ALG-APPROX experiment).
+
+Checkers raise :class:`InvariantViolation` (an ``AssertionError`` subclass)
+with a witness description; property-based tests drive random adversaries
+through them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.algorithm import SkeletonAgreementProcess
+from repro.graphs.scc import is_strongly_connected, scc_of
+from repro.rounds.run import Run
+
+
+class InvariantViolation(AssertionError):
+    """A paper invariant failed during simulation."""
+
+
+# ----------------------------------------------------------------------
+# Per-statement checkers.  Signature: (run, round_no, processes) -> None.
+# ----------------------------------------------------------------------
+def check_observation_1(
+    run: Run, round_no: int, processes: Sequence[SkeletonAgreementProcess]
+) -> None:
+    """Observation 1: ``p ∈ G^r_p`` and no edge label ``s <= r - n``."""
+    for proc in processes:
+        g = proc.approx.graph
+        if proc.pid not in g.nodes():
+            raise InvariantViolation(
+                f"Obs.1: process {proc.pid} missing from its own "
+                f"approximation at round {round_no}"
+            )
+        min_label = g.min_label()
+        if min_label is not None and min_label <= round_no - proc.approx.purge_window:
+            raise InvariantViolation(
+                f"Obs.1: process {proc.pid} retains stale label {min_label} "
+                f"at round {round_no} (cutoff {round_no - proc.approx.purge_window})"
+            )
+
+
+def check_lemma_3(
+    run: Run, round_no: int, processes: Sequence[SkeletonAgreementProcess]
+) -> None:
+    """Lemma 3: ``q ∈ PT(p, r)``  ⇔  ``q ∈ PT_p`` and ``G^r_p`` contains the
+    edge ``q -> p`` with label exactly ``r`` (and no other label)."""
+    for proc in processes:
+        expected_pt = run.timely_neighborhood(proc.pid, round_no)
+        if proc.pt != expected_pt:
+            raise InvariantViolation(
+                f"Lemma 3(a): PT_{proc.pid} = {sorted(proc.pt)} but "
+                f"PT({proc.pid}, {round_no}) = {sorted(expected_pt)}"
+            )
+        g = proc.approx.graph
+        for q in expected_pt:
+            label = g.get_label(q, proc.pid)
+            if label != round_no:
+                raise InvariantViolation(
+                    f"Lemma 3(b,c): edge ({q} -> {proc.pid}) has label "
+                    f"{label}, expected {round_no}"
+                )
+
+
+def check_lemma_5(
+    run: Run, round_no: int, processes: Sequence[SkeletonAgreementProcess]
+) -> None:
+    """Lemma 5: for ``r >= n``, ``G^r_p ⊇ C^r_p`` (SCC of p in ``G^∩r``)."""
+    if round_no < run.n:
+        return
+    skeleton = run.skeleton(round_no)
+    for proc in processes:
+        component = scc_of(skeleton, proc.pid)
+        approx = proc.approx.unweighted()
+        missing_nodes = component - approx.nodes()
+        if missing_nodes:
+            raise InvariantViolation(
+                f"Lemma 5: C^{round_no}_{proc.pid} nodes {sorted(missing_nodes)} "
+                f"missing from approximation"
+            )
+        for u in component:
+            for v in skeleton.successors(u):
+                if v in component and not approx.has_edge(u, v):
+                    raise InvariantViolation(
+                        f"Lemma 5: skeleton-SCC edge ({u} -> {v}) missing "
+                        f"from G^{round_no}_{proc.pid}"
+                    )
+
+
+def check_lemma_6(
+    run: Run, round_no: int, processes: Sequence[SkeletonAgreementProcess]
+) -> None:
+    """Lemma 6: every edge ``(q' --s--> q) ∈ G^r_p`` certifies
+    ``q' ∈ PT(q, s)``, i.e. the edge is in the round-``s`` skeleton."""
+    for proc in processes:
+        for q2, q, s in proc.approx.graph.iter_labeled_edges():
+            if not 1 <= s <= run.num_rounds:
+                raise InvariantViolation(
+                    f"Lemma 6: label {s} outside the run at round {round_no}"
+                )
+            if not run.skeleton(s).has_edge(q2, q):
+                raise InvariantViolation(
+                    f"Lemma 6: edge ({q2} --{s}--> {q}) in G^{round_no}_"
+                    f"{proc.pid} but {q2} ∉ PT({q}, {s})"
+                )
+
+
+def check_lemma_7(
+    run: Run, round_no: int, processes: Sequence[SkeletonAgreementProcess]
+) -> None:
+    """Lemma 7 (shifted to the current round R = r + n - 1): if ``G^R_p`` is
+    strongly connected and ``R >= n``, then ``G^R_p ⊆ C^{R-n+1}_p``."""
+    if round_no < run.n:
+        return
+    earlier = run.skeleton(round_no - run.n + 1)
+    for proc in processes:
+        approx = proc.approx.unweighted()
+        if not is_strongly_connected(approx):
+            continue
+        component = scc_of(earlier, proc.pid)
+        extra = approx.nodes() - component
+        if extra:
+            raise InvariantViolation(
+                f"Lemma 7: strongly connected G^{round_no}_{proc.pid} "
+                f"contains {sorted(extra)} outside C^{round_no - run.n + 1}_"
+                f"{proc.pid}"
+            )
+
+
+def check_theorem_8(
+    run: Run, round_no: int, processes: Sequence[SkeletonAgreementProcess]
+) -> None:
+    """Theorem 8: for ``R > n``, a strongly connected ``G^R_p`` contains the
+    *stable* component ``C^∞_q`` (nodes and edges) of every ``q ∈ G^R_p``.
+
+    Requires a declared stable skeleton to know the true ``C^∞``.
+    """
+    if round_no <= run.n or run.declared_stable_graph is None:
+        return
+    stable = run.declared_stable_graph
+    for proc in processes:
+        approx = proc.approx.unweighted()
+        if not is_strongly_connected(approx):
+            continue
+        for q in approx.nodes():
+            component = scc_of(stable, q)
+            missing = component - approx.nodes()
+            if missing:
+                raise InvariantViolation(
+                    f"Thm 8: C^∞_{q} nodes {sorted(missing)} missing from "
+                    f"strongly connected G^{round_no}_{proc.pid}"
+                )
+            for u in component:
+                for v in stable.successors(u):
+                    if v in component and not approx.has_edge(u, v):
+                        raise InvariantViolation(
+                            f"Thm 8: C^∞ edge ({u} -> {v}) missing from "
+                            f"G^{round_no}_{proc.pid}"
+                        )
+
+
+class EstimateMonotonicityChecker:
+    """Observation 2 + Lemma 12, stateful across rounds.
+
+    * Observation 2: estimates never increase, except through a line-11
+      decide adoption (which fixes the final value anyway).
+    * Lemma 12: a process that does not decide by adoption keeps a constant
+      estimate from round ``n - 1`` on.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[int, object] = {}
+        self._adopted: set[int] = set()
+
+    def __call__(
+        self, run: Run, round_no: int, processes: Sequence[SkeletonAgreementProcess]
+    ) -> None:
+        for proc in processes:
+            prev = self._last.get(proc.pid)
+            current = proc.estimate
+            if proc.decided and proc.decision.value != current:
+                raise InvariantViolation(
+                    f"process {proc.pid}: estimate {current!r} deviates from "
+                    f"decision {proc.decision.value!r}"
+                )
+            if prev is not None and proc.pid not in self._adopted:
+                if current > prev:
+                    # The only sanctioned increase is a decide adoption.
+                    if proc.decided and proc.decision.round_no == round_no:
+                        self._adopted.add(proc.pid)
+                    else:
+                        raise InvariantViolation(
+                            f"Obs.2: estimate of {proc.pid} increased "
+                            f"{prev!r} -> {current!r} at round {round_no}"
+                        )
+                if round_no > run.n - 1 and round_no - 1 > run.n - 1 and current != prev:
+                    if not (proc.decided and proc.decision.round_no == round_no):
+                        raise InvariantViolation(
+                            f"Lemma 12: estimate of {proc.pid} changed "
+                            f"{prev!r} -> {current!r} at round {round_no} > n-1"
+                        )
+            self._last[proc.pid] = current
+
+
+ALL_CHECKS = {
+    "observation1": check_observation_1,
+    "lemma3": check_lemma_3,
+    "lemma5": check_lemma_5,
+    "lemma6": check_lemma_6,
+    "lemma7": check_lemma_7,
+    "theorem8": check_theorem_8,
+}
+
+
+def make_invariant_hook(*names: str):
+    """Bundle the named checkers (default: all stateless ones plus a fresh
+    monotonicity checker) into a single simulator hook."""
+    if names:
+        checks = [ALL_CHECKS[name] for name in names]
+    else:
+        checks = list(ALL_CHECKS.values())
+    checks.append(EstimateMonotonicityChecker())
+
+    def hook(run: Run, round_no: int, processes) -> None:
+        for check in checks:
+            check(run, round_no, processes)
+
+    return hook

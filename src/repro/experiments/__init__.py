@@ -1,0 +1,56 @@
+"""Paper experiments: Figure 1, the theorem constructions, and the
+parameter-sweep harness used by the benchmarks."""
+
+from repro.experiments.figure1 import (
+    FIGURE1_N,
+    figure1_adversary,
+    figure1_run,
+    figure1_panels,
+    render_figure1,
+)
+from repro.experiments.theorem2 import theorem2_experiment, Theorem2Report
+from repro.experiments.eventual import eventual_lower_bound, EventualReport
+from repro.experiments.sweeps import (
+    run_algorithm1,
+    SweepResult,
+    agreement_sweep,
+    termination_sweep,
+)
+from repro.experiments.ablation import (
+    AblationOutcome,
+    MinOverAllProcess,
+    line27_counterexample,
+    run_ablation,
+    standard_ablation_suite,
+)
+from repro.experiments.duality import (
+    DualityProfile,
+    achievable_k,
+    duality_profile,
+    duality_sweep,
+)
+
+__all__ = [
+    "FIGURE1_N",
+    "figure1_adversary",
+    "figure1_run",
+    "figure1_panels",
+    "render_figure1",
+    "theorem2_experiment",
+    "Theorem2Report",
+    "eventual_lower_bound",
+    "EventualReport",
+    "run_algorithm1",
+    "SweepResult",
+    "agreement_sweep",
+    "termination_sweep",
+    "AblationOutcome",
+    "MinOverAllProcess",
+    "line27_counterexample",
+    "run_ablation",
+    "standard_ablation_suite",
+    "DualityProfile",
+    "achievable_k",
+    "duality_profile",
+    "duality_sweep",
+]

@@ -1,0 +1,213 @@
+"""Ablations of Algorithm 1's design choices (DESIGN.md §4).
+
+Three knobs, each provably load-bearing in the paper's proofs:
+
+* **Purge window** (line 24, ``re <= r - n``).  Smaller windows discard
+  certificates that Lemma 4 still needs (information can legitimately be
+  ``n - 1`` rounds old after traversing the longest path), breaking the
+  completeness half (Lemma 5) of the approximation.  Larger windows retain
+  stale edges beyond what Lemma 7's soundness argument tolerates.
+* **Unreachable-node pruning** (line 25).  Without it, the approximation
+  accumulates nodes that cannot reach ``p``; the strong-connectivity test
+  then keeps failing for processes that should decide (delaying or
+  preventing line-29 decisions).
+* **Estimate source restriction** (line 27, min over ``PT_p`` only).
+  :class:`MinOverAllProcess` takes the min over *all* received estimates —
+  including transient, non-timely senders — which voids Lemma 14's common-
+  estimate guarantee inside strongly connected components.
+
+:func:`run_ablation` executes a variant across seeds with all lemma
+checkers attached and tabulates: invariant violations, agreement outcomes,
+termination, and decision latency.  The ABLATION benchmark asserts the
+paper's configuration is the only one that is uniformly clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.core.algorithm import SkeletonAgreementProcess
+from repro.core.invariants import InvariantViolation, make_invariant_hook
+from repro.rounds.messages import Message
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+class MinOverAllProcess(SkeletonAgreementProcess):
+    """Line-27 ablation: min over *all* received estimates, not just PT_p.
+
+    The transition replicates Algorithm 1 exactly except that line 27 reads
+    every received message (including transient, non-timely senders), so the
+    estimate entering the line-28/29 decision is the unrestricted minimum.
+    This voids Lemma 14: a transient edge landing on one member of a root
+    component in its decision round makes that member decide a foreign
+    value its component peers never saw — see
+    :func:`line27_counterexample`.
+    """
+
+    def transition(self, round_no: int, received: Mapping[int, Message]) -> None:
+        # Line 9.
+        self.pt = self.pt & frozenset(received)
+        # Lines 10-13.
+        if not self.decided:
+            deciders = sorted(q for q in self.pt if received[q].kind == "decide")
+            if deciders:
+                q = deciders[0]
+                self.estimate = received[q].payload["x"]
+                self._decide(round_no, self.estimate)
+        # Lines 14-25.
+        graphs = {q: received[q].payload["graph"] for q in self.pt}
+        self.approx.round_update(round_no, self.pt, graphs)
+        # Lines 26-30 with the ablated line 27.
+        if not self.decided:
+            candidates = [msg.payload["x"] for msg in received.values()]
+            if candidates:
+                self.estimate = min(candidates)
+            if round_no > self.n and self.approx.is_strongly_connected():
+                self._decide(round_no, self.estimate)
+        if self.track_history:
+            self.history[round_no] = (
+                self.pt,
+                self.approx.snapshot(),
+                self.estimate,
+            )
+
+
+def line27_counterexample():
+    """A crafted Psrcs(2) run on which :class:`MinOverAllProcess` decides
+    3 > k = 2 values while the paper's algorithm decides 2.
+
+    System of n = 4: group A = ``{0, 1}`` (clique, values 10, 11), group
+    B = ``{2, 3}`` (star with source 2, values 6, 0).  Process 3's estimate
+    ``min(0, 6) = 0`` is *not* any component's decision value (B decides
+    source 2's flooded minimum... its root component is the singleton
+    ``{2}``, which decides 6; 3 adopts 6).  A single transient edge
+    ``3 -> 0`` in round 5 — exactly the round where A's members pass the
+    ``r > n`` decision guard — leaks estimate 0 into process 0:
+
+    * paper's line 27 ignores it (``3 ∉ PT(0, 5)``) → A decides 10;
+    * the ablated line 27 adopts it → process 0 decides 0 while process 1
+      decides 10 — the same root component splits, and the run has the
+      three values {0, 10, 6}.
+
+    Returns ``(adversary, values, k, n)``.
+    """
+    from repro.adversaries.static import ScheduleAdversary
+    from repro.graphs.digraph import DiGraph
+
+    n = 4
+    stable = DiGraph(nodes=range(n))
+    stable.add_edges([(0, 1), (1, 0)])  # group A clique
+    stable.add_edges([(2, 3)])          # group B star (source 2)
+    stable = stable.with_self_loops()
+    leak_round = stable.copy()
+    leak_round.add_edge(3, 0)           # the transient leak
+    # rounds 1-4 stable, round 5 the leak, tail stable
+    schedule = [stable, stable, stable, stable, leak_round]
+    adversary = ScheduleAdversary(n, schedule, tail=stable)
+    values = [10, 11, 6, 0]
+    return adversary, values, 2, n
+
+
+@dataclass(frozen=True)
+class AblationOutcome:
+    """Aggregate result of one variant across seeds."""
+
+    variant: str
+    runs: int
+    invariant_violations: int
+    agreement_violations: int
+    termination_failures: int
+    max_decision_round: int | None
+
+    def as_row(self) -> list:
+        return [
+            self.variant,
+            self.runs,
+            self.invariant_violations,
+            self.agreement_violations,
+            self.termination_failures,
+            self.max_decision_round,
+        ]
+
+    HEADERS = [
+        "variant",
+        "runs",
+        "lemma_violations",
+        "agreement_violations",
+        "non_terminating",
+        "max_decide_rnd",
+    ]
+
+
+def run_ablation(
+    variant: str,
+    n: int = 9,
+    k: int = 3,
+    seeds: range = range(8),
+    noise: float = 0.35,
+    purge_window: int | None = None,
+    prune_unreachable: bool = True,
+    min_over_all: bool = False,
+) -> AblationOutcome:
+    """Run one variant across seeds with full instrumentation."""
+    invariant_violations = 0
+    agreement_violations = 0
+    termination_failures = 0
+    max_decide: int | None = None
+    for seed in seeds:
+        adv = GroupedSourceAdversary(
+            n, num_groups=k, seed=seed, noise=noise, topology="cycle"
+        )
+        cls = MinOverAllProcess if min_over_all else SkeletonAgreementProcess
+        procs = [
+            cls(
+                pid,
+                n,
+                pid,
+                purge_window=purge_window,
+                prune_unreachable=prune_unreachable,
+            )
+            for pid in range(n)
+        ]
+        sim = RoundSimulator(
+            procs,
+            adv,
+            SimulationConfig(max_rounds=8 * n),
+            invariant_hooks=[make_invariant_hook()],
+        )
+        try:
+            run = sim.run()
+        except InvariantViolation:
+            invariant_violations += 1
+            continue
+        report = check_agreement_properties(run, k)
+        if not report.k_agreement.holds or not report.validity.holds:
+            agreement_violations += 1
+        if not report.termination.holds:
+            termination_failures += 1
+        rounds = [d.round_no for d in run.decisions.values()]
+        if rounds:
+            max_decide = max(max_decide or 0, max(rounds))
+    return AblationOutcome(
+        variant=variant,
+        runs=len(seeds),
+        invariant_violations=invariant_violations,
+        agreement_violations=agreement_violations,
+        termination_failures=termination_failures,
+        max_decision_round=max_decide,
+    )
+
+
+def standard_ablation_suite(n: int = 9, k: int = 3, seeds: range = range(8)):
+    """The DESIGN.md §4 variant matrix."""
+    return [
+        run_ablation("paper (window=n, prune, PT-min)", n, k, seeds),
+        run_ablation("window=n/2", n, k, seeds, purge_window=max(1, n // 2)),
+        run_ablation("window=n-1", n, k, seeds, purge_window=n - 1),
+        run_ablation("window=2n", n, k, seeds, purge_window=2 * n),
+        run_ablation("no pruning", n, k, seeds, prune_unreachable=False),
+        run_ablation("min over all received", n, k, seeds, min_over_all=True),
+    ]

@@ -1,0 +1,126 @@
+"""Exploring the §V duality: communication predicates vs graph properties.
+
+The paper closes with a program: "finding a graph-theoretic
+characterization of the weakest synchrony requirements for different
+agreement problems and further exploring the duality between communication
+predicates and graph-theoretic properties."
+
+This module makes the duality concrete for the objects the paper already
+relates.  For a stable skeleton ``G``:
+
+* ``rc(G)``   — the number of root components.  Algorithm 1's achievable
+  agreement: it decides at most ``rc(G)`` values on any run with stable
+  skeleton ``G`` (Lemma 15's correspondence), and the Theorem 2 argument
+  generalizes to show *no* algorithm can do better when root components
+  cannot learn each other's values: each root component must decide on its
+  own closure of input values.
+* ``α(G)``    — the independence number of the conflict graph, i.e. the
+  tightest ``k`` with ``Psrcs(k)``.
+
+Theorem 1 is the inequality ``rc(G) <= α(G)``; the *duality gap*
+``α(G) - rc(G)`` measures how much the predicate over-estimates the
+structural difficulty (the gap is 0 on the paper's tight constructions and
+strictly positive e.g. on directed chains).  :func:`duality_profile`
+computes these per skeleton; :func:`duality_sweep` tabulates gap statistics
+over random skeleton ensembles — the DUALITY experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.condensation import count_root_components
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+from repro.predicates.psrcs import Psrcs
+
+
+@dataclass(frozen=True)
+class DualityProfile:
+    """Structural profile of one stable skeleton."""
+
+    n: int
+    root_components: int
+    alpha: int  # tightest k with Psrcs(k)
+
+    @property
+    def gap(self) -> int:
+        """``α - rc >= 0`` (Theorem 1)."""
+        return self.alpha - self.root_components
+
+    @property
+    def theorem1_holds(self) -> bool:
+        return self.root_components <= self.alpha
+
+
+def duality_profile(skeleton: DiGraph) -> DualityProfile:
+    """Compute ``rc`` and ``α`` for a stable skeleton."""
+    return DualityProfile(
+        n=skeleton.number_of_nodes(),
+        root_components=count_root_components(skeleton),
+        alpha=Psrcs(1).tightest_k(skeleton),
+    )
+
+
+def achievable_k(skeleton: DiGraph) -> int:
+    """The structural agreement number: the number of root components.
+
+    Algorithm 1 decides at most this many values on runs with this stable
+    skeleton; the Theorem-2-style indistinguishability argument shows no
+    algorithm achieves fewer when the root components are mutually
+    unreachable.  This is the graph-theoretic characterization §V asks
+    about, restricted to the objects the paper proves things for.
+    """
+    return count_root_components(skeleton)
+
+
+def chain_skeleton(n: int) -> DiGraph:
+    """The canonical positive-gap witness: a directed chain.
+
+    One root component (``{0}``), but ``PT`` sets along the chain are
+    pairwise disjoint beyond distance 2, so ``α`` grows linearly:
+    ``α(chain_n) = ceil(n / 2)``.  The duality gap is unbounded.
+    """
+    g = DiGraph(nodes=range(n))
+    for q in range(n):
+        g.add_edge(q, q)
+    for q in range(n - 1):
+        g.add_edge(q, q + 1)
+    return g
+
+
+def duality_sweep(
+    ns: tuple[int, ...] = (6, 8, 10),
+    densities: tuple[float, ...] = (0.05, 0.15, 0.3),
+    seeds: range = range(5),
+) -> list[list]:
+    """Tabulate (n, p, mean rc, mean α, mean gap, Theorem 1 violations)
+    over random skeleton ensembles."""
+    rows: list[list] = []
+    for n in ns:
+        for p in densities:
+            rcs, alphas, gaps, violations = [], [], [], 0
+            for seed in seeds:
+                g = gnp_random(
+                    n, p, np.random.default_rng([n, int(p * 1000), seed]),
+                    self_loops=True,
+                )
+                profile = duality_profile(g)
+                rcs.append(profile.root_components)
+                alphas.append(profile.alpha)
+                gaps.append(profile.gap)
+                if not profile.theorem1_holds:
+                    violations += 1
+            rows.append(
+                [
+                    n,
+                    p,
+                    float(np.mean(rcs)),
+                    float(np.mean(alphas)),
+                    float(np.mean(gaps)),
+                    violations,
+                ]
+            )
+    return rows

@@ -1,0 +1,69 @@
+"""The ``♦Psrcs(k)`` lower-bound experiment (§III discussion).
+
+The paper argues perpetual synchrony is necessary: under the *eventual*
+predicate, a long enough all-isolated prefix is indistinguishable from the
+forever-isolated run, so every process must decide its own value — ``n``
+distinct decisions even though ``♦Psrcs(k)`` holds.
+
+:func:`eventual_lower_bound` makes the argument quantitative for
+Algorithm 1 — and the result is *sharper* than the generic
+indistinguishability bound: because ``PT(p)`` is a prefix intersection
+(equation (7)), it never recovers from a bad round.  With the all-isolated
+bad graph,
+
+* ``B = 0``: the single-group tail forces consensus (1 value);
+* ``B >= 1``: already one isolated round pins ``PT(p) = {p}`` forever, so
+  every approximation is the strongly connected singleton ``{p}`` at round
+  ``n + 1`` and **all n processes decide their own value** — the paper's
+  worst case, reached immediately.
+
+The EVENTUAL-LB benchmark tabulates this step function; it is the
+quantitative face of the paper's claim that *perpetual* synchrony is
+necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversaries.eventual import EventuallyGoodAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.core.algorithm import make_processes
+from repro.rounds.run import Run
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+@dataclass(frozen=True)
+class EventualReport:
+    n: int
+    bad_rounds: int
+    run: Run
+    distinct_decisions: int
+    all_decided_own: bool
+
+
+def eventual_lower_bound(
+    n: int, bad_rounds: int, seed: int = 0, max_rounds: int | None = None
+) -> EventualReport:
+    """Algorithm 1 under ``♦Psrcs``: isolated prefix, then one group.
+
+    The good phase is a single-group clique adversary — the most benign
+    possible tail, to isolate the effect of the prefix.
+    """
+    good = GroupedSourceAdversary(
+        n, num_groups=1, seed=seed, topology="clique"
+    )
+    adversary = EventuallyGoodAdversary(good, bad_rounds=bad_rounds)
+    processes = make_processes(n)
+    config = SimulationConfig(max_rounds=max_rounds or (bad_rounds + 4 * n + 4))
+    run = RoundSimulator(processes, adversary, config).run()
+    decided_own = run.all_decided() and all(
+        run.decisions[p].value == run.initial_values[p] for p in range(n)
+    )
+    return EventualReport(
+        n=n,
+        bad_rounds=bad_rounds,
+        run=run,
+        distinct_decisions=len(run.decision_values()),
+        all_decided_own=decided_own,
+    )

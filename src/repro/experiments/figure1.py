@@ -1,0 +1,138 @@
+"""The Figure 1 instance: 6 processes, ``Psrcs(3)`` holds.
+
+The paper's figure shows (a) the round-2 skeleton ``G^∩2``, (b) the stable
+skeleton ``G^∩∞`` with root components ``{p1, p2}`` and ``{p3, p4, p5}``,
+and (c)–(h) process ``p6``'s approximation ``G^r_{p6}`` for rounds 1–6.
+
+The arXiv *text* source does not carry the drawings' exact edges, so this
+module instantiates a concrete run matching every property the paper's text
+states (see DESIGN.md, experiment FIG1):
+
+* ``Psrcs(3)`` holds (Figure 1 caption) — verified by the exact checker;
+* the stable skeleton has exactly the two root components named in §II;
+* ``G^∩2 ⊋ G^∩∞``: extra edges are timely in rounds 1–2 and die at round 3;
+* self-loops everywhere (caption: ``∀pi: pi ∈ PT(pi)``), omitted in
+  rendering, as in the figure.
+
+Process ids map the paper's ``p1..p6`` to ``0..5``.  The stable skeleton
+(self-loops omitted)::
+
+    p1 <-> p2            (root component {p1, p2})
+    p3 -> p4 -> p5 -> p3 (root component {p3, p4, p5})
+    p2 -> p6,  p5 -> p6  (p6 downstream of both components)
+
+Transient extra edges, timely only in rounds 1–2 (making Figure 1a a
+strict supergraph of 1b): ``p6 -> p1``, ``p3 -> p2``, ``p4 -> p6``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversaries.static import ScheduleAdversary
+from repro.core.algorithm import SkeletonAgreementProcess, make_processes
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.rounds.run import Run
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+from repro.viz.ascii import render_edge_list, render_labeled
+
+#: Number of processes in the Figure 1 system.
+FIGURE1_N = 6
+
+# Paper names to 0-based ids: p1=0, p2=1, p3=2, p4=3, p5=4, p6=5.
+P1, P2, P3, P4, P5, P6 = range(6)
+
+#: Stable skeleton edges (self-loops added by the adversary).
+STABLE_EDGES = [
+    (P1, P2), (P2, P1),          # root component {p1, p2}
+    (P3, P4), (P4, P5), (P5, P3),  # root component {p3, p4, p5}
+    (P2, P6), (P5, P6),          # p6 hears both components
+]
+
+#: Extra edges timely only in rounds 1-2 (Figure 1a minus 1b).
+TRANSIENT_EDGES = [(P6, P1), (P3, P2), (P4, P6)]
+
+#: The two root components the paper names for Figure 1b.
+ROOT_COMPONENTS = (frozenset({P1, P2}), frozenset({P3, P4, P5}))
+
+
+def _stable_graph() -> DiGraph:
+    g = DiGraph(nodes=range(FIGURE1_N), edges=STABLE_EDGES)
+    return g.with_self_loops()
+
+
+def _early_graph() -> DiGraph:
+    g = _stable_graph()
+    g.add_edges(TRANSIENT_EDGES)
+    return g
+
+
+def figure1_adversary() -> ScheduleAdversary:
+    """Rounds 1–2 play the early graph; every later round the stable one."""
+    early = _early_graph()
+    return ScheduleAdversary(
+        FIGURE1_N,
+        schedule=[early, early],
+        tail=_stable_graph(),
+    )
+
+
+def figure1_run(
+    max_rounds: int = 20, values: list | None = None
+) -> tuple[Run, list[SkeletonAgreementProcess]]:
+    """Simulate Algorithm 1 on the Figure 1 system.
+
+    Proposal values default to the paper-style ``p_i`` proposes ``i``
+    (1-based), so the expected decisions are ``1`` (component ``{p1, p2}``
+    and downstream ``p6``) and ``3`` (component ``{p3, p4, p5}``).
+    """
+    if values is None:
+        values = [i + 1 for i in range(FIGURE1_N)]
+    processes = make_processes(FIGURE1_N, values, track_history=True)
+    sim = RoundSimulator(
+        processes,
+        figure1_adversary(),
+        SimulationConfig(max_rounds=max_rounds, record_messages=True),
+    )
+    return sim.run(), processes
+
+
+@dataclass(frozen=True)
+class Figure1Panels:
+    """The eight panels of Figure 1."""
+
+    skeleton_round2: DiGraph                    # (a) G^∩2
+    stable_skeleton: DiGraph                    # (b) G^∩∞
+    approximations: dict[int, RoundLabeledDigraph]  # (c)-(h): r -> G^r_{p6}
+
+
+def figure1_panels(max_rounds: int = 20) -> Figure1Panels:
+    """Regenerate all Figure 1 panels from a fresh simulation."""
+    run, processes = figure1_run(max_rounds=max_rounds)
+    p6 = processes[P6]
+    approximations = {r: p6.approximation_at(r) for r in range(1, 7)}
+    return Figure1Panels(
+        skeleton_round2=run.skeleton(2),
+        stable_skeleton=run.stable_skeleton(),
+        approximations=approximations,
+    )
+
+
+def render_figure1(max_rounds: int = 20) -> str:
+    """The full text rendering of Figure 1 (a)–(h), self-loops omitted."""
+    panels = figure1_panels(max_rounds=max_rounds)
+    parts = [
+        render_edge_list(panels.skeleton_round2, title="(a) G^∩2"),
+        "",
+        render_edge_list(panels.stable_skeleton, title="(b) G^∩∞"),
+    ]
+    for idx, r in enumerate(sorted(panels.approximations)):
+        letter = chr(ord("c") + idx)
+        parts.append("")
+        parts.append(
+            render_labeled(
+                panels.approximations[r], title=f"({letter}) G^{r}_p6"
+            )
+        )
+    return "\n".join(parts)

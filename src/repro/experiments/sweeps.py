@@ -1,0 +1,166 @@
+"""Parameter-sweep harness.
+
+One entry point per experiment family; each returns structured
+:class:`SweepResult` rows that the benchmarks print as tables (and the
+tests assert on).  Everything is seed-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.adversaries.base import Adversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.analysis.stats import decision_stats
+from repro.core.algorithm import make_processes
+from repro.graphs.condensation import root_components
+from repro.predicates.psrcs import Psrcs
+from repro.rounds.run import Run
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+def run_algorithm1(
+    adversary: Adversary,
+    values: list[Any] | None = None,
+    max_rounds: int | None = None,
+    track_history: bool = False,
+    record_messages: bool = False,
+    invariant_hooks: Sequence = (),
+    purge_window: int | None = None,
+    prune_unreachable: bool = True,
+) -> Run:
+    """Simulate Algorithm 1 against ``adversary`` with distinct inputs.
+
+    ``max_rounds`` defaults to a generous multiple of Lemma 11's bound for
+    construct-by-design adversaries (stabilization happens within the noise
+    quiet period, so ``6n + 20`` is ample)."""
+    n = adversary.n
+    processes = make_processes(
+        n,
+        values,
+        track_history=track_history,
+        purge_window=purge_window,
+        prune_unreachable=prune_unreachable,
+    )
+    config = SimulationConfig(
+        max_rounds=max_rounds or (6 * n + 20),
+        record_messages=record_messages,
+        record_states=False,
+    )
+    return RoundSimulator(
+        processes, adversary, config, invariant_hooks=invariant_hooks
+    ).run()
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One row of a sweep table."""
+
+    n: int
+    k: int
+    num_groups: int
+    seed: int
+    noise: float
+    root_components: int
+    psrcs_holds: bool
+    distinct_decisions: int
+    all_decided: bool
+    last_decision_round: int | None
+    lemma11_bound: int | None
+
+    def as_row(self) -> list:
+        return [
+            self.n,
+            self.k,
+            self.num_groups,
+            self.seed,
+            self.noise,
+            self.root_components,
+            self.psrcs_holds,
+            self.distinct_decisions,
+            self.all_decided,
+            self.last_decision_round,
+            self.lemma11_bound,
+        ]
+
+    HEADERS = [
+        "n",
+        "k",
+        "groups",
+        "seed",
+        "noise",
+        "roots",
+        "Psrcs(k)",
+        "values",
+        "decided",
+        "last_rnd",
+        "bound",
+    ]
+
+
+def _one_grouped_run(
+    n: int, k: int, num_groups: int, seed: int, noise: float, topology: str
+) -> SweepResult:
+    adversary = GroupedSourceAdversary(
+        n, num_groups=num_groups, seed=seed, noise=noise, topology=topology
+    )
+    run = run_algorithm1(adversary)
+    stable = run.stable_skeleton()
+    stats = decision_stats(run)
+    report = check_agreement_properties(run, k)
+    return SweepResult(
+        n=n,
+        k=k,
+        num_groups=num_groups,
+        seed=seed,
+        noise=noise,
+        root_components=len(root_components(stable)),
+        psrcs_holds=Psrcs(k).check_skeleton(stable).holds,
+        distinct_decisions=report.num_decision_values,
+        all_decided=report.termination.holds,
+        last_decision_round=stats.last_decision_round,
+        lemma11_bound=stats.lemma11_bound,
+    )
+
+
+def agreement_sweep(
+    ns: Sequence[int],
+    ks: Sequence[int],
+    seeds: Sequence[int],
+    noise: float = 0.15,
+    topology: str = "cycle",
+) -> list[SweepResult]:
+    """ALG-AGREE / THM1: for every (n, k, seed) with every feasible group
+    count ``m <= k``, run Algorithm 1 and record root components, predicate
+    status and decision-value counts."""
+    rows: list[SweepResult] = []
+    for n in ns:
+        for k in ks:
+            if k >= n:
+                continue
+            for m in range(1, k + 1):
+                if m > n:
+                    continue
+                for seed in seeds:
+                    rows.append(
+                        _one_grouped_run(n, k, m, seed, noise, topology)
+                    )
+    return rows
+
+
+def termination_sweep(
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    noise: float = 0.15,
+    num_groups: int = 2,
+) -> list[SweepResult]:
+    """ALG-TERM: decision latency vs Lemma 11's ``r_ST + 2n - 1`` bound
+    across system sizes."""
+    rows: list[SweepResult] = []
+    for n in ns:
+        m = min(num_groups, n)
+        for seed in seeds:
+            rows.append(_one_grouped_run(n, m, m, seed, noise, "cycle"))
+    return rows

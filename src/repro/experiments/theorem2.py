@@ -1,0 +1,87 @@
+"""The Theorem 2 experiment: the impossibility construction, executed.
+
+Theorem 2's proof constructs a run ``α`` (our
+:class:`~repro.adversaries.partition.PartitionAdversary`) in which *any*
+algorithm satisfying validity + termination must produce ``k`` distinct
+decisions — hence ``(k-1)``-set agreement is unsolvable under ``Psrcs(k)``.
+
+This experiment executes Algorithm 1 on ``α`` with pairwise distinct inputs
+and checks the whole chain of the proof:
+
+1. ``Psrcs(k)`` holds on the run (the exact predicate checker);
+2. ``Psrcs(k-1)`` is violated (the construction is on the boundary);
+3. Algorithm 1 terminates and produces **exactly** ``k`` distinct values —
+   meeting its own k-agreement bound while witnessing that ``k-1`` is
+   impossible;
+4. each loner and the source decide their own input (the
+   indistinguishability core of the proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversaries.partition import PartitionAdversary
+from repro.analysis.properties import AgreementReport, check_agreement_properties
+from repro.core.algorithm import make_processes
+from repro.predicates.psrcs import Psrcs
+from repro.rounds.run import Run
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+@dataclass(frozen=True)
+class Theorem2Report:
+    """Everything the THM2 experiment asserts."""
+
+    n: int
+    k: int
+    run: Run
+    agreement: AgreementReport
+    psrcs_k_holds: bool
+    psrcs_k_minus_1_holds: bool
+    distinct_decisions: int
+    isolated_decided_own: bool
+
+    @property
+    def confirms_theorem(self) -> bool:
+        """The full Theorem 2 shape: predicate boundary + exactly k values
+        + forced self-decisions + Algorithm 1 within its own bound."""
+        return (
+            self.psrcs_k_holds
+            and (self.k == 1 or not self.psrcs_k_minus_1_holds)
+            and self.distinct_decisions == self.k
+            and self.isolated_decided_own
+            and self.agreement.all_hold
+        )
+
+
+def theorem2_experiment(
+    n: int, k: int, max_rounds: int | None = None
+) -> Theorem2Report:
+    """Run Algorithm 1 on the Theorem 2 adversary with distinct inputs."""
+    adversary = PartitionAdversary(n, k)
+    processes = make_processes(n)  # distinct values 0..n-1
+    config = SimulationConfig(max_rounds=max_rounds or (4 * n + 4))
+    run = RoundSimulator(processes, adversary, config).run()
+
+    stable = run.stable_skeleton()
+    psrcs_k = Psrcs(k).check_skeleton(stable).holds
+    psrcs_km1 = (
+        Psrcs(k - 1).check_skeleton(stable).holds if k >= 2 else True
+    )
+    isolated_ok = all(
+        run.decisions[p].value == run.initial_values[p]
+        for p in adversary.isolated_deciders()
+        if p in run.decisions
+    ) and all(p in run.decisions for p in adversary.isolated_deciders())
+
+    return Theorem2Report(
+        n=n,
+        k=k,
+        run=run,
+        agreement=check_agreement_properties(run, k),
+        psrcs_k_holds=psrcs_k,
+        psrcs_k_minus_1_holds=psrcs_km1,
+        distinct_decisions=len(run.decision_values()),
+        isolated_decided_own=isolated_ok,
+    )

@@ -1,0 +1,61 @@
+"""Directed-graph substrate used throughout the reproduction.
+
+The paper's objects — per-round communication graphs :math:`G^r`, skeleton
+graphs :math:`G^{\\cap r}`, the stable skeleton :math:`G^{\\cap\\infty}` and the
+per-process *approximation graphs* :math:`G_p` — are all directed graphs over
+a fixed finite process set.  This package provides:
+
+* :class:`~repro.graphs.digraph.DiGraph` — a small, strict directed-graph
+  container with set semantics (union / intersection / induced subgraphs),
+* strongly connected components (:mod:`repro.graphs.scc`; iterative Tarjan and
+  Kosaraju),
+* condensation DAGs and root components (:mod:`repro.graphs.condensation`),
+* reachability and path utilities (:mod:`repro.graphs.paths`),
+* :class:`~repro.graphs.labeled.RoundLabeledDigraph` — the weighted digraph of
+  Algorithm 1 whose edges carry round labels,
+* graph generators (:mod:`repro.graphs.generators`),
+* vectorized NumPy boolean-matrix kernels (:mod:`repro.graphs.matrices`),
+* an exact maximum-independent-set solver (:mod:`repro.graphs.independent_set`)
+  used by the :math:`P_{srcs}(k)` predicate checker.
+"""
+
+from repro.graphs.digraph import DiGraph, Edge
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.graphs.scc import strongly_connected_components, is_strongly_connected
+from repro.graphs.condensation import (
+    Condensation,
+    condensation,
+    root_components,
+    sink_components,
+)
+from repro.graphs.paths import (
+    ancestors,
+    descendants,
+    has_path,
+    reachable_from,
+    reaches,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.graphs.independent_set import independence_number, maximum_independent_set
+
+__all__ = [
+    "DiGraph",
+    "Edge",
+    "RoundLabeledDigraph",
+    "strongly_connected_components",
+    "is_strongly_connected",
+    "Condensation",
+    "condensation",
+    "root_components",
+    "sink_components",
+    "ancestors",
+    "descendants",
+    "has_path",
+    "reachable_from",
+    "reaches",
+    "shortest_path",
+    "shortest_path_lengths",
+    "independence_number",
+    "maximum_independent_set",
+]

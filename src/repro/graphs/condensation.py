@@ -1,0 +1,135 @@
+"""Condensation DAGs and root components.
+
+Contracting each strongly connected component of a digraph to a single node
+yields an acyclic graph — the *condensation*.  The paper uses this twice:
+
+* **Root components** (§II): an SCC with no incoming edge from outside
+  itself.  Theorem 1 bounds their number by ``k`` under ``Psrcs(k)``; the
+  one-to-one correspondence between root components of the stable skeleton
+  and distinct decision values is the paper's headline structural insight.
+* **Termination** (Lemma 11): every node of the condensation is reachable
+  from some root, so decision messages flood from root components to all
+  processes within ``n - 1`` extra rounds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import strongly_connected_components
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Condensation:
+    """The condensation of a digraph.
+
+    Attributes
+    ----------
+    components:
+        The SCCs, indexed ``0 .. m-1``.
+    dag:
+        A :class:`DiGraph` on component indices; edge ``i -> j`` iff some
+        edge of the original graph goes from a node of component ``i`` to a
+        node of component ``j`` (``i != j``).  Acyclic by construction.
+    component_of:
+        Mapping from original node to its component index.
+    """
+
+    components: tuple[frozenset[Node], ...]
+    dag: DiGraph
+    component_of: dict[Node, int] = field(compare=False)
+
+    def root_indices(self) -> list[int]:
+        """Indices of components with no incoming DAG edge."""
+        return [i for i in range(len(self.components)) if self.dag.in_degree(i) == 0]
+
+    def sink_indices(self) -> list[int]:
+        """Indices of components with no outgoing DAG edge."""
+        return [i for i in range(len(self.components)) if self.dag.out_degree(i) == 0]
+
+    def roots(self) -> list[frozenset[Node]]:
+        """The root components themselves."""
+        return [self.components[i] for i in self.root_indices()]
+
+    def sinks(self) -> list[frozenset[Node]]:
+        """The sink components themselves."""
+        return [self.components[i] for i in self.sink_indices()]
+
+    def topological_order(self) -> list[int]:
+        """Component indices in topological order of the DAG (roots first).
+
+        Kahn's algorithm; deterministic given the component indexing.
+        """
+        in_deg = {i: self.dag.in_degree(i) for i in range(len(self.components))}
+        ready = sorted(i for i, d in in_deg.items() if d == 0)
+        order: list[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in sorted(self.dag.successors(node)):
+                in_deg[succ] -= 1
+                if in_deg[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        if len(order) != len(self.components):  # pragma: no cover - impossible
+            raise RuntimeError("condensation DAG contains a cycle")
+        return order
+
+
+def condensation(graph: DiGraph) -> Condensation:
+    """Compute the condensation of ``graph``.
+
+    The component indexing is deterministic: components are sorted by their
+    smallest element (via ``repr`` for heterogeneous node types), making the
+    result reproducible across runs.
+    """
+    sccs = strongly_connected_components(graph)
+    sccs_sorted = sorted(sccs, key=lambda c: repr(min(c, key=repr)))
+    components = tuple(sccs_sorted)
+    component_of: dict[Node, int] = {}
+    for idx, comp in enumerate(components):
+        for node in comp:
+            component_of[node] = idx
+    dag = DiGraph(nodes=range(len(components)))
+    for u, v in graph.iter_edges():
+        cu, cv = component_of[u], component_of[v]
+        if cu != cv:
+            dag.add_edge(cu, cv)
+    return Condensation(components=components, dag=dag, component_of=component_of)
+
+
+def is_root_component(graph: DiGraph, component: frozenset[Node]) -> bool:
+    """The paper's definition (§II): ``C`` is a root component of ``G`` iff
+    ``∀p ∈ C ∀q ∈ G: (q -> p) ∈ G ⇒ q ∈ C``.
+
+    The caller is responsible for passing an actual SCC; this predicate only
+    checks the no-incoming-edges condition.
+    """
+    return all(
+        q in component
+        for p in component
+        for q in graph.predecessors(p)
+    )
+
+
+def root_components(graph: DiGraph) -> list[frozenset[Node]]:
+    """All root components of ``graph``.
+
+    Lemma 11's first step guarantees this list is nonempty for any nonempty
+    graph: the condensation is a DAG, hence has at least one source.
+    """
+    return condensation(graph).roots()
+
+
+def sink_components(graph: DiGraph) -> list[frozenset[Node]]:
+    """All sink components (SCCs without outgoing edges)."""
+    return condensation(graph).sinks()
+
+
+def count_root_components(graph: DiGraph) -> int:
+    """Number of root components — the quantity bounded by Theorem 1."""
+    return len(root_components(graph))

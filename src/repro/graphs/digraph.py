@@ -1,0 +1,340 @@
+"""A strict directed-graph container with set semantics.
+
+This is the workhorse data structure of the reproduction.  It deliberately
+mirrors the paper's conventions:
+
+* A graph is a pair :math:`\\langle V, E \\rangle` of a node set and a set of
+  directed edges; both are explicit (a node may exist without edges).
+* Intersection follows the paper's footnote 3:
+  :math:`G \\cap G' := \\langle V \\cap V', E \\cap E' \\rangle`.
+* The subgraph relation :math:`G \\supseteq G'` compares node *and* edge sets.
+
+The implementation keeps both successor and predecessor adjacency sets so
+that in/out neighborhood queries — the paper's timely neighborhoods
+``PT(p, r)`` are exactly in-neighborhoods of skeleton graphs — are O(1) to
+locate and O(degree) to enumerate.
+
+Nodes may be any hashable object; the rest of the code base uses ``int``
+process identifiers (``0 .. n-1``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DiGraph:
+    """A simple directed graph ``⟨V, E⟩`` with set semantics.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints are added to the
+        node set automatically.
+
+    Examples
+    --------
+    >>> g = DiGraph(nodes=[0, 1, 2], edges=[(0, 1), (1, 2)])
+    >>> g.has_edge(0, 1)
+    True
+    >>> sorted(g.successors(0))
+    [1]
+    >>> g.number_of_edges()
+    2
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] | None = None,
+        edges: Iterable[Edge] | None = None,
+    ) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the node set (idempotent)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node of ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the directed edge ``u -> v`` (idempotent); adds endpoints."""
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add every edge of ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``u -> v``.
+
+        Raises
+        ------
+        KeyError
+            If the edge is not present.
+        """
+        try:
+            self._succ[u].remove(v)
+        except KeyError:
+            raise KeyError(f"edge {(u, v)!r} not in graph") from None
+        self._pred[v].remove(u)
+        self._num_edges -= 1
+
+    def discard_edge(self, u: Node, v: Node) -> bool:
+        """Remove the edge ``u -> v`` if present; return whether it was."""
+        if self.has_edge(u, v):
+            self.remove_edge(u, v)
+            return True
+        return False
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        KeyError
+            If the node is not present.
+        """
+        if node not in self._succ:
+            raise KeyError(f"node {node!r} not in graph")
+        for v in list(self._succ[node]):
+            self.remove_edge(node, v)
+        for u in list(self._pred[node]):
+            self.remove_edge(u, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    def discard_node(self, node: Node) -> bool:
+        """Remove ``node`` if present; return whether it was."""
+        if node in self._succ:
+            self.remove_node(node)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        succ = self._succ.get(u)
+        return succ is not None and v in succ
+
+    def nodes(self) -> frozenset[Node]:
+        """The node set ``V`` as a frozenset."""
+        return frozenset(self._succ)
+
+    def edges(self) -> frozenset[Edge]:
+        """The edge set ``E`` as a frozenset of ``(u, v)`` pairs."""
+        return frozenset(
+            (u, v) for u, targets in self._succ.items() for v in targets
+        )
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate over edges without materializing the set."""
+        for u, targets in self._succ.items():
+            for v in targets:
+                yield (u, v)
+
+    def successors(self, node: Node) -> frozenset[Node]:
+        """Out-neighbors of ``node``."""
+        return frozenset(self._succ[node])
+
+    def predecessors(self, node: Node) -> frozenset[Node]:
+        """In-neighbors of ``node``.
+
+        For a skeleton graph ``G^∩r`` this is exactly the paper's timely
+        neighborhood ``PT(p, r) = {q | (q -> p) ∈ G^∩r}``.
+        """
+        return frozenset(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred[node])
+
+    def number_of_nodes(self) -> int:
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __bool__(self) -> bool:
+        return bool(self._succ)
+
+    # ------------------------------------------------------------------
+    # Set-style operations (paper footnote 3 semantics)
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """An independent deep copy of the graph."""
+        g = DiGraph()
+        g._succ = {u: set(vs) for u, vs in self._succ.items()}
+        g._pred = {u: set(vs) for u, vs in self._pred.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def intersection(self, other: "DiGraph") -> "DiGraph":
+        """``G ∩ G' := ⟨V ∩ V', E ∩ E'⟩`` (footnote 3 of the paper)."""
+        g = DiGraph()
+        for node in self._succ:
+            if other.has_node(node):
+                g.add_node(node)
+        # Iterate over the smaller edge set.
+        small, big = (self, other) if self._num_edges <= other._num_edges else (other, self)
+        for u, v in small.iter_edges():
+            if big.has_edge(u, v):
+                g.add_edge(u, v)
+        return g
+
+    def union(self, other: "DiGraph") -> "DiGraph":
+        """``⟨V ∪ V', E ∪ E'⟩``."""
+        g = self.copy()
+        g.add_nodes(other._succ)
+        g.add_edges(other.iter_edges())
+        return g
+
+    def difference_edges(self, other: "DiGraph") -> "DiGraph":
+        """Same node set as ``self``; edges of ``self`` not in ``other``."""
+        g = DiGraph(nodes=self._succ)
+        for u, v in self.iter_edges():
+            if not other.has_edge(u, v):
+                g.add_edge(u, v)
+        return g
+
+    def induced_subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The subgraph induced by ``nodes`` (∩ with the current node set)."""
+        keep = set(nodes) & set(self._succ)
+        g = DiGraph(nodes=keep)
+        for u in keep:
+            for v in self._succ[u]:
+                if v in keep:
+                    g.add_edge(u, v)
+        return g
+
+    def reversed(self) -> "DiGraph":
+        """The transpose graph (every edge flipped)."""
+        g = DiGraph(nodes=self._succ)
+        for u, v in self.iter_edges():
+            g.add_edge(v, u)
+        return g
+
+    def with_self_loops(self) -> "DiGraph":
+        """A copy with a self-loop at every node (the paper assumes
+        ``∀p: p ∈ PT(p)``, i.e. self-delivery in every round)."""
+        g = self.copy()
+        for node in self._succ:
+            g.add_edge(node, node)
+        return g
+
+    def without_self_loops(self) -> "DiGraph":
+        """A copy with all self-loops removed (Figure 1 omits them)."""
+        g = self.copy()
+        for node in list(g._succ):
+            g.discard_edge(node, node)
+        return g
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def is_subgraph_of(self, other: "DiGraph") -> bool:
+        """``self ⊆ other`` on both node and edge sets."""
+        if not all(other.has_node(n) for n in self._succ):
+            return False
+        return all(other.has_edge(u, v) for u, v in self.iter_edges())
+
+    def is_supergraph_of(self, other: "DiGraph") -> bool:
+        """``self ⊇ other``."""
+        return other.is_subgraph_of(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        if set(self._succ) != set(other._succ):
+            return False
+        return all(self._succ[u] == other._succ[u] for u in self._succ)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable; explicit opt-out
+        raise TypeError("DiGraph is mutable and unhashable; use freeze()")
+
+    def freeze(self) -> tuple[frozenset[Node], frozenset[Edge]]:
+        """An immutable, hashable snapshot ``(V, E)``."""
+        return (self.nodes(), self.edges())
+
+    # ------------------------------------------------------------------
+    # Conversion / debugging
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly representation with sorted nodes and edges."""
+        return {
+            "nodes": sorted(self._succ, key=repr),
+            "edges": sorted(self.edges(), key=repr),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiGraph":
+        """Inverse of :meth:`to_dict`."""
+        edges = [tuple(e) for e in data.get("edges", [])]
+        return cls(nodes=data.get("nodes", []), edges=edges)
+
+    @classmethod
+    def complete(cls, nodes: Iterable[Node], self_loops: bool = True) -> "DiGraph":
+        """The complete digraph on ``nodes`` (all ordered pairs)."""
+        node_list = list(nodes)
+        g = cls(nodes=node_list)
+        for u in node_list:
+            for v in node_list:
+                if self_loops or u != v:
+                    g.add_edge(u, v)
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph(|V|={self.number_of_nodes()}, "
+            f"|E|={self.number_of_edges()})"
+        )

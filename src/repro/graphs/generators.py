@@ -1,0 +1,193 @@
+"""Deterministic and random digraph generators.
+
+Used by the adversaries (per-round communication graphs), the test suite
+(random cross-validation against networkx) and the SCC-KERNEL benchmark.
+
+All random generators take a :class:`numpy.random.Generator` so that every
+experiment in the repository is exactly reproducible from a seed — no global
+RNG state anywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+
+
+def empty_graph(n: int, self_loops: bool = False) -> DiGraph:
+    """``n`` isolated nodes ``0..n-1`` (optionally with self-loops)."""
+    g = DiGraph(nodes=range(n))
+    if self_loops:
+        for i in range(n):
+            g.add_edge(i, i)
+    return g
+
+
+def complete_graph(n: int, self_loops: bool = True) -> DiGraph:
+    """The complete digraph on ``0..n-1``."""
+    return DiGraph.complete(range(n), self_loops=self_loops)
+
+
+def directed_cycle(n: int, self_loops: bool = False) -> DiGraph:
+    """The directed cycle ``0 -> 1 -> ... -> n-1 -> 0``.
+
+    A cycle is the sparsest strongly connected graph, which makes it the
+    worst case for information propagation (Lemma 4 needs the full ``n - 1``
+    rounds on a cycle).
+    """
+    g = empty_graph(n, self_loops=self_loops)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def bidirectional_chain(n: int, self_loops: bool = False) -> DiGraph:
+    """``0 <-> 1 <-> ... <-> n-1`` — strongly connected with diameter n-1."""
+    g = empty_graph(n, self_loops=self_loops)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+        g.add_edge(i + 1, i)
+    return g
+
+
+def in_star(n: int, center: int = 0, self_loops: bool = False) -> DiGraph:
+    """Every node sends to ``center``: edges ``i -> center``."""
+    g = empty_graph(n, self_loops=self_loops)
+    for i in range(n):
+        if i != center:
+            g.add_edge(i, center)
+    return g
+
+
+def out_star(n: int, center: int = 0, self_loops: bool = False) -> DiGraph:
+    """``center`` sends to every node: edges ``center -> i``.
+
+    An out-star from a single 2-source is the canonical ``Psrcs(k)``
+    witness structure (Theorem 2's process ``s``).
+    """
+    g = empty_graph(n, self_loops=self_loops)
+    for i in range(n):
+        if i != center:
+            g.add_edge(center, i)
+    return g
+
+
+def gnp_random(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+    self_loops: bool = True,
+) -> DiGraph:
+    """Erdős–Rényi digraph: each ordered pair ``(u, v)``, ``u != v``, is an
+    edge independently with probability ``p``.
+
+    Vectorized: draws the full ``n x n`` Bernoulli matrix at once (per the
+    HPC guide, the per-edge Python loop is the bottleneck otherwise).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    mask = rng.random((n, n)) < p
+    np.fill_diagonal(mask, self_loops)
+    return from_adjacency(mask)
+
+
+def random_tournament(n: int, rng: np.random.Generator) -> DiGraph:
+    """A random tournament: exactly one direction per unordered pair."""
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.5:
+                g.add_edge(u, v)
+            else:
+                g.add_edge(v, u)
+    return g
+
+
+def random_strongly_connected(
+    n: int,
+    extra_edge_prob: float,
+    rng: np.random.Generator,
+    self_loops: bool = True,
+) -> DiGraph:
+    """A random strongly connected digraph on ``0..n-1``.
+
+    Construction: a directed Hamiltonian cycle over a random permutation
+    (guaranteeing strong connectivity) plus ``gnp`` noise edges.
+    """
+    perm = rng.permutation(n)
+    g = gnp_random(n, extra_edge_prob, rng, self_loops=self_loops)
+    for i in range(n):
+        g.add_edge(int(perm[i]), int(perm[(i + 1) % n]))
+    return g
+
+
+def layered_dag(
+    layers: Sequence[int],
+    rng: np.random.Generator,
+    density: float = 0.5,
+) -> DiGraph:
+    """A layered DAG: nodes partitioned into layers, edges only from layer
+    ``i`` to layer ``i+1``, each with probability ``density``; every node in
+    layer ``i+1`` is guaranteed at least one incoming edge."""
+    g = DiGraph()
+    offsets = np.concatenate([[0], np.cumsum(layers)])
+    n = int(offsets[-1])
+    g.add_nodes(range(n))
+    for li in range(len(layers) - 1):
+        src = range(int(offsets[li]), int(offsets[li + 1]))
+        dst = range(int(offsets[li + 1]), int(offsets[li + 2]))
+        for v in dst:
+            parents = [u for u in src if rng.random() < density]
+            if not parents:
+                parents = [int(rng.choice(list(src)))]
+            for u in parents:
+                g.add_edge(u, v)
+    return g
+
+
+def union_of_cliques(
+    groups: Sequence[Sequence[int]], self_loops: bool = True
+) -> DiGraph:
+    """Disjoint bidirectional cliques — each group becomes one SCC and (in
+    isolation) one root component.  The building block of the grouped-source
+    adversary."""
+    g = DiGraph()
+    for group in groups:
+        members = list(group)
+        g.add_nodes(members)
+        for u in members:
+            for v in members:
+                if u != v or self_loops:
+                    g.add_edge(u, v)
+    return g
+
+
+def from_adjacency(matrix: np.ndarray) -> DiGraph:
+    """Build a :class:`DiGraph` on ``0..n-1`` from a boolean adjacency
+    matrix (``matrix[u, v]`` truthy ⇔ edge ``u -> v``)."""
+    arr = np.asarray(matrix, dtype=bool)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"adjacency matrix must be square, got shape {arr.shape}")
+    n = arr.shape[0]
+    g = DiGraph(nodes=range(n))
+    rows, cols = np.nonzero(arr)
+    for u, v in zip(rows.tolist(), cols.tolist()):
+        g.add_edge(u, v)
+    return g
+
+
+def to_adjacency(graph: DiGraph, n: int | None = None) -> np.ndarray:
+    """Boolean adjacency matrix of a graph with integer nodes ``0..n-1``.
+
+    ``n`` defaults to ``max(node) + 1``; nodes must be non-negative ints.
+    """
+    nodes = graph.nodes()
+    if n is None:
+        n = (max(nodes) + 1) if nodes else 0
+    arr = np.zeros((n, n), dtype=bool)
+    for u, v in graph.iter_edges():
+        arr[u, v] = True
+    return arr

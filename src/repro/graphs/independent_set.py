@@ -1,0 +1,188 @@
+"""Exact maximum independent set for small undirected graphs.
+
+Why does a distributed-agreement reproduction need an independent-set
+solver?  Checking the paper's predicate ``Psrcs(k)`` (definition (8))
+naively enumerates all ``C(n, k+1)`` subsets ``S`` and asks for a common
+2-source in each.  There is an exact reformulation:
+
+    Define the *conflict graph* ``H`` on the process set with an undirected
+    edge ``{q, q'}`` iff ``PT(q) ∩ PT(q') ≠ ∅``.  A set ``S`` violates
+    ``Psrc`` iff no two of its members are adjacent in ``H`` — i.e. ``S`` is
+    an independent set.  Hence
+
+        ``Psrcs(k)``  ⇔  ``α(H) ≤ k``,
+
+    where ``α`` is the independence number.
+
+Maximum independent set is NP-hard, but our process counts are small
+(n ≤ a few hundred) and the conflict graphs are dense (self-loops in ``PT``
+make many pairs conflict), so a branch-and-bound search with greedy lower
+bounds and a max-degree branching rule is fast in practice.  The solver also
+supports the *decision* variant ``α(H) > k`` with early exit, which is what
+the predicate checker actually needs.
+
+Graphs are represented as ``dict[node, set[node]]`` undirected adjacency (no
+self-loops; a self-loop would make the node excludable anyway).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+Node = Hashable
+Adjacency = Mapping[Node, frozenset]
+
+
+def _normalize(adjacency: Mapping) -> dict[Node, set[Node]]:
+    """Validate and copy an undirected adjacency mapping (symmetrize)."""
+    adj: dict[Node, set[Node]] = {u: set(vs) for u, vs in adjacency.items()}
+    for u, vs in list(adj.items()):
+        vs.discard(u)  # ignore self-loops
+        for v in vs:
+            if v not in adj:
+                adj[v] = set()
+            adj[v].add(u)
+    return adj
+
+
+def greedy_independent_set(adjacency: Mapping) -> set[Node]:
+    """A (maximal, not maximum) independent set via min-degree greedy.
+
+    Used as the initial lower bound of the branch-and-bound search; on the
+    dense conflict graphs arising from ``Psrcs`` structures it is usually
+    optimal already, which makes the exact search terminate quickly.
+    """
+    adj = _normalize(adjacency)
+    chosen: set[Node] = set()
+    alive = set(adj)
+    degree = {u: len(adj[u] & alive) for u in alive}
+    while alive:
+        u = min(alive, key=lambda x: (degree[x], repr(x)))
+        chosen.add(u)
+        dead = {u} | (adj[u] & alive)
+        alive -= dead
+        for w in alive:
+            degree[w] = len(adj[w] & alive)
+    return chosen
+
+
+def maximum_independent_set(adjacency: Mapping) -> set[Node]:
+    """An exact maximum independent set via branch and bound.
+
+    Branching rule: pick a maximum-degree vertex ``v`` among the remaining
+    candidates; either exclude ``v`` (recurse on ``P - {v}``) or include it
+    (recurse on ``P - N[v]``).  Pruning: abandon a branch when
+    ``|current| + |candidates|`` cannot beat the incumbent.  Zero-degree
+    candidates are absorbed immediately (always optimal to include).
+    """
+    adj = _normalize(adjacency)
+    best = greedy_independent_set(adj)
+
+    def search(current: set[Node], candidates: set[Node]) -> None:
+        nonlocal best
+        # Absorb isolated candidates: including them is always optimal.
+        while True:
+            isolated = [u for u in candidates if not (adj[u] & candidates)]
+            if not isolated:
+                break
+            current = current | set(isolated)
+            candidates = candidates - set(isolated)
+        if len(current) > len(best):
+            best = set(current)
+        if not candidates:
+            return
+        if len(current) + len(candidates) <= len(best):
+            return  # cannot improve
+        v = max(candidates, key=lambda x: (len(adj[x] & candidates), repr(x)))
+        # Branch 1: include v.
+        search(current | {v}, candidates - ({v} | adj[v]))
+        # Branch 2: exclude v.
+        search(current, candidates - {v})
+
+    search(set(), set(adj))
+    return best
+
+
+def independence_number(adjacency: Mapping) -> int:
+    """The independence number ``α`` of the graph."""
+    return len(maximum_independent_set(adjacency))
+
+
+def has_independent_set_of_size(adjacency: Mapping, size: int) -> bool:
+    """Decision variant with early exit: is ``α >= size``?
+
+    This is the primitive the ``Psrcs(k)`` checker uses (with
+    ``size = k + 1``); a witness-sized set aborts the search immediately,
+    so runs that *violate* the predicate are detected fast.
+    """
+    if size <= 0:
+        return True
+    adj = _normalize(adjacency)
+    if len(adj) < size:
+        return False
+    if len(greedy_independent_set(adj)) >= size:
+        return True
+
+    found = False
+
+    def search(current: set[Node], candidates: set[Node]) -> None:
+        nonlocal found
+        if found:
+            return
+        while True:
+            isolated = [u for u in candidates if not (adj[u] & candidates)]
+            if not isolated:
+                break
+            current = current | set(isolated)
+            candidates = candidates - set(isolated)
+        if len(current) >= size:
+            found = True
+            return
+        if not candidates or len(current) + len(candidates) < size:
+            return
+        v = max(candidates, key=lambda x: (len(adj[x] & candidates), repr(x)))
+        search(current | {v}, candidates - ({v} | adj[v]))
+        if not found:
+            search(current, candidates - {v})
+
+    search(set(), set(adj))
+    return found
+
+
+def find_independent_set_of_size(adjacency: Mapping, size: int) -> set[Node] | None:
+    """Return an independent set of exactly ``size`` nodes, or ``None``.
+
+    Used to extract *witness* sets ``S`` for ``Psrcs(k)`` violations — the
+    predicate checker reports the concrete ``k+1`` processes with no common
+    2-source.
+    """
+    if size <= 0:
+        return set()
+    adj = _normalize(adjacency)
+    if len(adj) < size:
+        return None
+
+    result: set[Node] | None = None
+
+    def search(current: set[Node], candidates: set[Node]) -> None:
+        nonlocal result
+        if result is not None:
+            return
+        while True:
+            isolated = [u for u in candidates if not (adj[u] & candidates)]
+            if not isolated:
+                break
+            current = current | set(isolated)
+            candidates = candidates - set(isolated)
+        if len(current) >= size:
+            result = set(sorted(current, key=repr)[:size])
+            return
+        if not candidates or len(current) + len(candidates) < size:
+            return
+        v = max(candidates, key=lambda x: (len(adj[x] & candidates), repr(x)))
+        search(current | {v}, candidates - ({v} | adj[v]))
+        if result is None:
+            search(current, candidates - {v})
+
+    search(set(), set(adj))
+    return result

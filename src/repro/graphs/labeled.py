@@ -1,0 +1,240 @@
+"""Round-labeled directed graphs — the data structure of Algorithm 1.
+
+The approximation graph :math:`G_p = \\langle V_p, E_p \\rangle` broadcast by
+every process is a *weighted* digraph whose edge labels are round numbers: an
+edge :math:`(q' \\xrightarrow{s} q)` records that, as far as the local
+approximation knows, ``q`` perceived ``q'`` as timely in round ``s``
+(Lemma 6).  The algorithm's operations on it are:
+
+* **at most one label per ordered pair** — Lemma 3(c) / Lemma 4(b): merging
+  keeps only the *maximum* label seen for each pair (Alg. 1 lines 19–23);
+* **purging** — labels older than ``r - n`` are discarded (line 24);
+* **pruning** — nodes that cannot reach the owner are discarded (line 25);
+* **strong connectivity** of the unweighted view (line 28).
+
+:class:`RoundLabeledDigraph` implements exactly this: a digraph where each
+present edge ``(u, v)`` carries a single integer label, plus max-merge and
+purge primitives.  The generic strong-connectivity / SCC machinery is reused
+through :meth:`unweighted`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Tuple
+
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+LabeledEdge = Tuple[Node, Node, int]
+
+
+class RoundLabeledDigraph:
+    """A digraph with exactly one integer (round) label per directed edge.
+
+    Examples
+    --------
+    >>> g = RoundLabeledDigraph()
+    >>> g.add_edge(0, 1, 3)
+    >>> g.add_edge(0, 1, 5)   # max-merge: label becomes 5
+    >>> g.label(0, 1)
+    5
+    >>> g.purge_older_than(5)  # drops every label <= 5, returns the dead
+    [(0, 1, 5)]
+    """
+
+    __slots__ = ("_labels", "_nodes", "_pred")
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] | None = None,
+        labeled_edges: Iterable[LabeledEdge] | None = None,
+    ) -> None:
+        # (u, v) -> label; invariant: at most one label per ordered pair.
+        self._labels: dict[tuple[Node, Node], int] = {}
+        self._nodes: set[Node] = set()
+        self._pred: dict[Node, set[Node]] = {}
+        if nodes is not None:
+            self._nodes.update(nodes)
+        if labeled_edges is not None:
+            for u, v, lbl in labeled_edges:
+                self.add_edge(u, v, lbl)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._nodes.add(node)
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        self._nodes.update(nodes)
+
+    def add_edge(self, u: Node, v: Node, label: int) -> None:
+        """Insert ``u -v`` with ``label``; if the edge exists, keep the
+        maximum of the existing and new labels (Alg. 1 line 22)."""
+        self._nodes.add(u)
+        self._nodes.add(v)
+        key = (u, v)
+        current = self._labels.get(key)
+        if current is None or label > current:
+            self._labels[key] = label
+        self._pred.setdefault(v, set()).add(u)
+
+    def set_edge(self, u: Node, v: Node, label: int) -> None:
+        """Insert or overwrite ``u -> v`` with exactly ``label``."""
+        self._nodes.add(u)
+        self._nodes.add(v)
+        self._labels[(u, v)] = label
+        self._pred.setdefault(v, set()).add(u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        try:
+            del self._labels[(u, v)]
+        except KeyError:
+            raise KeyError(f"edge {(u, v)!r} not in graph") from None
+        self._pred[v].discard(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge (Alg. 1 line 25)."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not in graph")
+        self._nodes.remove(node)
+        dead = [key for key in self._labels if node in key]
+        for key in dead:
+            u, v = key
+            del self._labels[key]
+            self._pred[v].discard(u)
+        self._pred.pop(node, None)
+
+    def purge_older_than(self, cutoff: int) -> list[LabeledEdge]:
+        """Discard every edge with label ``<= cutoff`` and return them.
+
+        Algorithm 1 line 24 calls this with ``cutoff = r - n``.
+        """
+        dead = [(u, v, lbl) for (u, v), lbl in self._labels.items() if lbl <= cutoff]
+        for u, v, _ in dead:
+            del self._labels[(u, v)]
+            self._pred[v].discard(u)
+        return dead
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return (u, v) in self._labels
+
+    def label(self, u: Node, v: Node) -> int:
+        """The round label of edge ``u -> v``.
+
+        Raises
+        ------
+        KeyError
+            If the edge is not present.
+        """
+        return self._labels[(u, v)]
+
+    def get_label(self, u: Node, v: Node, default: int | None = None) -> int | None:
+        return self._labels.get((u, v), default)
+
+    def nodes(self) -> frozenset[Node]:
+        return frozenset(self._nodes)
+
+    def edges(self) -> frozenset[tuple[Node, Node]]:
+        return frozenset(self._labels)
+
+    def labeled_edges(self) -> frozenset[LabeledEdge]:
+        return frozenset((u, v, lbl) for (u, v), lbl in self._labels.items())
+
+    def iter_labeled_edges(self) -> Iterator[LabeledEdge]:
+        for (u, v), lbl in self._labels.items():
+            yield (u, v, lbl)
+
+    def predecessors(self, node: Node) -> frozenset[Node]:
+        return frozenset(u for u in self._pred.get(node, ()) if (u, node) in self._labels)
+
+    def successors(self, node: Node) -> frozenset[Node]:
+        return frozenset(v for (u, v) in self._labels if u == node)
+
+    def number_of_nodes(self) -> int:
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        return len(self._labels)
+
+    def min_label(self) -> int | None:
+        """The oldest label present, or ``None`` for an edgeless graph."""
+        return min(self._labels.values()) if self._labels else None
+
+    def max_label(self) -> int | None:
+        """The newest label present, or ``None`` for an edgeless graph."""
+        return max(self._labels.values()) if self._labels else None
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoundLabeledDigraph):
+            return NotImplemented
+        return self._nodes == other._nodes and self._labels == other._labels
+
+    def __hash__(self) -> int:  # pragma: no cover
+        raise TypeError("RoundLabeledDigraph is mutable and unhashable")
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "RoundLabeledDigraph":
+        g = RoundLabeledDigraph()
+        g._nodes = set(self._nodes)
+        g._labels = dict(self._labels)
+        g._pred = {v: set(us) for v, us in self._pred.items()}
+        return g
+
+    def unweighted(self) -> DiGraph:
+        """The unweighted view ``⟨V, {(u,v) : (u -v) labeled}⟩``.
+
+        The paper's subgraph relations between :math:`G_p` and skeleton
+        graphs (e.g. Lemma 5, Lemma 7) are stated on this view.
+        """
+        g = DiGraph(nodes=self._nodes)
+        for u, v in self._labels:
+            g.add_edge(u, v)
+        return g
+
+    def merge_max(self, other: "RoundLabeledDigraph") -> None:
+        """In-place max-merge of ``other``'s labeled edges and nodes.
+
+        This is the inner loop of Alg. 1 lines 19–23 for one received graph:
+        for every pair with an edge in ``other``, keep the maximum label.
+        """
+        self._nodes.update(other._nodes)
+        for (u, v), lbl in other._labels.items():
+            self.add_edge(u, v, lbl)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot with deterministic ordering."""
+        return {
+            "nodes": sorted(self._nodes, key=repr),
+            "edges": sorted(
+                ([u, v, lbl] for (u, v), lbl in self._labels.items()), key=repr
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundLabeledDigraph":
+        return cls(
+            nodes=data.get("nodes", []),
+            labeled_edges=[tuple(e) for e in data.get("edges", [])],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundLabeledDigraph(|V|={len(self._nodes)}, "
+            f"|E|={len(self._labels)})"
+        )

@@ -1,0 +1,156 @@
+"""Reachability and path utilities.
+
+Directed paths drive several parts of the paper:
+
+* Lemma 4 propagates timely-neighborhood information along a path
+  :math:`\\Gamma = (p_1 \\to \\dots \\to p_{\\ell+1})` of length
+  :math:`\\ell \\le n-1`.
+* Algorithm 1 line 25 discards a node ``pi ≠ p`` when ``p`` is unreachable
+  *from* ``pi`` in the approximation graph.
+* The termination proof (Lemma 11) walks decision messages down paths of the
+  condensation DAG.
+
+All traversals are breadth-first, so :func:`shortest_path` returns a
+minimum-hop path; the paper only ever needs hop counts (path *length* =
+number of edges, all nodes distinct).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+
+def descendants(graph: DiGraph, source: Node) -> frozenset[Node]:
+    """All nodes reachable from ``source`` (including ``source`` itself)."""
+    if not graph.has_node(source):
+        raise KeyError(f"node {source!r} not in graph")
+    seen = {source}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop()
+        for nxt in graph.successors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def ancestors(graph: DiGraph, target: Node) -> frozenset[Node]:
+    """All nodes that reach ``target`` (including ``target`` itself)."""
+    if not graph.has_node(target):
+        raise KeyError(f"node {target!r} not in graph")
+    seen = {target}
+    frontier = [target]
+    while frontier:
+        node = frontier.pop()
+        for nxt in graph.predecessors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def reachable_from(graph: DiGraph, source: Node) -> frozenset[Node]:
+    """Alias of :func:`descendants` (reads better at some call sites)."""
+    return descendants(graph, source)
+
+
+def reaches(graph: DiGraph, target: Node) -> frozenset[Node]:
+    """Alias of :func:`ancestors`: the set of nodes with a path to
+    ``target``.  Algorithm 1 line 25 keeps exactly ``reaches(Gp, p)``."""
+    return ancestors(graph, target)
+
+
+def has_path(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Whether a directed path ``source -> ... -> target`` exists.
+
+    Every node trivially has a (length-0) path to itself.
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        return False
+    if source == target:
+        return True
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.successors(node):
+            if nxt == target:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def shortest_path(graph: DiGraph, source: Node, target: Node) -> list[Node] | None:
+    """A minimum-hop directed path from ``source`` to ``target``.
+
+    Returns the node sequence ``[source, ..., target]`` (all nodes distinct,
+    matching the paper's path convention), or ``None`` if no path exists.
+    ``source == target`` yields the single-node path ``[source]``.
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        return None
+    if source == target:
+        return [source]
+    parent: dict[Node, Node] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.successors(node):
+            if nxt in parent:
+                continue
+            parent[nxt] = node
+            if nxt == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(nxt)
+    return None
+
+
+def shortest_path_lengths(graph: DiGraph, source: Node) -> dict[Node, int]:
+    """BFS hop distances from ``source`` to every reachable node."""
+    if not graph.has_node(source):
+        raise KeyError(f"node {source!r} not in graph")
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.successors(node):
+            if nxt not in dist:
+                dist[nxt] = dist[node] + 1
+                frontier.append(nxt)
+    return dist
+
+
+def eccentricity(graph: DiGraph, source: Node) -> int:
+    """Maximum BFS distance from ``source`` to any reachable node."""
+    return max(shortest_path_lengths(graph, source).values())
+
+
+def longest_simple_path_upper_bound(graph: DiGraph) -> int:
+    """The trivial bound used throughout the paper's proofs: a simple path
+    in a graph on ``n`` nodes has length at most ``n - 1``."""
+    return max(graph.number_of_nodes() - 1, 0)
+
+
+def is_path(graph: DiGraph, nodes: Iterable[Node]) -> bool:
+    """Whether ``nodes`` is a directed path in ``graph`` with all nodes
+    distinct (the paper's convention for paths, §II)."""
+    seq = list(nodes)
+    if not seq:
+        return False
+    if len(set(seq)) != len(seq):
+        return False
+    if not all(graph.has_node(v) for v in seq):
+        return False
+    return all(graph.has_edge(u, v) for u, v in zip(seq, seq[1:]))

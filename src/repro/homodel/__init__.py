@@ -1,0 +1,19 @@
+"""Heard-Of and Round-by-Round-Fault-Detector adapters.
+
+The paper's correspondence (6)/(7) between skeleton edges and the HO / RbR
+models::
+
+    (p -> q) ∈ E^∩r  ⇔  ∀r' <= r : p ∈ HO(q, r')
+                      ⇔  ∀r' <= r : p ∉ D(q, r')
+
+    PT(p, r) = ∩_{r' <= r} HO(p, r')  =  Π \\ ∪_{r' <= r} D(p, r')
+
+These adapters convert between the three representations, letting runs be
+specified in whichever model is most natural and validating the
+correspondence in tests.
+"""
+
+from repro.homodel.heard_of import HeardOfCollection
+from repro.homodel.rrfd import RoundByRoundFaultDetector
+
+__all__ = ["HeardOfCollection", "RoundByRoundFaultDetector"]

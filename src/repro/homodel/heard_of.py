@@ -1,0 +1,91 @@
+"""The Heard-Of model (Charron-Bost & Schiper).
+
+``HO(p, r)`` is the set of processes that ``p`` hears of (receives a
+round-``r`` message from) in round ``r``.  In graph terms,
+``HO(p, r) = {q | (q -> p) ∈ G^r}`` — the in-neighborhood of ``p`` in the
+round's communication graph; the correspondence (6)/(7) then gives timely
+neighborhoods as prefix intersections of heard-of sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.graphs.digraph import DiGraph
+from repro.rounds.run import Run
+
+
+class HeardOfCollection:
+    """A per-round collection of heard-of sets.
+
+    Stored as a list (round-indexed, 1-based externally) of mappings
+    ``pid -> frozenset of heard processes``.
+    """
+
+    def __init__(self, n: int, rounds: Sequence[Mapping[int, frozenset[int]]]) -> None:
+        self.n = n
+        self._rounds: list[dict[int, frozenset[int]]] = []
+        for idx, ho in enumerate(rounds):
+            complete: dict[int, frozenset[int]] = {}
+            for p in range(n):
+                heard = frozenset(ho.get(p, frozenset()))
+                if not heard <= frozenset(range(n)):
+                    raise ValueError(
+                        f"round {idx + 1}: HO({p}) contains unknown processes"
+                    )
+                complete[p] = heard
+            self._rounds.append(complete)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    def ho(self, pid: int, round_no: int) -> frozenset[int]:
+        """``HO(pid, round_no)``."""
+        if not 1 <= round_no <= len(self._rounds):
+            raise IndexError(f"round {round_no} out of range")
+        return self._rounds[round_no - 1][pid]
+
+    def timely_neighborhood(self, pid: int, round_no: int) -> frozenset[int]:
+        """``PT(p, r) = ∩_{r' <= r} HO(p, r')`` — equation (7)."""
+        result = frozenset(range(self.n))
+        for r in range(1, round_no + 1):
+            result &= self.ho(pid, r)
+        return result
+
+    # ------------------------------------------------------------------
+    # Conversions (correspondence (6))
+    # ------------------------------------------------------------------
+    def graph(self, round_no: int) -> DiGraph:
+        """The communication graph ``G^r``: edge ``q -> p`` iff
+        ``q ∈ HO(p, r)``."""
+        g = DiGraph(nodes=range(self.n))
+        for p in range(self.n):
+            for q in self.ho(p, round_no):
+                g.add_edge(q, p)
+        return g
+
+    def graphs(self) -> list[DiGraph]:
+        return [self.graph(r) for r in range(1, self.num_rounds + 1)]
+
+    @classmethod
+    def from_graphs(cls, graphs: Sequence[DiGraph]) -> "HeardOfCollection":
+        """Inverse conversion: per-round in-neighborhoods."""
+        if not graphs:
+            raise ValueError("need at least one graph")
+        nodes = graphs[0].nodes()
+        n = len(nodes)
+        if nodes != frozenset(range(n)):
+            raise ValueError("graphs must be on nodes 0..n-1")
+        rounds = []
+        for g in graphs:
+            rounds.append({p: g.predecessors(p) for p in range(n)})
+        return cls(n, rounds)
+
+    @classmethod
+    def from_run(cls, run: Run) -> "HeardOfCollection":
+        return cls.from_graphs(run.graphs())
+
+    def __repr__(self) -> str:
+        return f"HeardOfCollection(n={self.n}, rounds={self.num_rounds})"

@@ -1,0 +1,83 @@
+"""Round-by-Round Fault Detectors (Gafni).
+
+``D(p, r)`` is the set of processes that ``p``'s local fault detector
+*suspects* in round ``r`` — ``p`` waits for round-``r`` messages exactly
+from ``Π \\ D(p, r)``.  Following the paper's simplification (§II), a
+process never receives a message from a suspected process, which makes the
+correspondence with heard-of sets a strict complement::
+
+    D(p, r) = Π \\ HO(p, r)        PT(p, r) = Π \\ ∪_{r' <= r} D(p, r')
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.graphs.digraph import DiGraph
+from repro.homodel.heard_of import HeardOfCollection
+
+
+class RoundByRoundFaultDetector:
+    """A per-round collection of suspicion sets ``D(p, r)``."""
+
+    def __init__(self, n: int, rounds: Sequence[Mapping[int, frozenset[int]]]) -> None:
+        self.n = n
+        self._rounds: list[dict[int, frozenset[int]]] = []
+        everyone = frozenset(range(n))
+        for idx, d in enumerate(rounds):
+            complete: dict[int, frozenset[int]] = {}
+            for p in range(n):
+                suspected = frozenset(d.get(p, frozenset()))
+                if not suspected <= everyone:
+                    raise ValueError(
+                        f"round {idx + 1}: D({p}) contains unknown processes"
+                    )
+                complete[p] = suspected
+            self._rounds.append(complete)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    def suspected(self, pid: int, round_no: int) -> frozenset[int]:
+        """``D(pid, round_no)``."""
+        if not 1 <= round_no <= len(self._rounds):
+            raise IndexError(f"round {round_no} out of range")
+        return self._rounds[round_no - 1][pid]
+
+    def timely_neighborhood(self, pid: int, round_no: int) -> frozenset[int]:
+        """``PT(p, r) = Π \\ ∪_{r' <= r} D(p, r')`` — equation (7)."""
+        union: frozenset[int] = frozenset()
+        for r in range(1, round_no + 1):
+            union |= self.suspected(pid, r)
+        return frozenset(range(self.n)) - union
+
+    # ------------------------------------------------------------------
+    def to_heard_of(self) -> HeardOfCollection:
+        """``HO(p, r) = Π \\ D(p, r)`` (the paper's simplification that a
+        suspected process is never heard)."""
+        everyone = frozenset(range(self.n))
+        rounds = [
+            {p: everyone - d[p] for p in range(self.n)} for d in self._rounds
+        ]
+        return HeardOfCollection(self.n, rounds)
+
+    @classmethod
+    def from_heard_of(cls, ho: HeardOfCollection) -> "RoundByRoundFaultDetector":
+        everyone = frozenset(range(ho.n))
+        rounds = [
+            {p: everyone - ho.ho(p, r) for p in range(ho.n)}
+            for r in range(1, ho.num_rounds + 1)
+        ]
+        return cls(ho.n, rounds)
+
+    @classmethod
+    def from_graphs(cls, graphs: Sequence[DiGraph]) -> "RoundByRoundFaultDetector":
+        return cls.from_heard_of(HeardOfCollection.from_graphs(graphs))
+
+    def graph(self, round_no: int) -> DiGraph:
+        """The communication graph implied by round ``round_no``."""
+        return self.to_heard_of().graph(round_no)
+
+    def __repr__(self) -> str:
+        return f"RoundByRoundFaultDetector(n={self.n}, rounds={self.num_rounds})"

@@ -1,0 +1,50 @@
+"""Communication predicates.
+
+A *system* in the paper is named by a predicate over the collection of
+communication graphs of a run (§II).  This package provides:
+
+* a small combinator algebra over predicates
+  (:mod:`repro.predicates.base`),
+* the paper's ``Psrc`` / ``Psrcs(k)`` with an exact checker based on the
+  conflict-graph independence-number reformulation and witness extraction
+  (:mod:`repro.predicates.psrcs`),
+* classic reference predicates (:mod:`repro.predicates.classic`).
+
+Predicates are evaluated against a *stable skeleton* (exact, when the
+adversary declares one) or against the final skeleton of a finite prefix
+(an over-approximation: if the predicate fails on the prefix skeleton it
+fails on the run; if it holds, it holds provided the prefix has stabilized).
+"""
+
+from repro.predicates.base import (
+    Predicate,
+    PredicateResult,
+    And,
+    Or,
+    Not,
+)
+from repro.predicates.psrcs import Psrc, Psrcs, conflict_graph, two_sources_of
+from repro.predicates.classic import (
+    PTrue,
+    SingleRootComponent,
+    NoSplit,
+    KernelNonEmpty,
+    BoundedRootComponents,
+)
+
+__all__ = [
+    "Predicate",
+    "PredicateResult",
+    "And",
+    "Or",
+    "Not",
+    "Psrc",
+    "Psrcs",
+    "conflict_graph",
+    "two_sources_of",
+    "PTrue",
+    "SingleRootComponent",
+    "NoSplit",
+    "KernelNonEmpty",
+    "BoundedRootComponents",
+]

@@ -1,0 +1,156 @@
+"""Predicate interface and boolean combinators.
+
+A communication predicate constrains the collection of communication graphs
+of a run.  All predicates in this reproduction are *stable-skeleton
+predicates*: they are functions of ``G^∩∞`` alone (this covers everything
+the paper uses — ``Psrcs(k)`` is defined through the perpetual ``PT(p)``
+sets, i.e. through the stable skeleton).
+
+Evaluation returns a :class:`PredicateResult` carrying a boolean plus an
+explanatory *witness*: for a violated ``Psrcs(k)``, the concrete ``k+1``-set
+with no common 2-source; for a satisfied one, a 2-source certificate per
+queried set.  Witnesses make test failures and experiment reports readable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.digraph import DiGraph
+from repro.rounds.run import Run
+
+
+@dataclass(frozen=True)
+class PredicateResult:
+    """Outcome of a predicate evaluation."""
+
+    holds: bool
+    predicate: str
+    witness: Any = field(default=None)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def explain(self) -> str:
+        status = "HOLDS" if self.holds else "VIOLATED"
+        detail = f" — witness: {self.witness!r}" if self.witness is not None else ""
+        return f"{self.predicate}: {status}{detail}"
+
+
+class Predicate(abc.ABC):
+    """A stable-skeleton communication predicate."""
+
+    @abc.abstractmethod
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        """Evaluate against a stable skeleton ``G^∩∞``."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Display name, e.g. ``"Psrcs(3)"``."""
+
+    # ------------------------------------------------------------------
+    def check_run(self, run: Run) -> PredicateResult:
+        """Evaluate against a run's stable skeleton (declared if available,
+        else the final-prefix over-approximation)."""
+        return self.check_skeleton(run.stable_skeleton())
+
+    def check_adversary(self, adversary: Any) -> PredicateResult:
+        """Evaluate against an adversary's declared stable graph."""
+        stable = adversary.declared_stable_graph()
+        if stable is None:
+            raise ValueError(
+                f"adversary {adversary!r} declares no stable graph; "
+                "simulate a run and use check_run instead"
+            )
+        return self.check_skeleton(stable)
+
+    def check_heard_of(self, ho: Any) -> PredicateResult:
+        """Evaluate against a Heard-Of collection via equation (7):
+        the finite-prefix skeleton is the graph whose in-neighborhoods are
+        ``PT(p, R) = ∩_{r <= R} HO(p, r)``.
+
+        Like :meth:`check_run` on undeclared runs this is a finite-prefix
+        over-approximation: a violated result is definitive; a holding
+        result assumes the collection covers stabilization.
+        """
+        from repro.graphs.digraph import DiGraph
+
+        skeleton = DiGraph(nodes=range(ho.n))
+        last = ho.num_rounds
+        for p in range(ho.n):
+            for q in ho.timely_neighborhood(p, last):
+                skeleton.add_edge(q, p)
+        return self.check_skeleton(skeleton)
+
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class And(Predicate):
+    """Conjunction; witness is the first failing conjunct's witness."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise ValueError("And needs at least one predicate")
+        self.parts = parts
+
+    @property
+    def name(self) -> str:
+        return "(" + " ∧ ".join(p.name for p in self.parts) + ")"
+
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        for part in self.parts:
+            result = part.check_skeleton(stable_skeleton)
+            if not result.holds:
+                return PredicateResult(False, self.name, witness=result)
+        return PredicateResult(True, self.name)
+
+
+class Or(Predicate):
+    """Disjunction; witness collects all failing disjuncts on violation."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise ValueError("Or needs at least one predicate")
+        self.parts = parts
+
+    @property
+    def name(self) -> str:
+        return "(" + " ∨ ".join(p.name for p in self.parts) + ")"
+
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        failures = []
+        for part in self.parts:
+            result = part.check_skeleton(stable_skeleton)
+            if result.holds:
+                return PredicateResult(True, self.name, witness=result.witness)
+            failures.append(result)
+        return PredicateResult(False, self.name, witness=failures)
+
+
+class Not(Predicate):
+    """Negation; inherits the inner witness."""
+
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    @property
+    def name(self) -> str:
+        return f"¬{self.inner.name}"
+
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        result = self.inner.check_skeleton(stable_skeleton)
+        return PredicateResult(not result.holds, self.name, witness=result.witness)

@@ -1,0 +1,113 @@
+"""Reference predicates beyond ``Psrcs``.
+
+These situate ``Psrcs(k)`` in the predicate landscape of the related work
+(§I–II): the trivial ``Ptrue`` (all runs admissible — k-set agreement
+impossible for ``k < n``), single-root-component / no-split conditions from
+the consensus literature, and the Theorem-1-shaped structural predicate
+``BoundedRootComponents(k)`` that ``Psrcs(k)`` implies but is not implied by.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graphs.condensation import root_components
+from repro.graphs.digraph import DiGraph
+from repro.predicates.base import Predicate, PredicateResult
+
+
+class PTrue(Predicate):
+    """``Ptrue :: TRUE`` — every run admissible (§II.A).
+
+    Under this system even ``(n-1)``-set agreement is impossible (all
+    processes may be isolated forever); included as the degenerate baseline.
+    """
+
+    @property
+    def name(self) -> str:
+        return "Ptrue"
+
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        return PredicateResult(True, self.name)
+
+
+class BoundedRootComponents(Predicate):
+    """At most ``k`` root components in the stable skeleton.
+
+    Theorem 1 states ``Psrcs(k) ⇒ BoundedRootComponents(k)``.  The converse
+    fails (a long directed chain has one root component but its conflict
+    graph can have large independent sets) — the tests exhibit such
+    separations explicitly.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    @property
+    def name(self) -> str:
+        return f"RootComponents<={self.k}"
+
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        roots = root_components(stable_skeleton)
+        if len(roots) <= self.k:
+            return PredicateResult(True, self.name, witness=roots)
+        return PredicateResult(False, self.name, witness=roots)
+
+
+class SingleRootComponent(BoundedRootComponents):
+    """Exactly the ``k = 1`` case — the structural condition under which
+    Algorithm 1 reaches *consensus* (§V's closing remark)."""
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    @property
+    def name(self) -> str:
+        return "SingleRootComponent"
+
+
+class KernelNonEmpty(Predicate):
+    """A nonempty *kernel*: some process is a perpetual source for everyone
+    (``∃p ∀q: p ∈ PT(q)``).
+
+    This is the skeleton-graph rendering of the classic "some process is
+    heard by all" condition; it implies ``Psrcs(k)`` for every ``k >= 1``
+    (that ``p`` is a 2-source for every pair), hence also consensus-enabling
+    in combination with strong connectivity.
+    """
+
+    @property
+    def name(self) -> str:
+        return "KernelNonEmpty"
+
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        nodes = stable_skeleton.nodes()
+        for p in sorted(nodes):
+            if all(
+                p in stable_skeleton.predecessors(q) for q in nodes
+            ):
+                return PredicateResult(True, self.name, witness=p)
+        return PredicateResult(False, self.name)
+
+
+class NoSplit(Predicate):
+    """No-split (Charron-Bost & Schiper): every pair of processes has a
+    common timely source — i.e. ``Psrcs(1)`` stated pairwise.
+
+    Included to witness the identity ``NoSplit ⇔ Psrcs(1)`` in tests.
+    """
+
+    @property
+    def name(self) -> str:
+        return "NoSplit"
+
+    def check_skeleton(self, stable_skeleton: DiGraph) -> PredicateResult:
+        pt = {q: stable_skeleton.predecessors(q) for q in stable_skeleton.nodes()}
+        for q, q2 in combinations(sorted(pt), 2):
+            if not (pt[q] & pt[q2]):
+                return PredicateResult(
+                    False, self.name, witness=frozenset({q, q2})
+                )
+        return PredicateResult(True, self.name)

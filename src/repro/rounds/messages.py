@@ -1,0 +1,77 @@
+"""Round messages.
+
+Every algorithm in this repository broadcasts exactly one message per round
+(the paper's sending function produces one message, delivered to whichever
+processes the round's communication graph dictates).  :class:`Message` is a
+thin immutable envelope; algorithm-specific payloads subclass it or use the
+generic ``kind``/``payload`` fields.
+
+Messages also know how to estimate their *encoded size in bits*, which backs
+the MSG-COMPLEX experiment (§V of the paper claims worst-case message bit
+complexity polynomial in n).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable round message.
+
+    Attributes
+    ----------
+    sender:
+        Process id of the sender.
+    round_no:
+        The round in which the message was sent (communication-closed: it can
+        only be received in this round).
+    kind:
+        Message discriminator; Algorithm 1 uses ``"prop"`` and ``"decide"``.
+    payload:
+        Arbitrary JSON-serializable content.
+    """
+
+    sender: int
+    round_no: int
+    kind: str = "prop"
+    payload: Any = field(default=None)
+
+    def bit_size(self) -> int:
+        """Estimated encoded size in bits.
+
+        We count the JSON encoding length — a stable, implementation-
+        independent proxy adequate for *asymptotic* comparisons (the
+        MSG-COMPLEX experiment cares about growth in n, not constants).
+        """
+        encoded = json.dumps(
+            {
+                "sender": self.sender,
+                "round": self.round_no,
+                "kind": self.kind,
+                "payload": _jsonable(self.payload),
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+            default=str,
+        )
+        return 8 * len(encoded)
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion of payloads to JSON-serializable form."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_jsonable(x) for x in obj), key=repr)
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return repr(obj)

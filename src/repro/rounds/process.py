@@ -1,0 +1,143 @@
+"""The algorithm interface: sending and transition functions.
+
+Per §II of the paper, an algorithm is composed of two functions:
+
+* the **sending function** determines, for process ``p`` and round ``r > 0``,
+  the message ``p`` broadcasts in round ``r``, based on ``p``'s state at the
+  beginning of round ``r``;
+* the **transition function** determines the state at the end of round ``r``
+  from the state at the beginning of ``r`` and the vector of messages
+  received in ``r``.
+
+:class:`Process` is the abstract base implementing this interface plus the
+irrevocable-decision bookkeeping shared by all agreement algorithms
+(k-agreement / validity / termination are checked against
+:attr:`Process.decision`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.rounds.messages import Message
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """An irrevocable decision event."""
+
+    process: int
+    round_no: int
+    value: Any
+
+
+class Process(abc.ABC):
+    """Abstract round-based process.
+
+    Parameters
+    ----------
+    pid:
+        Process identifier in ``0..n-1``.
+    n:
+        Total number of processes (the paper's ``n = |Π|``; Algorithm 1 uses
+        it for the purge window and the ``r > n`` decision guard).
+    initial_value:
+        The proposal value ``v_p``.
+
+    Subclasses implement :meth:`send` and :meth:`transition`.  They must call
+    :meth:`_decide` exactly once to decide; the base class enforces
+    irrevocability (Lemma 10: every process decides at most once).
+    """
+
+    def __init__(self, pid: int, n: int, initial_value: Any) -> None:
+        if not 0 <= pid < n:
+            raise ValueError(f"pid {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+        self.initial_value = initial_value
+        self._decision: DecisionRecord | None = None
+
+    # ------------------------------------------------------------------
+    # Algorithm interface (the paper's S_p^r and T_p^r)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def send(self, round_no: int) -> Message:
+        """The sending function ``S_p^r``: the message broadcast in round
+        ``round_no``, computed from the state at the beginning of the round.
+
+        Implementations must not mutate state here — the paper's model
+        computes the message purely from the state at the beginning of the
+        round, and the simulator calls :meth:`send` for *all* processes
+        before delivering anything.
+        """
+
+    @abc.abstractmethod
+    def transition(self, round_no: int, received: Mapping[int, Message]) -> None:
+        """The transition function ``T_p^r``.
+
+        Parameters
+        ----------
+        round_no:
+            Current round ``r``.
+        received:
+            The vector of messages received in round ``r``: a mapping from
+            sender id ``q`` to ``q``'s round-``r`` message, containing ``q``
+            exactly when ``(q -> p) ∈ G^r``.
+        """
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        """Whether the process has decided."""
+        return self._decision is not None
+
+    @property
+    def decision(self) -> DecisionRecord | None:
+        """The decision record, or ``None``."""
+        return self._decision
+
+    def _decide(self, round_no: int, value: Any) -> None:
+        """Record an irrevocable decision.
+
+        Raises
+        ------
+        RuntimeError
+            On a second decision attempt — this would be a violation of
+            Lemma 10 and indicates an algorithm bug, so it fails loudly
+            instead of being silently ignored.
+        """
+        if self._decision is not None:
+            raise RuntimeError(
+                f"process {self.pid} attempted to decide twice "
+                f"(first {self._decision}, now round {round_no} value {value!r})"
+            )
+        self._decision = DecisionRecord(process=self.pid, round_no=round_no, value=value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict[str, Any]:
+        """A JSON-friendly snapshot of the externally relevant state.
+
+        Subclasses extend this; the simulator records it each round when
+        tracing is enabled.
+        """
+        return {
+            "pid": self.pid,
+            "decided": self.decided,
+            "decision": None
+            if self._decision is None
+            else {"round": self._decision.round_no, "value": self._decision.value},
+        }
+
+    def __repr__(self) -> str:
+        status = (
+            f"decided={self._decision.value!r}@r{self._decision.round_no}"
+            if self._decision
+            else "undecided"
+        )
+        return f"{type(self).__name__}(pid={self.pid}, {status})"

@@ -1,0 +1,275 @@
+"""The record of a (finite prefix of a) run.
+
+A run of an algorithm is completely determined by the initial states and the
+sequence of communication graphs (§II).  :class:`Run` stores everything the
+analysis layer needs:
+
+* the per-round communication graphs ``G^r`` (1-indexed, as in the paper),
+* per-round state snapshots and messages (optional, for tracing),
+* all decision events,
+* derived skeleton objects: ``G^∩r``, timely neighborhoods ``PT(p, r)``, the
+  final skeleton, and — when the adversary declares its stable edges — the
+  true stable skeleton ``G^∩∞``.
+
+Skeletons are computed incrementally and cached; computing every
+``G^∩r`` for a run of R rounds costs O(R · |E|) total, not O(R² · |E|).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.digraph import DiGraph
+from repro.rounds.messages import Message
+from repro.rounds.process import DecisionRecord
+
+
+@dataclass
+class RoundRecord:
+    """Everything that happened in one round."""
+
+    round_no: int
+    graph: DiGraph
+    messages: dict[int, Message] = field(default_factory=dict)
+    state_snapshots: dict[int, dict] = field(default_factory=dict)
+    decisions: list[DecisionRecord] = field(default_factory=list)
+
+
+class Run:
+    """A finite run prefix.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    initial_values:
+        Proposal values ``v_p`` indexed by process id.
+    declared_stable_graph:
+        Optional: the adversary's declared stable skeleton ``G^∩∞`` — the
+        set of edges it guarantees to keep timely in *every* round, forever.
+        When present, predicate checks and ``PT(p)`` are exact instead of
+        finite-prefix approximations.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        initial_values: list[Any],
+        declared_stable_graph: DiGraph | None = None,
+    ) -> None:
+        if len(initial_values) != n:
+            raise ValueError(
+                f"expected {n} initial values, got {len(initial_values)}"
+            )
+        self.n = n
+        self.initial_values = list(initial_values)
+        self.declared_stable_graph = declared_stable_graph
+        self.rounds: list[RoundRecord] = []
+        self.decisions: dict[int, DecisionRecord] = {}
+        # Incrementally maintained skeleton sequence; _skeletons[r-1] = G^∩r.
+        self._skeletons: list[DiGraph] = []
+
+    # ------------------------------------------------------------------
+    # Recording (called by the simulator)
+    # ------------------------------------------------------------------
+    def append_round(self, record: RoundRecord) -> None:
+        expected = len(self.rounds) + 1
+        if record.round_no != expected:
+            raise ValueError(
+                f"round records must be contiguous: expected round {expected}, "
+                f"got {record.round_no}"
+            )
+        self.rounds.append(record)
+        if self._skeletons:
+            skeleton = self._skeletons[-1].intersection(record.graph)
+        else:
+            skeleton = record.graph.copy()
+        self._skeletons.append(skeleton)
+        for decision in record.decisions:
+            if decision.process in self.decisions:
+                raise ValueError(
+                    f"duplicate decision for process {decision.process}"
+                )
+            self.decisions[decision.process] = decision
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        """Number of recorded rounds R (rounds are ``1..R``)."""
+        return len(self.rounds)
+
+    def graph(self, round_no: int) -> DiGraph:
+        """The communication graph ``G^r`` (1-indexed)."""
+        self._check_round(round_no)
+        return self.rounds[round_no - 1].graph
+
+    def graphs(self) -> list[DiGraph]:
+        """All per-round communication graphs, in order."""
+        return [rec.graph for rec in self.rounds]
+
+    def messages(self, round_no: int) -> dict[int, Message]:
+        """Messages broadcast in ``round_no`` (sender -> message)."""
+        self._check_round(round_no)
+        return self.rounds[round_no - 1].messages
+
+    def _check_round(self, round_no: int) -> None:
+        if not 1 <= round_no <= len(self.rounds):
+            raise IndexError(
+                f"round {round_no} out of range 1..{len(self.rounds)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Skeleton accessors (the paper's derived objects)
+    # ------------------------------------------------------------------
+    def skeleton(self, round_no: int) -> DiGraph:
+        """The round-``r`` skeleton ``G^∩r = ∩_{0 < r' <= r} G^{r'}``."""
+        self._check_round(round_no)
+        return self._skeletons[round_no - 1]
+
+    def final_skeleton(self) -> DiGraph:
+        """``G^∩R`` for the last recorded round R.
+
+        For any finite prefix ``G^∩R ⊇ G^∩∞`` (property (1)); equality holds
+        from the stabilization round on.
+        """
+        if not self._skeletons:
+            raise ValueError("run has no rounds")
+        return self._skeletons[-1]
+
+    def stable_skeleton(self) -> DiGraph:
+        """The stable skeleton ``G^∩∞``.
+
+        Uses the adversary's declaration when available (exact); otherwise
+        falls back to the final-prefix skeleton, which is an over-
+        approximation per property (1).
+        """
+        if self.declared_stable_graph is not None:
+            return self.declared_stable_graph
+        return self.final_skeleton()
+
+    def timely_neighborhood(self, pid: int, round_no: int) -> frozenset[int]:
+        """``PT(p, r) = {q | (q -> p) ∈ G^∩r}`` — in-neighbors of ``p`` in
+        the round-``r`` skeleton."""
+        return self.skeleton(round_no).predecessors(pid)
+
+    def perpetual_timely_neighborhood(self, pid: int) -> frozenset[int]:
+        """``PT(p) = ∩_r PT(p, r)`` — from the stable skeleton."""
+        return self.stable_skeleton().predecessors(pid)
+
+    def skeleton_stabilization_round(self) -> int | None:
+        """The earliest recorded round ``r_ST`` with
+        ``G^∩r = final skeleton`` for all later recorded rounds.
+
+        Returns ``None`` for an empty run.  Note this is relative to the
+        recorded prefix; with a declared stable graph, compare against
+        :meth:`stable_skeleton` via :meth:`has_stabilized`.
+        """
+        if not self._skeletons:
+            return None
+        final = self._skeletons[-1]
+        r_st = len(self._skeletons)
+        for idx in range(len(self._skeletons) - 1, -1, -1):
+            if self._skeletons[idx] == final:
+                r_st = idx + 1
+            else:
+                break
+        return r_st
+
+    def has_stabilized(self) -> bool:
+        """Whether the recorded prefix already reached ``G^∩∞`` (requires a
+        declared stable graph to be meaningful)."""
+        if self.declared_stable_graph is None or not self._skeletons:
+            return False
+        return self._skeletons[-1] == self.declared_stable_graph
+
+    # ------------------------------------------------------------------
+    # Decision accessors
+    # ------------------------------------------------------------------
+    def decision_values(self) -> set:
+        """The set of distinct decided values (the k-agreement quantity)."""
+        return {d.value for d in self.decisions.values()}
+
+    def decision_rounds(self) -> dict[int, int]:
+        """Process id -> round of decision."""
+        return {pid: d.round_no for pid, d in self.decisions.items()}
+
+    def all_decided(self) -> bool:
+        """Whether every process has decided (termination on this prefix)."""
+        return len(self.decisions) == self.n
+
+    def undecided(self) -> list[int]:
+        """Process ids that have not decided yet."""
+        return [p for p in range(self.n) if p not in self.decisions]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (graphs + decisions; no message bodies)."""
+        return {
+            "n": self.n,
+            "initial_values": self.initial_values,
+            "num_rounds": self.num_rounds,
+            "graphs": [rec.graph.to_dict() for rec in self.rounds],
+            "decisions": {
+                str(pid): {"round": d.round_no, "value": d.value}
+                for pid, d in sorted(self.decisions.items())
+            },
+            "stable_skeleton": self.stable_skeleton().to_dict()
+            if (self.declared_stable_graph is not None or self.rounds)
+            else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Run":
+        """Rebuild a run from :meth:`to_dict` output (graphs + decisions).
+
+        Message bodies and state snapshots are not serialized, so the
+        reconstructed run supports all skeleton/decision analysis but not
+        :func:`repro.analysis.stats.message_stats`.
+        """
+        stable = (
+            DiGraph.from_dict(data["stable_skeleton"])
+            if data.get("stable_skeleton")
+            else None
+        )
+        run = cls(
+            n=data["n"],
+            initial_values=list(data["initial_values"]),
+            declared_stable_graph=stable,
+        )
+        decisions_by_round: dict[int, list[DecisionRecord]] = {}
+        for pid_str, d in data.get("decisions", {}).items():
+            rec = DecisionRecord(
+                process=int(pid_str), round_no=d["round"], value=d["value"]
+            )
+            decisions_by_round.setdefault(rec.round_no, []).append(rec)
+        for idx, graph_data in enumerate(data["graphs"], start=1):
+            run.append_round(
+                RoundRecord(
+                    round_no=idx,
+                    graph=DiGraph.from_dict(graph_data),
+                    decisions=decisions_by_round.get(idx, []),
+                )
+            )
+        return run
+
+    def replay_adversary(self):
+        """An adversary that replays this run's graph sequence — feed the
+        same network schedule to a different algorithm (BASELINE-style
+        apples-to-apples comparisons, or offline re-execution)."""
+        from repro.adversaries.base import ReplayAdversary
+
+        return ReplayAdversary(
+            self.n, self.graphs(), stable=self.declared_stable_graph
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Run(n={self.n}, rounds={self.num_rounds}, "
+            f"decided={len(self.decisions)}/{self.n}, "
+            f"values={sorted(map(repr, self.decision_values()))})"
+        )

@@ -1,0 +1,200 @@
+"""The round executor.
+
+Implements §II's execution model exactly:
+
+1. At the beginning of round ``r``, every process's sending function is
+   evaluated on its current state (all of them *before* any delivery —
+   communication-closed rounds).
+2. The adversary supplies the round's communication graph ``G^r``; process
+   ``p`` receives the round-``r`` message of ``q`` iff ``(q -> p) ∈ G^r``.
+3. Every process's transition function is applied to its received vector.
+
+Crashed processes are "internally correct" (§II / HO model): the simulator
+keeps executing them; it is the *adversary* that removes their outgoing
+edges, so nobody hears from them.
+
+Self-delivery: the paper assumes ``∀p: p ∈ PT(p)`` (Figure 1 caption), i.e.
+``(p -> p) ∈ G^r`` for every round.  The simulator enforces this by default;
+it can be disabled for adversarial experiments that need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.graphs.digraph import DiGraph
+from repro.rounds.messages import Message
+from repro.rounds.process import Process
+from repro.rounds.run import Run, RoundRecord
+
+# An invariant hook receives (run, round_no, processes) after each round and
+# may raise AssertionError to abort; used by the lemma checkers.
+InvariantHook = Callable[[Run, int, Sequence[Process]], None]
+
+
+@dataclass
+class SimulationConfig:
+    """Execution knobs.
+
+    Attributes
+    ----------
+    max_rounds:
+        Hard stop: simulate at most this many rounds.
+    stop_when_all_decided:
+        Stop early once every process has decided (plus ``grace_rounds``).
+    grace_rounds:
+        Extra rounds to run after all processes decided — useful when the
+        analysis wants to observe post-decision skeleton evolution.
+    enforce_self_delivery:
+        Add ``(p -> p)`` to every round graph (the paper's convention).
+    record_messages:
+        Keep per-round message objects in the run record (needed by the
+        message-complexity analysis; off for large sweeps to save memory).
+    record_states:
+        Keep per-round state snapshots (needed by the lemma checkers).
+    """
+
+    max_rounds: int = 1000
+    stop_when_all_decided: bool = True
+    grace_rounds: int = 0
+    enforce_self_delivery: bool = True
+    record_messages: bool = False
+    record_states: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.grace_rounds < 0:
+            raise ValueError("grace_rounds must be >= 0")
+
+
+class RoundSimulator:
+    """Executes an algorithm against an adversary.
+
+    Parameters
+    ----------
+    processes:
+        One :class:`Process` per id ``0..n-1`` (order = id).
+    adversary:
+        Any object with ``graph(round_no: int) -> DiGraph`` yielding the
+        round's communication graph, and optionally
+        ``declared_stable_graph() -> DiGraph | None``
+        (see :class:`repro.adversaries.base.Adversary`).
+    config:
+        Execution knobs; defaults are sensible for correctness tests.
+    invariant_hooks:
+        Callables invoked after every round (lemma checkers).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        adversary: Any,
+        config: SimulationConfig | None = None,
+        invariant_hooks: Sequence[InvariantHook] = (),
+    ) -> None:
+        self.processes = list(processes)
+        self.n = len(self.processes)
+        if self.n == 0:
+            raise ValueError("need at least one process")
+        for expected, proc in enumerate(self.processes):
+            if proc.pid != expected:
+                raise ValueError(
+                    f"process at index {expected} has pid {proc.pid}; "
+                    "processes must be ordered by pid"
+                )
+        self.adversary = adversary
+        self.config = config or SimulationConfig()
+        self.invariant_hooks = list(invariant_hooks)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Run:
+        """Execute rounds until a stop condition fires; return the record."""
+        declared = None
+        getter = getattr(self.adversary, "declared_stable_graph", None)
+        if callable(getter):
+            declared = getter()
+        run = Run(
+            n=self.n,
+            initial_values=[p.initial_value for p in self.processes],
+            declared_stable_graph=declared,
+        )
+        rounds_after_all_decided = 0
+        for round_no in range(1, self.config.max_rounds + 1):
+            self._execute_round(run, round_no)
+            for hook in self.invariant_hooks:
+                hook(run, round_no, self.processes)
+            if self.config.stop_when_all_decided and run.all_decided():
+                if rounds_after_all_decided >= self.config.grace_rounds:
+                    break
+                rounds_after_all_decided += 1
+        return run
+
+    # ------------------------------------------------------------------
+    def _execute_round(self, run: Run, round_no: int) -> None:
+        # Phase 1: evaluate all sending functions on beginning-of-round state.
+        outbound: dict[int, Message] = {}
+        for proc in self.processes:
+            msg = proc.send(round_no)
+            if msg.sender != proc.pid:
+                raise ValueError(
+                    f"process {proc.pid} produced a message claiming sender "
+                    f"{msg.sender}"
+                )
+            if msg.round_no != round_no:
+                raise ValueError(
+                    f"process {proc.pid} produced a round-{msg.round_no} "
+                    f"message in round {round_no} (communication-closed "
+                    "rounds forbid cross-round messages)"
+                )
+            outbound[proc.pid] = msg
+
+        # Phase 2: the adversary picks the communication graph.
+        graph = self.adversary.graph(round_no)
+        graph = self._validate_graph(graph, round_no)
+
+        # Phase 3: deliver and apply transition functions.
+        decided_before = {p.pid for p in self.processes if p.decided}
+        record = RoundRecord(round_no=round_no, graph=graph)
+        if self.config.record_messages:
+            record.messages = dict(outbound)
+        for proc in self.processes:
+            received = {
+                sender: outbound[sender]
+                for sender in graph.predecessors(proc.pid)
+            }
+            proc.transition(round_no, received)
+        for proc in self.processes:
+            if proc.decided and proc.pid not in decided_before:
+                record.decisions.append(proc.decision)
+            if self.config.record_states:
+                record.state_snapshots[proc.pid] = proc.state_snapshot()
+        run.append_round(record)
+
+    # ------------------------------------------------------------------
+    def _validate_graph(self, graph: DiGraph, round_no: int) -> DiGraph:
+        nodes = graph.nodes()
+        expected = frozenset(range(self.n))
+        if nodes != expected:
+            raise ValueError(
+                f"adversary produced a round-{round_no} graph on nodes "
+                f"{sorted(nodes, key=repr)}; expected exactly 0..{self.n - 1}"
+            )
+        if self.config.enforce_self_delivery:
+            missing = [p for p in range(self.n) if not graph.has_edge(p, p)]
+            if missing:
+                graph = graph.copy()
+                for p in missing:
+                    graph.add_edge(p, p)
+        return graph
+
+
+def simulate(
+    processes: Sequence[Process],
+    adversary: Any,
+    config: SimulationConfig | None = None,
+    invariant_hooks: Sequence[InvariantHook] = (),
+) -> Run:
+    """Convenience one-shot wrapper around :class:`RoundSimulator`."""
+    return RoundSimulator(processes, adversary, config, invariant_hooks).run()

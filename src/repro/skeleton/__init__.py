@@ -1,0 +1,28 @@
+"""Skeleton-graph analysis.
+
+Derived objects of §II: the round-``r`` skeleton ``G^∩r`` (intersection of
+the first ``r`` communication graphs), the stable skeleton ``G^∩∞``, timely
+neighborhoods ``PT(p, r)`` / ``PT(p)``, stabilization rounds, and root
+components.
+"""
+
+from repro.skeleton.tracker import SkeletonTracker
+from repro.skeleton.monitor import SkeletonMonitor, MonitorReport
+from repro.skeleton.analysis import (
+    skeleton_sequence,
+    stabilization_round,
+    timely_neighborhoods_at,
+    stable_root_components,
+    root_component_history,
+)
+
+__all__ = [
+    "SkeletonTracker",
+    "SkeletonMonitor",
+    "MonitorReport",
+    "skeleton_sequence",
+    "stabilization_round",
+    "timely_neighborhoods_at",
+    "stable_root_components",
+    "root_component_history",
+]

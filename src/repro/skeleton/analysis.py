@@ -1,0 +1,68 @@
+"""Whole-run skeleton analysis.
+
+Batch counterparts of :class:`~repro.skeleton.tracker.SkeletonTracker` that
+operate on a finished :class:`~repro.rounds.run.Run`, plus the root-component
+machinery that Theorem 1 and Lemma 15 revolve around.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.condensation import root_components
+from repro.graphs.digraph import DiGraph
+from repro.rounds.run import Run
+
+
+def skeleton_sequence(run: Run) -> list[DiGraph]:
+    """``[G^∩1, G^∩2, ..., G^∩R]`` for the recorded prefix."""
+    return [run.skeleton(r) for r in range(1, run.num_rounds + 1)]
+
+
+def stabilization_round(run: Run) -> int | None:
+    """The exact stabilization round ``r_ST`` against the declared stable
+    skeleton: the first recorded round with ``G^∩r = G^∩∞``.
+
+    Returns ``None`` when the run has no declaration or has not stabilized
+    within the recorded prefix.
+    """
+    if run.declared_stable_graph is None:
+        return None
+    target = run.declared_stable_graph
+    for r in range(1, run.num_rounds + 1):
+        if run.skeleton(r) == target:
+            return r
+    return None
+
+
+def timely_neighborhoods_at(run: Run, round_no: int) -> dict[int, frozenset[int]]:
+    """``PT(p, r)`` for every process ``p`` at round ``round_no``."""
+    skel = run.skeleton(round_no)
+    return {p: skel.predecessors(p) for p in range(run.n)}
+
+
+def perpetual_timely_neighborhoods(run: Run) -> dict[int, frozenset[int]]:
+    """``PT(p)`` for every process, from the stable skeleton."""
+    stable = run.stable_skeleton()
+    return {p: stable.predecessors(p) for p in range(run.n)}
+
+
+def stable_root_components(run: Run) -> list[frozenset[int]]:
+    """Root components of the stable skeleton — the objects Theorem 1
+    bounds and Lemma 15 maps one-to-one onto decision values."""
+    return root_components(run.stable_skeleton())
+
+
+def root_component_history(run: Run) -> list[list[frozenset[int]]]:
+    """Root components of ``G^∩r`` for each recorded round.
+
+    Useful to watch components merge/split as edges turn untimely; by the
+    subgraph chain (1) the *final* entry's components refine into the stable
+    ones once the prefix covers stabilization.
+    """
+    return [root_components(run.skeleton(r)) for r in range(1, run.num_rounds + 1)]
+
+
+def component_containing(graph: DiGraph, pid: int) -> frozenset[int]:
+    """``C^r_p`` — the SCC of ``pid`` in ``graph`` (paper notation)."""
+    from repro.graphs.scc import scc_of
+
+    return scc_of(graph, pid)

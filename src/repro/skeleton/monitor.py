@@ -1,0 +1,120 @@
+"""Online skeleton monitoring.
+
+An operational layer a deployment would actually run next to Algorithm 1:
+consume heard-of observations round by round (from the transport, from
+logs, or from a :class:`~repro.rounds.run.Run`) and maintain, incrementally,
+
+* the current skeleton ``G^∩r`` and per-process ``PT(p, r)``,
+* the current root components and their count (the live upper bound on
+  how many decision values the system can still produce — Theorem 1's
+  quantity, observable),
+* the tightest ``k`` for which ``Psrcs(k)`` *can still hold* (``α`` of the
+  conflict graph of the current skeleton — monotonically non-decreasing
+  over time as edges fall out),
+* change events: which edges turned untimely this round, whether the root
+  structure changed.
+
+Monotonicity makes this cheap: the skeleton only loses edges, so per-round
+work is O(edges removed) plus the component refresh, and the reported
+``k``-capability can only degrade, never improve — the monitor's headline
+number is safe to act on at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.condensation import root_components
+from repro.graphs.digraph import DiGraph
+from repro.predicates.psrcs import Psrcs
+from repro.skeleton.tracker import SkeletonTracker
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Snapshot after one observed round."""
+
+    round_no: int
+    skeleton_edges: int
+    edges_lost: tuple[tuple[int, int], ...]
+    root_components: tuple[frozenset[int], ...]
+    roots_changed: bool
+    tightest_k: int
+
+    @property
+    def max_decision_values(self) -> int:
+        """Theorem 1 / Lemma 15: the number of root components bounds the
+        decision values the system can still produce."""
+        return len(self.root_components)
+
+
+class SkeletonMonitor:
+    """Incremental observer over a stream of communication graphs."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._tracker = SkeletonTracker(n)
+        self._roots: tuple[frozenset[int], ...] = ()
+        self._tightest_k: int = 1
+        self.reports: list[MonitorReport] = []
+
+    # ------------------------------------------------------------------
+    def observe_graph(self, graph: DiGraph) -> MonitorReport:
+        """Feed one round's communication graph; returns the snapshot."""
+        before = set(self._tracker.skeleton.iter_edges())
+        skeleton = self._tracker.observe(graph)
+        after = set(skeleton.iter_edges())
+        lost = tuple(sorted(before - after))
+        roots = tuple(
+            sorted(root_components(skeleton), key=lambda c: min(c))
+        )
+        roots_changed = roots != self._roots
+        if roots_changed or not self.reports:
+            # α only changes when the skeleton does; recompute lazily on
+            # structural change (edge loss without root change can still
+            # shift α, so also recompute whenever edges were lost).
+            self._tightest_k = Psrcs(1).tightest_k(skeleton)
+        elif lost:
+            self._tightest_k = Psrcs(1).tightest_k(skeleton)
+        self._roots = roots
+        report = MonitorReport(
+            round_no=self._tracker.round_no,
+            skeleton_edges=skeleton.number_of_edges(),
+            edges_lost=lost,
+            root_components=roots,
+            roots_changed=roots_changed,
+            tightest_k=self._tightest_k,
+        )
+        self.reports.append(report)
+        return report
+
+    def observe_heard_of(self, ho: dict[int, frozenset[int]]) -> MonitorReport:
+        """Feed one round as heard-of sets (``HO(p, r)`` per process)."""
+        g = DiGraph(nodes=range(self.n))
+        for p, heard in ho.items():
+            for q in heard:
+                g.add_edge(q, p)
+        return self.observe_graph(g)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_report(self) -> MonitorReport:
+        if not self.reports:
+            raise ValueError("no rounds observed yet")
+        return self.reports[-1]
+
+    def timely_neighborhood(self, pid: int) -> frozenset[int]:
+        return self._tracker.timely_neighborhood(pid)
+
+    def k_capability_history(self) -> list[int]:
+        """Tightest Psrcs level per round — non-decreasing (tested)."""
+        return [r.tightest_k for r in self.reports]
+
+    def root_count_history(self) -> list[int]:
+        return [len(r.root_components) for r in self.reports]
+
+    def __repr__(self) -> str:
+        return (
+            f"SkeletonMonitor(n={self.n}, rounds={len(self.reports)}, "
+            f"roots={len(self._roots)}, k={self._tightest_k})"
+        )

@@ -1,0 +1,86 @@
+"""Incremental skeleton tracking.
+
+:class:`SkeletonTracker` consumes communication graphs round by round and
+maintains ``G^∩r`` incrementally — the same O(total edges removed) pattern a
+monitoring tool on a real deployment would use.  It also detects the
+*stabilization* round: by the finiteness argument of §II (finitely many
+possible skeletons + the subgraph chain (1)), some round ``r_ST`` exists
+with ``G^∩r = G^∩∞`` for all ``r >= r_ST``; against a declared stable graph
+the tracker reports it exactly.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import DiGraph
+
+
+class SkeletonTracker:
+    """Maintains ``G^∩r`` across successive rounds.
+
+    Parameters
+    ----------
+    n:
+        Number of processes; the round-0 skeleton is the complete digraph
+        (empty intersection = everything), so ``G^∩1 = G^1``.
+    declared_stable:
+        Optional declared ``G^∩∞`` for exact stabilization detection.
+    """
+
+    def __init__(self, n: int, declared_stable: DiGraph | None = None) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.round_no = 0
+        self._skeleton = DiGraph.complete(range(n), self_loops=True)
+        self.declared_stable = declared_stable
+        self._stabilized_at: int | None = None
+        self._history_sizes: list[int] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, graph: DiGraph) -> DiGraph:
+        """Feed the next round's communication graph; returns the updated
+        skeleton ``G^∩r`` (a reference — do not mutate)."""
+        if graph.nodes() != frozenset(range(self.n)):
+            raise ValueError("graph nodes must be exactly 0..n-1")
+        self.round_no += 1
+        # In-place removal of edges that turned untimely: cheaper than
+        # re-intersecting from scratch because the skeleton only shrinks.
+        for u, v in list(self._skeleton.iter_edges()):
+            if not graph.has_edge(u, v):
+                self._skeleton.remove_edge(u, v)
+        self._history_sizes.append(self._skeleton.number_of_edges())
+        if (
+            self._stabilized_at is None
+            and self.declared_stable is not None
+            and self._skeleton == self.declared_stable
+        ):
+            self._stabilized_at = self.round_no
+        return self._skeleton
+
+    # ------------------------------------------------------------------
+    @property
+    def skeleton(self) -> DiGraph:
+        """The current ``G^∩r`` (copy — safe to mutate)."""
+        return self._skeleton.copy()
+
+    def timely_neighborhood(self, pid: int) -> frozenset[int]:
+        """``PT(p, r)`` for the current round."""
+        return self._skeleton.predecessors(pid)
+
+    @property
+    def stabilized_at(self) -> int | None:
+        """First round where the skeleton reached the declared stable graph
+        (``None`` if not yet, or no declaration)."""
+        return self._stabilized_at
+
+    def edge_counts(self) -> list[int]:
+        """``|E^∩r|`` per round — monotonically non-increasing (property 1);
+        the tests assert this invariant on random runs."""
+        return list(self._history_sizes)
+
+    def __repr__(self) -> str:
+        return (
+            f"SkeletonTracker(round={self.round_no}, "
+            f"|E|={self._skeleton.number_of_edges()}, "
+            f"stabilized_at={self._stabilized_at})"
+        )

@@ -1,0 +1,45 @@
+"""The asynchronous substrate underneath the round model.
+
+The paper's §I positions its round model as an abstraction of partially
+synchronous systems (Dwork, Lynch, Stockmeyer [7]): "both synchrony of
+communication and failures are captured just by means of the messages that
+arrive within a round".  This package implements that underlying layer and
+the abstraction step explicitly:
+
+* :mod:`repro.transport.events` — a discrete-event simulation kernel
+  (event queue, virtual time);
+* :mod:`repro.transport.network` — point-to-point message transport with
+  pluggable per-link latency models (including *partially synchronous*
+  links: a stable fast core plus unboundedly-slow noise links);
+* :mod:`repro.transport.round_layer` — the classic timeout-driven round
+  synthesis: each process broadcasts, waits ``timeout`` time units, and
+  delivers whatever arrived — producing exactly the per-round
+  communication graphs ``G^r`` of the paper's model.
+
+The bridge theorem made executable: a link whose latency is *always* below
+the round timeout is a stable-skeleton edge; links that exceed it
+infinitely often are not.  The ROUND-SYNTH experiment sweeps the timeout
+and watches ``Psrcs(k)`` appear and disappear.
+"""
+
+from repro.transport.events import EventQueue, Event
+from repro.transport.network import (
+    LatencyModel,
+    FixedLatency,
+    UniformLatency,
+    PartiallySynchronousLatency,
+    Network,
+)
+from repro.transport.round_layer import RoundSynthesizer, SynthesizedAdversary
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "PartiallySynchronousLatency",
+    "Network",
+    "RoundSynthesizer",
+    "SynthesizedAdversary",
+]

@@ -1,0 +1,142 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event queue over virtual time: events carry a
+timestamp, a deterministic tiebreak sequence number, and a payload.  The
+round-synthesis layer schedules message deliveries and round timeouts on
+it; the kernel guarantees
+
+* events fire in (time, seq) order — simultaneous events fire in the order
+  they were scheduled, making runs fully reproducible;
+* time never goes backwards (scheduling into the past raises).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled event (ordered by time, then sequence number)."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic virtual-time event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(self, delay: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` time units from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay, seq=next(self._counter), kind=kind,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event at an absolute virtual time ``>= now``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} < now ({self._now})"
+            )
+        event = Event(
+            time=time, seq=next(self._counter), kind=kind, payload=payload
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        self._cancelled.add(event.seq)
+
+    def pop(self) -> Event | None:
+        """Advance time to and return the next non-cancelled event, or
+        ``None`` when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def drain(self, until: float | None = None) -> Iterator[Event]:
+        """Iterate events in order, optionally stopping at virtual time
+        ``until`` (events at exactly ``until`` are included)."""
+        while True:
+            if until is not None and self._heap:
+                # Peek without committing.
+                nxt = self._heap[0]
+                if nxt.time > until and nxt.seq not in self._cancelled:
+                    return
+            event = self.pop()
+            if event is None:
+                return
+            if until is not None and event.time > until:
+                # Re-push: the caller did not want it yet.
+                heapq.heappush(self._heap, event)
+                self._now = until
+                return
+            yield event
+
+    def run(
+        self,
+        handler: Callable[[Event], None],
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Dispatch events to ``handler``; returns the number dispatched."""
+        count = 0
+        for event in self.drain(until=until):
+            handler(event)
+            count += 1
+            if max_events is not None and count >= max_events:
+                return count
+        return count
+
+    def clear(self) -> int:
+        """Drop every pending event *without* advancing time; returns the
+        number of live (non-cancelled) events dropped.
+
+        The round layer uses this at round boundaries: messages still in
+        flight at the deadline are late and are discarded wholesale
+        (communication closure) — their delivery times must not drag the
+        virtual clock forward.
+        """
+        dropped = len(self)
+        self._heap.clear()
+        self._cancelled.clear()
+        return dropped
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` (must be >= now)."""
+        if time < self._now:
+            raise ValueError(f"cannot rewind clock to {time} < {self._now}")
+        self._now = time
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,151 @@
+"""Point-to-point message transport with pluggable latency models.
+
+The partially synchronous landscape (Dwork et al. [7], cited in §I) is
+modeled per ordered link ``(u, v)``:
+
+* :class:`FixedLatency` — a synchronous link: constant delay.
+* :class:`UniformLatency` — delay drawn per message from ``[lo, hi]``.
+* :class:`PartiallySynchronousLatency` — the interesting one: a set of
+  *core* links is permanently fast (delay ≤ ``fast_max``); all other links
+  are occasionally fast but exceed any bound infinitely often (each message
+  is slow with probability ``slow_prob``, where "slow" means a delay drawn
+  from a heavy band above the round timeout).  Under timeout-based round
+  synthesis the core links — and only they — become stable-skeleton edges,
+  which is exactly how a ``Psrcs(k)`` system arises from a real network.
+
+Latency models are deterministic functions of ``(sender, receiver,
+send_time_index, seed)``, so transports are replayable.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+
+import numpy as np
+
+
+class LatencyModel(abc.ABC):
+    """Per-link message latency."""
+
+    @abc.abstractmethod
+    def latency(self, sender: int, receiver: int, msg_index: int) -> float:
+        """Delay for the ``msg_index``-th message on link ``sender ->
+        receiver``.  Must be >= 0 (self-delivery uses latency 0)."""
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay on every link."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.delay = delay
+
+    def latency(self, sender: int, receiver: int, msg_index: int) -> float:
+        if sender == receiver:
+            return 0.0
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Per-message delay uniform in ``[lo, hi]``, seed-deterministic."""
+
+    def __init__(self, lo: float, hi: float, seed: int = 0) -> None:
+        if not 0 <= lo <= hi:
+            raise ValueError("need 0 <= lo <= hi")
+        self.lo = lo
+        self.hi = hi
+        self.seed = seed
+
+    def latency(self, sender: int, receiver: int, msg_index: int) -> float:
+        if sender == receiver:
+            return 0.0
+        rng = np.random.default_rng([self.seed, sender, receiver, msg_index])
+        return float(rng.uniform(self.lo, self.hi))
+
+
+class PartiallySynchronousLatency(LatencyModel):
+    """A permanently-fast core plus occasionally-slow everything else.
+
+    Parameters
+    ----------
+    core_links:
+        Ordered pairs that are always fast (delay uniform in
+        ``[fast_min, fast_max]``).
+    fast_min, fast_max:
+        The fast band.
+    slow_prob:
+        Probability that a non-core message is slow.
+    slow_min, slow_max:
+        The slow band (should exceed the round timeout to make the link
+        untimely in that round).
+    seed:
+        Determinism key.
+    """
+
+    def __init__(
+        self,
+        core_links: Iterable[tuple[int, int]],
+        fast_min: float = 0.1,
+        fast_max: float = 0.9,
+        slow_prob: float = 0.5,
+        slow_min: float = 5.0,
+        slow_max: float = 50.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= fast_min <= fast_max:
+            raise ValueError("need 0 <= fast_min <= fast_max")
+        if not fast_max <= slow_min <= slow_max:
+            raise ValueError("need fast_max <= slow_min <= slow_max")
+        if not 0 <= slow_prob <= 1:
+            raise ValueError("slow_prob must be in [0, 1]")
+        self.core = frozenset(core_links)
+        self.fast_min = fast_min
+        self.fast_max = fast_max
+        self.slow_prob = slow_prob
+        self.slow_min = slow_min
+        self.slow_max = slow_max
+        self.seed = seed
+
+    def latency(self, sender: int, receiver: int, msg_index: int) -> float:
+        if sender == receiver:
+            return 0.0
+        rng = np.random.default_rng([self.seed, sender, receiver, msg_index])
+        if (sender, receiver) in self.core or rng.random() >= self.slow_prob:
+            return float(rng.uniform(self.fast_min, self.fast_max))
+        return float(rng.uniform(self.slow_min, self.slow_max))
+
+    def is_core(self, sender: int, receiver: int) -> bool:
+        return sender == receiver or (sender, receiver) in self.core
+
+
+class Network:
+    """The transport: broadcast with per-link latencies over an event queue.
+
+    The network schedules one ``deliver`` event per (message, receiver)
+    pair; the round layer decides which deliveries beat the timeout.
+    """
+
+    def __init__(self, n: int, latency_model: LatencyModel) -> None:
+        if n < 1:
+            raise ValueError("need at least one process")
+        self.n = n
+        self.latency_model = latency_model
+        self._msg_counters: dict[tuple[int, int], int] = {}
+
+    def broadcast_delays(self, sender: int) -> dict[int, float]:
+        """Latencies for one broadcast from ``sender`` to every process
+        (advances the per-link message counters)."""
+        delays: dict[int, float] = {}
+        for receiver in range(self.n):
+            key = (sender, receiver)
+            idx = self._msg_counters.get(key, 0)
+            self._msg_counters[key] = idx + 1
+            delay = self.latency_model.latency(sender, receiver, idx)
+            if delay < 0:
+                raise ValueError(
+                    f"latency model produced negative delay on {key}"
+                )
+            delays[receiver] = delay
+        return delays

@@ -1,0 +1,179 @@
+"""Synthesizing communication-closed rounds from the asynchronous layer.
+
+The classic timeout-driven round protocol over a partially synchronous
+network (the construction the HO model abstracts, §I):
+
+1. at the start of round ``r`` (virtual time ``(r-1)·timeout``), every
+   process broadcasts its round-``r`` message;
+2. messages travel with per-link latencies (the :class:`Network`);
+3. at time ``r·timeout`` the round closes: process ``p`` "hears of" exactly
+   the senders whose round-``r`` message arrived in time.  Late messages
+   are discarded — communication-closed rounds (a round-``r`` message can
+   only be received in round ``r``).
+
+The result is a per-round communication graph ``G^r``: edge ``(q -> p)``
+iff ``latency(q -> p, round r) <= timeout``.  This is the executable form
+of the paper's "synchrony and failures are captured just by means of the
+messages that arrive within a round".
+
+:class:`SynthesizedAdversary` wraps the synthesis as a standard
+:class:`~repro.adversaries.base.Adversary`, so Algorithm 1 runs unchanged
+on top of the asynchronous substrate.  With a
+:class:`~repro.transport.network.PartiallySynchronousLatency` whose core
+realizes a grouped-source structure, the synthesized run satisfies
+``Psrcs(k)`` — the whole stack from wire latencies to k-set agreement.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.base import Adversary
+from repro.graphs.digraph import DiGraph
+from repro.transport.events import EventQueue
+from repro.transport.network import Network, PartiallySynchronousLatency
+
+
+class RoundSynthesizer:
+    """Produces per-round communication graphs from a network.
+
+    Parameters
+    ----------
+    network:
+        The asynchronous transport.
+    timeout:
+        Round duration: a message sent at the round start is timely iff its
+        latency is <= ``timeout``.
+    """
+
+    def __init__(self, network: Network, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        self.network = network
+        self.timeout = timeout
+        self._queue = EventQueue()
+        self._graphs: dict[int, DiGraph] = {}
+        self._late_counts: dict[int, int] = {}
+
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    def synthesize_round(self, round_no: int) -> DiGraph:
+        """Simulate one round on the event queue; return ``G^r``.
+
+        Rounds must be requested in order the first time (the virtual
+        clock advances by ``timeout`` per round); repeated requests return
+        the recorded graph.
+        """
+        if round_no in self._graphs:
+            return self._graphs[round_no]
+        expected = len(self._graphs) + 1
+        if round_no != expected:
+            raise ValueError(
+                f"rounds must be synthesized in order: expected {expected}, "
+                f"got {round_no}"
+            )
+        round_start = self._queue.now
+        round_end = round_start + self.timeout
+        # 1. Everyone broadcasts at the round start.
+        for sender in range(self.n):
+            for receiver, delay in self.network.broadcast_delays(sender).items():
+                self._queue.schedule(
+                    delay, "deliver", payload=(sender, receiver, round_no)
+                )
+        # 2./3. Deliveries before the deadline are timely; everything still
+        # in flight at the boundary is late and dropped wholesale
+        # (communication closure) without advancing the clock.
+        graph = DiGraph(nodes=range(self.n))
+        for event in self._queue.drain(until=round_end):
+            sender, receiver, msg_round = event.payload
+            assert msg_round == round_no
+            graph.add_edge(sender, receiver)
+        late = self._queue.clear()
+        self._queue.advance_to(round_end)
+        self._late_counts[round_no] = late
+        self._graphs[round_no] = graph
+        return graph
+
+    def late_messages(self, round_no: int) -> int:
+        """How many round-``round_no`` messages missed the deadline."""
+        return self._late_counts[round_no]
+
+
+class SynthesizedAdversary(Adversary):
+    """Adapter: a :class:`RoundSynthesizer` as a standard adversary.
+
+    When the latency model is :class:`PartiallySynchronousLatency`, the
+    declared stable graph is the core (self-loops + core links): core
+    messages always beat the timeout, non-core links are slow with positive
+    probability per message so (almost surely, and by construction in the
+    seeds used here) they fail infinitely often.
+
+    ``declared_core_is_exact`` is checked empirically by the tests: the
+    finite-prefix skeleton converges to the declaration.
+    """
+
+    def __init__(self, synthesizer: RoundSynthesizer) -> None:
+        super().__init__(synthesizer.n)
+        self.synthesizer = synthesizer
+        if synthesizer.timeout < getattr(
+            synthesizer.network.latency_model, "fast_max", 0.0
+        ):
+            raise ValueError(
+                "timeout below the fast band: even core links would miss it"
+            )
+
+    def graph(self, round_no: int) -> DiGraph:
+        g = self.synthesizer.synthesize_round(round_no).copy()
+        for p in range(self.n):
+            g.add_edge(p, p)  # latency 0 self-delivery
+        return g
+
+    def declared_stable_graph(self) -> DiGraph | None:
+        """The provable stable skeleton, by timeout regime:
+
+        * ``timeout >= slow_max``: every message (fast or slow) beats the
+          deadline — the complete graph is stable;
+        * ``fast_max <= timeout < slow_min``: exactly the core (core
+          messages always make it; non-core links are slow with positive
+          per-message probability, hence untimely infinitely often);
+        * ``slow_min <= timeout < slow_max``: indeterminate (a slow message
+          may or may not beat the deadline) — no declaration;
+        * ``timeout < fast_max``: even core messages can miss — rejected
+          at construction.
+        """
+        model = self.synthesizer.network.latency_model
+        if not isinstance(model, PartiallySynchronousLatency):
+            return None
+        timeout = self.synthesizer.timeout
+        if timeout >= model.slow_max:
+            return DiGraph.complete(range(self.n), self_loops=True)
+        if model.fast_max <= timeout < model.slow_min and model.slow_prob > 0:
+            g = self.base_graph()
+            for u, v in model.core:
+                g.add_edge(u, v)
+            return g
+        return None
+
+
+def grouped_core_links(groups: list[list[int]]) -> list[tuple[int, int]]:
+    """Core links realizing a grouped-source structure on the wire: the
+    first member of each group is its source, with a fast link to every
+    member, plus a bidirectional fast cycle through the group (the
+    ``"cycle"`` topology of the grouped adversary).
+
+    Feeding these to :class:`PartiallySynchronousLatency` makes the
+    synthesized rounds satisfy ``Psrcs(len(groups))`` — end-to-end from
+    latencies to the predicate.
+    """
+    links: list[tuple[int, int]] = []
+    for group in groups:
+        source = group[0]
+        for member in group:
+            if member != source:
+                links.append((source, member))
+        if len(group) > 1:
+            for i in range(len(group)):
+                a, b = group[i], group[(i + 1) % len(group)]
+                links.append((a, b))
+                links.append((b, a))
+    return sorted(set(links))

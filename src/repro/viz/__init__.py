@@ -1,0 +1,13 @@
+"""Rendering: ASCII (Figure-1 style edge lists, adjacency matrices) and
+Graphviz DOT export."""
+
+from repro.viz.ascii import render_edge_list, render_adjacency, render_labeled
+from repro.viz.dot import to_dot, labeled_to_dot
+
+__all__ = [
+    "render_edge_list",
+    "render_adjacency",
+    "render_labeled",
+    "to_dot",
+    "labeled_to_dot",
+]

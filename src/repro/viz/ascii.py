@@ -1,0 +1,93 @@
+"""ASCII graph rendering in the style of the paper's Figure 1.
+
+Figure 1 draws graphs as nodes with directed edges, round labels on the
+approximation edges, and self-loops omitted "for simplicity".  The closest
+faithful text rendering is a sorted edge list with optional labels plus an
+adjacency matrix; both are deterministic so experiment outputs diff cleanly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import RoundLabeledDigraph
+
+NameFn = Callable[[object], str]
+
+
+def default_name(node: object) -> str:
+    """Paper-style names: integer ``i`` becomes ``p{i+1}`` (ids are
+    0-based, the paper's processes are ``p1..pn``)."""
+    if isinstance(node, int):
+        return f"p{node + 1}"
+    return str(node)
+
+
+def render_edge_list(
+    graph: DiGraph,
+    title: str = "",
+    name: NameFn = default_name,
+    omit_self_loops: bool = True,
+) -> str:
+    """Sorted ``u -> v`` edge list (Figure 1 omits self-loops)."""
+    lines = [title] if title else []
+    edges = sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    shown = 0
+    for u, v in edges:
+        if omit_self_loops and u == v:
+            continue
+        lines.append(f"  {name(u)} -> {name(v)}")
+        shown += 1
+    if shown == 0:
+        lines.append("  (no edges)")
+    isolated = sorted(
+        (node for node in graph.nodes() if graph.in_degree(node) == 0
+         and graph.out_degree(node) == 0),
+        key=repr,
+    )
+    if isolated:
+        lines.append(
+            "  isolated: " + ", ".join(name(v) for v in isolated)
+        )
+    return "\n".join(lines)
+
+
+def render_labeled(
+    graph: RoundLabeledDigraph,
+    title: str = "",
+    name: NameFn = default_name,
+    omit_self_loops: bool = True,
+) -> str:
+    """Sorted ``u --r--> v`` labeled edge list (Figure 1c–1h style)."""
+    lines = [title] if title else []
+    edges = sorted(
+        graph.iter_labeled_edges(), key=lambda e: (repr(e[0]), repr(e[1]))
+    )
+    shown = 0
+    for u, v, lbl in edges:
+        if omit_self_loops and u == v:
+            continue
+        lines.append(f"  {name(u)} --{lbl}--> {name(v)}")
+        shown += 1
+    if shown == 0:
+        lines.append("  (no edges)")
+    return "\n".join(lines)
+
+
+def render_adjacency(
+    graph: DiGraph, name: NameFn = default_name, title: str = ""
+) -> str:
+    """A compact adjacency matrix (rows = senders, columns = receivers)."""
+    nodes = sorted(graph.nodes(), key=repr)
+    labels = [name(v) for v in nodes]
+    width = max((len(s) for s in labels), default=1)
+    lines = [title] if title else []
+    header = " " * (width + 1) + " ".join(s.rjust(width) for s in labels)
+    lines.append(header)
+    for u, lu in zip(nodes, labels):
+        row = [
+            ("1" if graph.has_edge(u, v) else ".").rjust(width) for v in nodes
+        ]
+        lines.append(lu.rjust(width) + " " + " ".join(row))
+    return "\n".join(lines)

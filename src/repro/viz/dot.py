@@ -1,0 +1,50 @@
+"""Graphviz DOT export (for readers who want to regenerate the actual
+Figure 1 drawings with ``dot -Tpdf``)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.viz.ascii import default_name
+
+NameFn = Callable[[object], str]
+
+
+def to_dot(
+    graph: DiGraph,
+    name: NameFn = default_name,
+    graph_name: str = "G",
+    omit_self_loops: bool = True,
+) -> str:
+    """DOT source for an unweighted digraph."""
+    lines = [f"digraph {graph_name} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes(), key=repr):
+        lines.append(f'  "{name(node)}";')
+    for u, v in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        if omit_self_loops and u == v:
+            continue
+        lines.append(f'  "{name(u)}" -> "{name(v)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def labeled_to_dot(
+    graph: RoundLabeledDigraph,
+    name: NameFn = default_name,
+    graph_name: str = "G",
+    omit_self_loops: bool = True,
+) -> str:
+    """DOT source with round labels on the edges (Figure 1c–1h style)."""
+    lines = [f"digraph {graph_name} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes(), key=repr):
+        lines.append(f'  "{name(node)}";')
+    for u, v, lbl in sorted(
+        graph.iter_labeled_edges(), key=lambda e: (repr(e[0]), repr(e[1]))
+    ):
+        if omit_self_loops and u == v:
+            continue
+        lines.append(f'  "{name(u)}" -> "{name(v)}" [label="{lbl}"];')
+    lines.append("}")
+    return "\n".join(lines)

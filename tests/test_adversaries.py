@@ -1,0 +1,352 @@
+"""Tests for all adversaries: interface contracts plus per-adversary
+semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import RecordedAdversary, ReplayAdversary
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.eventual import EventuallyGoodAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.mobile import MobileOmissionAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.adversaries.static import ScheduleAdversary, StaticAdversary
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+
+
+ALL_ADVERSARIES = [
+    lambda: StaticAdversary(4, DiGraph.complete(range(4))),
+    lambda: ScheduleAdversary(
+        4, [DiGraph.complete(range(4))], tail=DiGraph(nodes=range(4))
+    ),
+    lambda: GroupedSourceAdversary(6, num_groups=2, seed=1, noise=0.3),
+    lambda: PartitionAdversary(6, 3),
+    lambda: EventuallyGoodAdversary(
+        GroupedSourceAdversary(5, num_groups=1), bad_rounds=3
+    ),
+    lambda: CrashAdversary(5, {1: 2}, seed=0),
+    lambda: MobileOmissionAdversary(5, per_round_omissions=4, seed=0),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_ADVERSARIES)
+class TestContract:
+    """Every adversary obeys the interface contract."""
+
+    def test_nodes_exact(self, factory):
+        adv = factory()
+        for r in (1, 2, 5, 9):
+            assert adv.graph(r).nodes() == frozenset(range(adv.n))
+
+    def test_deterministic_per_round(self, factory):
+        adv = factory()
+        for r in (1, 3, 7):
+            assert adv.graph(r) == adv.graph(r)
+
+    def test_stable_edges_present_every_round(self, factory):
+        adv = factory()
+        stable = adv.declared_stable_graph()
+        if stable is None:
+            pytest.skip("no declaration")
+        for r in range(1, 15):
+            g = adv.graph(r)
+            for u, v in stable.iter_edges():
+                assert g.has_edge(u, v), f"round {r} lost stable edge {(u, v)}"
+
+    def test_declaration_is_exact_over_long_prefix(self, factory):
+        # Intersecting a long prefix must converge exactly to the declared
+        # stable skeleton (the adversaries are built to make this true).
+        adv = factory()
+        stable = adv.declared_stable_graph()
+        if stable is None:
+            pytest.skip("no declaration")
+        inter = adv.graph(1).copy()
+        for r in range(2, 40):
+            inter = inter.intersection(adv.graph(r))
+        assert inter == stable
+
+
+class TestStatic:
+    def test_same_graph_every_round(self):
+        g = DiGraph.complete(range(3))
+        adv = StaticAdversary(3, g)
+        assert adv.graph(1) == adv.graph(100)
+
+    def test_self_loops_added(self):
+        g = DiGraph(nodes=range(3))
+        adv = StaticAdversary(3, g)
+        assert all(adv.graph(1).has_edge(i, i) for i in range(3))
+
+    def test_wrong_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            StaticAdversary(3, DiGraph(nodes=range(4)))
+
+
+class TestSchedule:
+    def test_schedule_then_tail(self):
+        g1 = DiGraph.complete(range(2))
+        g2 = DiGraph(nodes=range(2))
+        adv = ScheduleAdversary(2, [g1], tail=g2)
+        assert adv.graph(1) == g1.with_self_loops()
+        assert adv.graph(2) == g2.with_self_loops()
+        assert adv.graph(50) == g2.with_self_loops()
+
+    def test_tail_defaults_to_last(self):
+        g1 = DiGraph.complete(range(2))
+        adv = ScheduleAdversary(2, [g1])
+        assert adv.graph(7) == g1
+
+    def test_needs_something(self):
+        with pytest.raises(ValueError):
+            ScheduleAdversary(2, [])
+
+    def test_round_one_indexed(self):
+        adv = ScheduleAdversary(2, [DiGraph.complete(range(2))])
+        with pytest.raises(ValueError):
+            adv.graph(0)
+
+    def test_stable_is_intersection(self):
+        g1 = DiGraph(nodes=range(2), edges=[(0, 1)])
+        g2 = DiGraph(nodes=range(2), edges=[(1, 0)])
+        adv = ScheduleAdversary(2, [g1], tail=g2)
+        stable = adv.declared_stable_graph()
+        assert not stable.has_edge(0, 1)
+        assert not stable.has_edge(1, 0)
+        assert stable.has_edge(0, 0)  # self-loops survive
+
+
+class TestGrouped:
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            GroupedSourceAdversary(6, num_groups=2, groups=[[0, 1], [2, 3]])
+        with pytest.raises(ValueError):
+            GroupedSourceAdversary(4, num_groups=2, groups=[[0, 1, 2, 3]])
+        with pytest.raises(ValueError):
+            GroupedSourceAdversary(4, num_groups=0)
+        with pytest.raises(ValueError):
+            GroupedSourceAdversary(4, num_groups=2, topology="torus")
+        with pytest.raises(ValueError):
+            GroupedSourceAdversary(4, num_groups=2, noise=1.5)
+        with pytest.raises(ValueError):
+            GroupedSourceAdversary(4, num_groups=2, quiet_period=0)
+
+    def test_sources_cover_groups(self):
+        adv = GroupedSourceAdversary(9, num_groups=3)
+        stable = adv.declared_stable_graph()
+        for group, source in zip(adv.groups, adv.sources):
+            for member in group:
+                assert stable.has_edge(source, member)
+
+    @pytest.mark.parametrize("topology", ["star", "cycle", "clique"])
+    def test_root_component_count(self, topology):
+        from repro.graphs.condensation import count_root_components
+
+        adv = GroupedSourceAdversary(12, num_groups=3, topology=topology)
+        # star: roots are the singleton sources; cycle/clique: whole groups.
+        assert count_root_components(adv.declared_stable_graph()) == 3
+
+    def test_quiet_rounds_are_noise_free(self):
+        adv = GroupedSourceAdversary(
+            8, num_groups=2, seed=3, noise=0.5, quiet_period=4
+        )
+        assert adv.graph(4) == adv.declared_stable_graph()
+        assert adv.graph(8) == adv.declared_stable_graph()
+
+    def test_noise_adds_edges(self):
+        adv = GroupedSourceAdversary(8, num_groups=2, seed=3, noise=0.5)
+        noisy = adv.graph(1)
+        assert noisy.number_of_edges() > adv.declared_stable_graph().number_of_edges()
+
+    def test_group_of(self):
+        adv = GroupedSourceAdversary(6, num_groups=2)
+        assert adv.group_of(0) == 0
+        assert adv.group_of(5) == 1
+        with pytest.raises(KeyError):
+            adv.group_of(99)
+
+    def test_two_source_witness(self):
+        adv = GroupedSourceAdversary(6, num_groups=2)
+        p, q, q2 = adv.two_source_for({0, 1, 5})
+        stable = adv.declared_stable_graph()
+        assert stable.has_edge(p, q) and stable.has_edge(p, q2)
+        assert q != q2
+
+    def test_two_source_witness_unavailable(self):
+        adv = GroupedSourceAdversary(6, num_groups=2)
+        with pytest.raises(ValueError):
+            adv.two_source_for({0, 3})  # one per group
+
+    def test_explicit_groups(self):
+        adv = GroupedSourceAdversary(
+            5, num_groups=2, groups=[[4, 0], [1, 2, 3]]
+        )
+        assert adv.sources == [4, 1]
+
+    def test_extra_stable_edges(self):
+        adv = GroupedSourceAdversary(
+            6, num_groups=2, extra_stable_edges=[(0, 3)]
+        )
+        assert adv.declared_stable_graph().has_edge(0, 3)
+
+
+class TestPartition:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            PartitionAdversary(4, 4)  # k < n required
+        with pytest.raises(ValueError):
+            PartitionAdversary(4, 0)
+        with pytest.raises(ValueError):
+            PartitionAdversary(4, 2, loners=[0], source=0)
+        with pytest.raises(ValueError):
+            PartitionAdversary(4, 3, loners=[1])  # wrong count
+
+    def test_pt_structure(self):
+        adv = PartitionAdversary(6, 3)
+        stable = adv.declared_stable_graph()
+        for p in adv.loners:
+            assert stable.predecessors(p) == frozenset({p})
+        for p in range(6):
+            if p not in adv.loners:
+                assert stable.predecessors(p) == frozenset({p, adv.source})
+
+    def test_static_run(self):
+        adv = PartitionAdversary(5, 2)
+        assert adv.graph(1) == adv.graph(33)
+
+    def test_forced_decisions(self):
+        adv = PartitionAdversary(7, 4)
+        assert adv.forced_decision_count() == 4
+        assert len(adv.isolated_deciders()) == 4
+
+
+class TestEventual:
+    def test_bad_then_good(self):
+        good = GroupedSourceAdversary(4, num_groups=1)
+        adv = EventuallyGoodAdversary(good, bad_rounds=3)
+        only_loops = adv.base_graph()
+        assert adv.graph(1) == only_loops
+        assert adv.graph(3) == only_loops
+        assert adv.graph(4) == good.graph(4)
+        assert adv.holds_from_round() == 4
+
+    def test_zero_bad_rounds(self):
+        good = GroupedSourceAdversary(4, num_groups=1)
+        adv = EventuallyGoodAdversary(good, bad_rounds=0)
+        assert adv.graph(1) == good.graph(1)
+        assert adv.declared_stable_graph() == good.declared_stable_graph()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EventuallyGoodAdversary(GroupedSourceAdversary(3, 1), bad_rounds=-1)
+
+    def test_stable_is_intersection(self):
+        good = GroupedSourceAdversary(4, num_groups=1, topology="clique")
+        adv = EventuallyGoodAdversary(good, bad_rounds=2)
+        stable = adv.declared_stable_graph()
+        # only the self-loops survive the isolated prefix
+        assert stable.number_of_edges() == 4
+
+    def test_custom_bad_graph(self):
+        good = GroupedSourceAdversary(4, num_groups=1, topology="clique")
+        bad = DiGraph(nodes=range(4), edges=[(0, 1)])
+        adv = EventuallyGoodAdversary(good, bad_rounds=2, bad_graph=bad)
+        assert adv.graph(1).has_edge(0, 1)
+        assert adv.declared_stable_graph().has_edge(0, 1)
+
+
+class TestCrash:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashAdversary(3, {5: 1})
+        with pytest.raises(ValueError):
+            CrashAdversary(3, {0: 0})
+        with pytest.raises(ValueError):
+            CrashAdversary(2, {0: 1, 1: 1})  # nobody survives
+
+    def test_before_crash_full_delivery(self):
+        adv = CrashAdversary(4, {2: 3}, seed=0)
+        g = adv.graph(1)
+        assert all(g.has_edge(2, v) for v in range(4))
+
+    def test_after_crash_silent(self):
+        adv = CrashAdversary(4, {2: 3}, seed=0)
+        g = adv.graph(4)
+        assert g.successors(2) == frozenset({2})  # only the self-loop
+
+    def test_clean_crash_round(self):
+        adv = CrashAdversary(4, {2: 3}, seed=0, clean=True)
+        g = adv.graph(3)
+        assert g.successors(2) == frozenset({2})
+
+    def test_partial_delivery_deterministic(self):
+        adv = CrashAdversary(6, {1: 2}, seed=9)
+        assert adv.graph(2) == adv.graph(2)
+
+    def test_stable_skeleton_is_survivor_complete(self):
+        adv = CrashAdversary(4, {0: 1, 3: 5}, seed=0)
+        stable = adv.declared_stable_graph()
+        for u in (1, 2):
+            assert all(stable.has_edge(u, v) for v in range(4))
+        assert stable.successors(0) == frozenset({0})
+        assert adv.f == 2
+        assert adv.survivors == frozenset({1, 2})
+
+
+class TestMobile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobileOmissionAdversary(3, -1)
+        with pytest.raises(ValueError):
+            MobileOmissionAdversary(3, 1, sweep_period=0)
+
+    def test_core_protected(self):
+        core = DiGraph(nodes=range(5), edges=[(0, 1), (0, 2)])
+        adv = MobileOmissionAdversary(5, per_round_omissions=20, core=core, seed=1)
+        for r in range(1, 20):
+            g = adv.graph(r)
+            assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_omission_budget_respected(self):
+        adv = MobileOmissionAdversary(6, per_round_omissions=3, seed=2)
+        full = 36  # complete graph with self-loops
+        for r in (1, 2, 3, 5, 6):
+            missing = full - adv.graph(r).number_of_edges()
+            if r % adv.sweep_period == 0:
+                continue
+            assert missing <= 3
+
+    def test_sweep_round_is_core_only(self):
+        adv = MobileOmissionAdversary(5, per_round_omissions=2, seed=0,
+                                      sweep_period=4)
+        assert adv.graph(4) == adv.declared_stable_graph()
+
+
+class TestRecordedAndReplay:
+    def test_recorded_caches(self):
+        inner = GroupedSourceAdversary(5, num_groups=2, seed=0, noise=0.4)
+        rec = RecordedAdversary(inner)
+        g1 = rec.graph(3)
+        assert rec.graph(3) is g1
+        assert rec.recorded_rounds() == [3]
+        assert rec.declared_stable_graph() == inner.declared_stable_graph()
+
+    def test_replay_repeats_tail(self):
+        g1 = DiGraph.complete(range(2))
+        g2 = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1)])
+        adv = ReplayAdversary(2, [g1, g2])
+        assert adv.graph(1) == g1
+        assert adv.graph(2) == g2
+        assert adv.graph(9) == g2
+
+    def test_replay_stable_inferred(self):
+        g1 = DiGraph.complete(range(2))
+        g2 = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1)])
+        adv = ReplayAdversary(2, [g1, g2])
+        assert adv.declared_stable_graph() == g2
+
+    def test_replay_needs_graphs(self):
+        with pytest.raises(ValueError):
+            ReplayAdversary(2, [])

@@ -1,0 +1,115 @@
+"""Tests for skeleton-realizing adversaries, including the structural
+guarantee (decisions track root components, beyond what Psrcs promises)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.synthesis import SkeletonRealizingAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.core.invariants import make_invariant_hook
+from repro.experiments.duality import chain_skeleton, duality_profile
+from repro.experiments.sweeps import run_algorithm1
+from repro.graphs.condensation import count_root_components, root_components
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+
+
+class TestSynthesis:
+    def test_nodes_validated(self):
+        with pytest.raises(ValueError):
+            SkeletonRealizingAdversary(DiGraph(nodes=[1, 2]))
+
+    def test_parameters_validated(self):
+        target = DiGraph(nodes=range(3))
+        with pytest.raises(ValueError):
+            SkeletonRealizingAdversary(target, noise=2.0)
+        with pytest.raises(ValueError):
+            SkeletonRealizingAdversary(target, quiet_period=0)
+        adv = SkeletonRealizingAdversary(target)
+        with pytest.raises(ValueError):
+            adv.graph(0)
+
+    def test_declared_is_target_with_loops(self):
+        target = DiGraph(nodes=range(3), edges=[(0, 1)])
+        adv = SkeletonRealizingAdversary(target)
+        stable = adv.declared_stable_graph()
+        assert stable.has_edge(0, 1)
+        assert all(stable.has_edge(p, p) for p in range(3))
+
+    def test_stable_edges_every_round(self):
+        target = gnp_random(6, 0.3, np.random.default_rng(1))
+        adv = SkeletonRealizingAdversary(target, noise=0.4, seed=2)
+        stable = adv.declared_stable_graph()
+        for r in range(1, 20):
+            g = adv.graph(r)
+            assert stable.is_subgraph_of(g)
+
+    def test_declaration_exact_over_prefix(self):
+        target = gnp_random(6, 0.3, np.random.default_rng(3))
+        adv = SkeletonRealizingAdversary(target, noise=0.5, seed=4)
+        inter = adv.graph(1)
+        for r in range(2, 30):
+            inter = inter.intersection(adv.graph(r))
+        assert inter == adv.declared_stable_graph()
+
+
+class TestStructuralGuarantee:
+    """Algorithm 1's achieved agreement tracks rc(G), not α(H)."""
+
+    def test_chain_reaches_consensus_despite_huge_alpha(self):
+        # Directed chain: α = ⌈n/2⌉ (Psrcs very weak) but rc = 1 —
+        # Algorithm 1 must reach a single decision value.
+        n = 8
+        adv = SkeletonRealizingAdversary(chain_skeleton(n), noise=0.0)
+        run = run_algorithm1(adv, max_rounds=8 * n)
+        profile = duality_profile(run.stable_skeleton())
+        assert profile.root_components == 1
+        assert profile.alpha == n // 2
+        assert run.all_decided()
+        assert len(run.decision_values()) == 1
+
+    def test_chain_with_noise(self):
+        n = 7
+        adv = SkeletonRealizingAdversary(
+            chain_skeleton(n), noise=0.25, seed=5
+        )
+        run = run_algorithm1(
+            adv, max_rounds=8 * n, invariant_hooks=[make_invariant_hook()]
+        )
+        assert run.all_decided()
+        assert len(run.decision_values()) == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_skeletons_decisions_bounded_by_roots(self, seed):
+        target = gnp_random(8, 0.15, np.random.default_rng(seed),
+                            self_loops=True)
+        adv = SkeletonRealizingAdversary(target, noise=0.2, seed=seed)
+        run = run_algorithm1(adv, max_rounds=80)
+        roots = count_root_components(run.stable_skeleton())
+        assert run.all_decided()
+        assert len(run.decision_values()) <= roots
+
+    def test_each_root_component_contributes_at_most_one_value(self):
+        target = gnp_random(9, 0.1, np.random.default_rng(11),
+                            self_loops=True)
+        adv = SkeletonRealizingAdversary(target, noise=0.0)
+        run = run_algorithm1(adv, max_rounds=90)
+        assert run.all_decided()
+        # Lemma 14: within one root component all decisions agree.
+        for comp in root_components(run.stable_skeleton()):
+            values = {run.decisions[p].value for p in comp}
+            assert len(values) == 1
+
+    def test_validity_and_lemmas_on_arbitrary_skeletons(self):
+        for seed in range(4):
+            target = gnp_random(7, 0.2, np.random.default_rng(seed + 50),
+                                self_loops=True)
+            adv = SkeletonRealizingAdversary(target, noise=0.3, seed=seed)
+            run = run_algorithm1(
+                adv, max_rounds=70, invariant_hooks=[make_invariant_hook()]
+            )
+            report = check_agreement_properties(run, run.n)
+            assert report.validity.holds
+            assert report.termination.holds

@@ -1,0 +1,153 @@
+"""Tests for analysis: properties, stats, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.static import StaticAdversary
+from repro.analysis.properties import (
+    check_agreement_properties,
+    check_k_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import (
+    decision_stats,
+    message_stats,
+    polynomial_bit_bound,
+)
+from repro.core.algorithm import make_processes
+from repro.graphs.digraph import DiGraph
+from repro.rounds.process import DecisionRecord
+from repro.rounds.run import Run, RoundRecord
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+def synthetic_run(n=3, decisions=None, values=None) -> Run:
+    run = Run(n, values or list(range(n)))
+    g = DiGraph.complete(range(n))
+    run.append_round(RoundRecord(1, g, decisions=decisions or []))
+    return run
+
+
+class TestProperties:
+    def test_k_agreement_holds(self):
+        run = synthetic_run(
+            decisions=[DecisionRecord(0, 1, 0), DecisionRecord(1, 1, 0)]
+        )
+        assert check_k_agreement(run, 1).holds
+
+    def test_k_agreement_violated(self):
+        run = synthetic_run(
+            decisions=[DecisionRecord(0, 1, 0), DecisionRecord(1, 1, 1)]
+        )
+        check = check_k_agreement(run, 1)
+        assert not check.holds
+        assert "2 distinct" in check.detail
+
+    def test_validity(self):
+        good = synthetic_run(decisions=[DecisionRecord(0, 1, 2)])
+        assert check_validity(good).holds
+        bad = synthetic_run(decisions=[DecisionRecord(0, 1, 99)])
+        assert not check_validity(bad).holds
+
+    def test_termination(self):
+        run = synthetic_run(decisions=[DecisionRecord(i, 1, 0) for i in range(3)])
+        assert check_termination(run).holds
+        partial = synthetic_run(decisions=[DecisionRecord(0, 1, 0)])
+        check = check_termination(partial)
+        assert not check.holds
+        assert "[1, 2]" in check.detail
+
+    def test_combined_report(self):
+        run = synthetic_run(decisions=[DecisionRecord(i, 1, 0) for i in range(3)])
+        report = check_agreement_properties(run, 2)
+        assert report.all_hold
+        assert report.num_decision_values == 1
+        assert "OK" in report.summary()
+
+    def test_report_failure_summary(self):
+        run = synthetic_run()
+        report = check_agreement_properties(run, 1)
+        assert not report.all_hold
+        assert "FAIL" in report.summary()
+
+
+class TestDecisionStats:
+    def test_full_run(self):
+        adv = GroupedSourceAdversary(6, num_groups=2, seed=0, noise=0.2)
+        run = RoundSimulator(
+            make_processes(6), adv, SimulationConfig(max_rounds=50)
+        ).run()
+        stats = decision_stats(run)
+        assert stats.num_decided == 6
+        assert stats.first_decision_round <= stats.last_decision_round
+        assert stats.stabilization is not None
+        assert stats.lemma11_bound == stats.stabilization + 2 * 6 - 1
+        assert stats.within_bound
+
+    def test_no_decisions(self):
+        run = synthetic_run()
+        stats = decision_stats(run)
+        assert stats.num_decided == 0
+        assert stats.first_decision_round is None
+        assert stats.within_bound is None
+
+
+class TestMessageStats:
+    def test_requires_recorded_messages(self):
+        run = synthetic_run()
+        with pytest.raises(ValueError, match="record_messages"):
+            message_stats(run)
+
+    def test_stats_computed(self):
+        adv = GroupedSourceAdversary(5, num_groups=1, seed=0)
+        run = RoundSimulator(
+            make_processes(5),
+            adv,
+            SimulationConfig(max_rounds=12, record_messages=True),
+        ).run()
+        stats = message_stats(run)
+        assert stats.num_messages == 5 * run.num_rounds
+        assert 0 < stats.mean_bits <= stats.max_bits
+        assert stats.total_bits >= stats.max_bits
+
+    def test_polynomial_bound_dominates(self):
+        # every observed message fits under the loose O(n² log nr) ceiling
+        n = 6
+        adv = GroupedSourceAdversary(n, num_groups=2, seed=1, noise=0.3)
+        run = RoundSimulator(
+            make_processes(n),
+            adv,
+            SimulationConfig(max_rounds=30, record_messages=True),
+        ).run()
+        stats = message_stats(run)
+        assert stats.max_bits < polynomial_bit_bound(n, run.num_rounds)
+
+
+class TestReporting:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_bool_and_float_formatting(self):
+        out = format_table(["v"], [[True], [False], [0.123456]])
+        assert "yes" in out and "no" in out and "0.123" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_docstring_example(self):
+        out = format_table(["n", "k"], [[6, 3], [12, 4]], title="demo")
+        assert out.splitlines()[0] == "demo"
+        assert "12" in out

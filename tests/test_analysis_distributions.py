@@ -1,0 +1,69 @@
+"""Tests for cross-run distribution summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distributions import (
+    LatencyDistribution,
+    latency_distribution,
+    latency_scaling_table,
+    noise_sensitivity_table,
+)
+
+
+class TestLatencyDistribution:
+    def test_basic_fields(self):
+        dist = latency_distribution(6, 2, 0.2, seeds=range(4))
+        assert dist.runs == 4
+        assert dist.bound_violations == 0
+        assert dist.p50_last_decide <= dist.p95_last_decide <= dist.max_last_decide
+        assert 1 <= dist.mean_values <= 2
+
+    def test_noise_free_values_equal_groups(self):
+        dist = latency_distribution(8, 2, 0.0, seeds=range(3))
+        assert dist.mean_values == pytest.approx(2.0)
+
+    def test_as_row_matches_headers(self):
+        dist = latency_distribution(6, 2, 0.1, seeds=range(2))
+        assert len(dist.as_row()) == len(LatencyDistribution.HEADERS)
+
+
+class TestScaling:
+    def test_latency_grows_with_n(self):
+        rows = latency_scaling_table(ns=[6, 12, 18], seeds=range(3))
+        medians = [r.p50_last_decide for r in rows]
+        assert medians == sorted(medians)
+        assert all(r.bound_violations == 0 for r in rows)
+
+    def test_latency_roughly_linear(self):
+        # Lemma 11's bound is linear in n; the observed median should be
+        # sub-quadratic by a wide margin.
+        rows = latency_scaling_table(ns=[6, 24], seeds=range(3))
+        ratio = rows[1].p50_last_decide / rows[0].p50_last_decide
+        assert ratio < (24 / 6) ** 1.5
+
+
+class TestNoiseSensitivity:
+    def test_table_shape(self):
+        rows = noise_sensitivity_table(
+            noises=[0.0, 0.3], seeds=range(3), n=8, num_groups=2
+        )
+        assert len(rows) == 2
+        assert all(r.bound_violations == 0 for r in rows)
+
+    def test_noise_delays_stabilization(self):
+        rows = noise_sensitivity_table(
+            noises=[0.0, 0.4], seeds=range(4), n=8, num_groups=2
+        )
+        clean, noisy = rows
+        assert clean.p50_stabilization <= noisy.p50_stabilization
+
+    def test_noise_leaks_values(self):
+        # with noise, early PT sets are larger, so minima leak across
+        # groups: mean distinct values can only go down.
+        rows = noise_sensitivity_table(
+            noises=[0.0, 0.5], seeds=range(4), n=9, num_groups=3
+        )
+        clean, noisy = rows
+        assert noisy.mean_values <= clean.mean_values

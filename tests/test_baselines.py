@@ -1,0 +1,199 @@
+"""Baseline algorithm tests: FloodMin, flooding consensus, LocalMin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.adversaries.static import StaticAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.baselines.floodmin import FloodMinProcess, make_floodmin_processes
+from repro.baselines.flooding import make_flooding_processes
+from repro.baselines.local_min import make_local_min_processes
+from repro.graphs.digraph import DiGraph
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+def simulate(procs, adversary, max_rounds=30):
+    return RoundSimulator(
+        procs, adversary, SimulationConfig(max_rounds=max_rounds)
+    ).run()
+
+
+class TestFloodMin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FloodMinProcess(0, 3, 0, f=1, k=0)
+        with pytest.raises(ValueError):
+            FloodMinProcess(0, 3, 0, f=-1, k=1)
+        with pytest.raises(ValueError):
+            make_floodmin_processes(3, 1, 1, values=[1])
+
+    def test_decision_round(self):
+        # FloodMin decides at round floor(f/k) + 1.
+        p = FloodMinProcess(0, 5, 0, f=7, k=2)
+        assert p.decision_round == 4
+
+    def test_no_faults_decides_min_in_one_round(self):
+        n = 5
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        procs = make_floodmin_processes(n, f=0, k=1, values=[4, 2, 9, 7, 5])
+        run = simulate(procs, adv)
+        assert run.decision_values() == {2}
+        assert all(d.round_no == 1 for d in run.decisions.values())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_k_agreement_under_crashes(self, seed):
+        # the classic guarantee: <= f crashes → <= k values
+        n, f, k = 7, 4, 2
+        crash_rounds = {i + 1: (i % 3) + 1 for i in range(f)}
+        adv = CrashAdversary(n, crash_rounds, seed=seed)
+        procs = make_floodmin_processes(n, f=f, k=k)
+        run = simulate(procs, adv)
+        report = check_agreement_properties(run, k)
+        assert report.all_hold, report.summary()
+
+    def test_breaks_under_partitioning(self):
+        # Under the Theorem-2 adversary FloodMin still "terminates" but the
+        # loners decide their own values — with enough loners the count
+        # exceeds what FloodMin was configured for.  This is the BASELINE
+        # experiment's point: the crash model does not cover Psrcs systems.
+        n, k = 8, 2
+        adv = PartitionAdversary(n, 5)  # 4 loners
+        procs = make_floodmin_processes(n, f=2, k=k)
+        run = simulate(procs, adv)
+        assert len(run.decision_values()) > k
+
+    def test_validity_always(self):
+        n = 6
+        adv = CrashAdversary(n, {0: 1, 1: 2}, seed=1)
+        procs = make_floodmin_processes(n, f=2, k=2)
+        run = simulate(procs, adv)
+        assert check_agreement_properties(run, 2).validity.holds
+
+
+class TestFloodingConsensus:
+    def test_consensus_under_crashes(self):
+        n, f = 6, 3
+        adv = CrashAdversary(n, {0: 1, 1: 2, 2: 3}, seed=2)
+        procs = make_flooding_processes(n, f=f)
+        run = simulate(procs, adv)
+        report = check_agreement_properties(run, 1)
+        assert report.all_hold, report.summary()
+
+    def test_decides_global_min_without_faults(self):
+        n = 4
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        procs = make_flooding_processes(n, f=1, values=[3, 0, 2, 1])
+        run = simulate(procs, adv)
+        assert run.decision_values() == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_flooding_processes(3, f=-1)
+        with pytest.raises(ValueError):
+            make_flooding_processes(3, f=1, values=[1, 2])
+
+    def test_breaks_under_partitioning(self):
+        adv = PartitionAdversary(6, 4)
+        procs = make_flooding_processes(6, f=1)
+        run = simulate(procs, adv)
+        assert len(run.decision_values()) > 1  # consensus violated
+
+
+class TestLocalMin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_local_min_processes(3, horizon=0)
+        with pytest.raises(ValueError):
+            make_local_min_processes(3, horizon=2, values=[0])
+
+    def test_decides_at_horizon(self):
+        n = 4
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        procs = make_local_min_processes(n, horizon=2)
+        run = simulate(procs, adv)
+        assert all(d.round_no == 2 for d in run.decisions.values())
+
+    def test_short_horizon_violates_agreement(self):
+        # On a directed cycle the min needs n-1 rounds; a horizon of 1
+        # leaves processes with different minima.
+        from repro.graphs.generators import directed_cycle
+
+        n = 6
+        adv = StaticAdversary(n, directed_cycle(n))
+        procs = make_local_min_processes(n, horizon=1)
+        run = simulate(procs, adv)
+        assert len(run.decision_values()) > 1
+
+    def test_long_horizon_converges_in_one_component(self):
+        adv = GroupedSourceAdversary(6, num_groups=1, topology="clique")
+        procs = make_local_min_processes(6, horizon=10)
+        run = simulate(procs, adv, max_rounds=15)
+        assert run.decision_values() == {0}
+
+
+class TestAsyncKSet:
+    def test_validation(self):
+        from repro.baselines.async_kset import (
+            AsyncKSetProcess,
+            make_async_kset_processes,
+        )
+
+        with pytest.raises(ValueError):
+            AsyncKSetProcess(0, 3, 0, f=3)
+        with pytest.raises(ValueError):
+            AsyncKSetProcess(0, 3, 0, f=-1)
+        with pytest.raises(ValueError):
+            make_async_kset_processes(3, 1, values=[0])
+
+    def test_no_faults_immediate_consensus(self):
+        from repro.baselines.async_kset import make_async_kset_processes
+
+        n = 5
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        procs = make_async_kset_processes(n, f=0, values=[4, 1, 3, 2, 0])
+        run = simulate(procs, adv)
+        assert run.decision_values() == {0}
+        assert all(d.round_no == 1 for d in run.decisions.values())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_k_agreement_under_crashes(self, seed):
+        from repro.baselines.async_kset import make_async_kset_processes
+
+        # f crashes, configured for f: at most f + 1 <= k values for k = f+1.
+        n, f = 7, 2
+        adv = CrashAdversary(n, {0: 1, 1: 1}, seed=seed)
+        procs = make_async_kset_processes(n, f=f)
+        run = simulate(procs, adv)
+        report = check_agreement_properties(run, f + 1)
+        assert report.all_hold, report.summary()
+
+    def test_deadlocks_under_partitioning(self):
+        from repro.baselines.async_kset import make_async_kset_processes
+
+        # Psrcs(4) partition run: loners never hear n - f processes —
+        # the liveness failure complementary to FloodMin's safety failure.
+        n = 8
+        adv = PartitionAdversary(n, 4)
+        procs = make_async_kset_processes(n, f=2)
+        run = simulate(procs, adv, max_rounds=40)
+        assert not run.all_decided()
+        assert set(run.undecided()) >= set(adv.loners)
+
+    def test_collects_across_rounds(self):
+        from repro.adversaries.mobile import MobileOmissionAdversary
+        from repro.baselines.async_kset import make_async_kset_processes
+
+        # Heavy per-round omissions: the f=0 quorum (all n proposals)
+        # cannot arrive in round 1, but different senders get through in
+        # different rounds, so the cumulative collection eventually fills.
+        n = 5
+        adv = MobileOmissionAdversary(n, per_round_omissions=10, seed=1)
+        procs = make_async_kset_processes(n, f=0)
+        run = simulate(procs, adv, max_rounds=30)
+        assert run.all_decided()
+        assert max(d.round_no for d in run.decisions.values()) > 1
+        assert run.decision_values() == {0}

@@ -1,0 +1,77 @@
+"""CLI tests (argument parsing and end-to-end subcommand runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 9 and args.k == 3 and args.groups == 3
+
+    def test_topology_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--topology", "torus"])
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "(a) G^∩2" in out
+        assert "(h) G^6_p6" in out
+
+    def test_run_success(self, capsys):
+        code = main(["run", "-n", "6", "-k", "2", "--groups", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k-agreement" in out
+        assert "root components" in out
+
+    def test_run_star_topology(self, capsys):
+        assert main(["run", "-n", "6", "-k", "2", "--groups", "2",
+                     "--topology", "star"]) == 0
+
+    def test_theorem2(self, capsys):
+        assert main(["theorem2", "-n", "6", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "confirms Theorem 2" in out
+        assert "yes" in out
+
+    def test_check_holds(self, capsys):
+        assert main(["check", "-n", "9", "-k", "3", "--groups", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+        assert "tightest k" in out
+
+    def test_check_violated(self, capsys):
+        # 4 groups cannot satisfy Psrcs(2) when built as 4 root components
+        code = main(["check", "-n", "8", "-k", "2", "--groups", "4"])
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "-n", "6", "-k", "2", "--seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "within their k bound" in out
+
+    def test_ablation(self, capsys):
+        code = main(["ablation", "-n", "6", "-k", "2", "--seeds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper (window=n, prune, PT-min)" in out
+        assert "no pruning" in out
+
+    def test_duality(self, capsys):
+        code = main(["duality", "-n", "6", "--density", "0.2", "--seeds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thm1 violations" in out

@@ -1,0 +1,194 @@
+"""Tests for Algorithm 1 (SkeletonAgreementProcess)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.adversaries.static import StaticAdversary
+from repro.core.algorithm import make_processes, SkeletonAgreementProcess
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import directed_cycle
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+def run_with(adversary, n, values=None, max_rounds=60, track_history=False):
+    procs = make_processes(n, values, track_history=track_history)
+    run = RoundSimulator(
+        procs, adversary, SimulationConfig(max_rounds=max_rounds)
+    ).run()
+    return run, procs
+
+
+class TestInitialState:
+    def test_lines_1_to_4(self):
+        p = SkeletonAgreementProcess(2, 5, initial_value=42)
+        assert p.pt == frozenset(range(5))          # line 1
+        assert p.estimate == 42                      # line 2
+        assert p.approx.nodes() == frozenset({2})    # line 3
+        assert not p.decided                         # line 4
+
+    def test_make_processes_defaults(self):
+        procs = make_processes(4)
+        assert [p.initial_value for p in procs] == [0, 1, 2, 3]
+
+    def test_make_processes_validates(self):
+        with pytest.raises(ValueError):
+            make_processes(3, values=[1, 2])
+
+
+class TestSending:
+    def test_prop_before_decision(self):
+        p = SkeletonAgreementProcess(0, 3, initial_value=7)
+        msg = p.send(1)
+        assert msg.kind == "prop"
+        assert msg.payload["x"] == 7
+
+    def test_decide_kind_after_decision(self):
+        p = SkeletonAgreementProcess(0, 3, initial_value=7)
+        p._decide(5, 7)
+        assert p.send(6).kind == "decide"
+
+    def test_graph_payload_is_snapshot(self):
+        p = SkeletonAgreementProcess(0, 3, initial_value=7)
+        msg = p.send(1)
+        p.approx.graph.add_edge(1, 0, 1)
+        assert msg.payload["graph"].number_of_edges() == 0
+
+
+class TestIsolatedProcess:
+    """A fully isolated process (self-loops only): the Theorem 2 loner."""
+
+    def test_decides_own_value_at_round_n_plus_1(self):
+        n = 4
+        adv = StaticAdversary(n, DiGraph(nodes=range(n)))  # self-loops only
+        run, procs = run_with(adv, n, values=[10, 11, 12, 13])
+        for p in range(n):
+            assert run.decisions[p].value == 10 + p
+            assert run.decisions[p].round_no == n + 1
+
+    def test_no_decision_before_round_n_plus_1(self):
+        # Line 28's r > n guard.
+        n = 5
+        adv = StaticAdversary(n, DiGraph(nodes=range(n)))
+        run, _ = run_with(adv, n)
+        assert all(d.round_no == n + 1 for d in run.decisions.values())
+
+
+class TestEstimatePropagation:
+    def test_min_propagates_in_clique(self):
+        n = 5
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        run, procs = run_with(adv, n, values=[9, 3, 7, 5, 8])
+        assert run.all_decided()
+        assert run.decision_values() == {3}
+
+    def test_min_propagates_around_cycle(self):
+        # worst case: n-1 rounds for the min to travel a directed cycle
+        n = 6
+        adv = StaticAdversary(n, directed_cycle(n))
+        run, procs = run_with(adv, n, values=[4, 9, 8, 7, 6, 5], track_history=True)
+        assert run.decision_values() == {4}
+        # value 4 reaches the farthest process only at round n-1
+        farthest = 0  # process 0's value travels 0->1->...->5
+        assert procs[5].estimate_at(n - 1) == 4
+
+    def test_estimates_restricted_to_pt(self):
+        # A value from a non-timely sender must not be adopted: partition
+        # adversary loners never see other values.
+        adv = PartitionAdversary(5, 3)
+        run, procs = run_with(adv, 5, values=[50, 10, 20, 30, 40])
+        for loner in adv.loners:
+            assert run.decisions[loner].value == run.initial_values[loner]
+
+
+class TestDecisionMechanics:
+    def test_decide_messages_adopt(self):
+        # Figure-1-like: downstream p6 adopts the decision of a timely
+        # neighbor via lines 10-13.
+        from repro.experiments.figure1 import figure1_run, P6
+
+        run, procs = figure1_run()
+        assert procs[P6].decided
+        # p6's approximation never becomes strongly connected (no out-edges),
+        # so it must have decided via a decide message: its decision round is
+        # strictly after some root component process decided.
+        root_rounds = [run.decisions[p].round_no for p in (0, 1, 2, 3, 4)]
+        assert run.decisions[P6].round_no > min(root_rounds)
+
+    def test_adoption_picks_smallest_sender(self):
+        # Two timely deciders in the same round: deterministic tie-break.
+        from repro.adversaries.grouped import GroupedSourceAdversary
+
+        # two groups, downstream node 4 hears sources 0 and 2 stably
+        adv = GroupedSourceAdversary(
+            5,
+            num_groups=2,
+            groups=[[0, 1], [2, 3, 4]],
+            extra_stable_edges=[(0, 4)],
+        )
+        run, procs = run_with(adv, 5, values=[5, 6, 1, 2, 3])
+        assert run.all_decided()
+
+    def test_decided_process_keeps_estimate(self):
+        n = 4
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        run, procs = run_with(adv, n, values=[3, 1, 2, 4])
+        for p in procs:
+            assert p.estimate == p.decision.value
+
+    def test_no_double_decide(self):
+        # run long past the decision round; Lemma 10's guard must hold
+        n = 3
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        procs = make_processes(n)
+        RoundSimulator(
+            procs,
+            adv,
+            SimulationConfig(max_rounds=25, stop_when_all_decided=False),
+        ).run()
+        # Process._decide raises on double decision, so reaching here with
+        # all decided is the assertion.
+        assert all(p.decided for p in procs)
+
+
+class TestHistory:
+    def test_history_disabled_raises(self):
+        p = SkeletonAgreementProcess(0, 2, 0)
+        with pytest.raises(RuntimeError):
+            p.approximation_at(1)
+        with pytest.raises(RuntimeError):
+            p.pt_at(1)
+        with pytest.raises(RuntimeError):
+            p.estimate_at(1)
+
+    def test_history_records(self):
+        n = 3
+        adv = StaticAdversary(n, DiGraph.complete(range(n)))
+        run, procs = run_with(adv, n, track_history=True)
+        p = procs[0]
+        for r in range(1, run.num_rounds + 1):
+            assert p.pt_at(r) == run.timely_neighborhood(0, r)
+
+    def test_state_snapshot(self):
+        p = SkeletonAgreementProcess(1, 3, 5)
+        snap = p.state_snapshot()
+        assert snap["estimate"] == 5
+        assert snap["pt"] == [0, 1, 2]
+        assert snap["approx_nodes"] == [1]
+
+
+class TestAblationKnobs:
+    def test_make_processes_forwards_knobs(self):
+        procs = make_processes(4, purge_window=2, prune_unreachable=False)
+        assert all(p.approx.purge_window == 2 for p in procs)
+        assert all(not p.approx.prune_unreachable for p in procs)
+
+    def test_small_purge_window_still_runs(self):
+        adv = GroupedSourceAdversary(6, num_groups=2, seed=0)
+        procs = make_processes(6, purge_window=2)
+        run = RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=40)
+        ).run()
+        assert run.num_rounds <= 40

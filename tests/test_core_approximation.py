@@ -1,0 +1,161 @@
+"""Unit tests for the approximation graph (Algorithm 1 lines 14–25)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approximation import ApproximationGraph
+from repro.graphs.labeled import RoundLabeledDigraph
+
+
+def graphs_for(pt, mapping=None):
+    """received_graphs for a round: default everyone sends an empty graph
+    containing just themselves."""
+    mapping = mapping or {}
+    return {
+        q: mapping.get(q, RoundLabeledDigraph(nodes=[q])) for q in pt
+    }
+
+
+class TestConstruction:
+    def test_initial_state_line3(self):
+        a = ApproximationGraph(owner=2, n=5)
+        assert a.nodes() == frozenset({2})
+        assert a.labeled_edges() == frozenset()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximationGraph(0, 0)
+        with pytest.raises(ValueError):
+            ApproximationGraph(0, 3, purge_window=0)
+
+    def test_purge_window_defaults_to_n(self):
+        assert ApproximationGraph(0, 7).purge_window == 7
+        assert ApproximationGraph(0, 7, purge_window=3).purge_window == 3
+
+
+class TestRoundUpdate:
+    def test_line17_fresh_edges(self):
+        a = ApproximationGraph(owner=0, n=4)
+        a.round_update(1, {0, 2}, graphs_for({0, 2}))
+        assert a.graph.label(0, 0) == 1
+        assert a.graph.label(2, 0) == 1
+
+    def test_missing_received_graph_rejected(self):
+        a = ApproximationGraph(owner=0, n=4)
+        with pytest.raises(ValueError, match="no received graph"):
+            a.round_update(1, {0, 2}, {0: RoundLabeledDigraph(nodes=[0])})
+
+    def test_line18_node_union(self):
+        a = ApproximationGraph(owner=0, n=4)
+        g2 = RoundLabeledDigraph(nodes=[2])
+        g2.add_edge(3, 2, 1)  # brings node 3 along
+        a.round_update(2, {0, 2}, graphs_for({0, 2}, {2: g2}))
+        assert 3 in a.nodes()
+
+    def test_lines19_23_max_merge(self):
+        a = ApproximationGraph(owner=0, n=5)
+        low = RoundLabeledDigraph(nodes=[1])
+        low.add_edge(3, 1, 2)
+        high = RoundLabeledDigraph(nodes=[2])
+        high.add_edge(3, 1, 4)
+        a.round_update(5, {0, 1, 2}, graphs_for({0, 1, 2}, {1: low, 2: high}))
+        assert a.graph.label(3, 1) == 4
+
+    def test_line17_label_dominates_received(self):
+        # A received graph carries an older (q -> owner) edge; line 17's
+        # fresh label must win.
+        a = ApproximationGraph(owner=0, n=5)
+        stale = RoundLabeledDigraph(nodes=[1])
+        stale.add_edge(1, 0, 2)
+        a.round_update(6, {0, 1}, graphs_for({0, 1}, {1: stale}))
+        assert a.graph.label(1, 0) == 6
+
+    def test_line24_purge(self):
+        a = ApproximationGraph(owner=0, n=3)
+        old = RoundLabeledDigraph(nodes=[1])
+        old.add_edge(2, 1, 1)  # label 1, will be <= r - n for r = 4
+        a.round_update(4, {0, 1}, graphs_for({0, 1}, {1: old}))
+        assert a.graph.get_label(2, 1) is None
+
+    def test_line24_boundary(self):
+        # label re is discarded iff re <= r - n: label 2 at r=5, n=3 → purged;
+        # label 3 survives.  Pruning disabled to isolate line 24 (node 2
+        # would otherwise be dropped by line 25 as it cannot reach owner 0).
+        a = ApproximationGraph(owner=0, n=3, prune_unreachable=False)
+        g = RoundLabeledDigraph(nodes=[1])
+        g.add_edge(2, 1, 2)
+        g.add_edge(1, 2, 3)
+        a.round_update(5, {0, 1}, graphs_for({0, 1}, {1: g}))
+        assert a.graph.get_label(2, 1) is None
+        assert a.graph.get_label(1, 2) == 3
+
+    def test_line25_prunes_non_reaching(self):
+        a = ApproximationGraph(owner=0, n=5)
+        g = RoundLabeledDigraph(nodes=[1])
+        g.add_edge(3, 4, 1)  # neither 3 nor 4 reaches owner 0
+        a.round_update(2, {0, 1}, graphs_for({0, 1}, {1: g}))
+        assert 3 not in a.nodes()
+        assert 4 not in a.nodes()
+
+    def test_line25_keeps_reaching_chain(self):
+        a = ApproximationGraph(owner=0, n=5)
+        g = RoundLabeledDigraph(nodes=[1])
+        g.add_edge(3, 1, 1)  # 3 -> 1, and line 17 adds 1 -> 0
+        a.round_update(2, {0, 1}, graphs_for({0, 1}, {1: g}))
+        assert 3 in a.nodes()
+        assert a.graph.has_edge(3, 1)
+
+    def test_line25_can_be_disabled(self):
+        a = ApproximationGraph(owner=0, n=5, prune_unreachable=False)
+        g = RoundLabeledDigraph(nodes=[1])
+        g.add_edge(3, 4, 1)
+        a.round_update(2, {0, 1}, graphs_for({0, 1}, {1: g}))
+        assert 3 in a.nodes()
+
+    def test_line15_reset_drops_untimely_info(self):
+        # Round 1: hear 1; round 2: 1 drops out of PT — its fresh edge must
+        # not survive via the reset unless someone re-sends it.
+        a = ApproximationGraph(owner=0, n=4)
+        a.round_update(1, {0, 1}, graphs_for({0, 1}))
+        own = a.snapshot()
+        a.round_update(2, {0}, {0: own})
+        # the (1 --1--> 0) edge came back via own graph (labels stay valid,
+        # Lemma 6) but no (1 --2--> 0) edge exists.
+        assert a.graph.get_label(1, 0) == 1
+
+    def test_owner_never_pruned(self):
+        a = ApproximationGraph(owner=3, n=4)
+        a.round_update(1, set(), {})
+        assert 3 in a.nodes()
+
+
+class TestViews:
+    def test_snapshot_is_independent(self):
+        a = ApproximationGraph(owner=0, n=3)
+        snap = a.snapshot()
+        a.round_update(1, {0}, {0: snap})
+        assert snap.number_of_edges() == 0
+
+    def test_unweighted(self):
+        a = ApproximationGraph(owner=0, n=3)
+        a.round_update(1, {0, 1}, graphs_for({0, 1}))
+        u = a.unweighted()
+        assert u.has_edge(1, 0)
+
+    def test_strong_connectivity_singleton(self):
+        # Isolated process: approximation {p} with a self-loop — strongly
+        # connected (needed by Theorem 2's loners).
+        a = ApproximationGraph(owner=0, n=4)
+        a.round_update(1, {0}, graphs_for({0}))
+        assert a.is_strongly_connected()
+
+    def test_strong_connectivity_pair(self):
+        a0 = ApproximationGraph(owner=0, n=2)
+        a0.round_update(1, {0, 1}, graphs_for({0, 1}))
+        # 1 -> 0 and self loops, but no 0 -> 1 edge yet: still "strongly
+        # connected"? No — node 1 unreachable from 0.
+        assert not a0.is_strongly_connected()
+
+    def test_repr(self):
+        assert "owner=0" in repr(ApproximationGraph(owner=0, n=2))

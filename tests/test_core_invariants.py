@@ -1,0 +1,209 @@
+"""Tests for the lemma checkers: they must pass on honest runs (many
+adversaries) and fire on doctored runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.eventual import EventuallyGoodAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.mobile import MobileOmissionAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.core.algorithm import make_processes
+from repro.core.invariants import (
+    ALL_CHECKS,
+    EstimateMonotonicityChecker,
+    InvariantViolation,
+    check_lemma_3,
+    check_lemma_5,
+    check_lemma_6,
+    check_observation_1,
+    make_invariant_hook,
+)
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+def run_checked(adversary, n, max_rounds=50):
+    procs = make_processes(n)
+    run = RoundSimulator(
+        procs,
+        adversary,
+        SimulationConfig(max_rounds=max_rounds),
+        invariant_hooks=[make_invariant_hook()],
+    ).run()
+    return run, procs
+
+
+ADVERSARIES = [
+    ("grouped-1", lambda: GroupedSourceAdversary(7, 1, seed=0, noise=0.25)),
+    ("grouped-3", lambda: GroupedSourceAdversary(9, 3, seed=1, noise=0.3)),
+    ("grouped-star", lambda: GroupedSourceAdversary(8, 2, seed=2, topology="star")),
+    ("partition", lambda: PartitionAdversary(7, 3)),
+    ("crash", lambda: CrashAdversary(6, {0: 2, 3: 4}, seed=3)),
+    ("mobile", lambda: MobileOmissionAdversary(6, 8, seed=4)),
+    (
+        "eventual",
+        lambda: EventuallyGoodAdversary(
+            GroupedSourceAdversary(6, 2, seed=5), bad_rounds=4
+        ),
+    ),
+]
+
+
+class TestCheckersPassOnHonestRuns:
+    """The approximation statements hold in ALL runs (the paper's point);
+    every adversary — Psrcs-satisfying or not — must pass every check."""
+
+    @pytest.mark.parametrize("name,factory", ADVERSARIES)
+    def test_all_lemmas_hold(self, name, factory):
+        adversary = factory()
+        run, _ = run_checked(adversary, adversary.n)
+        assert run.num_rounds >= 1  # no InvariantViolation raised
+
+
+class TestCheckersFireOnViolations:
+    def _honest(self, n=5, rounds=8):
+        adv = GroupedSourceAdversary(n, 2, seed=0)
+        procs = make_processes(n)
+        run = RoundSimulator(
+            procs,
+            adv,
+            SimulationConfig(max_rounds=rounds, stop_when_all_decided=False),
+        ).run()
+        return run, procs
+
+    def test_observation1_owner_missing(self):
+        run, procs = self._honest()
+        # doctor: remove the owner node
+        procs[0].approx.graph.remove_node(0)
+        with pytest.raises(InvariantViolation, match="Obs.1"):
+            check_observation_1(run, run.num_rounds, procs)
+
+    def test_observation1_stale_label(self):
+        run, procs = self._honest()
+        procs[0].approx.graph.set_edge(1, 0, run.num_rounds - run.n)
+        with pytest.raises(InvariantViolation, match="Obs.1"):
+            check_observation_1(run, run.num_rounds, procs)
+
+    def test_lemma3_wrong_pt(self):
+        run, procs = self._honest()
+        procs[0].pt = procs[0].pt | frozenset({run.n - 1, 0}) - frozenset({0})
+        # force a mismatch by removing a member actually timely
+        procs[0].pt = frozenset()
+        with pytest.raises(InvariantViolation, match="Lemma 3"):
+            check_lemma_3(run, run.num_rounds, procs)
+
+    def test_lemma3_wrong_label(self):
+        run, procs = self._honest()
+        q = next(iter(procs[0].pt))
+        procs[0].approx.graph.set_edge(q, 0, run.num_rounds - 1)
+        with pytest.raises(InvariantViolation, match="Lemma 3"):
+            check_lemma_3(run, run.num_rounds, procs)
+
+    def test_lemma5_missing_component_edge(self):
+        run, procs = self._honest(rounds=12)
+        # doctor a process in a non-trivial SCC: drop one intra-SCC edge
+        from repro.graphs.scc import scc_of
+
+        skel = run.skeleton(run.num_rounds)
+        victim = None
+        for p in procs:
+            comp = scc_of(skel, p.pid)
+            if len(comp) > 1:
+                victim = p
+                comp_nodes = comp
+                break
+        assert victim is not None
+        for u in comp_nodes:
+            for v in skel.successors(u):
+                if v in comp_nodes and victim.approx.graph.has_edge(u, v):
+                    victim.approx.graph.remove_edge(u, v)
+        with pytest.raises(InvariantViolation, match="Lemma 5"):
+            check_lemma_5(run, run.num_rounds, procs)
+
+    def test_lemma6_fabricated_edge(self):
+        run, procs = self._honest()
+        # fabricate an edge that was never timely at its label round
+        stable = run.stable_skeleton()
+        fake = None
+        for u in range(run.n):
+            for v in range(run.n):
+                if u != v and not run.skeleton(1).has_edge(u, v):
+                    fake = (u, v)
+                    break
+            if fake:
+                break
+        if fake is None:
+            pytest.skip("skeleton too dense to fabricate")
+        procs[0].approx.graph.set_edge(fake[0], fake[1], 1)
+        procs[0].approx.graph.add_node(0)
+        with pytest.raises(InvariantViolation, match="Lemma 6"):
+            check_lemma_6(run, run.num_rounds, procs)
+
+    def test_lemma6_label_out_of_range(self):
+        run, procs = self._honest()
+        procs[0].approx.graph.set_edge(1, 0, run.num_rounds + 5)
+        with pytest.raises(InvariantViolation, match="Lemma 6"):
+            check_lemma_6(run, run.num_rounds, procs)
+
+
+class TestMonotonicityChecker:
+    def test_passes_on_honest_run(self):
+        adv = GroupedSourceAdversary(6, 2, seed=7, noise=0.2)
+        procs = make_processes(6)
+        checker = EstimateMonotonicityChecker()
+        RoundSimulator(
+            procs,
+            adv,
+            SimulationConfig(max_rounds=40),
+            invariant_hooks=[checker],
+        ).run()
+
+    def test_detects_increase(self):
+        adv = GroupedSourceAdversary(5, 1, seed=0)
+        procs = make_processes(5)
+        checker = EstimateMonotonicityChecker()
+        run = RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=3, stop_when_all_decided=False)
+        ).run()
+        checker(run, 3, procs)
+        procs[0].estimate = 999  # doctor an increase
+        with pytest.raises(InvariantViolation, match="Obs.2"):
+            checker(run, 4, procs)
+
+    def test_detects_decided_estimate_divergence(self):
+        adv = GroupedSourceAdversary(5, 1, seed=0)
+        procs = make_processes(5)
+        run = RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=30)
+        ).run()
+        checker = EstimateMonotonicityChecker()
+        procs[0].estimate = -1  # decided value is 0
+        with pytest.raises(InvariantViolation, match="deviates"):
+            checker(run, run.num_rounds, procs)
+
+
+class TestHookFactory:
+    def test_named_subset(self):
+        hook = make_invariant_hook("observation1", "lemma6")
+        adv = GroupedSourceAdversary(5, 2, seed=0)
+        procs = make_processes(5)
+        RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=20), invariant_hooks=[hook]
+        ).run()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_invariant_hook("lemma99")
+
+    def test_all_checks_registry(self):
+        assert set(ALL_CHECKS) == {
+            "observation1",
+            "lemma3",
+            "lemma5",
+            "lemma6",
+            "lemma7",
+            "theorem8",
+        }

@@ -1,0 +1,31 @@
+"""Execute the doctest examples embedded in module/class docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.reporting
+import repro.graphs.digraph
+import repro.graphs.labeled
+
+MODULES = [
+    repro.analysis.reporting,
+    repro.graphs.digraph,
+    repro.graphs.labeled,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "no doctests found — examples were removed?"
+
+
+def test_package_quickstart_doctest():
+    # The repro.__init__ quickstart runs a real simulation; execute it.
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,108 @@
+"""Tests for the §V duality exploration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.experiments.duality import (
+    achievable_k,
+    chain_skeleton,
+    duality_profile,
+    duality_sweep,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+
+
+class TestProfile:
+    def test_theorem1_inequality(self):
+        for seed in range(10):
+            g = gnp_random(9, 0.2, np.random.default_rng(seed), self_loops=True)
+            profile = duality_profile(g)
+            assert profile.theorem1_holds
+            assert profile.gap >= 0
+
+    def test_grouped_designs_have_zero_gap(self):
+        # The paper's tight constructions: rc == α.
+        for m in (1, 2, 3):
+            adv = GroupedSourceAdversary(9, num_groups=m, topology="star")
+            profile = duality_profile(adv.declared_stable_graph())
+            assert profile.root_components == m
+            assert profile.alpha == m
+            assert profile.gap == 0
+
+    def test_partition_construction_zero_gap(self):
+        adv = PartitionAdversary(8, 4)
+        profile = duality_profile(adv.declared_stable_graph())
+        assert profile.root_components == 4  # 3 loners + the source SCC
+        assert profile.alpha == 4
+        assert profile.gap == 0
+
+    def test_chain_has_unbounded_gap(self):
+        for n in (4, 6, 10):
+            g = chain_skeleton(n)
+            profile = duality_profile(g)
+            assert profile.root_components == 1
+            assert profile.alpha == (n + 1) // 2
+            assert profile.gap == (n + 1) // 2 - 1
+
+    def test_achievable_k_matches_decisions_noise_free(self):
+        # rc(G) equals the exact number of decision values on noise-free
+        # designed runs.
+        from repro.experiments.sweeps import run_algorithm1
+
+        for m in (1, 2, 3):
+            adv = GroupedSourceAdversary(9, num_groups=m, noise=0.0)
+            run = run_algorithm1(adv)
+            assert achievable_k(run.stable_skeleton()) == m
+            assert len(run.decision_values()) == m
+
+
+class TestSweep:
+    def test_sweep_shape_and_soundness(self):
+        rows = duality_sweep(ns=(6, 8), densities=(0.1, 0.3), seeds=range(3))
+        assert len(rows) == 4
+        for n, p, mean_rc, mean_alpha, mean_gap, violations in rows:
+            assert violations == 0
+            assert mean_rc <= mean_alpha
+            assert mean_gap == pytest.approx(mean_alpha - mean_rc)
+
+    def test_denser_graphs_have_smaller_alpha(self):
+        rows = duality_sweep(ns=(8,), densities=(0.05, 0.5), seeds=range(5))
+        sparse_alpha = rows[0][3]
+        dense_alpha = rows[1][3]
+        assert dense_alpha <= sparse_alpha
+
+
+@st.composite
+def skeletons(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    g = DiGraph(nodes=range(n))
+    for q in range(n):
+        g.add_edge(q, q)
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=25,
+        )
+    )
+    g.add_edges(extra)
+    return g
+
+
+class TestDualityProperties:
+    @given(skeletons())
+    @settings(max_examples=100, deadline=None)
+    def test_theorem1_universal(self, g):
+        # rc(G) <= α(G) for arbitrary self-delivering skeletons — the
+        # property form of Theorem 1.
+        profile = duality_profile(g)
+        assert profile.theorem1_holds

@@ -1,0 +1,156 @@
+"""Condensation / root component tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.condensation import (
+    condensation,
+    count_root_components,
+    is_root_component,
+    root_components,
+    sink_components,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import directed_cycle, gnp_random
+from tests.conftest import to_networkx
+
+
+class TestCondensation:
+    def test_single_scc(self):
+        g = directed_cycle(4)
+        c = condensation(g)
+        assert len(c.components) == 1
+        assert c.dag.number_of_edges() == 0
+
+    def test_diamond_dag(self, diamond):
+        c = condensation(diamond)
+        assert len(c.components) == 4
+        # condensation of a DAG is isomorphic to the DAG itself
+        assert c.dag.number_of_edges() == 4
+
+    def test_component_of_consistent(self, rng):
+        g = gnp_random(20, 0.1, rng)
+        c = condensation(g)
+        for node in g.nodes():
+            assert node in c.components[c.component_of[node]]
+
+    def test_dag_edges_reflect_original(self, two_cycles):
+        g = two_cycles.copy()
+        g.add_edge(0, 3)  # cycle A -> cycle B
+        c = condensation(g)
+        assert len(c.components) == 2
+        assert c.dag.number_of_edges() == 1
+        i, j = c.component_of[0], c.component_of[3]
+        assert c.dag.has_edge(i, j)
+
+    def test_no_dag_self_loops(self, rng):
+        g = gnp_random(15, 0.2, rng, self_loops=True)
+        c = condensation(g)
+        for i in range(len(c.components)):
+            assert not c.dag.has_edge(i, i)
+
+    def test_dag_is_acyclic(self, rng):
+        g = gnp_random(25, 0.1, rng)
+        c = condensation(g)
+        nxdag = nx.DiGraph()
+        nxdag.add_nodes_from(range(len(c.components)))
+        nxdag.add_edges_from(c.dag.edges())
+        assert nx.is_directed_acyclic_graph(nxdag)
+
+    def test_topological_order(self, rng):
+        g = gnp_random(20, 0.12, rng)
+        c = condensation(g)
+        order = c.topological_order()
+        position = {comp: i for i, comp in enumerate(order)}
+        for u, v in c.dag.iter_edges():
+            assert position[u] < position[v]
+
+    def test_deterministic_indexing(self, rng):
+        g = gnp_random(15, 0.15, rng)
+        c1, c2 = condensation(g), condensation(g.copy())
+        assert c1.components == c2.components
+
+
+class TestRootComponents:
+    def test_cycle_is_root(self):
+        g = directed_cycle(3)
+        roots = root_components(g)
+        assert roots == [frozenset({0, 1, 2})]
+
+    def test_paper_example_shape(self, figure1_stable):
+        # §II: "Figure 1b shows a graph with 2 root components {p3,p4,p5}
+        # and {p1,p2}" — ids {2,3,4} and {0,1}.
+        roots = set(root_components(figure1_stable))
+        assert roots == {frozenset({0, 1}), frozenset({2, 3, 4})}
+
+    def test_dag_root_is_source(self, diamond):
+        assert root_components(diamond) == [frozenset({0})]
+
+    def test_at_least_one_root(self, rng):
+        # Lemma 11's first step: every nonempty graph has a root component.
+        for seed in range(10):
+            g = gnp_random(12, 0.15, np.random.default_rng(seed))
+            assert count_root_components(g) >= 1
+
+    def test_is_root_component_definition(self, figure1_stable):
+        assert is_root_component(figure1_stable, frozenset({0, 1}))
+        assert not is_root_component(figure1_stable, frozenset({5}))
+
+    def test_sink_components(self, diamond):
+        assert sink_components(diamond) == [frozenset({3})]
+
+    def test_isolated_nodes_are_roots_and_sinks(self):
+        g = DiGraph(nodes=[0, 1, 2])
+        assert len(root_components(g)) == 3
+        assert len(sink_components(g)) == 3
+
+    def test_roots_of_reversed_are_sinks(self, rng):
+        g = gnp_random(15, 0.1, rng)
+        roots = set(root_components(g))
+        sinks_rev = set(sink_components(g.reversed()))
+        assert roots == sinks_rev
+
+
+@st.composite
+def digraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=40,
+        )
+    )
+    return DiGraph(nodes=range(n), edges=edges)
+
+
+class TestProperties:
+    @given(digraphs())
+    @settings(max_examples=120, deadline=None)
+    def test_nonempty_graph_has_root(self, g):
+        assert count_root_components(g) >= 1
+
+    @given(digraphs())
+    @settings(max_examples=120, deadline=None)
+    def test_every_node_reachable_from_some_root(self, g):
+        # The termination proof's flooding argument (Lemma 11).
+        from repro.graphs.paths import descendants
+
+        roots = root_components(g)
+        covered = set()
+        for root in roots:
+            covered |= descendants(g, next(iter(root)))
+        assert covered == set(g.nodes())
+
+    @given(digraphs())
+    @settings(max_examples=100, deadline=None)
+    def test_roots_satisfy_definition(self, g):
+        for root in root_components(g):
+            assert is_root_component(g, root)

@@ -1,0 +1,244 @@
+"""Unit tests for repro.graphs.digraph.DiGraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph()
+        assert g.number_of_nodes() == 0
+        assert g.number_of_edges() == 0
+        assert not g
+
+    def test_nodes_only(self):
+        g = DiGraph(nodes=[1, 2, 3])
+        assert g.nodes() == frozenset({1, 2, 3})
+        assert g.number_of_edges() == 0
+
+    def test_edges_add_endpoints(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        assert g.nodes() == frozenset({0, 1, 2})
+        assert g.number_of_edges() == 2
+
+    def test_duplicate_edges_idempotent(self):
+        g = DiGraph(edges=[(0, 1), (0, 1), (0, 1)])
+        assert g.number_of_edges() == 1
+
+    def test_self_loop(self):
+        g = DiGraph(edges=[(0, 0)])
+        assert g.has_edge(0, 0)
+        assert g.number_of_edges() == 1
+
+    def test_hashable_nodes(self):
+        g = DiGraph(edges=[("a", "b"), (("t", 1), "b")])
+        assert g.has_edge(("t", 1), "b")
+
+    def test_complete(self):
+        g = DiGraph.complete(range(4))
+        assert g.number_of_edges() == 16  # includes self-loops
+
+    def test_complete_no_self_loops(self):
+        g = DiGraph.complete(range(4), self_loops=False)
+        assert g.number_of_edges() == 12
+        assert not g.has_edge(0, 0)
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node(5)
+        g.add_node(5)
+        assert g.number_of_nodes() == 1
+
+    def test_remove_edge(self):
+        g = DiGraph(edges=[(0, 1)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.number_of_edges() == 0
+        # nodes remain
+        assert g.nodes() == frozenset({0, 1})
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph(nodes=[0, 1])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_discard_edge(self):
+        g = DiGraph(edges=[(0, 1)])
+        assert g.discard_edge(0, 1) is True
+        assert g.discard_edge(0, 1) is False
+
+    def test_remove_node_removes_incident_edges(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 0), (1, 1)])
+        g.remove_node(1)
+        assert g.nodes() == frozenset({0, 2})
+        assert g.edges() == frozenset({(2, 0)})
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            DiGraph().remove_node(0)
+
+    def test_discard_node(self):
+        g = DiGraph(nodes=[0])
+        assert g.discard_node(0) is True
+        assert g.discard_node(0) is False
+
+    def test_edge_count_consistency_after_churn(self):
+        g = DiGraph()
+        for i in range(10):
+            g.add_edge(i, (i + 1) % 10)
+        for i in range(0, 10, 2):
+            g.remove_edge(i, (i + 1) % 10)
+        assert g.number_of_edges() == 5
+        assert len(g.edges()) == 5
+
+
+class TestQueries:
+    def test_successors_predecessors(self):
+        g = DiGraph(edges=[(0, 1), (0, 2), (2, 1)])
+        assert g.successors(0) == frozenset({1, 2})
+        assert g.predecessors(1) == frozenset({0, 2})
+        assert g.predecessors(0) == frozenset()
+
+    def test_degrees(self):
+        g = DiGraph(edges=[(0, 1), (0, 2), (2, 1)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(1) == 2
+        assert g.in_degree(0) == 0
+
+    def test_contains_iter_len(self):
+        g = DiGraph(nodes=[0, 1, 2])
+        assert 1 in g
+        assert 7 not in g
+        assert sorted(g) == [0, 1, 2]
+        assert len(g) == 3
+
+    def test_iter_edges_matches_edges(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert frozenset(g.iter_edges()) == g.edges()
+
+
+class TestSetOperations:
+    def test_copy_is_independent(self):
+        g = DiGraph(edges=[(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 0)
+        assert not g.has_edge(1, 0)
+        assert h.has_edge(1, 0)
+
+    def test_intersection_footnote3(self):
+        # G ∩ G' = <V ∩ V', E ∩ E'> — footnote 3 of the paper.
+        g = DiGraph(nodes=[0, 1, 2, 3], edges=[(0, 1), (1, 2)])
+        h = DiGraph(nodes=[0, 1, 2], edges=[(0, 1), (2, 1)])
+        i = g.intersection(h)
+        assert i.nodes() == frozenset({0, 1, 2})
+        assert i.edges() == frozenset({(0, 1)})
+
+    def test_intersection_commutative(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        h = DiGraph(edges=[(1, 2), (3, 2), (0, 1)])
+        assert g.intersection(h) == h.intersection(g)
+
+    def test_intersection_with_self_is_identity(self):
+        g = DiGraph(edges=[(0, 1), (1, 0), (1, 1)])
+        assert g.intersection(g) == g
+
+    def test_union(self):
+        g = DiGraph(edges=[(0, 1)])
+        h = DiGraph(edges=[(1, 2)], nodes=[5])
+        u = g.union(h)
+        assert u.nodes() == frozenset({0, 1, 2, 5})
+        assert u.edges() == frozenset({(0, 1), (1, 2)})
+
+    def test_difference_edges(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        h = DiGraph(edges=[(0, 1)])
+        d = g.difference_edges(h)
+        assert d.edges() == frozenset({(1, 2)})
+        assert d.nodes() == g.nodes()
+
+    def test_induced_subgraph(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 0), (0, 3)])
+        s = g.induced_subgraph({0, 1, 3})
+        assert s.nodes() == frozenset({0, 1, 3})
+        assert s.edges() == frozenset({(0, 1), (0, 3)})
+
+    def test_induced_subgraph_ignores_unknown_nodes(self):
+        g = DiGraph(nodes=[0, 1])
+        s = g.induced_subgraph({0, 99})
+        assert s.nodes() == frozenset({0})
+
+    def test_reversed(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        r = g.reversed()
+        assert r.edges() == frozenset({(1, 0), (2, 1)})
+        assert r.reversed() == g
+
+    def test_with_self_loops(self):
+        g = DiGraph(nodes=[0, 1], edges=[(0, 1)])
+        s = g.with_self_loops()
+        assert s.has_edge(0, 0) and s.has_edge(1, 1)
+        assert not g.has_edge(0, 0)  # original untouched
+
+    def test_without_self_loops(self):
+        g = DiGraph(edges=[(0, 0), (0, 1), (1, 1)])
+        s = g.without_self_loops()
+        assert s.edges() == frozenset({(0, 1)})
+        assert s.nodes() == frozenset({0, 1})
+
+
+class TestRelations:
+    def test_subgraph_relation(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        h = DiGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert h.is_subgraph_of(g)
+        assert g.is_supergraph_of(h)
+        assert not g.is_subgraph_of(h)
+
+    def test_subgraph_requires_nodes(self):
+        g = DiGraph(nodes=[0, 1])
+        h = DiGraph(nodes=[0, 1, 2])
+        assert g.is_subgraph_of(h)
+        assert not h.is_subgraph_of(g)
+
+    def test_equality(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        h = DiGraph(edges=[(1, 2), (0, 1)])
+        assert g == h
+        h.add_node(9)
+        assert g != h
+
+    def test_equality_other_type(self):
+        assert DiGraph() != 42
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DiGraph())
+
+    def test_freeze(self):
+        g = DiGraph(edges=[(0, 1)])
+        snap = g.freeze()
+        assert snap == (frozenset({0, 1}), frozenset({(0, 1)}))
+        # frozen snapshots hash fine
+        assert isinstance(hash(snap), int)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        g = DiGraph(nodes=[3], edges=[(0, 1), (1, 2)])
+        h = DiGraph.from_dict(g.to_dict())
+        assert g == h
+
+    def test_to_dict_sorted(self):
+        g = DiGraph(edges=[(2, 0), (0, 1)])
+        d = g.to_dict()
+        assert d["nodes"] == sorted(d["nodes"], key=repr)
+        assert d["edges"] == sorted(d["edges"], key=repr)
+
+    def test_repr(self):
+        g = DiGraph(edges=[(0, 1)])
+        assert "|V|=2" in repr(g) and "|E|=1" in repr(g)

@@ -1,0 +1,142 @@
+"""Tests for graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    bidirectional_chain,
+    complete_graph,
+    directed_cycle,
+    empty_graph,
+    from_adjacency,
+    gnp_random,
+    in_star,
+    layered_dag,
+    out_star,
+    random_strongly_connected,
+    random_tournament,
+    to_adjacency,
+    union_of_cliques,
+)
+from repro.graphs.scc import is_strongly_connected
+
+
+class TestDeterministic:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 0
+
+    def test_empty_graph_self_loops(self):
+        g = empty_graph(4, self_loops=True)
+        assert g.number_of_edges() == 4
+        assert all(g.has_edge(i, i) for i in range(4))
+
+    def test_complete(self):
+        g = complete_graph(5, self_loops=False)
+        assert g.number_of_edges() == 20
+
+    def test_cycle_strongly_connected(self):
+        assert is_strongly_connected(directed_cycle(7))
+
+    def test_cycle_edges(self):
+        g = directed_cycle(3)
+        assert g.edges() == frozenset({(0, 1), (1, 2), (2, 0)})
+
+    def test_bidirectional_chain(self):
+        g = bidirectional_chain(4)
+        assert is_strongly_connected(g)
+        assert g.number_of_edges() == 6
+
+    def test_in_star(self):
+        g = in_star(4, center=2)
+        assert g.predecessors(2) == frozenset({0, 1, 3})
+        assert g.out_degree(2) == 0
+
+    def test_out_star(self):
+        g = out_star(4, center=1)
+        assert g.successors(1) == frozenset({0, 2, 3})
+        assert g.in_degree(1) == 0
+
+    def test_union_of_cliques(self):
+        g = union_of_cliques([[0, 1], [2, 3, 4]], self_loops=False)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert g.number_of_edges() == 2 + 6
+
+
+class TestRandom:
+    def test_gnp_bounds(self):
+        rng = np.random.default_rng(0)
+        g = gnp_random(10, 0.0, rng, self_loops=False)
+        assert g.number_of_edges() == 0
+        g = gnp_random(10, 1.0, rng, self_loops=True)
+        assert g.number_of_edges() == 100
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(ValueError):
+            gnp_random(5, 1.5, np.random.default_rng(0))
+
+    def test_gnp_reproducible(self):
+        g1 = gnp_random(15, 0.3, np.random.default_rng(42))
+        g2 = gnp_random(15, 0.3, np.random.default_rng(42))
+        assert g1 == g2
+
+    def test_gnp_self_loop_flag(self):
+        rng = np.random.default_rng(1)
+        g = gnp_random(8, 0.5, rng, self_loops=True)
+        assert all(g.has_edge(i, i) for i in range(8))
+
+    def test_gnp_density_plausible(self):
+        rng = np.random.default_rng(7)
+        g = gnp_random(40, 0.25, rng, self_loops=False)
+        expected = 0.25 * 40 * 39
+        assert 0.6 * expected < g.number_of_edges() < 1.4 * expected
+
+    def test_tournament(self):
+        rng = np.random.default_rng(3)
+        g = random_tournament(8, rng)
+        for u in range(8):
+            for v in range(u + 1, 8):
+                assert g.has_edge(u, v) != g.has_edge(v, u)
+
+    def test_random_strongly_connected(self):
+        for seed in range(5):
+            g = random_strongly_connected(12, 0.05, np.random.default_rng(seed))
+            assert is_strongly_connected(g)
+
+    def test_layered_dag(self):
+        rng = np.random.default_rng(5)
+        g = layered_dag([3, 4, 2], rng)
+        assert g.number_of_nodes() == 9
+        # every non-first-layer node has a parent
+        for v in range(3, 9):
+            assert g.in_degree(v) >= 1
+        # no intra-layer or backward edges
+        for u, v in g.iter_edges():
+            layer_u = 0 if u < 3 else (1 if u < 7 else 2)
+            layer_v = 0 if v < 3 else (1 if v < 7 else 2)
+            assert layer_v == layer_u + 1
+
+
+class TestAdjacency:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(9)
+        g = gnp_random(12, 0.3, rng)
+        assert from_adjacency(to_adjacency(g)) == g
+
+    def test_from_adjacency_validates_shape(self):
+        with pytest.raises(ValueError):
+            from_adjacency(np.zeros((2, 3)))
+
+    def test_to_adjacency_explicit_n(self):
+        g = DiGraph(edges=[(0, 1)])
+        arr = to_adjacency(g, n=4)
+        assert arr.shape == (4, 4)
+        assert arr[0, 1] and arr.sum() == 1
+
+    def test_to_adjacency_empty(self):
+        assert to_adjacency(DiGraph()).shape == (0, 0)

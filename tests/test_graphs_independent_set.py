@@ -1,0 +1,168 @@
+"""Independent-set solver tests with a networkx oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.independent_set import (
+    find_independent_set_of_size,
+    greedy_independent_set,
+    has_independent_set_of_size,
+    independence_number,
+    maximum_independent_set,
+)
+
+
+def is_independent(adjacency: dict, nodes: set) -> bool:
+    return all(
+        v not in adjacency.get(u, set()) for u in nodes for v in nodes if u != v
+    )
+
+
+def oracle_alpha(adjacency: dict) -> int:
+    """Exact independence number via networkx max clique on the complement."""
+    g = nx.Graph()
+    g.add_nodes_from(adjacency)
+    for u, vs in adjacency.items():
+        for v in vs:
+            if u != v:
+                g.add_edge(u, v)
+    comp = nx.complement(g)
+    best = 0
+    for clique in nx.find_cliques(comp) if comp.number_of_nodes() else []:
+        best = max(best, len(clique))
+    return best
+
+
+def random_graph(n: int, p: float, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    adj = {i: set() for i in range(n)}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                adj[u].add(v)
+                adj[v].add(u)
+    return adj
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        assert independence_number({}) == 0
+        assert maximum_independent_set({}) == set()
+
+    def test_no_edges(self):
+        adj = {i: set() for i in range(5)}
+        assert independence_number(adj) == 5
+
+    def test_complete_graph(self):
+        adj = {i: {j for j in range(4) if j != i} for i in range(4)}
+        assert independence_number(adj) == 1
+
+    def test_path_graph(self):
+        # path 0-1-2-3-4: alpha = 3 ({0,2,4})
+        adj = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2, 4}, 4: {3}}
+        assert independence_number(adj) == 3
+        assert is_independent(adj, maximum_independent_set(adj))
+
+    def test_cycle_5(self):
+        adj = {i: {(i - 1) % 5, (i + 1) % 5} for i in range(5)}
+        assert independence_number(adj) == 2
+
+    def test_star(self):
+        adj = {0: {1, 2, 3, 4}, 1: {0}, 2: {0}, 3: {0}, 4: {0}}
+        assert independence_number(adj) == 4
+
+    def test_self_loops_ignored(self):
+        adj = {0: {0}, 1: {1}}
+        assert independence_number(adj) == 2
+
+    def test_asymmetric_input_symmetrized(self):
+        # adjacency given one-directed; solver must treat it as undirected
+        adj = {0: {1}, 1: set(), 2: set()}
+        assert independence_number(adj) == 2
+
+    def test_greedy_returns_independent_set(self):
+        adj = random_graph(15, 0.3, 1)
+        assert is_independent(adj, greedy_independent_set(adj))
+
+
+class TestDecision:
+    def test_has_size_zero_always(self):
+        assert has_independent_set_of_size({}, 0)
+
+    def test_size_larger_than_graph(self):
+        assert not has_independent_set_of_size({0: set()}, 2)
+
+    def test_decision_consistency(self):
+        adj = random_graph(12, 0.35, 5)
+        alpha = independence_number(adj)
+        assert has_independent_set_of_size(adj, alpha)
+        assert not has_independent_set_of_size(adj, alpha + 1)
+
+    def test_find_returns_valid_witness(self):
+        adj = random_graph(12, 0.3, 7)
+        alpha = independence_number(adj)
+        witness = find_independent_set_of_size(adj, alpha)
+        assert witness is not None
+        assert len(witness) == alpha
+        assert is_independent(adj, witness)
+
+    def test_find_none_when_impossible(self):
+        adj = {i: {j for j in range(4) if j != i} for i in range(4)}
+        assert find_independent_set_of_size(adj, 2) is None
+
+    def test_find_size_zero(self):
+        assert find_independent_set_of_size({}, 0) == set()
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("p", [0.1, 0.3, 0.6])
+    def test_alpha_matches_networkx(self, seed, p):
+        adj = random_graph(12, p, seed)
+        assert independence_number(adj) == oracle_alpha(adj)
+
+
+@st.composite
+def undirected_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    adj = {i: set() for i in range(n)}
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=30,
+        )
+    )
+    for u, v in pairs:
+        if u != v:
+            adj[u].add(v)
+            adj[v].add(u)
+    return adj
+
+
+class TestProperties:
+    @given(undirected_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_independent_and_exact(self, adj):
+        mis = maximum_independent_set(adj)
+        assert is_independent(adj, mis)
+        assert len(mis) == oracle_alpha(adj)
+
+    @given(undirected_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_lower_bounds_exact(self, adj):
+        assert len(greedy_independent_set(adj)) <= independence_number(adj)
+
+    @given(undirected_graphs(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_decision_matches_alpha(self, adj, size):
+        assert has_independent_set_of_size(adj, size) == (
+            independence_number(adj) >= size
+        )

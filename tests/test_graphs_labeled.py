@@ -1,0 +1,213 @@
+"""Tests for the round-labeled digraph (Algorithm 1's data structure)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.labeled import RoundLabeledDigraph
+
+
+class TestBasics:
+    def test_empty(self):
+        g = RoundLabeledDigraph()
+        assert g.number_of_nodes() == 0
+        assert g.number_of_edges() == 0
+        assert g.min_label() is None and g.max_label() is None
+
+    def test_add_edge_adds_nodes(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 5)
+        assert g.nodes() == frozenset({0, 1})
+        assert g.label(0, 1) == 5
+
+    def test_max_merge_on_add(self):
+        # Alg. 1 line 22: keep the max round label per ordered pair.
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 3)
+        g.add_edge(0, 1, 7)
+        g.add_edge(0, 1, 5)
+        assert g.label(0, 1) == 7
+        assert g.number_of_edges() == 1
+
+    def test_set_edge_overwrites(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 7)
+        g.set_edge(0, 1, 2)
+        assert g.label(0, 1) == 2
+
+    def test_one_label_per_pair_invariant(self):
+        # Lemma 3(c)/4(b): never two labels for the same ordered pair.
+        g = RoundLabeledDigraph()
+        for lbl in (1, 4, 2, 9):
+            g.add_edge(3, 4, lbl)
+        assert len(g.labeled_edges()) == 1
+
+    def test_directions_independent(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 0, 2)
+        assert g.label(0, 1) == 1
+        assert g.label(1, 0) == 2
+
+    def test_get_label_default(self):
+        g = RoundLabeledDigraph()
+        assert g.get_label(0, 1) is None
+        assert g.get_label(0, 1, default=-1) == -1
+
+    def test_label_missing_raises(self):
+        with pytest.raises(KeyError):
+            RoundLabeledDigraph().label(0, 1)
+
+    def test_remove_edge(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 1)
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_remove_node(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, 2)
+        g.add_edge(2, 0, 3)
+        g.remove_node(1)
+        assert g.nodes() == frozenset({0, 2})
+        assert g.edges() == frozenset({(2, 0)})
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            RoundLabeledDigraph().remove_node(5)
+
+    def test_neighbors(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(2, 1, 1)
+        g.add_edge(1, 3, 1)
+        assert g.predecessors(1) == frozenset({0, 2})
+        assert g.successors(1) == frozenset({3})
+
+    def test_predecessors_after_removal(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 1)
+        g.remove_edge(0, 1)
+        assert g.predecessors(1) == frozenset()
+
+    def test_equality_and_hash(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 2)])
+        h = RoundLabeledDigraph(labeled_edges=[(0, 1, 2)])
+        assert g == h
+        h.add_edge(0, 1, 3)
+        assert g != h
+        with pytest.raises(TypeError):
+            hash(g)
+
+
+class TestPurge:
+    def test_purge_removes_old(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 5)
+        dead = g.purge_older_than(2)
+        assert dead == [(0, 1, 2)]
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 1)
+
+    def test_purge_boundary_is_inclusive(self):
+        # Line 24: discard where re <= r - n (inclusive).
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 3)
+        g.purge_older_than(3)
+        assert g.number_of_edges() == 0
+
+    def test_purge_keeps_nodes(self):
+        g = RoundLabeledDigraph()
+        g.add_edge(0, 1, 1)
+        g.purge_older_than(10)
+        assert g.nodes() == frozenset({0, 1})
+
+    def test_min_max_labels(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 2), (1, 2, 9), (2, 0, 4)])
+        assert g.min_label() == 2
+        assert g.max_label() == 9
+
+
+class TestDerived:
+    def test_copy_independent(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 1)])
+        h = g.copy()
+        h.add_edge(1, 0, 2)
+        assert not g.has_edge(1, 0)
+
+    def test_unweighted_view(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 1), (1, 2, 5)])
+        g.add_node(9)
+        u = g.unweighted()
+        assert u.nodes() == frozenset({0, 1, 2, 9})
+        assert u.edges() == frozenset({(0, 1), (1, 2)})
+
+    def test_merge_max(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 3), (1, 2, 1)])
+        h = RoundLabeledDigraph(labeled_edges=[(0, 1, 5), (2, 0, 2)])
+        g.merge_max(h)
+        assert g.label(0, 1) == 5
+        assert g.label(1, 2) == 1
+        assert g.label(2, 0) == 2
+
+    def test_merge_max_nodes(self):
+        g = RoundLabeledDigraph(nodes=[0])
+        h = RoundLabeledDigraph(nodes=[1, 2])
+        g.merge_max(h)
+        assert g.nodes() == frozenset({0, 1, 2})
+
+    def test_dict_roundtrip(self):
+        g = RoundLabeledDigraph(nodes=[5], labeled_edges=[(0, 1, 3), (1, 0, 2)])
+        h = RoundLabeledDigraph.from_dict(g.to_dict())
+        assert g == h
+
+    def test_repr(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 1)])
+        assert "|V|=2" in repr(g)
+
+
+label_edge = st.tuples(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=1, max_value=30),
+)
+
+
+class TestLabeledProperties:
+    @given(st.lists(label_edge, max_size=50))
+    @settings(max_examples=120, deadline=None)
+    def test_label_is_max_of_inserts(self, edges):
+        g = RoundLabeledDigraph()
+        best: dict[tuple[int, int], int] = {}
+        for u, v, lbl in edges:
+            g.add_edge(u, v, lbl)
+            best[(u, v)] = max(best.get((u, v), lbl), lbl)
+        for (u, v), lbl in best.items():
+            assert g.label(u, v) == lbl
+
+    @given(st.lists(label_edge, max_size=50), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=120, deadline=None)
+    def test_purge_threshold(self, edges, cutoff):
+        g = RoundLabeledDigraph()
+        for u, v, lbl in edges:
+            g.add_edge(u, v, lbl)
+        g.purge_older_than(cutoff)
+        for _, _, lbl in g.iter_labeled_edges():
+            assert lbl > cutoff
+
+    @given(st.lists(label_edge, max_size=40), st.lists(label_edge, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_max_is_commutative_on_labels(self, e1, e2):
+        a = RoundLabeledDigraph(labeled_edges=e1)
+        b = RoundLabeledDigraph(labeled_edges=e2)
+        ab = a.copy()
+        ab.merge_max(b)
+        ba = b.copy()
+        ba.merge_max(a)
+        assert ab == ba

@@ -1,0 +1,174 @@
+"""Cross-validation of the vectorized NumPy kernels against the set-based
+implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.graphs.condensation import count_root_components
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random, to_adjacency, from_adjacency
+from repro.graphs.matrices import (
+    conflict_matrix,
+    intersect_all,
+    is_strongly_connected_matrix,
+    prefix_intersections,
+    root_component_count_matrix,
+    scc_labels,
+    timely_neighborhoods,
+    transitive_closure,
+)
+from repro.graphs.paths import descendants
+from repro.graphs.scc import is_strongly_connected, tarjan_scc
+from repro.predicates.psrcs import conflict_graph
+
+
+def adjacency(n: int, seed: int, p: float = 0.15) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((n, n)) < p
+
+
+class TestIntersect:
+    def test_intersect_all(self):
+        stack = np.array(
+            [
+                [[1, 1], [0, 1]],
+                [[1, 0], [0, 1]],
+                [[1, 1], [1, 1]],
+            ],
+            dtype=bool,
+        )
+        out = intersect_all(stack)
+        assert out.tolist() == [[True, False], [False, True]]
+
+    def test_prefix_matches_manual(self):
+        stack = np.stack([adjacency(8, s) for s in range(5)])
+        prefixes = prefix_intersections(stack)
+        manual = stack[0].copy()
+        for i in range(5):
+            if i > 0:
+                manual &= stack[i]
+            assert np.array_equal(prefixes[i], manual)
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            intersect_all(np.zeros((3, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            prefix_intersections(np.zeros((3, 3), dtype=bool))
+
+    def test_matches_digraph_intersection(self):
+        rng = np.random.default_rng(0)
+        graphs = [gnp_random(10, 0.4, rng) for _ in range(4)]
+        stack = np.stack([to_adjacency(g, 10) for g in graphs])
+        expected = graphs[0]
+        for g in graphs[1:]:
+            expected = expected.intersection(g)
+        assert from_adjacency(intersect_all(stack)) == expected
+
+
+class TestClosure:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_closure_matches_bfs(self, seed):
+        adj = adjacency(14, seed)
+        g = from_adjacency(adj)
+        closure = transitive_closure(adj)
+        for u in range(14):
+            reach = descendants(g, u)
+            assert frozenset(np.nonzero(closure[u])[0].tolist()) == reach
+
+    def test_closure_non_reflexive(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = True
+        closure = transitive_closure(adj, reflexive=False)
+        assert not closure[0, 0]
+        assert closure[0, 1]
+
+    def test_closure_requires_square(self):
+        with pytest.raises(ValueError):
+            transitive_closure(np.zeros((2, 3), dtype=bool))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_strong_connectivity_matches(self, seed):
+        adj = adjacency(12, seed, p=0.25)
+        assert is_strongly_connected_matrix(adj) == is_strongly_connected(
+            from_adjacency(adj)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scc_labels_match_tarjan(self, seed):
+        adj = adjacency(13, seed)
+        labels = scc_labels(adj)
+        ours = {}
+        for comp in tarjan_scc(from_adjacency(adj)):
+            for node in comp:
+                ours[node] = frozenset(comp)
+        for u in range(13):
+            for v in range(13):
+                assert (labels[u] == labels[v]) == (ours[u] == ours[v])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_root_count_matches(self, seed):
+        adj = adjacency(12, seed)
+        assert root_component_count_matrix(adj) == count_root_components(
+            from_adjacency(adj)
+        )
+
+
+class TestPredicateKernels:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_timely_neighborhoods(self, seed):
+        adj = adjacency(10, seed, p=0.3)
+        g = from_adjacency(adj)
+        pts = timely_neighborhoods(adj)
+        for p in range(10):
+            assert pts[p] == g.predecessors(p)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_conflict_matrix_matches_set_version(self, seed):
+        adj = adjacency(10, seed, p=0.3)
+        g = from_adjacency(adj)
+        mat = conflict_matrix(adj)
+        ref = conflict_graph(g)
+        for q in range(10):
+            assert frozenset(np.nonzero(mat[q])[0].tolist()) == frozenset(ref[q])
+
+    def test_conflict_matrix_symmetric_no_diagonal(self):
+        adj = adjacency(12, 3, p=0.4)
+        mat = conflict_matrix(adj)
+        assert np.array_equal(mat, mat.T)
+        assert not mat.diagonal().any()
+
+
+class TestHypothesis:
+    @given(
+        arrays(dtype=bool, shape=st.tuples(st.integers(1, 8), st.integers(1, 8)).map(
+            lambda t: (max(t), max(t))
+        ))
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_closure_idempotent(self, adj):
+        closure = transitive_closure(adj)
+        again = transitive_closure(closure)
+        assert np.array_equal(closure, again)
+
+    @given(
+        arrays(dtype=bool, shape=st.integers(1, 7).map(lambda n: (n, n)))
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_closure_contains_adjacency(self, adj):
+        closure = transitive_closure(adj)
+        assert np.all(closure | ~adj)
+
+    @given(
+        arrays(dtype=bool, shape=st.integers(1, 6).map(lambda n: (3, n, n)))
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_subset_chain(self, stack):
+        # The skeleton chain (1): prefix intersections only shrink.
+        prefixes = prefix_intersections(stack)
+        for i in range(1, len(prefixes)):
+            assert np.all(prefixes[i - 1] | ~prefixes[i])

@@ -1,0 +1,179 @@
+"""Unit and property tests for repro.graphs.paths."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import directed_cycle, gnp_random
+from repro.graphs.paths import (
+    ancestors,
+    descendants,
+    eccentricity,
+    has_path,
+    is_path,
+    longest_simple_path_upper_bound,
+    reaches,
+    shortest_path,
+    shortest_path_lengths,
+)
+from tests.conftest import to_networkx
+
+
+class TestReachability:
+    def test_descendants_includes_source(self):
+        g = DiGraph(nodes=[0])
+        assert descendants(g, 0) == frozenset({0})
+
+    def test_descendants_chain(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        assert descendants(g, 0) == frozenset({0, 1, 2})
+        assert descendants(g, 2) == frozenset({2})
+
+    def test_ancestors_chain(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        assert ancestors(g, 2) == frozenset({0, 1, 2})
+        assert ancestors(g, 0) == frozenset({0})
+
+    def test_reaches_is_ancestors(self, diamond):
+        assert reaches(diamond, 3) == ancestors(diamond, 3)
+
+    def test_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            descendants(DiGraph(), 0)
+        with pytest.raises(KeyError):
+            ancestors(DiGraph(), 0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_against_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        g = gnp_random(20, 0.1, rng)
+        nxg = to_networkx(g)
+        for node in [0, 5, 19]:
+            assert descendants(g, node) == nx.descendants(nxg, node) | {node}
+            assert ancestors(g, node) == nx.ancestors(nxg, node) | {node}
+
+
+class TestHasPath:
+    def test_trivial_self_path(self):
+        g = DiGraph(nodes=[0])
+        assert has_path(g, 0, 0)
+
+    def test_direct_edge(self):
+        g = DiGraph(edges=[(0, 1)])
+        assert has_path(g, 0, 1)
+        assert not has_path(g, 1, 0)
+
+    def test_missing_nodes_false(self):
+        assert not has_path(DiGraph(nodes=[0]), 0, 9)
+        assert not has_path(DiGraph(nodes=[0]), 9, 0)
+
+    def test_through_cycle(self):
+        g = directed_cycle(5)
+        assert has_path(g, 0, 3)
+        assert has_path(g, 3, 0)
+
+
+class TestShortestPath:
+    def test_self(self):
+        g = DiGraph(nodes=[7])
+        assert shortest_path(g, 7, 7) == [7]
+
+    def test_none_when_unreachable(self):
+        g = DiGraph(edges=[(0, 1)])
+        assert shortest_path(g, 1, 0) is None
+
+    def test_min_hop(self):
+        # Two routes 0->3: direct and via 1,2 — BFS must take the direct one.
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert shortest_path(g, 0, 3) == [0, 3]
+
+    def test_path_is_valid(self, rng):
+        g = gnp_random(15, 0.15, rng)
+        for target in range(15):
+            path = shortest_path(g, 0, target)
+            if path is not None:
+                assert is_path(g, path) or path == [0]
+
+    def test_lengths_match_networkx(self, rng):
+        g = gnp_random(18, 0.12, rng)
+        ours = shortest_path_lengths(g, 0)
+        theirs = nx.single_source_shortest_path_length(to_networkx(g), 0)
+        assert ours == dict(theirs)
+
+    def test_lengths_missing_node(self):
+        with pytest.raises(KeyError):
+            shortest_path_lengths(DiGraph(), 3)
+
+
+class TestMisc:
+    def test_eccentricity_cycle(self):
+        g = directed_cycle(6)
+        assert eccentricity(g, 0) == 5
+
+    def test_longest_path_bound(self):
+        assert longest_simple_path_upper_bound(DiGraph(nodes=range(6))) == 5
+        assert longest_simple_path_upper_bound(DiGraph()) == 0
+
+    def test_is_path_accepts_valid(self):
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        assert is_path(g, [0, 1, 2])
+
+    def test_is_path_rejects_repeats(self):
+        g = DiGraph(edges=[(0, 1), (1, 0)])
+        assert not is_path(g, [0, 1, 0])
+
+    def test_is_path_rejects_missing_edge(self):
+        g = DiGraph(edges=[(0, 1)])
+        assert not is_path(g, [1, 0])
+
+    def test_is_path_rejects_empty(self):
+        assert not is_path(DiGraph(), [])
+
+    def test_is_path_single_node(self):
+        assert is_path(DiGraph(nodes=[0]), [0])
+
+
+@st.composite
+def graph_and_two_nodes(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=40,
+        )
+    )
+    g = DiGraph(nodes=range(n), edges=edges)
+    a = draw(st.integers(min_value=0, max_value=n - 1))
+    b = draw(st.integers(min_value=0, max_value=n - 1))
+    return g, a, b
+
+
+class TestPathProperties:
+    @given(graph_and_two_nodes())
+    @settings(max_examples=150, deadline=None)
+    def test_has_path_iff_shortest_path(self, data):
+        g, a, b = data
+        assert has_path(g, a, b) == (shortest_path(g, a, b) is not None)
+
+    @given(graph_and_two_nodes())
+    @settings(max_examples=150, deadline=None)
+    def test_descendants_ancestors_duality(self, data):
+        g, a, b = data
+        assert (b in descendants(g, a)) == (a in ancestors(g, b))
+
+    @given(graph_and_two_nodes())
+    @settings(max_examples=100, deadline=None)
+    def test_shortest_path_length_consistency(self, data):
+        g, a, b = data
+        path = shortest_path(g, a, b)
+        if path is not None:
+            lengths = shortest_path_lengths(g, a)
+            assert lengths[b] == len(path) - 1

@@ -1,0 +1,190 @@
+"""SCC tests: unit cases, cross-validation of Tarjan vs Kosaraju vs
+networkx, and hypothesis property tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+from repro.graphs.scc import (
+    is_strongly_connected,
+    kosaraju_scc,
+    scc_of,
+    strongly_connected_components,
+    tarjan_scc,
+)
+from tests.conftest import to_networkx
+
+
+def as_partition(components) -> frozenset[frozenset]:
+    return frozenset(frozenset(c) for c in components)
+
+
+class TestBasicCases:
+    def test_empty_graph(self):
+        assert tarjan_scc(DiGraph()) == []
+        assert kosaraju_scc(DiGraph()) == []
+
+    def test_single_node(self):
+        g = DiGraph(nodes=[0])
+        assert as_partition(tarjan_scc(g)) == frozenset({frozenset({0})})
+
+    def test_self_loop_is_singleton_scc(self):
+        g = DiGraph(edges=[(0, 0)])
+        assert as_partition(tarjan_scc(g)) == frozenset({frozenset({0})})
+
+    def test_two_node_cycle(self):
+        g = DiGraph(edges=[(0, 1), (1, 0)])
+        assert as_partition(tarjan_scc(g)) == frozenset({frozenset({0, 1})})
+
+    def test_dag_all_singletons(self, diamond):
+        comps = tarjan_scc(diamond)
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 4
+
+    def test_two_disjoint_cycles(self, two_cycles):
+        assert as_partition(tarjan_scc(two_cycles)) == frozenset(
+            {frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+        )
+
+    def test_cycle_with_tail(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        parts = as_partition(tarjan_scc(g))
+        assert frozenset({0, 1, 2}) in parts
+        assert frozenset({3}) in parts and frozenset({4}) in parts
+
+    def test_every_node_in_exactly_one_component(self, rng):
+        g = gnp_random(30, 0.1, rng)
+        comps = tarjan_scc(g)
+        seen = [node for c in comps for node in c]
+        assert sorted(seen) == sorted(g.nodes())
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            strongly_connected_components(DiGraph(), algorithm="magic")
+
+    def test_tarjan_reverse_topological_order(self):
+        # edge 0 -> 1: component {1} must appear before {0} in Tarjan order.
+        g = DiGraph(edges=[(0, 1)])
+        comps = tarjan_scc(g)
+        assert comps.index(frozenset({1})) < comps.index(frozenset({0}))
+
+    def test_kosaraju_topological_order(self):
+        g = DiGraph(edges=[(0, 1)])
+        comps = kosaraju_scc(g)
+        assert comps.index(frozenset({0})) < comps.index(frozenset({1}))
+
+    def test_deep_path_no_recursion_error(self):
+        # 3000-node path: the iterative implementations must not blow the
+        # Python stack.
+        n = 3000
+        g = DiGraph(edges=[(i, i + 1) for i in range(n - 1)])
+        assert len(tarjan_scc(g)) == n
+        assert len(kosaraju_scc(g)) == n
+
+
+class TestSccOf:
+    def test_matches_full_decomposition(self, rng):
+        g = gnp_random(25, 0.12, rng)
+        comps = {frozenset(c) for c in tarjan_scc(g)}
+        for node in g.nodes():
+            assert scc_of(g, node) in comps
+            assert node in scc_of(g, node)
+
+    def test_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            scc_of(DiGraph(), 0)
+
+
+class TestIsStronglyConnected:
+    def test_empty_graph_true(self):
+        assert is_strongly_connected(DiGraph())
+
+    def test_single_node_true(self):
+        # Required by Theorem 2: isolated processes must pass the line-28
+        # test on their singleton approximation.
+        assert is_strongly_connected(DiGraph(nodes=[0]))
+        assert is_strongly_connected(DiGraph(edges=[(0, 0)]))
+
+    def test_cycle_true(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert is_strongly_connected(g)
+
+    def test_dag_false(self, diamond):
+        assert not is_strongly_connected(diamond)
+
+    def test_disconnected_false(self, two_cycles):
+        assert not is_strongly_connected(two_cycles)
+
+    def test_one_way_pair_false(self):
+        assert not is_strongly_connected(DiGraph(edges=[(0, 1)]))
+
+
+class TestOracles:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("p", [0.02, 0.08, 0.2, 0.5])
+    def test_against_networkx(self, seed, p):
+        rng = np.random.default_rng(seed)
+        g = gnp_random(24, p, rng)
+        ours = as_partition(tarjan_scc(g))
+        theirs = frozenset(
+            frozenset(c) for c in nx.strongly_connected_components(to_networkx(g))
+        )
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tarjan_equals_kosaraju(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        g = gnp_random(40, 0.07, rng)
+        assert as_partition(tarjan_scc(g)) == as_partition(kosaraju_scc(g))
+
+
+@st.composite
+def small_digraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=60,
+        )
+    )
+    return DiGraph(nodes=range(n), edges=edges)
+
+
+class TestProperties:
+    @given(small_digraphs())
+    @settings(max_examples=120, deadline=None)
+    def test_partition_property(self, g):
+        comps = tarjan_scc(g)
+        flat = [v for c in comps for v in c]
+        assert sorted(flat, key=repr) == sorted(g.nodes(), key=repr)
+
+    @given(small_digraphs())
+    @settings(max_examples=120, deadline=None)
+    def test_tarjan_kosaraju_agree(self, g):
+        assert as_partition(tarjan_scc(g)) == as_partition(kosaraju_scc(g))
+
+    @given(small_digraphs())
+    @settings(max_examples=80, deadline=None)
+    def test_components_are_strongly_connected(self, g):
+        for comp in tarjan_scc(g):
+            sub = g.induced_subgraph(comp)
+            assert is_strongly_connected(sub)
+
+    @given(small_digraphs())
+    @settings(max_examples=80, deadline=None)
+    def test_components_are_maximal(self, g):
+        # Merging any two distinct components must not be strongly connected.
+        comps = tarjan_scc(g)
+        for i in range(len(comps)):
+            for j in range(i + 1, len(comps)):
+                merged = g.induced_subgraph(comps[i] | comps[j])
+                assert not is_strongly_connected(merged)

@@ -1,0 +1,152 @@
+"""Tests for the HO / RRFD adapters and the correspondence (6)/(7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import gnp_random
+from repro.homodel.heard_of import HeardOfCollection
+from repro.homodel.rrfd import RoundByRoundFaultDetector
+
+
+def random_graphs(n=6, rounds=5, seed=0, p=0.4):
+    rng = np.random.default_rng(seed)
+    return [gnp_random(n, p, rng, self_loops=True) for _ in range(rounds)]
+
+
+class TestHeardOf:
+    def test_from_graphs_roundtrip(self):
+        graphs = random_graphs()
+        ho = HeardOfCollection.from_graphs(graphs)
+        assert ho.graphs() == graphs
+
+    def test_ho_is_in_neighborhood(self):
+        graphs = random_graphs(seed=1)
+        ho = HeardOfCollection.from_graphs(graphs)
+        for r, g in enumerate(graphs, start=1):
+            for p in range(6):
+                assert ho.ho(p, r) == g.predecessors(p)
+
+    def test_equation_7_prefix_intersection(self):
+        # PT(p, r) = ∩_{r' <= r} HO(p, r').
+        graphs = random_graphs(seed=2)
+        ho = HeardOfCollection.from_graphs(graphs)
+        skel = graphs[0]
+        for r in range(1, len(graphs) + 1):
+            if r > 1:
+                skel = skel.intersection(graphs[r - 1])
+            for p in range(6):
+                assert ho.timely_neighborhood(p, r) == skel.predecessors(p)
+
+    def test_round_bounds(self):
+        ho = HeardOfCollection.from_graphs(random_graphs(rounds=2))
+        with pytest.raises(IndexError):
+            ho.ho(0, 3)
+        with pytest.raises(IndexError):
+            ho.ho(0, 0)
+
+    def test_unknown_processes_rejected(self):
+        with pytest.raises(ValueError):
+            HeardOfCollection(2, [{0: frozenset({5})}])
+
+    def test_missing_entries_default_empty(self):
+        ho = HeardOfCollection(3, [{0: frozenset({1})}])
+        assert ho.ho(2, 1) == frozenset()
+
+    def test_from_run(self):
+        from repro.adversaries.grouped import GroupedSourceAdversary
+        from repro.core.algorithm import make_processes
+        from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+        adv = GroupedSourceAdversary(5, num_groups=2, seed=0)
+        run = RoundSimulator(
+            make_processes(5), adv, SimulationConfig(max_rounds=12)
+        ).run()
+        ho = HeardOfCollection.from_run(run)
+        assert ho.num_rounds == run.num_rounds
+        for r in range(1, run.num_rounds + 1):
+            assert ho.graph(r) == run.graph(r)
+
+    def test_needs_graphs(self):
+        with pytest.raises(ValueError):
+            HeardOfCollection.from_graphs([])
+
+    def test_repr(self):
+        ho = HeardOfCollection.from_graphs(random_graphs(rounds=2))
+        assert "rounds=2" in repr(ho)
+
+
+class TestRRFD:
+    def test_complement_correspondence(self):
+        # D(p, r) = Π \ HO(p, r) — the paper's simplification.
+        graphs = random_graphs(seed=3)
+        ho = HeardOfCollection.from_graphs(graphs)
+        rrfd = RoundByRoundFaultDetector.from_heard_of(ho)
+        everyone = frozenset(range(6))
+        for r in range(1, len(graphs) + 1):
+            for p in range(6):
+                assert rrfd.suspected(p, r) == everyone - ho.ho(p, r)
+
+    def test_roundtrip_through_ho(self):
+        graphs = random_graphs(seed=4)
+        rrfd = RoundByRoundFaultDetector.from_graphs(graphs)
+        assert rrfd.to_heard_of().graphs() == graphs
+
+    def test_equation_7_union_complement(self):
+        # PT(p, r) = Π \ ∪_{r' <= r} D(p, r').
+        graphs = random_graphs(seed=5)
+        ho = HeardOfCollection.from_graphs(graphs)
+        rrfd = RoundByRoundFaultDetector.from_heard_of(ho)
+        for r in range(1, len(graphs) + 1):
+            for p in range(6):
+                assert rrfd.timely_neighborhood(p, r) == ho.timely_neighborhood(p, r)
+
+    def test_graph_conversion(self):
+        graphs = random_graphs(seed=6)
+        rrfd = RoundByRoundFaultDetector.from_graphs(graphs)
+        for r, g in enumerate(graphs, start=1):
+            assert rrfd.graph(r) == g
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundByRoundFaultDetector(2, [{0: frozenset({7})}])
+        rrfd = RoundByRoundFaultDetector(2, [{0: frozenset({1})}])
+        with pytest.raises(IndexError):
+            rrfd.suspected(0, 5)
+
+    def test_repr(self):
+        rrfd = RoundByRoundFaultDetector(2, [{}])
+        assert "n=2" in repr(rrfd)
+
+
+class TestPredicateOnHeardOf:
+    def test_check_heard_of_matches_run_check(self):
+        from repro.adversaries.grouped import GroupedSourceAdversary
+        from repro.core.algorithm import make_processes
+        from repro.predicates.psrcs import Psrcs
+        from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+        adv = GroupedSourceAdversary(8, num_groups=2, seed=3, noise=0.3)
+        run = RoundSimulator(
+            make_processes(8), adv, SimulationConfig(max_rounds=40)
+        ).run()
+        ho = HeardOfCollection.from_run(run)
+        # The prefix covers stabilization, so the HO check agrees with the
+        # declared-skeleton check.
+        for k in (1, 2, 3):
+            assert (
+                Psrcs(k).check_heard_of(ho).holds
+                == Psrcs(k).check_skeleton(run.stable_skeleton()).holds
+            )
+
+    def test_check_heard_of_violation_definitive(self):
+        from repro.predicates.psrcs import Psrcs
+
+        # one round, everyone isolated: the prefix skeleton already
+        # violates Psrcs(n-1).
+        n = 4
+        ho = HeardOfCollection(
+            n, [{p: frozenset({p}) for p in range(n)}]
+        )
+        assert not Psrcs(n - 1).check_heard_of(ho).holds

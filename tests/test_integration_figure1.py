@@ -1,0 +1,135 @@
+"""FIG1 integration: the Figure 1 instance satisfies everything the paper's
+text states about it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.properties import check_agreement_properties
+from repro.core.invariants import make_invariant_hook
+from repro.experiments.figure1 import (
+    FIGURE1_N,
+    P6,
+    ROOT_COMPONENTS,
+    TRANSIENT_EDGES,
+    figure1_adversary,
+    figure1_panels,
+    figure1_run,
+    render_figure1,
+)
+from repro.graphs.condensation import root_components
+from repro.graphs.scc import is_strongly_connected
+from repro.predicates.psrcs import Psrcs
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+from repro.core.algorithm import make_processes
+
+
+class TestInstanceProperties:
+    def test_psrcs3_holds(self):
+        # Figure 1 caption: "A system of 6 processes where Psrcs(3) holds."
+        stable = figure1_adversary().declared_stable_graph()
+        assert Psrcs(3).check_skeleton(stable).holds
+
+    def test_two_root_components(self):
+        # §II: root components {p1,p2} and {p3,p4,p5}.
+        stable = figure1_adversary().declared_stable_graph()
+        assert set(root_components(stable)) == set(ROOT_COMPONENTS)
+
+    def test_self_loops_everywhere(self):
+        # caption: ∀pi: pi ∈ PT(pi).
+        stable = figure1_adversary().declared_stable_graph()
+        assert all(stable.has_edge(p, p) for p in range(FIGURE1_N))
+
+    def test_round2_skeleton_strict_supergraph(self):
+        run, _ = figure1_run()
+        g2 = run.skeleton(2)
+        stable = run.stable_skeleton()
+        assert g2.is_supergraph_of(stable)
+        assert g2 != stable
+        for edge in TRANSIENT_EDGES:
+            assert g2.has_edge(*edge)
+            assert not stable.has_edge(*edge)
+
+    def test_skeleton_stabilizes_at_round_3(self):
+        run, _ = figure1_run()
+        assert run.skeleton(3) == run.stable_skeleton()
+        assert run.skeleton(2) != run.stable_skeleton()
+
+
+class TestAlgorithmOnFigure1:
+    def test_decisions(self):
+        run, _ = figure1_run()
+        report = check_agreement_properties(run, 3)
+        assert report.all_hold, report.summary()
+        # {p1,p2} decide min(1,2)=1; {p3,p4,p5} decide min(3,4,5)=3;
+        # p6 adopts a root-component value.
+        assert run.decision_values() == {1, 3}
+        assert run.decisions[0].value == 1
+        assert run.decisions[1].value == 1
+        assert run.decisions[2].value == 3
+        assert run.decisions[3].value == 3
+        assert run.decisions[4].value == 3
+        assert run.decisions[P6].value in {1, 3}
+
+    def test_lemma_checkers_pass(self):
+        procs = make_processes(FIGURE1_N, [i + 1 for i in range(FIGURE1_N)])
+        run = RoundSimulator(
+            procs,
+            figure1_adversary(),
+            SimulationConfig(max_rounds=25),
+            invariant_hooks=[make_invariant_hook()],
+        ).run()
+        assert run.all_decided()
+
+    def test_decisions_not_before_round_n_plus_1(self):
+        run, _ = figure1_run()
+        assert min(d.round_no for d in run.decisions.values()) >= FIGURE1_N + 1
+
+
+class TestPanels:
+    def test_panel_count(self):
+        panels = figure1_panels()
+        assert sorted(panels.approximations) == [1, 2, 3, 4, 5, 6]
+
+    def test_approximations_grow_monotonically_early(self):
+        # p6 discovers more of the graph each of the first rounds.
+        panels = figure1_panels()
+        sizes = [
+            panels.approximations[r].number_of_edges() for r in range(1, 5)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_round1_panel_is_pt_star(self):
+        # After round 1 p6's graph is exactly its timely in-edges labeled 1.
+        panels = figure1_panels()
+        g1 = panels.approximations[1]
+        expected_sources = {1, 3, 4, 5}  # p2, p4, p5 (+ self p6)
+        assert {u for (u, v) in g1.edges() if v == P6} == expected_sources
+        assert all(lbl == 1 for (_, _, lbl) in g1.labeled_edges())
+
+    def test_p6_approximation_never_strongly_connected(self):
+        # p6 has no outgoing stable edges, so its approximation contains
+        # nodes that p6 cannot reach; it decides by adoption instead.
+        run, procs = figure1_run()
+        for r in range(1, run.num_rounds + 1):
+            g = procs[P6].approximation_at(r).unweighted()
+            if len(g.nodes()) > 1:
+                assert not is_strongly_connected(g)
+
+    def test_root_members_approximations_become_their_component(self):
+        # Lemma 11's core: for p in a root component, G^{r+n-1}_p = C_p.
+        run, procs = figure1_run()
+        decide_round = run.decisions[0].round_no
+        g = procs[0].approximation_at(decide_round).unweighted()
+        assert g.nodes() == frozenset({0, 1})
+        assert is_strongly_connected(g)
+
+    def test_render_contains_all_panels(self):
+        text = render_figure1()
+        for letter in "abcdefgh":
+            assert f"({letter})" in text
+        assert "G^∩∞" in text
+        assert "p5 --" in text  # labeled edges present
+
+    def test_render_deterministic(self):
+        assert render_figure1() == render_figure1()

@@ -1,0 +1,115 @@
+"""THM1 / THM2 / EVENTUAL-LB integration tests: the paper's theorems hold
+on simulated runs across parameter sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.experiments.eventual import eventual_lower_bound
+from repro.experiments.sweeps import run_algorithm1
+from repro.experiments.theorem2 import theorem2_experiment
+from repro.graphs.condensation import count_root_components
+from repro.predicates.psrcs import Psrcs
+
+
+class TestTheorem1:
+    """At most k root components in any Psrcs(k) run."""
+
+    @pytest.mark.parametrize("n,m", [(6, 1), (6, 2), (9, 3), (12, 4), (16, 5)])
+    def test_grouped_designs_tight(self, n, m):
+        adv = GroupedSourceAdversary(n, num_groups=m, seed=0)
+        stable = adv.declared_stable_graph()
+        assert Psrcs(m).check_skeleton(stable).holds
+        assert count_root_components(stable) == m  # bound met with equality
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_skeletons_respect_bound(self, seed):
+        # For arbitrary random stable skeletons: compute the tightest k
+        # (α of the conflict graph) and check roots <= k.
+        import numpy as np
+
+        from repro.graphs.generators import gnp_random
+
+        g = gnp_random(10, 0.15, np.random.default_rng(seed), self_loops=True)
+        k_star = Psrcs(1).tightest_k(g)
+        assert count_root_components(g) <= k_star
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_noisy_runs_respect_bound(self, seed):
+        adv = GroupedSourceAdversary(10, num_groups=3, seed=seed, noise=0.3)
+        run = run_algorithm1(adv)
+        assert count_root_components(run.stable_skeleton()) <= 3
+
+
+class TestTheorem2:
+    """The impossibility construction forces exactly k decision values."""
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (8, 4), (10, 5), (16, 8)])
+    def test_construction_confirms(self, n, k):
+        report = theorem2_experiment(n, k)
+        assert report.confirms_theorem
+        assert report.distinct_decisions == k
+        assert report.psrcs_k_holds
+        assert not report.psrcs_k_minus_1_holds
+
+    def test_k_equals_1_degenerate(self):
+        # k=1: no loners, single source — consensus, Psrcs(1) holds.
+        report = theorem2_experiment(5, 1)
+        assert report.distinct_decisions == 1
+        assert report.agreement.all_hold
+
+    def test_loners_decide_at_round_n_plus_1(self):
+        report = theorem2_experiment(7, 3)
+        adv_loners = {p for p in report.run.decisions if p in {1, 2}}
+        for p in adv_loners:
+            assert report.run.decisions[p].round_no == 8
+
+    def test_non_loners_adopt_source_value(self):
+        report = theorem2_experiment(8, 3)
+        run = report.run
+        loners = {1, 2}
+        source = 0
+        for p in range(8):
+            if p in loners or p == source:
+                assert run.decisions[p].value == run.initial_values[p]
+            else:
+                assert run.decisions[p].value == run.initial_values[source]
+
+
+class TestEventualLowerBound:
+    """♦Psrcs admits runs with n distinct decisions."""
+
+    def test_long_bad_prefix_forces_n_values(self):
+        report = eventual_lower_bound(6, bad_rounds=10)
+        assert report.distinct_decisions == 6
+        assert report.all_decided_own
+
+    def test_exact_threshold(self):
+        # decisions happen at round n+1; a bad prefix of n+1 rounds suffices
+        n = 5
+        report = eventual_lower_bound(n, bad_rounds=n + 1)
+        assert report.distinct_decisions == n
+
+    def test_no_bad_prefix_reaches_consensus(self):
+        report = eventual_lower_bound(6, bad_rounds=0)
+        assert report.distinct_decisions == 1
+
+    def test_single_bad_round_already_collapses(self):
+        # Sharper than the generic indistinguishability argument: because
+        # PT(p) is a *prefix intersection*, one all-isolated round pins
+        # PT(p) = {p} forever; every process's approximation is the
+        # strongly connected singleton and all n decide their own value.
+        n = 6
+        report = eventual_lower_bound(n, bad_rounds=1)
+        assert report.distinct_decisions == n
+        assert report.all_decided_own
+
+    @pytest.mark.parametrize("bad", [0, 1, 2, 4, 7, 9])
+    def test_sweep_regimes(self, bad):
+        n = 6
+        report = eventual_lower_bound(n, bad_rounds=bad)
+        expected = 1 if bad == 0 else n
+        assert report.distinct_decisions == expected
+        assert check_agreement_properties(report.run, n).validity.holds

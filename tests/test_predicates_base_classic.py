@@ -1,0 +1,148 @@
+"""Tests for predicate combinators and the classic reference predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.graphs.digraph import DiGraph
+from repro.predicates.base import And, Not, Or, PredicateResult
+from repro.predicates.classic import (
+    BoundedRootComponents,
+    KernelNonEmpty,
+    NoSplit,
+    PTrue,
+    SingleRootComponent,
+)
+from repro.predicates.psrcs import Psrcs
+
+
+def star_skeleton(n: int, center: int = 0) -> DiGraph:
+    g = DiGraph(nodes=range(n))
+    for q in range(n):
+        g.add_edge(q, q)
+        g.add_edge(center, q)
+    return g
+
+
+def isolated_skeleton(n: int) -> DiGraph:
+    g = DiGraph(nodes=range(n))
+    for q in range(n):
+        g.add_edge(q, q)
+    return g
+
+
+class TestCombinators:
+    def test_result_bool(self):
+        assert bool(PredicateResult(True, "x"))
+        assert not bool(PredicateResult(False, "x"))
+
+    def test_explain(self):
+        r = PredicateResult(False, "P", witness={1, 2})
+        assert "VIOLATED" in r.explain()
+        assert "P" in r.explain()
+
+    def test_and(self):
+        g = star_skeleton(5)
+        combined = Psrcs(1) & KernelNonEmpty()
+        assert combined.check_skeleton(g).holds
+
+    def test_and_short_circuit_witness(self):
+        g = isolated_skeleton(4)
+        combined = And(Psrcs(1), PTrue())
+        result = combined.check_skeleton(g)
+        assert not result.holds
+        assert isinstance(result.witness, PredicateResult)
+
+    def test_and_empty_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+        with pytest.raises(ValueError):
+            Or()
+
+    def test_or(self):
+        g = isolated_skeleton(4)
+        assert (Psrcs(1) | PTrue()).check_skeleton(g).holds
+        assert not Or(Psrcs(1), Psrcs(2)).check_skeleton(g).holds
+
+    def test_not(self):
+        g = isolated_skeleton(4)
+        assert (~Psrcs(1)).check_skeleton(g).holds
+        assert not (~PTrue()).check_skeleton(g).holds
+
+    def test_names(self):
+        assert "Psrcs(2)" in (Psrcs(2) & PTrue()).name
+        assert (~PTrue()).name == "¬Ptrue"
+        assert "∨" in (PTrue() | PTrue()).name
+
+    def test_repr(self):
+        assert "Psrcs(3)" in repr(Psrcs(3))
+
+
+class TestClassic:
+    def test_ptrue_always(self):
+        assert PTrue().check_skeleton(isolated_skeleton(3)).holds
+        assert PTrue().check_skeleton(DiGraph()).holds
+
+    def test_bounded_root_components(self):
+        g = isolated_skeleton(4)  # 4 singleton root components
+        assert BoundedRootComponents(4).check_skeleton(g).holds
+        assert not BoundedRootComponents(3).check_skeleton(g).holds
+
+    def test_bounded_validated(self):
+        with pytest.raises(ValueError):
+            BoundedRootComponents(0)
+
+    def test_single_root_component(self):
+        assert SingleRootComponent().check_skeleton(star_skeleton(5)).holds
+        assert not SingleRootComponent().check_skeleton(isolated_skeleton(2)).holds
+
+    def test_theorem1_implication_on_designs(self):
+        # Psrcs(k) ⇒ <= k root components (Theorem 1), checked on the
+        # grouped designs.
+        for m in (1, 2, 3):
+            adv = GroupedSourceAdversary(9, num_groups=m)
+            stable = adv.declared_stable_graph()
+            assert Psrcs(m).check_skeleton(stable).holds
+            assert BoundedRootComponents(m).check_skeleton(stable).holds
+
+    def test_converse_of_theorem1_fails(self):
+        # One root component but Psrcs(1) violated: a directed chain.
+        # PT(0)={0}, PT(1)={0,1}, PT(2)={1,2}: {0,2} has no common source.
+        g = DiGraph(nodes=range(3))
+        for q in range(3):
+            g.add_edge(q, q)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert BoundedRootComponents(1).check_skeleton(g).holds
+        assert not Psrcs(1).check_skeleton(g).holds
+
+    def test_kernel_nonempty(self):
+        assert KernelNonEmpty().check_skeleton(star_skeleton(4)).holds
+        result = KernelNonEmpty().check_skeleton(star_skeleton(4))
+        assert result.witness == 0
+        assert not KernelNonEmpty().check_skeleton(isolated_skeleton(3)).holds
+
+    def test_kernel_implies_psrcs_all_k(self):
+        g = star_skeleton(6, center=2)
+        assert KernelNonEmpty().check_skeleton(g).holds
+        for k in range(1, 6):
+            assert Psrcs(k).check_skeleton(g).holds
+
+    def test_nosplit_equals_psrcs1(self):
+        import numpy as np
+
+        from repro.graphs.generators import gnp_random
+
+        for seed in range(10):
+            g = gnp_random(7, 0.3, np.random.default_rng(seed), self_loops=True)
+            assert (
+                NoSplit().check_skeleton(g).holds
+                == Psrcs(1).check_skeleton(g).holds
+            )
+
+    def test_nosplit_witness(self):
+        g = isolated_skeleton(3)
+        result = NoSplit().check_skeleton(g)
+        assert not result.holds
+        assert len(result.witness) == 2

@@ -1,0 +1,181 @@
+"""Property-based end-to-end tests: random adversaries, full lemma-checker
+instrumentation, and the paper's top-level guarantees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.mobile import MobileOmissionAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.analysis.stats import decision_stats
+from repro.core.algorithm import make_processes
+from repro.core.invariants import make_invariant_hook
+from repro.graphs.condensation import count_root_components, root_components
+from repro.predicates.psrcs import Psrcs
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+@st.composite
+def grouped_configs(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    m = draw(st.integers(min_value=1, max_value=min(4, n)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    noise = draw(st.sampled_from([0.0, 0.1, 0.3, 0.5]))
+    topology = draw(st.sampled_from(["star", "cycle", "clique"]))
+    return n, m, seed, noise, topology
+
+
+class TestTheorem16Property:
+    @given(grouped_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_k_set_agreement_with_all_lemmas(self, config):
+        n, m, seed, noise, topology = config
+        adv = GroupedSourceAdversary(
+            n, num_groups=m, seed=seed, noise=noise, topology=topology
+        )
+        procs = make_processes(n)
+        run = RoundSimulator(
+            procs,
+            adv,
+            SimulationConfig(max_rounds=6 * n + 20),
+            invariant_hooks=[make_invariant_hook()],
+        ).run()
+        # Psrcs(m) holds by construction; Theorem 16 gives m-agreement.
+        report = check_agreement_properties(run, m)
+        assert report.all_hold, report.summary()
+        # Theorem 1.
+        assert count_root_components(run.stable_skeleton()) <= m
+        # Lemma 11's bound.
+        stats = decision_stats(run)
+        assert stats.within_bound
+
+    @given(grouped_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_decision_values_map_to_root_components(self, config):
+        # Lemma 15's one-to-one correspondence: every decided value is the
+        # estimate of some root component; with distinct inputs, distinct
+        # decision values come from distinct root components.
+        n, m, seed, noise, topology = config
+        adv = GroupedSourceAdversary(
+            n, num_groups=m, seed=seed, noise=noise, topology=topology
+        )
+        run = RoundSimulator(
+            make_processes(n), adv, SimulationConfig(max_rounds=6 * n + 20)
+        ).run()
+        roots = root_components(run.stable_skeleton())
+        # Each decision value must be <= the max value of some root
+        # component's reachable input set; specifically each value is an
+        # input of some process (validity) and the number of values is
+        # bounded by the number of root components.
+        assert len(run.decision_values()) <= len(roots)
+
+
+@st.composite
+def crash_configs(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    f = draw(st.integers(min_value=0, max_value=n - 1))
+    crash_pids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            max_size=f,
+            unique=True,
+        ).filter(lambda lst: len(lst) < n)
+    )
+    rounds = {
+        pid: draw(st.integers(min_value=1, max_value=2 * n)) for pid in crash_pids
+    }
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return n, rounds, seed
+
+
+class TestCrashProperty:
+    @given(crash_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_consensus_under_crashes(self, config):
+        # The stable skeleton of any crash run has one root component
+        # (survivors' clique), so Algorithm 1 must reach consensus.
+        n, rounds, seed = config
+        adv = CrashAdversary(n, rounds, seed=seed)
+        run = RoundSimulator(
+            make_processes(n),
+            adv,
+            SimulationConfig(max_rounds=6 * n + 20),
+            invariant_hooks=[make_invariant_hook()],
+        ).run()
+        report = check_agreement_properties(run, 1)
+        assert report.all_hold, report.summary()
+
+
+@st.composite
+def graph_sequences(draw):
+    """Fully arbitrary per-round communication graphs (self-loops added by
+    the simulator): the harshest possible network."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    rounds = draw(st.integers(min_value=1, max_value=8))
+    seqs = []
+    for _ in range(rounds):
+        edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=n * n,
+            )
+        )
+        seqs.append(edges)
+    return n, seqs
+
+
+class TestArbitrarySequences:
+    """Algorithm 1 against fully arbitrary graph sequences: validity and
+    every approximation lemma must hold (termination and k-agreement need
+    a predicate, so they are not asserted)."""
+
+    @given(graph_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_lemmas_and_validity_universal(self, data):
+        from repro.adversaries.base import ReplayAdversary
+        from repro.graphs.digraph import DiGraph
+
+        n, seqs = data
+        graphs = [DiGraph(nodes=range(n), edges=edges) for edges in seqs]
+        adv = ReplayAdversary(n, graphs)
+        run = RoundSimulator(
+            make_processes(n),
+            adv,
+            SimulationConfig(
+                max_rounds=len(graphs) + 2 * n + 2,
+                stop_when_all_decided=False,
+            ),
+            invariant_hooks=[make_invariant_hook()],
+        ).run()
+        assert check_agreement_properties(run, n).validity.holds
+        # decided processes never decide before round n+1 (line 28 guard +
+        # Lemma 13's chain back to a line-29 decision)
+        for d in run.decisions.values():
+            assert d.round_no >= n + 1
+
+
+class TestApproximationUniversality:
+    """Lemmas 3–8 hold in ALL runs — even without any Psrcs guarantee."""
+
+    @given(
+        st.integers(min_value=3, max_value=9),
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mobile_omission_runs(self, n, omissions, seed):
+        adv = MobileOmissionAdversary(n, per_round_omissions=omissions, seed=seed)
+        run = RoundSimulator(
+            make_processes(n),
+            adv,
+            SimulationConfig(max_rounds=4 * n, stop_when_all_decided=False),
+            invariant_hooks=[make_invariant_hook()],
+        ).run()
+        # validity of whatever decisions happened
+        assert check_agreement_properties(run, n).validity.holds

@@ -1,0 +1,80 @@
+"""Cross-kernel property tests: the set-based skeleton machinery vs the
+vectorized NumPy kernels, on random round sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.graphs.condensation import count_root_components
+from repro.graphs.generators import from_adjacency, to_adjacency
+from repro.graphs.matrices import (
+    prefix_intersections,
+    root_component_count_matrix,
+    timely_neighborhoods,
+)
+from repro.skeleton.tracker import SkeletonTracker
+
+
+@st.composite
+def round_stacks(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    rounds = draw(st.integers(min_value=1, max_value=6))
+    stack = draw(
+        arrays(dtype=bool, shape=(rounds, n, n))
+    )
+    # enforce self-delivery, as the simulator does
+    for r in range(rounds):
+        np.fill_diagonal(stack[r], True)
+    return stack
+
+
+class TestTrackerVsMatrices:
+    @given(round_stacks())
+    @settings(max_examples=100, deadline=None)
+    def test_tracker_matches_prefix_intersections(self, stack):
+        n = stack.shape[1]
+        tracker = SkeletonTracker(n)
+        prefixes = prefix_intersections(stack)
+        for r in range(stack.shape[0]):
+            skeleton = tracker.observe(from_adjacency(stack[r]))
+            assert to_adjacency(skeleton, n).tolist() == prefixes[r].tolist()
+
+    @given(round_stacks())
+    @settings(max_examples=80, deadline=None)
+    def test_root_counts_agree(self, stack):
+        n = stack.shape[1]
+        tracker = SkeletonTracker(n)
+        for r in range(stack.shape[0]):
+            tracker.observe(from_adjacency(stack[r]))
+        final = tracker.skeleton
+        assert count_root_components(final) == root_component_count_matrix(
+            to_adjacency(final, n)
+        )
+
+    @given(round_stacks())
+    @settings(max_examples=80, deadline=None)
+    def test_timely_neighborhoods_agree(self, stack):
+        n = stack.shape[1]
+        tracker = SkeletonTracker(n)
+        for r in range(stack.shape[0]):
+            tracker.observe(from_adjacency(stack[r]))
+        pts = timely_neighborhoods(to_adjacency(tracker.skeleton, n))
+        for p in range(n):
+            assert tracker.timely_neighborhood(p) == pts[p]
+
+    @given(round_stacks())
+    @settings(max_examples=80, deadline=None)
+    def test_skeleton_monotone(self, stack):
+        n = stack.shape[1]
+        tracker = SkeletonTracker(n)
+        previous = None
+        for r in range(stack.shape[0]):
+            skeleton = tracker.observe(from_adjacency(stack[r])).copy()
+            if previous is not None:
+                assert previous.is_supergraph_of(skeleton)
+            previous = skeleton
+        counts = tracker.edge_counts()
+        assert all(a >= b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,183 @@
+"""Tests for the binary message codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.rounds.codec import (
+    decode_message,
+    encode_message,
+    encoded_bit_size,
+    worst_case_bits,
+    _read_varint,
+    _write_varint,
+)
+from repro.rounds.messages import Message
+
+
+def make_msg(kind="prop", x=5, edges=(), nodes=(), sender=0, round_no=3):
+    g = RoundLabeledDigraph(nodes=nodes, labeled_edges=edges)
+    return Message(
+        sender=sender, round_no=round_no, kind=kind,
+        payload={"x": x, "graph": g},
+    )
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**40])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        _write_varint(out, value)
+        decoded, pos = _read_varint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _write_varint(bytearray(), -1)
+
+    def test_truncated(self):
+        out = bytearray()
+        _write_varint(out, 300)
+        with pytest.raises(ValueError, match="truncated"):
+            _read_varint(bytes(out[:-1]), 0)
+
+    def test_single_byte_for_small(self):
+        out = bytearray()
+        _write_varint(out, 100)
+        assert len(out) == 1
+
+
+class TestCodec:
+    def test_roundtrip_simple(self):
+        msg = make_msg(edges=[(0, 1, 3), (1, 0, 2)], nodes=[2])
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_roundtrip_decide(self):
+        msg = make_msg(kind="decide", x=42)
+        decoded = decode_message(encode_message(msg))
+        assert decoded.kind == "decide"
+        assert decoded.payload["x"] == 42
+
+    def test_negative_estimate(self):
+        msg = make_msg(x=-17)
+        assert decode_message(encode_message(msg)).payload["x"] == -17
+
+    def test_no_graph_payload(self):
+        msg = Message(sender=1, round_no=2, kind="prop", payload={"x": 9})
+        decoded = decode_message(encode_message(msg))
+        assert decoded.payload["graph"].number_of_nodes() == 0
+
+    def test_unknown_kind_rejected(self):
+        msg = Message(sender=0, round_no=1, kind="gossip", payload={"x": 1})
+        with pytest.raises(ValueError, match="unknown message kind"):
+            encode_message(msg)
+
+    def test_non_integer_estimate_rejected(self):
+        msg = Message(sender=0, round_no=1, payload={"x": "a"})
+        with pytest.raises(ValueError, match="integer"):
+            encode_message(msg)
+
+    def test_empty_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            decode_message(b"")
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_message(make_msg()) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_message(data)
+
+    def test_bad_version(self):
+        data = bytearray(encode_message(make_msg()))
+        data[0] = (7 << 4) | (data[0] & 0x0F)
+        with pytest.raises(ValueError, match="version"):
+            decode_message(bytes(data))
+
+    def test_real_algorithm_messages_roundtrip(self):
+        # Encode every message of a real run and round-trip them all.
+        from repro.adversaries.grouped import GroupedSourceAdversary
+        from repro.core.algorithm import make_processes
+        from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+        adv = GroupedSourceAdversary(6, num_groups=2, seed=0, noise=0.2)
+        run = RoundSimulator(
+            make_processes(6),
+            adv,
+            SimulationConfig(max_rounds=20, record_messages=True),
+        ).run()
+        count = 0
+        for r in range(1, run.num_rounds + 1):
+            for msg in run.messages(r).values():
+                decoded = decode_message(encode_message(msg))
+                assert decoded.sender == msg.sender
+                assert decoded.payload["x"] == msg.payload["x"]
+                assert decoded.payload["graph"] == msg.payload["graph"]
+                count += 1
+        assert count == 6 * run.num_rounds
+
+
+class TestSizes:
+    def test_binary_smaller_than_json(self):
+        msg = make_msg(edges=[(i, (i + 1) % 6, 3) for i in range(6)])
+        assert encoded_bit_size(msg) < msg.bit_size()
+
+    def test_worst_case_dominates_observed(self):
+        from repro.adversaries.grouped import GroupedSourceAdversary
+        from repro.core.algorithm import make_processes
+        from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+        n = 8
+        adv = GroupedSourceAdversary(n, num_groups=2, seed=1, noise=0.4)
+        run = RoundSimulator(
+            make_processes(n),
+            adv,
+            SimulationConfig(max_rounds=25, record_messages=True),
+        ).run()
+        bound = worst_case_bits(n, run.num_rounds)
+        for r in range(1, run.num_rounds + 1):
+            for msg in run.messages(r).values():
+                assert encoded_bit_size(msg) <= bound
+
+    def test_worst_case_polynomial_growth(self):
+        import math
+
+        # log-log slope of the analytic bound stays close to 2 (n² edges).
+        ns = [8, 16, 32, 64, 128]
+        sizes = [worst_case_bits(n, 3 * n) for n in ns]
+        slope = (math.log(sizes[-1]) - math.log(sizes[0])) / (
+            math.log(ns[-1]) - math.log(ns[0])
+        )
+        assert 1.8 < slope < 2.6
+
+
+edge_st = st.tuples(
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=1, max_value=500),
+)
+
+
+class TestCodecProperties:
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=-(2**30), max_value=2**30),
+        st.lists(edge_st, max_size=40),
+        st.sampled_from(["prop", "decide"]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, sender, round_no, x, edges, kind):
+        msg = make_msg(
+            kind=kind, x=x, edges=edges, sender=sender, round_no=round_no
+        )
+        decoded = decode_message(encode_message(msg))
+        assert decoded.sender == sender
+        assert decoded.round_no == round_no
+        assert decoded.kind == kind
+        assert decoded.payload["x"] == x
+        # max-merge on insert means the decoded graph equals the original
+        # (which applied the same max-merge).
+        assert decoded.payload["graph"] == msg.payload["graph"]

@@ -1,0 +1,69 @@
+"""Tests for round messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.rounds.messages import Message, _jsonable
+
+
+class TestMessage:
+    def test_immutability(self):
+        msg = Message(sender=0, round_no=1)
+        with pytest.raises(AttributeError):
+            msg.sender = 5
+
+    def test_defaults(self):
+        msg = Message(sender=2, round_no=3)
+        assert msg.kind == "prop"
+        assert msg.payload is None
+
+    def test_bit_size_positive(self):
+        assert Message(sender=0, round_no=1).bit_size() > 0
+
+    def test_bit_size_grows_with_payload(self):
+        small = Message(sender=0, round_no=1, payload={"x": 1})
+        big = Message(sender=0, round_no=1, payload={"x": list(range(100))})
+        assert big.bit_size() > small.bit_size()
+
+    def test_bit_size_multiple_of_8(self):
+        msg = Message(sender=0, round_no=1, payload="hello")
+        assert msg.bit_size() % 8 == 0
+
+    def test_bit_size_handles_graph_payload(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 3)])
+        msg = Message(sender=0, round_no=1, payload={"graph": g})
+        assert msg.bit_size() > 0
+
+    def test_equality(self):
+        a = Message(sender=0, round_no=1, payload={"x": 1})
+        b = Message(sender=0, round_no=1, payload={"x": 1})
+        assert a == b
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert _jsonable(value) == value
+
+    def test_sets_sorted(self):
+        assert _jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_nested(self):
+        assert _jsonable({"a": (1, 2), "b": frozenset({5})}) == {
+            "a": [1, 2],
+            "b": [5],
+        }
+
+    def test_to_dict_objects(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 2)])
+        out = _jsonable(g)
+        assert out == g.to_dict()
+
+    def test_fallback_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert _jsonable(Opaque()) == "<opaque>"

@@ -1,0 +1,66 @@
+"""Tests for the Process base class and decision bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rounds.messages import Message
+from repro.rounds.process import DecisionRecord, Process
+
+
+class EchoProcess(Process):
+    """Minimal concrete process for base-class tests."""
+
+    def send(self, round_no: int) -> Message:
+        return Message(sender=self.pid, round_no=round_no, payload=self.initial_value)
+
+    def transition(self, round_no, received) -> None:
+        pass
+
+    def decide_now(self, round_no, value):
+        self._decide(round_no, value)
+
+
+class TestProcess:
+    def test_pid_range_validated(self):
+        with pytest.raises(ValueError):
+            EchoProcess(pid=5, n=3, initial_value=0)
+        with pytest.raises(ValueError):
+            EchoProcess(pid=-1, n=3, initial_value=0)
+
+    def test_initially_undecided(self):
+        p = EchoProcess(0, 2, "v")
+        assert not p.decided
+        assert p.decision is None
+
+    def test_decide_records(self):
+        p = EchoProcess(0, 2, "v")
+        p.decide_now(4, "w")
+        assert p.decided
+        assert p.decision == DecisionRecord(process=0, round_no=4, value="w")
+
+    def test_double_decide_raises(self):
+        # Lemma 10 enforced structurally.
+        p = EchoProcess(0, 2, "v")
+        p.decide_now(4, "w")
+        with pytest.raises(RuntimeError, match="decide twice"):
+            p.decide_now(5, "u")
+
+    def test_snapshot_undecided(self):
+        p = EchoProcess(1, 2, "v")
+        snap = p.state_snapshot()
+        assert snap["pid"] == 1
+        assert snap["decided"] is False
+        assert snap["decision"] is None
+
+    def test_snapshot_decided(self):
+        p = EchoProcess(1, 2, "v")
+        p.decide_now(3, 9)
+        snap = p.state_snapshot()
+        assert snap["decision"] == {"round": 3, "value": 9}
+
+    def test_repr(self):
+        p = EchoProcess(0, 2, "v")
+        assert "undecided" in repr(p)
+        p.decide_now(1, 5)
+        assert "decided=5@r1" in repr(p)

@@ -1,0 +1,94 @@
+"""Run serialization and replay: record once, re-execute offline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.analysis.properties import check_agreement_properties
+from repro.core.algorithm import make_processes
+from repro.rounds.run import Run
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+
+def record_run(n=7, m=2, seed=5, noise=0.3):
+    adv = GroupedSourceAdversary(n, num_groups=m, seed=seed, noise=noise)
+    return RoundSimulator(
+        make_processes(n), adv, SimulationConfig(max_rounds=50)
+    ).run()
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_graphs(self):
+        run = record_run()
+        rebuilt = Run.from_dict(run.to_dict())
+        assert rebuilt.num_rounds == run.num_rounds
+        for r in range(1, run.num_rounds + 1):
+            assert rebuilt.graph(r) == run.graph(r)
+            assert rebuilt.skeleton(r) == run.skeleton(r)
+
+    def test_roundtrip_preserves_decisions(self):
+        run = record_run()
+        rebuilt = Run.from_dict(run.to_dict())
+        assert rebuilt.decision_rounds() == run.decision_rounds()
+        assert rebuilt.decision_values() == run.decision_values()
+        assert rebuilt.initial_values == run.initial_values
+
+    def test_roundtrip_preserves_stable_skeleton(self):
+        run = record_run()
+        rebuilt = Run.from_dict(run.to_dict())
+        assert rebuilt.stable_skeleton() == run.stable_skeleton()
+
+    def test_json_serializable(self):
+        run = record_run()
+        encoded = json.dumps(run.to_dict())
+        rebuilt = Run.from_dict(json.loads(encoded))
+        assert rebuilt.decision_values() == run.decision_values()
+
+    def test_analysis_works_on_rebuilt(self):
+        run = record_run()
+        rebuilt = Run.from_dict(run.to_dict())
+        report = check_agreement_properties(rebuilt, 2)
+        assert report.all_hold
+
+
+class TestReplay:
+    def test_replay_reproduces_decisions(self):
+        # Re-executing Algorithm 1 against the recorded graph sequence must
+        # give identical decisions (the run is a deterministic function of
+        # initial values + graphs — §II).
+        run = record_run()
+        replay = run.replay_adversary()
+        rerun = RoundSimulator(
+            make_processes(run.n, run.initial_values),
+            replay,
+            SimulationConfig(max_rounds=run.num_rounds),
+        ).run()
+        assert rerun.decision_rounds() == run.decision_rounds()
+        assert {p: d.value for p, d in rerun.decisions.items()} == {
+            p: d.value for p, d in run.decisions.items()
+        }
+
+    def test_replay_after_json_roundtrip(self):
+        run = record_run(seed=9)
+        rebuilt = Run.from_dict(json.loads(json.dumps(run.to_dict())))
+        rerun = RoundSimulator(
+            make_processes(run.n, run.initial_values),
+            rebuilt.replay_adversary(),
+            SimulationConfig(max_rounds=run.num_rounds),
+        ).run()
+        assert rerun.decision_values() == run.decision_values()
+
+    def test_replay_different_algorithm(self):
+        from repro.baselines.floodmin import make_floodmin_processes
+
+        run = record_run()
+        rerun = RoundSimulator(
+            make_floodmin_processes(run.n, f=2, k=2),
+            run.replay_adversary(),
+            SimulationConfig(max_rounds=run.num_rounds),
+        ).run()
+        for r in range(1, rerun.num_rounds + 1):
+            assert rerun.graph(r) == run.graph(r)

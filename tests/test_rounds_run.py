@@ -1,0 +1,145 @@
+"""Tests for the Run record and its skeleton accessors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+from repro.rounds.process import DecisionRecord
+from repro.rounds.run import Run, RoundRecord
+
+
+def make_run(graphs, n=None, values=None, stable=None) -> Run:
+    n = n or graphs[0].number_of_nodes()
+    run = Run(n, values or list(range(n)), declared_stable_graph=stable)
+    for idx, g in enumerate(graphs, start=1):
+        run.append_round(RoundRecord(round_no=idx, graph=g))
+    return run
+
+
+class TestBasics:
+    def test_initial_values_validated(self):
+        with pytest.raises(ValueError):
+            Run(3, [1, 2])
+
+    def test_round_indexing(self):
+        g1 = DiGraph.complete(range(2))
+        g2 = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1)])
+        run = make_run([g1, g2])
+        assert run.graph(1) == g1
+        assert run.graph(2) == g2
+        with pytest.raises(IndexError):
+            run.graph(3)
+        with pytest.raises(IndexError):
+            run.graph(0)
+
+    def test_rounds_must_be_contiguous(self):
+        run = Run(2, [0, 1])
+        with pytest.raises(ValueError):
+            run.append_round(RoundRecord(round_no=2, graph=DiGraph(nodes=range(2))))
+
+    def test_duplicate_decision_rejected(self):
+        run = Run(2, [0, 1])
+        g = DiGraph.complete(range(2))
+        run.append_round(
+            RoundRecord(1, g, decisions=[DecisionRecord(0, 1, 5)])
+        )
+        with pytest.raises(ValueError):
+            run.append_round(
+                RoundRecord(2, g, decisions=[DecisionRecord(0, 2, 5)])
+            )
+
+    def test_final_skeleton_empty_run_raises(self):
+        with pytest.raises(ValueError):
+            Run(2, [0, 1]).final_skeleton()
+
+
+class TestSkeletons:
+    def test_skeleton_is_prefix_intersection(self):
+        rng = np.random.default_rng(0)
+        graphs = [gnp_random(6, 0.5, rng) for _ in range(5)]
+        run = make_run(graphs)
+        expected = graphs[0]
+        for r in range(1, 6):
+            if r > 1:
+                expected = expected.intersection(graphs[r - 1])
+            assert run.skeleton(r) == expected
+
+    def test_skeleton_chain_property(self):
+        # Property (1): G^∩r ⊇ G^∩(r+1).
+        rng = np.random.default_rng(1)
+        run = make_run([gnp_random(8, 0.4, rng) for _ in range(6)])
+        for r in range(1, 6):
+            assert run.skeleton(r).is_supergraph_of(run.skeleton(r + 1))
+
+    def test_stable_skeleton_prefers_declaration(self):
+        g = DiGraph.complete(range(3))
+        stable = DiGraph(nodes=range(3), edges=[(0, 0), (1, 1), (2, 2)])
+        run = make_run([g, g], stable=stable)
+        assert run.stable_skeleton() == stable
+        assert run.final_skeleton() == g
+
+    def test_stable_skeleton_fallback(self):
+        g = DiGraph.complete(range(3))
+        run = make_run([g])
+        assert run.stable_skeleton() == g
+
+    def test_timely_neighborhood(self):
+        g1 = DiGraph(nodes=range(3), edges=[(0, 1), (2, 1), (1, 1)])
+        g2 = DiGraph(nodes=range(3), edges=[(0, 1), (1, 1)])
+        run = make_run([g1, g2])
+        assert run.timely_neighborhood(1, 1) == frozenset({0, 1, 2})
+        assert run.timely_neighborhood(1, 2) == frozenset({0, 1})
+
+    def test_perpetual_timely_neighborhood(self):
+        stable = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1), (0, 1)])
+        run = make_run([DiGraph.complete(range(2))], stable=stable)
+        assert run.perpetual_timely_neighborhood(1) == frozenset({0, 1})
+
+    def test_stabilization_round(self):
+        big = DiGraph.complete(range(3))
+        small = DiGraph(nodes=range(3), edges=[(0, 0), (1, 1), (2, 2), (0, 1)])
+        run = make_run([big, big, small, small, small])
+        assert run.skeleton_stabilization_round() == 3
+
+    def test_stabilization_round_empty(self):
+        assert Run(2, [0, 1]).skeleton_stabilization_round() is None
+
+    def test_has_stabilized(self):
+        stable = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1)])
+        run = Run(2, [0, 1], declared_stable_graph=stable)
+        run.append_round(RoundRecord(1, DiGraph.complete(range(2))))
+        assert not run.has_stabilized()
+        run.append_round(RoundRecord(2, stable))
+        assert run.has_stabilized()
+
+
+class TestDecisions:
+    def test_decision_accessors(self):
+        g = DiGraph.complete(range(3))
+        run = Run(3, [5, 6, 7])
+        run.append_round(
+            RoundRecord(1, g, decisions=[DecisionRecord(0, 1, 5)])
+        )
+        run.append_round(
+            RoundRecord(2, g, decisions=[DecisionRecord(2, 2, 5)])
+        )
+        assert run.decision_values() == {5}
+        assert run.decision_rounds() == {0: 1, 2: 2}
+        assert not run.all_decided()
+        assert run.undecided() == [1]
+
+    def test_to_dict(self):
+        g = DiGraph.complete(range(2))
+        run = make_run([g])
+        d = run.to_dict()
+        assert d["n"] == 2
+        assert d["num_rounds"] == 1
+        assert len(d["graphs"]) == 1
+
+    def test_repr(self):
+        g = DiGraph.complete(range(2))
+        run = make_run([g])
+        assert "n=2" in repr(run)

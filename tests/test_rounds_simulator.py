@@ -1,0 +1,223 @@
+"""Tests for the round executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.static import StaticAdversary
+from repro.graphs.digraph import DiGraph
+from repro.rounds.messages import Message
+from repro.rounds.process import Process
+from repro.rounds.simulator import RoundSimulator, SimulationConfig, simulate
+
+
+class CollectorProcess(Process):
+    """Records who it heard from each round; decides at a fixed round."""
+
+    def __init__(self, pid, n, decide_at=None):
+        super().__init__(pid, n, initial_value=pid)
+        self.heard: dict[int, frozenset[int]] = {}
+        self.decide_at = decide_at
+        self.sent_rounds: list[int] = []
+
+    def send(self, round_no):
+        self.sent_rounds.append(round_no)
+        return Message(sender=self.pid, round_no=round_no, payload=self.pid)
+
+    def transition(self, round_no, received):
+        self.heard[round_no] = frozenset(received)
+        if self.decide_at == round_no:
+            self._decide(round_no, self.pid)
+
+
+class BadSenderProcess(CollectorProcess):
+    def send(self, round_no):
+        return Message(sender=(self.pid + 1) % self.n, round_no=round_no)
+
+
+class WrongRoundProcess(CollectorProcess):
+    def send(self, round_no):
+        return Message(sender=self.pid, round_no=round_no + 1)
+
+
+def ring(n):
+    g = DiGraph(nodes=range(n))
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_rounds=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(grace_rounds=-1)
+
+
+class TestSimulator:
+    def test_needs_processes(self):
+        with pytest.raises(ValueError):
+            RoundSimulator([], StaticAdversary(1, DiGraph(nodes=[0])))
+
+    def test_processes_must_be_ordered(self):
+        procs = [CollectorProcess(1, 2), CollectorProcess(0, 2)]
+        with pytest.raises(ValueError, match="ordered by pid"):
+            RoundSimulator(procs, StaticAdversary(2, DiGraph.complete(range(2))))
+
+    def test_delivery_follows_graph(self):
+        n = 4
+        procs = [CollectorProcess(i, n) for i in range(n)]
+        adv = StaticAdversary(n, ring(n))
+        run = RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=3, stop_when_all_decided=False)
+        ).run()
+        assert run.num_rounds == 3
+        for i in range(n):
+            # ring + enforced self-loop
+            assert procs[i].heard[1] == frozenset({i, (i - 1) % n})
+
+    def test_self_delivery_enforced_by_default(self):
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        empty = DiGraph(nodes=range(2))
+        adv = StaticAdversary(2, empty, self_loops=False)
+        run = RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=1, stop_when_all_decided=False)
+        ).run()
+        assert procs[0].heard[1] == frozenset({0})
+        assert run.graph(1).has_edge(0, 0)
+
+    def test_self_delivery_can_be_disabled(self):
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph(nodes=range(2)), self_loops=False)
+        config = SimulationConfig(
+            max_rounds=1, enforce_self_delivery=False, stop_when_all_decided=False
+        )
+        RoundSimulator(procs, adv, config).run()
+        assert procs[0].heard[1] == frozenset()
+
+    def test_all_sends_before_any_delivery(self):
+        # Communication-closed rounds: the message a process receives in
+        # round r was computed from beginning-of-round state.  The
+        # CollectorProcess records send order; every process must have sent
+        # round r before any transition of round r happened — verified
+        # indirectly: sent_rounds have no gaps and match num_rounds.
+        procs = [CollectorProcess(i, 3) for i in range(3)]
+        adv = StaticAdversary(3, DiGraph.complete(range(3)))
+        run = RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=4, stop_when_all_decided=False)
+        ).run()
+        for p in procs:
+            assert p.sent_rounds == [1, 2, 3, 4]
+
+    def test_stop_when_all_decided(self):
+        procs = [CollectorProcess(i, 2, decide_at=3) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        run = RoundSimulator(procs, adv, SimulationConfig(max_rounds=50)).run()
+        assert run.num_rounds == 3
+        assert run.all_decided()
+
+    def test_grace_rounds(self):
+        procs = [CollectorProcess(i, 2, decide_at=2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        run = RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=50, grace_rounds=4)
+        ).run()
+        assert run.num_rounds == 6
+
+    def test_max_rounds_cap(self):
+        procs = [CollectorProcess(i, 2) for i in range(2)]  # never decide
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        run = RoundSimulator(procs, adv, SimulationConfig(max_rounds=7)).run()
+        assert run.num_rounds == 7
+        assert not run.all_decided()
+
+    def test_decisions_recorded_in_run(self):
+        procs = [CollectorProcess(i, 3, decide_at=i + 1) for i in range(3)]
+        adv = StaticAdversary(3, DiGraph.complete(range(3)))
+        run = RoundSimulator(procs, adv, SimulationConfig(max_rounds=10)).run()
+        assert run.decision_rounds() == {0: 1, 1: 2, 2: 3}
+
+    def test_declared_stable_graph_propagates(self):
+        g = DiGraph.complete(range(2))
+        adv = StaticAdversary(2, g)
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        run = RoundSimulator(procs, adv, SimulationConfig(max_rounds=1)).run()
+        assert run.declared_stable_graph == g
+
+    def test_record_messages(self):
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        run = RoundSimulator(
+            procs,
+            adv,
+            SimulationConfig(max_rounds=2, record_messages=True,
+                             stop_when_all_decided=False),
+        ).run()
+        assert set(run.messages(1)) == {0, 1}
+        assert run.messages(1)[0].payload == 0
+
+    def test_record_states(self):
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        run = RoundSimulator(
+            procs,
+            adv,
+            SimulationConfig(max_rounds=1, record_states=True,
+                             stop_when_all_decided=False),
+        ).run()
+        assert run.rounds[0].state_snapshots[1]["pid"] == 1
+
+    def test_wrong_sender_rejected(self):
+        procs = [BadSenderProcess(i, 2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        with pytest.raises(ValueError, match="claiming sender"):
+            RoundSimulator(procs, adv).run()
+
+    def test_wrong_round_rejected(self):
+        procs = [WrongRoundProcess(i, 2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        with pytest.raises(ValueError, match="communication-closed"):
+            RoundSimulator(procs, adv).run()
+
+    def test_bad_adversary_nodes_rejected(self):
+        class BadAdversary:
+            n = 2
+
+            def graph(self, round_no):
+                return DiGraph(nodes=range(3))
+
+            def declared_stable_graph(self):
+                return None
+
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        with pytest.raises(ValueError, match="expected exactly"):
+            RoundSimulator(procs, BadAdversary()).run()
+
+    def test_invariant_hooks_called_each_round(self):
+        calls = []
+
+        def hook(run, round_no, processes):
+            calls.append(round_no)
+
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        RoundSimulator(
+            procs, adv, SimulationConfig(max_rounds=3, stop_when_all_decided=False),
+            invariant_hooks=[hook],
+        ).run()
+        assert calls == [1, 2, 3]
+
+    def test_hook_abort(self):
+        def hook(run, round_no, processes):
+            raise AssertionError("boom")
+
+        procs = [CollectorProcess(i, 2) for i in range(2)]
+        adv = StaticAdversary(2, DiGraph.complete(range(2)))
+        with pytest.raises(AssertionError, match="boom"):
+            RoundSimulator(procs, adv, invariant_hooks=[hook]).run()
+
+    def test_simulate_wrapper(self):
+        procs = [CollectorProcess(i, 2, decide_at=1) for i in range(2)]
+        run = simulate(procs, StaticAdversary(2, DiGraph.complete(range(2))))
+        assert run.all_decided()

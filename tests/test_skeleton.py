@@ -1,0 +1,168 @@
+"""Tests for the skeleton tracker and whole-run skeleton analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.static import ScheduleAdversary, StaticAdversary
+from repro.core.algorithm import make_processes
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+from repro.skeleton.analysis import (
+    perpetual_timely_neighborhoods,
+    root_component_history,
+    skeleton_sequence,
+    stabilization_round,
+    stable_root_components,
+    timely_neighborhoods_at,
+)
+from repro.skeleton.tracker import SkeletonTracker
+
+
+class TestTracker:
+    def test_initial_state(self):
+        t = SkeletonTracker(3)
+        assert t.round_no == 0
+        assert t.skeleton == DiGraph.complete(range(3))
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError):
+            SkeletonTracker(0)
+
+    def test_first_round_is_graph(self):
+        g = DiGraph(nodes=range(3), edges=[(0, 1), (1, 1)])
+        t = SkeletonTracker(3)
+        assert t.observe(g) == g
+
+    def test_wrong_nodes_rejected(self):
+        t = SkeletonTracker(3)
+        with pytest.raises(ValueError):
+            t.observe(DiGraph(nodes=range(4)))
+
+    def test_incremental_matches_batch(self):
+        rng = np.random.default_rng(5)
+        graphs = [gnp_random(7, 0.5, rng) for _ in range(6)]
+        t = SkeletonTracker(7)
+        expected = None
+        for g in graphs:
+            expected = g.copy() if expected is None else expected.intersection(g)
+            assert t.observe(g) == expected
+
+    def test_monotone_edge_counts(self):
+        rng = np.random.default_rng(2)
+        t = SkeletonTracker(8)
+        for _ in range(10):
+            t.observe(gnp_random(8, 0.6, rng))
+        counts = t.edge_counts()
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_timely_neighborhood(self):
+        t = SkeletonTracker(3)
+        t.observe(DiGraph(nodes=range(3), edges=[(0, 1), (1, 1), (2, 1)]))
+        t.observe(DiGraph(nodes=range(3), edges=[(0, 1), (1, 1)]))
+        assert t.timely_neighborhood(1) == frozenset({0, 1})
+
+    def test_stabilization_detection(self):
+        stable = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1), (0, 1)])
+        t = SkeletonTracker(2, declared_stable=stable)
+        t.observe(DiGraph.complete(range(2)))
+        assert t.stabilized_at is None
+        t.observe(stable)
+        assert t.stabilized_at == 2
+        t.observe(stable)
+        assert t.stabilized_at == 2  # first hit is remembered
+
+    def test_repr(self):
+        assert "round=0" in repr(SkeletonTracker(2))
+
+
+def grouped_run(n=8, m=2, seed=0, noise=0.2, max_rounds=40):
+    adv = GroupedSourceAdversary(n, num_groups=m, seed=seed, noise=noise)
+    procs = make_processes(n)
+    run = RoundSimulator(
+        procs, adv, SimulationConfig(max_rounds=max_rounds)
+    ).run()
+    return run, adv
+
+
+class TestAnalysis:
+    def test_skeleton_sequence_chain(self):
+        run, _ = grouped_run()
+        seq = skeleton_sequence(run)
+        assert len(seq) == run.num_rounds
+        for a, b in zip(seq, seq[1:]):
+            assert a.is_supergraph_of(b)
+
+    def test_stabilization_round_exact(self):
+        run, adv = grouped_run(noise=0.3, max_rounds=60)
+        r_st = stabilization_round(run)
+        assert r_st is not None
+        stable = adv.declared_stable_graph()
+        assert run.skeleton(r_st) == stable
+        if r_st > 1:
+            assert run.skeleton(r_st - 1) != stable
+
+    def test_stabilization_none_without_declaration(self):
+        g = DiGraph.complete(range(2))
+
+        class NoDecl(StaticAdversary):
+            def declared_stable_graph(self):
+                return None
+
+        from repro.rounds.process import Process
+        from repro.rounds.messages import Message
+
+        class Quiet(Process):
+            def send(self, r):
+                return Message(sender=self.pid, round_no=r)
+
+            def transition(self, r, received):
+                pass
+
+        adv = NoDecl(2, g)
+        run = RoundSimulator(
+            [Quiet(0, 2, 0), Quiet(1, 2, 1)],
+            adv,
+            SimulationConfig(max_rounds=2, stop_when_all_decided=False),
+        ).run()
+        assert stabilization_round(run) is None
+
+    def test_timely_neighborhoods_at(self):
+        run, _ = grouped_run()
+        pts = timely_neighborhoods_at(run, 3)
+        skel = run.skeleton(3)
+        for p in range(run.n):
+            assert pts[p] == skel.predecessors(p)
+
+    def test_perpetual_timely_neighborhoods(self):
+        run, adv = grouped_run()
+        pts = perpetual_timely_neighborhoods(run)
+        stable = adv.declared_stable_graph()
+        for p in range(run.n):
+            assert pts[p] == stable.predecessors(p)
+
+    def test_stable_root_components_count(self):
+        run, _ = grouped_run(n=9, m=3)
+        assert len(stable_root_components(run)) == 3
+
+    def test_root_component_history_refines(self):
+        run, _ = grouped_run(noise=0.3)
+        history = root_component_history(run)
+        assert len(history) == run.num_rounds
+        # all rounds have at least one root component (Lemma 11)
+        assert all(len(roots) >= 1 for roots in history)
+
+    def test_schedule_adversary_skeleton(self):
+        # skeleton of a schedule run equals declared intersection
+        g1 = DiGraph.complete(range(3))
+        g2 = DiGraph(nodes=range(3), edges=[(0, 1), (0, 0), (1, 1), (2, 2)])
+        adv = ScheduleAdversary(3, [g1], tail=g2)
+        from repro.core.algorithm import make_processes as mp
+
+        run = RoundSimulator(
+            mp(3), adv, SimulationConfig(max_rounds=10)
+        ).run()
+        assert run.final_skeleton() == adv.declared_stable_graph()

@@ -1,0 +1,96 @@
+"""Tests for the online skeleton monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_random
+from repro.predicates.psrcs import Psrcs
+from repro.skeleton.monitor import SkeletonMonitor
+
+
+def feed_adversary(monitor, adversary, rounds):
+    reports = []
+    for r in range(1, rounds + 1):
+        g = adversary.graph(r).with_self_loops()
+        reports.append(monitor.observe_graph(g))
+    return reports
+
+
+class TestMonitor:
+    def test_no_rounds_yet(self):
+        with pytest.raises(ValueError):
+            SkeletonMonitor(3).current_report
+
+    def test_first_round_snapshot(self):
+        m = SkeletonMonitor(3)
+        g = DiGraph.complete(range(3))
+        report = m.observe_graph(g)
+        assert report.round_no == 1
+        assert report.skeleton_edges == 9
+        assert report.max_decision_values == 1
+
+    def test_edges_lost_reported(self):
+        m = SkeletonMonitor(2)
+        m.observe_graph(DiGraph.complete(range(2)))
+        g = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1), (0, 1)])
+        report = m.observe_graph(g)
+        assert report.edges_lost == ((1, 0),)
+
+    def test_root_change_detected(self):
+        m = SkeletonMonitor(2)
+        m.observe_graph(DiGraph.complete(range(2)))  # one root {0,1}
+        g = DiGraph(nodes=range(2), edges=[(0, 0), (1, 1)])
+        report = m.observe_graph(g)  # two singleton roots
+        assert report.roots_changed
+        assert report.max_decision_values == 2
+
+    def test_k_capability_non_decreasing(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            m = SkeletonMonitor(8)
+            for _ in range(12):
+                m.observe_graph(
+                    gnp_random(8, 0.5, np.random.default_rng(rng.integers(1e9)),
+                               self_loops=True)
+                )
+            history = m.k_capability_history()
+            assert all(a <= b for a, b in zip(history, history[1:]))
+
+    def test_matches_offline_analysis(self):
+        adv = GroupedSourceAdversary(9, num_groups=3, seed=2, noise=0.3)
+        m = SkeletonMonitor(9)
+        feed_adversary(m, adv, rounds=20)
+        # After the quiet rounds the skeleton equals the declaration.
+        stable = adv.declared_stable_graph()
+        report = m.current_report
+        assert report.max_decision_values == 3
+        assert report.tightest_k == Psrcs(1).tightest_k(stable)
+        for p in range(9):
+            assert m.timely_neighborhood(p) == stable.predecessors(p)
+
+    def test_heard_of_interface(self):
+        m = SkeletonMonitor(3)
+        report = m.observe_heard_of(
+            {0: frozenset({0, 1}), 1: frozenset({1}), 2: frozenset({2, 0})}
+        )
+        assert report.round_no == 1
+        assert m.timely_neighborhood(0) == frozenset({0, 1})
+        assert m.timely_neighborhood(2) == frozenset({2, 0})
+
+    def test_root_count_history(self):
+        adv = GroupedSourceAdversary(6, num_groups=2, seed=1, noise=0.4)
+        m = SkeletonMonitor(6)
+        feed_adversary(m, adv, rounds=15)
+        history = m.root_count_history()
+        assert history[-1] == 2
+        # root counts can only grow (skeleton loses edges)
+        assert all(a <= b for a, b in zip(history, history[1:]))
+
+    def test_repr(self):
+        m = SkeletonMonitor(4)
+        m.observe_graph(DiGraph.complete(range(4)))
+        assert "rounds=1" in repr(m)

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.events import EventQueue
+
+
+class TestScheduling:
+    def test_initial_time(self):
+        q = EventQueue()
+        assert q.now == 0.0
+        assert not q
+
+    def test_schedule_and_pop_in_order(self):
+        q = EventQueue()
+        q.schedule(3.0, "c")
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_simultaneous_events_fifo(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-0.1, "x")
+
+    def test_schedule_at(self):
+        q = EventQueue()
+        q.schedule_at(5.0, "x")
+        event = q.pop()
+        assert event.time == 5.0
+        assert q.now == 5.0
+
+    def test_schedule_at_past_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.schedule_at(0.5, "y")
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_time_monotone(self):
+        q = EventQueue()
+        q.schedule(2.0, "later")
+        q.pop()
+        q.schedule(0.5, "relative-to-now")
+        assert q.pop().time == 2.5
+
+
+class TestCancel:
+    def test_cancelled_not_delivered(self):
+        q = EventQueue()
+        e = q.schedule(1.0, "dead")
+        q.schedule(2.0, "alive")
+        q.cancel(e)
+        assert q.pop().kind == "alive"
+
+    def test_len_accounts_for_cancelled(self):
+        q = EventQueue()
+        e = q.schedule(1.0, "dead")
+        q.schedule(2.0, "alive")
+        q.cancel(e)
+        assert len(q) == 1
+
+
+class TestDrainRunClear:
+    def test_drain_until(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, f"e{t}")
+        kinds = [e.kind for e in q.drain(until=2.0)]
+        assert kinds == ["e1.0", "e2.0"]
+        assert q.now == 2.0
+        assert len(q) == 1  # e3.0 still pending
+
+    def test_drain_until_inclusive(self):
+        q = EventQueue()
+        q.schedule(2.0, "edge")
+        assert [e.kind for e in q.drain(until=2.0)] == ["edge"]
+
+    def test_drain_all(self):
+        q = EventQueue()
+        for t in (1.0, 2.0):
+            q.schedule(t, "e")
+        assert len(list(q.drain())) == 2
+
+    def test_run_with_handler(self):
+        q = EventQueue()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, "e", payload=t)
+        count = q.run(lambda e: seen.append(e.payload), until=2.5)
+        assert count == 2
+        assert seen == [1.0, 2.0]
+
+    def test_run_max_events(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, "e")
+        assert q.run(lambda e: None, max_events=2) == 2
+        assert len(q) == 1
+
+    def test_clear_keeps_time(self):
+        q = EventQueue()
+        q.schedule(10.0, "x")
+        q.schedule(20.0, "y")
+        assert q.clear() == 2
+        assert q.now == 0.0
+        assert not q
+
+    def test_advance_to(self):
+        q = EventQueue()
+        q.advance_to(4.0)
+        assert q.now == 4.0
+        with pytest.raises(ValueError):
+            q.advance_to(1.0)

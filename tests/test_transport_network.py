@@ -1,0 +1,130 @@
+"""Tests for latency models and the network transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.network import (
+    FixedLatency,
+    Network,
+    PartiallySynchronousLatency,
+    UniformLatency,
+)
+
+
+class TestFixedLatency:
+    def test_constant(self):
+        m = FixedLatency(2.5)
+        assert m.latency(0, 1, 0) == 2.5
+        assert m.latency(0, 1, 99) == 2.5
+
+    def test_self_delivery_zero(self):
+        assert FixedLatency(2.5).latency(3, 3, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+
+
+class TestUniformLatency:
+    def test_bounds(self):
+        m = UniformLatency(1.0, 3.0, seed=1)
+        for idx in range(50):
+            d = m.latency(0, 1, idx)
+            assert 1.0 <= d <= 3.0
+
+    def test_deterministic(self):
+        a = UniformLatency(0.0, 1.0, seed=7)
+        b = UniformLatency(0.0, 1.0, seed=7)
+        assert a.latency(2, 3, 5) == b.latency(2, 3, 5)
+
+    def test_varies_per_message(self):
+        m = UniformLatency(0.0, 1.0, seed=7)
+        delays = {m.latency(0, 1, idx) for idx in range(10)}
+        assert len(delays) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestPartiallySynchronous:
+    def make(self, **kw):
+        defaults = dict(
+            core_links=[(0, 1), (0, 2)],
+            fast_min=0.1,
+            fast_max=0.9,
+            slow_prob=0.5,
+            slow_min=5.0,
+            slow_max=50.0,
+            seed=0,
+        )
+        defaults.update(kw)
+        return PartiallySynchronousLatency(**defaults)
+
+    def test_core_always_fast(self):
+        m = self.make()
+        for idx in range(100):
+            assert m.latency(0, 1, idx) <= 0.9
+            assert m.latency(0, 2, idx) <= 0.9
+
+    def test_non_core_sometimes_slow(self):
+        m = self.make()
+        delays = [m.latency(1, 2, idx) for idx in range(100)]
+        assert any(d >= 5.0 for d in delays)
+        assert any(d <= 0.9 for d in delays)
+
+    def test_slow_prob_one_always_slow(self):
+        m = self.make(slow_prob=1.0)
+        for idx in range(20):
+            assert m.latency(1, 2, idx) >= 5.0
+
+    def test_self_zero(self):
+        assert self.make().latency(4, 4, 0) == 0.0
+
+    def test_is_core(self):
+        m = self.make()
+        assert m.is_core(0, 1)
+        assert m.is_core(3, 3)
+        assert not m.is_core(1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(fast_min=2.0, fast_max=1.0)
+        with pytest.raises(ValueError):
+            self.make(slow_min=0.5)  # below fast_max
+        with pytest.raises(ValueError):
+            self.make(slow_prob=2.0)
+
+
+class TestNetwork:
+    def test_broadcast_covers_everyone(self):
+        net = Network(4, FixedLatency(1.0))
+        delays = net.broadcast_delays(0)
+        assert set(delays) == {0, 1, 2, 3}
+        assert delays[0] == 0.0
+        assert all(delays[v] == 1.0 for v in (1, 2, 3))
+
+    def test_message_counter_advances(self):
+        net = Network(2, UniformLatency(0.0, 1.0, seed=3))
+        first = net.broadcast_delays(0)[1]
+        second = net.broadcast_delays(0)[1]
+        # different msg_index → (almost surely) different delay
+        assert first != second
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError):
+            Network(0, FixedLatency(1.0))
+
+    def test_negative_latency_detected(self):
+        class Bad(FixedLatency):
+            def latency(self, s, r, i):
+                return -1.0
+
+        bad = Bad.__new__(Bad)
+        bad.delay = -1.0
+        net = Network(2, bad)
+        with pytest.raises(ValueError, match="negative"):
+            net.broadcast_delays(0)

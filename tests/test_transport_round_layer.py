@@ -1,0 +1,178 @@
+"""Tests for round synthesis over the asynchronous substrate — the bridge
+between the paper's round model and the partially synchronous reality it
+abstracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.properties import check_agreement_properties
+from repro.core.invariants import make_invariant_hook
+from repro.experiments.sweeps import run_algorithm1
+from repro.graphs.condensation import count_root_components
+from repro.predicates.psrcs import Psrcs
+from repro.transport.network import (
+    FixedLatency,
+    Network,
+    PartiallySynchronousLatency,
+    UniformLatency,
+)
+from repro.transport.round_layer import (
+    RoundSynthesizer,
+    SynthesizedAdversary,
+    grouped_core_links,
+)
+
+
+def ps_network(groups, n=None, slow_prob=0.6, seed=0, **kw):
+    n = n or max(max(g) for g in groups) + 1
+    model = PartiallySynchronousLatency(
+        grouped_core_links(groups), slow_prob=slow_prob, seed=seed, **kw
+    )
+    return Network(n, model), model
+
+
+class TestSynthesizer:
+    def test_timeout_validated(self):
+        net = Network(2, FixedLatency(1.0))
+        with pytest.raises(ValueError):
+            RoundSynthesizer(net, timeout=0.0)
+
+    def test_synchronous_network_full_graph(self):
+        # latency 1.0 <= timeout 2.0: every message timely, every round.
+        net = Network(4, FixedLatency(1.0))
+        synth = RoundSynthesizer(net, timeout=2.0)
+        for r in (1, 2, 3):
+            g = synth.synthesize_round(r)
+            assert g.number_of_edges() == 16
+            assert synth.late_messages(r) == 0
+
+    def test_too_slow_network_self_only(self):
+        # latency 5.0 > timeout 1.0: only self-delivery (latency 0).
+        net = Network(3, FixedLatency(5.0))
+        synth = RoundSynthesizer(net, timeout=1.0)
+        g = synth.synthesize_round(1)
+        assert g.edges() == frozenset({(p, p) for p in range(3)})
+        assert synth.late_messages(1) == 6
+
+    def test_rounds_in_order(self):
+        net = Network(2, FixedLatency(0.5))
+        synth = RoundSynthesizer(net, timeout=1.0)
+        with pytest.raises(ValueError, match="in order"):
+            synth.synthesize_round(2)
+
+    def test_round_memoized(self):
+        net = Network(2, UniformLatency(0.0, 2.0, seed=1))
+        synth = RoundSynthesizer(net, timeout=1.0)
+        g1 = synth.synthesize_round(1)
+        assert synth.synthesize_round(1) is g1
+
+    def test_clock_advances_exactly_one_timeout_per_round(self):
+        net = Network(3, UniformLatency(0.0, 5.0, seed=2))
+        synth = RoundSynthesizer(net, timeout=1.5)
+        for r in range(1, 5):
+            synth.synthesize_round(r)
+            assert synth._queue.now == pytest.approx(1.5 * r)
+
+    def test_core_links_always_timely(self):
+        groups = [[0, 1, 2], [3, 4, 5]]
+        net, model = ps_network(groups)
+        synth = RoundSynthesizer(net, timeout=1.0)
+        for r in range(1, 25):
+            g = synth.synthesize_round(r)
+            for u, v in model.core:
+                assert g.has_edge(u, v), f"core link {(u, v)} late in round {r}"
+
+    def test_timely_iff_latency_within_timeout(self):
+        # cross-check the synthesized graph against the latency model
+        net = Network(4, UniformLatency(0.0, 2.0, seed=9))
+        ref = UniformLatency(0.0, 2.0, seed=9)
+        synth = RoundSynthesizer(net, timeout=1.0)
+        for r in range(1, 6):
+            g = synth.synthesize_round(r)
+            for u in range(4):
+                for v in range(4):
+                    timely = ref.latency(u, v, r - 1) <= 1.0
+                    assert g.has_edge(u, v) == timely
+
+
+class TestSynthesizedAdversary:
+    def test_declared_stable_is_core(self):
+        groups = [[0, 1], [2, 3]]
+        net, model = ps_network(groups)
+        adv = SynthesizedAdversary(RoundSynthesizer(net, timeout=1.0))
+        stable = adv.declared_stable_graph()
+        for u, v in model.core:
+            assert stable.has_edge(u, v)
+        assert all(stable.has_edge(p, p) for p in range(4))
+
+    def test_timeout_below_fast_band_rejected(self):
+        groups = [[0, 1]]
+        net, _ = ps_network(groups)
+        with pytest.raises(ValueError, match="fast band"):
+            SynthesizedAdversary(RoundSynthesizer(net, timeout=0.05))
+
+    def test_no_declaration_for_generic_models(self):
+        net = Network(3, FixedLatency(0.5))
+        adv = SynthesizedAdversary(RoundSynthesizer(net, timeout=1.0))
+        assert adv.declared_stable_graph() is None
+
+    def test_skeleton_converges_to_core(self):
+        # with slow_prob high enough, 30 rounds kill all non-core edges
+        groups = [[0, 1, 2], [3, 4, 5]]
+        net, _ = ps_network(groups, slow_prob=0.7, seed=5)
+        adv = SynthesizedAdversary(RoundSynthesizer(net, timeout=1.0))
+        inter = adv.graph(1)
+        for r in range(2, 31):
+            inter = inter.intersection(adv.graph(r))
+        assert inter == adv.declared_stable_graph()
+
+    def test_psrcs_emerges_from_latencies(self):
+        groups = [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+        net, _ = ps_network(groups, seed=4)
+        adv = SynthesizedAdversary(RoundSynthesizer(net, timeout=1.0))
+        assert Psrcs(3).check_skeleton(adv.declared_stable_graph()).holds
+        assert count_root_components(adv.declared_stable_graph()) == 3
+
+
+class TestEndToEnd:
+    def test_k_set_agreement_over_the_wire(self):
+        # the full stack: latencies -> rounds -> Psrcs(3) -> Algorithm 1,
+        # with all lemma checkers attached.
+        groups = [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+        net, _ = ps_network(groups, seed=4)
+        adv = SynthesizedAdversary(RoundSynthesizer(net, timeout=1.0))
+        run = run_algorithm1(
+            adv, max_rounds=80, invariant_hooks=[make_invariant_hook()]
+        )
+        report = check_agreement_properties(run, 3)
+        assert report.all_hold, report.summary()
+
+    def test_consensus_on_synchronous_network(self):
+        net = Network(5, FixedLatency(0.5))
+        adv = SynthesizedAdversary(RoundSynthesizer(net, timeout=1.0))
+        run = run_algorithm1(adv, max_rounds=30)
+        assert run.all_decided()
+        assert len(run.decision_values()) == 1
+
+    def test_tight_timeout_gives_n_values(self):
+        # timeout below every inter-process latency: everyone isolated,
+        # all decide their own value (the ♦Psrcs collapse, from the wire).
+        net = Network(4, FixedLatency(5.0))
+        adv = SynthesizedAdversary(RoundSynthesizer(net, timeout=1.0))
+        run = run_algorithm1(adv, max_rounds=20)
+        assert len(run.decision_values()) == 4
+
+
+class TestGroupedCoreLinks:
+    def test_star_plus_cycle(self):
+        links = grouped_core_links([[0, 1, 2]])
+        assert (0, 1) in links and (0, 2) in links  # star
+        assert (1, 2) in links and (2, 1) in links  # cycle both ways
+
+    def test_singleton_group(self):
+        assert grouped_core_links([[5]]) == []
+
+    def test_no_duplicates(self):
+        links = grouped_core_links([[0, 1], [2, 3, 4]])
+        assert len(links) == len(set(links))

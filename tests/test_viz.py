@@ -1,0 +1,100 @@
+"""Tests for ASCII and DOT rendering."""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import RoundLabeledDigraph
+from repro.viz.ascii import (
+    default_name,
+    render_adjacency,
+    render_edge_list,
+    render_labeled,
+)
+from repro.viz.dot import labeled_to_dot, to_dot
+
+
+class TestNames:
+    def test_paper_style_names(self):
+        assert default_name(0) == "p1"
+        assert default_name(5) == "p6"
+        assert default_name("x") == "x"
+
+
+class TestEdgeList:
+    def test_basic(self):
+        g = DiGraph(edges=[(0, 1), (1, 0)])
+        out = render_edge_list(g, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "  p1 -> p2" in out
+        assert "  p2 -> p1" in out
+
+    def test_self_loops_omitted_by_default(self):
+        g = DiGraph(edges=[(0, 0), (0, 1)])
+        out = render_edge_list(g)
+        assert "p1 -> p1" not in out
+        out2 = render_edge_list(g, omit_self_loops=False)
+        assert "p1 -> p1" in out2
+
+    def test_empty(self):
+        assert "(no edges)" in render_edge_list(DiGraph())
+
+    def test_isolated_nodes_listed(self):
+        g = DiGraph(nodes=[0, 1], edges=[(0, 0)])
+        out = render_edge_list(g)
+        assert "isolated" in out
+        assert "p2" in out
+
+    def test_deterministic(self):
+        g = DiGraph(edges=[(2, 0), (0, 1), (1, 2)])
+        assert render_edge_list(g) == render_edge_list(g.copy())
+
+
+class TestLabeled:
+    def test_labels_shown(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 4)])
+        out = render_labeled(g, title="G")
+        assert "p1 --4--> p2" in out
+
+    def test_empty(self):
+        assert "(no edges)" in render_labeled(RoundLabeledDigraph())
+
+    def test_self_loop_omission(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 0, 1), (0, 1, 2)])
+        assert "--1-->" not in render_labeled(g)
+
+
+class TestAdjacency:
+    def test_matrix_shape(self):
+        g = DiGraph(nodes=range(3), edges=[(0, 1)])
+        out = render_adjacency(g)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert "1" in lines[1]
+
+    def test_title(self):
+        out = render_adjacency(DiGraph(nodes=[0]), title="M")
+        assert out.splitlines()[0] == "M"
+
+
+class TestDot:
+    def test_digraph_dot(self):
+        g = DiGraph(edges=[(0, 1)])
+        out = to_dot(g, graph_name="Gr")
+        assert out.startswith("digraph Gr {")
+        assert '"p1" -> "p2";' in out
+        assert out.rstrip().endswith("}")
+
+    def test_self_loops_omitted(self):
+        g = DiGraph(edges=[(0, 0), (0, 1)])
+        assert '"p1" -> "p1"' not in to_dot(g)
+
+    def test_labeled_dot(self):
+        g = RoundLabeledDigraph(labeled_edges=[(0, 1, 7)])
+        out = labeled_to_dot(g)
+        assert '[label="7"]' in out
+
+    def test_all_nodes_declared(self):
+        g = DiGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        out = to_dot(g)
+        for name in ("p1", "p2", "p3"):
+            assert f'"{name}";' in out
