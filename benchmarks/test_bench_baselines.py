@@ -1,97 +1,100 @@
 """BASELINE: Algorithm 1 vs FloodMin vs flooding consensus vs LocalMin
 under (a) the crash model both baselines assume and (b) the Psrcs(k)
-partition model only Algorithm 1 handles."""
+partition model only Algorithm 1 handles.
+
+Routed through the campaign engine: each comparison is a small campaign —
+one :class:`~repro.engine.scenarios.ScenarioSpec` per (algorithm,
+adversary) cell — journaled to a JSONL store and read back from it, so the
+rows below are literally what ``skeleton-agreement campaign report`` would
+print for the same grid.  (The crash adversary is a pure function of
+``(seed, round)``, so every algorithm faces the identical graph sequence
+without needing a recording wrapper.)
+"""
 
 from __future__ import annotations
 
-from repro.adversaries.base import RecordedAdversary
-from repro.adversaries.crash import CrashAdversary
-from repro.adversaries.partition import PartitionAdversary
-from repro.analysis.properties import check_agreement_properties
 from repro.analysis.reporting import format_table
-from repro.baselines.async_kset import make_async_kset_processes
-from repro.baselines.flooding import make_flooding_processes
-from repro.baselines.floodmin import make_floodmin_processes
-from repro.baselines.local_min import make_local_min_processes
-from repro.core.algorithm import make_processes
-from repro.rounds.simulator import RoundSimulator, SimulationConfig
+from repro.engine.campaign import Campaign
+from repro.engine.scenarios import ScenarioSpec
 
 
-def run(procs, adversary, max_rounds=80):
-    return RoundSimulator(
-        procs, adversary, SimulationConfig(max_rounds=max_rounds)
-    ).run()
-
-
-def crash_comparison(n=8, f=3, k=2, seed=0):
-    crash_rounds = {i + 1: i + 1 for i in range(f)}
+def _campaign_rows(named_specs, store_path, extra_cols):
+    """Run (resumably) and return one row per named scenario, in order."""
+    campaign = Campaign([spec for _, spec in named_specs], store=store_path)
+    campaign.run()
+    by_id = {r.scenario_id: r for r in campaign.completed_results()}
     rows = []
-    for name, factory in [
-        ("Algorithm 1 (skeleton)", lambda: make_processes(n)),
-        ("FloodMin", lambda: make_floodmin_processes(n, f=f, k=k)),
-        ("FloodingConsensus", lambda: make_flooding_processes(n, f=f)),
-        ("LocalMin(horizon=2)", lambda: make_local_min_processes(n, horizon=2)),
-        ("AsyncKSet(f)", lambda: make_async_kset_processes(n, f=f)),
-    ]:
-        adv = RecordedAdversary(CrashAdversary(n, crash_rounds, seed=seed))
-        r = run(factory(), adv)
-        rep = check_agreement_properties(r, k)
+    for (name, spec), extra in zip(named_specs, extra_cols):
+        res = by_id[spec.scenario_id]
         rows.append(
-            [
-                name,
-                len(r.decision_values()),
-                rep.k_agreement.holds,
-                rep.termination.holds,
-                max((d.round_no for d in r.decisions.values()), default=None),
+            [name]
+            + list(extra)
+            + [
+                res.distinct_decisions,
+                res.k_agreement_holds,
+                res.all_decided,
+                res.last_decision_round,
             ]
         )
     return rows
 
 
-def partition_comparison(n=8, k_env=5, k_baseline=3):
+def crash_comparison(n=8, f=3, k=2, seed=0, store_path=None):
+    common = dict(n=n, k=k, seed=seed, adversary="crash", max_rounds=80)
+    named_specs = [
+        (
+            "Algorithm 1 (skeleton)",
+            ScenarioSpec(algorithm="algorithm1", **common).with_options(f=f),
+        ),
+        (
+            "FloodMin",
+            ScenarioSpec(algorithm="floodmin", **common).with_options(f=f),
+        ),
+        (
+            "FloodingConsensus",
+            ScenarioSpec(algorithm="flooding", **common).with_options(f=f),
+        ),
+        (
+            "LocalMin(horizon=2)",
+            ScenarioSpec(algorithm="local_min", **common).with_options(
+                f=f, horizon=2
+            ),
+        ),
+        (
+            "AsyncKSet(f)",
+            ScenarioSpec(algorithm="async_kset", **common).with_options(f=f),
+        ),
+    ]
+    return _campaign_rows(
+        named_specs, store_path, [()] * len(named_specs)
+    )
+
+
+def partition_comparison(n=8, k_env=5, k_baseline=3, store_path=None):
     """Environment: Psrcs(k_env) partition run (k_env - 1 loners).  Each
     algorithm is judged against *its own* agreement contract: the classics
     claim <= k_baseline values under <= k_baseline crashes; Algorithm 1
     claims <= k_env under Psrcs(k_env).  The partition forces k_env values,
     so every contract tighter than k_env breaks."""
-    rows = []
-    for name, factory, contract_k in [
-        ("Algorithm 1 (skeleton)", lambda: make_processes(n), k_env),
-        (
-            "FloodMin",
-            lambda: make_floodmin_processes(n, f=k_baseline, k=k_baseline),
-            k_baseline,
-        ),
-        (
-            "FloodingConsensus",
-            lambda: make_flooding_processes(n, f=k_baseline),
-            1,
-        ),
-        (
-            "LocalMin(horizon=4)",
-            lambda: make_local_min_processes(n, horizon=4),
-            1,
-        ),
-        (
-            "AsyncKSet(f=k-1)",
-            lambda: make_async_kset_processes(n, f=k_baseline - 1),
-            k_baseline,
-        ),
-    ]:
-        adv = PartitionAdversary(n, k_env)
-        r = run(factory(), adv)
-        rep = check_agreement_properties(r, contract_k)
-        rows.append(
-            [
-                name,
-                contract_k,
-                len(r.decision_values()),
-                rep.k_agreement.holds,
-                rep.termination.holds,
-                max((d.round_no for d in r.decisions.values()), default=None),
-            ]
-        )
-    return rows
+
+    def spec(algorithm, contract_k, **options):
+        return ScenarioSpec(
+            algorithm=algorithm,
+            adversary="partition",
+            n=n,
+            k=contract_k,
+            max_rounds=80,
+        ).with_options(k_env=k_env, **options)
+
+    named_specs = [
+        ("Algorithm 1 (skeleton)", spec("algorithm1", k_env)),
+        ("FloodMin", spec("floodmin", k_baseline, f=k_baseline)),
+        ("FloodingConsensus", spec("flooding", 1, f=k_baseline)),
+        ("LocalMin(horizon=4)", spec("local_min", 1, horizon=4)),
+        ("AsyncKSet(f=k-1)", spec("async_kset", k_baseline, f=k_baseline - 1)),
+    ]
+    contracts = [(k_env,), (k_baseline,), (1,), (1,), (k_baseline,)]
+    return _campaign_rows(named_specs, store_path, contracts)
 
 
 CRASH_HEADERS = ["algorithm", "distinct_values", "k_agreement", "terminated",
@@ -100,8 +103,13 @@ PART_HEADERS = ["algorithm", "contract_k", "distinct_values",
                 "meets_contract", "terminated", "last_decide_round"]
 
 
-def test_bench_baselines_crash_model(benchmark, emit):
-    rows = benchmark.pedantic(crash_comparison, rounds=1, iterations=1)
+def test_bench_baselines_crash_model(benchmark, emit, tmp_path):
+    rows = benchmark.pedantic(
+        crash_comparison,
+        kwargs=dict(store_path=tmp_path / "crash.jsonl"),
+        rounds=1,
+        iterations=1,
+    )
     by_name = {row[0]: row for row in rows}
     # In the crash model everyone terminates and the classics are correct;
     # Algorithm 1 even reaches consensus (1 value) but pays decision latency.
@@ -120,8 +128,13 @@ def test_bench_baselines_crash_model(benchmark, emit):
     )
 
 
-def test_bench_baselines_partition_model(benchmark, emit):
-    rows = benchmark.pedantic(partition_comparison, rounds=1, iterations=1)
+def test_bench_baselines_partition_model(benchmark, emit, tmp_path):
+    rows = benchmark.pedantic(
+        partition_comparison,
+        kwargs=dict(store_path=tmp_path / "partition.jsonl"),
+        rounds=1,
+        iterations=1,
+    )
     by_name = {row[0]: row for row in rows}
     # Under Psrcs(5) partitioning only Algorithm 1 meets its own bound; the
     # crash-model classics blow through theirs (the forced k_env values) and

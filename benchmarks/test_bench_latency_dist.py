@@ -1,5 +1,11 @@
 """LATENCY-DIST: decision-latency percentiles vs n and vs noise — the
-distributional view behind ALG-TERM's per-run bound checks."""
+distributional view behind ALG-TERM's per-run bound checks.
+
+The seed ensembles route through the campaign engine and journal to a
+JSONL store, so the distribution tables are aggregations of the same
+records ``skeleton-agreement campaign report`` prints — and re-running the
+benchmark against an existing store only executes missing scenarios.
+"""
 
 from __future__ import annotations
 
@@ -11,10 +17,14 @@ from repro.analysis.distributions import (
 from repro.analysis.reporting import format_table
 
 
-def test_bench_latency_scaling(benchmark, emit):
+def test_bench_latency_scaling(benchmark, emit, tmp_path):
     rows = benchmark.pedantic(
         latency_scaling_table,
-        kwargs=dict(ns=[6, 9, 12, 18, 24], seeds=range(5)),
+        kwargs=dict(
+            ns=[6, 9, 12, 18, 24],
+            seeds=range(5),
+            store=tmp_path / "latency_scaling.jsonl",
+        ),
         rounds=1,
         iterations=1,
     )
@@ -33,11 +43,16 @@ def test_bench_latency_scaling(benchmark, emit):
     )
 
 
-def test_bench_noise_sensitivity(benchmark, emit):
+def test_bench_noise_sensitivity(benchmark, emit, tmp_path):
     rows = benchmark.pedantic(
         noise_sensitivity_table,
-        kwargs=dict(noises=[0.0, 0.1, 0.3, 0.5], seeds=range(5),
-                    n=9, num_groups=3),
+        kwargs=dict(
+            noises=[0.0, 0.1, 0.3, 0.5],
+            seeds=range(5),
+            n=9,
+            num_groups=3,
+            store=tmp_path / "noise_sensitivity.jsonl",
+        ),
         rounds=1,
         iterations=1,
     )

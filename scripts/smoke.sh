@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 tests plus a ~30-second mini-campaign that exercises
+# the parallel executor, the JSONL store, resume-by-hash and the canonical
+# summary — so the multiprocessing path is driven on every change, not
+# just in CI benchmarks.
+#
+# Usage: scripts/smoke.sh [extra pytest args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+store="$workdir/journal.jsonl"
+summary_a="$workdir/summary_jobs2.jsonl"
+summary_b="$workdir/summary_resumed.jsonl"
+grid=(-n 5 6 8 -k 2 3 --seeds 4 --noise 0.0 0.2)
+
+echo
+echo "== mini-campaign: parallel run (--jobs 2) =="
+python -m repro campaign run --store "$store" --jobs 2 \
+    --summary "$summary_a" "${grid[@]}"
+
+echo
+echo "== mini-campaign: resume executes nothing new =="
+python -m repro campaign run --store "$store" --jobs 2 "${grid[@]}" \
+    | grep -E "executed now +0"
+
+echo
+echo "== mini-campaign: drop half the journal, resume only the rest =="
+total=$(wc -l < "$store")
+head -n $((total / 2)) "$store" > "$store.half" && mv "$store.half" "$store"
+python -m repro campaign run --store "$store" --jobs 2 \
+    --summary "$summary_b" "${grid[@]}"
+
+cmp "$summary_a" "$summary_b"
+echo "summaries byte-identical after resume: OK"
+
+echo
+python -m repro campaign status --store "$store" "${grid[@]}"
+echo
+echo "smoke: OK"

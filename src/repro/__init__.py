@@ -41,6 +41,25 @@ from repro.core import (
     make_consensus_processes,
     make_processes,
 )
+from repro.engine import (
+    Campaign,
+    CampaignReport,
+    ResultStore,
+    ScenarioGrid,
+    ScenarioResult,
+    ScenarioSpec,
+    agreement_grid,
+    execute_scenario,
+    execute_scenarios,
+    run_campaign,
+    termination_grid,
+)
+from repro.experiments.sweeps import (
+    SweepResult,
+    agreement_sweep,
+    run_algorithm1,
+    termination_sweep,
+)
 from repro.graphs import DiGraph, RoundLabeledDigraph
 from repro.predicates import Psrc, Psrcs, PTrue
 from repro.rounds import (
@@ -49,6 +68,7 @@ from repro.rounds import (
     RoundSimulator,
     Run,
     SimulationConfig,
+    simulate,
 )
 from repro.skeleton import SkeletonTracker
 
@@ -62,6 +82,7 @@ __all__ = [
     "RoundSimulator",
     "SimulationConfig",
     "Run",
+    "simulate",
     # graphs
     "DiGraph",
     "RoundLabeledDigraph",
@@ -91,4 +112,21 @@ __all__ = [
     "check_agreement_properties",
     "decision_stats",
     "message_stats",
+    # experiments
+    "SweepResult",
+    "agreement_sweep",
+    "run_algorithm1",
+    "termination_sweep",
+    # engine
+    "Campaign",
+    "CampaignReport",
+    "ResultStore",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "agreement_grid",
+    "execute_scenario",
+    "execute_scenarios",
+    "run_campaign",
+    "termination_grid",
 ]

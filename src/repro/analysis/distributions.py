@@ -6,6 +6,12 @@ decision latency scales with n, how noise affects stabilization, how often
 noisy runs collapse to fewer values than root components.  This module
 aggregates seed ensembles into percentile tables (the closest thing to the
 "figures" a systems paper would plot).
+
+The ensembles route through the campaign engine (:mod:`repro.engine`):
+each table builds seeded :class:`~repro.engine.scenarios.ScenarioSpec`
+ensembles, executes them with :func:`~repro.engine.campaign.run_campaign`
+(optionally parallel via ``jobs``, optionally journaled to a JSONL
+``store``) and aggregates the summary records into percentiles.
 """
 
 from __future__ import annotations
@@ -15,9 +21,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.adversaries.grouped import GroupedSourceAdversary
-from repro.analysis.stats import decision_stats
-from repro.experiments.sweeps import run_algorithm1
+from repro.engine.campaign import run_campaign
+from repro.engine.scenarios import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -69,27 +74,35 @@ def latency_distribution(
     noise: float,
     seeds: Sequence[int],
     topology: str = "cycle",
+    jobs: int = 1,
+    store=None,
 ) -> LatencyDistribution:
-    """Run a seed ensemble and summarize decision latency."""
+    """Run a seed ensemble through the engine and summarize latency."""
+    specs = [
+        ScenarioSpec(
+            n=n,
+            k=num_groups,
+            num_groups=num_groups,
+            seed=seed,
+            noise=noise,
+            topology=topology,
+        )
+        for seed in seeds
+    ]
+    results = run_campaign(specs, store=store, jobs=jobs)
     last_rounds: list[int] = []
     stabilizations: list[int] = []
     value_counts: list[int] = []
     violations = 0
-    for seed in seeds:
-        adversary = GroupedSourceAdversary(
-            n, num_groups=num_groups, seed=seed, noise=noise,
-            topology=topology,
-        )
-        run = run_algorithm1(adversary)
-        stats = decision_stats(run)
-        if stats.last_decision_round is None:
+    for result in results:
+        if not result.ok or result.last_decision_round is None:
             violations += 1
             continue
-        last_rounds.append(stats.last_decision_round)
-        if stats.stabilization is not None:
-            stabilizations.append(stats.stabilization)
-        value_counts.append(len(run.decision_values()))
-        if stats.within_bound is False:
+        last_rounds.append(result.last_decision_round)
+        if result.stabilization is not None:
+            stabilizations.append(result.stabilization)
+        value_counts.append(result.distinct_decisions)
+        if result.within_bound is False:
             violations += 1
     if not last_rounds:
         raise RuntimeError("no run produced decisions")
@@ -114,10 +127,14 @@ def latency_scaling_table(
     seeds: Sequence[int],
     num_groups: int = 2,
     noise: float = 0.2,
+    jobs: int = 1,
+    store=None,
 ) -> list[LatencyDistribution]:
     """LATENCY-DIST: percentile latencies vs n (linear per Lemma 11)."""
     return [
-        latency_distribution(n, min(num_groups, n), noise, seeds)
+        latency_distribution(
+            n, min(num_groups, n), noise, seeds, jobs=jobs, store=store
+        )
         for n in ns
     ]
 
@@ -127,11 +144,15 @@ def noise_sensitivity_table(
     seeds: Sequence[int],
     n: int = 10,
     num_groups: int = 3,
+    jobs: int = 1,
+    store=None,
 ) -> list[LatencyDistribution]:
     """How transient noise shifts stabilization and value collapse:
     more noise → later stabilization (more edges must die) but also more
     early value leakage (fewer distinct decisions)."""
     return [
-        latency_distribution(n, num_groups, noise, seeds)
+        latency_distribution(
+            n, num_groups, noise, seeds, jobs=jobs, store=store
+        )
         for noise in noises
     ]

@@ -9,6 +9,9 @@ Subcommands::
     skeleton-agreement sweep ...          # ALG-AGREE/THM1 parameter sweep
     skeleton-agreement ablation ...       # design-knob ablation matrix
     skeleton-agreement duality ...        # §V rc-vs-α exploration
+    skeleton-agreement campaign run ...   # parallel, resumable campaigns
+    skeleton-agreement campaign status .. # store-vs-grid reconciliation
+    skeleton-agreement campaign report .. # per-scenario result table
 
 Also runnable as ``python -m repro``.
 """
@@ -149,6 +152,64 @@ def _cmd_duality(args: argparse.Namespace) -> int:
     return 0 if all(row[5] == 0 for row in rows) else 1
 
 
+def _campaign_from_args(args: argparse.Namespace):
+    from repro.engine import Campaign, ScenarioGrid, agreement_grid
+
+    if args.grid_json:
+        with open(args.grid_json, "r", encoding="utf-8") as fh:
+            grid = ScenarioGrid.from_json(fh.read())
+    else:
+        grid = agreement_grid(
+            ns=args.n,
+            ks=args.k,
+            seeds=range(args.seeds),
+            noises=args.noise,
+            topology=args.topology,
+        )
+    return Campaign(
+        grid,
+        store=args.store,
+        jobs=getattr(args, "jobs", 1),
+        timeout=getattr(args, "timeout", None),
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    campaign = _campaign_from_args(args)
+    report = campaign.run(resume=not args.no_resume)
+    print(report.summary())
+    if args.summary:
+        lines = campaign.write_summary(args.summary)
+        print(f"\nwrote {lines} canonical summary lines to {args.summary}")
+    status = campaign.status()
+    return 0 if status.complete and status.errors == 0 else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    campaign = _campaign_from_args(args)
+    status = campaign.status()
+    print(status.summary())
+    return 0 if status.complete else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    campaign = _campaign_from_args(args)
+    print(campaign.report_table(limit=args.limit))
+    results = campaign.completed_results()
+    failed = [r for r in results if not r.ok]
+    bad = [
+        r
+        for r in results
+        if r.ok and (not r.k_agreement_holds or not r.all_decided)
+    ]
+    print(
+        f"\n{len(results)}/{len(campaign.specs)} scenarios stored, "
+        f"{len(failed)} failed to execute, "
+        f"{len(bad)} violated their k bound or failed to terminate"
+    )
+    return 0 if results and not bad and not failed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="skeleton-agreement",
@@ -207,6 +268,52 @@ def build_parser() -> argparse.ArgumentParser:
                         default=[0.05, 0.15, 0.3])
     p_dual.add_argument("--seeds", type=int, default=5)
     p_dual.set_defaults(func=_cmd_duality)
+
+    p_camp = sub.add_parser(
+        "campaign", help="parallel, resumable Monte-Carlo campaigns"
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_grid_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store", required=True, help="JSONL journal path (resume key)"
+        )
+        p.add_argument("-n", type=int, nargs="+", default=[6, 9])
+        p.add_argument("-k", type=int, nargs="+", default=[2, 3])
+        p.add_argument("--seeds", type=int, default=3,
+                       help="seed range 0..S-1 per grid point")
+        p.add_argument("--noise", type=float, nargs="+", default=[0.15])
+        p.add_argument(
+            "--topology", choices=["star", "cycle", "clique"], default="cycle"
+        )
+        p.add_argument(
+            "--grid-json",
+            default=None,
+            help='grid file {"axes": {...}} overriding the flag-built grid',
+        )
+
+    p_crun = camp_sub.add_parser("run", help="execute missing scenarios")
+    _add_grid_args(p_crun)
+    p_crun.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    p_crun.add_argument("--timeout", type=float, default=None,
+                        help="per-scenario time budget in seconds")
+    p_crun.add_argument("--no-resume", action="store_true",
+                        help="re-execute everything, ignoring the store")
+    p_crun.add_argument("--summary", default=None,
+                        help="also write the canonical grid-ordered summary "
+                        "JSONL here")
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cstat = camp_sub.add_parser("status", help="reconcile store vs grid")
+    _add_grid_args(p_cstat)
+    p_cstat.set_defaults(func=_cmd_campaign_status)
+
+    p_crep = camp_sub.add_parser("report", help="per-scenario result table")
+    _add_grid_args(p_crep)
+    p_crep.add_argument("--limit", type=int, default=None,
+                        help="show at most this many rows")
+    p_crep.set_defaults(func=_cmd_campaign_report)
     return parser
 
 

@@ -1,0 +1,65 @@
+"""Campaign engine: parallel, resumable Monte-Carlo simulation fleets.
+
+The paper's claims are *statistical over adversary ensembles*: Theorem 1/2
+bounds, ``Psrcs(k)`` stabilization and the Figure-1 latency behavior all
+quantify over runs.  Reproducing them at scale therefore means running
+thousands of seeded simulations, not one.  This package turns the
+single-run :class:`~repro.rounds.simulator.RoundSimulator` into a
+fleet-scale workload generator:
+
+* :mod:`repro.engine.scenarios` — a declarative **scenario grid DSL**.
+  A :class:`ScenarioGrid` expands cartesian products over adversary class,
+  ``n``, ``k``, group counts, noise, seed ranges and algorithm knobs into
+  immutable :class:`ScenarioSpec` values with stable content-hash ids.
+* :mod:`repro.engine.executor` — a **parallel executor**
+  (:func:`execute_scenarios`) with a ``multiprocessing.Pool`` backend, a
+  serial fallback, chunked dispatch and per-chunk timeouts.  Results are
+  deterministic regardless of worker count: every scenario is a pure
+  function of its spec, and outputs are re-ordered into grid order.
+* :mod:`repro.engine.store` — an append-only **JSONL result store**
+  (:class:`ResultStore`) with a versioned codec and resume-by-hash.
+* :mod:`repro.engine.campaign` — the **campaign API**
+  (:class:`Campaign`), wired into the CLI as
+  ``skeleton-agreement campaign run/status/report --jobs N``.
+
+Quickstart
+----------
+>>> from repro.engine import Campaign, ScenarioGrid
+>>> grid = ScenarioGrid(n=[6, 8], num_groups=[1, 2], seed=range(3), k=2)
+>>> campaign = Campaign(grid, store=None)     # in-memory, no persistence
+>>> report = campaign.run()
+>>> report.executed
+12
+"""
+
+from repro.engine.campaign import Campaign, CampaignReport, run_campaign
+from repro.engine.executor import (
+    ScenarioResult,
+    execute_scenario,
+    execute_scenarios,
+)
+from repro.engine.scenarios import (
+    ScenarioGrid,
+    ScenarioSpec,
+    agreement_grid,
+    expand_grids,
+    termination_grid,
+)
+from repro.engine.store import ResultStore, decode_result, encode_result
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "ResultStore",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "agreement_grid",
+    "decode_result",
+    "encode_result",
+    "execute_scenario",
+    "execute_scenarios",
+    "expand_grids",
+    "run_campaign",
+    "termination_grid",
+]

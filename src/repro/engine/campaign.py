@@ -1,0 +1,285 @@
+"""The campaign API: grid + store + executor, resumable end to end.
+
+A :class:`Campaign` binds a scenario grid to a result store and drives the
+executor over whatever is still missing.  Invoking :meth:`Campaign.run`
+twice is idempotent; deleting half the journal and re-running executes
+exactly the deleted half (resume-by-hash).
+
+The CLI surface (``skeleton-agreement campaign run/status/report``) is a
+thin veneer over this module, and the experiment sweeps
+(:mod:`repro.experiments.sweeps`) and the BASELINE / LATENCY-DIST
+benchmarks route their ensembles through it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.engine.executor import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ScenarioResult,
+    execute_scenarios,
+)
+from repro.engine.scenarios import ScenarioGrid, ScenarioSpec
+from repro.engine.store import ResultStore
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What one :meth:`Campaign.run` invocation did."""
+
+    total: int
+    executed: int
+    skipped: int
+    ok: int
+    errors: int
+    timeouts: int
+
+    def as_rows(self) -> list[list]:
+        return [
+            ["scenarios in grid", self.total],
+            ["already complete (skipped)", self.skipped],
+            ["executed now", self.executed],
+            ["  ok", self.ok],
+            ["  errors", self.errors],
+            ["  timeouts", self.timeouts],
+        ]
+
+    def summary(self) -> str:
+        return format_table(["quantity", "value"], self.as_rows(),
+                            title="campaign run")
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Store-vs-grid reconciliation (no execution)."""
+
+    total: int
+    ok: int
+    errors: int
+    timeouts: int
+    missing: int
+
+    @property
+    def complete(self) -> bool:
+        return self.missing == 0 and self.timeouts == 0
+
+    def as_rows(self) -> list[list]:
+        return [
+            ["scenarios in grid", self.total],
+            ["ok", self.ok],
+            ["errors", self.errors],
+            ["timeouts (retriable)", self.timeouts],
+            ["missing", self.missing],
+            ["complete", self.complete],
+        ]
+
+    def summary(self) -> str:
+        return format_table(["quantity", "value"], self.as_rows(),
+                            title="campaign status")
+
+
+REPORT_HEADERS = [
+    "id",
+    "n",
+    "k",
+    "groups",
+    "seed",
+    "noise",
+    "status",
+    "roots",
+    "Psrcs(k)",
+    "values",
+    "decided",
+    "last_rnd",
+    "bound",
+]
+
+
+def _report_row(result: ScenarioResult) -> list:
+    spec = result.spec
+    return [
+        result.scenario_id,
+        spec.n,
+        spec.k,
+        spec.num_groups,
+        spec.seed,
+        spec.noise,
+        result.status,
+        result.root_components,
+        result.psrcs_holds,
+        result.distinct_decisions,
+        result.all_decided,
+        result.last_decision_round,
+        result.lemma11_bound,
+    ]
+
+
+class Campaign:
+    """A resumable ensemble of scenarios over one result store.
+
+    Parameters
+    ----------
+    scenarios:
+        A :class:`ScenarioGrid` or an explicit spec sequence (grid order
+        defines summary order).
+    store:
+        A :class:`ResultStore`, a journal path, or ``None`` for an
+        in-memory store.
+    jobs:
+        Default worker count for :meth:`run`.
+    timeout:
+        Default per-scenario time budget in seconds.
+    """
+
+    def __init__(
+        self,
+        scenarios: ScenarioGrid | Sequence[ScenarioSpec],
+        store: ResultStore | str | os.PathLike | None = None,
+        jobs: int = 1,
+        timeout: float | None = None,
+    ) -> None:
+        if isinstance(scenarios, ScenarioGrid):
+            self.specs = scenarios.expand()
+        else:
+            self.specs = list(scenarios)
+        ids = [spec.scenario_id for spec in self.specs]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate scenarios in grid")
+        self.store = (
+            store if isinstance(store, ResultStore) else ResultStore(store)
+        )
+        self.jobs = jobs
+        self.timeout = timeout
+        # Journal snapshot, keyed by id.  One scan serves run/status/
+        # report/summary within this Campaign object; run() keeps it
+        # current as results are journaled.  Call refresh() if another
+        # writer appends to the same store concurrently.
+        self._latest: dict[str, ScenarioResult] | None = None
+
+    def refresh(self) -> None:
+        """Drop the cached journal snapshot (re-read on next access)."""
+        self._latest = None
+
+    def _load_latest(self) -> dict[str, ScenarioResult]:
+        if self._latest is None:
+            self._latest = self.store.load()
+        return self._latest
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: int | None = None,
+        resume: bool = True,
+        timeout: float | None = None,
+    ) -> CampaignReport:
+        """Execute every scenario that has no terminal record yet.
+
+        With ``resume=False`` the whole grid is re-executed and the
+        journal grows new records (last-wins on read)."""
+        self.refresh()
+        latest = self._load_latest()
+        if resume:
+            # Resume-by-hash: ok and deterministic-error records are
+            # terminal; timeouts stay retriable (mirrors
+            # ResultStore.completed_ids, on the cached snapshot).
+            todo = [
+                spec
+                for spec in self.specs
+                if latest.get(spec.scenario_id) is None
+                or latest[spec.scenario_id].status == STATUS_TIMEOUT
+            ]
+        else:
+            todo = list(self.specs)
+
+        def journal(result: ScenarioResult) -> None:
+            self.store.append(result)
+            latest[result.scenario_id] = result
+
+        results = execute_scenarios(
+            todo,
+            jobs=self.jobs if jobs is None else jobs,
+            timeout=self.timeout if timeout is None else timeout,
+            on_result=journal,
+        )
+        by_status = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
+        for result in results:
+            by_status[result.status] = by_status.get(result.status, 0) + 1
+        return CampaignReport(
+            total=len(self.specs),
+            executed=len(todo),
+            skipped=len(self.specs) - len(todo),
+            ok=by_status[STATUS_OK],
+            errors=by_status[STATUS_ERROR],
+            timeouts=by_status[STATUS_TIMEOUT],
+        )
+
+    # ------------------------------------------------------------------
+    def status(self) -> CampaignStatus:
+        latest = self._load_latest()
+        counts = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
+        missing = 0
+        for spec in self.specs:
+            result = latest.get(spec.scenario_id)
+            if result is None:
+                missing += 1
+            else:
+                counts[result.status] = counts.get(result.status, 0) + 1
+        return CampaignStatus(
+            total=len(self.specs),
+            ok=counts[STATUS_OK],
+            errors=counts[STATUS_ERROR],
+            timeouts=counts[STATUS_TIMEOUT],
+            missing=missing,
+        )
+
+    # ------------------------------------------------------------------
+    def results(self) -> list[ScenarioResult | None]:
+        """Stored results in grid order (``None`` where still missing)."""
+        latest = self._load_latest()
+        return [latest.get(spec.scenario_id) for spec in self.specs]
+
+    def completed_results(self) -> list[ScenarioResult]:
+        """Stored results in grid order, missing scenarios dropped."""
+        return [r for r in self.results() if r is not None]
+
+    def report_table(self, limit: int | None = None) -> str:
+        """A per-scenario result table (grid order)."""
+        rows = [_report_row(r) for r in self.completed_results()]
+        shown = rows if limit is None else rows[:limit]
+        title = f"campaign report ({len(rows)} of {len(self.specs)} scenarios"
+        if limit is not None and len(rows) > limit:
+            title += f", first {limit} shown"
+        title += ")"
+        return format_table(REPORT_HEADERS, shown, title=title)
+
+    def write_summary(self, path: str | os.PathLike) -> int:
+        """Canonical grid-ordered summary JSONL (see
+        :meth:`repro.engine.store.ResultStore.write_summary`)."""
+        return self.store.write_summary(
+            path, self.specs, latest=self._load_latest()
+        )
+
+
+def run_campaign(
+    scenarios: ScenarioGrid | Iterable[ScenarioSpec],
+    store: ResultStore | str | os.PathLike | None = None,
+    jobs: int = 1,
+    timeout: float | None = None,
+    resume: bool = True,
+) -> list[ScenarioResult]:
+    """One-shot convenience: run (resuming) and return grid-ordered
+    results.  The workhorse behind the refactored sweeps and benchmarks."""
+    campaign = Campaign(
+        list(scenarios) if not isinstance(scenarios, ScenarioGrid) else scenarios,
+        store=store,
+        jobs=jobs,
+        timeout=timeout,
+    )
+    campaign.run(resume=resume)
+    return campaign.completed_results()

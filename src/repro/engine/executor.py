@@ -1,0 +1,267 @@
+"""The parallel scenario executor.
+
+:func:`execute_scenario` is a *pure function* of a :class:`ScenarioSpec`:
+every RNG in the simulation stack is derived from the spec's seed, so the
+same spec produces bit-identical metrics in any process on any worker.
+That purity is what the parallel backend leans on — results are collected
+in completion order but re-sorted into submission order, so a campaign's
+output is deterministic regardless of ``jobs``.
+
+Backends:
+
+* serial (``jobs <= 1``) — a plain loop, no pickling, easiest to debug;
+* ``multiprocessing.Pool`` (``jobs > 1``) — chunked dispatch (each task is
+  a contiguous slice of the grid, amortizing IPC), per-chunk timeouts
+  (a stuck chunk is marked ``"timeout"`` and the stragglers are killed
+  when the pool exits), and crash isolation (a scenario that raises
+  becomes a ``"error"`` result instead of poisoning the pool).
+
+Known limit: crash isolation covers Python exceptions.  A worker killed
+*hard* (OOM killer, segfault in an extension) loses its chunk —
+``multiprocessing.Pool`` never completes that task, so without a
+``timeout`` the collection loop waits forever.  Set a ``timeout`` on
+campaigns that might hit hard crashes; the fleet deadline then converts
+the lost chunk into retriable ``"timeout"`` records.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis.properties import check_agreement_properties
+from repro.analysis.stats import decision_stats
+from repro.engine.scenarios import ScenarioSpec
+from repro.graphs.condensation import root_components
+from repro.predicates.psrcs import Psrcs
+from repro.rounds.simulator import RoundSimulator, SimulationConfig
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """The summary record of one executed scenario.
+
+    Only *summaries* are kept (the decision/skeleton statistics the
+    experiment tables report) — full :class:`~repro.rounds.run.Run`
+    objects stay in the worker.  ``status`` is ``"ok"``, ``"error"`` or
+    ``"timeout"``; metric fields are ``None`` for non-ok results.
+    """
+
+    spec: ScenarioSpec
+    status: str = STATUS_OK
+    error: str | None = None
+    num_rounds: int | None = None
+    root_components: int | None = None
+    psrcs_holds: bool | None = None
+    distinct_decisions: int | None = None
+    all_decided: bool | None = None
+    k_agreement_holds: bool | None = None
+    validity_holds: bool | None = None
+    first_decision_round: int | None = None
+    last_decision_round: int | None = None
+    stabilization: int | None = None
+    lemma11_bound: int | None = None
+    within_bound: bool | None = None
+    decision_values: tuple = ()
+
+    @property
+    def scenario_id(self) -> str:
+        return self.spec.scenario_id
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @classmethod
+    def failure(
+        cls, spec: ScenarioSpec, error: str, status: str = STATUS_ERROR
+    ) -> "ScenarioResult":
+        return cls(spec=spec, status=status, error=error)
+
+
+def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario end-to-end and summarize it.
+
+    Never raises: any exception from construction or simulation becomes a
+    ``"error"`` result, so a bad corner of a grid cannot take down a
+    campaign.
+    """
+    try:
+        adversary = spec.build_adversary()
+        processes = spec.build_processes()
+        config = SimulationConfig(max_rounds=spec.resolved_max_rounds())
+        run = RoundSimulator(processes, adversary, config).run()
+        stable = run.stable_skeleton()
+        stats = decision_stats(run)
+        report = check_agreement_properties(run, spec.k)
+        return ScenarioResult(
+            spec=spec,
+            num_rounds=run.num_rounds,
+            root_components=len(root_components(stable)),
+            psrcs_holds=Psrcs(spec.k).check_skeleton(stable).holds,
+            distinct_decisions=report.num_decision_values,
+            all_decided=report.termination.holds,
+            k_agreement_holds=report.k_agreement.holds,
+            validity_holds=report.validity.holds,
+            first_decision_round=stats.first_decision_round,
+            last_decision_round=stats.last_decision_round,
+            stabilization=stats.stabilization,
+            lemma11_bound=stats.lemma11_bound,
+            within_bound=stats.within_bound,
+            decision_values=tuple(
+                sorted(run.decision_values(), key=repr)
+            ),
+        )
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return ScenarioResult.failure(spec, f"{type(exc).__name__}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# Parallel dispatch
+# ----------------------------------------------------------------------
+IndexedSpec = tuple[int, ScenarioSpec]
+
+
+def _execute_chunk(chunk: Sequence[IndexedSpec]) -> list[tuple[int, ScenarioResult]]:
+    """Worker entry point: run one contiguous slice of the grid."""
+    return [(idx, execute_scenario(spec)) for idx, spec in chunk]
+
+
+def _chunked(items: Sequence[IndexedSpec], size: int) -> list[list[IndexedSpec]]:
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def default_chunksize(num_specs: int, jobs: int) -> int:
+    """~4 chunks per worker: large enough to amortize fork+pickle, small
+    enough that the pool load-balances uneven scenario costs."""
+    return max(1, num_specs // max(1, jobs * 4))
+
+
+def execute_scenarios(
+    specs: Iterable[ScenarioSpec],
+    jobs: int = 1,
+    timeout: float | None = None,
+    chunksize: int | None = None,
+    on_result: Callable[[ScenarioResult], Any] | None = None,
+    poll_interval: float = 0.01,
+) -> list[ScenarioResult]:
+    """Execute many scenarios, serially or on a process pool.
+
+    Parameters
+    ----------
+    specs:
+        The scenarios, in grid order.
+    jobs:
+        Worker processes; ``<= 1`` selects the serial backend (unless a
+        ``timeout`` is set, which always routes through a pool — a hung
+        scenario cannot be interrupted in-process).
+    timeout:
+        Per-scenario time budget in seconds.  The budgets pool into one
+        fleet deadline (``timeout * ceil(len(specs) / workers)`` from
+        pool start): chunks still pending at the deadline yield
+        retriable ``"timeout"`` results and their workers are killed
+        when the pool exits.  Coarse by design — it unsticks campaigns;
+        it is not a precise per-run stopwatch.
+    chunksize:
+        Scenarios per dispatched task (default: :func:`default_chunksize`).
+    on_result:
+        Callback invoked in the *parent* process as each result arrives
+        (completion order) — the campaign layer journals through this,
+        so an interrupted campaign keeps every chunk that finished
+        before the interrupt.
+    poll_interval:
+        Seconds between readiness polls of outstanding chunks.
+
+    Returns
+    -------
+    Results in the same order as ``specs``, independent of ``jobs``.
+    """
+    spec_list = list(specs)
+    if not spec_list:
+        return []
+    if (jobs <= 1 or len(spec_list) <= 1) and timeout is None:
+        results = []
+        for spec in spec_list:
+            result = execute_scenario(spec)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    indexed = list(enumerate(spec_list))
+    jobs = max(1, jobs)
+    chunks = _chunked(
+        indexed, chunksize or default_chunksize(len(indexed), jobs)
+    )
+    workers = min(jobs, len(chunks))
+    collected: dict[int, ScenarioResult] = {}
+
+    def deliver(payload: Iterable[tuple[int, ScenarioResult]]) -> None:
+        for idx, result in payload:
+            collected[idx] = result
+            if on_result is not None:
+                on_result(result)
+
+    def timed_out(chunk: Sequence[IndexedSpec], budget: float) -> list:
+        return [
+            (
+                idx,
+                ScenarioResult.failure(
+                    spec,
+                    f"no result within {budget:.1f}s",
+                    status=STATUS_TIMEOUT,
+                ),
+            )
+            for idx, spec in chunk
+        ]
+
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=workers) as pool:
+        start = time.monotonic()
+        deadline = (
+            start + timeout * math.ceil(len(spec_list) / workers)
+            if timeout is not None
+            else None
+        )
+        pending = [
+            (chunk, pool.apply_async(_execute_chunk, (chunk,)))
+            for chunk in chunks
+        ]
+        # Harvest chunks in *completion* order so every finished chunk is
+        # journaled immediately — a slow chunk must not hold back the
+        # durability of the fast ones behind it.
+        while pending:
+            still_pending = []
+            progressed = False
+            for chunk, handle in pending:
+                if handle.ready():
+                    try:
+                        payload = handle.get()
+                    except Exception as exc:  # worker-side infrastructure
+                        payload = [
+                            (
+                                idx,
+                                ScenarioResult.failure(
+                                    spec, f"{type(exc).__name__}: {exc}"
+                                ),
+                            )
+                            for idx, spec in chunk
+                        ]
+                    deliver(payload)
+                    progressed = True
+                elif deadline is not None and time.monotonic() > deadline:
+                    deliver(timed_out(chunk, deadline - start))
+                    progressed = True
+                else:
+                    still_pending.append((chunk, handle))
+            pending = still_pending
+            if pending and not progressed:
+                time.sleep(poll_interval)
+    return [collected[i] for i in range(len(spec_list))]

@@ -1,0 +1,197 @@
+"""Append-only JSONL result store with resume-by-hash.
+
+One line per executed scenario.  The journal is *append-only* and ordered
+by completion (nondeterministic under a parallel run); determinism is
+recovered at read time by keying every record on the scenario's stable
+content-hash id.  :meth:`ResultStore.write_summary` then emits a
+*canonical* summary — records re-ordered into grid order with sorted JSON
+keys — which is byte-identical however many workers produced the journal.
+
+Resume: a campaign asks :meth:`ResultStore.completed_ids` which scenarios
+already have a terminal record (``ok`` or deterministic ``error``;
+``timeout`` records are retriable) and only executes the rest.  Partial
+trailing lines from a killed writer are tolerated and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.engine.executor import (
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ScenarioResult,
+)
+from repro.engine.scenarios import ScenarioSpec
+
+SCHEMA_VERSION = 1
+
+
+class SchemaVersionError(ValueError):
+    """A journal record was written by a newer schema than this code
+    supports.  Deliberately *not* swallowed by the corrupt-line
+    tolerance: resuming against a forward-incompatible journal must fail
+    loudly, not silently re-execute the whole campaign."""
+
+_METRIC_FIELDS = (
+    "num_rounds",
+    "root_components",
+    "psrcs_holds",
+    "distinct_decisions",
+    "all_decided",
+    "k_agreement_holds",
+    "validity_holds",
+    "first_decision_round",
+    "last_decision_round",
+    "stabilization",
+    "lemma11_bound",
+    "within_bound",
+)
+
+
+def encode_result(result: ScenarioResult) -> dict:
+    """The versioned JSON record of one result (inverse of
+    :func:`decode_result`)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "id": result.scenario_id,
+        "spec": result.spec.to_dict(),
+        "status": result.status,
+        "error": result.error,
+        "metrics": {name: getattr(result, name) for name in _METRIC_FIELDS},
+        "decision_values": list(result.decision_values),
+    }
+
+
+def decode_result(record: dict) -> ScenarioResult:
+    """Rebuild a :class:`ScenarioResult` from its JSON record."""
+    schema = record.get("schema", SCHEMA_VERSION)
+    if schema > SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"record schema {schema} is newer than supported "
+            f"{SCHEMA_VERSION}"
+        )
+    metrics = record.get("metrics", {})
+    return ScenarioResult(
+        spec=ScenarioSpec.from_dict(record["spec"]),
+        status=record.get("status", STATUS_OK),
+        error=record.get("error"),
+        decision_values=tuple(record.get("decision_values", ())),
+        **{name: metrics.get(name) for name in _METRIC_FIELDS},
+    )
+
+
+def canonical_line(result: ScenarioResult) -> str:
+    """One record as a canonical JSON line (sorted keys, tight separators)
+    — the unit of byte-identical summaries."""
+    return json.dumps(
+        encode_result(result), sort_keys=True, separators=(",", ":")
+    )
+
+
+class ResultStore:
+    """The campaign journal: one JSONL file, append-only, id-keyed.
+
+    A ``path`` of ``None`` keeps everything in memory (handy for tests and
+    throwaway campaigns); otherwise the parent directory is created on
+    first append.
+    """
+
+    def __init__(self, path: str | os.PathLike | None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._memory: list[ScenarioResult] = []
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, result: ScenarioResult) -> None:
+        """Journal one result (flushed immediately — a killed campaign
+        loses at most the line being written)."""
+        if self.path is None:
+            self._memory.append(result)
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(canonical_line(result) + "\n")
+            fh.flush()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def iter_results(self) -> Iterator[ScenarioResult]:
+        """All journaled results in append order (corrupt lines skipped)."""
+        if self.path is None:
+            yield from self._memory
+            return
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield decode_result(json.loads(line))
+                except SchemaVersionError:
+                    raise
+                except (json.JSONDecodeError, KeyError, ValueError):
+                    # Partial trailing line from a killed writer, or a
+                    # foreign line: resume simply re-runs that scenario.
+                    continue
+
+    def load(self) -> dict[str, ScenarioResult]:
+        """Latest result per scenario id (last journal entry wins, so a
+        retried timeout overwrites the timeout record)."""
+        latest: dict[str, ScenarioResult] = {}
+        for result in self.iter_results():
+            latest[result.scenario_id] = result
+        return latest
+
+    def completed_ids(self) -> set[str]:
+        """Ids with a terminal record — ``ok`` and ``error`` count
+        (errors are deterministic), ``timeout`` stays retriable."""
+        return {
+            sid
+            for sid, result in self.load().items()
+            if result.status != STATUS_TIMEOUT
+        }
+
+    def missing(self, specs: Iterable[ScenarioSpec]) -> list[ScenarioSpec]:
+        """The subset of ``specs`` with no terminal record yet — exactly
+        what a resumed campaign still has to execute."""
+        done = self.completed_ids()
+        return [spec for spec in specs if spec.scenario_id not in done]
+
+    # ------------------------------------------------------------------
+    # Canonical summaries
+    # ------------------------------------------------------------------
+    def write_summary(
+        self,
+        path: str | os.PathLike,
+        specs: Iterable[ScenarioSpec],
+        latest: dict[str, ScenarioResult] | None = None,
+    ) -> int:
+        """Write the canonical summary JSONL for ``specs``.
+
+        Records appear in grid order with canonical JSON formatting, so
+        the output is byte-identical whether the journal was produced by
+        1 worker or 40.  Scenarios with no record are skipped.  Returns
+        the number of lines written.  Pass a pre-:meth:`load`-ed
+        ``latest`` snapshot to skip re-scanning the journal.
+        """
+        if latest is None:
+            latest = self.load()
+        lines = []
+        for spec in specs:
+            result = latest.get(spec.scenario_id)
+            if result is not None:
+                lines.append(canonical_line(result))
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            "".join(line + "\n" for line in lines), encoding="utf-8"
+        )
+        return len(lines)

@@ -3,6 +3,14 @@
 One entry point per experiment family; each returns structured
 :class:`SweepResult` rows that the benchmarks print as tables (and the
 tests assert on).  Everything is seed-deterministic.
+
+The sweeps are thin fronts over the campaign engine
+(:mod:`repro.engine`): each builds a scenario grid, executes it through
+:func:`repro.engine.executor.execute_scenarios` (``jobs > 1`` fans out
+over a process pool) and converts the engine's summary records into the
+historical :class:`SweepResult` rows.  Row order and values are identical
+to the old in-process loops — the grid's canonical expansion order *is*
+the old loop nesting.
 """
 
 from __future__ import annotations
@@ -11,12 +19,9 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.adversaries.base import Adversary
-from repro.adversaries.grouped import GroupedSourceAdversary
-from repro.analysis.properties import check_agreement_properties
-from repro.analysis.stats import decision_stats
 from repro.core.algorithm import make_processes
-from repro.graphs.condensation import root_components
-from repro.predicates.psrcs import Psrcs
+from repro.engine.executor import ScenarioResult, execute_scenarios
+from repro.engine.scenarios import ScenarioSpec, agreement_grid
 from repro.rounds.run import Run
 from repro.rounds.simulator import RoundSimulator, SimulationConfig
 
@@ -100,28 +105,21 @@ class SweepResult:
     ]
 
 
-def _one_grouped_run(
-    n: int, k: int, num_groups: int, seed: int, noise: float, topology: str
-) -> SweepResult:
-    adversary = GroupedSourceAdversary(
-        n, num_groups=num_groups, seed=seed, noise=noise, topology=topology
-    )
-    run = run_algorithm1(adversary)
-    stable = run.stable_skeleton()
-    stats = decision_stats(run)
-    report = check_agreement_properties(run, k)
+def sweep_result_from_scenario(result: ScenarioResult) -> SweepResult:
+    """Convert one engine summary record into a sweep-table row."""
+    spec = result.spec
     return SweepResult(
-        n=n,
-        k=k,
-        num_groups=num_groups,
-        seed=seed,
-        noise=noise,
-        root_components=len(root_components(stable)),
-        psrcs_holds=Psrcs(k).check_skeleton(stable).holds,
-        distinct_decisions=report.num_decision_values,
-        all_decided=report.termination.holds,
-        last_decision_round=stats.last_decision_round,
-        lemma11_bound=stats.lemma11_bound,
+        n=spec.n,
+        k=spec.k,
+        num_groups=spec.num_groups,
+        seed=spec.seed,
+        noise=spec.noise,
+        root_components=result.root_components,
+        psrcs_holds=result.psrcs_holds,
+        distinct_decisions=result.distinct_decisions,
+        all_decided=result.all_decided,
+        last_decision_round=result.last_decision_round,
+        lemma11_bound=result.lemma11_bound,
     )
 
 
@@ -131,23 +129,16 @@ def agreement_sweep(
     seeds: Sequence[int],
     noise: float = 0.15,
     topology: str = "cycle",
+    jobs: int = 1,
 ) -> list[SweepResult]:
     """ALG-AGREE / THM1: for every (n, k, seed) with every feasible group
     count ``m <= k``, run Algorithm 1 and record root components, predicate
     status and decision-value counts."""
-    rows: list[SweepResult] = []
-    for n in ns:
-        for k in ks:
-            if k >= n:
-                continue
-            for m in range(1, k + 1):
-                if m > n:
-                    continue
-                for seed in seeds:
-                    rows.append(
-                        _one_grouped_run(n, k, m, seed, noise, topology)
-                    )
-    return rows
+    grid = agreement_grid(
+        ns, ks, seeds, noises=(noise,), topology=topology
+    )
+    results = execute_scenarios(grid.expand(), jobs=jobs)
+    return [sweep_result_from_scenario(r) for r in results]
 
 
 def termination_sweep(
@@ -155,12 +146,21 @@ def termination_sweep(
     seeds: Sequence[int],
     noise: float = 0.15,
     num_groups: int = 2,
+    jobs: int = 1,
 ) -> list[SweepResult]:
     """ALG-TERM: decision latency vs Lemma 11's ``r_ST + 2n - 1`` bound
-    across system sizes."""
-    rows: list[SweepResult] = []
-    for n in ns:
-        m = min(num_groups, n)
-        for seed in seeds:
-            rows.append(_one_grouped_run(n, m, m, seed, noise, "cycle"))
-    return rows
+    across system sizes (``k = m = min(num_groups, n)``)."""
+    specs = [
+        ScenarioSpec(
+            n=n,
+            k=min(num_groups, n),
+            num_groups=min(num_groups, n),
+            seed=seed,
+            noise=noise,
+            topology="cycle",
+        )
+        for n in ns
+        for seed in seeds
+    ]
+    results = execute_scenarios(specs, jobs=jobs)
+    return [sweep_result_from_scenario(r) for r in results]

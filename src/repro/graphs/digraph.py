@@ -178,6 +178,15 @@ class DiGraph:
         """
         return frozenset(self._pred[node])
 
+    def iter_predecessors(self, node: Node) -> Iterator[Node]:
+        """Iterate in-neighbors without materializing a frozenset.
+
+        The no-copy sibling of :meth:`predecessors` for hot loops (the
+        simulator's per-round delivery); the graph must not be mutated
+        during iteration.
+        """
+        return iter(self._pred[node])
+
     def out_degree(self, node: Node) -> int:
         return len(self._succ[node])
 

@@ -17,7 +17,7 @@ This package implements that model directly:
 from repro.rounds.process import Process, DecisionRecord
 from repro.rounds.messages import Message
 from repro.rounds.run import Run, RoundRecord
-from repro.rounds.simulator import RoundSimulator, SimulationConfig
+from repro.rounds.simulator import RoundSimulator, SimulationConfig, simulate
 
 __all__ = [
     "Process",
@@ -27,4 +27,5 @@ __all__ = [
     "RoundRecord",
     "RoundSimulator",
     "SimulationConfig",
+    "simulate",
 ]

@@ -160,9 +160,11 @@ class RoundSimulator:
         if self.config.record_messages:
             record.messages = dict(outbound)
         for proc in self.processes:
+            # iter_predecessors avoids a frozenset copy per (process,
+            # round) — the dominant allocation for large n.
             received = {
                 sender: outbound[sender]
-                for sender in graph.predecessors(proc.pid)
+                for sender in graph.iter_predecessors(proc.pid)
             }
             proc.transition(round_no, received)
         for proc in self.processes:
@@ -181,12 +183,16 @@ class RoundSimulator:
                 f"adversary produced a round-{round_no} graph on nodes "
                 f"{sorted(nodes, key=repr)}; expected exactly 0..{self.n - 1}"
             )
-        if self.config.enforce_self_delivery:
-            missing = [p for p in range(self.n) if not graph.has_edge(p, p)]
-            if missing:
-                graph = graph.copy()
-                for p in missing:
-                    graph.add_edge(p, p)
+        if self.config.enforce_self_delivery and not all(
+            graph.has_edge(p, p) for p in range(self.n)
+        ):
+            # Only copy when an edge is actually missing: well-behaved
+            # adversaries (every one in repro.adversaries) already include
+            # all self-loops, so the common path is a short-circuiting
+            # scan with no allocation.
+            graph = graph.copy()
+            for p in range(self.n):
+                graph.add_edge(p, p)
         return graph
 
 

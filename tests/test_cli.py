@@ -75,3 +75,57 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Thm1 violations" in out
+
+
+class TestCampaignCommands:
+    GRID = ["-n", "5", "6", "-k", "2", "--seeds", "2", "--noise", "0.1"]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_run_status_report(self, capsys, tmp_path):
+        store = str(tmp_path / "journal.jsonl")
+        summary = str(tmp_path / "summary.jsonl")
+        code = main(
+            ["campaign", "run", "--store", store, "--jobs", "2",
+             "--summary", summary] + self.GRID
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed now" in out
+        assert "canonical summary" in out
+
+        # Second run resumes: nothing left to execute.
+        assert main(["campaign", "run", "--store", store] + self.GRID) == 0
+        out = capsys.readouterr().out
+        assert "already complete (skipped)  8" in out
+
+        assert main(["campaign", "status", "--store", store] + self.GRID) == 0
+        out = capsys.readouterr().out
+        assert "complete              yes" in out
+
+        code = main(
+            ["campaign", "report", "--store", store, "--limit", "3"]
+            + self.GRID
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Psrcs(k)" in out
+        assert "0 violated their k bound" in out
+
+    def test_status_on_empty_store_fails(self, capsys, tmp_path):
+        store = str(tmp_path / "journal.jsonl")
+        assert main(["campaign", "status", "--store", store] + self.GRID) == 1
+        assert "missing               8" in capsys.readouterr().out
+
+    def test_grid_json_override(self, capsys, tmp_path):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text('{"axes": {"n": [5], "seed": [0, 1]}}')
+        store = str(tmp_path / "journal.jsonl")
+        code = main(
+            ["campaign", "run", "--store", store,
+             "--grid-json", str(grid_file)]
+        )
+        assert code == 0
+        assert "scenarios in grid           2" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Executor: metric fidelity, crash isolation, serial/parallel equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.properties import check_agreement_properties
+from repro.analysis.stats import decision_stats
+from repro.engine.executor import (
+    default_chunksize,
+    execute_scenario,
+    execute_scenarios,
+)
+from repro.engine.scenarios import ScenarioSpec
+from repro.experiments.sweeps import run_algorithm1
+from repro.graphs.condensation import root_components
+from repro.predicates.psrcs import Psrcs
+
+
+class TestExecuteScenario:
+    def test_metrics_match_direct_simulation(self):
+        spec = ScenarioSpec(n=8, k=3, num_groups=3, seed=4, noise=0.2)
+        result = execute_scenario(spec)
+        run = run_algorithm1(spec.build_adversary())
+        stats = decision_stats(run)
+        report = check_agreement_properties(run, 3)
+        stable = run.stable_skeleton()
+        assert result.ok
+        assert result.num_rounds == run.num_rounds
+        assert result.root_components == len(root_components(stable))
+        assert result.psrcs_holds == Psrcs(3).check_skeleton(stable).holds
+        assert result.distinct_decisions == report.num_decision_values
+        assert result.all_decided == report.termination.holds
+        assert result.last_decision_round == stats.last_decision_round
+        assert result.lemma11_bound == stats.lemma11_bound
+        assert result.within_bound == stats.within_bound
+        assert set(result.decision_values) == run.decision_values()
+
+    def test_pure_function_of_spec(self):
+        spec = ScenarioSpec(n=7, k=2, num_groups=2, seed=9, noise=0.3)
+        assert execute_scenario(spec) == execute_scenario(spec)
+
+    def test_infeasible_spec_becomes_error_result(self):
+        # 7 groups cannot partition 5 processes: the builder raises, and
+        # the executor contains it instead of propagating.
+        result = execute_scenario(ScenarioSpec(n=5, num_groups=7))
+        assert result.status == "error"
+        assert "ValueError" in result.error
+        assert result.num_rounds is None
+        assert result.decision_values == ()
+
+    def test_baseline_algorithms_run(self):
+        spec = ScenarioSpec(
+            n=6, k=2, adversary="crash", algorithm="floodmin",
+            max_rounds=40,
+        ).with_options(f=2)
+        result = execute_scenario(spec)
+        assert result.ok and result.all_decided
+
+
+class TestExecuteScenarios:
+    SPECS = [
+        ScenarioSpec(n=5, k=2, num_groups=g, seed=s, noise=0.1)
+        for g in (1, 2)
+        for s in range(4)
+    ]
+
+    def test_serial_preserves_order(self):
+        results = execute_scenarios(self.SPECS, jobs=1)
+        assert [r.spec for r in results] == self.SPECS
+
+    def test_parallel_equals_serial(self):
+        serial = execute_scenarios(self.SPECS, jobs=1)
+        parallel = execute_scenarios(self.SPECS, jobs=2, chunksize=3)
+        assert parallel == serial
+
+    def test_parallel_contains_error_results(self):
+        specs = [ScenarioSpec(n=5, num_groups=7, seed=s) for s in range(4)]
+        results = execute_scenarios(specs, jobs=2, chunksize=1)
+        assert all(r.status == "error" for r in results)
+        assert [r.spec for r in results] == specs
+
+    def test_on_result_called_for_every_spec(self):
+        seen = []
+        execute_scenarios(self.SPECS, jobs=2, on_result=seen.append)
+        assert {r.scenario_id for r in seen} == {
+            s.scenario_id for s in self.SPECS
+        }
+
+    @pytest.mark.parametrize(
+        "num,jobs,expected",
+        [(0, 4, 1), (7, 4, 1), (100, 4, 6), (100, 1, 25)],
+    )
+    def test_default_chunksize(self, num, jobs, expected):
+        assert default_chunksize(num, jobs) == expected
+
+    def test_empty_spec_list(self):
+        assert execute_scenarios([], jobs=4) == []
+
+
+class TestTimeouts:
+    # n=64 with Algorithm 1 runs for many seconds — plenty to outlive a
+    # sub-second budget; the pool is terminated on exit, so these tests
+    # do not wait for it.
+    SLOW = ScenarioSpec(n=64, k=2, num_groups=2, noise=0.3)
+
+    def test_timeout_enforced_even_with_jobs_1(self):
+        # A timeout forces the pool backend: the serial loop cannot
+        # interrupt a hung scenario in-process.
+        result = execute_scenarios([self.SLOW, self.SLOW.with_options(x=1)],
+                                   jobs=1, timeout=0.2)
+        assert [r.status for r in result] == ["timeout", "timeout"]
+        assert all("no result within" in r.error for r in result)
+
+    def test_fast_chunks_journal_while_slow_chunk_hangs(self):
+        fast = ScenarioSpec(n=4, k=2, num_groups=2)
+        arrived = []
+        results = execute_scenarios(
+            [self.SLOW, fast],
+            jobs=2,
+            chunksize=1,
+            timeout=2.0,
+            on_result=lambda r: arrived.append(r.scenario_id),
+        )
+        # Grid order is restored in the return value...
+        assert [r.spec for r in results] == [self.SLOW, fast]
+        assert results[1].ok
+        assert results[0].status == "timeout"
+        # ...but the fast scenario was delivered (journaled) first, while
+        # the slow chunk was still running.
+        assert arrived[0] == fast.scenario_id

@@ -1,0 +1,186 @@
+"""Scenario grid DSL: content-hash ids, canonical expansion, registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.baselines.floodmin import FloodMinProcess
+from repro.core.algorithm import SkeletonAgreementProcess
+from repro.engine.scenarios import (
+    ScenarioGrid,
+    ScenarioSpec,
+    agreement_grid,
+    expand_grids,
+    termination_grid,
+)
+
+
+class TestScenarioSpec:
+    def test_id_is_stable_and_content_addressed(self):
+        a = ScenarioSpec(n=6, k=2, seed=3, noise=0.1)
+        b = ScenarioSpec(n=6, k=2, seed=3, noise=0.1)
+        assert a == b
+        assert a.scenario_id == b.scenario_id
+        assert len(a.scenario_id) == 12
+        assert a.scenario_id != ScenarioSpec(n=6, k=2, seed=4).scenario_id
+
+    def test_id_canonical_for_numerically_equal_values(self):
+        # noise=0 and noise=0.0 compare equal, so they must be the same
+        # scenario (resume would otherwise re-execute stored work when a
+        # campaign is driven from the CLI, where argparse yields floats).
+        assert (
+            ScenarioSpec(n=5, noise=0).scenario_id
+            == ScenarioSpec(n=5, noise=0.0).scenario_id
+        )
+        assert (
+            ScenarioSpec(n=5, options=(("f", 2),)).scenario_id
+            == ScenarioSpec(n=5, options=(("f", 2.0),)).scenario_id
+        )
+        assert (
+            ScenarioSpec(n=5, noise=0.5).scenario_id
+            != ScenarioSpec(n=5, noise=0).scenario_id
+        )
+
+    def test_id_independent_of_option_order(self):
+        a = ScenarioSpec(n=6, options=(("f", 2), ("horizon", 3)))
+        b = ScenarioSpec(n=6, options=(("horizon", 3), ("f", 2)))
+        assert a == b
+        assert a.scenario_id == b.scenario_id
+
+    def test_roundtrip_dict(self):
+        spec = ScenarioSpec(
+            n=8, k=3, num_groups=2, seed=5, noise=0.25, topology="star",
+            algorithm="floodmin", adversary="crash", max_rounds=40,
+            options=(("f", 3),),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        # Extra keys (e.g. the store's "id") are ignored.
+        data = spec.to_dict()
+        data["id"] = "whatever"
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_opt_and_with_options(self):
+        spec = ScenarioSpec(n=6).with_options(f=2)
+        assert spec.opt("f") == 2
+        assert spec.opt("absent", "dflt") == "dflt"
+        assert spec.with_options(f=9).opt("f") == 9
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            ScenarioSpec(n=6, algorithm="nope")
+        with pytest.raises(ValueError, match="unknown adversary"):
+            ScenarioSpec(n=6, adversary="nope")
+
+    def test_resolved_max_rounds(self):
+        assert ScenarioSpec(n=10).resolved_max_rounds() == 80  # 6n+20
+        assert ScenarioSpec(n=10, max_rounds=7).resolved_max_rounds() == 7
+        assert (
+            ScenarioSpec(n=10, algorithm="floodmin").resolved_max_rounds()
+            == 80
+        )
+
+    def test_builders_dispatch(self):
+        grouped = ScenarioSpec(n=6, num_groups=2, topology="star")
+        adv = grouped.build_adversary()
+        assert isinstance(adv, GroupedSourceAdversary)
+        assert adv.topology == "star" and adv.num_groups == 2
+
+        crash = ScenarioSpec(n=6, adversary="crash").with_options(f=2)
+        adv = crash.build_adversary()
+        assert isinstance(adv, CrashAdversary) and adv.f == 2
+
+        part = ScenarioSpec(n=6, k=2, adversary="partition").with_options(
+            k_env=3
+        )
+        adv = part.build_adversary()
+        assert isinstance(adv, PartitionAdversary) and adv.k == 3
+
+        procs = ScenarioSpec(n=5).build_processes()
+        assert len(procs) == 5
+        assert all(isinstance(p, SkeletonAgreementProcess) for p in procs)
+        procs = ScenarioSpec(n=5, k=2, algorithm="floodmin").with_options(
+            f=2
+        ).build_processes()
+        assert all(isinstance(p, FloodMinProcess) for p in procs)
+
+
+class TestScenarioGrid:
+    def test_scalars_and_sequences(self):
+        grid = ScenarioGrid(n=6, seed=range(3), noise=0.1)
+        specs = grid.expand()
+        assert len(specs) == 3
+        assert [s.seed for s in specs] == [0, 1, 2]
+        assert all(s.n == 6 and s.noise == 0.1 for s in specs)
+
+    def test_expansion_order_is_canonical(self):
+        # Axis declaration order must not matter — only field order does.
+        a = ScenarioGrid(seed=range(2), n=[5, 6]).expand()
+        b = ScenarioGrid(n=[5, 6], seed=range(2)).expand()
+        assert a == b
+        assert [(s.n, s.seed) for s in a] == [(5, 0), (5, 1), (6, 0), (6, 1)]
+
+    def test_generator_axes_are_materialized(self):
+        specs = ScenarioGrid(n=[5], seed=(s for s in range(3))).expand()
+        assert [s.seed for s in specs] == [0, 1, 2]
+
+    def test_unknown_axes_become_options(self):
+        specs = ScenarioGrid(n=6, f=[1, 2], algorithm="floodmin").expand()
+        assert [s.opt("f") for s in specs] == [1, 2]
+
+    def test_where_constraints_prune(self):
+        grid = ScenarioGrid(
+            n=[4, 6], k=[2, 5], where=[lambda s: s["k"] < s["n"]]
+        )
+        assert [(s.n, s.k) for s in grid.expand()] == [(4, 2), (6, 2), (6, 5)]
+
+    def test_requires_n_axis(self):
+        with pytest.raises(ValueError, match="'n' axis"):
+            ScenarioGrid(k=[2]).expand()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ScenarioGrid(n=[])
+
+    def test_len_and_json_roundtrip(self):
+        grid = ScenarioGrid(n=[5, 6], seed=range(2))
+        assert len(grid) == 4
+        again = ScenarioGrid.from_json('{"axes": {"n": [5, 6], "seed": [0, 1]}}')
+        assert again.expand() == grid.expand()
+
+    def test_expand_grids_dedupes_preserving_order(self):
+        g1 = ScenarioGrid(n=[5, 6])
+        g2 = ScenarioGrid(n=[6, 7])
+        specs = expand_grids([g1, g2])
+        assert [s.n for s in specs] == [5, 6, 7]
+
+
+class TestCanonicalGrids:
+    def test_agreement_grid_matches_historical_nesting(self):
+        specs = agreement_grid(
+            ns=[6, 8], ks=[2, 3], seeds=[0, 1], noises=(0.15,)
+        ).expand()
+        expected = [
+            (n, k, m, seed)
+            for n in [6, 8]
+            for k in [2, 3]
+            if k < n
+            for m in range(1, k + 1)
+            for seed in [0, 1]
+        ]
+        assert [(s.n, s.k, s.num_groups, s.seed) for s in specs] == expected
+
+    def test_termination_grid_shape(self):
+        specs = termination_grid(ns=[4, 8], seeds=[0, 1, 2])
+        assert len(specs) == 6
+        assert all(s.k == s.num_groups == 2 for s in specs)
+
+    def test_termination_grid_clamps_small_n(self):
+        # The historical sweep clamps m to n (never drops the scenario).
+        specs = termination_grid(ns=[1, 4], seeds=[0], num_groups=2)
+        assert [(s.n, s.k, s.num_groups) for s in specs] == [
+            (1, 1, 1),
+            (4, 2, 2),
+        ]

@@ -22,8 +22,13 @@ from repro.graphs.matrices import (
     timely_neighborhoods,
     transitive_closure,
 )
-from repro.graphs.paths import descendants
-from repro.graphs.scc import is_strongly_connected, tarjan_scc
+from repro.graphs.paths import ancestors, descendants, has_path
+from repro.graphs.scc import (
+    is_strongly_connected,
+    kosaraju_scc,
+    scc_of,
+    tarjan_scc,
+)
 from repro.predicates.psrcs import conflict_graph
 
 
@@ -141,6 +146,84 @@ class TestPredicateKernels:
         mat = conflict_matrix(adj)
         assert np.array_equal(mat, mat.T)
         assert not mat.diagonal().any()
+
+
+class TestCrossValidationSetBased:
+    """Property-style cross-validation of every matrix kernel against the
+    set-based :mod:`repro.graphs.scc` / :mod:`repro.graphs.paths`
+    implementations on seeded randomized digraphs, across densities
+    spanning fragmented to almost-surely-strongly-connected."""
+
+    CASES = [
+        (n, p, seed)
+        for n in (5, 9, 14)
+        for p in (0.05, 0.15, 0.35)
+        for seed in range(3)
+    ]
+
+    @pytest.mark.parametrize("n,p,seed", CASES)
+    def test_closure_rows_and_columns(self, n, p, seed):
+        adj = adjacency(n, seed, p=p)
+        g = from_adjacency(adj)
+        closure = transitive_closure(adj)
+        for u in range(n):
+            row = frozenset(np.nonzero(closure[u])[0].tolist())
+            col = frozenset(np.nonzero(closure[:, u])[0].tolist())
+            assert row == descendants(g, u)
+            assert col == ancestors(g, u)
+
+    @pytest.mark.parametrize("n,p,seed", CASES)
+    def test_closure_entries_match_has_path(self, n, p, seed):
+        adj = adjacency(n, seed, p=p)
+        g = from_adjacency(adj)
+        closure = transitive_closure(adj)
+        for u in range(n):
+            for v in range(n):
+                assert closure[u, v] == has_path(g, u, v)
+
+    @pytest.mark.parametrize("n,p,seed", CASES)
+    def test_nonreflexive_closure_matches_paths(self, n, p, seed):
+        adj = adjacency(n, seed, p=p)
+        g = from_adjacency(adj)
+        closure = transitive_closure(adj, reflexive=False)
+        for u in range(n):
+            for v in range(n):
+                if u == v:
+                    # Diagonal: on a cycle through u, i.e. some successor
+                    # of u reaches back to u.
+                    expected = any(
+                        has_path(g, w, u) for w in g.successors(u)
+                    )
+                else:
+                    expected = has_path(g, u, v)
+                assert closure[u, v] == expected
+
+    @pytest.mark.parametrize("n,p,seed", CASES)
+    def test_scc_labels_match_kosaraju_and_scc_of(self, n, p, seed):
+        adj = adjacency(n, seed, p=p)
+        g = from_adjacency(adj)
+        labels = scc_labels(adj)
+        partition = {
+            frozenset(np.nonzero(labels == lbl)[0].tolist())
+            for lbl in np.unique(labels)
+        }
+        assert partition == set(kosaraju_scc(g))
+        for u in range(n):
+            members = frozenset(np.nonzero(labels == labels[u])[0].tolist())
+            assert members == scc_of(g, u)
+
+    @pytest.mark.parametrize("n,p,seed", CASES)
+    def test_intersection_stack_matches_set_semantics(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        graphs = [gnp_random(n, p + 0.3, rng) for _ in range(4)]
+        stack = np.stack([to_adjacency(g, n) for g in graphs])
+        prefixes = prefix_intersections(stack)
+        expected = graphs[0]
+        for i, g in enumerate(graphs):
+            if i > 0:
+                expected = expected.intersection(g)
+            assert from_adjacency(prefixes[i]) == expected
+        assert from_adjacency(intersect_all(stack)) == expected
 
 
 class TestHypothesis:
