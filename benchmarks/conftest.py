@@ -2,34 +2,104 @@
 
 Every benchmark prints the experiment's result table (the rows the paper
 would report) through :func:`emit`, which both echoes to stdout (visible
-with ``pytest -s`` / captured in CI logs) and appends to
+with ``pytest -s`` / captured in CI logs) and persists to
 ``benchmarks/results.txt`` so EXPERIMENTS.md can be regenerated from one
 file.
+
+Sections in results.txt are keyed by their banner line (``TAG — desc``):
+re-emitting a table replaces the previous copy in place, so any pytest
+invocation that happens to collect benchmarks — not just the canonical
+``pytest benchmarks -q --benchmark-only`` run — leaves exactly one copy
+of each table instead of appending duplicates.
 """
 
 from __future__ import annotations
 
 import pathlib
+import re
 
 import pytest
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 
+# Banner convention for every emitted table.  Bodies may contain blank
+# lines (FIG1's panels), so sections are delimited by banner lines, not
+# paragraph breaks.
+_BANNER = re.compile(r"^[A-Z][A-Za-z0-9()-]* — ")
+
+
+def _split_sections(text: str) -> list[tuple[str, list[str]]]:
+    """Parse results.txt into ordered ``(banner, lines)`` sections."""
+    sections: list[tuple[str, list[str]]] = []
+    current: list[str] | None = None
+    for line in text.splitlines():
+        if _BANNER.match(line):
+            current = [line]
+            sections.append((line, current))
+        elif current is not None:
+            current.append(line)
+    return sections
+
+
+def _render(sections: list[tuple[str, list[str]]]) -> str:
+    return "".join("\n".join(lines).rstrip() + "\n\n" for _, lines in sections)
+
 
 def pytest_configure(config):
-    # Fresh results file per benchmark session.
-    if config.getoption("--benchmark-only", default=False):
+    # Canonical full runs start from a fresh file so renamed/retired
+    # benchmarks don't leave stale sections behind.  Only whole-directory
+    # sessions truncate: a selective `pytest benchmarks/test_x.py
+    # --benchmark-only` must not wipe the other sections (the upsert in
+    # emit() keeps them duplicate-free either way).
+    if not config.getoption("--benchmark-only", default=False):
+        return
+    bench_dir = RESULTS_PATH.parent.resolve()
+    targets = [
+        pathlib.Path(arg.split("::", 1)[0]).resolve()
+        for arg in (config.args or ["."])
+    ]
+    if all(t in (bench_dir, bench_dir.parent) for t in targets):
         RESULTS_PATH.write_text("")
 
 
 @pytest.fixture
 def emit(capsys):
-    """Print and persist an experiment table."""
+    """Print an experiment table and upsert it into results.txt."""
 
     def _emit(text: str) -> None:
+        lines = text.splitlines()
+        banner = lines[0] if text.strip() else ""
+        if not _BANNER.match(banner):
+            raise ValueError(
+                "emit() tables must open with a 'TAG — description' banner "
+                f"line so results.txt stays re-run safe; got {banner!r}"
+            )
+        interior = [l for l in lines[1:] if _BANNER.match(l)]
+        if interior:
+            # An interior banner would be split into its own section on
+            # the next read, breaking replace-in-place; emit such panels
+            # as separate tables instead.
+            raise ValueError(
+                "emit() table body contains banner-like lines "
+                f"{interior!r}; emit each as its own table"
+            )
         with capsys.disabled():
             print("\n" + text)
-        with RESULTS_PATH.open("a") as fh:
-            fh.write(text + "\n\n")
+        existing = RESULTS_PATH.read_text() if RESULTS_PATH.exists() else ""
+        body = text.rstrip().splitlines()
+        kept: list[tuple[str, list[str]]] = []
+        replaced = False
+        for header, section_lines in _split_sections(existing):
+            if header == banner:
+                # Replace the first copy; drop stale duplicates left
+                # behind by the old append-only emit.
+                if not replaced:
+                    kept.append((banner, body))
+                    replaced = True
+            else:
+                kept.append((header, section_lines))
+        if not replaced:
+            kept.append((banner, body))
+        RESULTS_PATH.write_text(_render(kept))
 
     return _emit

@@ -26,73 +26,84 @@ from pathlib import Path
 from repro import Campaign, ScenarioGrid
 from repro.analysis.reporting import format_table
 
-workdir = Path(tempfile.mkdtemp(prefix="campaign_sweep_"))
-journal = workdir / "journal.jsonl"
-summary = workdir / "summary.jsonl"
 
-# ----------------------------------------------------------------------
-# 1. The grid DSL: axes are ScenarioSpec fields; `where` prunes the
-#    infeasible corners (k < n, and at most k groups so Psrcs(k) holds by
-#    construction).  240 scenarios from five declarative lines.
-# ----------------------------------------------------------------------
-grid = ScenarioGrid(
-    n=[6, 8, 10],
-    k=[2, 3],
-    num_groups=[1, 2, 3],
-    seed=range(8),
-    noise=[0.0, 0.2],
-    where=[
-        lambda s: s["k"] < s["n"],
-        lambda s: s["num_groups"] <= s["k"],
-    ],
-)
-specs = grid.expand()
-print(f"grid expands to {len(specs)} scenarios; "
-      f"first id: {specs[0].scenario_id}")
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="campaign_sweep_"))
+    journal = workdir / "journal.jsonl"
+    summary = workdir / "summary.jsonl"
 
-# ----------------------------------------------------------------------
-# 2. Run it as a campaign.  Every scenario is a pure function of its
-#    spec, so --jobs only changes wall-clock time, never results.
-# ----------------------------------------------------------------------
-campaign = Campaign(grid, store=journal, jobs=2)
-print()
-print(campaign.run().summary())
-
-# ----------------------------------------------------------------------
-# 3. Resume-by-hash: drop half the journal, re-run, and watch the
-#    campaign execute exactly the missing half.
-# ----------------------------------------------------------------------
-lines = journal.read_text().strip().split("\n")
-random.Random(0).shuffle(lines)
-journal.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
-print()
-print(Campaign(grid, store=journal, jobs=2).run().summary())
-
-# ----------------------------------------------------------------------
-# 4. The canonical summary is grid-ordered with canonical JSON keys —
-#    byte-identical no matter how many workers produced the journal.
-# ----------------------------------------------------------------------
-campaign = Campaign(grid, store=journal)
-campaign.write_summary(summary)
-records = [json.loads(line) for line in summary.read_text().splitlines()]
-print(f"\nsummary: {len(records)} canonical records at {summary}")
-
-# Aggregate a Theorem 1 check straight off the records: decision-value
-# counts never exceed k, and every process decided, in every scenario.
-groups: dict[tuple[int, int], list[dict]] = {}
-for record in records:
-    key = (record["spec"]["n"], record["spec"]["k"])
-    groups.setdefault(key, []).append(record)
-rows = []
-for (n, k), group in sorted(groups.items()):
-    worst = max(r["metrics"]["distinct_decisions"] for r in group)
-    decided = all(r["metrics"]["all_decided"] for r in group)
-    rows.append([n, k, len(group), worst, worst <= k, decided])
-print()
-print(
-    format_table(
-        ["n", "k", "runs", "max_values", "within_k", "all_decided"],
-        rows,
-        title="Theorem 1 over the whole campaign (from the JSONL store)",
+    # ------------------------------------------------------------------
+    # 1. The grid DSL: axes are ScenarioSpec fields; `where` prunes the
+    #    infeasible corners (k < n, and at most k groups so Psrcs(k)
+    #    holds by construction).  240 scenarios from five declarative
+    #    lines.
+    # ------------------------------------------------------------------
+    grid = ScenarioGrid(
+        n=[6, 8, 10],
+        k=[2, 3],
+        num_groups=[1, 2, 3],
+        seed=range(8),
+        noise=[0.0, 0.2],
+        where=[
+            lambda s: s["k"] < s["n"],
+            lambda s: s["num_groups"] <= s["k"],
+        ],
     )
-)
+    specs = grid.expand()
+    print(f"grid expands to {len(specs)} scenarios; "
+          f"first id: {specs[0].scenario_id}")
+
+    # ------------------------------------------------------------------
+    # 2. Run it as a campaign.  Every scenario is a pure function of its
+    #    spec, so --jobs only changes wall-clock time, never results.
+    # ------------------------------------------------------------------
+    campaign = Campaign(grid, store=journal, jobs=2)
+    print()
+    print(campaign.run().summary())
+
+    # ------------------------------------------------------------------
+    # 3. Resume-by-hash: drop half the journal, re-run, and watch the
+    #    campaign execute exactly the missing half.
+    # ------------------------------------------------------------------
+    lines = journal.read_text().strip().split("\n")
+    random.Random(0).shuffle(lines)
+    journal.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+    print()
+    print(Campaign(grid, store=journal, jobs=2).run().summary())
+
+    # ------------------------------------------------------------------
+    # 4. The canonical summary is grid-ordered with canonical JSON keys
+    #    — byte-identical no matter how many workers produced the
+    #    journal.
+    # ------------------------------------------------------------------
+    campaign = Campaign(grid, store=journal)
+    campaign.write_summary(summary)
+    records = [json.loads(line) for line in summary.read_text().splitlines()]
+    print(f"\nsummary: {len(records)} canonical records at {summary}")
+
+    # Aggregate a Theorem 1 check straight off the records: decision-
+    # value counts never exceed k, and every process decided, in every
+    # scenario.
+    groups: dict[tuple[int, int], list[dict]] = {}
+    for record in records:
+        key = (record["spec"]["n"], record["spec"]["k"])
+        groups.setdefault(key, []).append(record)
+    rows = []
+    for (n, k), group in sorted(groups.items()):
+        worst = max(r["metrics"]["distinct_decisions"] for r in group)
+        decided = all(r["metrics"]["all_decided"] for r in group)
+        rows.append([n, k, len(group), worst, worst <= k, decided])
+    print()
+    print(
+        format_table(
+            ["n", "k", "runs", "max_values", "within_k", "all_decided"],
+            rows,
+            title="Theorem 1 over the whole campaign (from the JSONL store)",
+        )
+    )
+
+
+# Workers re-import __main__ under the spawn start method (macOS,
+# Windows); without the guard each worker would relaunch the campaign.
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.engine.campaign import run_campaign
+from repro.engine.executor import require_ok
 from repro.engine.scenarios import ScenarioSpec
 
 
@@ -89,13 +90,15 @@ def latency_distribution(
         )
         for seed in seeds
     ]
-    results = run_campaign(specs, store=store, jobs=jobs)
+    # Infrastructure failures are not theory violations: a crashed
+    # worker must not be tallied into bound_violations.
+    results = require_ok(run_campaign(specs, store=store, jobs=jobs))
     last_rounds: list[int] = []
     stabilizations: list[int] = []
     value_counts: list[int] = []
     violations = 0
     for result in results:
-        if not result.ok or result.last_decision_round is None:
+        if result.last_decision_round is None:
             violations += 1
             continue
         last_rounds.append(result.last_decision_round)

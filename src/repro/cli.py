@@ -181,15 +181,14 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.summary:
         lines = campaign.write_summary(args.summary)
         print(f"\nwrote {lines} canonical summary lines to {args.summary}")
-    status = campaign.status()
-    return 0 if status.complete and status.errors == 0 else 1
+    return 0 if campaign.status().succeeded else 1
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     campaign = _campaign_from_args(args)
     status = campaign.status()
     print(status.summary())
-    return 0 if status.complete else 1
+    return 0 if status.succeeded else 1
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
@@ -207,7 +206,10 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         f"{len(failed)} failed to execute, "
         f"{len(bad)} violated their k bound or failed to terminate"
     )
-    return 0 if results and not bad and not failed else 1
+    # A half-executed grid must not report green: the unexecuted half
+    # could hold the violations.
+    succeeded = campaign.status().succeeded
+    return 0 if succeeded and results and not bad else 1
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -37,6 +37,7 @@ from repro.engine.executor import (
     ScenarioResult,
     execute_scenario,
     execute_scenarios,
+    require_ok,
 )
 from repro.engine.scenarios import (
     ScenarioGrid,
@@ -59,6 +60,7 @@ __all__ = [
     "encode_result",
     "execute_scenario",
     "execute_scenarios",
+    "require_ok",
     "expand_grids",
     "run_campaign",
     "termination_grid",

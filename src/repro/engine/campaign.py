@@ -24,6 +24,7 @@ from repro.engine.executor import (
     STATUS_TIMEOUT,
     ScenarioResult,
     execute_scenarios,
+    is_terminal,
 )
 from repro.engine.scenarios import ScenarioGrid, ScenarioSpec
 from repro.engine.store import ResultStore
@@ -68,6 +69,15 @@ class CampaignStatus:
     @property
     def complete(self) -> bool:
         return self.missing == 0 and self.timeouts == 0
+
+    @property
+    def succeeded(self) -> bool:
+        """Complete with no terminal failures.
+
+        Error records are terminal (resume will not retry them), so a
+        fully-journaled-but-failed campaign is complete yet not
+        succeeded — the CLI's shared green-ness condition."""
+        return self.complete and self.errors == 0
 
     def as_rows(self) -> list[list]:
         return [
@@ -185,14 +195,13 @@ class Campaign:
         self.refresh()
         latest = self._load_latest()
         if resume:
-            # Resume-by-hash: ok and deterministic-error records are
-            # terminal; timeouts stay retriable (mirrors
-            # ResultStore.completed_ids, on the cached snapshot).
+            # Resume-by-hash on the cached snapshot (same rule as
+            # ResultStore.completed_ids).
             todo = [
                 spec
                 for spec in self.specs
                 if latest.get(spec.scenario_id) is None
-                or latest[spec.scenario_id].status == STATUS_TIMEOUT
+                or not is_terminal(latest[spec.scenario_id].status)
             ]
         else:
             todo = list(self.specs)

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import pickle
 import time
 from dataclasses import dataclass
+from multiprocessing.pool import MaybeEncodingError
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.properties import check_agreement_properties
@@ -42,6 +44,16 @@ from repro.rounds.simulator import RoundSimulator, SimulationConfig
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+
+
+def is_terminal(status: str) -> bool:
+    """Whether a journaled status is final for resume purposes.
+
+    ``ok`` and deterministic ``error`` records are never re-executed;
+    ``timeout`` (including transient chunk failures journaled as
+    timeouts) stays retriable.  The single source of truth for the
+    resume invariant — used by both ``ResultStore`` and ``Campaign``."""
+    return status != STATUS_TIMEOUT
 
 
 @dataclass(frozen=True)
@@ -84,6 +96,26 @@ class ScenarioResult:
         cls, spec: ScenarioSpec, error: str, status: str = STATUS_ERROR
     ) -> "ScenarioResult":
         return cls(spec=spec, status=status, error=error)
+
+
+def require_ok(
+    results: Sequence[ScenarioResult],
+) -> Sequence[ScenarioResult]:
+    """Raise if any result is non-ok, surfacing the workers' errors.
+
+    The executor converts worker exceptions into ``status != "ok"``
+    records with ``None`` metrics; callers that build tables from the
+    metrics would only blow up later (e.g. ``distinct_decisions > k``
+    raising TypeError) with the real traceback lost."""
+    failed = [r for r in results if not r.ok]
+    if failed:
+        details = "; ".join(
+            f"{r.scenario_id} ({r.status}): {r.error}" for r in failed[:3]
+        )
+        raise RuntimeError(
+            f"{len(failed)}/{len(results)} scenarios failed: {details}"
+        )
+    return results
 
 
 def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
@@ -244,12 +276,30 @@ def execute_scenarios(
                 if handle.ready():
                     try:
                         payload = handle.get()
-                    except Exception as exc:  # worker-side infrastructure
+                    except Exception as exc:
+                        # Chunk-level failure: scenario-level exceptions
+                        # are already contained inside execute_scenario,
+                        # so this is either a deterministic task/result
+                        # (un)pickling failure — terminal, a retry would
+                        # fail identically — or transient worker
+                        # infrastructure (MemoryError, broken pipes),
+                        # journaled retriable like a timeout so a
+                        # resumed campaign re-runs the chunk.
+                        deterministic = isinstance(
+                            exc,
+                            (pickle.PicklingError, MaybeEncodingError,
+                             AttributeError, TypeError),
+                        )
                         payload = [
                             (
                                 idx,
                                 ScenarioResult.failure(
-                                    spec, f"{type(exc).__name__}: {exc}"
+                                    spec,
+                                    "chunk failed: "
+                                    f"{type(exc).__name__}: {exc}",
+                                    status=STATUS_ERROR
+                                    if deterministic
+                                    else STATUS_TIMEOUT,
                                 ),
                             )
                             for idx, spec in chunk

@@ -22,8 +22,8 @@ from typing import Iterable, Iterator
 
 from repro.engine.executor import (
     STATUS_OK,
-    STATUS_TIMEOUT,
     ScenarioResult,
+    is_terminal,
 )
 from repro.engine.scenarios import ScenarioSpec
 
@@ -134,12 +134,19 @@ class ResultStore:
                 if not line:
                     continue
                 try:
-                    yield decode_result(json.loads(line))
+                    record = json.loads(line)
+                    if not isinstance(record, dict):
+                        continue
+                    yield decode_result(record)
                 except SchemaVersionError:
                     raise
-                except (json.JSONDecodeError, KeyError, ValueError):
+                except (json.JSONDecodeError, AttributeError, KeyError,
+                        TypeError, ValueError):
                     # Partial trailing line from a killed writer, or a
-                    # foreign line: resume simply re-runs that scenario.
+                    # foreign line (TypeError/AttributeError: valid JSON
+                    # whose spec is missing ScenarioSpec fields or has
+                    # the wrong shape): resume simply re-runs that
+                    # scenario.
                     continue
 
     def load(self) -> dict[str, ScenarioResult]:
@@ -156,7 +163,7 @@ class ResultStore:
         return {
             sid
             for sid, result in self.load().items()
-            if result.status != STATUS_TIMEOUT
+            if is_terminal(result.status)
         }
 
     def missing(self, specs: Iterable[ScenarioSpec]) -> list[ScenarioSpec]:

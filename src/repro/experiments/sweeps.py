@@ -20,8 +20,12 @@ from typing import Any, Sequence
 
 from repro.adversaries.base import Adversary
 from repro.core.algorithm import make_processes
-from repro.engine.executor import ScenarioResult, execute_scenarios
-from repro.engine.scenarios import ScenarioSpec, agreement_grid
+from repro.engine.executor import (
+    ScenarioResult,
+    execute_scenarios,
+    require_ok,
+)
+from repro.engine.scenarios import agreement_grid, termination_grid
 from repro.rounds.run import Run
 from repro.rounds.simulator import RoundSimulator, SimulationConfig
 
@@ -137,7 +141,7 @@ def agreement_sweep(
     grid = agreement_grid(
         ns, ks, seeds, noises=(noise,), topology=topology
     )
-    results = execute_scenarios(grid.expand(), jobs=jobs)
+    results = require_ok(execute_scenarios(grid.expand(), jobs=jobs))
     return [sweep_result_from_scenario(r) for r in results]
 
 
@@ -150,17 +154,6 @@ def termination_sweep(
 ) -> list[SweepResult]:
     """ALG-TERM: decision latency vs Lemma 11's ``r_ST + 2n - 1`` bound
     across system sizes (``k = m = min(num_groups, n)``)."""
-    specs = [
-        ScenarioSpec(
-            n=n,
-            k=min(num_groups, n),
-            num_groups=min(num_groups, n),
-            seed=seed,
-            noise=noise,
-            topology="cycle",
-        )
-        for n in ns
-        for seed in seeds
-    ]
-    results = execute_scenarios(specs, jobs=jobs)
+    specs = termination_grid(ns, seeds, noise=noise, num_groups=num_groups)
+    results = require_ok(execute_scenarios(specs, jobs=jobs))
     return [sweep_result_from_scenario(r) for r in results]

@@ -119,6 +119,37 @@ class TestCampaignCommands:
         assert main(["campaign", "status", "--store", store] + self.GRID) == 1
         assert "missing               8" in capsys.readouterr().out
 
+    def test_report_on_partial_store_fails(self, capsys, tmp_path):
+        # A half-executed grid must not report green even when every
+        # stored scenario is clean.
+        store = str(tmp_path / "journal.jsonl")
+        assert main(["campaign", "run", "--store", store] + self.GRID) == 0
+        capsys.readouterr()
+        bigger = ["-n", "5", "6", "-k", "2", "--seeds", "3",
+                  "--noise", "0.1"]
+        assert main(
+            ["campaign", "report", "--store", store] + bigger
+        ) == 1
+        assert "/12 scenarios stored" in capsys.readouterr().out
+
+    def test_status_on_error_records_fails(self, capsys, tmp_path):
+        # Errors are terminal (resume won't retry), so a fully journaled
+        # but failed campaign must not exit green — mirrors `run`.
+        from repro.engine import ResultStore, agreement_grid
+        from repro.engine.executor import ScenarioResult
+
+        store = ResultStore(tmp_path / "journal.jsonl")
+        grid = agreement_grid(
+            ns=[5, 6], ks=[2], seeds=range(2), noises=[0.1]
+        )
+        for spec in grid.expand():
+            store.append(ScenarioResult.failure(spec, "boom"))
+        path = str(tmp_path / "journal.jsonl")
+        assert main(["campaign", "status", "--store", path] + self.GRID) == 1
+        out = capsys.readouterr().out
+        assert "errors                8" in out
+        assert "complete              yes" in out
+
     def test_grid_json_override(self, capsys, tmp_path):
         grid_file = tmp_path / "grid.json"
         grid_file.write_text('{"axes": {"n": [5], "seed": [0, 1]}}')

@@ -10,11 +10,17 @@ from repro.engine.executor import (
     default_chunksize,
     execute_scenario,
     execute_scenarios,
+    require_ok,
 )
 from repro.engine.scenarios import ScenarioSpec
 from repro.experiments.sweeps import run_algorithm1
 from repro.graphs.condensation import root_components
 from repro.predicates.psrcs import Psrcs
+
+
+# Module-level so the pool can pickle it to a worker by reference.
+def _chunk_out_of_memory(chunk):
+    raise MemoryError("worker infra failure")
 
 
 class TestExecuteScenario:
@@ -48,6 +54,16 @@ class TestExecuteScenario:
         assert "ValueError" in result.error
         assert result.num_rounds is None
         assert result.decision_values == ()
+
+    def test_require_ok_surfaces_worker_errors(self):
+        specs = [
+            ScenarioSpec(n=5, num_groups=2, seed=0),
+            ScenarioSpec(n=5, num_groups=7, seed=0),  # infeasible
+        ]
+        results = execute_scenarios(specs, jobs=1)
+        with pytest.raises(RuntimeError, match="1/2 scenarios failed"):
+            require_ok(results)
+        assert require_ok(results[:1]) == results[:1]
 
     def test_baseline_algorithms_run(self):
         spec = ScenarioSpec(
@@ -96,6 +112,36 @@ class TestExecuteScenarios:
 
     def test_empty_spec_list(self):
         assert execute_scenarios([], jobs=4) == []
+
+    def test_deterministic_chunk_failure_is_terminal(self, monkeypatch):
+        # A task that cannot be pickled fails identically on every
+        # retry; the chunk must come back as a terminal "error" record
+        # so a resumed campaign converges instead of retrying forever.
+        import repro.engine.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "_execute_chunk", lambda chunk: None
+        )
+        specs = [ScenarioSpec(n=4, k=2, num_groups=2, seed=s)
+                 for s in range(2)]
+        results = execute_scenarios(specs, jobs=2)
+        assert [r.status for r in results] == ["error", "error"]
+        assert all("chunk failed" in r.error for r in results)
+
+    def test_transient_chunk_failure_is_retriable(self, monkeypatch):
+        # Transient infrastructure (a worker running out of memory) must
+        # come back retriable, like a timeout, so a resumed campaign
+        # re-runs the chunk instead of skipping it forever.
+        import repro.engine.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "_execute_chunk", _chunk_out_of_memory
+        )
+        specs = [ScenarioSpec(n=4, k=2, num_groups=2, seed=s)
+                 for s in range(2)]
+        results = execute_scenarios(specs, jobs=2)
+        assert [r.status for r in results] == ["timeout", "timeout"]
+        assert all("MemoryError" in r.error for r in results)
 
 
 class TestTimeouts:

@@ -116,6 +116,25 @@ class TestResultStore:
         again = ResultStore(path)
         assert again.load() == {result.scenario_id: result}
 
+    def test_foreign_valid_json_lines_skipped(self, tmp_path):
+        # Valid JSON whose spec dict is missing ScenarioSpec fields
+        # (hand-edited journal, foreign tool) is tolerated like any
+        # corrupt line: resume re-runs that scenario.
+        path = tmp_path / "journal.jsonl"
+        store = ResultStore(path)
+        result = _ok_result()
+        store.append(result)
+        with path.open("a") as fh:
+            fh.write('{"spec": {}, "status": "ok"}\n')
+            fh.write('{"spec": "hello", "status": "ok"}\n')
+            fh.write('{"spec": {"n": 4}, "metrics": 5}\n')
+            fh.write('{"not": "a record"}\n')
+            fh.write('null\n')
+            fh.write('[1, 2]\n')
+            fh.write('"stray string"\n')
+        again = ResultStore(path)
+        assert again.load() == {result.scenario_id: result}
+
     def test_missing_file_is_empty(self, tmp_path):
         store = ResultStore(tmp_path / "nope.jsonl")
         assert store.load() == {}
