@@ -11,16 +11,26 @@ re-emitting a table replaces the previous copy in place, so any pytest
 invocation that happens to collect benchmarks — not just the canonical
 ``pytest benchmarks -q --benchmark-only`` run — leaves exactly one copy
 of each table instead of appending duplicates.
+
+:func:`record_fastpath` additionally maintains a *machine-readable* perf
+trajectory in ``benchmarks/BENCH_FASTPATH.json`` (per-workload wall-clock
+for the reference vs vectorized execution backend, plus host metadata),
+so future PRs can track backend speedups without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
 import re
+import statistics
 
 import pytest
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+BENCH_FASTPATH_PATH = pathlib.Path(__file__).parent / "BENCH_FASTPATH.json"
 
 # Banner convention for every emitted table.  Bodies may contain blank
 # lines (FIG1's panels), so sections are delimited by banner lines, not
@@ -60,6 +70,64 @@ def pytest_configure(config):
     ]
     if all(t in (bench_dir, bench_dir.parent) for t in targets):
         RESULTS_PATH.write_text("")
+
+
+@pytest.fixture
+def record_fastpath():
+    """Upsert one workload's backend comparison into BENCH_FASTPATH.json.
+
+    Each entry records wall-clock for the reference and vectorized
+    backends over the same scenario list, plus the host it was measured
+    on (per entry, so partial re-runs on another machine stay correctly
+    attributed); the file-level ``median_speedup`` is the median across
+    all recorded workloads.
+    """
+
+    def _record(
+        workload: str,
+        reference_s: float,
+        vectorized_s: float,
+        scenarios: int,
+        extra: dict | None = None,
+    ) -> None:
+        import numpy
+
+        data: dict = {}
+        if BENCH_FASTPATH_PATH.exists():
+            try:
+                data = json.loads(BENCH_FASTPATH_PATH.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        if not isinstance(data, dict):
+            data = {}
+        entry = {
+            "scenarios": scenarios,
+            "reference_s": round(reference_s, 4),
+            "vectorized_s": round(vectorized_s, 4),
+            "speedup": round(reference_s / vectorized_s, 2),
+            # Host metadata lives *per workload* so a partial re-run on a
+            # different machine cannot misattribute the untouched entries.
+            "host": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "numpy": numpy.__version__,
+                "cpu_count": os.cpu_count(),
+            },
+        }
+        if extra:
+            entry.update(extra)
+        workloads = data.setdefault("workloads", {})
+        workloads[workload] = entry
+        data.pop("host", None)  # legacy file-level host block
+        data["schema"] = 1
+        data["median_speedup"] = round(
+            statistics.median(w["speedup"] for w in workloads.values()), 2
+        )
+        BENCH_FASTPATH_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _record
 
 
 @pytest.fixture

@@ -1,0 +1,126 @@
+"""FASTPATH: the vectorized execution backend vs the reference simulator.
+
+Times the two backends over the same campaign ensemble workloads the
+TERMINATION and LATENCY-DIST experiments run — per-scenario results are
+asserted byte-identical (canonical JSON lines) before any speedup is
+reported, so the numbers always compare *equivalent* work.  Wall-clocks
+land in ``benchmarks/BENCH_FASTPATH.json`` (machine-readable trajectory)
+and the per-``n`` breakdown in ``results.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.engine.executor import execute_scenarios
+from repro.engine.scenarios import ScenarioSpec, termination_grid
+from repro.engine.store import canonical_line
+
+# Keep the floor conservative vs the measured ~5-9x so a loaded CI box
+# cannot flake the suite; BENCH_FASTPATH.json records the real ratios.
+MIN_SPEEDUP = 2.5
+
+HEADERS = ["group", "scenarios", "ref_ms", "vect_ms", "speedup"]
+
+
+def _time_backends(specs):
+    """(reference_s, vectorized_s) for one scenario list, equivalence
+    asserted first."""
+    reference = execute_scenarios(specs, backend="reference")
+    vectorized = execute_scenarios(specs, backend="vectorized")
+    assert [canonical_line(r) for r in reference] == [
+        canonical_line(r) for r in vectorized
+    ], "backends disagree — speedup numbers would be meaningless"
+    t0 = time.perf_counter()
+    execute_scenarios(specs, backend="reference")
+    t1 = time.perf_counter()
+    execute_scenarios(specs, backend="vectorized")
+    t2 = time.perf_counter()
+    return t1 - t0, t2 - t1
+
+
+def _compare_groups(groups):
+    rows, total_ref, total_vect, total_n = [], 0.0, 0.0, 0
+    for label, specs in groups:
+        ref_s, vect_s = _time_backends(specs)
+        rows.append(
+            [label, len(specs), round(ref_s * 1e3, 1),
+             round(vect_s * 1e3, 1), round(ref_s / vect_s, 1)]
+        )
+        total_ref += ref_s
+        total_vect += vect_s
+        total_n += len(specs)
+    rows.append(
+        ["total", total_n, round(total_ref * 1e3, 1),
+         round(total_vect * 1e3, 1), round(total_ref / total_vect, 1)]
+    )
+    return rows, total_ref, total_vect, total_n
+
+
+def test_bench_fastpath_termination(benchmark, emit, record_fastpath):
+    groups = [
+        (f"n={n}", termination_grid(ns=[n], seeds=range(5), noise=0.15))
+        for n in (6, 9, 12, 16)
+    ]
+    rows = benchmark.pedantic(
+        lambda: _compare_groups(groups)[0], rounds=1, iterations=1
+    )
+    total_row = rows[-1]
+    ref_s, vect_s, total = total_row[2] / 1e3, total_row[3] / 1e3, total_row[1]
+    assert ref_s / vect_s >= MIN_SPEEDUP
+    record_fastpath(
+        "TERMINATION", ref_s, vect_s, total,
+        extra={"grid": "termination_grid(ns=[6,9,12,16], seeds=0..4, noise=0.15)"},
+    )
+    emit(
+        format_table(
+            HEADERS,
+            rows,
+            title="FASTPATH-TERM — vectorized backend vs reference on the "
+            "TERMINATION ensemble (identical metrics asserted first)",
+        )
+    )
+
+
+def test_bench_fastpath_latency_dist(benchmark, emit, record_fastpath):
+    scaling = [
+        (
+            f"n={n}",
+            [
+                ScenarioSpec(n=n, k=2, num_groups=2, seed=s, noise=0.2)
+                for s in range(5)
+            ],
+        )
+        for n in (6, 9, 12, 16)
+    ]
+    noise_sens = [
+        (
+            f"noise={noise}",
+            [
+                ScenarioSpec(n=9, k=3, num_groups=3, seed=s, noise=noise)
+                for s in range(5)
+            ],
+        )
+        for noise in (0.0, 0.1, 0.3, 0.5)
+    ]
+    rows = benchmark.pedantic(
+        lambda: _compare_groups(scaling + noise_sens)[0],
+        rounds=1,
+        iterations=1,
+    )
+    total_row = rows[-1]
+    ref_s, vect_s, total = total_row[2] / 1e3, total_row[3] / 1e3, total_row[1]
+    assert ref_s / vect_s >= MIN_SPEEDUP
+    record_fastpath(
+        "LATENCY-DIST", ref_s, vect_s, total,
+        extra={"grid": "latency scaling n=6..16 + noise sensitivity n=9, 5 seeds"},
+    )
+    emit(
+        format_table(
+            HEADERS,
+            rows,
+            title="FASTPATH-LAT — vectorized backend vs reference on the "
+            "LATENCY-DIST ensembles (identical metrics asserted first)",
+        )
+    )

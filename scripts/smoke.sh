@@ -2,7 +2,9 @@
 # Smoke check: tier-1 tests plus a ~30-second mini-campaign that exercises
 # the parallel executor, the JSONL store, resume-by-hash and the canonical
 # summary — so the multiprocessing path is driven on every change, not
-# just in CI benchmarks.
+# just in CI benchmarks.  A final pass runs the same tiny grid on both
+# execution backends (reference simulator vs vectorized fast path) and
+# byte-compares the canonical summaries.
 #
 # Usage: scripts/smoke.sh [extra pytest args...]
 
@@ -40,6 +42,18 @@ python -m repro campaign run --store "$store" --jobs 2 \
 
 cmp "$summary_a" "$summary_b"
 echo "summaries byte-identical after resume: OK"
+
+echo
+echo "== backend equivalence: vectorized fast path vs reference =="
+eq_grid=(-n 4 6 -k 2 --seeds 3 --noise 0.0 0.25)
+summary_ref="$workdir/summary_reference.jsonl"
+summary_vec="$workdir/summary_vectorized.jsonl"
+python -m repro campaign run --store "$workdir/journal_ref.jsonl" \
+    --backend reference --summary "$summary_ref" "${eq_grid[@]}"
+python -m repro campaign run --store "$workdir/journal_vec.jsonl" \
+    --backend vectorized --summary "$summary_vec" "${eq_grid[@]}"
+cmp "$summary_ref" "$summary_vec"
+echo "reference and vectorized summaries byte-identical: OK"
 
 echo
 python -m repro campaign status --store "$store" "${grid[@]}"

@@ -50,6 +50,8 @@ from repro.engine import (
     ScenarioSpec,
     agreement_grid,
     execute_scenario,
+    execute_scenario_vectorized,
+    execute_scenario_with_backend,
     execute_scenarios,
     run_campaign,
     termination_grid,
@@ -63,12 +65,15 @@ from repro.experiments.sweeps import (
 from repro.graphs import DiGraph, RoundLabeledDigraph
 from repro.predicates import Psrc, Psrcs, PTrue
 from repro.rounds import (
+    FastPathRun,
+    FastPathUnsupported,
     Message,
     Process,
     RoundSimulator,
     Run,
     SimulationConfig,
     simulate,
+    simulate_fastpath,
 )
 from repro.skeleton import SkeletonTracker
 
@@ -83,6 +88,9 @@ __all__ = [
     "SimulationConfig",
     "Run",
     "simulate",
+    "FastPathRun",
+    "FastPathUnsupported",
+    "simulate_fastpath",
     # graphs
     "DiGraph",
     "RoundLabeledDigraph",
@@ -126,6 +134,8 @@ __all__ = [
     "ScenarioSpec",
     "agreement_grid",
     "execute_scenario",
+    "execute_scenario_vectorized",
+    "execute_scenario_with_backend",
     "execute_scenarios",
     "run_campaign",
     "termination_grid",

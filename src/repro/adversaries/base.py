@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.graphs.digraph import DiGraph
 
 
@@ -39,6 +41,57 @@ class Adversary(abc.ABC):
         :meth:`declared_stable_graph` (when one is declared); the simulator
         adds missing self-loops when self-delivery is enforced.
         """
+
+    def adjacency_stack(self, rounds: int, start: int = 1) -> np.ndarray:
+        """A block of the run as one boolean tensor: ``stack[i]`` is the
+        adjacency matrix of ``G^(start + i)`` for ``rounds`` consecutive
+        rounds beginning at ``start``.
+
+        This is the batch entry point of the vectorized simulation fast
+        path (:mod:`repro.rounds.fastpath`), which pulls the schedule in
+        blocks so early-deciding runs never pay for the full round budget.
+        The contract is exactness: ``stack[i]`` must equal
+        ``to_adjacency(self.graph(start + i), n)`` bit for bit — same
+        seeds, same RNG streams — so that the fast path and the reference
+        :class:`~repro.rounds.simulator.RoundSimulator` observe the *same*
+        run.  This default honors the contract by falling back through
+        :meth:`graph`; subclasses with vectorizable randomness override it
+        to build the tensor without materializing per-round
+        :class:`DiGraph` objects.
+        """
+        from repro.graphs.generators import to_adjacency
+
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if start < 1:
+            raise ValueError("rounds are 1-indexed")
+        stack = np.zeros((rounds, self.n, self.n), dtype=bool)
+        for i in range(rounds):
+            stack[i] = to_adjacency(self.graph(start + i), self.n)
+        return stack
+
+    def _constant_stack(self, graph: DiGraph, rounds: int, start: int) -> np.ndarray:
+        """One conversion of ``graph`` broadcast across ``rounds`` rounds —
+        the :meth:`adjacency_stack` body shared by every adversary whose
+        run is static (partition, static, ...)."""
+        from repro.graphs.generators import to_adjacency
+
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if start < 1:
+            raise ValueError("rounds are 1-indexed")
+        base = to_adjacency(graph, self.n)
+        return np.broadcast_to(base, (rounds, self.n, self.n)).copy()
+
+    def declared_stable_matrix(self) -> np.ndarray | None:
+        """The declared stable skeleton as a boolean adjacency matrix
+        (``None`` when the adversary makes no commitment)."""
+        from repro.graphs.generators import to_adjacency
+
+        stable = self.declared_stable_graph()
+        if stable is None:
+            return None
+        return to_adjacency(stable, self.n)
 
     def declared_stable_graph(self) -> DiGraph | None:
         """The committed-forever edge set, i.e. the true ``G^∩∞``.

@@ -101,5 +101,33 @@ class CrashAdversary(Adversary):
                 g.add_edge(u, v)
         return g
 
+    def adjacency_stack(self, rounds: int, start: int = 1) -> np.ndarray:
+        """A block of the run in one pass: all-ones rows, crashed senders'
+        rows cleared from their crash round on, one ``(seed, u, crash)``
+        partial-delivery draw per crash — the identical streams
+        :meth:`graph` consumes, so the tensor matches it bit for bit."""
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if start < 1:
+            raise ValueError("rounds are 1-indexed")
+        n = self.n
+        stack = np.ones((rounds, n, n), dtype=bool)
+        end = start + rounds - 1
+        for u, crash in self.crash_rounds.items():
+            if crash < start:
+                stack[:, u, :] = False
+            elif crash <= end:
+                local = crash - start
+                stack[local + 1 :, u, :] = False
+                if self.clean:
+                    stack[local, u, :] = False
+                else:
+                    rng = np.random.default_rng([self.seed, u, crash])
+                    stack[local, u, :] = rng.random(n) < 0.5
+        # base_graph() self-loops: a process always hears itself.
+        idx = np.arange(n)
+        stack[:, idx, idx] = True
+        return stack
+
     def declared_stable_graph(self) -> DiGraph:
         return self._stable

@@ -110,6 +110,8 @@ class GroupedSourceAdversary(Adversary):
         self.topology = topology
         self.sources = [g[0] for g in self.groups]
         self._stable = self._build_stable(extra_stable_edges)
+        # Lazily cached adjacency of the stable graph (adjacency_stack).
+        self._stable_matrix: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def _build_stable(self, extra: Iterable[tuple[int, int]]) -> DiGraph:
@@ -143,6 +145,31 @@ class GroupedSourceAdversary(Adversary):
             for u, v in zip(rows.tolist(), cols.tolist()):
                 g.add_edge(u, v)
         return g
+
+    def adjacency_stack(self, rounds: int, start: int = 1) -> np.ndarray:
+        """A block of the run as one tensor, without per-round ``DiGraph``
+        objects: the stable matrix broadcast across rounds, OR-ed with the
+        per-round Bernoulli noise masks.  Each mask comes from the same
+        ``(seed, round)`` RNG stream :meth:`graph` uses, so the tensor is
+        bit-identical to the per-round graphs."""
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if start < 1:
+            raise ValueError("rounds are 1-indexed")
+        from repro.graphs.generators import to_adjacency
+
+        if self._stable_matrix is None:
+            self._stable_matrix = to_adjacency(self._stable, self.n)
+        stack = np.broadcast_to(
+            self._stable_matrix, (rounds, self.n, self.n)
+        ).copy()
+        if self.noise > 0.0:
+            for i in range(rounds):
+                r = start + i
+                if r % self.quiet_period != 0:
+                    rng = np.random.default_rng([self.seed, r])
+                    stack[i] |= rng.random((self.n, self.n)) < self.noise
+        return stack
 
     def declared_stable_graph(self) -> DiGraph:
         return self._stable

@@ -78,6 +78,10 @@ class PartitionAdversary(Adversary):
         # needs loners (and s) to receive nothing extra in *any* round.
         return self._graph
 
+    def adjacency_stack(self, rounds: int, start: int = 1):
+        """One conversion, broadcast across all rounds (the run is static)."""
+        return self._constant_stack(self._graph, rounds, start)
+
     def declared_stable_graph(self) -> DiGraph:
         return self._graph
 

@@ -30,6 +30,10 @@ class StaticAdversary(Adversary):
     def graph(self, round_no: int) -> DiGraph:
         return self._graph
 
+    def adjacency_stack(self, rounds: int, start: int = 1):
+        """One conversion, broadcast across all rounds (the run is static)."""
+        return self._constant_stack(self._graph, rounds, start)
+
     def declared_stable_graph(self) -> DiGraph:
         return self._graph
 

@@ -171,6 +171,7 @@ def _campaign_from_args(args: argparse.Namespace):
         store=args.store,
         jobs=getattr(args, "jobs", 1),
         timeout=getattr(args, "timeout", None),
+        backend=getattr(args, "backend", "reference"),
     )
 
 
@@ -298,6 +299,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_args(p_crun)
     p_crun.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = serial)")
+    p_crun.add_argument(
+        "--backend",
+        choices=["reference", "vectorized", "auto"],
+        default="reference",
+        help="execution engine: the per-object reference simulator, the "
+        "batched-matrix fast path, or auto (fast path with transparent "
+        "fallback); metrics and summaries are identical either way",
+    )
     p_crun.add_argument("--timeout", type=float, default=None,
                         help="per-scenario time budget in seconds")
     p_crun.add_argument("--no-resume", action="store_true",

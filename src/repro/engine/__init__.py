@@ -16,11 +16,17 @@ fleet-scale workload generator:
   serial fallback, chunked dispatch and per-chunk timeouts.  Results are
   deterministic regardless of worker count: every scenario is a pure
   function of its spec, and outputs are re-ordered into grid order.
+* :mod:`repro.engine.backends` — **execution backends**: the reference
+  :class:`~repro.rounds.simulator.RoundSimulator` vs the vectorized
+  batched-matrix fast path (:mod:`repro.rounds.fastpath`), selected via
+  ``execute_scenarios(..., backend={"reference","vectorized","auto"})``.
+  Metrics are identical across backends; ``auto`` falls back on
+  :class:`FastPathUnsupported`.
 * :mod:`repro.engine.store` — an append-only **JSONL result store**
   (:class:`ResultStore`) with a versioned codec and resume-by-hash.
 * :mod:`repro.engine.campaign` — the **campaign API**
   (:class:`Campaign`), wired into the CLI as
-  ``skeleton-agreement campaign run/status/report --jobs N``.
+  ``skeleton-agreement campaign run/status/report --jobs N --backend B``.
 
 Quickstart
 ----------
@@ -32,6 +38,12 @@ Quickstart
 12
 """
 
+from repro.engine.backends import (
+    BACKENDS,
+    execute_scenario_vectorized,
+    execute_scenario_with_backend,
+    fastpath_supported,
+)
 from repro.engine.campaign import Campaign, CampaignReport, run_campaign
 from repro.engine.executor import (
     ScenarioResult,
@@ -47,10 +59,13 @@ from repro.engine.scenarios import (
     termination_grid,
 )
 from repro.engine.store import ResultStore, decode_result, encode_result
+from repro.rounds.fastpath import FastPathUnsupported
 
 __all__ = [
+    "BACKENDS",
     "Campaign",
     "CampaignReport",
+    "FastPathUnsupported",
     "ResultStore",
     "ScenarioGrid",
     "ScenarioResult",
@@ -59,7 +74,10 @@ __all__ = [
     "decode_result",
     "encode_result",
     "execute_scenario",
+    "execute_scenario_vectorized",
+    "execute_scenario_with_backend",
     "execute_scenarios",
+    "fastpath_supported",
     "require_ok",
     "expand_grids",
     "run_campaign",

@@ -1,0 +1,152 @@
+"""Execution backends: the reference simulator and the vectorized fast path.
+
+One scenario can be executed two ways:
+
+* ``"reference"`` — :func:`repro.engine.executor.execute_scenario`: the
+  per-object :class:`~repro.rounds.simulator.RoundSimulator`.  Supports
+  everything (state histories, message recording, every algorithm).
+* ``"vectorized"`` — :func:`execute_scenario_vectorized`: the batched
+  matrix kernel in :mod:`repro.rounds.fastpath`.  Covers exactly the
+  sweep/latency/distribution workloads (Algorithm 1, summary metrics
+  only) and raises :class:`FastPathUnsupported` for anything else.
+* ``"auto"`` — try the fast path, transparently fall back to the
+  reference simulator when the scenario is out of its scope (figure1 /
+  lemma-checker style workloads that need full state histories, baseline
+  algorithms, non-integer proposals).
+
+Both backends are *exactly equivalent* where they overlap: the fast path
+consumes bit-identical adversary schedules
+(:meth:`~repro.adversaries.base.Adversary.adjacency_stack`) and mirrors
+Algorithm 1's update order, so the resulting metrics — and therefore the
+canonical campaign summaries — are byte-identical.
+``tests/test_fastpath_equivalence.py`` enforces this, and
+``scripts/smoke.sh`` diffs summaries from both backends on every change.
+Results are tagged with the backend that produced them (journal records
+only — canonical summaries stay provenance-free so they compare equal
+across backends).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import DecisionStats
+from repro.engine.executor import ScenarioResult, execute_scenario
+from repro.engine.scenarios import ScenarioSpec
+from repro.graphs.matrices import root_component_count_matrix
+from repro.predicates.psrcs import Psrcs
+from repro.rounds.fastpath import FastPathUnsupported, simulate_fastpath
+
+BACKEND_REFERENCE = "reference"
+BACKEND_VECTORIZED = "vectorized"
+BACKEND_AUTO = "auto"
+BACKENDS = (BACKEND_REFERENCE, BACKEND_VECTORIZED, BACKEND_AUTO)
+
+# Algorithms the fast path covers; everything else falls back/raises.
+_FASTPATH_ALGORITHMS = frozenset({"algorithm1"})
+
+
+def fastpath_supported(spec: ScenarioSpec) -> bool:
+    """Whether the vectorized backend covers this scenario."""
+    return spec.algorithm in _FASTPATH_ALGORITHMS
+
+
+def execute_scenario_vectorized(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario through the batched matrix fast path.
+
+    Raises
+    ------
+    FastPathUnsupported
+        When the scenario is outside the fast path's scope (so ``auto``
+        can fall back *before* any work is done).  Every other exception
+        is contained into an ``"error"`` result, mirroring
+        :func:`~repro.engine.executor.execute_scenario`.
+    """
+    if not fastpath_supported(spec):
+        raise FastPathUnsupported(
+            f"algorithm {spec.algorithm!r} has no vectorized fast path"
+        )
+    try:
+        adversary = spec.build_adversary()
+        fast = simulate_fastpath(
+            adversary.adjacency_stack,
+            list(range(spec.n)),
+            purge_window=spec.opt("purge_window"),
+            prune_unreachable=spec.opt("prune_unreachable", True),
+            max_rounds=spec.resolved_max_rounds(),
+        )
+        # Run-level (once-per-scenario) analysis goes through the matrix
+        # kernels, which the test suite cross-validates against the
+        # set-based machinery the reference path uses — on the *same*
+        # stable skeleton, so equality is structural, not approximate.
+        declared_matrix = adversary.declared_stable_matrix()
+        stable_matrix = (
+            declared_matrix
+            if declared_matrix is not None
+            else fast.final_skeleton_matrix()
+        )
+        r_st = fast.stabilization_round(declared_matrix)
+        decision_rounds = sorted(fast.decision_rounds().values())
+        stats = DecisionStats(
+            n=fast.n,
+            num_rounds=fast.num_rounds,
+            num_decided=len(decision_rounds),
+            first_decision_round=decision_rounds[0] if decision_rounds else None,
+            last_decision_round=decision_rounds[-1] if decision_rounds else None,
+            stabilization=r_st,
+            lemma11_bound=(r_st + 2 * fast.n - 1) if r_st is not None else None,
+            stabilization_known=declared_matrix is not None,
+        )
+        values = fast.decision_values()
+        proposals = set(fast.initial_values)
+        return ScenarioResult(
+            spec=spec,
+            backend=BACKEND_VECTORIZED,
+            num_rounds=fast.num_rounds,
+            root_components=root_component_count_matrix(stable_matrix),
+            psrcs_holds=Psrcs(spec.k).check_skeleton_matrix(stable_matrix).holds,
+            distinct_decisions=len(values),
+            all_decided=fast.all_decided(),
+            k_agreement_holds=len(values) <= spec.k,
+            validity_holds=values <= proposals,
+            first_decision_round=stats.first_decision_round,
+            last_decision_round=stats.last_decision_round,
+            stabilization=stats.stabilization,
+            lemma11_bound=stats.lemma11_bound,
+            within_bound=stats.within_bound,
+            decision_values=tuple(sorted(values, key=repr)),
+        )
+    except FastPathUnsupported:
+        raise
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return ScenarioResult.failure(
+            spec,
+            f"{type(exc).__name__}: {exc}",
+            backend=BACKEND_VECTORIZED,
+        )
+
+
+def execute_scenario_with_backend(
+    spec: ScenarioSpec, backend: str = BACKEND_REFERENCE
+) -> ScenarioResult:
+    """Dispatch one scenario to a backend (the executor's worker kernel).
+
+    ``"auto"`` prefers the fast path and silently falls back to the
+    reference simulator on :class:`FastPathUnsupported`.  A *forced*
+    ``"vectorized"`` backend instead reports unsupported scenarios as
+    ``"error"`` results — an explicit choice must not silently execute on
+    a different engine.
+    """
+    if backend == BACKEND_REFERENCE:
+        return execute_scenario(spec)
+    if backend == BACKEND_VECTORIZED:
+        try:
+            return execute_scenario_vectorized(spec)
+        except FastPathUnsupported as exc:
+            return ScenarioResult.failure(
+                spec, f"FastPathUnsupported: {exc}", backend=BACKEND_VECTORIZED
+            )
+    if backend == BACKEND_AUTO:
+        try:
+            return execute_scenario_vectorized(spec)
+        except FastPathUnsupported:
+            return execute_scenario(spec)
+    raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")

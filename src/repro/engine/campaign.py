@@ -145,6 +145,9 @@ class Campaign:
         Default worker count for :meth:`run`.
     timeout:
         Default per-scenario time budget in seconds.
+    backend:
+        Default execution engine for :meth:`run`: ``"reference"``,
+        ``"vectorized"`` or ``"auto"`` (see :mod:`repro.engine.backends`).
     """
 
     def __init__(
@@ -153,6 +156,7 @@ class Campaign:
         store: ResultStore | str | os.PathLike | None = None,
         jobs: int = 1,
         timeout: float | None = None,
+        backend: str = "reference",
     ) -> None:
         if isinstance(scenarios, ScenarioGrid):
             self.specs = scenarios.expand()
@@ -166,6 +170,7 @@ class Campaign:
         )
         self.jobs = jobs
         self.timeout = timeout
+        self.backend = backend
         # Journal snapshot, keyed by id.  One scan serves run/status/
         # report/summary within this Campaign object; run() keeps it
         # current as results are journaled.  Call refresh() if another
@@ -187,6 +192,7 @@ class Campaign:
         jobs: int | None = None,
         resume: bool = True,
         timeout: float | None = None,
+        backend: str | None = None,
     ) -> CampaignReport:
         """Execute every scenario that has no terminal record yet.
 
@@ -215,6 +221,7 @@ class Campaign:
             jobs=self.jobs if jobs is None else jobs,
             timeout=self.timeout if timeout is None else timeout,
             on_result=journal,
+            backend=self.backend if backend is None else backend,
         )
         by_status = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
         for result in results:
@@ -281,6 +288,7 @@ def run_campaign(
     jobs: int = 1,
     timeout: float | None = None,
     resume: bool = True,
+    backend: str = "reference",
 ) -> list[ScenarioResult]:
     """One-shot convenience: run (resuming) and return grid-ordered
     results.  The workhorse behind the refactored sweeps and benchmarks."""
@@ -289,6 +297,7 @@ def run_campaign(
         store=store,
         jobs=jobs,
         timeout=timeout,
+        backend=backend,
     )
     campaign.run(resume=resume)
     return campaign.completed_results()

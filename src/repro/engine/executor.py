@@ -64,11 +64,15 @@ class ScenarioResult:
     experiment tables report) — full :class:`~repro.rounds.run.Run`
     objects stay in the worker.  ``status`` is ``"ok"``, ``"error"`` or
     ``"timeout"``; metric fields are ``None`` for non-ok results.
+    ``backend`` records which execution engine produced the result
+    (provenance only: it is journaled but excluded from canonical
+    summaries, which must be byte-identical across backends).
     """
 
     spec: ScenarioSpec
     status: str = STATUS_OK
     error: str | None = None
+    backend: str = "reference"
     num_rounds: int | None = None
     root_components: int | None = None
     psrcs_holds: bool | None = None
@@ -93,9 +97,13 @@ class ScenarioResult:
 
     @classmethod
     def failure(
-        cls, spec: ScenarioSpec, error: str, status: str = STATUS_ERROR
+        cls,
+        spec: ScenarioSpec,
+        error: str,
+        status: str = STATUS_ERROR,
+        backend: str = "reference",
     ) -> "ScenarioResult":
-        return cls(spec=spec, status=status, error=error)
+        return cls(spec=spec, status=status, error=error, backend=backend)
 
 
 def require_ok(
@@ -161,9 +169,25 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
 IndexedSpec = tuple[int, ScenarioSpec]
 
 
-def _execute_chunk(chunk: Sequence[IndexedSpec]) -> list[tuple[int, ScenarioResult]]:
+def _run_one(spec: ScenarioSpec, backend: str) -> ScenarioResult:
+    """Execute one scenario on the requested backend.
+
+    The common ``"reference"`` case stays import-free; other backends
+    resolve through :mod:`repro.engine.backends` lazily (that module
+    imports this one, so the import must not be circular at load time).
+    """
+    if backend == "reference":
+        return execute_scenario(spec)
+    from repro.engine.backends import execute_scenario_with_backend
+
+    return execute_scenario_with_backend(spec, backend)
+
+
+def _execute_chunk(
+    chunk: Sequence[IndexedSpec], backend: str = "reference"
+) -> list[tuple[int, ScenarioResult]]:
     """Worker entry point: run one contiguous slice of the grid."""
-    return [(idx, execute_scenario(spec)) for idx, spec in chunk]
+    return [(idx, _run_one(spec, backend)) for idx, spec in chunk]
 
 
 def _chunked(items: Sequence[IndexedSpec], size: int) -> list[list[IndexedSpec]]:
@@ -183,6 +207,7 @@ def execute_scenarios(
     chunksize: int | None = None,
     on_result: Callable[[ScenarioResult], Any] | None = None,
     poll_interval: float = 0.01,
+    backend: str = "reference",
 ) -> list[ScenarioResult]:
     """Execute many scenarios, serially or on a process pool.
 
@@ -210,6 +235,9 @@ def execute_scenarios(
         before the interrupt.
     poll_interval:
         Seconds between readiness polls of outstanding chunks.
+    backend:
+        Execution engine per scenario: ``"reference"`` (default),
+        ``"vectorized"`` or ``"auto"`` — see :mod:`repro.engine.backends`.
 
     Returns
     -------
@@ -221,7 +249,7 @@ def execute_scenarios(
     if (jobs <= 1 or len(spec_list) <= 1) and timeout is None:
         results = []
         for spec in spec_list:
-            result = execute_scenario(spec)
+            result = _run_one(spec, backend)
             if on_result is not None:
                 on_result(result)
             results.append(result)
@@ -249,6 +277,7 @@ def execute_scenarios(
                     spec,
                     f"no result within {budget:.1f}s",
                     status=STATUS_TIMEOUT,
+                    backend=backend,
                 ),
             )
             for idx, spec in chunk
@@ -263,7 +292,7 @@ def execute_scenarios(
             else None
         )
         pending = [
-            (chunk, pool.apply_async(_execute_chunk, (chunk,)))
+            (chunk, pool.apply_async(_execute_chunk, (chunk, backend)))
             for chunk in chunks
         ]
         # Harvest chunks in *completion* order so every finished chunk is
@@ -300,6 +329,7 @@ def execute_scenarios(
                                     status=STATUS_ERROR
                                     if deterministic
                                     else STATUS_TIMEOUT,
+                                    backend=backend,
                                 ),
                             )
                             for idx, spec in chunk

@@ -54,7 +54,13 @@ _METRIC_FIELDS = (
 
 def encode_result(result: ScenarioResult) -> dict:
     """The versioned JSON record of one result (inverse of
-    :func:`decode_result`)."""
+    :func:`decode_result`).
+
+    Deliberately excludes the producing backend: two backends that
+    compute the same metrics must encode to the same record, which is
+    what makes canonical summaries byte-comparable across backends.
+    Journal lines add the backend as provenance via :func:`journal_line`.
+    """
     return {
         "schema": SCHEMA_VERSION,
         "id": result.scenario_id,
@@ -79,6 +85,7 @@ def decode_result(record: dict) -> ScenarioResult:
         spec=ScenarioSpec.from_dict(record["spec"]),
         status=record.get("status", STATUS_OK),
         error=record.get("error"),
+        backend=record.get("backend", "reference"),
         decision_values=tuple(record.get("decision_values", ())),
         **{name: metrics.get(name) for name in _METRIC_FIELDS},
     )
@@ -90,6 +97,14 @@ def canonical_line(result: ScenarioResult) -> str:
     return json.dumps(
         encode_result(result), sort_keys=True, separators=(",", ":")
     )
+
+
+def journal_line(result: ScenarioResult) -> str:
+    """One *journal* line: the canonical record plus the producing
+    backend (provenance that must not leak into summaries)."""
+    record = encode_result(result)
+    record["backend"] = result.backend
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
 class ResultStore:
@@ -115,7 +130,7 @@ class ResultStore:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(canonical_line(result) + "\n")
+            fh.write(journal_line(result) + "\n")
             fh.flush()
 
     # ------------------------------------------------------------------

@@ -9,6 +9,9 @@ hot kernels:
 * per-round skeleton intersection (``&`` over a stack of adjacency matrices),
 * transitive closure via repeated boolean matrix squaring
   (O(n^3 log n) bit-parallel, beats Python BFS for dense graphs),
+* batched transitive closure over a ``(b, n, n)`` stack — the pruning and
+  strong-connectivity kernel of the vectorized simulation fast path
+  (:mod:`repro.rounds.fastpath`),
 * strong-connectivity and SCC extraction from the closure.
 
 All kernels operate on ``(n, n)`` boolean adjacency matrices with processes
@@ -65,17 +68,89 @@ def transitive_closure(adjacency: np.ndarray, reflexive: bool = True) -> np.ndar
     adj = np.asarray(adjacency, dtype=bool)
     if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
         raise ValueError(f"adjacency must be square, got {adj.shape}")
-    n = adj.shape[0]
-    closure = adj.copy()
-    if reflexive:
-        np.fill_diagonal(closure, True)
     # Squaring doubles the path length covered each iteration: after i
-    # iterations, paths of length <= 2^i are included.
+    # iterations, paths of length <= 2^i are included.  The squaring runs
+    # in float32 — NumPy routes float matmul through BLAS GEMM, several
+    # times faster than the naive boolean matmul loop — with entries
+    # re-clamped to {0, 1} after every product so sums stay exactly
+    # representable.  The product buffer is preallocated once and reused;
+    # since the closure only ever grows, convergence is detected by the
+    # (cheap) count of reachable pairs instead of a full comparison.
+    closure = adj.astype(np.float32)
+    if reflexive:
+        np.fill_diagonal(closure, 1.0)
+    buf = np.empty_like(closure)
+    count = int(np.count_nonzero(closure))
     while True:
-        nxt = closure | (closure @ closure)
-        if np.array_equal(nxt, closure):
-            return closure
-        closure = nxt
+        np.matmul(closure, closure, out=buf)
+        np.minimum(buf, 1.0, out=buf)
+        np.maximum(buf, closure, out=closure)
+        grown = int(np.count_nonzero(closure))
+        if grown == count:
+            return closure.astype(bool)
+        count = grown
+
+
+def batched_transitive_closure(
+    stack: np.ndarray, reflexive: bool = True, fixed_iterations: bool = False
+) -> np.ndarray:
+    """Transitive closure of a whole batch of graphs at once.
+
+    Parameters
+    ----------
+    stack:
+        Array of shape ``(b, n, n)`` — ``b`` independent adjacency
+        matrices (e.g. the ``n`` per-process approximation graphs of one
+        simulated round, or the prefix skeletons of a run).
+    reflexive:
+        Include the empty path (diagonal), as in
+        :func:`transitive_closure`.
+    fixed_iterations:
+        Only meaningful with ``reflexive=True``: run the exact number of
+        squarings that guarantees convergence (``ceil(log2(n - 1))``,
+        since with the diagonal set each squaring doubles the covered
+        path length) instead of testing for a fixpoint after every
+        squaring.  Saves the per-iteration convergence scans — the right
+        trade in the simulation hot loop, where the batch is small and
+        call overhead dominates.
+
+    Returns
+    -------
+    The ``(b, n, n)`` stack of reachability matrices, computed with
+    ``O(log n)`` batched boolean matrix squarings — the kernel behind the
+    vectorized fast path's pruning and strong-connectivity tests.
+    """
+    arr = np.asarray(stack, dtype=bool)
+    if arr.ndim != 3 or arr.shape[1] != arr.shape[2]:
+        raise ValueError(f"expected stack of square matrices, got {arr.shape}")
+    # Same float32/BLAS batched-GEMM squaring as transitive_closure.
+    closure = arr.astype(np.float32)
+    n = arr.shape[1]
+    if reflexive and n:
+        idx = np.arange(n)
+        closure[:, idx, idx] = 1.0
+    buf = np.empty_like(closure)
+    if reflexive and fixed_iterations:
+        # With the diagonal set, i squarings cover all paths of length
+        # <= 2^i; simple paths are <= n - 1 long, so ceil(log2(n - 1))
+        # squarings always reach the fixpoint.  (With the diagonal in
+        # place, closure @ closure contains closure, so no OR with the
+        # previous iterate is needed.)
+        length = 1
+        while length < n - 1:
+            np.matmul(closure, closure, out=buf)
+            np.minimum(buf, 1.0, out=closure)
+            length *= 2
+        return closure.astype(bool)
+    count = int(np.count_nonzero(closure))
+    while True:
+        np.matmul(closure, closure, out=buf)
+        np.minimum(buf, 1.0, out=buf)
+        np.maximum(buf, closure, out=closure)
+        grown = int(np.count_nonzero(closure))
+        if grown == count:
+            return closure.astype(bool)
+        count = grown
 
 
 def is_strongly_connected_matrix(adjacency: np.ndarray) -> bool:
@@ -101,17 +176,21 @@ def scc_labels(adjacency: np.ndarray) -> np.ndarray:
 def root_component_count_matrix(adjacency: np.ndarray) -> int:
     """Number of root components, computed fully vectorized.
 
-    A component ``C`` is a root component iff no edge enters it from outside:
-    ``adjacency[~C][:, C]`` is all-False.
+    A component ``C`` is a root component iff no edge enters it from
+    outside, i.e. no *cross-component* edge ends in ``C``.  Instead of
+    slicing the matrix once per label, every cross edge is scattered onto
+    its target's label in one ``bincount`` pass; a label is a root exactly
+    when it received no scatter hit.
     """
     adj = np.asarray(adjacency, dtype=bool)
+    n = adj.shape[0]
+    if n == 0:
+        return 0
     labels = scc_labels(adj)
-    count = 0
-    for label in np.unique(labels):
-        members = labels == label
-        if not adj[np.ix_(~members, members)].any():
-            count += 1
-    return count
+    cross = adj & (labels[:, None] != labels[None, :])
+    targets = labels[np.nonzero(cross)[1]]
+    entered = np.bincount(targets, minlength=n) > 0
+    return int(np.count_nonzero(~entered[np.unique(labels)]))
 
 
 def timely_neighborhoods(skeleton: np.ndarray) -> list[frozenset[int]]:

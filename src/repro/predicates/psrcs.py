@@ -34,6 +34,8 @@ from __future__ import annotations
 
 from itertools import combinations
 
+import numpy as np
+
 from repro.graphs.digraph import DiGraph
 from repro.graphs.independent_set import (
     find_independent_set_of_size,
@@ -143,6 +145,34 @@ class Psrcs(Predicate):
 
     def _check_conflict(self, stable_skeleton: DiGraph) -> PredicateResult:
         adj = conflict_graph(stable_skeleton)
+        violating = find_independent_set_of_size(adj, self.k + 1)
+        if violating is None:
+            return PredicateResult(True, self.name)
+        return PredicateResult(
+            False, self.name, witness=frozenset(violating)
+        )
+
+    def check_skeleton_matrix(self, stable_matrix: np.ndarray) -> PredicateResult:
+        """Matrix twin of :meth:`check_skeleton` for skeletons on nodes
+        ``0..n-1`` given as a boolean adjacency matrix.
+
+        The conflict graph comes from one boolean matrix product
+        (:func:`repro.graphs.matrices.conflict_matrix`, cross-validated
+        against :func:`conflict_graph`); the independence test is the same
+        exact branch-and-bound solver, so the verdict is identical to the
+        set-based checker on the same skeleton.  Used by the vectorized
+        execution backend, which never materializes a :class:`DiGraph`.
+        """
+        from repro.graphs.matrices import conflict_matrix
+
+        arr = np.asarray(stable_matrix, dtype=bool)
+        n = arr.shape[0]
+        if n <= self.k:
+            return PredicateResult(True, self.name, witness="vacuous")
+        mat = conflict_matrix(arr)
+        adj = {
+            q: set(np.nonzero(mat[q])[0].tolist()) for q in range(n)
+        }
         violating = find_independent_set_of_size(adj, self.k + 1)
         if violating is None:
             return PredicateResult(True, self.name)

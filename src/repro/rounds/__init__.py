@@ -15,6 +15,11 @@ This package implements that model directly:
 """
 
 from repro.rounds.process import Process, DecisionRecord
+from repro.rounds.fastpath import (
+    FastPathRun,
+    FastPathUnsupported,
+    simulate_fastpath,
+)
 from repro.rounds.messages import Message
 from repro.rounds.run import Run, RoundRecord
 from repro.rounds.simulator import RoundSimulator, SimulationConfig, simulate
@@ -22,10 +27,13 @@ from repro.rounds.simulator import RoundSimulator, SimulationConfig, simulate
 __all__ = [
     "Process",
     "DecisionRecord",
+    "FastPathRun",
+    "FastPathUnsupported",
     "Message",
     "Run",
     "RoundRecord",
     "RoundSimulator",
     "SimulationConfig",
     "simulate",
+    "simulate_fastpath",
 ]

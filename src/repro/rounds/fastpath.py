@@ -1,0 +1,348 @@
+"""Vectorized fast-path execution of Algorithm 1.
+
+The reference :class:`~repro.rounds.simulator.RoundSimulator` is exact but
+allocation-bound: every (process, round) builds a :class:`Message`, a
+received-dict and a :class:`RoundLabeledDigraph` merge — O(n · rounds)
+Python objects per run, which profiling shows dominates the campaign
+ensembles.  This module re-expresses one *whole run* as tensor algebra so
+each round costs a handful of NumPy kernel calls, independent of ``n`` at
+the Python level:
+
+* the communication schedule is an ``(R, n, n)`` boolean adjacency tensor
+  (:meth:`~repro.adversaries.base.Adversary.adjacency_stack`);
+* the ``n`` per-process timely sets ``PT_p`` live in one ``(n, n)`` mask,
+  updated per round by one transposed AND (equation (7));
+* the ``n`` per-process approximation graphs ``G_p`` live in one
+  ``(n, n, n)`` round-label tensor (``labels[p, i, j]`` = the label of
+  edge ``i -> j`` in ``G_p``, 0 = absent).  Lines 14–23 (reset, fresh
+  in-edges, max-merge over received graphs) become a masked maximum over
+  the sender axis; line 24 (purge) is a threshold; line 25 (prune) and
+  line 28 (strong connectivity) come from one batched transitive closure
+  (:func:`repro.graphs.matrices.batched_transitive_closure`);
+* min-estimate propagation (line 27) and decide adoption (lines 10–13)
+  are masked reductions over the beginning-of-round estimate vector.
+
+Equivalence with the reference simulator is a hard contract, not a
+best-effort approximation: the update order mirrors Algorithm 1's
+line-by-line semantics (including adoption from the *smallest* decided
+sender id and decided processes continuing their graph updates), and
+``tests/test_fastpath_equivalence.py`` asserts identical metrics across a
+randomized scenario grid.  Workloads that need per-round state or message
+histories (``figure1``, the lemma checkers, message-complexity analysis)
+are out of scope by design and must raise :class:`FastPathUnsupported` at
+the backend layer so callers fall back to the reference simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.matrices import (
+    batched_transitive_closure,
+    prefix_intersections,
+)
+
+
+class FastPathUnsupported(RuntimeError):
+    """The scenario needs features only the reference simulator provides
+    (state/message histories, non-integer estimates, algorithms other than
+    Algorithm 1).  ``backend="auto"`` catches this and falls back."""
+
+
+# Cap on the lines 14–23 merge intermediate; owners are chunked so the
+# buffer never exceeds roughly this many bytes (see simulate_fastpath).
+_MERGE_BUF_BYTES = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FastPathRun:
+    """The summary record of one vectorized run.
+
+    Holds exactly what the sweep / latency / distribution analyses consume
+    — decisions plus the executed adjacency prefix (from which every
+    skeleton object derives) — and none of the per-round object state the
+    reference :class:`~repro.rounds.run.Run` carries.
+    """
+
+    n: int
+    num_rounds: int
+    initial_values: tuple
+    decided: np.ndarray  # (n,) bool
+    decision_round: np.ndarray  # (n,) int; valid where ``decided``
+    decision_value: np.ndarray  # (n,) int; valid where ``decided``
+    adjacency: np.ndarray  # (num_rounds, n, n) bool, self-delivery applied
+
+    # ------------------------------------------------------------------
+    def all_decided(self) -> bool:
+        return bool(self.decided.all())
+
+    def decision_rounds(self) -> dict[int, int]:
+        """Process id -> decision round (decided processes only)."""
+        return {
+            int(p): int(self.decision_round[p])
+            for p in np.nonzero(self.decided)[0]
+        }
+
+    def decision_values(self) -> set[int]:
+        """The set of distinct decided values (k-agreement quantity)."""
+        return {
+            int(self.decision_value[p]) for p in np.nonzero(self.decided)[0]
+        }
+
+    def undecided(self) -> list[int]:
+        return [int(p) for p in np.nonzero(~self.decided)[0]]
+
+    # ------------------------------------------------------------------
+    def skeleton_stack(self) -> np.ndarray:
+        """All prefix skeletons ``G^∩r`` as one ``(R, n, n)`` tensor."""
+        return prefix_intersections(self.adjacency)
+
+    def final_skeleton_matrix(self) -> np.ndarray:
+        """``G^∩R`` for the executed prefix."""
+        if self.num_rounds == 0:
+            raise ValueError("run has no rounds")
+        return self.skeleton_stack()[-1]
+
+    def stabilization_round(self, stable_matrix: np.ndarray | None) -> int | None:
+        """The exact ``r_ST`` against a declared stable skeleton matrix:
+        the first executed round with ``G^∩r == G^∩∞`` (``None`` without a
+        declaration or when the prefix never stabilized) — the matrix twin
+        of :func:`repro.skeleton.analysis.stabilization_round`."""
+        if stable_matrix is None or self.num_rounds == 0:
+            return None
+        target = np.asarray(stable_matrix, dtype=bool)
+        matches = np.all(self.skeleton_stack() == target, axis=(1, 2))
+        hits = np.nonzero(matches)[0]
+        return int(hits[0]) + 1 if hits.size else None
+
+
+def _as_int_estimates(values: Sequence) -> np.ndarray:
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, np.integer)):
+            raise FastPathUnsupported(
+                f"fast path needs integer proposal values, got {v!r}"
+            )
+    return np.asarray([int(v) for v in values], dtype=np.int64)
+
+
+def simulate_fastpath(
+    adjacency,
+    initial_values: Sequence[int],
+    purge_window: int | None = None,
+    prune_unreachable: bool = True,
+    stop_when_all_decided: bool = True,
+    enforce_self_delivery: bool = True,
+    max_rounds: int | None = None,
+) -> FastPathRun:
+    """Execute Algorithm 1 with distinct-per-process tensor state.
+
+    Parameters
+    ----------
+    adjacency:
+        Either an ``(R, n, n)`` boolean tensor (``adjacency[r - 1]`` is
+        the round-``r`` communication graph) or a *schedule provider*
+        ``provider(count, start) -> (count, n, n)`` tensor for rounds
+        ``start..start + count - 1`` — exactly the signature of
+        :meth:`~repro.adversaries.base.Adversary.adjacency_stack`, so an
+        adversary's bound method can be passed directly.  With a provider
+        the schedule is pulled lazily in ~``n``-round blocks, so a run
+        that decides at ``~r_ST + 2n`` never pays for its full
+        ``max_rounds`` budget of RNG draws.
+    initial_values:
+        Proposal values ``v_p`` (must be integers — the min-reduction of
+        line 27 runs on an int64 vector).
+    purge_window, prune_unreachable:
+        Algorithm 1's design knobs, with the same semantics and defaults
+        as :class:`~repro.core.approximation.ApproximationGraph`.
+    stop_when_all_decided, enforce_self_delivery:
+        As in :class:`~repro.rounds.simulator.SimulationConfig` (grace
+        rounds are not supported — sweeps never use them).
+    max_rounds:
+        Round budget; required with a schedule provider, defaults to the
+        tensor length otherwise.
+    """
+    n = len(initial_values)
+    if callable(adjacency):
+        if max_rounds is None:
+            raise ValueError("max_rounds is required with a schedule provider")
+        provider = adjacency
+    else:
+        arr = np.asarray(adjacency, dtype=bool)
+        if arr.ndim != 3 or arr.shape[1] != arr.shape[2]:
+            raise ValueError(
+                f"expected (rounds, n, n) tensor, got {arr.shape}"
+            )
+        if arr.shape[1] != n:
+            raise ValueError(
+                f"tensor is for n={arr.shape[1]}, got {n} initial values"
+            )
+        if max_rounds is None:
+            max_rounds = arr.shape[0]
+        elif max_rounds > arr.shape[0]:
+            raise ValueError(
+                f"max_rounds={max_rounds} exceeds scheduled {arr.shape[0]}"
+            )
+        provider = lambda count, start=1: arr[start - 1 : start - 1 + count]
+    if max_rounds < 1:
+        raise ValueError("need at least one scheduled round")
+    if n < 1:
+        raise ValueError("need at least one process")
+    window = n if purge_window is None else purge_window
+    if window < 1:
+        raise ValueError("purge window must be >= 1")
+
+    idx = np.arange(n)
+    eye = np.eye(n, dtype=bool)
+
+    # The schedule, materialized block-wise.  ``filled`` rounds are ready;
+    # blocks are fetched ~n rounds at a time (a decision needs r > n, so
+    # the first block can never be wasted work).
+    schedule = np.zeros((max_rounds, n, n), dtype=bool)
+    filled = 0
+    block = max(n + 1, 8)
+
+    def ensure(upto: int) -> None:
+        nonlocal filled
+        upto = min(max(upto, min(filled + block, max_rounds)), max_rounds)
+        if upto <= filled:
+            return
+        fetched = np.asarray(
+            provider(upto - filled, filled + 1), dtype=bool
+        )
+        if fetched.shape != (upto - filled, n, n):
+            raise ValueError(
+                f"schedule provider returned shape {fetched.shape}, "
+                f"expected {(upto - filled, n, n)}"
+            )
+        schedule[filled:upto] = fetched
+        if enforce_self_delivery:
+            schedule[filled:upto, idx, idx] = True
+        filled = upto
+
+    # State tensors (one slot per process; see module docstring).
+    pt = np.ones((n, n), dtype=bool)  # line 1: PT_p = Π
+    est = _as_int_estimates(initial_values)  # line 2: x_p = v_p
+    labels = np.zeros((n, n, n), dtype=np.int32)  # line 3: G_p = <{p}, ∅>
+    nodes = eye.copy()
+    decided = np.zeros(n, dtype=bool)  # line 4
+    dec_round = np.zeros(n, dtype=np.int64)
+    dec_value = np.zeros(n, dtype=np.int64)
+    big = np.iinfo(np.int64).max
+
+    # The lines 14–23 merge needs a (owners, senders, n, n) intermediate;
+    # a full (n, n, n, n) buffer would grow quartically, so owners are
+    # processed in blocks that cap the buffer at ~_MERGE_BUF_BYTES (one
+    # block covers every n the experiments use; only very large n pay
+    # extra Python-level iterations).
+    owner_block = max(1, min(n, _MERGE_BUF_BYTES // max(1, 4 * n * n * n)))
+    merge_buf = np.empty((owner_block, n, n, n), dtype=np.int32)
+    num_rounds = max_rounds
+    for r in range(1, max_rounds + 1):
+        if r > filled:
+            ensure(r)
+        any_decided = bool(decided.any())
+        # Sending phase: the copies below freeze beginning-of-round state.
+        # Until the first decision, est is only written *after* its last
+        # read of the round (the min-reduction), so no copy is needed.
+        sent_est = est.copy() if any_decided else est
+
+        # Line 9 / equation (7): PT_p ∩= this round's heard-of set.
+        pt &= schedule[r - 1].T
+
+        # Lines 10–13: adopt a decision from the smallest decided sender
+        # in PT_p (argmax on a boolean row = first True = smallest id).
+        # Senders' decided flags are beginning-of-round state; nothing
+        # below this block sets ``decided`` before it is read again.
+        if any_decided:
+            adoptable = pt & decided[None, :]
+            adopt = adoptable.any(axis=1) & ~decided
+            if adopt.any():
+                first_decider = np.argmax(adoptable, axis=1)
+                est[adopt] = sent_est[first_decider[adopt]]
+                decided |= adopt
+                dec_round[adopt] = r
+                dec_value[adopt] = est[adopt]
+
+        # Lines 14–23: reset + fresh in-edges + max-merge, batched.  The
+        # masked maximum over the sender axis q realizes the per-pair
+        # max-label merge of all graphs received from PT_p; the fresh
+        # label-r in-edges (q --r--> p) dominate every older label.
+        new_labels = np.empty_like(labels)
+        for lo in range(0, n, owner_block):
+            hi = min(lo + owner_block, n)
+            buf = merge_buf[: hi - lo]
+            np.multiply(
+                pt[lo:hi, :, None, None], labels[None, :, :, :], out=buf
+            )
+            buf.max(axis=1, out=new_labels[lo:hi])
+        ps, qs = np.nonzero(pt)
+        new_labels[ps, qs, ps] = r
+        # Node union (line 18): V_p = {p} ∪ ⋃_{q ∈ PT_p} V_q.
+        new_nodes = (pt @ nodes) | eye
+
+        # Line 24 fused with the edge mask: labels re <= r - window die,
+        # the survivors are the present edges.
+        present = new_labels > max(r - window, 0)
+        new_labels *= present
+
+        # One batched closure serves both line 25 and line 28.  Pruning
+        # cannot cut a path between two kept nodes (every intermediate
+        # node of such a path reaches the owner too), so the closure of
+        # the unpruned graph restricted to kept nodes *is* the closure of
+        # the pruned graph.
+        closure = batched_transitive_closure(
+            present, reflexive=True, fixed_iterations=True
+        )
+        reaches_owner = closure[idx, :, idx] & new_nodes  # i -> p
+        if prune_unreachable:
+            # Line 25: keep exactly the nodes from which p is reachable.
+            new_nodes = reaches_owner
+            new_labels *= (
+                reaches_owner[:, :, None] & reaches_owner[:, None, :]
+            )
+
+        undecided = ~decided
+        if undecided.any():
+            # Line 27: x_p <- min over beginning-of-round estimates of PT_p.
+            # Under self-delivery PT_p always contains p (the diagonal of
+            # every scheduled graph is True and pt starts full), so the
+            # empty-PT retain-guard only matters without it.
+            candidate = np.where(pt, sent_est[None, :], big).min(axis=1)
+            if enforce_self_delivery:
+                update = undecided
+            else:
+                update = undecided & pt.any(axis=1)
+            est[update] = candidate[update]
+            # Lines 28–30: decide when r > n and G_p is strongly connected.
+            # Hub criterion: the owner p is always a node of G_p, so G_p is
+            # strongly connected iff every node of V_p both reaches p and
+            # is reached from p (i -> p -> j connects any ordered pair).
+            # Single-node graphs pass trivially.
+            if r > n:
+                reached_by_owner = closure[idx, idx, :]  # p -> j
+                mutual = reaches_owner & reached_by_owner
+                strongly_connected = (mutual | ~new_nodes).all(axis=1)
+                newly = undecided & strongly_connected
+                if newly.any():
+                    decided |= newly
+                    dec_round[newly] = r
+                    dec_value[newly] = est[newly]
+
+        labels = new_labels
+        nodes = new_nodes
+        if stop_when_all_decided and decided.all():
+            num_rounds = r
+            break
+
+    return FastPathRun(
+        n=n,
+        num_rounds=num_rounds,
+        initial_values=tuple(int(v) for v in initial_values),
+        decided=decided,
+        decision_round=dec_round,
+        decision_value=dec_value,
+        adjacency=schedule[:num_rounds],
+    )

@@ -19,7 +19,7 @@ from repro.predicates.psrcs import Psrcs
 
 
 # Module-level so the pool can pickle it to a worker by reference.
-def _chunk_out_of_memory(chunk):
+def _chunk_out_of_memory(chunk, backend="reference"):
     raise MemoryError("worker infra failure")
 
 

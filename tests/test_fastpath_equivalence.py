@@ -1,0 +1,312 @@
+"""Backend equivalence: the vectorized fast path vs the reference simulator.
+
+The fast path's contract is *exactness*, not approximation: for every
+scenario it supports, all summary metrics — decision rounds, distinct
+decision values, violation flags, stabilization, Lemma-11 bounds — must
+equal the reference :class:`~repro.rounds.simulator.RoundSimulator` result
+bit for bit, which this suite asserts via the canonical JSON line (one
+comparison covering every metric field at once).  A randomized grid sweeps
+``n ∈ 2..12``, all three registry adversary families, noise levels,
+topologies, seeds and Algorithm 1's ablation knobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import RecordedAdversary
+from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.grouped import GroupedSourceAdversary
+from repro.adversaries.partition import PartitionAdversary
+from repro.engine.backends import (
+    BACKEND_AUTO,
+    BACKEND_REFERENCE,
+    BACKEND_VECTORIZED,
+    execute_scenario_vectorized,
+    execute_scenario_with_backend,
+    fastpath_supported,
+)
+from repro.engine.campaign import Campaign
+from repro.engine.executor import execute_scenario, execute_scenarios
+from repro.engine.scenarios import ScenarioGrid, ScenarioSpec, termination_grid
+from repro.engine.store import canonical_line, decode_result, journal_line
+from repro.graphs.generators import to_adjacency
+from repro.rounds.fastpath import FastPathUnsupported, simulate_fastpath
+
+
+def assert_equivalent(spec: ScenarioSpec) -> None:
+    reference = execute_scenario(spec)
+    vectorized = execute_scenario_vectorized(spec)
+    assert reference.status == "ok", reference.error
+    assert vectorized.status == "ok", vectorized.error
+    # One line covers every metric field and the decision values.
+    assert canonical_line(reference) == canonical_line(vectorized)
+
+
+class TestScenarioEquivalence:
+    GROUPED = [
+        ScenarioSpec(
+            n=n, k=k, num_groups=m, seed=seed, noise=noise, topology=topology
+        )
+        for n in (2, 3, 5, 7, 9, 12)
+        for k, m in ((1, 1), (2, 2), (3, 2), (3, 3))
+        if m <= min(k, n) and k < n
+        for seed in (0, 1)
+        for noise, topology in (
+            (0.0, "cycle"),
+            (0.2, "cycle"),
+            (0.35, "star"),
+            (0.15, "clique"),
+        )
+    ]
+
+    @pytest.mark.parametrize(
+        "spec", GROUPED, ids=lambda s: s.scenario_id
+    )
+    def test_grouped_family(self, spec):
+        assert_equivalent(spec)
+
+    @pytest.mark.parametrize("n,f", [(3, 1), (5, 2), (8, 3), (11, 4)])
+    def test_crash_family(self, n, f):
+        assert_equivalent(
+            ScenarioSpec(n=n, k=2, adversary="crash", options=(("f", f),))
+        )
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (9, 4), (12, 5)])
+    def test_partition_family(self, n, k):
+        assert_equivalent(
+            ScenarioSpec(
+                n=n, k=k, adversary="partition", options=(("k_env", k),)
+            )
+        )
+
+    @pytest.mark.parametrize("purge_window", [2, 4, 9])
+    @pytest.mark.parametrize("prune_unreachable", [True, False])
+    def test_ablation_knobs(self, purge_window, prune_unreachable):
+        assert_equivalent(
+            ScenarioSpec(
+                n=9,
+                k=3,
+                num_groups=3,
+                seed=1,
+                noise=0.25,
+                options=(
+                    ("prune_unreachable", prune_unreachable),
+                    ("purge_window", purge_window),
+                ),
+            )
+        )
+
+    def test_quiet_period_knob(self):
+        assert_equivalent(
+            ScenarioSpec(
+                n=8, k=2, num_groups=2, seed=3, noise=0.4,
+                options=(("quiet_period", 3),),
+            )
+        )
+
+    def test_max_rounds_cap_respected(self):
+        # A tight cap can stop the run before everyone decided; both
+        # backends must report the identical truncated prefix.
+        assert_equivalent(
+            ScenarioSpec(n=9, k=1, num_groups=1, seed=0, max_rounds=4)
+        )
+
+    def test_chunked_merge_buffer_path(self, monkeypatch):
+        # Large n processes the lines-14-23 merge in owner blocks to cap
+        # the (owners, n, n, n) intermediate; force the multi-block path
+        # on a small scenario and require identical results.
+        import repro.rounds.fastpath as fastpath_module
+
+        monkeypatch.setattr(fastpath_module, "_MERGE_BUF_BYTES", 1)
+        assert_equivalent(
+            ScenarioSpec(n=7, k=2, num_groups=2, seed=4, noise=0.2)
+        )
+
+
+class TestCampaignEquivalence:
+    GRID = ScenarioGrid(
+        n=[4, 6, 8],
+        k=[2, 3],
+        num_groups=[1, 2],
+        seed=range(3),
+        noise=[0.0, 0.2],
+        where=[lambda s: s["k"] < s["n"]],
+    )
+
+    def test_summaries_byte_identical_across_backends(self, tmp_path):
+        paths = {}
+        for backend in (BACKEND_REFERENCE, BACKEND_VECTORIZED):
+            campaign = Campaign(
+                self.GRID,
+                store=tmp_path / f"journal_{backend}.jsonl",
+                backend=backend,
+            )
+            report = campaign.run()
+            assert report.errors == 0 and report.timeouts == 0
+            summary = tmp_path / f"summary_{backend}.jsonl"
+            campaign.write_summary(summary)
+            paths[backend] = summary.read_bytes()
+        assert paths[BACKEND_REFERENCE] == paths[BACKEND_VECTORIZED]
+
+    def test_journal_records_tag_backend_but_summary_does_not(self, tmp_path):
+        store = tmp_path / "journal.jsonl"
+        campaign = Campaign(
+            ScenarioGrid(n=[4], k=[2], num_groups=[2], seed=[0]),
+            store=store,
+            backend=BACKEND_VECTORIZED,
+        )
+        campaign.run()
+        journal_record = store.read_text().strip()
+        assert '"backend":"vectorized"' in journal_record
+        summary = tmp_path / "summary.jsonl"
+        campaign.write_summary(summary)
+        assert '"backend"' not in summary.read_text()
+        # The decoded record keeps the provenance.
+        assert campaign.completed_results()[0].backend == "vectorized"
+
+    def test_resume_across_backends(self, tmp_path):
+        # A journal written by one backend satisfies resume for the other
+        # (content-hash ids and metrics agree), so nothing re-executes.
+        store = tmp_path / "journal.jsonl"
+        grid = ScenarioGrid(n=[4, 5], k=[2], num_groups=[2], seed=range(2))
+        Campaign(grid, store=store, backend=BACKEND_VECTORIZED).run()
+        report = Campaign(grid, store=store, backend=BACKEND_REFERENCE).run()
+        assert report.executed == 0
+        assert report.skipped == report.total
+
+    def test_execute_scenarios_backend_parallel_matches_serial(self):
+        specs = termination_grid(ns=[4, 6], seeds=range(3), noise=0.2)
+        serial = execute_scenarios(specs, jobs=1, backend=BACKEND_VECTORIZED)
+        parallel = execute_scenarios(specs, jobs=2, backend=BACKEND_VECTORIZED)
+        assert [canonical_line(r) for r in serial] == [
+            canonical_line(r) for r in parallel
+        ]
+
+
+class TestBackendDispatch:
+    UNSUPPORTED = ScenarioSpec(
+        n=5, k=2, adversary="crash", algorithm="floodmin",
+        options=(("f", 1),),
+    )
+
+    def test_vectorized_raises_for_unsupported_algorithm(self):
+        assert not fastpath_supported(self.UNSUPPORTED)
+        with pytest.raises(FastPathUnsupported):
+            execute_scenario_vectorized(self.UNSUPPORTED)
+
+    def test_auto_falls_back_to_reference(self):
+        result = execute_scenario_with_backend(self.UNSUPPORTED, BACKEND_AUTO)
+        assert result.status == "ok"
+        assert result.backend == "reference"
+        assert canonical_line(result) == canonical_line(
+            execute_scenario(self.UNSUPPORTED)
+        )
+
+    def test_auto_uses_fastpath_when_supported(self):
+        spec = ScenarioSpec(n=5, k=2, num_groups=2, seed=1)
+        result = execute_scenario_with_backend(spec, BACKEND_AUTO)
+        assert result.backend == "vectorized"
+        assert result.status == "ok"
+
+    def test_forced_vectorized_reports_unsupported_as_error(self):
+        result = execute_scenario_with_backend(
+            self.UNSUPPORTED, BACKEND_VECTORIZED
+        )
+        assert result.status == "error"
+        assert "FastPathUnsupported" in result.error
+        assert result.backend == "vectorized"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            execute_scenario_with_backend(
+                ScenarioSpec(n=4, k=2), "warp-drive"
+            )
+
+    def test_non_integer_proposals_unsupported(self):
+        adv = GroupedSourceAdversary(3, num_groups=1)
+        with pytest.raises(FastPathUnsupported):
+            simulate_fastpath(
+                adv.adjacency_stack, ["a", "b", "c"], max_rounds=10
+            )
+
+    def test_journal_line_round_trips_backend(self):
+        spec = ScenarioSpec(n=4, k=2, num_groups=2, seed=0)
+        result = execute_scenario_vectorized(spec)
+        decoded = decode_result(
+            __import__("json").loads(journal_line(result))
+        )
+        assert decoded.backend == "vectorized"
+        assert canonical_line(decoded) == canonical_line(result)
+
+
+class TestAdjacencyStack:
+    """Determinism and exactness of the adversaries' batch schedule API."""
+
+    FACTORIES = {
+        "grouped": lambda: GroupedSourceAdversary(
+            7, num_groups=3, seed=5, noise=0.3, quiet_period=4
+        ),
+        "grouped-quiet": lambda: GroupedSourceAdversary(
+            5, num_groups=2, seed=2, noise=0.0
+        ),
+        "crash": lambda: CrashAdversary(6, {0: 2, 3: 4}, seed=9),
+        "crash-clean": lambda: CrashAdversary(5, {1: 3}, seed=1, clean=True),
+        "partition": lambda: PartitionAdversary(8, 3),
+        # No override — exercises the base-class fallback through graph().
+        "fallback": lambda: RecordedAdversary(
+            GroupedSourceAdversary(6, num_groups=2, seed=7, noise=0.25)
+        ),
+    }
+
+    @pytest.mark.parametrize("family", sorted(FACTORIES))
+    def test_matches_per_round_graphs(self, family):
+        adv = self.FACTORIES[family]()
+        rounds = 17
+        stack = adv.adjacency_stack(rounds)
+        assert stack.shape == (rounds, adv.n, adv.n)
+        assert stack.dtype == np.bool_
+        for r in range(1, rounds + 1):
+            assert np.array_equal(
+                stack[r - 1], to_adjacency(adv.graph(r), adv.n)
+            ), f"round {r}"
+
+    @pytest.mark.parametrize("family", sorted(FACTORIES))
+    def test_same_seed_same_tensor(self, family):
+        a = self.FACTORIES[family]().adjacency_stack(13)
+        b = self.FACTORIES[family]().adjacency_stack(13)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("family", sorted(FACTORIES))
+    def test_blocks_concatenate_to_full_stack(self, family):
+        # The fast path pulls the schedule in blocks; block boundaries
+        # must be invisible (same RNG streams regardless of chunking).
+        adv = self.FACTORIES[family]()
+        full = adv.adjacency_stack(15)
+        pieces = np.concatenate(
+            [
+                self.FACTORIES[family]().adjacency_stack(4, start=1),
+                self.FACTORIES[family]().adjacency_stack(7, start=5),
+                self.FACTORIES[family]().adjacency_stack(4, start=12),
+            ]
+        )
+        assert np.array_equal(full, pieces)
+
+    def test_rounds_are_one_indexed(self):
+        adv = self.FACTORIES["grouped"]()
+        with pytest.raises(ValueError):
+            adv.adjacency_stack(3, start=0)
+        with pytest.raises(ValueError):
+            adv.adjacency_stack(-1)
+
+    def test_zero_rounds_is_empty(self):
+        stack = self.FACTORIES["partition"]().adjacency_stack(0)
+        assert stack.shape == (0, 8, 8)
+
+    def test_declared_stable_matrix_matches_graph(self):
+        adv = self.FACTORIES["grouped"]()
+        assert np.array_equal(
+            adv.declared_stable_matrix(),
+            to_adjacency(adv.declared_stable_graph(), adv.n),
+        )

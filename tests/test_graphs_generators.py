@@ -103,6 +103,45 @@ class TestRandom:
             for v in range(u + 1, 8):
                 assert g.has_edge(u, v) != g.has_edge(v, u)
 
+    def test_tournament_seeded_stream_regression(self):
+        # Pins the vectorized implementation's deterministic output: one
+        # batched Bernoulli draw in row-major upper-triangular pair order,
+        # which consumes the generator stream exactly like the historical
+        # per-pair loop (``Generator.random(k)`` draws the same doubles as
+        # ``k`` scalar ``random()`` calls).
+        g = random_tournament(5, np.random.default_rng(42))
+        assert sorted(g.iter_edges()) == [
+            (0, 2),
+            (1, 0),
+            (1, 2),
+            (2, 4),
+            (3, 0),
+            (3, 1),
+            (3, 2),
+            (3, 4),
+            (4, 0),
+            (4, 1),
+        ]
+
+    def test_tournament_matches_scalar_stream(self):
+        # The batched draw must consume the RNG identically to per-pair
+        # scalar draws (same seeded edge sets as the pre-vectorization
+        # implementation).
+        for seed in range(5):
+            expected = np.random.default_rng(seed)
+            got = random_tournament(7, np.random.default_rng(seed))
+            for u in range(7):
+                for v in range(u + 1, 7):
+                    if expected.random() < 0.5:
+                        assert got.has_edge(u, v) and not got.has_edge(v, u)
+                    else:
+                        assert got.has_edge(v, u) and not got.has_edge(u, v)
+
+    def test_tournament_trivial_sizes(self):
+        assert random_tournament(0, np.random.default_rng(0)).number_of_edges() == 0
+        g1 = random_tournament(1, np.random.default_rng(0))
+        assert g1.number_of_nodes() == 1 and g1.number_of_edges() == 0
+
     def test_random_strongly_connected(self):
         for seed in range(5):
             g = random_strongly_connected(12, 0.05, np.random.default_rng(seed))

@@ -13,6 +13,7 @@ from repro.graphs.condensation import count_root_components
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import gnp_random, to_adjacency, from_adjacency
 from repro.graphs.matrices import (
+    batched_transitive_closure,
     conflict_matrix,
     intersect_all,
     is_strongly_connected_matrix,
@@ -121,6 +122,88 @@ class TestClosure:
         assert root_component_count_matrix(adj) == count_root_components(
             from_adjacency(adj)
         )
+
+
+class TestBatchedClosure:
+    """The batched kernel must agree with the 2-D kernel member-wise (and
+    therefore, transitively, with the set-based BFS implementations)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("reflexive", [True, False])
+    def test_matches_per_member_closure(self, seed, reflexive):
+        rng = np.random.default_rng(seed)
+        stack = rng.random((5, 11, 11)) < 0.2
+        batched = batched_transitive_closure(stack, reflexive=reflexive)
+        for i in range(5):
+            assert np.array_equal(
+                batched[i], transitive_closure(stack[i], reflexive=reflexive)
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 13, 20])
+    def test_fixed_iterations_reaches_fixpoint(self, seed, n):
+        # The call-overhead-free mode must compute the identical closure:
+        # ceil(log2(n - 1)) squarings provably suffice with the diagonal
+        # set, including on the worst case (a directed path).
+        rng = np.random.default_rng(seed)
+        stack = rng.random((4, n, n)) < 0.25
+        assert np.array_equal(
+            batched_transitive_closure(stack, fixed_iterations=True),
+            batched_transitive_closure(stack),
+        )
+
+    def test_fixed_iterations_on_path_graph(self):
+        # Longest possible shortest path: 0 -> 1 -> ... -> n-1.
+        n = 9
+        path = np.zeros((1, n, n), dtype=bool)
+        path[0, np.arange(n - 1), np.arange(1, n)] = True
+        closure = batched_transitive_closure(path, fixed_iterations=True)[0]
+        assert closure[0, n - 1]
+        assert np.array_equal(closure, np.triu(np.ones((n, n), dtype=bool)))
+
+    def test_rejects_non_stack(self):
+        with pytest.raises(ValueError):
+            batched_transitive_closure(np.zeros((3, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            batched_transitive_closure(np.zeros((2, 3, 4), dtype=bool))
+
+    def test_empty_batch_and_empty_graphs(self):
+        assert batched_transitive_closure(
+            np.zeros((0, 4, 4), dtype=bool)
+        ).shape == (0, 4, 4)
+        assert batched_transitive_closure(
+            np.zeros((3, 0, 0), dtype=bool)
+        ).shape == (3, 0, 0)
+
+    def test_returns_bool(self):
+        out = batched_transitive_closure(np.eye(3, dtype=bool)[None])
+        assert out.dtype == np.bool_
+
+
+class TestRootComponentScatter:
+    """The vectorized label-scatter version of the root-component count."""
+
+    @pytest.mark.parametrize("n,p,seed", [
+        (n, p, seed)
+        for n in (1, 2, 6, 11, 17)
+        for p in (0.0, 0.08, 0.3, 1.0)
+        for seed in range(3)
+    ])
+    def test_matches_condensation(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        adj = rng.random((n, n)) < p
+        assert root_component_count_matrix(adj) == count_root_components(
+            from_adjacency(adj)
+        )
+
+    def test_empty_graph(self):
+        assert root_component_count_matrix(np.zeros((0, 0), dtype=bool)) == 0
+
+    def test_isolated_nodes_are_roots(self):
+        assert root_component_count_matrix(np.zeros((4, 4), dtype=bool)) == 4
+
+    def test_single_scc_is_one_root(self):
+        assert root_component_count_matrix(np.ones((5, 5), dtype=bool)) == 1
 
 
 class TestPredicateKernels:

@@ -214,3 +214,35 @@ class TestPsrcsProperties:
         if not result.holds:
             assert len(result.witness) == k + 1
             assert two_sources_of(g, result.witness) == []
+
+
+class TestMatrixChecker:
+    """check_skeleton_matrix (the vectorized backend's entry point) must
+    agree with the set-based checker on the same skeleton."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_matches_set_checker_on_random_skeletons(self, seed, k):
+        from repro.graphs.generators import to_adjacency
+
+        rng = np.random.default_rng(seed)
+        g = gnp_random(9, 0.25, rng)
+        matrix = to_adjacency(g, 9)
+        assert (
+            Psrcs(k).check_skeleton_matrix(matrix).holds
+            == Psrcs(k).check_skeleton(g).holds
+        )
+
+    def test_matches_on_grouped_adversary(self):
+        for m, k in ((1, 1), (2, 2), (3, 3), (3, 2)):
+            adv = GroupedSourceAdversary(9, num_groups=m, seed=0)
+            want = Psrcs(k).check_skeleton(adv.declared_stable_graph()).holds
+            got = Psrcs(k).check_skeleton_matrix(
+                adv.declared_stable_matrix()
+            ).holds
+            assert got == want == (m <= k)
+
+    def test_vacuous_when_n_at_most_k(self):
+        matrix = np.zeros((3, 3), dtype=bool)
+        assert Psrcs(3).check_skeleton_matrix(matrix).holds
+        assert Psrcs(5).check_skeleton_matrix(matrix).holds
