@@ -19,8 +19,14 @@ from repro.engine.scenarios import ScenarioSpec
 
 
 def _campaign_rows(named_specs, store_path, extra_cols):
-    """Run (resumably) and return one row per named scenario, in order."""
-    campaign = Campaign([spec for _, spec in named_specs], store=store_path)
+    """Run (resumably) and return one row per named scenario, in order.
+
+    ``backend="auto"``: the Algorithm-1 arm executes on the vectorized
+    fast path (identical metrics), the baseline algorithms transparently
+    fall back to the reference simulator."""
+    campaign = Campaign(
+        [spec for _, spec in named_specs], store=store_path, backend="auto"
+    )
     campaign.run()
     by_id = {r.scenario_id: r for r in campaign.completed_results()}
     rows = []

@@ -56,6 +56,62 @@ cmp "$summary_ref" "$summary_vec"
 echo "reference and vectorized summaries byte-identical: OK"
 
 echo
+echo "== experiment registry: every family as a campaign =="
+# One small scenario grid per registered family through
+# `campaign run --family`; where the family supports the vectorized fast
+# path, run it on both backends and byte-compare the canonical summaries.
+run_family() {
+    local family="$1"; shift
+    local args=("$@")
+    local fdir="$workdir/family_$family"
+    mkdir -p "$fdir"
+    echo "-- family: $family (reference) --"
+    python -m repro campaign run --family "$family" \
+        --store "$fdir/ref.jsonl" --summary "$fdir/ref_summary.jsonl" \
+        --backend reference "${args[@]}" > /dev/null
+    # Resume executes nothing new.  (Capture, then grep: `grep -q` would
+    # close the pipe early and SIGPIPE the CLI.)
+    python -m repro campaign run --family "$family" \
+        --store "$fdir/ref.jsonl" --backend reference "${args[@]}" \
+        > "$fdir/resume.out"
+    grep -qE "executed now +0" "$fdir/resume.out"
+    python -m repro campaign report --family "$family" \
+        --store "$fdir/ref.jsonl" "${args[@]}" > /dev/null
+}
+
+run_family_vectorized() {
+    local family="$1"; shift
+    local args=("$@")
+    local fdir="$workdir/family_$family"
+    echo "-- family: $family (vectorized vs reference) --"
+    python -m repro campaign run --family "$family" \
+        --store "$fdir/vec.jsonl" --summary "$fdir/vec_summary.jsonl" \
+        --backend vectorized "${args[@]}" > /dev/null
+    cmp "$fdir/ref_summary.jsonl" "$fdir/vec_summary.jsonl"
+}
+
+run_family figure1
+run_family theorem2 -n 6 -k 3
+run_family sweeps -n 5 6 -k 2 --seeds 2 --noise 0.1
+run_family_vectorized sweeps -n 5 6 -k 2 --seeds 2 --noise 0.1
+run_family termination -n 5 6 --seeds 2
+run_family_vectorized termination -n 5 6 --seeds 2
+run_family ablation -n 5 -k 2 --seeds 2
+run_family duality -n 6 --density 0.1 0.3 --seeds 2
+run_family eventual -n 5 --bad-rounds 0 2 --seeds 1
+run_family latency -n 5 6 --seeds 2 --noise 0.1
+run_family_vectorized latency -n 5 6 --seeds 2 --noise 0.1
+echo "all families ran as campaigns (summaries backend-identical): OK"
+
+echo
+echo "== store-native aggregation: percentile table from the journal =="
+python -m repro campaign report --family latency --aggregate \
+    --store "$workdir/family_latency/ref.jsonl" -n 5 6 --seeds 2 \
+    --noise 0.1 > "$workdir/aggregate.out"
+grep -q "p50_decide" "$workdir/aggregate.out"
+echo "aggregate report: OK"
+
+echo
 python -m repro campaign status --store "$store" "${grid[@]}"
 echo
 echo "smoke: OK"

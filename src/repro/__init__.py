@@ -42,8 +42,10 @@ from repro.core import (
     make_processes,
 )
 from repro.engine import (
+    AggregateTable,
     Campaign,
     CampaignReport,
+    ExperimentSpec,
     ResultStore,
     ScenarioGrid,
     ScenarioResult,
@@ -53,7 +55,13 @@ from repro.engine import (
     execute_scenario_vectorized,
     execute_scenario_with_backend,
     execute_scenarios,
+    family_campaign,
+    family_names,
+    get_family,
+    latency_table,
+    rollup,
     run_campaign,
+    run_family,
     termination_grid,
 )
 from repro.experiments.sweeps import (
@@ -126,8 +134,10 @@ __all__ = [
     "run_algorithm1",
     "termination_sweep",
     # engine
+    "AggregateTable",
     "Campaign",
     "CampaignReport",
+    "ExperimentSpec",
     "ResultStore",
     "ScenarioGrid",
     "ScenarioResult",
@@ -137,6 +147,12 @@ __all__ = [
     "execute_scenario_vectorized",
     "execute_scenario_with_backend",
     "execute_scenarios",
+    "family_campaign",
+    "family_names",
+    "get_family",
+    "latency_table",
+    "rollup",
     "run_campaign",
+    "run_family",
     "termination_grid",
 ]

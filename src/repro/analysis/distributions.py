@@ -4,14 +4,18 @@ The single-run statistics in :mod:`repro.analysis.stats` answer "did this
 run meet the bound"; experiments also need distributional answers — how
 decision latency scales with n, how noise affects stabilization, how often
 noisy runs collapse to fewer values than root components.  This module
-aggregates seed ensembles into percentile tables (the closest thing to the
-"figures" a systems paper would plot).
+exposes those tables as typed rows.
 
-The ensembles route through the campaign engine (:mod:`repro.engine`):
-each table builds seeded :class:`~repro.engine.scenarios.ScenarioSpec`
-ensembles, executes them with :func:`~repro.engine.campaign.run_campaign`
-(optionally parallel via ``jobs``, optionally journaled to a JSONL
-``store``) and aggregates the summary records into percentiles.
+All accumulation lives in :mod:`repro.engine.aggregate`: the ensembles
+route through the campaign engine (seeded
+:class:`~repro.engine.scenarios.ScenarioSpec` grids executed with
+:func:`~repro.engine.campaign.run_campaign`, optionally parallel via
+``jobs``, optionally journaled to a JSONL ``store``) and the percentile
+rows here are :func:`~repro.engine.aggregate.decision_latency_summary`
+applied to the journaled records — the exact same aggregation ``campaign
+report --aggregate`` prints straight from a store.  The registered
+``latency`` experiment family runs the same grid/aggregation as a
+first-class campaign (``campaign run --family latency``).
 """
 
 from __future__ import annotations
@@ -19,10 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
+from repro.engine.aggregate import (
+    AggregateTable,
+    decision_latency_summary,
+    latency_table,
+)
 from repro.engine.campaign import run_campaign
 from repro.engine.executor import require_ok
+from repro.engine.registry import ExperimentSpec, register
 from repro.engine.scenarios import ScenarioSpec
 
 
@@ -69,17 +77,15 @@ class LatencyDistribution:
     ]
 
 
-def latency_distribution(
+def latency_specs(
     n: int,
     num_groups: int,
     noise: float,
     seeds: Sequence[int],
     topology: str = "cycle",
-    jobs: int = 1,
-    store=None,
-) -> LatencyDistribution:
-    """Run a seed ensemble through the engine and summarize latency."""
-    specs = [
+) -> list[ScenarioSpec]:
+    """The seed ensemble behind one latency-distribution cell."""
+    return [
         ScenarioSpec(
             n=n,
             k=num_groups,
@@ -90,38 +96,28 @@ def latency_distribution(
         )
         for seed in seeds
     ]
+
+
+def latency_distribution(
+    n: int,
+    num_groups: int,
+    noise: float,
+    seeds: Sequence[int],
+    topology: str = "cycle",
+    jobs: int = 1,
+    store=None,
+    backend: str = "auto",
+) -> LatencyDistribution:
+    """Run a seed ensemble through the engine and summarize latency."""
+    specs = latency_specs(n, num_groups, noise, seeds, topology=topology)
     # Infrastructure failures are not theory violations: a crashed
     # worker must not be tallied into bound_violations.
-    results = require_ok(run_campaign(specs, store=store, jobs=jobs))
-    last_rounds: list[int] = []
-    stabilizations: list[int] = []
-    value_counts: list[int] = []
-    violations = 0
-    for result in results:
-        if result.last_decision_round is None:
-            violations += 1
-            continue
-        last_rounds.append(result.last_decision_round)
-        if result.stabilization is not None:
-            stabilizations.append(result.stabilization)
-        value_counts.append(result.distinct_decisions)
-        if result.within_bound is False:
-            violations += 1
-    if not last_rounds:
-        raise RuntimeError("no run produced decisions")
-    arr = np.asarray(last_rounds, dtype=float)
-    st_arr = np.asarray(stabilizations or [np.nan], dtype=float)
+    results = require_ok(
+        run_campaign(specs, store=store, jobs=jobs, backend=backend)
+    )
     return LatencyDistribution(
-        n=n,
-        num_groups=num_groups,
-        noise=noise,
-        runs=len(seeds),
-        p50_last_decide=float(np.percentile(arr, 50)),
-        p95_last_decide=float(np.percentile(arr, 95)),
-        max_last_decide=int(arr.max()),
-        p50_stabilization=float(np.nanpercentile(st_arr, 50)),
-        mean_values=float(np.mean(value_counts)),
-        bound_violations=violations,
+        n=n, num_groups=num_groups, noise=noise,
+        **decision_latency_summary(results),
     )
 
 
@@ -132,11 +128,13 @@ def latency_scaling_table(
     noise: float = 0.2,
     jobs: int = 1,
     store=None,
+    backend: str = "auto",
 ) -> list[LatencyDistribution]:
     """LATENCY-DIST: percentile latencies vs n (linear per Lemma 11)."""
     return [
         latency_distribution(
-            n, min(num_groups, n), noise, seeds, jobs=jobs, store=store
+            n, min(num_groups, n), noise, seeds, jobs=jobs, store=store,
+            backend=backend,
         )
         for n in ns
     ]
@@ -149,13 +147,93 @@ def noise_sensitivity_table(
     num_groups: int = 3,
     jobs: int = 1,
     store=None,
+    backend: str = "auto",
 ) -> list[LatencyDistribution]:
     """How transient noise shifts stabilization and value collapse:
     more noise → later stabilization (more edges must die) but also more
     early value leakage (fewer distinct decisions)."""
     return [
         latency_distribution(
-            n, num_groups, noise, seeds, jobs=jobs, store=store
+            n, num_groups, noise, seeds, jobs=jobs, store=store,
+            backend=backend,
         )
         for noise in noises
     ]
+
+
+# ----------------------------------------------------------------------
+# Experiment-registry spec (stock-runner specs, untagged: the grid is
+# hash-compatible with the journals the benchmarks already wrote).
+# ----------------------------------------------------------------------
+def _latency_grid(params) -> list[ScenarioSpec]:
+    noises = (
+        params["noise"]
+        if isinstance(params["noise"], (list, tuple))
+        else (params["noise"],)
+    )
+    specs = []
+    for n in params["n"]:
+        groups = min(params["groups"], n)
+        for noise in noises:
+            specs.extend(
+                latency_specs(
+                    n, groups, noise, range(params["seeds"]),
+                    topology=params["topology"],
+                )
+            )
+    return specs
+
+
+def _latency_aggregate(results) -> AggregateTable:
+    return latency_table(results)
+
+
+def _latency_render(results) -> tuple[str, int]:
+    table = latency_table(
+        results,
+        title="LATENCY-DIST — decision-latency percentiles per "
+        "(n, groups, noise) ensemble (Lemma 11: r_ST + 2n - 1)",
+    )
+    ok = all(row[-1] == 0 for row in table.rows)
+    return table.format(), 0 if ok else 1
+
+
+register(
+    ExperimentSpec(
+        name="latency",
+        title="LATENCY-DIST: decision-latency percentiles vs n and noise",
+        build_grid=_latency_grid,
+        render=_latency_render,
+        headers=(
+            "n",
+            "groups",
+            "noise",
+            "seed",
+            "status",
+            "last_rnd",
+            "r_ST",
+            "bound",
+            "within",
+        ),
+        row=lambda r: [
+            r.spec.n,
+            r.spec.num_groups,
+            r.spec.noise,
+            r.spec.seed,
+            r.status,
+            r.last_decision_round,
+            r.stabilization,
+            r.lemma11_bound,
+            r.within_bound,
+        ],
+        aggregate=_latency_aggregate,
+        defaults=(
+            ("groups", 2),
+            ("n", (6, 9, 12)),
+            ("noise", (0.2,)),
+            ("seeds", 5),
+            ("topology", "cycle"),
+        ),
+        vectorizable=True,
+    )
+)

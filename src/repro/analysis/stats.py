@@ -93,6 +93,11 @@ def message_stats(run: Run) -> MessageStats:
     Requires the run to have been recorded with
     ``SimulationConfig(record_messages=True)``.
     """
+    # Lazy: this module sits below the engine package in the import
+    # graph (the executor imports it), so the aggregation kernels are
+    # resolved at call time.
+    from repro.engine.aggregate import summarize_values
+
     sizes: list[int] = []
     for r in range(1, run.num_rounds + 1):
         for msg in run.messages(r).values():
@@ -101,14 +106,14 @@ def message_stats(run: Run) -> MessageStats:
         raise ValueError(
             "run has no recorded messages; simulate with record_messages=True"
         )
-    arr = np.asarray(sizes, dtype=np.int64)
+    summary = summarize_values(np.asarray(sizes, dtype=np.int64))
     return MessageStats(
         n=run.n,
         num_rounds=run.num_rounds,
-        num_messages=len(sizes),
-        max_bits=int(arr.max()),
-        mean_bits=float(arr.mean()),
-        total_bits=int(arr.sum()),
+        num_messages=summary["count"],
+        max_bits=int(summary["max"]),
+        mean_bits=summary["mean"],
+        total_bits=int(summary["sum"]),
     )
 
 

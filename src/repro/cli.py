@@ -9,9 +9,22 @@ Subcommands::
     skeleton-agreement sweep ...          # ALG-AGREE/THM1 parameter sweep
     skeleton-agreement ablation ...       # design-knob ablation matrix
     skeleton-agreement duality ...        # §V rc-vs-α exploration
+    skeleton-agreement eventual ...       # ♦Psrcs bad-prefix step function
     skeleton-agreement campaign run ...   # parallel, resumable campaigns
     skeleton-agreement campaign status .. # store-vs-grid reconciliation
-    skeleton-agreement campaign report .. # per-scenario result table
+    skeleton-agreement campaign report .. # per-scenario / aggregate tables
+
+Every experiment family (``figure1``, ``theorem2``, ``sweeps``,
+``termination``, ``ablation``, ``duality``, ``eventual``, ``latency``) is
+a registered :class:`~repro.engine.registry.ExperimentSpec`; the
+per-family subcommands above are sugar over
+``campaign run --family <name>`` and therefore all take ``--jobs N``,
+``--store PATH`` (resume-by-hash) and ``--backend
+{reference,vectorized,auto}``.
+
+Campaign exit codes: 0 = complete and green, 1 = incomplete (half-executed
+grid) or failed (terminal errors), 2 = nothing to do (the grid expanded to
+zero scenarios).
 
 Also runnable as ``python -m repro``.
 """
@@ -25,22 +38,115 @@ from repro.adversaries.grouped import GroupedSourceAdversary
 from repro.analysis.properties import check_agreement_properties
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import decision_stats
-from repro.core.algorithm import make_processes
-from repro.experiments.figure1 import render_figure1
-from repro.experiments.sweeps import run_algorithm1
-from repro.experiments.theorem2 import theorem2_experiment
 from repro.graphs.condensation import root_components
 from repro.predicates.psrcs import Psrcs
 
 
+# ----------------------------------------------------------------------
+# Experiment families: one runner for all sugar subcommands
+# ----------------------------------------------------------------------
+_FAMILY_PARAM_KEYS = (
+    "n",
+    "k",
+    "seeds",
+    "noise",
+    "topology",
+    "groups",
+    "density",
+    "bad_rounds",
+    "max_rounds",
+)
+
+
+def _family_params(args: argparse.Namespace) -> dict:
+    """Collect the grid params the user actually provided (``None`` means
+    "use the family default")."""
+    params = {}
+    for key in _FAMILY_PARAM_KEYS:
+        value = getattr(args, key, None)
+        if value is not None:
+            params[key] = value
+    return params
+
+
+def _errmsg(exc: BaseException) -> str:
+    """``str(KeyError)`` is the repr of its argument (extra quotes);
+    unwrap it for user-facing messages."""
+    if isinstance(exc, KeyError) and exc.args:
+        return str(exc.args[0])
+    return str(exc)
+
+
+def _run_family_command(name: str, args: argparse.Namespace) -> int:
+    """Execute one family as a campaign and render its historical output.
+
+    This is what makes ``figure1``/``theorem2``/``sweep``/``ablation``/
+    ``duality``/``eventual`` sugar over ``campaign run --family <name>``:
+    same grid, same runner, same journal format — plus the engine's
+    ``--jobs``, resume and backend selection."""
+    from repro.engine.registry import family_campaign, get_family
+
+    try:
+        family = get_family(name)
+        campaign = family_campaign(
+            name,
+            _family_params(args),
+            store=getattr(args, "store", None),
+            jobs=getattr(args, "jobs", 1),
+            timeout=getattr(args, "timeout", None),
+            backend=getattr(args, "backend", None),
+        )
+    except (KeyError, ValueError) as exc:
+        print(_errmsg(exc))
+        return 2
+    campaign.run()
+    results = campaign.completed_results()
+    failed = [r for r in results if not r.ok]
+    if failed:
+        for result in failed[:5]:
+            print(
+                f"{result.scenario_id} ({result.status}): {result.error}"
+            )
+        print(
+            f"\n{len(failed)}/{len(results)} scenarios failed to execute"
+        )
+        return 1
+    if not results:
+        print("nothing to do: the grid expanded to 0 scenarios")
+        return 2
+    text, code = family.render(results)
+    print(text)
+    return code
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    """The engine flags every family subcommand gains for free."""
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--store", default=None,
+                   help="JSONL journal path (resume-by-hash; default: "
+                   "in-memory)")
+    p.add_argument(
+        "--backend",
+        choices=["reference", "vectorized", "auto"],
+        default=None,
+        help="execution engine (default: the family's preference; "
+        "metrics are identical across backends)",
+    )
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-scenario time budget in seconds")
+
+
+# ----------------------------------------------------------------------
+# Plain subcommands
+# ----------------------------------------------------------------------
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    print("Figure 1 — 6 processes, Psrcs(3) holds (self-loops omitted)")
-    print()
-    print(render_figure1())
-    return 0
+    return _run_family_command("figure1", args)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import run_algorithm1
+
     adversary = GroupedSourceAdversary(
         args.n,
         num_groups=args.groups,
@@ -66,17 +172,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_theorem2(args: argparse.Namespace) -> int:
-    report = theorem2_experiment(args.n, args.k)
-    rows = [
-        ["Psrcs(k) holds", report.psrcs_k_holds],
-        ["Psrcs(k-1) holds", report.psrcs_k_minus_1_holds],
-        ["distinct decisions", report.distinct_decisions],
-        ["forced value count (=k)", report.k],
-        ["isolated decided own value", report.isolated_decided_own],
-        ["confirms Theorem 2", report.confirms_theorem],
-    ]
-    print(format_table(["check", "result"], rows, title=f"Theorem 2, n={args.n}, k={args.k}"))
-    return 0 if report.confirms_theorem else 1
+    return _run_family_command("theorem2", args)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -93,124 +189,163 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.sweeps import SweepResult, agreement_sweep
-
-    rows = agreement_sweep(
-        ns=args.n, ks=args.k, seeds=range(args.seeds), noise=args.noise
-    )
-    print(
-        format_table(
-            SweepResult.HEADERS,
-            [r.as_row() for r in rows],
-            title="Agreement sweep (Theorem 16 / Theorem 1)",
-        )
-    )
-    bad = [r for r in rows if r.distinct_decisions > r.k or not r.all_decided]
-    if bad:
-        print(f"\n{len(bad)} runs violated their bound!")
-        return 1
-    print(f"\nall {len(rows)} runs within their k bound and terminated")
-    return 0
+    return _run_family_command("sweeps", args)
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    from repro.experiments.ablation import AblationOutcome, standard_ablation_suite
-
-    outcomes = standard_ablation_suite(
-        n=args.n, k=args.k, seeds=range(args.seeds)
-    )
-    print(
-        format_table(
-            AblationOutcome.HEADERS,
-            [o.as_row() for o in outcomes],
-            title=f"Ablation matrix (n={args.n}, k={args.k}, "
-            f"{args.seeds} seeds)",
-        )
-    )
-    paper = outcomes[0]
-    clean = (
-        paper.invariant_violations == 0
-        and paper.agreement_violations == 0
-        and paper.termination_failures == 0
-    )
-    return 0 if clean else 1
+    return _run_family_command("ablation", args)
 
 
 def _cmd_duality(args: argparse.Namespace) -> int:
-    from repro.experiments.duality import duality_sweep
+    return _run_family_command("duality", args)
 
-    rows = duality_sweep(
-        ns=tuple(args.n), densities=tuple(args.density), seeds=range(args.seeds)
-    )
-    print(
-        format_table(
-            ["n", "density", "mean rc", "mean α", "mean gap", "Thm1 violations"],
-            rows,
-            title="Duality: root components vs tightest Psrcs level (§V)",
-        )
-    )
-    return 0 if all(row[5] == 0 for row in rows) else 1
+
+def _cmd_eventual(args: argparse.Namespace) -> int:
+    return _run_family_command("eventual", args)
+
+
+# ----------------------------------------------------------------------
+# Campaign subcommands
+# ----------------------------------------------------------------------
+_GRID_DEFAULTS = {"n": [6, 9], "k": [2, 3], "seeds": 3, "noise": [0.15],
+                  "topology": "cycle"}
 
 
 def _campaign_from_args(args: argparse.Namespace):
     from repro.engine import Campaign, ScenarioGrid, agreement_grid
 
+    if getattr(args, "family", None):
+        from repro.engine.registry import family_campaign
+
+        return family_campaign(
+            args.family,
+            _family_params(args),
+            store=args.store,
+            jobs=getattr(args, "jobs", 1),
+            timeout=getattr(args, "timeout", None),
+            backend=getattr(args, "backend", None),
+        )
     if args.grid_json:
         with open(args.grid_json, "r", encoding="utf-8") as fh:
             grid = ScenarioGrid.from_json(fh.read())
     else:
         grid = agreement_grid(
-            ns=args.n,
-            ks=args.k,
-            seeds=range(args.seeds),
-            noises=args.noise,
-            topology=args.topology,
+            ns=args.n if args.n is not None else _GRID_DEFAULTS["n"],
+            ks=args.k if args.k is not None else _GRID_DEFAULTS["k"],
+            seeds=range(
+                args.seeds if args.seeds is not None
+                else _GRID_DEFAULTS["seeds"]
+            ),
+            noises=args.noise if args.noise is not None
+            else _GRID_DEFAULTS["noise"],
+            topology=args.topology or _GRID_DEFAULTS["topology"],
         )
     return Campaign(
         grid,
         store=args.store,
         jobs=getattr(args, "jobs", 1),
         timeout=getattr(args, "timeout", None),
-        backend=getattr(args, "backend", "reference"),
+        backend=getattr(args, "backend", None) or "reference",
     )
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    campaign = _campaign_from_args(args)
+    try:
+        campaign = _campaign_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(_errmsg(exc))
+        return 2
     report = campaign.run(resume=not args.no_resume)
     print(report.summary())
     if args.summary:
         lines = campaign.write_summary(args.summary)
         print(f"\nwrote {lines} canonical summary lines to {args.summary}")
-    return 0 if campaign.status().succeeded else 1
+    status = campaign.status()
+    print(f"\n{status.describe()}")
+    return status.exit_code()
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    campaign = _campaign_from_args(args)
+    try:
+        campaign = _campaign_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(_errmsg(exc))
+        return 2
     status = campaign.status()
     print(status.summary())
-    return 0 if status.succeeded else 1
+    print(f"\n{status.describe()}")
+    return status.exit_code()
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
-    campaign = _campaign_from_args(args)
-    print(campaign.report_table(limit=args.limit))
+    try:
+        campaign = _campaign_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(_errmsg(exc))
+        return 2
+    family = None
+    if getattr(args, "family", None):
+        from repro.engine.registry import get_family
+
+        family = get_family(args.family)
     results = campaign.completed_results()
+    if args.aggregate:
+        # Store-native aggregation: the family's table when it has one,
+        # the generic latency percentile rollup otherwise — computed
+        # straight from the journaled records.
+        from repro.engine.aggregate import latency_table
+
+        ok_results = [r for r in results if r.ok]
+        try:
+            if family is not None and family.aggregate is not None:
+                table = family.aggregate(ok_results)
+            else:
+                table = latency_table(ok_results)
+        except RuntimeError as exc:
+            # e.g. an ensemble cell where no run decided: the rows are
+            # not summarizable, which is a red report, not a crash.
+            print(f"cannot aggregate this store: {exc}")
+            return 1
+        print(table.format(title="campaign aggregate "
+                           f"({len(ok_results)} scenarios)"))
+    elif family is not None and family.row is not None:
+        shown = results if args.limit is None else results[: args.limit]
+        print(
+            family.table(
+                shown,
+                title=f"campaign report — family {family.name} "
+                f"({len(results)} of {len(campaign.specs)} scenarios)",
+            )
+        )
+    else:
+        print(campaign.report_table(limit=args.limit))
     failed = [r for r in results if not r.ok]
     bad = [
         r
         for r in results
-        if r.ok and (not r.k_agreement_holds or not r.all_decided)
+        if r.ok
+        and (r.k_agreement_holds is False or r.all_decided is False)
     ]
+    status = campaign.status()
     print(
         f"\n{len(results)}/{len(campaign.specs)} scenarios stored, "
         f"{len(failed)} failed to execute, "
         f"{len(bad)} violated their k bound or failed to terminate"
     )
     # A half-executed grid must not report green: the unexecuted half
-    # could hold the violations.
-    succeeded = campaign.status().succeeded
-    return 0 if succeeded and results and not bad else 1
+    # could hold the violations.  An empty grid is not green either —
+    # it is "nothing to do" (exit 2), so automation can tell vacuous
+    # success from real success.
+    print(status.describe())
+    if status.exit_code() == 2:
+        return 2
+    if family is not None:
+        # Family semantics own their verdicts (a non-terminating ablated
+        # variant is a *successful* ablation finding, not a red report);
+        # the family's render/aggregate path judges the science.  Here:
+        # green iff fully executed with no terminal failures.
+        return 0 if status.succeeded and results else 1
+    return 0 if status.succeeded and results and not bad else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,9 +356,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("figure1", help="regenerate Figure 1").set_defaults(
-        func=_cmd_figure1
-    )
+    p_fig1 = sub.add_parser("figure1", help="regenerate Figure 1")
+    p_fig1.add_argument("--max-rounds", type=int, default=None)
+    _add_engine_args(p_fig1)
+    p_fig1.set_defaults(func=_cmd_figure1)
 
     p_run = sub.add_parser("run", help="simulate Algorithm 1")
     p_run.add_argument("-n", type=int, default=9, help="number of processes")
@@ -238,8 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_thm2 = sub.add_parser("theorem2", help="impossibility construction")
-    p_thm2.add_argument("-n", type=int, default=8)
-    p_thm2.add_argument("-k", type=int, default=3)
+    p_thm2.add_argument("-n", type=int, nargs="+", default=[8])
+    p_thm2.add_argument("-k", type=int, nargs="+", default=[3])
+    _add_engine_args(p_thm2)
     p_thm2.set_defaults(func=_cmd_theorem2)
 
     p_check = sub.add_parser("check", help="check Psrcs(k) on an adversary")
@@ -257,12 +394,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("-k", type=int, nargs="+", default=[2, 3])
     p_sweep.add_argument("--seeds", type=int, default=2)
     p_sweep.add_argument("--noise", type=float, default=0.2)
+    _add_engine_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_abl = sub.add_parser("ablation", help="design-knob ablation matrix")
     p_abl.add_argument("-n", type=int, default=9)
     p_abl.add_argument("-k", type=int, default=3)
     p_abl.add_argument("--seeds", type=int, default=6)
+    _add_engine_args(p_abl)
     p_abl.set_defaults(func=_cmd_ablation)
 
     p_dual = sub.add_parser("duality", help="rc vs α exploration (§V)")
@@ -270,7 +409,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_dual.add_argument("--density", type=float, nargs="+",
                         default=[0.05, 0.15, 0.3])
     p_dual.add_argument("--seeds", type=int, default=5)
+    _add_engine_args(p_dual)
     p_dual.set_defaults(func=_cmd_duality)
+
+    p_ev = sub.add_parser(
+        "eventual", help="♦Psrcs bad-prefix step function (§III)"
+    )
+    p_ev.add_argument("-n", type=int, nargs="+", default=[8])
+    p_ev.add_argument("--bad-rounds", type=int, nargs="+",
+                      default=[0, 1, 2, 4, 8, 12, 20])
+    p_ev.add_argument("--seeds", type=int, default=1)
+    _add_engine_args(p_ev)
+    p_ev.set_defaults(func=_cmd_eventual)
 
     p_camp = sub.add_parser(
         "campaign", help="parallel, resumable Monte-Carlo campaigns"
@@ -281,14 +431,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--store", required=True, help="JSONL journal path (resume key)"
         )
-        p.add_argument("-n", type=int, nargs="+", default=[6, 9])
-        p.add_argument("-k", type=int, nargs="+", default=[2, 3])
-        p.add_argument("--seeds", type=int, default=3,
-                       help="seed range 0..S-1 per grid point")
-        p.add_argument("--noise", type=float, nargs="+", default=[0.15])
         p.add_argument(
-            "--topology", choices=["star", "cycle", "clique"], default="cycle"
+            "--family",
+            default=None,
+            help="run a registered experiment family (figure1, theorem2, "
+            "sweeps, termination, ablation, duality, eventual, latency) "
+            "instead of the generic agreement grid",
         )
+        p.add_argument("-n", type=int, nargs="+", default=None)
+        p.add_argument("-k", type=int, nargs="+", default=None)
+        p.add_argument("--seeds", type=int, default=None,
+                       help="seed range 0..S-1 per grid point")
+        p.add_argument("--noise", type=float, nargs="+", default=None)
+        p.add_argument(
+            "--topology", choices=["star", "cycle", "clique"], default=None
+        )
+        p.add_argument("--groups", type=int, default=None,
+                       help="group count (termination/latency families)")
+        p.add_argument("--density", type=float, nargs="+", default=None,
+                       help="edge densities (duality family)")
+        p.add_argument("--bad-rounds", type=int, nargs="+", default=None,
+                       help="bad-prefix lengths (eventual family)")
+        p.add_argument("--max-rounds", type=int, default=None,
+                       help="round cap override (figure1 family)")
         p.add_argument(
             "--grid-json",
             default=None,
@@ -302,7 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument(
         "--backend",
         choices=["reference", "vectorized", "auto"],
-        default="reference",
+        default=None,
         help="execution engine: the per-object reference simulator, the "
         "batched-matrix fast path, or auto (fast path with transparent "
         "fallback); metrics and summaries are identical either way",
@@ -320,10 +485,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_args(p_cstat)
     p_cstat.set_defaults(func=_cmd_campaign_status)
 
-    p_crep = camp_sub.add_parser("report", help="per-scenario result table")
+    p_crep = camp_sub.add_parser(
+        "report", help="per-scenario result table / store-native aggregates"
+    )
     _add_grid_args(p_crep)
     p_crep.add_argument("--limit", type=int, default=None,
                         help="show at most this many rows")
+    p_crep.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="print the store-native aggregate table (the family's "
+        "aggregator, or the generic latency percentile rollup) instead "
+        "of per-scenario rows",
+    )
     p_crep.set_defaults(func=_cmd_campaign_report)
     return parser
 

@@ -27,6 +27,15 @@ fleet-scale workload generator:
 * :mod:`repro.engine.campaign` — the **campaign API**
   (:class:`Campaign`), wired into the CLI as
   ``skeleton-agreement campaign run/status/report --jobs N --backend B``.
+* :mod:`repro.engine.registry` — the **experiment registry**: every
+  experiment family (figure1, theorem2, sweeps, termination, ablation,
+  duality, eventual, latency) as one declarative
+  :class:`ExperimentSpec` (grid builder + per-scenario runner + row
+  schema + aggregator), executable via ``campaign run --family <name>``.
+* :mod:`repro.engine.aggregate` — **store-native aggregation**: grouped
+  percentile/mean/CI tables computed straight from the JSONL journal
+  (:func:`rollup`, :func:`latency_table`), deterministic and
+  byte-identical however many workers produced the store.
 
 Quickstart
 ----------
@@ -38,6 +47,15 @@ Quickstart
 12
 """
 
+from repro.engine.aggregate import (
+    AggregateTable,
+    Column,
+    decision_latency_summary,
+    group_results,
+    latency_table,
+    rollup,
+    summarize_values,
+)
 from repro.engine.backends import (
     BACKENDS,
     execute_scenario_vectorized,
@@ -45,6 +63,14 @@ from repro.engine.backends import (
     fastpath_supported,
 )
 from repro.engine.campaign import Campaign, CampaignReport, run_campaign
+from repro.engine.registry import (
+    ExperimentSpec,
+    family_campaign,
+    family_names,
+    get_family,
+    register,
+    run_family,
+)
 from repro.engine.executor import (
     ScenarioResult,
     execute_scenario,
@@ -62,24 +88,37 @@ from repro.engine.store import ResultStore, decode_result, encode_result
 from repro.rounds.fastpath import FastPathUnsupported
 
 __all__ = [
+    "AggregateTable",
     "BACKENDS",
     "Campaign",
     "CampaignReport",
+    "Column",
+    "ExperimentSpec",
     "FastPathUnsupported",
     "ResultStore",
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
     "agreement_grid",
+    "decision_latency_summary",
     "decode_result",
     "encode_result",
     "execute_scenario",
     "execute_scenario_vectorized",
     "execute_scenario_with_backend",
     "execute_scenarios",
+    "family_campaign",
+    "family_names",
     "fastpath_supported",
+    "get_family",
+    "group_results",
+    "latency_table",
+    "register",
     "require_ok",
     "expand_grids",
+    "rollup",
     "run_campaign",
+    "run_family",
+    "summarize_values",
     "termination_grid",
 ]

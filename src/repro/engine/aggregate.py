@@ -1,0 +1,335 @@
+"""Store-native streaming aggregation: grouped percentile/mean/CI tables.
+
+The campaign journal holds one summary record per executed scenario.  This
+module turns a stream of those records into the *distribution* tables the
+experiments report — percentile latencies per ``(n, groups, noise)`` cell,
+mean/violation counts per variant, confidence intervals over seed
+ensembles — without any experiment writing its own accumulation loop.
+
+Three layers:
+
+* **Kernels** (:func:`p50`, :func:`p95`, :func:`mean`, :func:`ci95`,
+  :func:`summarize_values`) — the scalar statistics, pinned to the exact
+  NumPy calls the historical per-experiment aggregators used, so the
+  refactored tables are *byte-identical* to the pre-registry output.
+* **Rollup** (:func:`group_results`, :func:`rollup`,
+  :class:`AggregateTable`) — group a result stream by spec fields and/or
+  free-form options (first-occurrence order, i.e. grid order in, grid
+  order out — deterministic however many workers produced the journal)
+  and apply named column statistics per group.
+* **Domain tables** (:func:`decision_latency_summary`,
+  :func:`latency_groups`, :func:`latency_table`) — the LATENCY-DIST
+  percentile aggregation that :mod:`repro.analysis.distributions` and
+  ``campaign report --aggregate`` both route through.
+
+Everything consumes plain result sequences (anything shaped like
+:class:`~repro.engine.executor.ScenarioResult`), which is exactly what
+:meth:`ResultStore.iter_results` / :meth:`Campaign.completed_results`
+yield — aggregation reads straight off the JSONL journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+
+# ----------------------------------------------------------------------
+# Scalar kernels
+# ----------------------------------------------------------------------
+
+
+def p50(values: Sequence[float]) -> float:
+    """Median via ``np.percentile`` (linear interpolation, the historical
+    choice of every latency table)."""
+    return float(np.percentile(np.asarray(values, dtype=float), 50))
+
+
+def p95(values: Sequence[float]) -> float:
+    return float(np.percentile(np.asarray(values, dtype=float), 95))
+
+
+def mean(values: Sequence[float]) -> float:
+    return float(np.mean(values))
+
+
+def vmax(values: Sequence[float]) -> float:
+    return np.asarray(values).max().item()
+
+
+def vmin(values: Sequence[float]) -> float:
+    return np.asarray(values).min().item()
+
+
+def total(values: Sequence[float]) -> float:
+    return np.asarray(values).sum().item()
+
+
+def count(values: Sequence[Any]) -> int:
+    return len(values)
+
+
+def count_true(values: Sequence[Any]) -> int:
+    return sum(1 for v in values if v)
+
+
+def count_false(values: Sequence[Any]) -> int:
+    return sum(1 for v in values if not v)
+
+
+def ci95(values: Sequence[float]) -> tuple[float, float]:
+    """A normal-approximation 95% confidence interval for the mean.
+
+    Seed ensembles are i.i.d. draws, so the usual ``mean ± 1.96 s/√n``
+    applies; degenerate ensembles (one value) collapse to a point.
+    """
+    arr = np.asarray(values, dtype=float)
+    m = float(arr.mean())
+    if arr.size < 2:
+        return (m, m)
+    half = 1.96 * float(arr.std(ddof=1)) / float(np.sqrt(arr.size))
+    return (m - half, m + half)
+
+
+STATS: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "p50": p50,
+    "p95": p95,
+    "mean": mean,
+    "max": vmax,
+    "min": vmin,
+    "sum": total,
+    "count": count,
+    "count_true": count_true,
+    "count_false": count_false,
+    "ci95": ci95,
+}
+
+
+def summarize_values(values: Sequence[float]) -> dict[str, Any]:
+    """One-shot descriptive summary of a value list (the single-ensemble
+    face of the kernels; :mod:`repro.analysis.stats` routes its message
+    and latency summaries through this)."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty value list")
+    arr = np.asarray(values)
+    return {
+        "count": len(values),
+        "max": arr.max().item(),
+        "min": arr.min().item(),
+        "mean": float(arr.mean()),
+        "sum": arr.sum().item(),
+        "p50": float(np.percentile(arr.astype(float), 50)),
+        "p95": float(np.percentile(arr.astype(float), 95)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Generic grouped rollup
+# ----------------------------------------------------------------------
+def field_value(result: Any, name: str) -> Any:
+    """Resolve ``name`` against a result: spec fields first, then free-form
+    spec options, then result metrics/extras.  This is what lets group
+    keys and columns name anything a journal record carries."""
+    spec = result.spec
+    if hasattr(spec, name):
+        return getattr(spec, name)
+    sentinel = object()
+    value = spec.opt(name, sentinel)
+    if value is not sentinel:
+        return value
+    if hasattr(result, name):
+        return getattr(result, name)
+    value = result.extra(name, sentinel)
+    if value is not sentinel:
+        return value
+    raise KeyError(
+        f"{name!r} is neither a spec field, a spec option, a result "
+        f"metric nor a result extra"
+    )
+
+
+def group_results(
+    results: Iterable[Any], group_by: Sequence[str]
+) -> dict[tuple, list]:
+    """Group results by the named keys, preserving first-occurrence order
+    (dicts iterate in insertion order).  Feeding grid-ordered results in
+    yields grid-ordered groups out — the determinism the byte-identical
+    tables rest on."""
+    groups: dict[tuple, list] = {}
+    for result in results:
+        key = tuple(field_value(result, name) for name in group_by)
+        groups.setdefault(key, []).append(result)
+    return groups
+
+
+@dataclass(frozen=True)
+class Column:
+    """One aggregated column: gather ``source`` per result, apply ``stat``.
+
+    ``source`` is a field name (resolved via :func:`field_value`) or a
+    callable; ``stat`` is a :data:`STATS` name or a callable over the
+    gathered values.  ``None`` values are dropped before aggregation
+    unless ``keep_none`` is set (then they reach the stat callable).
+    """
+
+    name: str
+    source: str | Callable[[Any], Any]
+    stat: str | Callable[[Sequence[Any]], Any] = "mean"
+    keep_none: bool = False
+
+    def gather(self, results: Sequence[Any]) -> list:
+        extract = (
+            self.source
+            if callable(self.source)
+            else lambda r: field_value(r, self.source)
+        )
+        values = [extract(r) for r in results]
+        if not self.keep_none:
+            values = [v for v in values if v is not None]
+        return values
+
+    def apply(self, results: Sequence[Any]) -> Any:
+        fn = self.stat if callable(self.stat) else STATS[self.stat]
+        return fn(self.gather(results))
+
+
+@dataclass(frozen=True)
+class AggregateTable:
+    """A finished grouped table: headers + rows + a formatter."""
+
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    title: str | None = None
+
+    def format(self, title: str | None = None) -> str:
+        return format_table(
+            list(self.headers),
+            [list(row) for row in self.rows],
+            title=self.title if title is None else title,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()
+
+
+def rollup(
+    results: Iterable[Any],
+    group_by: Sequence[str],
+    columns: Sequence[Column],
+    title: str | None = None,
+) -> AggregateTable:
+    """Group, aggregate, tabulate: the one loop every experiment family's
+    aggregator is a configuration of."""
+    rows = []
+    for key, members in group_results(results, group_by).items():
+        rows.append(tuple(key) + tuple(c.apply(members) for c in columns))
+    headers = tuple(group_by) + tuple(c.name for c in columns)
+    return AggregateTable(headers=headers, rows=tuple(rows), title=title)
+
+
+# ----------------------------------------------------------------------
+# The LATENCY-DIST aggregation (the store-native percentile table)
+# ----------------------------------------------------------------------
+LATENCY_HEADERS = (
+    "n",
+    "groups",
+    "noise",
+    "runs",
+    "p50_decide",
+    "p95_decide",
+    "max_decide",
+    "p50_r_ST",
+    "mean_values",
+    "bound_viol",
+)
+
+
+def decision_latency_summary(results: Sequence[Any]) -> dict[str, Any]:
+    """Latency percentiles over one seed ensemble of ok results.
+
+    Replicates the historical ``latency_distribution`` accumulation
+    exactly (an undecided run counts as one violation and contributes no
+    latency; a decided run violating Lemma 11's bound counts as one
+    violation): the returned values are bit-equal to the pre-registry
+    tables.
+    """
+    last_rounds: list[int] = []
+    stabilizations: list[int] = []
+    value_counts: list[int] = []
+    violations = 0
+    for result in results:
+        if result.last_decision_round is None:
+            violations += 1
+            continue
+        last_rounds.append(result.last_decision_round)
+        if result.stabilization is not None:
+            stabilizations.append(result.stabilization)
+        value_counts.append(result.distinct_decisions)
+        if result.within_bound is False:
+            violations += 1
+    if not last_rounds:
+        raise RuntimeError("no run produced decisions")
+    arr = np.asarray(last_rounds, dtype=float)
+    st_arr = np.asarray(stabilizations or [np.nan], dtype=float)
+    return {
+        "runs": len(results),
+        "p50_last_decide": float(np.percentile(arr, 50)),
+        "p95_last_decide": float(np.percentile(arr, 95)),
+        "max_last_decide": int(arr.max()),
+        "p50_stabilization": float(np.nanpercentile(st_arr, 50)),
+        "mean_values": float(np.mean(value_counts)),
+        "bound_violations": violations,
+    }
+
+
+def latency_groups(
+    results: Iterable[Any],
+    group_by: Sequence[str] = ("n", "num_groups", "noise"),
+) -> list[tuple[tuple, dict[str, Any]]]:
+    """``(group key, latency summary)`` per ensemble cell, grid order."""
+    return [
+        (key, decision_latency_summary(members))
+        for key, members in group_results(results, group_by).items()
+    ]
+
+
+def latency_table(
+    results: Iterable[Any],
+    group_by: Sequence[str] = ("n", "num_groups", "noise"),
+    title: str | None = None,
+) -> AggregateTable:
+    """The LATENCY-DIST percentile table straight from stored results —
+    what ``campaign report --aggregate`` prints and what the
+    :class:`~repro.analysis.distributions.LatencyDistribution` rows are
+    built from."""
+    rows = []
+    for key, summary in latency_groups(results, group_by):
+        rows.append(
+            tuple(key)
+            + (
+                summary["runs"],
+                summary["p50_last_decide"],
+                summary["p95_last_decide"],
+                summary["max_last_decide"],
+                summary["p50_stabilization"],
+                round(summary["mean_values"], 2),
+                summary["bound_violations"],
+            )
+        )
+    return AggregateTable(
+        headers=tuple(group_by)
+        + (
+            "runs",
+            "p50_decide",
+            "p95_decide",
+            "max_decide",
+            "p50_r_ST",
+            "mean_values",
+            "bound_viol",
+        ),
+        rows=tuple(rows),
+        title=title,
+    )

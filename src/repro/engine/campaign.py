@@ -79,6 +79,46 @@ class CampaignStatus:
         succeeded — the CLI's shared green-ness condition."""
         return self.complete and self.errors == 0
 
+    def state(self) -> str:
+        """A four-way classification the CLI exit codes hang off:
+
+        * ``"nothing-to-do"`` — the grid expanded to zero scenarios.  An
+          empty-but-consistent store is *vacuously* green; it must be
+          distinguishable (exit 2) from a campaign that actually ran.
+        * ``"ok"`` — every scenario has a terminal record, none failed.
+        * ``"failed"`` — fully journaled but with terminal errors.
+        * ``"incomplete"`` — a half-executed grid: missing and/or
+          retriable-timeout scenarios remain.
+        """
+        if self.total == 0:
+            return "nothing-to-do"
+        if not self.complete:
+            return "incomplete"
+        if self.errors:
+            return "failed"
+        return "ok"
+
+    def describe(self) -> str:
+        """One self-explanatory line per state (printed by the CLI)."""
+        state = self.state()
+        if state == "nothing-to-do":
+            return "state: nothing-to-do (grid expanded to 0 scenarios)"
+        if state == "incomplete":
+            return (
+                f"state: incomplete (half-executed grid: {self.missing} "
+                f"missing, {self.timeouts} retriable of {self.total})"
+            )
+        if state == "failed":
+            return (
+                f"state: failed ({self.errors} of {self.total} scenarios "
+                "have terminal errors)"
+            )
+        return f"state: ok (all {self.total} scenarios complete)"
+
+    def exit_code(self) -> int:
+        """0 = ok, 2 = nothing-to-do, 1 = incomplete/failed."""
+        return {"ok": 0, "nothing-to-do": 2}.get(self.state(), 1)
+
     def as_rows(self) -> list[list]:
         return [
             ["scenarios in grid", self.total],

@@ -10,18 +10,25 @@ output is deterministic regardless of ``jobs``.
 Backends:
 
 * serial (``jobs <= 1``) — a plain loop, no pickling, easiest to debug;
-* ``multiprocessing.Pool`` (``jobs > 1``) — chunked dispatch (each task is
-  a contiguous slice of the grid, amortizing IPC), per-chunk timeouts
-  (a stuck chunk is marked ``"timeout"`` and the stragglers are killed
-  when the pool exits), and crash isolation (a scenario that raises
-  becomes a ``"error"`` result instead of poisoning the pool).
+* ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) — chunked
+  dispatch (each task is a contiguous slice of the grid, amortizing
+  IPC), per-chunk timeouts (a stuck chunk is marked ``"timeout"`` and
+  the stragglers are killed when the pool exits), and crash isolation
+  (a scenario that raises becomes a ``"error"`` result instead of
+  poisoning the pool).
 
-Known limit: crash isolation covers Python exceptions.  A worker killed
-*hard* (OOM killer, segfault in an extension) loses its chunk —
-``multiprocessing.Pool`` never completes that task, so without a
-``timeout`` the collection loop waits forever.  Set a ``timeout`` on
-campaigns that might hit hard crashes; the fleet deadline then converts
-the lost chunk into retriable ``"timeout"`` records.
+Hard-killed workers (OOM killer, segfault in an extension) are detected
+without needing a ``timeout``: dispatch runs on
+``concurrent.futures.ProcessPoolExecutor``, whose broken-pool protocol
+fails every outstanding chunk with ``BrokenProcessPool`` the moment a
+worker vanishes.  Chunks that were *observed running* come back as
+terminal ``"error"`` records (one of them killed its worker); chunks
+still queued when the pool broke never executed and come back retriable,
+so a resumed campaign re-runs the innocent majority instead of skipping
+it forever.  Either way the campaign surfaces the loss and exits red
+instead of hanging.  A ``timeout`` is still available for *stragglers*
+(scenarios that run but never finish): chunks past the fleet deadline
+yield retriable ``"timeout"`` records and their workers are killed.
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ import math
 import multiprocessing
 import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing.pool import MaybeEncodingError
 from typing import Any, Callable, Iterable, Sequence
@@ -67,6 +76,12 @@ class ScenarioResult:
     ``backend`` records which execution engine produced the result
     (provenance only: it is journaled but excluded from canonical
     summaries, which must be byte-identical across backends).
+    ``extras`` holds family-specific metrics as sorted ``(name, value)``
+    pairs of JSON scalars — registered experiment families stash the
+    quantities the core schema has no column for (ablation invariant
+    verdicts, duality α, the Figure 1 rendering).  Read via
+    :meth:`extra`; empty extras are omitted from encoded records so core
+    summaries keep their historical bytes.
     """
 
     spec: ScenarioSpec
@@ -86,6 +101,19 @@ class ScenarioResult:
     lemma11_bound: int | None = None
     within_bound: bool | None = None
     decision_values: tuple = ()
+    extras: tuple = ()
+
+    def __post_init__(self) -> None:
+        canonical = tuple(sorted((str(k), v) for k, v in self.extras))
+        if canonical != self.extras:
+            object.__setattr__(self, "extras", canonical)
+
+    def extra(self, name: str, default: Any = None) -> Any:
+        """Read a family-specific extra metric by name."""
+        for key, value in self.extras:
+            if key == name:
+                return value
+        return default
 
     @property
     def scenario_id(self) -> str:
@@ -172,10 +200,17 @@ IndexedSpec = tuple[int, ScenarioSpec]
 def _run_one(spec: ScenarioSpec, backend: str) -> ScenarioResult:
     """Execute one scenario on the requested backend.
 
-    The common ``"reference"`` case stays import-free; other backends
-    resolve through :mod:`repro.engine.backends` lazily (that module
-    imports this one, so the import must not be circular at load time).
+    Specs carrying a ``family`` option belong to a registered experiment
+    family and dispatch through :mod:`repro.engine.registry` (which may
+    supply a custom per-scenario runner).  The common plain
+    ``"reference"`` case stays import-free; other paths resolve lazily
+    (those modules import this one, so the imports must not be circular
+    at load time).
     """
+    if spec.opt("family") is not None:
+        from repro.engine.registry import run_registered_scenario
+
+        return run_registered_scenario(spec, backend)
     if backend == "reference":
         return execute_scenario(spec)
     from repro.engine.backends import execute_scenario_with_backend
@@ -283,8 +318,48 @@ def execute_scenarios(
             for idx, spec in chunk
         ]
 
+    def failed_chunk(
+        chunk: Sequence[IndexedSpec], exc: BaseException, was_running: bool
+    ) -> list:
+        # Chunk-level failure: scenario-level exceptions are already
+        # contained inside execute_scenario, so this is one of
+        #   * a hard-killed worker (OOM killer, segfault) — the broken-
+        #     pool protocol fails every outstanding chunk.  Only chunks
+        #     *observed running* are journaled as terminal errors (one
+        #     of them killed its worker; retrying would kill another
+        #     host); chunks still queued when the pool broke never
+        #     executed at all and stay retriable, so a resumed campaign
+        #     re-runs them instead of skipping them forever;
+        #   * a deterministic task/result (un)pickling failure —
+        #     terminal, a retry would fail identically;
+        #   * transient worker infrastructure (MemoryError, broken
+        #     pipes) — journaled retriable like a timeout so a resumed
+        #     campaign re-runs the chunk.
+        if isinstance(exc, BrokenProcessPool):
+            terminal = was_running
+        else:
+            terminal = isinstance(
+                exc,
+                (pickle.PicklingError, MaybeEncodingError,
+                 AttributeError, TypeError),
+            )
+        return [
+            (
+                idx,
+                ScenarioResult.failure(
+                    spec,
+                    f"chunk failed: {type(exc).__name__}: {exc}",
+                    status=STATUS_ERROR if terminal else STATUS_TIMEOUT,
+                    backend=backend,
+                ),
+            )
+            for idx, spec in chunk
+        ]
+
     ctx = multiprocessing.get_context()
-    with ctx.Pool(processes=workers) as pool:
+    executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    abandoned = False
+    try:
         start = time.monotonic()
         deadline = (
             start + timeout * math.ceil(len(spec_list) / workers)
@@ -292,9 +367,15 @@ def execute_scenarios(
             else None
         )
         pending = [
-            (chunk, pool.apply_async(_execute_chunk, (chunk, backend)))
+            (chunk, executor.submit(_execute_chunk, chunk, backend))
             for chunk in chunks
         ]
+        # Which futures were ever observed executing on a worker — the
+        # broken-pool classifier's running/queued attribution.  Polled,
+        # so a worker that dies within one poll interval of starting may
+        # leave its chunk attributed as queued (retriable) — erring
+        # retriable is safe: the run still terminates and reports red.
+        seen_running: set[int] = set()
         # Harvest chunks in *completion* order so every finished chunk is
         # journaled immediately — a slow chunk must not hold back the
         # durability of the fast ones behind it.
@@ -302,46 +383,40 @@ def execute_scenarios(
             still_pending = []
             progressed = False
             for chunk, handle in pending:
-                if handle.ready():
+                if handle.running():
+                    seen_running.add(id(handle))
+                if handle.done():
                     try:
-                        payload = handle.get()
-                    except Exception as exc:
-                        # Chunk-level failure: scenario-level exceptions
-                        # are already contained inside execute_scenario,
-                        # so this is either a deterministic task/result
-                        # (un)pickling failure — terminal, a retry would
-                        # fail identically — or transient worker
-                        # infrastructure (MemoryError, broken pipes),
-                        # journaled retriable like a timeout so a
-                        # resumed campaign re-runs the chunk.
-                        deterministic = isinstance(
-                            exc,
-                            (pickle.PicklingError, MaybeEncodingError,
-                             AttributeError, TypeError),
+                        payload = handle.result()
+                    except BaseException as exc:  # noqa: BLE001
+                        payload = failed_chunk(
+                            chunk, exc, id(handle) in seen_running
                         )
-                        payload = [
-                            (
-                                idx,
-                                ScenarioResult.failure(
-                                    spec,
-                                    "chunk failed: "
-                                    f"{type(exc).__name__}: {exc}",
-                                    status=STATUS_ERROR
-                                    if deterministic
-                                    else STATUS_TIMEOUT,
-                                    backend=backend,
-                                ),
-                            )
-                            for idx, spec in chunk
-                        ]
                     deliver(payload)
                     progressed = True
                 elif deadline is not None and time.monotonic() > deadline:
+                    handle.cancel()
                     deliver(timed_out(chunk, deadline - start))
+                    abandoned = True
                     progressed = True
                 else:
                     still_pending.append((chunk, handle))
             pending = still_pending
             if pending and not progressed:
                 time.sleep(poll_interval)
+    finally:
+        if abandoned:
+            # Straggler termination: chunks past the fleet deadline are
+            # already journaled as timeouts; kill their workers rather
+            # than wait for scenarios nobody will read.  (The worker list
+            # must be snapshotted before shutdown clears it.)
+            stragglers = list(
+                (getattr(executor, "_processes", None) or {}).values()
+            )
+            executor.shutdown(wait=False, cancel_futures=True)
+            for proc in stragglers:
+                if proc.is_alive():
+                    proc.terminate()
+        else:
+            executor.shutdown(wait=True, cancel_futures=True)
     return [collected[i] for i in range(len(spec_list))]

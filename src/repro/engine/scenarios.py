@@ -97,6 +97,12 @@ class ScenarioSpec:
     options: Options = ()
 
     def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS or self.adversary not in ADVERSARIES:
+            # Experiment families register extra algorithms/adversaries at
+            # import time; make sure they have had the chance before
+            # rejecting a name (decoding a figure1/duality journal record
+            # must work without the caller pre-importing the family).
+            _load_family_registrations()
         if self.algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; "
@@ -228,6 +234,32 @@ ADVERSARIES: dict[str, Callable[[ScenarioSpec], Adversary]] = {
     "partition": _build_partition,
     "crash": _build_crash,
 }
+
+
+def _load_family_registrations() -> None:
+    """Import the registered experiment families (idempotent), giving
+    them the chance to :func:`register_adversary`/:func:`register_algorithm`
+    before an unknown name is rejected.  Lazy to keep this module free of
+    an import cycle with :mod:`repro.engine.registry`."""
+    from repro.engine.registry import load_families
+
+    load_families()
+
+
+def register_adversary(
+    name: str, builder: Callable[["ScenarioSpec"], Adversary]
+) -> None:
+    """Register an extra adversary name (experiment-family extension
+    point; the builder receives the full spec so any option can matter)."""
+    ADVERSARIES[name] = builder
+
+
+def register_algorithm(
+    name: str, builder: Callable[["ScenarioSpec"], list]
+) -> None:
+    """Register an extra algorithm name (experiment-family extension
+    point)."""
+    ALGORITHMS[name] = builder
 
 ALGORITHMS: dict[str, Callable[[ScenarioSpec], list]] = {
     "algorithm1": lambda s: make_processes(

@@ -61,7 +61,7 @@ def encode_result(result: ScenarioResult) -> dict:
     what makes canonical summaries byte-comparable across backends.
     Journal lines add the backend as provenance via :func:`journal_line`.
     """
-    return {
+    record = {
         "schema": SCHEMA_VERSION,
         "id": result.scenario_id,
         "spec": result.spec.to_dict(),
@@ -70,6 +70,11 @@ def encode_result(result: ScenarioResult) -> dict:
         "metrics": {name: getattr(result, name) for name in _METRIC_FIELDS},
         "decision_values": list(result.decision_values),
     }
+    if result.extras:
+        # Family-specific extras.  Only written when present, so records
+        # of the core families keep their historical bytes.
+        record["extras"] = {k: v for k, v in result.extras}
+    return record
 
 
 def decode_result(record: dict) -> ScenarioResult:
@@ -87,6 +92,7 @@ def decode_result(record: dict) -> ScenarioResult:
         error=record.get("error"),
         backend=record.get("backend", "reference"),
         decision_values=tuple(record.get("decision_values", ())),
+        extras=tuple(sorted(record.get("extras", {}).items())),
         **{name: metrics.get(name) for name in _METRIC_FIELDS},
     )
 

@@ -1,33 +1,60 @@
 """Paper experiments: Figure 1, the theorem constructions, and the
-parameter-sweep harness used by the benchmarks."""
+parameter-sweep harness used by the benchmarks.
+
+Every family in this package is also a registered
+:class:`~repro.engine.registry.ExperimentSpec`: importing a family module
+registers its grid builder, per-scenario runner, row schema and
+aggregator, making it executable as a parallel resumable campaign via
+``skeleton-agreement campaign run --family <name>`` (the historical
+per-family entry points below are thin fronts over the same specs)."""
 
 from repro.experiments.figure1 import (
     FIGURE1_N,
     figure1_adversary,
     figure1_run,
     figure1_panels,
+    panels_from_run,
     render_figure1,
+    render_panels,
+    run_figure1_scenario,
 )
-from repro.experiments.theorem2 import theorem2_experiment, Theorem2Report
-from repro.experiments.eventual import eventual_lower_bound, EventualReport
+from repro.experiments.theorem2 import (
+    theorem2_experiment,
+    run_theorem2_scenario,
+    Theorem2Report,
+)
+from repro.experiments.eventual import (
+    eventual_grid,
+    eventual_lower_bound,
+    run_eventual_scenario,
+    EventualReport,
+)
 from repro.experiments.sweeps import (
     run_algorithm1,
     SweepResult,
     agreement_sweep,
+    sweep_result_from_scenario,
     termination_sweep,
 )
 from repro.experiments.ablation import (
     AblationOutcome,
     MinOverAllProcess,
+    ablation_grid,
+    ablation_outcomes,
     line27_counterexample,
     run_ablation,
+    run_ablation_scenario,
     standard_ablation_suite,
+    standard_variants,
 )
 from repro.experiments.duality import (
     DualityProfile,
     achievable_k,
+    duality_grid,
     duality_profile,
+    duality_rows,
     duality_sweep,
+    run_duality_scenario,
 )
 
 __all__ = [
@@ -35,22 +62,36 @@ __all__ = [
     "figure1_adversary",
     "figure1_run",
     "figure1_panels",
+    "panels_from_run",
     "render_figure1",
+    "render_panels",
+    "run_figure1_scenario",
     "theorem2_experiment",
+    "run_theorem2_scenario",
     "Theorem2Report",
+    "eventual_grid",
     "eventual_lower_bound",
+    "run_eventual_scenario",
     "EventualReport",
     "run_algorithm1",
     "SweepResult",
     "agreement_sweep",
+    "sweep_result_from_scenario",
     "termination_sweep",
     "AblationOutcome",
     "MinOverAllProcess",
+    "ablation_grid",
+    "ablation_outcomes",
     "line27_counterexample",
     "run_ablation",
+    "run_ablation_scenario",
     "standard_ablation_suite",
+    "standard_variants",
     "DualityProfile",
     "achievable_k",
+    "duality_grid",
     "duality_profile",
+    "duality_rows",
     "duality_sweep",
+    "run_duality_scenario",
 ]

@@ -25,12 +25,21 @@ paper's configuration is the only one that is uniformly clean.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
-from repro.adversaries.grouped import GroupedSourceAdversary
 from repro.analysis.properties import check_agreement_properties
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import decision_stats
 from repro.core.algorithm import SkeletonAgreementProcess
 from repro.core.invariants import InvariantViolation, make_invariant_hook
+from repro.engine.aggregate import AggregateTable, group_results
+from repro.engine.executor import (
+    ScenarioResult,
+    execute_scenarios,
+    require_ok,
+)
+from repro.engine.registry import ExperimentSpec, register
+from repro.engine.scenarios import ScenarioSpec
 from repro.rounds.messages import Message
 from repro.rounds.simulator import RoundSimulator, SimulationConfig
 
@@ -142,6 +151,138 @@ class AblationOutcome:
     ]
 
 
+def ablation_spec(
+    variant: str,
+    n: int,
+    k: int,
+    seed: int,
+    noise: float = 0.35,
+    purge_window: int | None = None,
+    prune_unreachable: bool = True,
+    min_over_all: bool = False,
+) -> ScenarioSpec:
+    """One (variant, seed) cell of the ablation matrix as a content-
+    addressed scenario.  The knobs ride in the spec options; the variant
+    label is the aggregation key."""
+    options: dict = {"family": "ablation", "variant": variant}
+    if purge_window is not None:
+        options["purge_window"] = purge_window
+    if not prune_unreachable:
+        options["prune_unreachable"] = False
+    if min_over_all:
+        options["min_over_all"] = True
+    return ScenarioSpec(
+        n=n,
+        k=k,
+        num_groups=k,
+        seed=seed,
+        noise=noise,
+        topology="cycle",
+        max_rounds=8 * n,
+        options=tuple(sorted(options.items())),
+    )
+
+
+def run_ablation_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Per-scenario runner: one instrumented run with every lemma checker
+    attached.  An invariant violation is a *finding*, not a failure — it
+    comes back as an ok result flagged in the extras."""
+    adv = spec.build_adversary()
+    cls = (
+        MinOverAllProcess
+        if spec.opt("min_over_all")
+        else SkeletonAgreementProcess
+    )
+    procs = [
+        cls(
+            pid,
+            spec.n,
+            pid,
+            purge_window=spec.opt("purge_window"),
+            prune_unreachable=spec.opt("prune_unreachable", True),
+        )
+        for pid in range(spec.n)
+    ]
+    sim = RoundSimulator(
+        procs,
+        adv,
+        SimulationConfig(max_rounds=spec.resolved_max_rounds()),
+        invariant_hooks=[make_invariant_hook()],
+    )
+    try:
+        run = sim.run()
+    except InvariantViolation as exc:
+        return ScenarioResult(
+            spec=spec,
+            extras=(
+                ("invariant_violation", True),
+                ("violation", f"{exc}"[:200]),
+            ),
+        )
+    report = check_agreement_properties(run, spec.k)
+    stats = decision_stats(run)
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=run.num_rounds,
+        distinct_decisions=report.num_decision_values,
+        all_decided=report.termination.holds,
+        k_agreement_holds=report.k_agreement.holds,
+        validity_holds=report.validity.holds,
+        first_decision_round=stats.first_decision_round,
+        last_decision_round=stats.last_decision_round,
+        stabilization=stats.stabilization,
+        lemma11_bound=stats.lemma11_bound,
+        within_bound=stats.within_bound,
+        decision_values=tuple(sorted(run.decision_values(), key=repr)),
+        extras=(("invariant_violation", False),),
+    )
+
+
+def standard_variants(n: int) -> list[tuple[str, dict]]:
+    """The DESIGN.md §4 variant matrix as (label, knobs) pairs."""
+    return [
+        ("paper (window=n, prune, PT-min)", {}),
+        ("window=n/2", {"purge_window": max(1, n // 2)}),
+        ("window=n-1", {"purge_window": n - 1}),
+        ("window=2n", {"purge_window": 2 * n}),
+        ("no pruning", {"prune_unreachable": False}),
+        ("min over all received", {"min_over_all": True}),
+    ]
+
+
+def ablation_outcomes(results: Sequence[ScenarioResult]) -> list[AblationOutcome]:
+    """Aggregate per-scenario results into one outcome row per variant
+    (store-native: works straight off journaled records, grid order in,
+    variant order out)."""
+    outcomes = []
+    for (variant,), members in group_results(results, ("variant",)).items():
+        clean = [r for r in members if not r.extra("invariant_violation")]
+        decide_rounds = [
+            r.last_decision_round
+            for r in clean
+            if r.last_decision_round is not None
+        ]
+        outcomes.append(
+            AblationOutcome(
+                variant=variant,
+                runs=len(members),
+                invariant_violations=sum(
+                    1 for r in members if r.extra("invariant_violation")
+                ),
+                agreement_violations=sum(
+                    1
+                    for r in clean
+                    if not r.k_agreement_holds or not r.validity_holds
+                ),
+                termination_failures=sum(
+                    1 for r in clean if not r.all_decided
+                ),
+                max_decision_round=max(decide_rounds) if decide_rounds else None,
+            )
+        )
+    return outcomes
+
+
 def run_ablation(
     variant: str,
     n: int = 9,
@@ -151,63 +292,115 @@ def run_ablation(
     purge_window: int | None = None,
     prune_unreachable: bool = True,
     min_over_all: bool = False,
+    jobs: int = 1,
 ) -> AblationOutcome:
-    """Run one variant across seeds with full instrumentation."""
-    invariant_violations = 0
-    agreement_violations = 0
-    termination_failures = 0
-    max_decide: int | None = None
-    for seed in seeds:
-        adv = GroupedSourceAdversary(
-            n, num_groups=k, seed=seed, noise=noise, topology="cycle"
+    """Run one variant across seeds with full instrumentation (a thin
+    front over the registry runner + aggregator)."""
+    specs = [
+        ablation_spec(
+            variant,
+            n,
+            k,
+            seed,
+            noise=noise,
+            purge_window=purge_window,
+            prune_unreachable=prune_unreachable,
+            min_over_all=min_over_all,
         )
-        cls = MinOverAllProcess if min_over_all else SkeletonAgreementProcess
-        procs = [
-            cls(
-                pid,
-                n,
-                pid,
-                purge_window=purge_window,
-                prune_unreachable=prune_unreachable,
-            )
-            for pid in range(n)
-        ]
-        sim = RoundSimulator(
-            procs,
-            adv,
-            SimulationConfig(max_rounds=8 * n),
-            invariant_hooks=[make_invariant_hook()],
-        )
-        try:
-            run = sim.run()
-        except InvariantViolation:
-            invariant_violations += 1
-            continue
-        report = check_agreement_properties(run, k)
-        if not report.k_agreement.holds or not report.validity.holds:
-            agreement_violations += 1
-        if not report.termination.holds:
-            termination_failures += 1
-        rounds = [d.round_no for d in run.decisions.values()]
-        if rounds:
-            max_decide = max(max_decide or 0, max(rounds))
-    return AblationOutcome(
-        variant=variant,
-        runs=len(seeds),
-        invariant_violations=invariant_violations,
-        agreement_violations=agreement_violations,
-        termination_failures=termination_failures,
-        max_decision_round=max_decide,
+        for seed in seeds
+    ]
+    results = require_ok(execute_scenarios(specs, jobs=jobs))
+    return ablation_outcomes(results)[0]
+
+
+def ablation_grid(
+    n: int = 9, k: int = 3, seeds: range = range(8), noise: float = 0.35
+) -> list[ScenarioSpec]:
+    """The full DESIGN.md §4 matrix: every variant × every seed."""
+    return [
+        ablation_spec(variant, n, k, seed, noise=noise, **knobs)
+        for variant, knobs in standard_variants(n)
+        for seed in seeds
+    ]
+
+
+def standard_ablation_suite(
+    n: int = 9, k: int = 3, seeds: range = range(8), jobs: int = 1
+) -> list[AblationOutcome]:
+    """The DESIGN.md §4 variant matrix — one campaign over the whole
+    matrix (parallelism spans variants *and* seeds)."""
+    results = require_ok(execute_scenarios(ablation_grid(n, k, seeds), jobs=jobs))
+    return ablation_outcomes(results)
+
+
+# ----------------------------------------------------------------------
+# Experiment-registry spec
+# ----------------------------------------------------------------------
+def _ablation_grid(params) -> list[ScenarioSpec]:
+    return ablation_grid(
+        n=_scalar(params["n"]),
+        k=_scalar(params["k"]),
+        seeds=range(params["seeds"]),
+        noise=_scalar(params.get("noise", 0.35)),
     )
 
 
-def standard_ablation_suite(n: int = 9, k: int = 3, seeds: range = range(8)):
-    """The DESIGN.md §4 variant matrix."""
-    return [
-        run_ablation("paper (window=n, prune, PT-min)", n, k, seeds),
-        run_ablation("window=n/2", n, k, seeds, purge_window=max(1, n // 2)),
-        run_ablation("window=n-1", n, k, seeds, purge_window=n - 1),
-        run_ablation("window=2n", n, k, seeds, purge_window=2 * n),
-        run_ablation("no pruning", n, k, seeds, prune_unreachable=False),
-        run_ablation("min over all received", n, k, seeds, min_over_all=True),
-    ]
+def _scalar(value):
+    return value[0] if isinstance(value, (list, tuple)) else value
+
+
+def _ablation_aggregate(results) -> AggregateTable:
+    outcomes = ablation_outcomes(results)
+    return AggregateTable(
+        headers=tuple(AblationOutcome.HEADERS),
+        rows=tuple(tuple(o.as_row()) for o in outcomes),
+    )
+
+
+def _ablation_render(results) -> tuple[str, int]:
+    outcomes = ablation_outcomes(results)
+    spec = results[0].spec
+    text = format_table(
+        AblationOutcome.HEADERS,
+        [o.as_row() for o in outcomes],
+        title=f"Ablation matrix (n={spec.n}, k={spec.k}, "
+        f"{outcomes[0].runs} seeds)",
+    )
+    paper = outcomes[0]
+    clean = (
+        paper.invariant_violations == 0
+        and paper.agreement_violations == 0
+        and paper.termination_failures == 0
+    )
+    return text, 0 if clean else 1
+
+
+register(
+    ExperimentSpec(
+        name="ablation",
+        title="ABLATION: Algorithm 1 design knobs across seeded runs",
+        build_grid=_ablation_grid,
+        render=_ablation_render,
+        headers=(
+            "variant",
+            "seed",
+            "status",
+            "lemma_violation",
+            "values",
+            "decided",
+            "last_rnd",
+        ),
+        row=lambda r: [
+            r.spec.opt("variant"),
+            r.spec.seed,
+            r.status,
+            r.extra("invariant_violation"),
+            r.distinct_decisions,
+            r.all_decided,
+            r.last_decision_round,
+        ],
+        runner=run_ablation_scenario,
+        aggregate=_ablation_aggregate,
+        defaults=(("k", 3), ("n", 9), ("noise", 0.35), ("seeds", 6)),
+    )
+)

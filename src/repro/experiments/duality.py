@@ -28,9 +28,15 @@ over random skeleton ensembles — the DUALITY experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.adversaries.static import StaticAdversary
+from repro.engine.aggregate import AggregateTable, Column, rollup
+from repro.engine.executor import execute_scenarios, require_ok
+from repro.engine.registry import ExperimentSpec, register
+from repro.engine.scenarios import ScenarioSpec, register_adversary
 from repro.graphs.condensation import count_root_components
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import gnp_random
@@ -91,36 +97,150 @@ def chain_skeleton(n: int) -> DiGraph:
     return g
 
 
+def _build_gnp_adversary(spec: ScenarioSpec):
+    """The ``gnp`` adversary: a static random skeleton (the DUALITY
+    ensembles are structural — the runner only reads the declared stable
+    graph, it never simulates)."""
+    density = spec.opt("density", 0.15)
+    rng = np.random.default_rng([spec.n, int(density * 1000), spec.seed])
+    return StaticAdversary(
+        spec.n, gnp_random(spec.n, density, rng, self_loops=True)
+    )
+
+
+register_adversary("gnp", _build_gnp_adversary)
+
+
+def run_duality_scenario(spec: ScenarioSpec) -> "ScenarioResult":
+    """Per-scenario runner: profile one random skeleton (no simulation).
+    ``rc`` lands in the core ``root_components`` column; ``α``, the gap
+    and the Theorem 1 verdict ride in the extras."""
+    from repro.engine.executor import ScenarioResult
+
+    profile = duality_profile(spec.build_adversary().declared_stable_graph())
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=0,
+        root_components=profile.root_components,
+        extras=(
+            ("alpha", profile.alpha),
+            ("gap", profile.gap),
+            ("theorem1_holds", profile.theorem1_holds),
+        ),
+    )
+
+
+def duality_grid(
+    ns: Sequence[int] = (6, 8, 10),
+    densities: Sequence[float] = (0.05, 0.15, 0.3),
+    seeds: Sequence[int] = range(5),
+) -> list[ScenarioSpec]:
+    """The DUALITY ensemble: every (n, density, seed) skeleton."""
+    return [
+        ScenarioSpec(
+            n=n,
+            k=1,
+            seed=seed,
+            adversary="gnp",
+            options=tuple(
+                sorted({"family": "duality", "density": p}.items())
+            ),
+        )
+        for n in ns
+        for p in densities
+        for seed in seeds
+    ]
+
+
+def duality_rows(results: Sequence) -> list[list]:
+    """(n, p, mean rc, mean α, mean gap, Theorem 1 violations) per
+    ensemble cell — store-native aggregation in grid order."""
+    table = rollup(
+        results,
+        group_by=("n", "density"),
+        columns=(
+            Column("mean rc", "root_components", "mean"),
+            Column("mean α", "alpha", "mean"),
+            Column("mean gap", "gap", "mean"),
+            Column("violations", "theorem1_holds", "count_false"),
+        ),
+    )
+    return [list(row) for row in table.rows]
+
+
 def duality_sweep(
     ns: tuple[int, ...] = (6, 8, 10),
     densities: tuple[float, ...] = (0.05, 0.15, 0.3),
     seeds: range = range(5),
+    jobs: int = 1,
 ) -> list[list]:
     """Tabulate (n, p, mean rc, mean α, mean gap, Theorem 1 violations)
-    over random skeleton ensembles."""
-    rows: list[list] = []
-    for n in ns:
-        for p in densities:
-            rcs, alphas, gaps, violations = [], [], [], 0
-            for seed in seeds:
-                g = gnp_random(
-                    n, p, np.random.default_rng([n, int(p * 1000), seed]),
-                    self_loops=True,
-                )
-                profile = duality_profile(g)
-                rcs.append(profile.root_components)
-                alphas.append(profile.alpha)
-                gaps.append(profile.gap)
-                if not profile.theorem1_holds:
-                    violations += 1
-            rows.append(
-                [
-                    n,
-                    p,
-                    float(np.mean(rcs)),
-                    float(np.mean(alphas)),
-                    float(np.mean(gaps)),
-                    violations,
-                ]
-            )
-    return rows
+    over random skeleton ensembles (a thin front over the registry
+    runner + the store-native aggregator)."""
+    results = require_ok(
+        execute_scenarios(duality_grid(ns, densities, seeds), jobs=jobs)
+    )
+    return duality_rows(results)
+
+
+# ----------------------------------------------------------------------
+# Experiment-registry spec
+# ----------------------------------------------------------------------
+DUALITY_HEADERS = ["n", "density", "mean rc", "mean α", "mean gap",
+                   "Thm1 violations"]
+
+
+def _duality_grid(params) -> list[ScenarioSpec]:
+    return duality_grid(
+        ns=tuple(params["n"]),
+        densities=tuple(params["density"]),
+        seeds=range(params["seeds"]),
+    )
+
+
+def _duality_aggregate(results) -> AggregateTable:
+    return AggregateTable(
+        headers=tuple(DUALITY_HEADERS),
+        rows=tuple(tuple(row) for row in duality_rows(results)),
+    )
+
+
+def _duality_render(results) -> tuple[str, int]:
+    from repro.analysis.reporting import format_table
+
+    rows = duality_rows(results)
+    text = format_table(
+        DUALITY_HEADERS,
+        rows,
+        title="Duality: root components vs tightest Psrcs level (§V)",
+    )
+    return text, 0 if all(row[5] == 0 for row in rows) else 1
+
+
+register(
+    ExperimentSpec(
+        name="duality",
+        title="DUALITY: rc(G) vs α(G) over random skeleton ensembles (§V)",
+        build_grid=_duality_grid,
+        render=_duality_render,
+        headers=("n", "density", "seed", "status", "rc", "alpha", "gap",
+                 "thm1"),
+        row=lambda r: [
+            r.spec.n,
+            r.spec.opt("density"),
+            r.spec.seed,
+            r.status,
+            r.root_components,
+            r.extra("alpha"),
+            r.extra("gap"),
+            r.extra("theorem1_holds"),
+        ],
+        runner=run_duality_scenario,
+        aggregate=_duality_aggregate,
+        defaults=(
+            ("density", (0.05, 0.15, 0.3)),
+            ("n", (6, 8, 10)),
+            ("seeds", 5),
+        ),
+    )
+)

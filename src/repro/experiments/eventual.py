@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from repro.adversaries.eventual import EventuallyGoodAdversary
 from repro.adversaries.grouped import GroupedSourceAdversary
 from repro.core.algorithm import make_processes
+from repro.engine.registry import ExperimentSpec, register
+from repro.engine.scenarios import ScenarioSpec, register_adversary
 from repro.rounds.run import Run
 from repro.rounds.simulator import RoundSimulator, SimulationConfig
 
@@ -67,3 +69,136 @@ def eventual_lower_bound(
         distinct_decisions=len(run.decision_values()),
         all_decided_own=decided_own,
     )
+
+
+# ----------------------------------------------------------------------
+# Experiment-registry spec: EVENTUAL-LB as a campaign family (one
+# scenario per (n, bad_rounds, seed) point of the step function).
+# ----------------------------------------------------------------------
+def _build_eventual_adversary(spec: ScenarioSpec) -> EventuallyGoodAdversary:
+    good = GroupedSourceAdversary(
+        spec.n,
+        num_groups=1,
+        seed=spec.seed,
+        noise=spec.noise,
+        topology="clique",
+    )
+    return EventuallyGoodAdversary(good, bad_rounds=spec.opt("bad_rounds", 0))
+
+
+register_adversary("eventual", _build_eventual_adversary)
+
+
+def run_eventual_scenario(spec: ScenarioSpec) -> "ScenarioResult":
+    """Per-scenario runner: one ♦Psrcs run; the step-function verdict
+    (own-value decisions, lower-bound confirmation) rides in the extras."""
+    from repro.analysis.stats import decision_stats
+    from repro.engine.executor import ScenarioResult
+
+    bad_rounds = spec.opt("bad_rounds", 0)
+    report = eventual_lower_bound(
+        spec.n, bad_rounds, seed=spec.seed, max_rounds=spec.max_rounds
+    )
+    run = report.run
+    stats = decision_stats(run)
+    # The sharp form of §III's argument: no isolated prefix keeps the
+    # single-group tail's consensus; any isolated prefix pins PT(p)={p}
+    # and forces all n own-value decisions.
+    confirms = (
+        report.distinct_decisions == 1
+        if bad_rounds == 0
+        else (report.distinct_decisions == spec.n and report.all_decided_own)
+    )
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=run.num_rounds,
+        distinct_decisions=report.distinct_decisions,
+        all_decided=run.all_decided(),
+        validity_holds=None,
+        first_decision_round=stats.first_decision_round,
+        last_decision_round=stats.last_decision_round,
+        stabilization=stats.stabilization,
+        lemma11_bound=stats.lemma11_bound,
+        within_bound=stats.within_bound,
+        decision_values=tuple(sorted(run.decision_values(), key=repr)),
+        extras=(
+            ("all_decided_own", report.all_decided_own),
+            ("bad_rounds", bad_rounds),
+            ("confirms_lower_bound", confirms),
+        ),
+    )
+
+
+DEFAULT_BAD_ROUNDS = (0, 1, 2, 4, 8, 12, 20)
+
+
+def eventual_grid(
+    ns=(8,), bad_rounds=DEFAULT_BAD_ROUNDS, seeds=range(1)
+) -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            n=n,
+            k=1,
+            num_groups=1,
+            seed=seed,
+            adversary="eventual",
+            max_rounds=bad + 4 * n + 4,
+            options=tuple(
+                sorted({"family": "eventual", "bad_rounds": bad}.items())
+            ),
+        )
+        for n in ns
+        for bad in bad_rounds
+        for seed in seeds
+    ]
+
+
+def _eventual_grid(params) -> list[ScenarioSpec]:
+    ns = params["n"] if isinstance(params["n"], (list, tuple)) else [params["n"]]
+    return eventual_grid(
+        ns=ns,
+        bad_rounds=tuple(params["bad_rounds"]),
+        seeds=range(params["seeds"]),
+    )
+
+
+def _eventual_row(result) -> list:
+    return [
+        result.spec.n,
+        result.extra("bad_rounds"),
+        result.distinct_decisions,
+        result.extra("all_decided_own"),
+    ]
+
+
+def _eventual_render(results) -> tuple[str, int]:
+    from repro.analysis.reporting import format_table
+
+    text = format_table(
+        ["n", "bad_prefix_rounds", "distinct_decisions", "all_decided_own"],
+        [_eventual_row(r) for r in results],
+        title="♦Psrcs lower bound (§III): any isolated prefix collapses "
+        "to n own-value decisions",
+    )
+    ok = all(r.extra("confirms_lower_bound") for r in results)
+    return text, 0 if ok else 1
+
+
+register(
+    ExperimentSpec(
+        name="eventual",
+        title="EVENTUAL-LB: the ♦Psrcs bad-prefix step function (§III)",
+        build_grid=_eventual_grid,
+        render=_eventual_render,
+        headers=("n", "bad_prefix_rounds", "distinct_decisions",
+                 "all_decided_own"),
+        row=_eventual_row,
+        runner=run_eventual_scenario,
+        aggregate=None,
+        defaults=(
+            ("bad_rounds", DEFAULT_BAD_ROUNDS),
+            ("n", (8,)),
+            ("seeds", 1),
+        ),
+    )
+)

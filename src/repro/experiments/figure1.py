@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 from repro.adversaries.static import ScheduleAdversary
 from repro.core.algorithm import SkeletonAgreementProcess, make_processes
+from repro.engine.registry import ExperimentSpec, register
+from repro.engine.scenarios import register_adversary
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import RoundLabeledDigraph
 from repro.rounds.run import Run
@@ -107,9 +109,10 @@ class Figure1Panels:
     approximations: dict[int, RoundLabeledDigraph]  # (c)-(h): r -> G^r_{p6}
 
 
-def figure1_panels(max_rounds: int = 20) -> Figure1Panels:
-    """Regenerate all Figure 1 panels from a fresh simulation."""
-    run, processes = figure1_run(max_rounds=max_rounds)
+def panels_from_run(
+    run: Run, processes: list[SkeletonAgreementProcess]
+) -> Figure1Panels:
+    """Extract the eight panels from an already-simulated Figure 1 run."""
     p6 = processes[P6]
     approximations = {r: p6.approximation_at(r) for r in range(1, 7)}
     return Figure1Panels(
@@ -119,9 +122,14 @@ def figure1_panels(max_rounds: int = 20) -> Figure1Panels:
     )
 
 
-def render_figure1(max_rounds: int = 20) -> str:
-    """The full text rendering of Figure 1 (a)–(h), self-loops omitted."""
-    panels = figure1_panels(max_rounds=max_rounds)
+def figure1_panels(max_rounds: int = 20) -> Figure1Panels:
+    """Regenerate all Figure 1 panels from a fresh simulation."""
+    run, processes = figure1_run(max_rounds=max_rounds)
+    return panels_from_run(run, processes)
+
+
+def render_panels(panels: Figure1Panels) -> str:
+    """Render prepared panels as text (self-loops omitted)."""
     parts = [
         render_edge_list(panels.skeleton_round2, title="(a) G^∩2"),
         "",
@@ -136,3 +144,128 @@ def render_figure1(max_rounds: int = 20) -> str:
             )
         )
     return "\n".join(parts)
+
+
+def render_figure1(max_rounds: int = 20) -> str:
+    """The full text rendering of Figure 1 (a)–(h), self-loops omitted."""
+    return render_panels(figure1_panels(max_rounds=max_rounds))
+
+
+# ----------------------------------------------------------------------
+# Experiment-registry spec: FIG1 as a (one-scenario) campaign family.
+# ----------------------------------------------------------------------
+register_adversary("figure1", lambda spec: figure1_adversary())
+
+#: The agreement contract Figure 1's caption states (``Psrcs(3)`` holds).
+FIGURE1_K = 3
+
+
+def run_figure1_scenario(spec) -> "ScenarioResult":
+    """Per-scenario runner: simulate the Figure 1 system once, check every
+    property the paper's text states, and stash the full panel rendering
+    in the result extras (the CLI's ``figure1`` output is rebuilt from the
+    journal record, byte-identical to the historical in-process path)."""
+    from repro.analysis.properties import check_agreement_properties
+    from repro.analysis.stats import decision_stats
+    from repro.engine.executor import ScenarioResult
+    from repro.graphs.condensation import root_components
+    from repro.predicates.psrcs import Psrcs
+
+    run, processes = figure1_run(max_rounds=spec.resolved_max_rounds())
+    panels = panels_from_run(run, processes)
+    stable = run.stable_skeleton()
+    stats = decision_stats(run)
+    report = check_agreement_properties(run, spec.k)
+    roots = root_components(stable)
+    roots_match = set(roots) == set(ROOT_COMPONENTS)
+    round2_edges = set(panels.skeleton_round2.edges())
+    stable_edges = set(panels.stable_skeleton.edges())
+    strict_supergraph = round2_edges > stable_edges
+    psrcs = Psrcs(spec.k).check_skeleton(stable).holds
+    confirms = (
+        roots_match
+        and strict_supergraph
+        and psrcs
+        and report.all_hold
+        and run.decision_values() == {1, 3}
+    )
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=run.num_rounds,
+        root_components=len(roots),
+        psrcs_holds=psrcs,
+        distinct_decisions=report.num_decision_values,
+        all_decided=report.termination.holds,
+        k_agreement_holds=report.k_agreement.holds,
+        validity_holds=report.validity.holds,
+        first_decision_round=stats.first_decision_round,
+        last_decision_round=stats.last_decision_round,
+        stabilization=stats.stabilization,
+        lemma11_bound=stats.lemma11_bound,
+        within_bound=stats.within_bound,
+        decision_values=tuple(sorted(run.decision_values(), key=repr)),
+        extras=(
+            ("confirms_figure1", confirms),
+            ("rendering", render_panels(panels)),
+            ("roots_match_paper", roots_match),
+            ("round2_strict_supergraph", strict_supergraph),
+        ),
+    )
+
+
+def _figure1_grid(params) -> list:
+    from repro.engine.scenarios import ScenarioSpec
+
+    return [
+        ScenarioSpec(
+            n=FIGURE1_N,
+            k=FIGURE1_K,
+            num_groups=len(ROOT_COMPONENTS),
+            adversary="figure1",
+            max_rounds=params["max_rounds"],
+            options=(("family", "figure1"),),
+        )
+    ]
+
+
+def _figure1_row(result) -> list:
+    return [
+        result.scenario_id,
+        result.status,
+        result.root_components,
+        result.psrcs_holds,
+        result.distinct_decisions,
+        result.extra("round2_strict_supergraph"),
+        result.extra("confirms_figure1"),
+    ]
+
+
+def _figure1_render(results) -> tuple[str, int]:
+    result = results[0]
+    text = (
+        "Figure 1 — 6 processes, Psrcs(3) holds (self-loops omitted)\n\n"
+        + (result.extra("rendering") or "<no rendering stored>")
+    )
+    return text, 0 if result.extra("confirms_figure1") else 1
+
+
+register(
+    ExperimentSpec(
+        name="figure1",
+        title="FIG1: the paper's running example, panels (a)-(h)",
+        build_grid=_figure1_grid,
+        render=_figure1_render,
+        headers=(
+            "id",
+            "status",
+            "roots",
+            "Psrcs(3)",
+            "values",
+            "G^∩2 ⊋ G^∩∞",
+            "confirms",
+        ),
+        row=_figure1_row,
+        runner=run_figure1_scenario,
+        defaults=(("max_rounds", 20),),
+    )
+)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.adversaries.partition import PartitionAdversary
 from repro.analysis.properties import AgreementReport, check_agreement_properties
 from repro.core.algorithm import make_processes
+from repro.engine.registry import ExperimentSpec, register
 from repro.predicates.psrcs import Psrcs
 from repro.rounds.run import Run
 from repro.rounds.simulator import RoundSimulator, SimulationConfig
@@ -85,3 +86,118 @@ def theorem2_experiment(
         distinct_decisions=len(run.decision_values()),
         isolated_decided_own=isolated_ok,
     )
+
+
+# ----------------------------------------------------------------------
+# Experiment-registry spec: THM2 as a campaign family (one scenario per
+# (n, k) boundary instance).
+# ----------------------------------------------------------------------
+def run_theorem2_scenario(spec) -> "ScenarioResult":
+    """Per-scenario runner: execute the impossibility construction and
+    record the whole proof chain in the result (boundary predicates and
+    forced self-decisions ride in the extras)."""
+    from repro.analysis.stats import decision_stats
+    from repro.engine.executor import ScenarioResult
+    from repro.graphs.condensation import root_components
+
+    report = theorem2_experiment(spec.n, spec.k, max_rounds=spec.max_rounds)
+    run = report.run
+    stats = decision_stats(run)
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=run.num_rounds,
+        root_components=len(root_components(run.stable_skeleton())),
+        psrcs_holds=report.psrcs_k_holds,
+        distinct_decisions=report.distinct_decisions,
+        all_decided=report.agreement.termination.holds,
+        k_agreement_holds=report.agreement.k_agreement.holds,
+        validity_holds=report.agreement.validity.holds,
+        first_decision_round=stats.first_decision_round,
+        last_decision_round=stats.last_decision_round,
+        stabilization=stats.stabilization,
+        lemma11_bound=stats.lemma11_bound,
+        within_bound=stats.within_bound,
+        decision_values=tuple(sorted(run.decision_values(), key=repr)),
+        extras=(
+            ("confirms_theorem", report.confirms_theorem),
+            ("isolated_decided_own", report.isolated_decided_own),
+            ("psrcs_k_minus_1_holds", report.psrcs_k_minus_1_holds),
+        ),
+    )
+
+
+def _theorem2_grid(params) -> list:
+    from repro.engine.scenarios import ScenarioSpec
+
+    ns = params["n"] if isinstance(params["n"], (list, tuple)) else [params["n"]]
+    ks = params["k"] if isinstance(params["k"], (list, tuple)) else [params["k"]]
+    return [
+        ScenarioSpec(
+            n=n,
+            k=k,
+            adversary="partition",
+            max_rounds=4 * n + 4,
+            options=(("family", "theorem2"),),
+        )
+        for n in ns
+        for k in ks
+        if k <= n
+    ]
+
+
+def _theorem2_rows(result) -> list[list]:
+    return [
+        ["Psrcs(k) holds", result.psrcs_holds],
+        ["Psrcs(k-1) holds", result.extra("psrcs_k_minus_1_holds")],
+        ["distinct decisions", result.distinct_decisions],
+        ["forced value count (=k)", result.spec.k],
+        ["isolated decided own value", result.extra("isolated_decided_own")],
+        ["confirms Theorem 2", result.extra("confirms_theorem")],
+    ]
+
+
+def _theorem2_render(results) -> tuple[str, int]:
+    from repro.analysis.reporting import format_table
+
+    parts = [
+        format_table(
+            ["check", "result"],
+            _theorem2_rows(result),
+            title=f"Theorem 2, n={result.spec.n}, k={result.spec.k}",
+        )
+        for result in results
+    ]
+    ok = all(result.extra("confirms_theorem") for result in results)
+    return "\n\n".join(parts), 0 if ok else 1
+
+
+register(
+    ExperimentSpec(
+        name="theorem2",
+        title="THM2: the impossibility construction, executed per (n, k)",
+        build_grid=_theorem2_grid,
+        render=_theorem2_render,
+        headers=(
+            "n",
+            "k",
+            "status",
+            "Psrcs(k)",
+            "Psrcs(k-1)",
+            "values",
+            "isolated_own",
+            "confirms",
+        ),
+        row=lambda r: [
+            r.spec.n,
+            r.spec.k,
+            r.status,
+            r.psrcs_holds,
+            r.extra("psrcs_k_minus_1_holds"),
+            r.distinct_decisions,
+            r.extra("isolated_decided_own"),
+            r.extra("confirms_theorem"),
+        ],
+        runner=run_theorem2_scenario,
+        defaults=(("k", (3,)), ("n", (8,))),
+    )
+)

@@ -76,6 +76,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Thm1 violations" in out
 
+    def test_eventual(self, capsys):
+        code = main(["eventual", "-n", "6", "--bad-rounds", "0", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bad_prefix_rounds" in out
+
+    def test_family_subcommands_take_engine_flags(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        code = main(["sweep", "-n", "5", "-k", "2", "--seeds", "1",
+                     "--jobs", "2", "--store", store])
+        assert code == 0
+        assert "within their k bound" in capsys.readouterr().out
+        # Resume: the journaled records satisfy the second invocation.
+        assert main(["sweep", "-n", "5", "-k", "2", "--seeds", "1",
+                     "--store", store]) == 0
+
+    def test_family_backend_rejected_for_custom_runner(self, capsys):
+        code = main(["ablation", "-n", "5", "-k", "2", "--seeds", "1",
+                     "--backend", "vectorized"])
+        assert code == 2
+        assert "does not support backend" in capsys.readouterr().out
+
 
 class TestCampaignCommands:
     GRID = ["-n", "5", "6", "-k", "2", "--seeds", "2", "--noise", "0.1"]
@@ -160,3 +182,105 @@ class TestCampaignCommands:
         )
         assert code == 0
         assert "scenarios in grid           2" in capsys.readouterr().out
+
+    def test_empty_grid_is_nothing_to_do_not_green(self, capsys, tmp_path):
+        # -k 7 -n 5 prunes every scenario (k < n constraint): the store
+        # is empty but consistent — that must exit 2 ("nothing to do"),
+        # distinguishable from both success (0) and a half-executed
+        # grid (1).
+        store = str(tmp_path / "journal.jsonl")
+        empty = ["-n", "5", "-k", "7", "--seeds", "1"]
+        assert main(["campaign", "status", "--store", store] + empty) == 2
+        assert "nothing-to-do" in capsys.readouterr().out
+        assert main(["campaign", "report", "--store", store] + empty) == 2
+        assert "nothing-to-do" in capsys.readouterr().out
+
+    def test_report_says_half_executed(self, capsys, tmp_path):
+        store = str(tmp_path / "journal.jsonl")
+        assert main(["campaign", "run", "--store", store] + self.GRID) == 0
+        capsys.readouterr()
+        bigger = ["-n", "5", "6", "-k", "2", "--seeds", "3",
+                  "--noise", "0.1"]
+        assert main(["campaign", "report", "--store", store] + bigger) == 1
+        out = capsys.readouterr().out
+        assert "half-executed grid" in out
+
+
+class TestCampaignFamilies:
+    def test_run_and_report_family(self, capsys, tmp_path):
+        store = str(tmp_path / "duality.jsonl")
+        code = main(
+            ["campaign", "run", "--store", store, "--family", "duality",
+             "-n", "6", "--density", "0.2", "--seeds", "2", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "state: ok" in capsys.readouterr().out
+
+        code = main(
+            ["campaign", "report", "--store", store, "--family", "duality",
+             "-n", "6", "--density", "0.2", "--seeds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "family duality" in out
+
+    def test_report_aggregate_family(self, capsys, tmp_path):
+        store = str(tmp_path / "duality.jsonl")
+        args = ["--store", store, "--family", "duality",
+                "-n", "6", "--density", "0.2", "--seeds", "2"]
+        assert main(["campaign", "run"] + args) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--aggregate"] + args) == 0
+        out = capsys.readouterr().out
+        assert "mean rc" in out and "Thm1 violations" in out
+
+    def test_report_aggregate_generic_percentiles(self, capsys, tmp_path):
+        # Without a family aggregator the store-native latency rollup is
+        # printed — the same percentile table distributions.py builds.
+        store = str(tmp_path / "journal.jsonl")
+        grid = ["-n", "6", "-k", "2", "--seeds", "3", "--noise", "0.1"]
+        assert main(["campaign", "run", "--store", store] + grid) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "report", "--aggregate", "--store", store] + grid
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p50_decide" in out and "bound_viol" in out
+
+    def test_unknown_family_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "run", "--store", str(tmp_path / "j.jsonl"),
+             "--family", "bogus"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "unknown experiment family" in out
+        assert not out.startswith('"')  # no KeyError repr-quoting
+
+    def test_aggregate_on_undecided_store_is_red_not_a_crash(
+        self, capsys, tmp_path
+    ):
+        # max_rounds=2 cuts every run before any decision: the latency
+        # rollup has nothing to summarize, which must exit 1 with a
+        # message, not traceback.
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(
+            '{"axes": {"n": [6], "seed": [0, 1], "max_rounds": [2]}}'
+        )
+        store = str(tmp_path / "journal.jsonl")
+        flags = ["--store", store, "--grid-json", str(grid_file)]
+        assert main(["campaign", "run"] + flags) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--aggregate"] + flags) == 1
+        assert "cannot aggregate" in capsys.readouterr().out
+
+    def test_family_figure1_through_campaign(self, capsys, tmp_path):
+        store = str(tmp_path / "fig1.jsonl")
+        assert main(
+            ["campaign", "run", "--store", store, "--family", "figure1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "report", "--store", store, "--family", "figure1"]
+        ) == 0
+        assert "confirms" in capsys.readouterr().out

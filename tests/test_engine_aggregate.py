@@ -1,0 +1,202 @@
+"""Store-native aggregation: kernels, grouped rollups, latency tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregate import (
+    AggregateTable,
+    Column,
+    ci95,
+    decision_latency_summary,
+    field_value,
+    group_results,
+    latency_table,
+    mean,
+    p50,
+    p95,
+    rollup,
+    summarize_values,
+)
+from repro.engine.executor import ScenarioResult
+from repro.engine.scenarios import ScenarioSpec
+
+
+def result(
+    n=6, seed=0, noise=0.1, groups=2, last=None, st=None, values=1,
+    within=True, **extras
+) -> ScenarioResult:
+    return ScenarioResult(
+        spec=ScenarioSpec(n=n, k=groups, num_groups=groups, seed=seed,
+                          noise=noise),
+        last_decision_round=last,
+        stabilization=st,
+        distinct_decisions=values,
+        within_bound=within,
+        extras=tuple(sorted(extras.items())),
+    )
+
+
+class TestKernels:
+    def test_percentiles_match_numpy(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert p50(values) == float(np.percentile(np.asarray(values, float), 50))
+        assert p95(values) == float(np.percentile(np.asarray(values, float), 95))
+        assert mean(values) == float(np.mean(values))
+
+    def test_ci95_degenerate(self):
+        assert ci95([7.0]) == (7.0, 7.0)
+
+    def test_ci95_contains_mean(self):
+        lo, hi = ci95([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_summarize_values(self):
+        s = summarize_values([4, 2, 6])
+        assert s["count"] == 3 and s["max"] == 6 and s["min"] == 2
+        assert s["sum"] == 12 and s["mean"] == 4.0
+        assert s["p50"] == 4.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize_values([])
+
+
+class TestFieldValue:
+    def test_resolution_order(self):
+        r = result(n=9, seed=3, alpha=5)
+        assert field_value(r, "n") == 9          # spec field
+        assert field_value(r, "seed") == 3
+        assert field_value(r, "status") == "ok"  # result metric
+        assert field_value(r, "alpha") == 5      # extra
+        r2 = ScenarioResult(
+            spec=ScenarioSpec(n=5, options=(("density", 0.2),))
+        )
+        assert field_value(r2, "density") == 0.2  # spec option
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="neither"):
+            field_value(result(), "no_such_field")
+
+
+class TestRollup:
+    def test_group_order_is_first_occurrence(self):
+        results = [result(n=n, seed=s) for n in (9, 6) for s in range(2)]
+        groups = group_results(results, ("n",))
+        assert list(groups) == [(9,), (6,)]
+        assert all(len(v) == 2 for v in groups.values())
+
+    def test_rollup_columns(self):
+        results = [
+            result(n=6, seed=s, last=5 + s, thm=(s != 1)) for s in range(3)
+        ]
+        table = rollup(
+            results,
+            group_by=("n",),
+            columns=(
+                Column("runs", lambda r: r, "count"),
+                Column("mean_last", "last_decision_round", "mean"),
+                Column("violations", "thm", "count_false"),
+            ),
+        )
+        assert isinstance(table, AggregateTable)
+        assert table.headers == ("n", "runs", "mean_last", "violations")
+        assert table.rows == ((6, 3, 6.0, 1),)
+
+    def test_none_values_dropped_by_default(self):
+        results = [result(last=4), result(last=None), result(last=6)]
+        table = rollup(
+            results, ("n",),
+            (Column("mean_last", "last_decision_round", "mean"),),
+        )
+        assert table.rows[0][1] == 5.0
+
+    def test_format_renders_headers(self):
+        table = rollup(
+            [result()], ("n",), (Column("runs", lambda r: r, "count"),)
+        )
+        text = table.format(title="demo")
+        assert text.startswith("demo\n")
+        assert "runs" in text
+
+
+class TestDecisionLatencySummary:
+    def test_matches_manual_numpy(self):
+        lasts = [7, 9, 8, 12]
+        sts = [2, 3, 2, 4]
+        results = [
+            result(seed=i, last=l, st=s, values=1 + (i % 2))
+            for i, (l, s) in enumerate(zip(lasts, sts))
+        ]
+        summary = decision_latency_summary(results)
+        arr = np.asarray(lasts, dtype=float)
+        assert summary["runs"] == 4
+        assert summary["p50_last_decide"] == float(np.percentile(arr, 50))
+        assert summary["p95_last_decide"] == float(np.percentile(arr, 95))
+        assert summary["max_last_decide"] == 12
+        assert summary["p50_stabilization"] == float(
+            np.nanpercentile(np.asarray(sts, float), 50)
+        )
+        assert summary["mean_values"] == 1.5
+        assert summary["bound_violations"] == 0
+
+    def test_violation_accounting(self):
+        results = [
+            result(seed=0, last=None),          # undecided: 1 violation
+            result(seed=1, last=9, within=False),  # over bound: 1 violation
+            result(seed=2, last=7),
+        ]
+        assert decision_latency_summary(results)["bound_violations"] == 2
+
+    def test_no_decisions_raises(self):
+        with pytest.raises(RuntimeError, match="no run produced decisions"):
+            decision_latency_summary([result(last=None)])
+
+
+class TestLatencyTable:
+    def test_one_row_per_ensemble_cell(self):
+        results = [
+            result(n=n, noise=noise, seed=s, last=5 + s, st=2)
+            for n in (6, 9)
+            for noise in (0.0, 0.2)
+            for s in range(3)
+        ]
+        table = latency_table(results)
+        assert len(table.rows) == 4
+        assert table.headers[:3] == ("n", "num_groups", "noise")
+        # Grid order in, grid order out.
+        assert [row[0] for row in table.rows] == [6, 6, 9, 9]
+
+    def test_matches_latency_distribution_rows(self):
+        """The store-native table equals the typed LatencyDistribution
+        rows the analysis layer builds — same aggregation, one home."""
+        from repro.analysis.distributions import latency_distribution
+
+        dist = latency_distribution(6, 2, 0.2, seeds=range(4))
+        results = [
+            r for r in _run_latency_ensemble(6, 2, 0.2, range(4))
+        ]
+        table = latency_table(results)
+        (row,) = table.rows
+        assert row == (
+            dist.n,
+            dist.num_groups,
+            dist.noise,
+            dist.runs,
+            dist.p50_last_decide,
+            dist.p95_last_decide,
+            dist.max_last_decide,
+            dist.p50_stabilization,
+            round(dist.mean_values, 2),
+            dist.bound_violations,
+        )
+
+
+def _run_latency_ensemble(n, groups, noise, seeds):
+    from repro.analysis.distributions import latency_specs
+    from repro.engine.executor import execute_scenarios, require_ok
+
+    return require_ok(
+        execute_scenarios(latency_specs(n, groups, noise, seeds))
+    )

@@ -23,6 +23,19 @@ def _chunk_out_of_memory(chunk, backend="reference"):
     raise MemoryError("worker infra failure")
 
 
+def _chunk_hard_kill(chunk, backend="reference"):
+    # Simulate the OOM killer / a segfaulting extension: the worker
+    # vanishes without unwinding Python.  The sleep lets the harvest
+    # loop observe the chunk running first (10ms poll), so the
+    # running-chunk attribution is deterministic.
+    import os
+    import signal
+    import time
+
+    time.sleep(0.3)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 class TestExecuteScenario:
     def test_metrics_match_direct_simulation(self):
         spec = ScenarioSpec(n=8, k=3, num_groups=3, seed=4, noise=0.2)
@@ -142,6 +155,53 @@ class TestExecuteScenarios:
         results = execute_scenarios(specs, jobs=2)
         assert [r.status for r in results] == ["timeout", "timeout"]
         assert all("MemoryError" in r.error for r in results)
+
+
+class TestHardKilledWorkers:
+    def test_broken_pool_is_terminal_without_timeout(self, monkeypatch):
+        # A hard-killed worker (OOM killer, segfault) must surface as
+        # BrokenProcessPool-style errors and complete the collection
+        # loop — no ``timeout`` required, no eternal hang (the old
+        # multiprocessing.Pool backend's known limit).  Chunks observed
+        # running come back *terminal*; chunks still queued when the
+        # pool broke never executed and stay retriable.
+        import repro.engine.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "_execute_chunk", _chunk_hard_kill
+        )
+        specs = [ScenarioSpec(n=4, k=2, num_groups=2, seed=s)
+                 for s in range(6)]
+        results = execute_scenarios(specs, jobs=2, chunksize=1)
+        assert [r.spec for r in results] == specs
+        assert all("BrokenProcessPool" in r.error for r in results)
+        assert all(r.status in ("error", "timeout") for r in results)
+        # The two chunks executing when their workers died are terminal;
+        # the trailing chunks never left the submission queue (the call
+        # pipe holds at most workers + 1) and stay retriable.
+        assert results[0].status == "error"
+        assert results[-1].status == "timeout"
+
+    def test_broken_pool_records_are_not_retried_on_resume(
+        self, monkeypatch, tmp_path
+    ):
+        # Terminal means terminal: a resumed campaign must not re-run
+        # the scenarios whose workers died.
+        import repro.engine.executor as executor_module
+        from repro.engine.campaign import Campaign
+
+        monkeypatch.setattr(
+            executor_module, "_execute_chunk", _chunk_hard_kill
+        )
+        specs = [ScenarioSpec(n=4, k=2, num_groups=2, seed=s)
+                 for s in range(2)]
+        campaign = Campaign(specs, store=tmp_path / "j.jsonl", jobs=2)
+        report = campaign.run()
+        assert report.errors == 2
+        monkeypatch.undo()
+        campaign2 = Campaign(specs, store=tmp_path / "j.jsonl", jobs=2)
+        report = campaign2.run()
+        assert report.executed == 0 and report.skipped == 2
 
 
 class TestTimeouts:
