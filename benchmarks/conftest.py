@@ -76,11 +76,18 @@ def pytest_configure(config):
 def record_fastpath():
     """Upsert one workload's backend comparison into BENCH_FASTPATH.json.
 
-    Each entry records wall-clock for the reference and vectorized
-    backends over the same scenario list, plus the host it was measured
-    on (per entry, so partial re-runs on another machine stay correctly
-    attributed); the file-level ``median_speedup`` is the median across
-    all recorded workloads.
+    Each entry records wall-clock for the reference, vectorized and (when
+    measured) mega-batched backends over the same scenario list, plus the
+    host it was measured on (per entry, so partial re-runs on another
+    machine stay correctly attributed).  File level:
+
+    * ``median_speedup`` — vectorized over reference, median across
+      workloads (the historical trajectory number);
+    * ``median_speedup_batched`` — batched over reference;
+    * ``median_batched_vs_vectorized`` — the *additional* gain of
+      mega-batching, median across every recorded per-``n`` group (the
+      ``groups`` lists inside the workload entries) so small and large
+      ``n`` weigh equally.
     """
 
     def _record(
@@ -88,6 +95,7 @@ def record_fastpath():
         reference_s: float,
         vectorized_s: float,
         scenarios: int,
+        batched_s: float | None = None,
         extra: dict | None = None,
     ) -> None:
         import numpy
@@ -114,15 +122,40 @@ def record_fastpath():
                 "cpu_count": os.cpu_count(),
             },
         }
+        if batched_s is not None:
+            entry["batched_s"] = round(batched_s, 4)
+            entry["speedup_batched"] = round(reference_s / batched_s, 2)
+            entry["speedup_batched_vs_vectorized"] = round(
+                vectorized_s / batched_s, 2
+            )
         if extra:
             entry.update(extra)
         workloads = data.setdefault("workloads", {})
         workloads[workload] = entry
         data.pop("host", None)  # legacy file-level host block
-        data["schema"] = 1
+        data["schema"] = 2
         data["median_speedup"] = round(
             statistics.median(w["speedup"] for w in workloads.values()), 2
         )
+        batched = [
+            w["speedup_batched"]
+            for w in workloads.values()
+            if "speedup_batched" in w
+        ]
+        if batched:
+            data["median_speedup_batched"] = round(
+                statistics.median(batched), 2
+            )
+        group_gains = [
+            g["speedup_vs_vectorized"]
+            for w in workloads.values()
+            for g in w.get("groups", ())
+            if "speedup_vs_vectorized" in g
+        ]
+        if group_gains:
+            data["median_batched_vs_vectorized"] = round(
+                statistics.median(group_gains), 2
+            )
         BENCH_FASTPATH_PATH.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"
         )

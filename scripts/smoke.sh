@@ -2,9 +2,11 @@
 # Smoke check: tier-1 tests plus a ~30-second mini-campaign that exercises
 # the parallel executor, the JSONL store, resume-by-hash and the canonical
 # summary — so the multiprocessing path is driven on every change, not
-# just in CI benchmarks.  A final pass runs the same tiny grid on both
-# execution backends (reference simulator vs vectorized fast path) and
-# byte-compares the canonical summaries.
+# just in CI benchmarks.  A final pass runs the same tiny grid on all
+# three execution backends (reference simulator, per-scenario vectorized
+# fast path, mega-batched fast path) and byte-compares the canonical
+# summaries; the batched backend's journal bytes are additionally checked
+# to be independent of the jobs count / batch partition.
 #
 # Usage: scripts/smoke.sh [extra pytest args...]
 
@@ -44,16 +46,33 @@ cmp "$summary_a" "$summary_b"
 echo "summaries byte-identical after resume: OK"
 
 echo
-echo "== backend equivalence: vectorized fast path vs reference =="
+echo "== backend equivalence: fast paths vs reference =="
 eq_grid=(-n 4 6 -k 2 --seeds 3 --noise 0.0 0.25)
 summary_ref="$workdir/summary_reference.jsonl"
 summary_vec="$workdir/summary_vectorized.jsonl"
+summary_bat="$workdir/summary_batched.jsonl"
 python -m repro campaign run --store "$workdir/journal_ref.jsonl" \
     --backend reference --summary "$summary_ref" "${eq_grid[@]}"
 python -m repro campaign run --store "$workdir/journal_vec.jsonl" \
     --backend vectorized --summary "$summary_vec" "${eq_grid[@]}"
+python -m repro campaign run --store "$workdir/journal_bat.jsonl" \
+    --backend batched --summary "$summary_bat" "${eq_grid[@]}"
 cmp "$summary_ref" "$summary_vec"
-echo "reference and vectorized summaries byte-identical: OK"
+cmp "$summary_ref" "$summary_bat"
+echo "reference, vectorized and batched summaries byte-identical: OK"
+
+echo
+echo "== mega-batch partition invariance: --jobs 2 journal bytes =="
+# The batched backend tags every supported scenario "batched" whatever
+# the batch grouping, so journal records (not just summaries) must be
+# byte-identical between a serial run and a chunked parallel run.
+python -m repro campaign run --store "$workdir/journal_bat2.jsonl" \
+    --backend batched --jobs 2 --summary "$workdir/summary_bat2.jsonl" \
+    "${eq_grid[@]}" > /dev/null
+cmp "$summary_bat" "$workdir/summary_bat2.jsonl"
+diff <(sort "$workdir/journal_bat.jsonl") \
+     <(sort "$workdir/journal_bat2.jsonl")
+echo "batched journal bytes independent of jobs/partition: OK"
 
 echo
 echo "== experiment registry: every family as a campaign =="
@@ -90,17 +109,32 @@ run_family_vectorized() {
     cmp "$fdir/ref_summary.jsonl" "$fdir/vec_summary.jsonl"
 }
 
+run_family_batched() {
+    local family="$1"; shift
+    local args=("$@")
+    local fdir="$workdir/family_$family"
+    echo "-- family: $family (mega-batched vs reference) --"
+    python -m repro campaign run --family "$family" \
+        --store "$fdir/bat.jsonl" --summary "$fdir/bat_summary.jsonl" \
+        --backend batched "${args[@]}" > /dev/null
+    cmp "$fdir/ref_summary.jsonl" "$fdir/bat_summary.jsonl"
+}
+
 run_family figure1
 run_family theorem2 -n 6 -k 3
 run_family sweeps -n 5 6 -k 2 --seeds 2 --noise 0.1
 run_family_vectorized sweeps -n 5 6 -k 2 --seeds 2 --noise 0.1
+run_family_batched sweeps -n 5 6 -k 2 --seeds 2 --noise 0.1
 run_family termination -n 5 6 --seeds 2
 run_family_vectorized termination -n 5 6 --seeds 2
+run_family_batched termination -n 5 6 --seeds 2
 run_family ablation -n 5 -k 2 --seeds 2
 run_family duality -n 6 --density 0.1 0.3 --seeds 2
 run_family eventual -n 5 --bad-rounds 0 2 --seeds 1
+run_family_batched eventual -n 5 --bad-rounds 0 2 --seeds 1
 run_family latency -n 5 6 --seeds 2 --noise 0.1
 run_family_vectorized latency -n 5 6 --seeds 2 --noise 0.1
+run_family_batched latency -n 5 6 --seeds 2 --noise 0.1
 echo "all families ran as campaigns (summaries backend-identical): OK"
 
 echo

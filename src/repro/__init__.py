@@ -52,6 +52,7 @@ from repro.engine import (
     ScenarioSpec,
     agreement_grid,
     execute_scenario,
+    execute_scenario_batch,
     execute_scenario_vectorized,
     execute_scenario_with_backend,
     execute_scenarios,
@@ -74,6 +75,7 @@ from repro.graphs import DiGraph, RoundLabeledDigraph
 from repro.predicates import Psrc, Psrcs, PTrue
 from repro.rounds import (
     FastPathRun,
+    FastPathTask,
     FastPathUnsupported,
     Message,
     Process,
@@ -82,6 +84,7 @@ from repro.rounds import (
     SimulationConfig,
     simulate,
     simulate_fastpath,
+    simulate_fastpath_batch,
 )
 from repro.skeleton import SkeletonTracker
 
@@ -97,8 +100,10 @@ __all__ = [
     "Run",
     "simulate",
     "FastPathRun",
+    "FastPathTask",
     "FastPathUnsupported",
     "simulate_fastpath",
+    "simulate_fastpath_batch",
     # graphs
     "DiGraph",
     "RoundLabeledDigraph",
@@ -144,6 +149,7 @@ __all__ = [
     "ScenarioSpec",
     "agreement_grid",
     "execute_scenario",
+    "execute_scenario_batch",
     "execute_scenario_vectorized",
     "execute_scenario_with_backend",
     "execute_scenarios",

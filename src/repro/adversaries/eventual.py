@@ -21,6 +21,8 @@ decision latency — the paper's lower-bound intuition made quantitative.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.adversaries.base import Adversary
 from repro.graphs.digraph import DiGraph
 
@@ -58,6 +60,27 @@ class EventuallyGoodAdversary(Adversary):
         if round_no <= self.bad_rounds:
             return self._bad
         return self.good.graph(round_no)
+
+    def adjacency_stack(self, rounds: int, start: int = 1) -> np.ndarray:
+        """One bad-matrix broadcast for the prefix, then the good
+        adversary's own batch API for the tail — bit-identical to the
+        per-round :meth:`graph` sequence (the good adversary's stack is
+        keyed by absolute round numbers, so the handoff is seamless)."""
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if start < 1:
+            raise ValueError("rounds are 1-indexed")
+        from repro.graphs.generators import to_adjacency
+
+        stack = np.empty((rounds, self.n, self.n), dtype=bool)
+        bad_count = max(0, min(self.bad_rounds - start + 1, rounds))
+        if bad_count:
+            stack[:bad_count] = to_adjacency(self._bad, self.n)
+        if bad_count < rounds:
+            stack[bad_count:] = self.good.adjacency_stack(
+                rounds - bad_count, start + bad_count
+            )
+        return stack
 
     def declared_stable_graph(self) -> DiGraph | None:
         good_stable = self.good.declared_stable_graph()

@@ -26,6 +26,7 @@ from typing import Sequence
 from repro.engine.aggregate import (
     AggregateTable,
     decision_latency_summary,
+    format_ci,
     latency_table,
 )
 from repro.engine.campaign import run_campaign
@@ -44,6 +45,7 @@ class LatencyDistribution:
     runs: int
     p50_last_decide: float
     p95_last_decide: float
+    ci95_last_decide: tuple[float, float]
     max_last_decide: int
     p50_stabilization: float
     mean_values: float
@@ -57,6 +59,7 @@ class LatencyDistribution:
             self.runs,
             self.p50_last_decide,
             self.p95_last_decide,
+            format_ci(self.ci95_last_decide),
             self.max_last_decide,
             self.p50_stabilization,
             round(self.mean_values, 2),
@@ -70,6 +73,7 @@ class LatencyDistribution:
         "runs",
         "p50_decide",
         "p95_decide",
+        "ci95_decide",
         "max_decide",
         "p50_r_ST",
         "mean_values",

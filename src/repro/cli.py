@@ -20,7 +20,7 @@ a registered :class:`~repro.engine.registry.ExperimentSpec`; the
 per-family subcommands above are sugar over
 ``campaign run --family <name>`` and therefore all take ``--jobs N``,
 ``--store PATH`` (resume-by-hash) and ``--backend
-{reference,vectorized,auto}``.
+{reference,vectorized,batched,auto}``.
 
 Campaign exit codes: 0 = complete and green, 1 = incomplete (half-executed
 grid) or failed (terminal errors), 2 = nothing to do (the grid expanded to
@@ -128,7 +128,7 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                    "in-memory)")
     p.add_argument(
         "--backend",
-        choices=["reference", "vectorized", "auto"],
+        choices=["reference", "vectorized", "batched", "auto"],
         default=None,
         help="execution engine (default: the family's preference; "
         "metrics are identical across backends)",
@@ -466,11 +466,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes (1 = serial)")
     p_crun.add_argument(
         "--backend",
-        choices=["reference", "vectorized", "auto"],
+        choices=["reference", "vectorized", "batched", "auto"],
         default=None,
         help="execution engine: the per-object reference simulator, the "
-        "batched-matrix fast path, or auto (fast path with transparent "
-        "fallback); metrics and summaries are identical either way",
+        "per-scenario matrix fast path, the mega-batched fast path "
+        "(same-n scenarios stacked into one tensor program), or auto "
+        "(fast path with transparent fallback, preferring mega-batches); "
+        "metrics and summaries are identical either way",
     )
     p_crun.add_argument("--timeout", type=float, default=None,
                         help="per-scenario time budget in seconds")

@@ -17,11 +17,14 @@ fleet-scale workload generator:
   deterministic regardless of worker count: every scenario is a pure
   function of its spec, and outputs are re-ordered into grid order.
 * :mod:`repro.engine.backends` — **execution backends**: the reference
-  :class:`~repro.rounds.simulator.RoundSimulator` vs the vectorized
-  batched-matrix fast path (:mod:`repro.rounds.fastpath`), selected via
-  ``execute_scenarios(..., backend={"reference","vectorized","auto"})``.
-  Metrics are identical across backends; ``auto`` falls back on
-  :class:`FastPathUnsupported`.
+  :class:`~repro.rounds.simulator.RoundSimulator` vs the matrix fast
+  path (:mod:`repro.rounds.fastpath`), per scenario (``"vectorized"``)
+  or mega-batched across same-``n`` scenarios (``"batched"``), selected
+  via ``execute_scenarios(..., backend={"reference","vectorized",
+  "batched","auto"})``.  Metrics are identical across backends; ``auto``
+  falls back on :class:`FastPathUnsupported` and routes every
+  batch-compatible segment of a work list through the mega-batched
+  kernel.
 * :mod:`repro.engine.store` — an append-only **JSONL result store**
   (:class:`ResultStore`) with a versioned codec and resume-by-hash.
 * :mod:`repro.engine.campaign` — the **campaign API**
@@ -58,6 +61,8 @@ from repro.engine.aggregate import (
 )
 from repro.engine.backends import (
     BACKENDS,
+    batch_compatible,
+    execute_scenario_batch,
     execute_scenario_vectorized,
     execute_scenario_with_backend,
     fastpath_supported,
@@ -103,7 +108,9 @@ __all__ = [
     "decision_latency_summary",
     "decode_result",
     "encode_result",
+    "batch_compatible",
     "execute_scenario",
+    "execute_scenario_batch",
     "execute_scenario_vectorized",
     "execute_scenario_with_backend",
     "execute_scenarios",

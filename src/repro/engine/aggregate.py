@@ -84,7 +84,8 @@ def ci95(values: Sequence[float]) -> tuple[float, float]:
     """A normal-approximation 95% confidence interval for the mean.
 
     Seed ensembles are i.i.d. draws, so the usual ``mean ± 1.96 s/√n``
-    applies; degenerate ensembles (one value) collapse to a point.
+    applies; degenerate ensembles (one value, or zero variance) collapse
+    to a point.
     """
     arr = np.asarray(values, dtype=float)
     m = float(arr.mean())
@@ -92,6 +93,12 @@ def ci95(values: Sequence[float]) -> tuple[float, float]:
         return (m, m)
     half = 1.96 * float(arr.std(ddof=1)) / float(np.sqrt(arr.size))
     return (m - half, m + half)
+
+
+def format_ci(interval: tuple[float, float]) -> str:
+    """Render a confidence interval as one table cell (``lo..hi``)."""
+    lo, hi = interval
+    return f"{lo:.2f}..{hi:.2f}"
 
 
 STATS: dict[str, Callable[[Sequence[Any]], Any]] = {
@@ -240,6 +247,7 @@ LATENCY_HEADERS = (
     "runs",
     "p50_decide",
     "p95_decide",
+    "ci95_decide",
     "max_decide",
     "p50_r_ST",
     "mean_values",
@@ -278,6 +286,7 @@ def decision_latency_summary(results: Sequence[Any]) -> dict[str, Any]:
         "runs": len(results),
         "p50_last_decide": float(np.percentile(arr, 50)),
         "p95_last_decide": float(np.percentile(arr, 95)),
+        "ci95_last_decide": ci95(arr),
         "max_last_decide": int(arr.max()),
         "p50_stabilization": float(np.nanpercentile(st_arr, 50)),
         "mean_values": float(np.mean(value_counts)),
@@ -313,6 +322,7 @@ def latency_table(
                 summary["runs"],
                 summary["p50_last_decide"],
                 summary["p95_last_decide"],
+                format_ci(summary["ci95_last_decide"]),
                 summary["max_last_decide"],
                 summary["p50_stabilization"],
                 round(summary["mean_values"], 2),
@@ -325,6 +335,7 @@ def latency_table(
             "runs",
             "p50_decide",
             "p95_decide",
+            "ci95_decide",
             "max_decide",
             "p50_r_ST",
             "mean_values",

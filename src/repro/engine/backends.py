@@ -1,56 +1,225 @@
-"""Execution backends: the reference simulator and the vectorized fast path.
+"""Execution backends: reference simulator, vectorized and batched fast paths.
 
-One scenario can be executed two ways:
+One scenario can be executed three ways:
 
 * ``"reference"`` — :func:`repro.engine.executor.execute_scenario`: the
   per-object :class:`~repro.rounds.simulator.RoundSimulator`.  Supports
   everything (state histories, message recording, every algorithm).
 * ``"vectorized"`` — :func:`execute_scenario_vectorized`: the batched
-  matrix kernel in :mod:`repro.rounds.fastpath`.  Covers exactly the
-  sweep/latency/distribution workloads (Algorithm 1, summary metrics
-  only) and raises :class:`FastPathUnsupported` for anything else.
-* ``"auto"`` — try the fast path, transparently fall back to the
-  reference simulator when the scenario is out of its scope (figure1 /
-  lemma-checker style workloads that need full state histories, baseline
-  algorithms, non-integer proposals).
+  matrix kernel in :mod:`repro.rounds.fastpath`, one scenario at a time.
+  Covers exactly the sweep/latency/distribution workloads (Algorithm 1,
+  summary metrics only) and raises :class:`FastPathUnsupported` for
+  anything else.
+* ``"batched"`` — :func:`execute_scenario_batch`: the *mega*-batched
+  kernel (:func:`~repro.rounds.fastpath.simulate_fastpath_batch`): a
+  group of same-``n`` scenarios stacked into one ``(S, n, ...)`` tensor
+  program, so every ensemble round costs one set of kernel calls for the
+  whole group instead of one per scenario.  Scenario grouping happens at
+  the work-list level (:func:`iter_scenarios_batched`): contiguous runs
+  of batch-compatible same-``n`` specs share a batch, capped by the
+  :func:`~repro.rounds.fastpath.default_batch_size` memory envelope.
+* ``"auto"`` — prefer the fast path, transparently fall back to the
+  reference simulator when the scenario is out of its scope.  On a work
+  list, ``auto`` routes every batch-compatible segment through the
+  mega-batched kernel (singletons included, so provenance tags stay
+  partition-independent).
 
-Both backends are *exactly equivalent* where they overlap: the fast path
-consumes bit-identical adversary schedules
-(:meth:`~repro.adversaries.base.Adversary.adjacency_stack`) and mirrors
+All backends are *exactly equivalent* where they overlap: the fast paths
+consume bit-identical adversary schedules
+(:meth:`~repro.adversaries.base.Adversary.adjacency_stack`) and mirror
 Algorithm 1's update order, so the resulting metrics — and therefore the
 canonical campaign summaries — are byte-identical.
-``tests/test_fastpath_equivalence.py`` enforces this, and
-``scripts/smoke.sh`` diffs summaries from both backends on every change.
+``tests/test_fastpath_equivalence.py`` and
+``tests/test_batched_equivalence.py`` enforce this, and
+``scripts/smoke.sh`` diffs summaries from all backends on every change.
 Results are tagged with the backend that produced them (journal records
 only — canonical summaries stay provenance-free so they compare equal
-across backends).
+across backends).  On the work-list paths (``"batched"`` and ``"auto"``)
+the tag is a pure function of the spec, never of the batch grouping, so
+journal records are byte-identical whatever the partition or worker
+count.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.stats import DecisionStats
 from repro.engine.executor import ScenarioResult, execute_scenario
 from repro.engine.scenarios import ScenarioSpec
 from repro.graphs.matrices import root_component_count_matrix
 from repro.predicates.psrcs import Psrcs
-from repro.rounds.fastpath import FastPathUnsupported, simulate_fastpath
+from repro.rounds.fastpath import (
+    FastPathRun,
+    FastPathTask,
+    FastPathUnsupported,
+    default_batch_size,
+    simulate_fastpath,
+    simulate_fastpath_batch,
+)
 
 BACKEND_REFERENCE = "reference"
 BACKEND_VECTORIZED = "vectorized"
+BACKEND_BATCHED = "batched"
 BACKEND_AUTO = "auto"
-BACKENDS = (BACKEND_REFERENCE, BACKEND_VECTORIZED, BACKEND_AUTO)
+BACKENDS = (
+    BACKEND_REFERENCE,
+    BACKEND_VECTORIZED,
+    BACKEND_BATCHED,
+    BACKEND_AUTO,
+)
 
 # Algorithms the fast path covers; everything else falls back/raises.
 _FASTPATH_ALGORITHMS = frozenset({"algorithm1"})
 
 
 def fastpath_supported(spec: ScenarioSpec) -> bool:
-    """Whether the vectorized backend covers this scenario."""
+    """Whether the fast-path kernels cover this scenario's algorithm."""
     return spec.algorithm in _FASTPATH_ALGORITHMS
 
 
+def _family_fast_result(spec: ScenarioSpec):
+    """The family-specific fast-twin result builder for a tagged spec.
+
+    ``None`` means the stock metric schema applies (untagged specs and
+    stock-runner families).  A tagged family whose custom runner has no
+    registered fast twin raises :class:`FastPathUnsupported`, so forced
+    fast backends report it and ``auto`` falls back to the family runner.
+    """
+    name = spec.opt("family")
+    if name is None:
+        return None
+    from repro.engine.registry import get_family
+
+    family = get_family(name)
+    if family.runner is None:
+        return None
+    if family.fast_result is None:
+        raise FastPathUnsupported(
+            f"family {name!r} runs only on the reference simulator"
+        )
+    return family.fast_result
+
+
+def batch_compatible(spec: ScenarioSpec) -> bool:
+    """Whether this spec can join a mega-batch.
+
+    True for fast-path-supported specs whose result schema the batch
+    layer knows how to build: the stock schema, or a registered family
+    fast twin (``ExperimentSpec.fast_result``).
+    """
+    if not fastpath_supported(spec):
+        return False
+    name = spec.opt("family")
+    if name is None:
+        return True
+    from repro.engine.registry import get_family
+
+    try:
+        family = get_family(name)
+    except KeyError:
+        return False
+    return family.runner is None or family.fast_result is not None
+
+
+def fastpath_decision_stats(
+    fast: FastPathRun, adversary
+) -> tuple[DecisionStats, object]:
+    """``(DecisionStats, declared_stable_matrix)`` for a finished run —
+    the decision/stabilization assembly shared by the stock result schema
+    and every family ``fast_result`` twin, so the Lemma-11 bookkeeping
+    lives in exactly one place."""
+    declared_matrix = adversary.declared_stable_matrix()
+    r_st = fast.stabilization_round(declared_matrix)
+    decision_rounds = sorted(fast.decision_rounds().values())
+    stats = DecisionStats(
+        n=fast.n,
+        num_rounds=fast.num_rounds,
+        num_decided=len(decision_rounds),
+        first_decision_round=decision_rounds[0] if decision_rounds else None,
+        last_decision_round=decision_rounds[-1] if decision_rounds else None,
+        stabilization=r_st,
+        lemma11_bound=(r_st + 2 * fast.n - 1) if r_st is not None else None,
+        stabilization_known=declared_matrix is not None,
+    )
+    return stats, declared_matrix
+
+
+def _stock_result(
+    spec: ScenarioSpec,
+    fast: FastPathRun,
+    adversary,
+    cache: dict | None = None,
+) -> ScenarioResult:
+    """Build the stock metric schema from one finished fast-path run.
+
+    Run-level (once-per-scenario) analysis goes through the matrix
+    kernels, which the test suite cross-validates against the set-based
+    machinery the reference path uses — on the *same* stable skeleton, so
+    equality is structural, not approximate.
+
+    ``cache`` (per mega-batch) memoizes the two skeleton-only statistics
+    — root-component count and the ``Psrcs(k)`` verdict — keyed by the
+    stable matrix bytes: every seed of one ensemble cell shares its
+    declared stable skeleton, so a batch computes each verdict once
+    instead of once per lane.  Pure memoization: values are identical
+    with or without it.
+    """
+    stats, declared_matrix = fastpath_decision_stats(fast, adversary)
+    stable_matrix = (
+        declared_matrix
+        if declared_matrix is not None
+        else fast.final_skeleton_matrix()
+    )
+    values = fast.decision_values()
+    proposals = set(fast.initial_values)
+    if cache is None:
+        root_components = root_component_count_matrix(stable_matrix)
+        psrcs_holds = Psrcs(spec.k).check_skeleton_matrix(stable_matrix).holds
+    else:
+        stable_key = stable_matrix.tobytes()
+        roots_key = ("roots", stable_key)
+        if roots_key not in cache:
+            cache[roots_key] = root_component_count_matrix(stable_matrix)
+        root_components = cache[roots_key]
+        psrcs_key = ("psrcs", spec.k, stable_key)
+        if psrcs_key not in cache:
+            cache[psrcs_key] = (
+                Psrcs(spec.k).check_skeleton_matrix(stable_matrix).holds
+            )
+        psrcs_holds = cache[psrcs_key]
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=fast.num_rounds,
+        root_components=root_components,
+        psrcs_holds=psrcs_holds,
+        distinct_decisions=len(values),
+        all_decided=fast.all_decided(),
+        k_agreement_holds=len(values) <= spec.k,
+        validity_holds=values <= proposals,
+        first_decision_round=stats.first_decision_round,
+        last_decision_round=stats.last_decision_round,
+        stabilization=stats.stabilization,
+        lemma11_bound=stats.lemma11_bound,
+        within_bound=stats.within_bound,
+        decision_values=tuple(sorted(values, key=repr)),
+    )
+
+
+def _fastpath_task(spec: ScenarioSpec, adversary) -> FastPathTask:
+    """The batch-kernel lane for one scenario."""
+    return FastPathTask(
+        adjacency=adversary.adjacency_stack,
+        initial_values=tuple(range(spec.n)),
+        purge_window=spec.opt("purge_window"),
+        prune_unreachable=spec.opt("prune_unreachable", True),
+        max_rounds=spec.resolved_max_rounds(),
+    )
+
+
 def execute_scenario_vectorized(spec: ScenarioSpec) -> ScenarioResult:
-    """Run one scenario through the batched matrix fast path.
+    """Run one scenario through the per-scenario matrix fast path.
 
     Raises
     ------
@@ -64,55 +233,19 @@ def execute_scenario_vectorized(spec: ScenarioSpec) -> ScenarioResult:
         raise FastPathUnsupported(
             f"algorithm {spec.algorithm!r} has no vectorized fast path"
         )
+    builder = _family_fast_result(spec) or _stock_result
     try:
         adversary = spec.build_adversary()
+        task = _fastpath_task(spec, adversary)
         fast = simulate_fastpath(
-            adversary.adjacency_stack,
-            list(range(spec.n)),
-            purge_window=spec.opt("purge_window"),
-            prune_unreachable=spec.opt("prune_unreachable", True),
-            max_rounds=spec.resolved_max_rounds(),
+            task.adjacency,
+            list(task.initial_values),
+            purge_window=task.purge_window,
+            prune_unreachable=task.prune_unreachable,
+            max_rounds=task.max_rounds,
         )
-        # Run-level (once-per-scenario) analysis goes through the matrix
-        # kernels, which the test suite cross-validates against the
-        # set-based machinery the reference path uses — on the *same*
-        # stable skeleton, so equality is structural, not approximate.
-        declared_matrix = adversary.declared_stable_matrix()
-        stable_matrix = (
-            declared_matrix
-            if declared_matrix is not None
-            else fast.final_skeleton_matrix()
-        )
-        r_st = fast.stabilization_round(declared_matrix)
-        decision_rounds = sorted(fast.decision_rounds().values())
-        stats = DecisionStats(
-            n=fast.n,
-            num_rounds=fast.num_rounds,
-            num_decided=len(decision_rounds),
-            first_decision_round=decision_rounds[0] if decision_rounds else None,
-            last_decision_round=decision_rounds[-1] if decision_rounds else None,
-            stabilization=r_st,
-            lemma11_bound=(r_st + 2 * fast.n - 1) if r_st is not None else None,
-            stabilization_known=declared_matrix is not None,
-        )
-        values = fast.decision_values()
-        proposals = set(fast.initial_values)
-        return ScenarioResult(
-            spec=spec,
-            backend=BACKEND_VECTORIZED,
-            num_rounds=fast.num_rounds,
-            root_components=root_component_count_matrix(stable_matrix),
-            psrcs_holds=Psrcs(spec.k).check_skeleton_matrix(stable_matrix).holds,
-            distinct_decisions=len(values),
-            all_decided=fast.all_decided(),
-            k_agreement_holds=len(values) <= spec.k,
-            validity_holds=values <= proposals,
-            first_decision_round=stats.first_decision_round,
-            last_decision_round=stats.last_decision_round,
-            stabilization=stats.stabilization,
-            lemma11_bound=stats.lemma11_bound,
-            within_bound=stats.within_bound,
-            decision_values=tuple(sorted(values, key=repr)),
+        return replace(
+            builder(spec, fast, adversary), backend=BACKEND_VECTORIZED
         )
     except FastPathUnsupported:
         raise
@@ -124,6 +257,149 @@ def execute_scenario_vectorized(spec: ScenarioSpec) -> ScenarioResult:
         )
 
 
+def execute_scenario_batch(
+    specs: Sequence[ScenarioSpec],
+) -> list[ScenarioResult]:
+    """Run a group of same-``n`` scenarios through one mega-batched kernel.
+
+    The scenario-level face of
+    :func:`~repro.rounds.fastpath.simulate_fastpath_batch`: adversary
+    schedules are pulled lane-wise through ``adjacency_stack`` into the
+    shared ``(S, R, n, n)`` stack and the whole group advances round by
+    round with zero per-scenario Python control flow.  Isolation mirrors
+    the per-scenario backends:
+
+    * a spec the fast path cannot cover, or whose adversary construction
+      fails, becomes an ``"error"`` result without poisoning the batch;
+    * a failure *inside* the shared kernel retries every lane as a
+      singleton batch, so one bad lane cannot take down its batchmates —
+      and because the kernel is lane-independent, the surviving results
+      are identical to what the healthy batch would have produced.
+
+    Every result is tagged ``backend="batched"`` regardless of the group
+    size, so journal bytes do not depend on how a work list was cut into
+    batches.
+    """
+    results: dict[int, ScenarioResult] = {}
+    lanes: list[tuple[int, ScenarioSpec, object, object]] = []
+    tasks: list[FastPathTask] = []
+    for pos, spec in enumerate(specs):
+        try:
+            if not fastpath_supported(spec):
+                raise FastPathUnsupported(
+                    f"algorithm {spec.algorithm!r} has no vectorized fast path"
+                )
+            builder = _family_fast_result(spec) or _stock_result
+            adversary = spec.build_adversary()
+            tasks.append(_fastpath_task(spec, adversary))
+            lanes.append((pos, spec, adversary, builder))
+        except FastPathUnsupported as exc:
+            results[pos] = ScenarioResult.failure(
+                spec, f"FastPathUnsupported: {exc}", backend=BACKEND_BATCHED
+            )
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            results[pos] = ScenarioResult.failure(
+                spec, f"{type(exc).__name__}: {exc}", backend=BACKEND_BATCHED
+            )
+    if lanes:
+        try:
+            runs = simulate_fastpath_batch(tasks)
+        except Exception as exc:  # noqa: BLE001 — isolate, then retry solo
+            if len(lanes) == 1:
+                pos, spec, _, _ = lanes[0]
+                prefix = (
+                    "FastPathUnsupported: "
+                    if isinstance(exc, FastPathUnsupported)
+                    else f"{type(exc).__name__}: "
+                )
+                results[pos] = ScenarioResult.failure(
+                    spec, f"{prefix}{exc}", backend=BACKEND_BATCHED
+                )
+            else:
+                for pos, spec, _, _ in lanes:
+                    results[pos] = execute_scenario_batch([spec])[0]
+        else:
+            cache: dict = {}
+            for (pos, spec, adversary, builder), fast in zip(lanes, runs):
+                try:
+                    if builder is _stock_result:
+                        result = _stock_result(spec, fast, adversary, cache)
+                    else:
+                        result = builder(spec, fast, adversary)
+                    results[pos] = replace(result, backend=BACKEND_BATCHED)
+                except Exception as exc:  # noqa: BLE001
+                    results[pos] = ScenarioResult.failure(
+                        spec,
+                        f"{type(exc).__name__}: {exc}",
+                        backend=BACKEND_BATCHED,
+                    )
+    return [results[pos] for pos in range(len(specs))]
+
+
+def iter_scenarios_batched(
+    items: Iterable[tuple[int, ScenarioSpec]], backend: str
+) -> Iterator[tuple[int, ScenarioResult]]:
+    """Yield ``(index, result)`` for a work list, batching where possible.
+
+    Contiguous runs of batch-compatible same-``n`` specs (grids expand
+    ``n``-major, so whole seed ensembles arrive contiguous) are stacked
+    into mega-batches capped by the
+    :func:`~repro.rounds.fastpath.default_batch_size` memory envelope
+    (sized for the *largest* round budget in the segment, so a lane with
+    a huge ``max_rounds`` shrinks its batch instead of blowing the
+    budget); everything else goes through the per-scenario dispatch.
+    Yield order is input order, so journal record order is identical to
+    a per-scenario run.
+
+    Every compatible spec — singletons included — runs through the batch
+    kernel under both ``"batched"`` and ``"auto"``, so the journaled
+    provenance tag is a pure function of the spec: journal *bytes*
+    cannot depend on how chunk boundaries cut the work list or on the
+    worker count.  ``"auto"`` keeps its transparent-fallback contract:
+    a lane the fast path turns out not to cover re-runs through the
+    per-scenario ``auto`` dispatch (and thus the reference simulator)
+    instead of surfacing a forced-backend error.
+    """
+    from repro.engine.executor import STATUS_ERROR, _run_one
+
+    pending: list[tuple[int, ScenarioSpec]] = []
+    seg_rounds = 1
+
+    def flush() -> list[tuple[int, ScenarioResult]]:
+        if not pending:
+            return []
+        specs = [spec for _, spec in pending]
+        results = execute_scenario_batch(specs)
+        if backend == BACKEND_AUTO:
+            results = [
+                _run_one(spec, BACKEND_AUTO)
+                if result.status == STATUS_ERROR
+                and result.error is not None
+                and result.error.startswith("FastPathUnsupported: ")
+                else result
+                for spec, result in zip(specs, results)
+            ]
+        out = list(zip([idx for idx, _ in pending], results))
+        pending.clear()
+        return out
+
+    for idx, spec in items:
+        if batch_compatible(spec):
+            rounds = spec.resolved_max_rounds()
+            if pending and (
+                spec.n != pending[-1][1].n
+                or len(pending)
+                >= default_batch_size(spec.n, max(seg_rounds, rounds))
+            ):
+                yield from flush()
+            seg_rounds = rounds if not pending else max(seg_rounds, rounds)
+            pending.append((idx, spec))
+        else:
+            yield from flush()
+            yield idx, _run_one(spec, backend)
+    yield from flush()
+
+
 def execute_scenario_with_backend(
     spec: ScenarioSpec, backend: str = BACKEND_REFERENCE
 ) -> ScenarioResult:
@@ -131,9 +407,11 @@ def execute_scenario_with_backend(
 
     ``"auto"`` prefers the fast path and silently falls back to the
     reference simulator on :class:`FastPathUnsupported`.  A *forced*
-    ``"vectorized"`` backend instead reports unsupported scenarios as
-    ``"error"`` results — an explicit choice must not silently execute on
-    a different engine.
+    ``"vectorized"`` or ``"batched"`` backend instead reports unsupported
+    scenarios as ``"error"`` results — an explicit choice must not
+    silently execute on a different engine.  (``"batched"`` on a single
+    scenario runs a one-lane batch: semantically the vectorized kernel,
+    tagged ``"batched"`` so provenance does not depend on grouping.)
     """
     if backend == BACKEND_REFERENCE:
         return execute_scenario(spec)
@@ -144,6 +422,8 @@ def execute_scenario_with_backend(
             return ScenarioResult.failure(
                 spec, f"FastPathUnsupported: {exc}", backend=BACKEND_VECTORIZED
             )
+    if backend == BACKEND_BATCHED:
+        return execute_scenario_batch([spec])[0]
     if backend == BACKEND_AUTO:
         try:
             return execute_scenario_vectorized(spec)

@@ -218,11 +218,31 @@ def _run_one(spec: ScenarioSpec, backend: str) -> ScenarioResult:
     return execute_scenario_with_backend(spec, backend)
 
 
+def _iter_chunk(
+    chunk: Sequence[IndexedSpec], backend: str
+) -> Iterable[tuple[int, ScenarioResult]]:
+    """Yield one work list's results in input order.
+
+    The ``batched`` and ``auto`` backends route through
+    :func:`repro.engine.backends.iter_scenarios_batched`, which stacks
+    contiguous batch-compatible same-``n`` specs into mega-batched kernel
+    calls.  Yield order — and therefore journal record order — is
+    identical to per-scenario execution either way.
+    """
+    if backend in ("batched", "auto"):
+        from repro.engine.backends import iter_scenarios_batched
+
+        yield from iter_scenarios_batched(chunk, backend)
+        return
+    for idx, spec in chunk:
+        yield idx, _run_one(spec, backend)
+
+
 def _execute_chunk(
     chunk: Sequence[IndexedSpec], backend: str = "reference"
 ) -> list[tuple[int, ScenarioResult]]:
     """Worker entry point: run one contiguous slice of the grid."""
-    return [(idx, _run_one(spec, backend)) for idx, spec in chunk]
+    return list(_iter_chunk(chunk, backend))
 
 
 def _chunked(items: Sequence[IndexedSpec], size: int) -> list[list[IndexedSpec]]:
@@ -272,7 +292,9 @@ def execute_scenarios(
         Seconds between readiness polls of outstanding chunks.
     backend:
         Execution engine per scenario: ``"reference"`` (default),
-        ``"vectorized"`` or ``"auto"`` — see :mod:`repro.engine.backends`.
+        ``"vectorized"``, ``"batched"`` (mega-batch contiguous same-``n``
+        scenarios into one tensor program) or ``"auto"`` — see
+        :mod:`repro.engine.backends`.
 
     Returns
     -------
@@ -282,12 +304,14 @@ def execute_scenarios(
     if not spec_list:
         return []
     if (jobs <= 1 or len(spec_list) <= 1) and timeout is None:
-        results = []
-        for spec in spec_list:
-            result = _run_one(spec, backend)
+        # The serial path streams through the same chunk kernel the pool
+        # workers use, so the batched/auto backends mega-batch here too;
+        # results arrive (and journal) in grid order, batch by batch.
+        results: list = [None] * len(spec_list)
+        for idx, result in _iter_chunk(list(enumerate(spec_list)), backend):
             if on_result is not None:
                 on_result(result)
-            results.append(result)
+            results[idx] = result
         return results
 
     indexed = list(enumerate(spec_list))

@@ -88,15 +88,25 @@ class ExperimentSpec:
     runner:
         Custom per-scenario runner, or ``None`` for the stock
         :func:`~repro.engine.executor.execute_scenario`.  Custom runners
-        execute on the reference simulator only.
+        execute on the reference simulator unless they also register a
+        ``fast_result`` twin.
+    fast_result:
+        Optional fast-path twin of a custom runner: a
+        ``(spec, FastPathRun, adversary) -> ScenarioResult`` builder that
+        reproduces the runner's result record (metrics *and* extras,
+        byte-identical) from a finished fast-path run.  Families with a
+        twin execute on the vectorized/batched backends — including the
+        mega-batched kernel, which stacks their scenarios with any other
+        compatible same-``n`` work.
     aggregate:
         Store-native aggregator (``campaign report --aggregate``), or
         ``None`` for the generic latency percentile table.
     defaults:
         Default grid params as sorted ``(name, value)`` pairs.
     vectorizable:
-        Whether the family's scenarios are covered by the vectorized fast
-        path (stock-runner Algorithm-1 families); such families default to
+        Whether the family's scenarios are covered by the fast-path
+        kernels (stock-runner Algorithm-1 families, or custom runners
+        with a ``fast_result`` twin); such families default to
         ``backend="auto"``.
     """
 
@@ -107,6 +117,7 @@ class ExperimentSpec:
     headers: tuple[str, ...] = ()
     row: Callable[[ScenarioResult], list] | None = None
     runner: Runner | None = None
+    fast_result: Callable[..., ScenarioResult] | None = None
     aggregate: Aggregator | None = None
     defaults: tuple[tuple[str, Any], ...] = ()
     vectorizable: bool = False
@@ -124,8 +135,10 @@ class ExperimentSpec:
 
     def supports_backend(self, backend: str) -> bool:
         """Whether a *forced* backend choice can execute this family."""
-        if backend == "vectorized":
-            return self.runner is None and self.vectorizable
+        if backend in ("vectorized", "batched"):
+            return self.vectorizable and (
+                self.runner is None or self.fast_result is not None
+            )
         return True
 
     def table(self, results: Sequence[ScenarioResult], title: str | None = None) -> str:
@@ -222,13 +235,31 @@ def run_registered_scenario(spec: ScenarioSpec, backend: str) -> ScenarioResult:
         from repro.engine.backends import execute_scenario_with_backend
 
         return execute_scenario_with_backend(spec, backend)
-    if backend == "vectorized":
+    if family.fast_result is not None and backend != "reference":
+        # The family registered a fast-path twin of its runner: forced
+        # fast backends run it (the twin builds the runner's exact result
+        # record from a FastPathRun), and ``auto`` prefers it with the
+        # usual transparent fallback to the family runner.
+        from repro.engine.backends import (
+            FastPathUnsupported,
+            execute_scenario_vectorized,
+            execute_scenario_with_backend,
+        )
+
+        if backend in ("vectorized", "batched"):
+            return execute_scenario_with_backend(spec, backend)
+        try:
+            return execute_scenario_vectorized(spec)
+        except FastPathUnsupported:
+            pass
+    elif backend in ("vectorized", "batched"):
         # A forced fast-path request must not silently execute the
         # family's bespoke reference-only logic.
         return ScenarioResult.failure(
             spec,
             f"FastPathUnsupported: family {family.name!r} runs only on "
             "the reference backend",
+            backend=backend,
         )
     try:
         return family.runner(spec)

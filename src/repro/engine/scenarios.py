@@ -229,10 +229,26 @@ def _build_crash(spec: ScenarioSpec) -> Adversary:
     return CrashAdversary(spec.n, crash_rounds, seed=spec.seed)
 
 
+def _build_static(spec: ScenarioSpec) -> Adversary:
+    # A seeded random strongly connected graph played in every round
+    # (``G^r = G^∩∞`` for all r) — the perpetually synchronous corner of
+    # the scenario space; ``noise`` is the extra-edge density.
+    import numpy as np
+
+    from repro.adversaries.static import StaticAdversary
+    from repro.graphs.generators import random_strongly_connected
+
+    rng = np.random.default_rng([spec.seed, spec.n])
+    return StaticAdversary(
+        spec.n, random_strongly_connected(spec.n, spec.noise, rng)
+    )
+
+
 ADVERSARIES: dict[str, Callable[[ScenarioSpec], Adversary]] = {
     "grouped": _build_grouped,
     "partition": _build_partition,
     "crash": _build_crash,
+    "static": _build_static,
 }
 
 

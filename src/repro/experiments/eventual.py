@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.adversaries.eventual import EventuallyGoodAdversary
 from repro.adversaries.grouped import GroupedSourceAdversary
 from repro.core.algorithm import make_processes
@@ -129,6 +131,50 @@ def run_eventual_scenario(spec: ScenarioSpec) -> "ScenarioResult":
     )
 
 
+def fastpath_eventual_result(spec, fast, adversary) -> "ScenarioResult":
+    """The fast-path twin of :func:`run_eventual_scenario`.
+
+    Builds the exact same result record — metrics *and* extras — from a
+    finished :class:`~repro.rounds.fastpath.FastPathRun`, so the eventual
+    family executes on the vectorized/batched backends with byte-identical
+    canonical summaries (the differential suite pins this)."""
+    from repro.engine.backends import fastpath_decision_stats
+    from repro.engine.executor import ScenarioResult
+
+    bad_rounds = spec.opt("bad_rounds", 0)
+    stats, _ = fastpath_decision_stats(fast, adversary)
+    values = fast.decision_values()
+    all_decided = fast.all_decided()
+    # Own-value decisions: proposals are the process ids (range(n)), so
+    # "everyone decided its own value" is one vector comparison.
+    decided_own = all_decided and bool(
+        (fast.decision_value == np.arange(fast.n)).all()
+    )
+    confirms = (
+        len(values) == 1
+        if bad_rounds == 0
+        else (len(values) == spec.n and decided_own)
+    )
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=fast.num_rounds,
+        distinct_decisions=len(values),
+        all_decided=all_decided,
+        validity_holds=None,
+        first_decision_round=stats.first_decision_round,
+        last_decision_round=stats.last_decision_round,
+        stabilization=stats.stabilization,
+        lemma11_bound=stats.lemma11_bound,
+        within_bound=stats.within_bound,
+        decision_values=tuple(sorted(values, key=repr)),
+        extras=(
+            ("all_decided_own", decided_own),
+            ("bad_rounds", bad_rounds),
+            ("confirms_lower_bound", confirms),
+        ),
+    )
+
+
 DEFAULT_BAD_ROUNDS = (0, 1, 2, 4, 8, 12, 20)
 
 
@@ -194,11 +240,13 @@ register(
                  "all_decided_own"),
         row=_eventual_row,
         runner=run_eventual_scenario,
+        fast_result=fastpath_eventual_result,
         aggregate=None,
         defaults=(
             ("bad_rounds", DEFAULT_BAD_ROUNDS),
             ("n", (8,)),
             ("seeds", 1),
         ),
+        vectorizable=True,
     )
 )

@@ -17,8 +17,10 @@ This package implements that model directly:
 from repro.rounds.process import Process, DecisionRecord
 from repro.rounds.fastpath import (
     FastPathRun,
+    FastPathTask,
     FastPathUnsupported,
     simulate_fastpath,
+    simulate_fastpath_batch,
 )
 from repro.rounds.messages import Message
 from repro.rounds.run import Run, RoundRecord
@@ -28,6 +30,7 @@ __all__ = [
     "Process",
     "DecisionRecord",
     "FastPathRun",
+    "FastPathTask",
     "FastPathUnsupported",
     "Message",
     "Run",
@@ -36,4 +39,5 @@ __all__ = [
     "SimulationConfig",
     "simulate",
     "simulate_fastpath",
+    "simulate_fastpath_batch",
 ]

@@ -128,6 +128,35 @@ def _as_int_estimates(values: Sequence) -> np.ndarray:
     return np.asarray([int(v) for v in values], dtype=np.int64)
 
 
+def _normalize_schedule(adjacency, n: int, max_rounds: int | None):
+    """``(provider, max_rounds)`` from a tensor or provider input.
+
+    The shared prologue of both kernels: a callable is a schedule
+    provider (``max_rounds`` required); anything else must be an
+    ``(R, n, n)`` boolean tensor, wrapped into a slicing provider with
+    ``max_rounds`` defaulting to (and capped by) the scheduled length.
+    """
+    if callable(adjacency):
+        if max_rounds is None:
+            raise ValueError("max_rounds is required with a schedule provider")
+        return adjacency, max_rounds
+    arr = np.asarray(adjacency, dtype=bool)
+    if arr.ndim != 3 or arr.shape[1] != arr.shape[2]:
+        raise ValueError(f"expected (rounds, n, n) tensor, got {arr.shape}")
+    if arr.shape[1] != n:
+        raise ValueError(
+            f"tensor is for n={arr.shape[1]}, got {n} initial values"
+        )
+    if max_rounds is None:
+        max_rounds = arr.shape[0]
+    elif max_rounds > arr.shape[0]:
+        raise ValueError(
+            f"max_rounds={max_rounds} exceeds scheduled {arr.shape[0]}"
+        )
+    provider = lambda count, start=1: arr[start - 1 : start - 1 + count]
+    return provider, max_rounds
+
+
 def simulate_fastpath(
     adjacency,
     initial_values: Sequence[int],
@@ -165,27 +194,7 @@ def simulate_fastpath(
         tensor length otherwise.
     """
     n = len(initial_values)
-    if callable(adjacency):
-        if max_rounds is None:
-            raise ValueError("max_rounds is required with a schedule provider")
-        provider = adjacency
-    else:
-        arr = np.asarray(adjacency, dtype=bool)
-        if arr.ndim != 3 or arr.shape[1] != arr.shape[2]:
-            raise ValueError(
-                f"expected (rounds, n, n) tensor, got {arr.shape}"
-            )
-        if arr.shape[1] != n:
-            raise ValueError(
-                f"tensor is for n={arr.shape[1]}, got {n} initial values"
-            )
-        if max_rounds is None:
-            max_rounds = arr.shape[0]
-        elif max_rounds > arr.shape[0]:
-            raise ValueError(
-                f"max_rounds={max_rounds} exceeds scheduled {arr.shape[0]}"
-            )
-        provider = lambda count, start=1: arr[start - 1 : start - 1 + count]
+    provider, max_rounds = _normalize_schedule(adjacency, n, max_rounds)
     if max_rounds < 1:
         raise ValueError("need at least one scheduled round")
     if n < 1:
@@ -346,3 +355,286 @@ def simulate_fastpath(
         decision_value=dec_value,
         adjacency=schedule[:num_rounds],
     )
+
+
+# ----------------------------------------------------------------------
+# Mega-batching: many same-n scenarios through one tensor program
+# ----------------------------------------------------------------------
+# Per-batch working-set budget for :func:`default_batch_size` (schedule
+# prefix + label tensors + closure buffers), plus a hard lane cap — the
+# per-round Python overhead is already fully amortized well before it.
+_BATCH_BUDGET_BYTES = 192 * 1024 * 1024
+_MAX_BATCH = 64
+
+
+@dataclass(frozen=True)
+class FastPathTask:
+    """One lane of a mega-batched fast-path execution.
+
+    Mirrors the per-lane parameters of :func:`simulate_fastpath`:
+    ``adjacency`` is an ``(R, n, n)`` tensor or a schedule provider
+    (an adversary's bound ``adjacency_stack``), the design knobs have the
+    same semantics and defaults.  Lanes of one batch must share ``n`` but
+    may differ in everything else.
+    """
+
+    adjacency: object
+    initial_values: tuple
+    purge_window: int | None = None
+    prune_unreachable: bool = True
+    max_rounds: int | None = None
+
+
+def default_batch_size(n: int, max_rounds: int) -> int:
+    """How many same-``n`` lanes one mega-batch should hold.
+
+    Sized so the batch working set — the ``(S, R, n, n)`` schedule, the
+    two ``(S, n, n, n)`` int32 label tensors, the ``(S·n, n, n)`` float32
+    closure and its squaring buffer, and the presence mask — stays under
+    ``_BATCH_BUDGET_BYTES``, capped at ``_MAX_BATCH`` lanes (per-round
+    Python overhead is fully amortized long before that).
+    """
+    if n < 1 or max_rounds < 1:
+        raise ValueError("need n >= 1 and max_rounds >= 1")
+    per_lane = (
+        max_rounds * n * n  # schedule prefix (bool)
+        + 2 * 4 * n**3  # labels + new_labels (int32)
+        + 2 * 4 * n**3  # closure + squaring buffer (float32)
+        + n**3  # presence mask (bool)
+    )
+    return max(1, min(_MAX_BATCH, _BATCH_BUDGET_BYTES // per_lane))
+
+
+def simulate_fastpath_batch(
+    tasks: Sequence[FastPathTask],
+    stop_when_all_decided: bool = True,
+    enforce_self_delivery: bool = True,
+) -> list[FastPathRun]:
+    """Execute a whole stack of same-``n`` Algorithm 1 runs at once.
+
+    The batched twin of :func:`simulate_fastpath`: ``S`` lanes share every
+    kernel call, so one ensemble round costs one batched BLAS closure and
+    a handful of ``(S, n, ...)`` reductions instead of ``S`` separate sets
+    of kernel launches — this is what amortizes the per-round call
+    overhead that caps the per-scenario fast path's small-``n`` speedup.
+
+    Semantics are *exactly* :func:`simulate_fastpath` per lane:
+
+    * every lane pulls its own schedule through its own provider (same
+      block-fetch contract, so RNG streams are bit-identical to a
+      per-scenario run — providers must be pure functions of
+      ``(count, start)``, which :meth:`Adversary.adjacency_stack`
+      guarantees);
+    * lanes that terminate early (everyone decided, or the lane's own
+      ``max_rounds`` budget ran out) are *masked out* of the commit
+      points rather than forcing ragged control flow: the batch keeps
+      rolling for the live lanes while retired lanes' decision state is
+      frozen;
+    * per-lane knobs (``purge_window``, ``prune_unreachable``,
+      ``max_rounds``) are vectorized, so heterogeneous lanes batch
+      together as long as they share ``n``.
+
+    Returns one :class:`FastPathRun` per task, in task order, each
+    bit-identical to what ``simulate_fastpath`` would have produced for
+    that lane alone — the differential suite
+    (``tests/test_batched_equivalence.py``) enforces this across the
+    randomized scenario grid and every batch partition.
+    """
+    if not tasks:
+        return []
+    n = len(tasks[0].initial_values)
+    if n < 1:
+        raise ValueError("need at least one process")
+    ests = []
+    for task in tasks:
+        if len(task.initial_values) != n:
+            raise ValueError(
+                "mega-batch lanes must share n; got "
+                f"{len(task.initial_values)} and {n}"
+            )
+        ests.append(_as_int_estimates(task.initial_values))
+    S = len(tasks)
+    idx = np.arange(n)
+    eye = np.eye(n, dtype=bool)
+
+    # Per-lane round budgets, purge windows and prune flags (vectorized
+    # so the round loop never branches per lane).
+    mr = np.empty(S, dtype=np.int64)
+    window = np.empty(S, dtype=np.int64)
+    prune = np.zeros(S, dtype=bool)
+    providers: list = [None] * S
+    for s, task in enumerate(tasks):
+        providers[s], mr[s] = _normalize_schedule(
+            task.adjacency, n, task.max_rounds
+        )
+        if mr[s] < 1:
+            raise ValueError("need at least one scheduled round")
+        w = n if task.purge_window is None else task.purge_window
+        if w < 1:
+            raise ValueError("purge window must be >= 1")
+        window[s] = w
+        prune[s] = task.prune_unreachable
+    prune_all = bool(prune.all())
+
+    # The per-lane schedules, materialized block-wise with a per-lane
+    # ``filled`` watermark.  The first block covers rounds 1..n+1 (no
+    # decision can land before round n+1, so it is never wasted); tail
+    # blocks are deliberately *smaller* than the per-scenario path's —
+    # lanes decide within a few rounds of each other, and short tail
+    # blocks keep the batch from paying RNG draws for rounds nobody
+    # executes.  Block boundaries are invisible by the adjacency_stack
+    # contract (pure function of ``(count, start)``), so any fetch
+    # pattern observes the same run.
+    rmax = int(mr.max())
+    schedule = np.zeros((S, rmax, n, n), dtype=bool)
+    filled = np.zeros(S, dtype=np.int64)
+    first_block = max(n + 1, 8)
+    tail_block = max(4, (n + 1) // 4)
+
+    def ensure(upto_round: int, lanes: np.ndarray) -> None:
+        for s in np.nonzero(lanes)[0]:
+            lane_cap = int(mr[s])
+            have = int(filled[s])
+            if have >= min(upto_round, lane_cap):
+                continue
+            block = first_block if have == 0 else tail_block
+            upto = min(max(upto_round, min(have + block, lane_cap)), lane_cap)
+            fetched = np.asarray(
+                providers[s](upto - have, have + 1), dtype=bool
+            )
+            if fetched.shape != (upto - have, n, n):
+                raise ValueError(
+                    f"schedule provider returned shape {fetched.shape}, "
+                    f"expected {(upto - have, n, n)}"
+                )
+            schedule[s, have:upto] = fetched
+            if enforce_self_delivery:
+                schedule[s, have:upto, idx, idx] = True
+            filled[s] = upto
+
+    # Batched state tensors: one lane axis in front of every per-scenario
+    # tensor of simulate_fastpath.
+    pt = np.ones((S, n, n), dtype=bool)
+    est = np.stack(ests)
+    labels = np.zeros((S, n, n, n), dtype=np.int32)
+    nodes = np.broadcast_to(eye, (S, n, n)).copy()
+    decided = np.zeros((S, n), dtype=bool)
+    dec_round = np.zeros((S, n), dtype=np.int64)
+    dec_value = np.zeros((S, n), dtype=np.int64)
+    big = np.iinfo(np.int64).max
+    active = np.ones(S, dtype=bool)
+    num_rounds = mr.copy()
+
+    new_labels = np.empty_like(labels)
+
+    r = 0
+    while active.any():
+        r += 1
+        need = active & (filled < r)
+        if need.any():
+            ensure(r, need)
+        act = active[:, None]
+        # Sending phase: freeze beginning-of-round estimates for every
+        # lane (cheap at (S, n); the per-scenario copy-elision would need
+        # a per-lane branch).
+        sent_est = est.copy()
+
+        # Line 9 / equation (7), all lanes at once.
+        pt &= schedule[:, r - 1].transpose(0, 2, 1)
+
+        # Lines 10-13: adopt from the smallest decided sender in PT_p.
+        if decided.any():
+            adoptable = pt & decided[:, None, :]
+            adopt = adoptable.any(axis=2) & ~decided & act
+            if adopt.any():
+                first_decider = np.argmax(adoptable, axis=2)
+                adopted = np.take_along_axis(sent_est, first_decider, axis=1)
+                est[adopt] = adopted[adopt]
+                decided |= adopt
+                dec_round[adopt] = r
+                dec_value[adopt] = est[adopt]
+
+        # Lines 14-23: reset + fresh in-edges + max-merge over senders.
+        # A masked maximum-reduce over the (virtual, broadcast) sender
+        # axis — no (S, n, n, n, n) product intermediate is ever
+        # materialized, which halves the traffic of the batch's one
+        # O(n^4)-per-lane kernel.
+        np.maximum.reduce(
+            np.broadcast_to(labels[:, None], (S, n, n, n, n)),
+            axis=2,
+            where=pt[:, :, :, None, None],
+            initial=0,
+            out=new_labels,
+        )
+        ss, ps, qs = np.nonzero(pt)
+        new_labels[ss, ps, qs, ps] = r
+        new_nodes = (pt @ nodes) | eye
+
+        # Line 24: purge, with per-lane windows.
+        present = new_labels > np.maximum(r - window, 0)[:, None, None, None]
+        new_labels *= present
+
+        # Lines 25 + 28 from one batched closure over all S·n graphs.
+        closure = batched_transitive_closure(
+            present.reshape(S * n, n, n), reflexive=True, fixed_iterations=True
+        ).reshape(S, n, n, n)
+        # [s, p, i] — i reaches the owner p in G_p of lane s.
+        reaches_owner = (
+            np.moveaxis(closure[:, idx, :, idx], 0, 1) & new_nodes
+        )
+        if prune_all:
+            new_nodes = reaches_owner
+            new_labels *= (
+                reaches_owner[:, :, :, None] & reaches_owner[:, :, None, :]
+            )
+        elif prune.any():
+            keep = (
+                reaches_owner[:, :, :, None] & reaches_owner[:, :, None, :]
+            )
+            lane = prune[:, None, None]
+            new_nodes = np.where(lane, reaches_owner, new_nodes)
+            new_labels *= np.where(lane[..., None], keep, True)
+
+        undecided = ~decided
+        # Line 27: min over beginning-of-round estimates of PT_p.
+        candidate = np.where(pt, sent_est[:, None, :], big).min(axis=2)
+        if enforce_self_delivery:
+            update = undecided & act
+        else:
+            update = undecided & act & pt.any(axis=2)
+        est[update] = candidate[update]
+        # Lines 28-30: hub-criterion decide once r > n (n is shared, so
+        # eligibility is one scalar test for the whole batch).
+        if r > n:
+            reached_by_owner = closure[:, idx, idx, :]  # [s, p, j]: p -> j
+            mutual = reaches_owner & reached_by_owner
+            strongly_connected = (mutual | ~new_nodes).all(axis=2)
+            newly = undecided & strongly_connected & act
+            if newly.any():
+                decided |= newly
+                dec_round[newly] = r
+                dec_value[newly] = est[newly]
+
+        labels, new_labels = new_labels, labels
+        nodes = new_nodes
+        # Retire lanes: everyone decided (num_rounds = this round), or
+        # the lane's own round budget is spent (num_rounds stays mr).
+        if stop_when_all_decided:
+            done = active & decided.all(axis=1)
+            if done.any():
+                num_rounds[done] = r
+                active &= ~done
+        active &= mr > r
+
+    return [
+        FastPathRun(
+            n=n,
+            num_rounds=int(num_rounds[s]),
+            initial_values=tuple(int(v) for v in tasks[s].initial_values),
+            decided=decided[s].copy(),
+            decision_round=dec_round[s].copy(),
+            decision_value=dec_value[s].copy(),
+            adjacency=schedule[s, : int(num_rounds[s])].copy(),
+        )
+        for s in range(S)
+    ]

@@ -1,0 +1,516 @@
+"""Differential testing: the mega-batched backend vs vectorized vs reference.
+
+The batched backend is the third execution engine for Algorithm 1
+scenarios, and its correctness rests entirely on *exact* equivalence with
+the other two: same decision rounds, same decision values, same skeleton
+statistics, same canonical JSON line — for every scenario, under every
+batch partition, at every worker count.  This suite pins that down three
+ways:
+
+* a **randomized differential grid** over ``n = 2..12`` × the four core
+  adversary families (grouped, crash, partition, static) × noise /
+  topology / ablation knobs, asserting canonical-line equality across all
+  three backends (singleton and grouped batches);
+* a **batching-invariance property**: for a fixed seed set, the results
+  — including the journaled record bytes — are identical whatever the
+  batch partition (sizes 1, 2, S, shuffled groupings) and identical
+  between ``jobs=1`` and ``jobs=N`` runs;
+* **family-level equivalence** for every registered family that supports
+  the batched backend, including the ``eventual`` family's fast-result
+  twin (extras and all).
+
+``scripts/smoke.sh`` additionally byte-compares whole campaign summaries
+produced by the three backends through the CLI on every change.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine.backends import (
+    BACKEND_AUTO,
+    BACKEND_BATCHED,
+    BACKEND_REFERENCE,
+    BACKEND_VECTORIZED,
+    batch_compatible,
+    execute_scenario_batch,
+    execute_scenario_vectorized,
+    execute_scenario_with_backend,
+)
+from repro.engine.campaign import Campaign
+from repro.engine.executor import execute_scenario, execute_scenarios
+from repro.engine.registry import family_campaign, run_family
+from repro.engine.scenarios import ScenarioSpec
+from repro.engine.store import canonical_line, decode_result, journal_line
+from repro.rounds.fastpath import (
+    FastPathTask,
+    default_batch_size,
+    simulate_fastpath,
+    simulate_fastpath_batch,
+)
+
+
+# ----------------------------------------------------------------------
+# The randomized differential grid (seeded, so collection is stable)
+# ----------------------------------------------------------------------
+def _sample_spec(rng: np.random.Generator, n: int, adversary: str) -> ScenarioSpec:
+    seed = int(rng.integers(0, 1000))
+    if adversary == "grouped":
+        k = int(rng.integers(1, min(4, n)))  # k < n
+        m = int(rng.integers(1, k + 1))
+        options = {}
+        if rng.random() < 0.3:
+            options["purge_window"] = int(rng.integers(2, n + 2))
+        if rng.random() < 0.2:
+            options["prune_unreachable"] = False
+        if rng.random() < 0.3:
+            options["quiet_period"] = int(rng.integers(2, 7))
+        return ScenarioSpec(
+            n=n,
+            k=k,
+            num_groups=m,
+            seed=seed,
+            noise=float(rng.choice([0.0, 0.15, 0.3, 0.45])),
+            topology=str(rng.choice(["cycle", "star", "clique"])),
+            options=tuple(sorted(options.items())),
+        )
+    if adversary == "crash":
+        f = max(1, n // 3)
+        return ScenarioSpec(
+            n=n,
+            k=min(2, n),
+            seed=seed,
+            adversary="crash",
+            options=(("f", f),),
+        )
+    if adversary == "partition":
+        k_env = int(rng.integers(1, max(2, n // 2 + 1)))
+        return ScenarioSpec(
+            n=n,
+            k=k_env,
+            seed=seed,
+            adversary="partition",
+            options=(("k_env", k_env),),
+        )
+    if adversary == "static":
+        return ScenarioSpec(
+            n=n,
+            k=min(2, n),
+            seed=seed,
+            noise=float(rng.choice([0.0, 0.2, 0.5])),
+            adversary="static",
+        )
+    raise AssertionError(adversary)
+
+
+def _differential_grid() -> list[ScenarioSpec]:
+    rng = np.random.default_rng(0xB10C)
+    specs = []
+    for n in range(2, 13):
+        for adversary in ("grouped", "crash", "partition", "static"):
+            specs.append(_sample_spec(rng, n, adversary))
+    return specs
+
+
+DIFFERENTIAL_GRID = _differential_grid()
+
+
+class TestDifferentialGrid:
+    """reference ≡ vectorized ≡ batched, scenario by scenario."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        DIFFERENTIAL_GRID,
+        ids=lambda s: f"{s.adversary}-n{s.n}-{s.scenario_id}",
+    )
+    def test_three_backends_agree(self, spec):
+        reference = execute_scenario(spec)
+        vectorized = execute_scenario_vectorized(spec)
+        batched = execute_scenario_with_backend(spec, BACKEND_BATCHED)
+        assert reference.status == "ok", reference.error
+        assert vectorized.status == "ok", vectorized.error
+        assert batched.status == "ok", batched.error
+        # One line covers every metric field and the decision values.
+        line = canonical_line(reference)
+        assert canonical_line(vectorized) == line
+        assert canonical_line(batched) == line
+        assert batched.backend == BACKEND_BATCHED
+
+    def test_grouped_batches_match_reference(self):
+        # The same grid, but batched the way the executor would batch it:
+        # same-n groups through one mega-batched kernel call each.
+        by_n: dict[int, list[ScenarioSpec]] = {}
+        for spec in DIFFERENTIAL_GRID:
+            by_n.setdefault(spec.n, []).append(spec)
+        for n, group in by_n.items():
+            batched = execute_scenario_batch(group)
+            for spec, result in zip(group, batched):
+                assert result.status == "ok", (n, result.error)
+                assert canonical_line(result) == canonical_line(
+                    execute_scenario(spec)
+                ), f"n={n} spec={spec.scenario_id}"
+
+    def test_journal_records_differ_only_in_backend_tag(self):
+        spec = DIFFERENTIAL_GRID[0]
+        reference = execute_scenario(spec)
+        batched = execute_scenario_with_backend(spec, BACKEND_BATCHED)
+        ref_record = json.loads(journal_line(reference))
+        bat_record = json.loads(journal_line(batched))
+        assert ref_record.pop("backend") == "reference"
+        assert bat_record.pop("backend") == "batched"
+        assert ref_record == bat_record
+
+    def test_batched_journal_line_round_trips(self):
+        spec = ScenarioSpec(n=6, k=2, num_groups=2, seed=1, noise=0.2)
+        result = execute_scenario_with_backend(spec, BACKEND_BATCHED)
+        decoded = decode_result(json.loads(journal_line(result)))
+        assert decoded.backend == BACKEND_BATCHED
+        assert canonical_line(decoded) == canonical_line(result)
+
+
+# ----------------------------------------------------------------------
+# Batching invariance: the partition must be invisible
+# ----------------------------------------------------------------------
+FIXED_SPECS = [
+    ScenarioSpec(n=7, k=2, num_groups=2, seed=s, noise=0.25) for s in range(6)
+] + [
+    ScenarioSpec(n=5, k=2, num_groups=2, seed=s, noise=0.1) for s in range(4)
+]
+
+
+def _tasks(specs):
+    tasks = []
+    for spec in specs:
+        adversary = spec.build_adversary()
+        tasks.append(
+            FastPathTask(
+                adjacency=adversary.adjacency_stack,
+                initial_values=tuple(range(spec.n)),
+                max_rounds=spec.resolved_max_rounds(),
+            )
+        )
+    return tasks
+
+
+def _run_key(run):
+    return (
+        run.n,
+        run.num_rounds,
+        run.decided.tobytes(),
+        run.decision_round.tobytes(),
+        run.decision_value.tobytes(),
+        run.adjacency.tobytes(),
+    )
+
+
+class TestBatchingInvariance:
+    """Results and journal bytes are identical whatever the partition."""
+
+    def test_kernel_partition_invariance(self):
+        specs = [s for s in FIXED_SPECS if s.n == 7]
+        singles = [
+            simulate_fastpath(
+                t.adjacency, list(t.initial_values), max_rounds=t.max_rounds
+            )
+            for t in _tasks(specs)
+        ]
+        expected = [_run_key(r) for r in singles]
+        # Partitions: singletons, pairs, the whole set.
+        for size in (1, 2, len(specs)):
+            tasks = _tasks(specs)
+            got = []
+            for lo in range(0, len(tasks), size):
+                got.extend(simulate_fastpath_batch(tasks[lo : lo + size]))
+            assert [_run_key(r) for r in got] == expected, f"batch size {size}"
+
+    def test_kernel_shuffled_grouping_invariance(self):
+        specs = [s for s in FIXED_SPECS if s.n == 7]
+        expected = {
+            spec.scenario_id: _run_key(run)
+            for spec, run in zip(
+                specs, simulate_fastpath_batch(_tasks(specs))
+            )
+        }
+        order = list(range(len(specs)))
+        random.Random(7).shuffle(order)
+        shuffled = [specs[i] for i in order]
+        for spec, run in zip(
+            shuffled, simulate_fastpath_batch(_tasks(shuffled))
+        ):
+            assert _run_key(run) == expected[spec.scenario_id]
+
+    def test_executor_partition_and_jobs_invariance(self):
+        serial = execute_scenarios(FIXED_SPECS, backend=BACKEND_BATCHED)
+        expected = [journal_line(r) for r in serial]
+        assert all(r.backend == BACKEND_BATCHED for r in serial)
+        for jobs, chunksize in ((1, 2), (2, 1), (2, 3), (3, 4)):
+            results = execute_scenarios(
+                FIXED_SPECS,
+                jobs=jobs,
+                chunksize=chunksize,
+                backend=BACKEND_BATCHED,
+            )
+            assert [journal_line(r) for r in results] == expected, (
+                jobs,
+                chunksize,
+            )
+
+    def test_campaign_journal_and_summary_bytes_jobs_invariant(self, tmp_path):
+        blobs = {}
+        for jobs in (1, 3):
+            store = tmp_path / f"journal_j{jobs}.jsonl"
+            campaign = Campaign(
+                FIXED_SPECS, store=store, jobs=jobs, backend=BACKEND_BATCHED
+            )
+            report = campaign.run()
+            assert report.errors == 0 and report.timeouts == 0
+            summary = tmp_path / f"summary_j{jobs}.jsonl"
+            campaign.write_summary(summary)
+            # Journal append order is completion order (jobs-dependent);
+            # the record *bytes* are not.
+            blobs[jobs] = (
+                sorted(store.read_text().splitlines()),
+                summary.read_bytes(),
+            )
+        assert blobs[1] == blobs[3]
+
+    def test_campaign_summaries_byte_identical_across_backends(self, tmp_path):
+        payloads = {}
+        for backend in (BACKEND_REFERENCE, BACKEND_VECTORIZED, BACKEND_BATCHED):
+            campaign = Campaign(
+                FIXED_SPECS,
+                store=tmp_path / f"journal_{backend}.jsonl",
+                backend=backend,
+            )
+            report = campaign.run()
+            assert report.errors == 0 and report.timeouts == 0
+            summary = tmp_path / f"summary_{backend}.jsonl"
+            campaign.write_summary(summary)
+            payloads[backend] = summary.read_bytes()
+        assert payloads[BACKEND_REFERENCE] == payloads[BACKEND_VECTORIZED]
+        assert payloads[BACKEND_REFERENCE] == payloads[BACKEND_BATCHED]
+
+    def test_resume_across_batched_and_reference(self, tmp_path):
+        # A journal written by the batched backend satisfies resume for
+        # the reference backend (ids and metrics agree) and vice versa.
+        store = tmp_path / "journal.jsonl"
+        Campaign(FIXED_SPECS, store=store, backend=BACKEND_BATCHED).run()
+        report = Campaign(
+            FIXED_SPECS, store=store, backend=BACKEND_REFERENCE
+        ).run()
+        assert report.executed == 0
+        assert report.skipped == report.total
+
+
+# ----------------------------------------------------------------------
+# Dispatch: segmentation, auto preference, isolation
+# ----------------------------------------------------------------------
+class TestBatchedDispatch:
+    UNSUPPORTED = ScenarioSpec(
+        n=7, k=2, adversary="crash", algorithm="floodmin", options=(("f", 1),)
+    )
+
+    def test_auto_prefers_batched(self):
+        pair = [ScenarioSpec(n=6, k=2, num_groups=2, seed=s) for s in range(2)]
+        results = execute_scenarios(pair, backend=BACKEND_AUTO)
+        assert [r.backend for r in results] == ["batched", "batched"]
+
+    def test_auto_singleton_tag_is_partition_independent(self):
+        # A compatible singleton runs through the (one-lane) batch kernel
+        # too, so the journaled provenance is a pure function of the spec
+        # — a chunk boundary cutting an ensemble cannot change bytes.
+        (result,) = execute_scenarios(
+            [ScenarioSpec(n=6, k=2, num_groups=2, seed=0)],
+            backend=BACKEND_AUTO,
+        )
+        assert result.backend == BACKEND_BATCHED
+
+    def test_auto_journal_bytes_jobs_invariant(self):
+        serial = execute_scenarios(FIXED_SPECS, backend=BACKEND_AUTO)
+        expected = [journal_line(r) for r in serial]
+        chunked = execute_scenarios(
+            FIXED_SPECS, jobs=2, chunksize=1, backend=BACKEND_AUTO
+        )
+        assert [journal_line(r) for r in chunked] == expected
+
+    def test_auto_mixed_worklist_preserves_order_and_metrics(self):
+        specs = [
+            ScenarioSpec(n=7, k=2, num_groups=2, seed=0, noise=0.2),
+            ScenarioSpec(n=7, k=2, num_groups=2, seed=1, noise=0.2),
+            self.UNSUPPORTED,
+            ScenarioSpec(n=7, k=2, num_groups=2, seed=2, noise=0.2),
+        ]
+        results = execute_scenarios(specs, backend=BACKEND_AUTO)
+        assert [r.scenario_id for r in results] == [
+            s.scenario_id for s in specs
+        ]
+        assert [r.backend for r in results] == [
+            "batched",
+            "batched",
+            "reference",
+            "batched",
+        ]
+        for spec, result in zip(specs, results):
+            assert canonical_line(result) == canonical_line(
+                execute_scenario(spec)
+            )
+
+    def test_auto_falls_back_when_fastpath_rejects_lazily(self):
+        # An adversary the fast path cannot drive (adjacency_stack raises
+        # FastPathUnsupported) but the reference simulator can: under
+        # auto the lane must fall back to the reference simulator — not
+        # surface a forced-backend error — even when it was routed
+        # through a mega-batch.
+        from repro.adversaries.grouped import GroupedSourceAdversary
+        from repro.engine.scenarios import register_adversary
+        from repro.rounds.fastpath import FastPathUnsupported
+
+        class _NoStack(GroupedSourceAdversary):
+            def adjacency_stack(self, rounds, start=1):
+                raise FastPathUnsupported("no vectorizable randomness")
+
+        register_adversary(
+            "no-stack-test",
+            lambda spec: _NoStack(spec.n, num_groups=2, seed=spec.seed),
+        )
+        specs = [
+            ScenarioSpec(n=6, k=2, adversary="no-stack-test", seed=s)
+            for s in range(2)
+        ]
+        results = execute_scenarios(specs, backend=BACKEND_AUTO)
+        assert [r.status for r in results] == ["ok", "ok"]
+        assert [r.backend for r in results] == ["reference", "reference"]
+        # A forced batched backend reports the same lanes as errors.
+        forced = execute_scenarios(specs, backend=BACKEND_BATCHED)
+        assert all(
+            r.status == "error" and "FastPathUnsupported" in r.error
+            for r in forced
+        )
+
+    def test_forced_batched_reports_unsupported_as_error(self):
+        specs = [
+            ScenarioSpec(n=7, k=2, num_groups=2, seed=0),
+            self.UNSUPPORTED,
+        ]
+        good, bad = execute_scenarios(specs, backend=BACKEND_BATCHED)
+        assert good.status == "ok" and good.backend == BACKEND_BATCHED
+        assert bad.status == "error" and bad.backend == BACKEND_BATCHED
+        assert "FastPathUnsupported" in bad.error
+
+    def test_bad_lane_does_not_poison_batchmates(self):
+        # An adversary whose construction fails yields one error record;
+        # its same-n batchmates still execute (and stay exact).
+        good = ScenarioSpec(n=6, k=2, num_groups=2, seed=0)
+        bad = ScenarioSpec(n=6, k=2, num_groups=7, seed=0)  # m > n
+        results = execute_scenario_batch([good, bad, good.with_options()])
+        assert results[0].status == "ok"
+        assert results[1].status == "error"
+        assert canonical_line(results[0]) == canonical_line(
+            execute_scenario(good)
+        )
+
+    def test_batch_compatible_predicate(self):
+        assert batch_compatible(ScenarioSpec(n=5, k=2))
+        assert not batch_compatible(self.UNSUPPORTED)
+        # Custom-runner family without a fast twin: not batchable even
+        # though its algorithm is fast-path-supported.
+        figure1 = ScenarioSpec(
+            n=10, k=3, adversary="figure1", max_rounds=9,
+            options=(("family", "figure1"),),
+        )
+        assert not batch_compatible(figure1)
+
+    def test_envelope_sized_for_largest_round_budget(self, monkeypatch):
+        # The memory cap must account for the largest max_rounds in a
+        # segment, not just the first spec's — the shared schedule stack
+        # is (S, max-over-lanes-R, n, n).
+        import repro.engine.backends as backends
+
+        calls = []
+        real = backends.default_batch_size
+
+        def spy(n, rounds):
+            calls.append((n, rounds))
+            return real(n, rounds)
+
+        monkeypatch.setattr(backends, "default_batch_size", spy)
+        specs = [
+            ScenarioSpec(n=5, k=2, num_groups=2, seed=0, max_rounds=10),
+            ScenarioSpec(n=5, k=2, num_groups=2, seed=1, max_rounds=500),
+            ScenarioSpec(n=5, k=2, num_groups=2, seed=2, max_rounds=20),
+        ]
+        results = execute_scenarios(specs, backend=BACKEND_BATCHED)
+        for spec, result in zip(specs, results):
+            assert canonical_line(result) == canonical_line(
+                execute_scenario(spec)
+            )
+        assert (5, 500) in calls
+
+    def test_default_batch_size_envelope(self):
+        assert default_batch_size(6, 56) >= 2
+        assert default_batch_size(6, 56) <= 64
+        # The envelope shrinks as lanes get heavier, never below 1.
+        assert default_batch_size(200, 1220) >= 1
+        assert default_batch_size(200, 1220) <= default_batch_size(6, 56)
+        with pytest.raises(ValueError):
+            default_batch_size(0, 10)
+
+
+# ----------------------------------------------------------------------
+# Registered families on the batched backend
+# ----------------------------------------------------------------------
+class TestFamilyBatched:
+    PARAMS = {
+        "termination": {"n": [5, 6], "seeds": 2},
+        "sweeps": {"n": [5, 6], "k": [2], "seeds": 2, "noise": (0.1,)},
+        "latency": {"n": [5, 6], "seeds": 2, "noise": (0.1,)},
+        "eventual": {"n": [5], "bad_rounds": (0, 2, 5), "seeds": 1},
+    }
+
+    @pytest.mark.parametrize("family", sorted(PARAMS))
+    def test_family_batched_matches_reference(self, family):
+        params = self.PARAMS[family]
+        reference = run_family(family, params, backend=BACKEND_REFERENCE)
+        batched = run_family(family, params, backend=BACKEND_BATCHED)
+        assert [canonical_line(r) for r in reference] == [
+            canonical_line(r) for r in batched
+        ]
+        assert all(r.backend == BACKEND_BATCHED for r in batched)
+
+    def test_eventual_twin_preserves_extras(self):
+        params = self.PARAMS["eventual"]
+        reference = run_family("eventual", params, backend=BACKEND_REFERENCE)
+        batched = run_family("eventual", params, backend=BACKEND_BATCHED)
+        for ref, bat in zip(reference, batched):
+            assert ref.extras == bat.extras
+            assert isinstance(bat.extra("all_decided_own"), bool)
+
+    def test_reference_only_family_rejects_batched(self):
+        with pytest.raises(ValueError, match="does not support"):
+            family_campaign("ablation", backend=BACKEND_BATCHED)
+
+
+# ----------------------------------------------------------------------
+# The static adversary registration (new differential-grid corner)
+# ----------------------------------------------------------------------
+class TestStaticAdversary:
+    def test_spec_round_trips(self):
+        spec = ScenarioSpec(n=6, k=2, adversary="static", seed=4, noise=0.3)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_declared_stable_equals_every_round(self):
+        spec = ScenarioSpec(n=6, k=2, adversary="static", seed=4, noise=0.3)
+        adversary = spec.build_adversary()
+        stack = adversary.adjacency_stack(9)
+        declared = adversary.declared_stable_matrix()
+        assert np.array_equal(stack, np.broadcast_to(declared, stack.shape))
+
+    def test_deterministic_from_seed(self):
+        spec = ScenarioSpec(n=8, k=2, adversary="static", seed=11, noise=0.2)
+        a = spec.build_adversary().adjacency_stack(5)
+        b = spec.build_adversary().adjacency_stack(5)
+        assert np.array_equal(a, b)

@@ -11,6 +11,7 @@ from repro.engine.aggregate import (
     ci95,
     decision_latency_summary,
     field_value,
+    format_ci,
     group_results,
     latency_table,
     mean,
@@ -48,9 +49,24 @@ class TestKernels:
     def test_ci95_degenerate(self):
         assert ci95([7.0]) == (7.0, 7.0)
 
+    def test_ci95_zero_variance_collapses_to_point(self):
+        assert ci95([4.0, 4.0, 4.0]) == (4.0, 4.0)
+
     def test_ci95_contains_mean(self):
         lo, hi = ci95([1.0, 2.0, 3.0, 4.0])
         assert lo < 2.5 < hi
+
+    def test_ci95_matches_normal_formula(self):
+        values = [5.0, 7.0, 9.0, 13.0]
+        arr = np.asarray(values)
+        half = 1.96 * arr.std(ddof=1) / np.sqrt(arr.size)
+        lo, hi = ci95(values)
+        assert lo == pytest.approx(arr.mean() - half)
+        assert hi == pytest.approx(arr.mean() + half)
+
+    def test_format_ci(self):
+        assert format_ci((6.7512, 9.0)) == "6.75..9.00"
+        assert format_ci(ci95([3.0])) == "3.00..3.00"
 
     def test_summarize_values(self):
         s = summarize_values([4, 2, 6])
@@ -134,6 +150,7 @@ class TestDecisionLatencySummary:
         assert summary["runs"] == 4
         assert summary["p50_last_decide"] == float(np.percentile(arr, 50))
         assert summary["p95_last_decide"] == float(np.percentile(arr, 95))
+        assert summary["ci95_last_decide"] == ci95(arr)
         assert summary["max_last_decide"] == 12
         assert summary["p50_stabilization"] == float(
             np.nanpercentile(np.asarray(sts, float), 50)
@@ -168,6 +185,23 @@ class TestLatencyTable:
         # Grid order in, grid order out.
         assert [row[0] for row in table.rows] == [6, 6, 9, 9]
 
+    def test_ci95_column(self):
+        results = [result(seed=s, last=5 + s, st=2) for s in range(3)]
+        table = latency_table(results)
+        col = table.headers.index("ci95_decide")
+        assert table.rows[0][col] == format_ci(ci95([5.0, 6.0, 7.0]))
+
+    def test_ci95_column_degenerate_groups(self):
+        # A one-sample ensemble and a zero-variance ensemble both render
+        # a point interval instead of crashing on ddof=1.
+        singleton = latency_table([result(seed=0, last=9, st=2)])
+        col = singleton.headers.index("ci95_decide")
+        assert singleton.rows[0][col] == "9.00..9.00"
+        flat = latency_table(
+            [result(seed=s, last=6, st=2) for s in range(4)]
+        )
+        assert flat.rows[0][col] == "6.00..6.00"
+
     def test_matches_latency_distribution_rows(self):
         """The store-native table equals the typed LatencyDistribution
         rows the analysis layer builds — same aggregation, one home."""
@@ -186,6 +220,7 @@ class TestLatencyTable:
             dist.runs,
             dist.p50_last_decide,
             dist.p95_last_decide,
+            format_ci(dist.ci95_last_decide),
             dist.max_last_decide,
             dist.p50_stabilization,
             round(dist.mean_values, 2),

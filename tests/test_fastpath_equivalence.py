@@ -17,8 +17,10 @@ import pytest
 
 from repro.adversaries.base import RecordedAdversary
 from repro.adversaries.crash import CrashAdversary
+from repro.adversaries.eventual import EventuallyGoodAdversary
 from repro.adversaries.grouped import GroupedSourceAdversary
 from repro.adversaries.partition import PartitionAdversary
+from repro.adversaries.static import StaticAdversary
 from repro.engine.backends import (
     BACKEND_AUTO,
     BACKEND_REFERENCE,
@@ -254,6 +256,15 @@ class TestAdjacencyStack:
         "crash": lambda: CrashAdversary(6, {0: 2, 3: 4}, seed=9),
         "crash-clean": lambda: CrashAdversary(5, {1: 3}, seed=1, clean=True),
         "partition": lambda: PartitionAdversary(8, 3),
+        "static": lambda: StaticAdversary(
+            6,
+            GroupedSourceAdversary(6, num_groups=2).declared_stable_graph(),
+        ),
+        # Bad prefix then delegation to the good adversary's batch API.
+        "eventual": lambda: EventuallyGoodAdversary(
+            GroupedSourceAdversary(6, num_groups=2, seed=3, noise=0.2),
+            bad_rounds=4,
+        ),
         # No override — exercises the base-class fallback through graph().
         "fallback": lambda: RecordedAdversary(
             GroupedSourceAdversary(6, num_groups=2, seed=7, noise=0.25)
@@ -292,6 +303,58 @@ class TestAdjacencyStack:
             ]
         )
         assert np.array_equal(full, pieces)
+
+    @pytest.mark.parametrize("family", sorted(FACTORIES))
+    def test_per_batch_blocks_match_per_scenario_blocks(self, family):
+        # The mega-batched kernel pulls every lane's schedule through its
+        # own adversary, but in a *different* access pattern than the
+        # per-scenario path: lane pulls interleave and block boundaries
+        # land wherever the whole batch needs rounds.  RNG-stream
+        # identity must survive that — each pull is a pure function of
+        # (count, start), never of pull history or other lanes' pulls.
+        full_a = self.FACTORIES[family]().adjacency_stack(16)
+        full_b = self.FACTORIES[family]().adjacency_stack(16)
+        lane_a = self.FACTORIES[family]()
+        lane_b = self.FACTORIES[family]()
+        pieces_a, pieces_b = [], []
+        # Interleaved, unevenly-sized pulls (the batched fetch pattern).
+        for start, count in ((1, 7), (8, 2), (10, 7)):
+            pieces_a.append(lane_a.adjacency_stack(count, start=start))
+            pieces_b.append(lane_b.adjacency_stack(count, start=start))
+        assert np.array_equal(np.concatenate(pieces_a), full_a)
+        assert np.array_equal(np.concatenate(pieces_b), full_b)
+        # Two same-seeded lanes of one batch observe the same run.
+        assert np.array_equal(full_a, full_b)
+
+    def test_batched_kernel_observes_per_scenario_schedule(self):
+        # End to end: the adjacency prefix a batched lane records equals
+        # the per-scenario kernel's, block boundaries and all.
+        from repro.rounds.fastpath import (
+            FastPathTask,
+            simulate_fastpath_batch,
+        )
+
+        specs = [
+            ScenarioSpec(n=6, k=2, num_groups=2, seed=s, noise=0.3)
+            for s in range(4)
+        ]
+        tasks = [
+            FastPathTask(
+                adjacency=spec.build_adversary().adjacency_stack,
+                initial_values=tuple(range(spec.n)),
+                max_rounds=spec.resolved_max_rounds(),
+            )
+            for spec in specs
+        ]
+        batch = simulate_fastpath_batch(tasks)
+        for spec, lane in zip(specs, batch):
+            single = simulate_fastpath(
+                spec.build_adversary().adjacency_stack,
+                list(range(spec.n)),
+                max_rounds=spec.resolved_max_rounds(),
+            )
+            assert lane.num_rounds == single.num_rounds
+            assert np.array_equal(lane.adjacency, single.adjacency)
 
     def test_rounds_are_one_indexed(self):
         adv = self.FACTORIES["grouped"]()
