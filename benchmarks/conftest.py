@@ -87,7 +87,11 @@ def record_fastpath():
     * ``median_batched_vs_vectorized`` — the *additional* gain of
       mega-batching, median across every recorded per-``n`` group (the
       ``groups`` lists inside the workload entries) so small and large
-      ``n`` weigh equally.
+      ``n`` weigh equally;
+    * ``median_compaction_gain`` (schema 3) — the batch scheduler's
+      lane-compaction gain over mask-only batching (the PR-4 kernel
+      behavior), median across every group that records a
+      ``compaction_gain`` (the heterogeneous-latency ensembles).
     """
 
     def _record(
@@ -133,7 +137,7 @@ def record_fastpath():
         workloads = data.setdefault("workloads", {})
         workloads[workload] = entry
         data.pop("host", None)  # legacy file-level host block
-        data["schema"] = 2
+        data["schema"] = 3
         data["median_speedup"] = round(
             statistics.median(w["speedup"] for w in workloads.values()), 2
         )
@@ -155,6 +159,16 @@ def record_fastpath():
         if group_gains:
             data["median_batched_vs_vectorized"] = round(
                 statistics.median(group_gains), 2
+            )
+        compaction_gains = [
+            g["compaction_gain"]
+            for w in workloads.values()
+            for g in w.get("groups", ())
+            if "compaction_gain" in g
+        ]
+        if compaction_gains:
+            data["median_compaction_gain"] = round(
+                statistics.median(compaction_gains), 2
             )
         BENCH_FASTPATH_PATH.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"

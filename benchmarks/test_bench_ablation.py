@@ -20,8 +20,11 @@ def test_bench_ablation_suite(benchmark, emit):
     )
     by_name = {o.variant: o for o in outcomes}
     paper = by_name["paper (window=n, prune, PT-min)"]
-    # The paper's configuration is uniformly clean.
-    assert paper.invariant_violations == 0
+    # The paper's configuration is uniformly clean in the outcome
+    # columns (it runs non-hooked now — lemma_violations reads None,
+    # "not instrumented"; the property-test suites drive the hooked
+    # paper config separately).
+    assert paper.invariant_violations is None
     assert paper.agreement_violations == 0
     assert paper.termination_failures == 0
     # Disabling line 25 prevents decisions (garbage nodes keep the strong-

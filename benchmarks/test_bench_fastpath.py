@@ -10,8 +10,12 @@ reference and the vectorized baseline) and the per-group breakdown in
 ``results.txt``.
 
 Each group is one seed ensemble (24 seeds — campaign-scale, which is
-what the mega-batched backend exists for: a grid's same-``n`` scenarios
-arrive contiguous and stack into one ``(S, n, ...)`` tensor program).
+what the mega-batched backend exists for: the batch scheduler packs a
+grid's same-``n`` scenarios into one ``(S, n, ...)`` tensor program).
+The HETERO-LAT workload additionally measures the scheduler's lane
+**compaction** gain: heterogeneous-latency ensembles (early-deciding
+lanes mixed with full-budget stragglers) timed with compaction on vs the
+mask-only kernel behavior the PR-4 backend had.
 """
 
 from __future__ import annotations
@@ -29,6 +33,9 @@ from repro.engine.store import canonical_line
 # the suite; BENCH_FASTPATH.json records the real ratios.
 MIN_SPEEDUP = 2.5  # vectorized (and batched) over reference
 MIN_BATCH_GAIN = 1.2  # batched over vectorized, median across groups
+# Lane compaction over mask-only batching (the PR-4 kernel behavior) on
+# the heterogeneous-latency ensemble; measured ~1.9-2.7x.
+MIN_COMPACTION_GAIN = 1.3
 
 SEEDS = 24
 
@@ -41,6 +48,18 @@ HEADERS = [
     "vs_ref",
     "vs_vect",
 ]
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock: per-group timings feed the
+    recorded per-group ratios, and a single 6-15ms sample on a noisy box
+    can swing one group by 20% — the minimum is the stable estimator."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def _time_backends(specs):
@@ -56,14 +75,11 @@ def _time_backends(specs):
     assert lines == [canonical_line(r) for r in batched], (
         "backends disagree — speedup numbers would be meaningless"
     )
-    t0 = time.perf_counter()
-    execute_scenarios(specs, backend="reference")
-    t1 = time.perf_counter()
-    execute_scenarios(specs, backend="vectorized")
-    t2 = time.perf_counter()
-    execute_scenarios(specs, backend="batched")
-    t3 = time.perf_counter()
-    return t1 - t0, t2 - t1, t3 - t2
+    return (
+        _best_of(lambda: execute_scenarios(specs, backend="reference")),
+        _best_of(lambda: execute_scenarios(specs, backend="vectorized")),
+        _best_of(lambda: execute_scenarios(specs, backend="batched")),
+    )
 
 
 def _compare_groups(groups):
@@ -155,6 +171,171 @@ def test_bench_fastpath_termination(benchmark, emit, record_fastpath):
             title="FASTPATH-TERM — mega-batched vs vectorized vs reference "
             "backend on the TERMINATION ensemble (identical metrics "
             "asserted first)",
+        )
+    )
+
+
+def _hetero_latency_specs(n: int, seeds: int) -> list[ScenarioSpec]:
+    """One heterogeneous-latency ensemble: lanes of one same-``n`` batch
+    retiring at wildly different rounds.  Two of six lanes carry the
+    ablation knobs that stall Algorithm 1 — ``prune_unreachable=False``
+    runs to the full ``6n + 20`` budget, a shrunk purge window retires
+    earliest — while the rest sweep noise and decide at ``~n + 4``.
+    Mask-only batching pays full kernel width until the last straggler
+    finishes; lane compaction pays per-round for the live lanes only.
+    """
+    specs = []
+    for s in range(seeds):
+        if s % 6 == 5:
+            specs.append(
+                ScenarioSpec(
+                    n=n, k=2, num_groups=2, seed=s, noise=0.35,
+                    options=(("prune_unreachable", False),),
+                )
+            )
+        elif s % 6 == 4:
+            specs.append(
+                ScenarioSpec(
+                    n=n, k=2, num_groups=2, seed=s, noise=0.35,
+                    options=(("purge_window", max(1, n // 2)),),
+                )
+            )
+        else:
+            specs.append(
+                ScenarioSpec(
+                    n=n, k=2, num_groups=2, seed=s,
+                    noise=(0.0, 0.15, 0.3, 0.45)[s % 4],
+                )
+            )
+    return specs
+
+
+HETERO_HEADERS = [
+    "group",
+    "scenarios",
+    "ref_ms",
+    "vect_ms",
+    "masked_ms",
+    "batch_ms",
+    "vs_ref",
+    "compaction",
+]
+
+
+def test_bench_fastpath_hetero_latency(benchmark, emit, record_fastpath):
+    """HETERO-LAT: the batch scheduler's lane-compaction gain.
+
+    ``compact=False`` reproduces the PR-4 mega-batched backend exactly
+    (retired lanes masked, full width to the last straggler), so the
+    masked-vs-compacted ratio *is* the compaction gain — measured on
+    byte-identical work, asserted equivalent first.
+    """
+    groups = [
+        (f"n={n}", _hetero_latency_specs(n, SEEDS)) for n in (9, 12, 16)
+    ]
+
+    def _run():
+        rows, entries = [], []
+        total_ref = total_vect = total_masked = total_batch = total_n = 0
+        for label, specs in groups:
+            reference = execute_scenarios(specs, backend="reference")
+            vectorized = execute_scenarios(specs, backend="vectorized")
+            masked = execute_scenarios(
+                specs, backend="batched", compact=False
+            )
+            compacted = execute_scenarios(specs, backend="batched")
+            lines = [canonical_line(r) for r in reference]
+            assert lines == [canonical_line(r) for r in vectorized]
+            assert lines == [canonical_line(r) for r in masked]
+            assert lines == [canonical_line(r) for r in compacted]
+            ref_s = _best_of(
+                lambda: execute_scenarios(specs, backend="reference")
+            )
+            vect_s = _best_of(
+                lambda: execute_scenarios(specs, backend="vectorized")
+            )
+            masked_s = _best_of(
+                lambda: execute_scenarios(
+                    specs, backend="batched", compact=False
+                )
+            )
+            batch_s = _best_of(
+                lambda: execute_scenarios(specs, backend="batched")
+            )
+            rows.append(
+                [
+                    label,
+                    len(specs),
+                    round(ref_s * 1e3, 1),
+                    round(vect_s * 1e3, 1),
+                    round(masked_s * 1e3, 1),
+                    round(batch_s * 1e3, 1),
+                    round(ref_s / batch_s, 1),
+                    round(masked_s / batch_s, 2),
+                ]
+            )
+            entries.append(
+                {
+                    "group": label,
+                    "scenarios": len(specs),
+                    "reference_s": round(ref_s, 4),
+                    "vectorized_s": round(vect_s, 4),
+                    "batched_masked_s": round(masked_s, 4),
+                    "batched_s": round(batch_s, 4),
+                    "speedup_vs_reference": round(ref_s / batch_s, 2),
+                    "speedup_vs_vectorized": round(vect_s / batch_s, 2),
+                    "compaction_gain": round(masked_s / batch_s, 2),
+                }
+            )
+            total_ref += ref_s
+            total_vect += vect_s
+            total_masked += masked_s
+            total_batch += batch_s
+            total_n += len(specs)
+        rows.append(
+            [
+                "total",
+                total_n,
+                round(total_ref * 1e3, 1),
+                round(total_vect * 1e3, 1),
+                round(total_masked * 1e3, 1),
+                round(total_batch * 1e3, 1),
+                round(total_ref / total_batch, 1),
+                round(total_masked / total_batch, 2),
+            ]
+        )
+        totals = (total_ref, total_vect, total_masked, total_batch, total_n)
+        return rows, entries, totals
+
+    rows, entries, totals = benchmark.pedantic(_run, rounds=1, iterations=1)
+    total_ref, total_vect, total_masked, total_batch, total_n = totals
+    median_gain = statistics.median(g["compaction_gain"] for g in entries)
+    assert median_gain >= MIN_COMPACTION_GAIN
+    assert total_ref / total_batch >= MIN_SPEEDUP
+    record_fastpath(
+        "HETERO-LAT",
+        total_ref,
+        total_vect,
+        total_n,
+        batched_s=total_batch,
+        extra={
+            "grid": f"heterogeneous-latency mix n=9,12,16, {SEEDS} seeds "
+            "(4/6 noise-sweep + 1/6 shrunk-window + 1/6 no-pruning "
+            "full-budget stragglers)",
+            "batched_masked_s": round(total_masked, 4),
+            "compaction_gain": round(total_masked / total_batch, 2),
+            "compaction_baseline": "batched with compact=False "
+            "(mask-only, the PR-4 kernel behavior)",
+            "groups": entries,
+        },
+    )
+    emit(
+        format_table(
+            HETERO_HEADERS,
+            rows,
+            title="FASTPATH-HETERO — lane compaction vs mask-only "
+            "mega-batching on heterogeneous-latency ensembles "
+            "(identical metrics asserted first)",
         )
     )
 

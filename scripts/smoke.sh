@@ -6,7 +6,9 @@
 # three execution backends (reference simulator, per-scenario vectorized
 # fast path, mega-batched fast path) and byte-compares the canonical
 # summaries; the batched backend's journal bytes are additionally checked
-# to be independent of the jobs count / batch partition.
+# to be independent of the jobs count / batch partition, and a
+# scheduler-planned heterogeneous-latency family leg (--jobs 2, tiny
+# --batch-memory envelope) is diffed against the serial reference run.
 #
 # Usage: scripts/smoke.sh [extra pytest args...]
 
@@ -136,6 +138,22 @@ run_family latency -n 5 6 --seeds 2 --noise 0.1
 run_family_vectorized latency -n 5 6 --seeds 2 --noise 0.1
 run_family_batched latency -n 5 6 --seeds 2 --noise 0.1
 echo "all families ran as campaigns (summaries backend-identical): OK"
+
+echo
+echo "== batch scheduler: heterogeneous-latency leg (--jobs 2) vs serial reference =="
+# A noise×n LATENCY-DIST grid is exactly the interleaved-heterogeneous
+# shape the scheduler plans into packed, lane-compacting batches; a
+# parallel auto run must byte-match the serial reference-backend
+# summary (and an absurdly small --batch-memory envelope must too).
+het_args=(--family latency -n 5 6 --seeds 2 --noise 0.0 0.4)
+python -m repro campaign run "${het_args[@]}" --backend reference \
+    --store "$workdir/het_ref.jsonl" \
+    --summary "$workdir/het_ref_summary.jsonl" > /dev/null
+python -m repro campaign run "${het_args[@]}" --backend auto --jobs 2 \
+    --batch-memory 64 --store "$workdir/het_sched.jsonl" \
+    --summary "$workdir/het_sched_summary.jsonl" > /dev/null
+cmp "$workdir/het_ref_summary.jsonl" "$workdir/het_sched_summary.jsonl"
+echo "scheduler-planned parallel run byte-matches serial reference: OK"
 
 echo
 echo "== store-native aggregation: percentile table from the journal =="

@@ -19,8 +19,10 @@ Every experiment family (``figure1``, ``theorem2``, ``sweeps``,
 a registered :class:`~repro.engine.registry.ExperimentSpec`; the
 per-family subcommands above are sugar over
 ``campaign run --family <name>`` and therefore all take ``--jobs N``,
-``--store PATH`` (resume-by-hash) and ``--backend
-{reference,vectorized,batched,auto}``.
+``--store PATH`` (resume-by-hash), ``--backend
+{reference,vectorized,batched,auto}``, ``--batch-memory MIB`` (the
+batch scheduler's per-batch envelope) and ``--progress`` (stderr
+progress lines: completed/total, scenarios/s, batches, ETA).
 
 Campaign exit codes: 0 = complete and green, 1 = incomplete (half-executed
 grid) or failed (terminal errors), 2 = nothing to do (the grid expanded to
@@ -77,6 +79,21 @@ def _errmsg(exc: BaseException) -> str:
     return str(exc)
 
 
+def _batch_memory_bytes(args: argparse.Namespace) -> int | None:
+    """``--batch-memory`` is user-facing MiB; the engine speaks bytes."""
+    mib = getattr(args, "batch_memory", None)
+    return None if mib is None else mib * 2**20
+
+
+def _progress_enabled(args: argparse.Namespace) -> bool:
+    """Progress lines go to stderr when it is a terminal (or forced with
+    ``--progress``); machine-read stdout is never touched either way."""
+    flag = getattr(args, "progress", None)
+    if flag is not None:
+        return flag
+    return sys.stderr.isatty()
+
+
 def _run_family_command(name: str, args: argparse.Namespace) -> int:
     """Execute one family as a campaign and render its historical output.
 
@@ -95,11 +112,12 @@ def _run_family_command(name: str, args: argparse.Namespace) -> int:
             jobs=getattr(args, "jobs", 1),
             timeout=getattr(args, "timeout", None),
             backend=getattr(args, "backend", None),
+            batch_memory=_batch_memory_bytes(args),
         )
     except (KeyError, ValueError) as exc:
         print(_errmsg(exc))
         return 2
-    campaign.run()
+    campaign.run(progress=_progress_enabled(args))
     results = campaign.completed_results()
     failed = [r for r in results if not r.ok]
     if failed:
@@ -135,6 +153,35 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--timeout", type=float, default=None,
                    help="per-scenario time budget in seconds")
+    _add_scheduler_args(p)
+
+
+def _add_scheduler_args(p: argparse.ArgumentParser) -> None:
+    """Batch-scheduler knobs shared by campaign run and family sugar."""
+    p.add_argument(
+        "--batch-memory",
+        type=int,
+        default=None,
+        metavar="MIB",
+        help="per-batch memory envelope in MiB for the batched/auto "
+        "backends (packing only: journals and summaries are "
+        "byte-identical whatever the envelope)",
+    )
+    p.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        default=None,
+        help="emit progress lines (completed/total, scenarios/s, "
+        "batches, ETA) to stderr (default: only when stderr is a "
+        "terminal)",
+    )
+    p.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="never emit progress lines",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +271,7 @@ def _campaign_from_args(args: argparse.Namespace):
             jobs=getattr(args, "jobs", 1),
             timeout=getattr(args, "timeout", None),
             backend=getattr(args, "backend", None),
+            batch_memory=_batch_memory_bytes(args),
         )
     if args.grid_json:
         with open(args.grid_json, "r", encoding="utf-8") as fh:
@@ -246,6 +294,8 @@ def _campaign_from_args(args: argparse.Namespace):
         jobs=getattr(args, "jobs", 1),
         timeout=getattr(args, "timeout", None),
         backend=getattr(args, "backend", None) or "reference",
+        batch_memory=_batch_memory_bytes(args),
+        label="grid",
     )
 
 
@@ -255,7 +305,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(_errmsg(exc))
         return 2
-    report = campaign.run(resume=not args.no_resume)
+    report = campaign.run(
+        resume=not args.no_resume, progress=_progress_enabled(args)
+    )
     print(report.summary())
     if args.summary:
         lines = campaign.write_summary(args.summary)
@@ -481,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument("--summary", default=None,
                         help="also write the canonical grid-ordered summary "
                         "JSONL here")
+    _add_scheduler_args(p_crun)
     p_crun.set_defaults(func=_cmd_campaign_run)
 
     p_cstat = camp_sub.add_parser("status", help="reconcile store vs grid")

@@ -23,8 +23,14 @@ fleet-scale workload generator:
   via ``execute_scenarios(..., backend={"reference","vectorized",
   "batched","auto"})``.  Metrics are identical across backends; ``auto``
   falls back on :class:`FastPathUnsupported` and routes every
-  batch-compatible segment of a work list through the mega-batched
-  kernel.
+  batch-compatible scenario through the batch scheduler's planned
+  batches.
+* :mod:`repro.engine.scheduler` — the **lane-compacting batch
+  scheduler**: plans a whole campaign work list into packed tensor
+  batches (global ``(n, round-budget bucket)`` grouping, memory-envelope
+  widths, kernel-level lane compaction + refill), ships whole planned
+  batches to pool workers, and derives ``campaign run`` progress
+  reporting (:class:`ProgressReporter`) from the plan.
 * :mod:`repro.engine.store` — an append-only **JSONL result store**
   (:class:`ResultStore`) with a versioned codec and resume-by-hash.
 * :mod:`repro.engine.campaign` — the **campaign API**
@@ -89,16 +95,26 @@ from repro.engine.scenarios import (
     expand_grids,
     termination_grid,
 )
+from repro.engine.scheduler import (
+    BatchPlan,
+    PlannedBatch,
+    ProgressReporter,
+    plan_batches,
+    round_bucket,
+)
 from repro.engine.store import ResultStore, decode_result, encode_result
 from repro.rounds.fastpath import FastPathUnsupported
 
 __all__ = [
     "AggregateTable",
     "BACKENDS",
+    "BatchPlan",
     "Campaign",
     "CampaignReport",
     "Column",
     "ExperimentSpec",
+    "PlannedBatch",
+    "ProgressReporter",
     "FastPathUnsupported",
     "ResultStore",
     "ScenarioGrid",
@@ -120,7 +136,9 @@ __all__ = [
     "get_family",
     "group_results",
     "latency_table",
+    "plan_batches",
     "register",
+    "round_bucket",
     "require_ok",
     "expand_grids",
     "rollup",

@@ -15,14 +15,18 @@ One scenario can be executed three ways:
   group of same-``n`` scenarios stacked into one ``(S, n, ...)`` tensor
   program, so every ensemble round costs one set of kernel calls for the
   whole group instead of one per scenario.  Scenario grouping happens at
-  the work-list level (:func:`iter_scenarios_batched`): contiguous runs
-  of batch-compatible same-``n`` specs share a batch, capped by the
-  :func:`~repro.rounds.fastpath.default_batch_size` memory envelope.
+  the work-list level by the batch scheduler
+  (:mod:`repro.engine.scheduler`): batch-compatible specs are grouped
+  *globally* by ``(n, round-budget bucket)`` and packed into planned
+  batches capped by the
+  :func:`~repro.rounds.fastpath.default_batch_size` memory envelope;
+  the kernel compacts live lanes as batchmates retire and refills freed
+  width from the batch's pending lanes.
 * ``"auto"`` — prefer the fast path, transparently fall back to the
   reference simulator when the scenario is out of its scope.  On a work
-  list, ``auto`` routes every batch-compatible segment through the
-  mega-batched kernel (singletons included, so provenance tags stay
-  partition-independent).
+  list, ``auto`` routes every batch-compatible scenario through the
+  scheduler's planned batches (singletons included, so provenance tags
+  stay partition-independent).
 
 All backends are *exactly equivalent* where they overlap: the fast paths
 consume bit-identical adversary schedules
@@ -43,7 +47,7 @@ count.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, Iterator, Sequence
+from typing import Sequence
 
 from repro.analysis.stats import DecisionStats
 from repro.engine.executor import ScenarioResult, execute_scenario
@@ -54,7 +58,6 @@ from repro.rounds.fastpath import (
     FastPathRun,
     FastPathTask,
     FastPathUnsupported,
-    default_batch_size,
     simulate_fastpath,
     simulate_fastpath_batch,
 )
@@ -84,7 +87,9 @@ def _family_fast_result(spec: ScenarioSpec):
 
     ``None`` means the stock metric schema applies (untagged specs and
     stock-runner families).  A tagged family whose custom runner has no
-    registered fast twin raises :class:`FastPathUnsupported`, so forced
+    registered fast twin — or whose ``fast_supported`` predicate
+    excludes this particular spec (e.g. the ablation family's
+    invariant-hook arm) — raises :class:`FastPathUnsupported`, so forced
     fast backends report it and ``auto`` falls back to the family runner.
     """
     name = spec.opt("family")
@@ -99,6 +104,10 @@ def _family_fast_result(spec: ScenarioSpec):
         raise FastPathUnsupported(
             f"family {name!r} runs only on the reference simulator"
         )
+    if family.fast_supported is not None and not family.fast_supported(spec):
+        raise FastPathUnsupported(
+            f"scenario outside family {name!r}'s fast-path scope"
+        )
     return family.fast_result
 
 
@@ -107,7 +116,8 @@ def batch_compatible(spec: ScenarioSpec) -> bool:
 
     True for fast-path-supported specs whose result schema the batch
     layer knows how to build: the stock schema, or a registered family
-    fast twin (``ExperimentSpec.fast_result``).
+    fast twin (``ExperimentSpec.fast_result``) whose ``fast_supported``
+    predicate (if any) accepts the spec.
     """
     if not fastpath_supported(spec):
         return False
@@ -120,7 +130,11 @@ def batch_compatible(spec: ScenarioSpec) -> bool:
         family = get_family(name)
     except KeyError:
         return False
-    return family.runner is None or family.fast_result is not None
+    if family.runner is None:
+        return True
+    if family.fast_result is None:
+        return False
+    return family.fast_supported is None or family.fast_supported(spec)
 
 
 def fastpath_decision_stats(
@@ -259,6 +273,8 @@ def execute_scenario_vectorized(spec: ScenarioSpec) -> ScenarioResult:
 
 def execute_scenario_batch(
     specs: Sequence[ScenarioSpec],
+    width: int | None = None,
+    compact: bool = True,
 ) -> list[ScenarioResult]:
     """Run a group of same-``n`` scenarios through one mega-batched kernel.
 
@@ -266,8 +282,12 @@ def execute_scenario_batch(
     :func:`~repro.rounds.fastpath.simulate_fastpath_batch`: adversary
     schedules are pulled lane-wise through ``adjacency_stack`` into the
     shared ``(S, R, n, n)`` stack and the whole group advances round by
-    round with zero per-scenario Python control flow.  Isolation mirrors
-    the per-scenario backends:
+    round with zero per-scenario Python control flow.  ``width`` caps
+    the kernel's concurrent lanes (the scheduler passes the memory
+    envelope; surplus lanes refill freed width as batchmates retire)
+    and ``compact`` toggles live-lane compaction — both are pure
+    execution-shape knobs: results are bit-identical either way.
+    Isolation mirrors the per-scenario backends:
 
     * a spec the fast path cannot cover, or whose adversary construction
       fails, becomes an ``"error"`` result without poisoning the batch;
@@ -303,7 +323,7 @@ def execute_scenario_batch(
             )
     if lanes:
         try:
-            runs = simulate_fastpath_batch(tasks)
+            runs = simulate_fastpath_batch(tasks, width=width, compact=compact)
         except Exception as exc:  # noqa: BLE001 — isolate, then retry solo
             if len(lanes) == 1:
                 pos, spec, _, _ = lanes[0]
@@ -334,70 +354,6 @@ def execute_scenario_batch(
                         backend=BACKEND_BATCHED,
                     )
     return [results[pos] for pos in range(len(specs))]
-
-
-def iter_scenarios_batched(
-    items: Iterable[tuple[int, ScenarioSpec]], backend: str
-) -> Iterator[tuple[int, ScenarioResult]]:
-    """Yield ``(index, result)`` for a work list, batching where possible.
-
-    Contiguous runs of batch-compatible same-``n`` specs (grids expand
-    ``n``-major, so whole seed ensembles arrive contiguous) are stacked
-    into mega-batches capped by the
-    :func:`~repro.rounds.fastpath.default_batch_size` memory envelope
-    (sized for the *largest* round budget in the segment, so a lane with
-    a huge ``max_rounds`` shrinks its batch instead of blowing the
-    budget); everything else goes through the per-scenario dispatch.
-    Yield order is input order, so journal record order is identical to
-    a per-scenario run.
-
-    Every compatible spec — singletons included — runs through the batch
-    kernel under both ``"batched"`` and ``"auto"``, so the journaled
-    provenance tag is a pure function of the spec: journal *bytes*
-    cannot depend on how chunk boundaries cut the work list or on the
-    worker count.  ``"auto"`` keeps its transparent-fallback contract:
-    a lane the fast path turns out not to cover re-runs through the
-    per-scenario ``auto`` dispatch (and thus the reference simulator)
-    instead of surfacing a forced-backend error.
-    """
-    from repro.engine.executor import STATUS_ERROR, _run_one
-
-    pending: list[tuple[int, ScenarioSpec]] = []
-    seg_rounds = 1
-
-    def flush() -> list[tuple[int, ScenarioResult]]:
-        if not pending:
-            return []
-        specs = [spec for _, spec in pending]
-        results = execute_scenario_batch(specs)
-        if backend == BACKEND_AUTO:
-            results = [
-                _run_one(spec, BACKEND_AUTO)
-                if result.status == STATUS_ERROR
-                and result.error is not None
-                and result.error.startswith("FastPathUnsupported: ")
-                else result
-                for spec, result in zip(specs, results)
-            ]
-        out = list(zip([idx for idx, _ in pending], results))
-        pending.clear()
-        return out
-
-    for idx, spec in items:
-        if batch_compatible(spec):
-            rounds = spec.resolved_max_rounds()
-            if pending and (
-                spec.n != pending[-1][1].n
-                or len(pending)
-                >= default_batch_size(spec.n, max(seg_rounds, rounds))
-            ):
-                yield from flush()
-            seg_rounds = rounds if not pending else max(seg_rounds, rounds)
-            pending.append((idx, spec))
-        else:
-            yield from flush()
-            yield idx, _run_one(spec, backend)
-    yield from flush()
 
 
 def execute_scenario_with_backend(

@@ -187,7 +187,16 @@ class Campaign:
         Default per-scenario time budget in seconds.
     backend:
         Default execution engine for :meth:`run`: ``"reference"``,
-        ``"vectorized"`` or ``"auto"`` (see :mod:`repro.engine.backends`).
+        ``"vectorized"``, ``"batched"`` or ``"auto"`` (see
+        :mod:`repro.engine.backends`).
+    batch_memory:
+        Per-batch memory envelope in bytes for the batched/auto
+        backends (``None``: the built-in budget).  A pure packing knob
+        for the batch scheduler — journals and summaries are
+        byte-identical whatever the envelope.
+    label:
+        Human name for progress reporting (the experiment family name
+        when the campaign was built by the registry).
     """
 
     def __init__(
@@ -197,6 +206,8 @@ class Campaign:
         jobs: int = 1,
         timeout: float | None = None,
         backend: str = "reference",
+        batch_memory: int | None = None,
+        label: str | None = None,
     ) -> None:
         if isinstance(scenarios, ScenarioGrid):
             self.specs = scenarios.expand()
@@ -211,6 +222,8 @@ class Campaign:
         self.jobs = jobs
         self.timeout = timeout
         self.backend = backend
+        self.batch_memory = batch_memory
+        self.label = label
         # Journal snapshot, keyed by id.  One scan serves run/status/
         # report/summary within this Campaign object; run() keeps it
         # current as results are journaled.  Call refresh() if another
@@ -233,11 +246,18 @@ class Campaign:
         resume: bool = True,
         timeout: float | None = None,
         backend: str | None = None,
+        progress: object = False,
     ) -> CampaignReport:
         """Execute every scenario that has no terminal record yet.
 
         With ``resume=False`` the whole grid is re-executed and the
-        journal grows new records (last-wins on read)."""
+        journal grows new records (last-wins on read).
+
+        ``progress`` turns on family-aware progress reporting
+        (completed/total, scenarios/s, batches completed/planned from
+        the batch plan, and an ETA): pass ``True`` to emit to *stderr*
+        — stdout summaries stay byte-identical — or a writable stream.
+        """
         self.refresh()
         latest = self._load_latest()
         if resume:
@@ -252,16 +272,45 @@ class Campaign:
         else:
             todo = list(self.specs)
 
+        resolved_backend = self.backend if backend is None else backend
+        resolved_jobs = self.jobs if jobs is None else jobs
+        # One plan serves both the progress reporter and the executor,
+        # so the work list is planned exactly once and the reported
+        # batch counts are the batches that actually run.
+        plan = None
+        if todo and resolved_backend in ("batched", "auto"):
+            from repro.engine.scheduler import plan_batches
+
+            plan = plan_batches(
+                list(enumerate(todo)),
+                self.batch_memory,
+                jobs=max(1, resolved_jobs),
+            )
+        reporter = None
+        if progress and todo:
+            from repro.engine.scheduler import ProgressReporter
+
+            reporter = ProgressReporter(
+                total=len(todo),
+                label=self.label,
+                plan=plan,
+                stream=progress if hasattr(progress, "write") else None,
+            )
+
         def journal(result: ScenarioResult) -> None:
             self.store.append(result)
             latest[result.scenario_id] = result
+            if reporter is not None:
+                reporter.update(result)
 
         results = execute_scenarios(
             todo,
-            jobs=self.jobs if jobs is None else jobs,
+            jobs=resolved_jobs,
             timeout=self.timeout if timeout is None else timeout,
             on_result=journal,
-            backend=self.backend if backend is None else backend,
+            backend=resolved_backend,
+            batch_memory=self.batch_memory,
+            plan=plan,
         )
         by_status = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
         for result in results:
@@ -329,6 +378,7 @@ def run_campaign(
     timeout: float | None = None,
     resume: bool = True,
     backend: str = "reference",
+    batch_memory: int | None = None,
 ) -> list[ScenarioResult]:
     """One-shot convenience: run (resuming) and return grid-ordered
     results.  The workhorse behind the refactored sweeps and benchmarks."""
@@ -338,6 +388,7 @@ def run_campaign(
         jobs=jobs,
         timeout=timeout,
         backend=backend,
+        batch_memory=batch_memory,
     )
     campaign.run(resume=resume)
     return campaign.completed_results()

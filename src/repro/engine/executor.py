@@ -12,10 +12,12 @@ Backends:
 * serial (``jobs <= 1``) — a plain loop, no pickling, easiest to debug;
 * ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) — chunked
   dispatch (each task is a contiguous slice of the grid, amortizing
-  IPC), per-chunk timeouts (a stuck chunk is marked ``"timeout"`` and
-  the stragglers are killed when the pool exits), and crash isolation
-  (a scenario that raises becomes a ``"error"`` result instead of
-  poisoning the pool).
+  IPC; under the ``batched``/``auto`` backends each task is instead one
+  of the scheduler's planned batches, so pool chunking cannot break a
+  batch — see :mod:`repro.engine.scheduler`), per-chunk timeouts (a
+  stuck chunk is marked ``"timeout"`` and the stragglers are killed
+  when the pool exits), and crash isolation (a scenario that raises
+  becomes a ``"error"`` result instead of poisoning the pool).
 
 Hard-killed workers (OOM killer, segfault in an extension) are detected
 without needing a ``timeout``: dispatch runs on
@@ -219,20 +221,26 @@ def _run_one(spec: ScenarioSpec, backend: str) -> ScenarioResult:
 
 
 def _iter_chunk(
-    chunk: Sequence[IndexedSpec], backend: str
+    chunk: Sequence[IndexedSpec],
+    backend: str,
+    batch_memory: int | None = None,
+    compact: bool = True,
 ) -> Iterable[tuple[int, ScenarioResult]]:
-    """Yield one work list's results in input order.
+    """Yield one work list's results, tagged with their input indices.
 
-    The ``batched`` and ``auto`` backends route through
-    :func:`repro.engine.backends.iter_scenarios_batched`, which stacks
-    contiguous batch-compatible same-``n`` specs into mega-batched kernel
-    calls.  Yield order — and therefore journal record order — is
-    identical to per-scenario execution either way.
+    The ``batched`` and ``auto`` backends route through the batch
+    scheduler (:func:`repro.engine.scheduler.iter_planned`), which packs
+    batch-compatible specs into planned lane-compacting batches — yield
+    order is plan order there, input order otherwise; every result
+    carries its index, and journal record bytes are a pure function of
+    the spec, so consumers are order-agnostic.
     """
     if backend in ("batched", "auto"):
-        from repro.engine.backends import iter_scenarios_batched
+        from repro.engine.scheduler import iter_planned
 
-        yield from iter_scenarios_batched(chunk, backend)
+        yield from iter_planned(
+            chunk, backend, batch_memory=batch_memory, compact=compact
+        )
         return
     for idx, spec in chunk:
         yield idx, _run_one(spec, backend)
@@ -241,8 +249,23 @@ def _iter_chunk(
 def _execute_chunk(
     chunk: Sequence[IndexedSpec], backend: str = "reference"
 ) -> list[tuple[int, ScenarioResult]]:
-    """Worker entry point: run one contiguous slice of the grid."""
+    """Worker entry point: run one slice of the grid (per-scenario
+    backends, and the scheduler's non-batchable singles)."""
     return list(_iter_chunk(chunk, backend))
+
+
+def _execute_planned(
+    batch, backend: str = "batched", compact: bool = True
+) -> list[tuple[int, ScenarioResult]]:
+    """Worker entry point: run one whole planned batch.
+
+    The pool ships :class:`~repro.engine.scheduler.PlannedBatch` units
+    instead of order-chunks under the batched/auto backends, so pool
+    chunking can never break a batch.
+    """
+    from repro.engine.scheduler import run_planned_batch
+
+    return run_planned_batch(batch, backend, compact=compact)
 
 
 def _chunked(items: Sequence[IndexedSpec], size: int) -> list[list[IndexedSpec]]:
@@ -263,6 +286,9 @@ def execute_scenarios(
     on_result: Callable[[ScenarioResult], Any] | None = None,
     poll_interval: float = 0.01,
     backend: str = "reference",
+    batch_memory: int | None = None,
+    compact: bool = True,
+    plan=None,
 ) -> list[ScenarioResult]:
     """Execute many scenarios, serially or on a process pool.
 
@@ -292,9 +318,22 @@ def execute_scenarios(
         Seconds between readiness polls of outstanding chunks.
     backend:
         Execution engine per scenario: ``"reference"`` (default),
-        ``"vectorized"``, ``"batched"`` (mega-batch contiguous same-``n``
-        scenarios into one tensor program) or ``"auto"`` — see
-        :mod:`repro.engine.backends`.
+        ``"vectorized"``, ``"batched"`` (scheduler-planned mega-batches
+        of same-``n`` scenarios through one tensor program) or
+        ``"auto"`` — see :mod:`repro.engine.backends`.
+    batch_memory:
+        Per-batch memory envelope in bytes for the batched/auto
+        backends (``None``: the built-in budget) — a pure packing knob,
+        results and journal bytes are identical whatever the envelope.
+    compact:
+        Whether the batch kernel compacts live lanes as batchmates
+        retire (diagnostic toggle for the differential suite and the
+        fast-path benchmark; results are bit-identical either way).
+    plan:
+        A precomputed :class:`~repro.engine.scheduler.BatchPlan` for
+        exactly this work list (the campaign layer passes the plan its
+        progress reporter was built from, so the list is only planned
+        once).  ``None``: the batched/auto backends plan here.
 
     Returns
     -------
@@ -304,11 +343,23 @@ def execute_scenarios(
     if not spec_list:
         return []
     if (jobs <= 1 or len(spec_list) <= 1) and timeout is None:
-        # The serial path streams through the same chunk kernel the pool
-        # workers use, so the batched/auto backends mega-batch here too;
-        # results arrive (and journal) in grid order, batch by batch.
+        # The serial path streams through the same kernels the pool
+        # workers use, so the batched/auto backends run the scheduler's
+        # planned batches here too; results are re-sorted into grid
+        # order (they journal in plan order).
         results: list = [None] * len(spec_list)
-        for idx, result in _iter_chunk(list(enumerate(spec_list)), backend):
+        if backend in ("batched", "auto") and plan is not None:
+            from repro.engine.scheduler import iter_plan
+
+            streamed = iter_plan(plan, backend, compact=compact)
+        else:
+            streamed = _iter_chunk(
+                list(enumerate(spec_list)),
+                backend,
+                batch_memory=batch_memory,
+                compact=compact,
+            )
+        for idx, result in streamed:
             if on_result is not None:
                 on_result(result)
             results[idx] = result
@@ -316,10 +367,32 @@ def execute_scenarios(
 
     indexed = list(enumerate(spec_list))
     jobs = max(1, jobs)
-    chunks = _chunked(
-        indexed, chunksize or default_chunksize(len(indexed), jobs)
-    )
-    workers = min(jobs, len(chunks))
+    # Dispatch units: under the batched/auto backends the scheduler's
+    # whole planned batches ship to workers (pool chunking must not
+    # break batches); everything else — other backends, and the plan's
+    # non-batchable singles — ships as contiguous order-chunks.
+    units: list[tuple[list[IndexedSpec], tuple]] = []
+    if backend in ("batched", "auto"):
+        if plan is None:
+            from repro.engine.scheduler import plan_batches
+
+            plan = plan_batches(indexed, batch_memory=batch_memory, jobs=jobs)
+        for batch in plan.batches:
+            units.append(
+                (list(batch.items), (_execute_planned, batch, backend, compact))
+            )
+        singles = list(plan.singles)
+        if singles:
+            for chunk in _chunked(
+                singles, chunksize or default_chunksize(len(singles), jobs)
+            ):
+                units.append((chunk, (_execute_chunk, chunk, backend)))
+    else:
+        for chunk in _chunked(
+            indexed, chunksize or default_chunksize(len(indexed), jobs)
+        ):
+            units.append((chunk, (_execute_chunk, chunk, backend)))
+    workers = min(jobs, len(units))
     collected: dict[int, ScenarioResult] = {}
 
     def deliver(payload: Iterable[tuple[int, ScenarioResult]]) -> None:
@@ -391,8 +464,8 @@ def execute_scenarios(
             else None
         )
         pending = [
-            (chunk, executor.submit(_execute_chunk, chunk, backend))
-            for chunk in chunks
+            (items, executor.submit(fn, *args))
+            for items, (fn, *args) in units
         ]
         # Which futures were ever observed executing on a worker — the
         # broken-pool classifier's running/queued attribution.  Polled,

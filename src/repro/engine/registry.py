@@ -98,6 +98,15 @@ class ExperimentSpec:
         twin execute on the vectorized/batched backends — including the
         mega-batched kernel, which stacks their scenarios with any other
         compatible same-``n`` work.
+    fast_supported:
+        Optional per-spec scope predicate for the twin: ``spec -> bool``.
+        A family whose twin covers only *some* of its arms (the ablation
+        family: its invariant-hook arm and the bespoke line-27 variant
+        run only on the reference simulator) registers one; excluded
+        specs raise ``FastPathUnsupported`` at the backend layer, so
+        ``auto`` transparently falls back to the family runner per spec.
+        Partial coverage cannot be *forced*: ``supports_backend``
+        rejects explicit vectorized/batched requests for such families.
     aggregate:
         Store-native aggregator (``campaign report --aggregate``), or
         ``None`` for the generic latency percentile table.
@@ -118,6 +127,7 @@ class ExperimentSpec:
     row: Callable[[ScenarioResult], list] | None = None
     runner: Runner | None = None
     fast_result: Callable[..., ScenarioResult] | None = None
+    fast_supported: Callable[[ScenarioSpec], bool] | None = None
     aggregate: Aggregator | None = None
     defaults: tuple[tuple[str, Any], ...] = ()
     vectorizable: bool = False
@@ -134,10 +144,17 @@ class ExperimentSpec:
         return "auto" if self.vectorizable else "reference"
 
     def supports_backend(self, backend: str) -> bool:
-        """Whether a *forced* backend choice can execute this family."""
+        """Whether a *forced* backend choice can execute this family.
+
+        Partial fast-path coverage (a ``fast_supported`` predicate) is
+        an ``auto``-only affair: forcing vectorized/batched on a family
+        whose reference-only arms would come back as errors is rejected
+        up front instead.
+        """
         if backend in ("vectorized", "batched"):
             return self.vectorizable and (
-                self.runner is None or self.fast_result is not None
+                self.runner is None
+                or (self.fast_result is not None and self.fast_supported is None)
             )
         return True
 
@@ -277,6 +294,7 @@ def family_campaign(
     jobs: int = 1,
     timeout: float | None = None,
     backend: str | None = None,
+    batch_memory: int | None = None,
 ):
     """A :class:`~repro.engine.campaign.Campaign` over a family's grid.
 
@@ -296,6 +314,8 @@ def family_campaign(
         jobs=jobs,
         timeout=timeout,
         backend=resolved,
+        batch_memory=batch_memory,
+        label=family.name,
     )
 
 
@@ -306,11 +326,18 @@ def run_family(
     jobs: int = 1,
     timeout: float | None = None,
     backend: str | None = None,
+    batch_memory: int | None = None,
 ) -> list[ScenarioResult]:
     """One-shot: run (resuming) a family campaign, return grid-ordered
     completed results."""
     campaign = family_campaign(
-        name, params, store=store, jobs=jobs, timeout=timeout, backend=backend
+        name,
+        params,
+        store=store,
+        jobs=jobs,
+        timeout=timeout,
+        backend=backend,
+        batch_memory=batch_memory,
     )
     campaign.run()
     return campaign.completed_results()

@@ -1,0 +1,339 @@
+"""The lane-compacting batch scheduler: plan a campaign into packed batches.
+
+Algorithm-1 ensembles are heterogeneous by construction — decision latency
+varies with the adversary, the noise level and ``n`` — so two things used
+to waste fast-path width:
+
+* the work-list segmentation only packed *contiguous* same-``n`` runs of
+  batch-compatible specs, so interleaved grids (a noise×``n`` sweep, a
+  family whose reference-only arms sit between vectorizable ones, a
+  resumed campaign's scattered remainder) fragmented into small batches;
+* under a process pool, order-chunking cut the work list *before*
+  batching, so chunk boundaries broke batches again.
+
+This module fixes both by planning the **whole campaign** before
+execution:
+
+* :func:`plan_batches` groups batch-compatible scenarios *globally* —
+  not just contiguous runs — by ``(n, round-budget bucket)``, packs each
+  group into :class:`PlannedBatch` units sized by the
+  :func:`~repro.rounds.fastpath.default_batch_size` memory envelope
+  (overridable via ``campaign run --batch-memory``), and emits a
+  deterministic :class:`BatchPlan`.  Planning is a pure function of the
+  work list (and the envelope), so the plan — and therefore every
+  journal record — is independent of worker count and chunking.
+* :func:`run_planned_batch` executes one planned batch through the
+  mega-batched kernel with lane **compaction** on (retired lanes are
+  compressed out and freed width is refilled from the batch's pending
+  lanes — see :func:`~repro.rounds.fastpath.simulate_fastpath_batch`),
+  preserving the ``auto`` backend's transparent per-lane fallback.
+* the executor ships whole planned batches to pool workers
+  (:func:`repro.engine.executor.execute_scenarios`), so pool chunking
+  can no longer break batches.
+
+Every mapping back to journal order is by work-list index: results are
+re-sorted into grid order by the executor and journal record *bytes* are
+a pure function of the spec, so store bytes are invariant under batch
+partitioning, compaction on/off and ``--jobs`` (the differential suite
+pins this).
+
+:class:`ProgressReporter` is the campaign-progress face of the plan:
+``campaign run`` derives completed/total, scenarios/s, batches
+completed/planned and an ETA from it, emitted to *stderr* so stdout
+summaries stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TextIO
+
+from repro.engine.backends import (
+    BACKEND_AUTO,
+    batch_compatible,
+    execute_scenario_batch,
+)
+from repro.engine.executor import ScenarioResult
+from repro.engine.scenarios import ScenarioSpec
+from repro.rounds.fastpath import default_batch_size
+
+IndexedSpec = tuple[int, ScenarioSpec]
+
+#: Lanes per planned batch, as a multiple of the kernel width: the kernel
+#: runs ``width`` concurrent lanes and refills freed width from the
+#: batch's own pending queue, so one planned batch amortizes several
+#: envelope-widths of work without exceeding the memory budget.
+BATCH_DEPTH = 4
+
+
+def round_bucket(max_rounds: int) -> int:
+    """The round-budget bucket of a scenario: the power-of-two ceiling.
+
+    Batches share one ``(S, R, n, n)`` schedule stack sized for the
+    largest round budget in the batch, so mixing a 10-round lane with a
+    500-round lane would waste memory (and shrink the width envelope)
+    for everyone.  Bucketing by power-of-two ceiling bounds that waste
+    at 2x while keeping the grouping deterministic and coarse enough
+    that whole ensembles land in one bucket.
+    """
+    if max_rounds < 1:
+        raise ValueError("need max_rounds >= 1")
+    return 1 << int(max_rounds - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class PlannedBatch:
+    """One packed tensor batch: same-``n``, same round-budget bucket.
+
+    ``items`` holds ``(work-list index, spec)`` pairs in work-list order;
+    ``width`` is the kernel's concurrent-lane cap (the memory envelope) —
+    ``len(items)`` may exceed it, in which case the kernel refills freed
+    width from the remaining lanes as earlier ones retire.
+    """
+
+    n: int
+    bucket: int
+    width: int
+    items: tuple[IndexedSpec, ...]
+
+    @property
+    def lanes(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """A deterministic execution plan for one campaign work list.
+
+    ``batches`` cover every batch-compatible scenario (grouped globally
+    by ``(n, bucket)``, first-appearance order); ``singles`` are the
+    scenarios only the per-scenario dispatch can run, in work-list
+    order.  The plan is a pure function of the work list and the memory
+    envelope — never of worker count or chunking.
+    """
+
+    batches: tuple[PlannedBatch, ...]
+    singles: tuple[IndexedSpec, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(b.lanes for b in self.batches) + len(self.singles)
+
+    @property
+    def batched_lanes(self) -> int:
+        return sum(b.lanes for b in self.batches)
+
+    def describe(self) -> str:
+        """One human line: how the work list was packed."""
+        return (
+            f"{len(self.batches)} batches ({self.batched_lanes} lanes) + "
+            f"{len(self.singles)} singles"
+        )
+
+
+#: Smallest lane count worth cutting a batch down to when spreading a
+#: group across workers: the mega-batch kernel's per-round amortization
+#: has mostly plateaued by here, so thinner batches trade little kernel
+#: efficiency for pool parallelism.
+MIN_SPLIT_LANES = 8
+
+
+def plan_batches(
+    items: Iterable[IndexedSpec],
+    batch_memory: int | None = None,
+    jobs: int = 1,
+) -> BatchPlan:
+    """Plan a work list into packed tensor batches.
+
+    Batch-compatible specs are grouped globally by ``(n, round-budget
+    bucket)`` — interleaved grids and non-contiguous resume remainders
+    pack as tightly as a sorted work list — then each group is cut into
+    :class:`PlannedBatch` units of at most ``width * BATCH_DEPTH`` lanes,
+    where ``width`` is the group's
+    :func:`~repro.rounds.fastpath.default_batch_size` memory envelope
+    (``batch_memory`` overrides the envelope budget, in bytes).
+    Everything else becomes a single.
+
+    ``jobs`` is the pool width the plan will be dispatched across: a
+    group large enough to keep several workers busy is cut into at
+    least ``jobs`` batches (never thinner than
+    :data:`MIN_SPLIT_LANES` lanes), so a homogeneous campaign cannot
+    serialize onto one worker.  Deterministic: same work list, envelope
+    and jobs, same plan — and execution results are a pure function of
+    the spec, so the cut never shows in journal bytes.
+    """
+    groups: dict[tuple[int, int], list[IndexedSpec]] = {}
+    singles: list[IndexedSpec] = []
+    for idx, spec in items:
+        if batch_compatible(spec):
+            key = (spec.n, round_bucket(spec.resolved_max_rounds()))
+            groups.setdefault(key, []).append((idx, spec))
+        else:
+            singles.append((idx, spec))
+    batches: list[PlannedBatch] = []
+    for (n, bucket), members in groups.items():
+        rmax = max(spec.resolved_max_rounds() for _, spec in members)
+        width = default_batch_size(n, rmax, budget_bytes=batch_memory)
+        cap = width * BATCH_DEPTH
+        if jobs > 1:
+            per_worker = -(-len(members) // jobs)  # ceil
+            cap = min(cap, max(per_worker, min(width, MIN_SPLIT_LANES)))
+        for lo in range(0, len(members), cap):
+            batches.append(
+                PlannedBatch(
+                    n=n,
+                    bucket=bucket,
+                    width=width,
+                    items=tuple(members[lo : lo + cap]),
+                )
+            )
+    return BatchPlan(batches=tuple(batches), singles=tuple(singles))
+
+
+def run_planned_batch(
+    batch: PlannedBatch, backend: str, compact: bool = True
+) -> list[tuple[int, ScenarioResult]]:
+    """Execute one planned batch; returns ``(work-list index, result)``.
+
+    The kernel runs ``batch.width`` concurrent lanes with compaction on,
+    refilling freed width from the batch's own pending lanes.  Under
+    ``"auto"`` a lane the fast path turns out not to cover re-runs
+    through the per-scenario ``auto`` dispatch (and thus the reference
+    simulator) instead of surfacing a forced-backend error, exactly as
+    the pre-scheduler segmentation did.
+    """
+    from repro.engine.executor import STATUS_ERROR, _run_one
+
+    specs = [spec for _, spec in batch.items]
+    results = execute_scenario_batch(specs, width=batch.width, compact=compact)
+    if backend == BACKEND_AUTO:
+        results = [
+            _run_one(spec, BACKEND_AUTO)
+            if result.status == STATUS_ERROR
+            and result.error is not None
+            and result.error.startswith("FastPathUnsupported: ")
+            else result
+            for spec, result in zip(specs, results)
+        ]
+    return [
+        (idx, result)
+        for (idx, _), result in zip(batch.items, results)
+    ]
+
+
+def iter_plan(
+    plan: BatchPlan, backend: str, compact: bool = True
+) -> Iterator[tuple[int, ScenarioResult]]:
+    """Execute an already-computed plan, yielding ``(index, result)``.
+
+    The serial face of the scheduler (the pool path ships the same
+    planned batches to workers instead).  Yield order is plan order —
+    batches first, then singles — but every result carries its work-list
+    index, and journal record bytes are a pure function of the spec, so
+    consumers that need grid order re-sort by index and summaries stay
+    byte-identical to any other execution order.
+    """
+    from repro.engine.executor import _run_one
+
+    for batch in plan.batches:
+        yield from run_planned_batch(batch, backend, compact=compact)
+    for idx, spec in plan.singles:
+        yield idx, _run_one(spec, backend)
+
+
+def iter_planned(
+    items: Iterable[IndexedSpec],
+    backend: str,
+    batch_memory: int | None = None,
+    compact: bool = True,
+) -> Iterator[tuple[int, ScenarioResult]]:
+    """Plan a work list and execute it: :func:`plan_batches` +
+    :func:`iter_plan` in one call."""
+    yield from iter_plan(
+        plan_batches(items, batch_memory), backend, compact=compact
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign progress (stderr-only; stdout summaries stay byte-identical)
+# ----------------------------------------------------------------------
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    minutes, sec = divmod(seconds, 60)
+    if minutes >= 60:
+        hours, minutes = divmod(minutes, 60)
+        return f"{hours}:{minutes:02d}:{sec:02d}"
+    return f"{minutes}:{sec:02d}"
+
+
+class ProgressReporter:
+    """Family-aware campaign progress lines, derived from the batch plan.
+
+    Emits at most one line per ``interval`` seconds (plus a final line)
+    of the form::
+
+        [latency] 96/252 scenarios (38%) · 131.2/s · batch 4/11 · eta 0:01
+
+    ``plan`` (a :class:`BatchPlan`) supplies the batch column: a planned
+    batch counts as completed when all of its lanes have reported.
+    Writes to ``stream`` (default: ``sys.stderr``) so machine-read
+    stdout — campaign tables, canonical summaries — is never touched.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str | None = None,
+        plan: BatchPlan | None = None,
+        stream: TextIO | None = None,
+        interval: float = 0.5,
+        clock=time.monotonic,
+    ) -> None:
+        self.total = total
+        self.label = label or "campaign"
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._clock = clock
+        self._start = clock()
+        self._last_emit = float("-inf")
+        self._done = 0
+        self.num_batches = 0
+        self._batch_of: dict[str, int] = {}
+        self._batch_left: list[int] = []
+        self._batches_done = 0
+        if plan is not None:
+            self.num_batches = len(plan.batches)
+            self._batch_left = [batch.lanes for batch in plan.batches]
+            for b, batch in enumerate(plan.batches):
+                for _, spec in batch.items:
+                    self._batch_of[spec.scenario_id] = b
+
+    def update(self, result: ScenarioResult) -> None:
+        """Record one completed scenario; emit a line when due."""
+        self._done += 1
+        b = self._batch_of.get(result.scenario_id)
+        if b is not None and self._batch_left[b] > 0:
+            self._batch_left[b] -= 1
+            if self._batch_left[b] == 0:
+                self._batches_done += 1
+        now = self._clock()
+        if self._done >= self.total or now - self._last_emit >= self.interval:
+            self._last_emit = now
+            self._emit(now)
+
+    def _emit(self, now: float) -> None:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self._done / elapsed
+        pct = 100 * self._done // self.total if self.total else 100
+        line = (
+            f"[{self.label}] {self._done}/{self.total} scenarios "
+            f"({pct}%) · {rate:.1f}/s"
+        )
+        if self.num_batches:
+            line += f" · batch {self._batches_done}/{self.num_batches}"
+        remaining = self.total - self._done
+        if remaining and rate > 0:
+            line += f" · eta {_fmt_eta(remaining / rate)}"
+        print(line, file=self.stream, flush=True)

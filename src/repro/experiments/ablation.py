@@ -16,10 +16,22 @@ Three knobs, each provably load-bearing in the paper's proofs:
   including transient, non-timely senders — which voids Lemma 14's common-
   estimate guarantee inside strongly connected components.
 
-:func:`run_ablation` executes a variant across seeds with all lemma
-checkers attached and tabulates: invariant violations, agreement outcomes,
-termination, and decision latency.  The ABLATION benchmark asserts the
-paper's configuration is the only one that is uniformly clean.
+:func:`run_ablation` executes a variant across seeds and tabulates:
+invariant violations, agreement outcomes, termination, and decision
+latency.  The ABLATION benchmark asserts the paper's configuration is the
+only one that is uniformly clean.
+
+Instrumentation is **per variant**: most arms' findings are
+outcome-level (agreement violations, termination failures, latency
+shifts) and run *non-hooked*, which makes them expressible as pure
+Algorithm-1 dynamics — they carry a :func:`fastpath_ablation_result`
+fast-path twin and route through the batched tensor kernel under
+``--backend auto``.  The **invariant-hook arm** (``window=2n``, whose
+only observable finding is the Lemma-7 soundness violation the runtime
+checkers catch) and the bespoke line-27 variant
+(:class:`MinOverAllProcess`, whose transition the kernel does not
+implement) stay on the reference simulator by construction; under
+``auto`` they transparently fall back per spec.
 """
 
 from __future__ import annotations
@@ -122,11 +134,16 @@ def line27_counterexample():
 
 @dataclass(frozen=True)
 class AblationOutcome:
-    """Aggregate result of one variant across seeds."""
+    """Aggregate result of one variant across seeds.
+
+    ``invariant_violations`` is ``None`` for variants that ran without
+    the lemma checkers attached ("not instrumented" — their findings are
+    the outcome columns), distinguishable from a checked-and-clean ``0``.
+    """
 
     variant: str
     runs: int
-    invariant_violations: int
+    invariant_violations: int | None
     agreement_violations: int
     termination_failures: int
     max_decision_round: int | None
@@ -160,10 +177,13 @@ def ablation_spec(
     purge_window: int | None = None,
     prune_unreachable: bool = True,
     min_over_all: bool = False,
+    hooks: bool = True,
 ) -> ScenarioSpec:
     """One (variant, seed) cell of the ablation matrix as a content-
     addressed scenario.  The knobs ride in the spec options; the variant
-    label is the aggregation key."""
+    label is the aggregation key.  ``hooks`` controls whether the lemma
+    checkers are attached (the option is recorded only when off, so
+    hook-instrumented specs keep their historical content hashes)."""
     options: dict = {"family": "ablation", "variant": variant}
     if purge_window is not None:
         options["purge_window"] = purge_window
@@ -171,6 +191,8 @@ def ablation_spec(
         options["prune_unreachable"] = False
     if min_over_all:
         options["min_over_all"] = True
+    if not hooks:
+        options["hooks"] = False
     return ScenarioSpec(
         n=n,
         k=k,
@@ -184,10 +206,16 @@ def ablation_spec(
 
 
 def run_ablation_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Per-scenario runner: one instrumented run with every lemma checker
-    attached.  An invariant violation is a *finding*, not a failure — it
-    comes back as an ok result flagged in the extras."""
+    """Per-scenario runner: one run, instrumented when the spec says so.
+
+    Hook-instrumented specs (``hooks`` option absent or true) attach
+    every lemma checker; an invariant violation is a *finding*, not a
+    failure — it comes back as an ok result flagged in the extras.
+    Non-hooked specs record ``invariant_violation = None`` ("not
+    instrumented"), distinguishable from a checked-and-clean ``False``.
+    """
     adv = spec.build_adversary()
+    hooked = spec.opt("hooks", True)
     cls = (
         MinOverAllProcess
         if spec.opt("min_over_all")
@@ -207,7 +235,7 @@ def run_ablation_scenario(spec: ScenarioSpec) -> ScenarioResult:
         procs,
         adv,
         SimulationConfig(max_rounds=spec.resolved_max_rounds()),
-        invariant_hooks=[make_invariant_hook()],
+        invariant_hooks=[make_invariant_hook()] if hooked else [],
     )
     try:
         run = sim.run()
@@ -234,18 +262,73 @@ def run_ablation_scenario(spec: ScenarioSpec) -> ScenarioResult:
         lemma11_bound=stats.lemma11_bound,
         within_bound=stats.within_bound,
         decision_values=tuple(sorted(run.decision_values(), key=repr)),
-        extras=(("invariant_violation", False),),
+        extras=(("invariant_violation", False if hooked else None),),
     )
 
 
+def fastpath_ablation_result(spec, fast, adversary) -> ScenarioResult:
+    """The fast-path twin of :func:`run_ablation_scenario` for the
+    non-hooked variants.
+
+    Builds the exact same result record — metrics *and* extras — from a
+    finished :class:`~repro.rounds.fastpath.FastPathRun` (the kernel
+    natively speaks the ``purge_window`` / ``prune_unreachable`` knobs),
+    so the vectorizable arms of the ablation matrix ride the batched
+    backends with byte-identical journals.  Hook-instrumented specs and
+    the bespoke line-27 variant are out of scope
+    (:func:`_ablation_fast_supported` excludes them before any lane is
+    admitted), so ``--backend auto`` falls back to the reference runner
+    exactly there.
+    """
+    from repro.engine.backends import fastpath_decision_stats
+
+    stats, _ = fastpath_decision_stats(fast, adversary)
+    values = fast.decision_values()
+    proposals = set(fast.initial_values)
+    return ScenarioResult(
+        spec=spec,
+        num_rounds=fast.num_rounds,
+        distinct_decisions=len(values),
+        all_decided=fast.all_decided(),
+        k_agreement_holds=len(values) <= spec.k,
+        validity_holds=values <= proposals,
+        first_decision_round=stats.first_decision_round,
+        last_decision_round=stats.last_decision_round,
+        stabilization=stats.stabilization,
+        lemma11_bound=stats.lemma11_bound,
+        within_bound=stats.within_bound,
+        decision_values=tuple(sorted(values, key=repr)),
+        extras=(("invariant_violation", None),),
+    )
+
+
+def _ablation_fast_supported(spec: ScenarioSpec) -> bool:
+    """Which ablation arms the fast twin covers: non-hooked variants of
+    Algorithm 1 proper (the invariant-hook arm and the
+    :class:`MinOverAllProcess` line-27 variant stay on the reference
+    simulator by construction)."""
+    return not spec.opt("hooks", True) and not spec.opt("min_over_all")
+
+
 def standard_variants(n: int) -> list[tuple[str, dict]]:
-    """The DESIGN.md §4 variant matrix as (label, knobs) pairs."""
+    """The DESIGN.md §4 variant matrix as (label, knobs) pairs.
+
+    ``hooks`` marks the instrumentation arms.  ``window=2n`` is *the*
+    invariant-hook arm: an oversized window's unsoundness (stale Lemma-7
+    certificates) is invisible in the outcome columns and only the
+    runtime checkers catch it.  The completeness ablations (shrunk
+    windows, no pruning) and the paper configuration manifest in the
+    outcome columns themselves (termination failures, latency shifts,
+    agreement violations) and run non-hooked — which lets them ride the
+    batched fast path.  ``min over all received`` keeps its historical
+    instrumentation; it is reference-bound either way (bespoke line-27
+    transition)."""
     return [
-        ("paper (window=n, prune, PT-min)", {}),
-        ("window=n/2", {"purge_window": max(1, n // 2)}),
-        ("window=n-1", {"purge_window": n - 1}),
+        ("paper (window=n, prune, PT-min)", {"hooks": False}),
+        ("window=n/2", {"purge_window": max(1, n // 2), "hooks": False}),
+        ("window=n-1", {"purge_window": n - 1, "hooks": False}),
         ("window=2n", {"purge_window": 2 * n}),
-        ("no pruning", {"prune_unreachable": False}),
+        ("no pruning", {"prune_unreachable": False, "hooks": False}),
         ("min over all received", {"min_over_all": True}),
     ]
 
@@ -262,13 +345,20 @@ def ablation_outcomes(results: Sequence[ScenarioResult]) -> list[AblationOutcome
             for r in clean
             if r.last_decision_round is not None
         ]
+        # None = "no run of this variant was instrumented" (extras carry
+        # invariant_violation=None), not "checked and found clean".
+        instrumented = any(
+            r.extra("invariant_violation") is not None for r in members
+        )
         outcomes.append(
             AblationOutcome(
                 variant=variant,
                 runs=len(members),
                 invariant_violations=sum(
                     1 for r in members if r.extra("invariant_violation")
-                ),
+                )
+                if instrumented
+                else None,
                 agreement_violations=sum(
                     1
                     for r in clean
@@ -292,10 +382,11 @@ def run_ablation(
     purge_window: int | None = None,
     prune_unreachable: bool = True,
     min_over_all: bool = False,
+    hooks: bool = True,
     jobs: int = 1,
 ) -> AblationOutcome:
-    """Run one variant across seeds with full instrumentation (a thin
-    front over the registry runner + aggregator)."""
+    """Run one variant across seeds (a thin front over the registry
+    runner + aggregator); ``hooks`` attaches the lemma checkers."""
     specs = [
         ablation_spec(
             variant,
@@ -306,6 +397,7 @@ def run_ablation(
             purge_window=purge_window,
             prune_unreachable=prune_unreachable,
             min_over_all=min_over_all,
+            hooks=hooks,
         )
         for seed in seeds
     ]
@@ -368,7 +460,7 @@ def _ablation_render(results) -> tuple[str, int]:
     )
     paper = outcomes[0]
     clean = (
-        paper.invariant_violations == 0
+        paper.invariant_violations in (0, None)
         and paper.agreement_violations == 0
         and paper.termination_failures == 0
     )
@@ -400,7 +492,10 @@ register(
             r.last_decision_round,
         ],
         runner=run_ablation_scenario,
+        fast_result=fastpath_ablation_result,
+        fast_supported=_ablation_fast_supported,
         aggregate=_ablation_aggregate,
         defaults=(("k", 3), ("n", 9), ("noise", 0.35), ("seeds", 6)),
+        vectorizable=True,
     )
 )

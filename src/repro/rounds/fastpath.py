@@ -385,38 +385,54 @@ class FastPathTask:
     max_rounds: int | None = None
 
 
-def default_batch_size(n: int, max_rounds: int) -> int:
+def default_batch_size(
+    n: int, max_rounds: int, budget_bytes: int | None = None
+) -> int:
     """How many same-``n`` lanes one mega-batch should hold.
 
     Sized so the batch working set — the ``(S, R, n, n)`` schedule, the
     two ``(S, n, n, n)`` int32 label tensors, the ``(S·n, n, n)`` float32
     closure and its squaring buffer, and the presence mask — stays under
-    ``_BATCH_BUDGET_BYTES``, capped at ``_MAX_BATCH`` lanes (per-round
-    Python overhead is fully amortized long before that).
+    ``budget_bytes`` (default ``_BATCH_BUDGET_BYTES``), capped at
+    ``_MAX_BATCH`` lanes (per-round Python overhead is fully amortized
+    long before that).  ``budget_bytes`` is the ``campaign run
+    --batch-memory`` envelope: results are byte-identical whatever the
+    envelope, only the batch packing changes.
     """
     if n < 1 or max_rounds < 1:
         raise ValueError("need n >= 1 and max_rounds >= 1")
+    budget = _BATCH_BUDGET_BYTES if budget_bytes is None else budget_bytes
     per_lane = (
         max_rounds * n * n  # schedule prefix (bool)
         + 2 * 4 * n**3  # labels + new_labels (int32)
         + 2 * 4 * n**3  # closure + squaring buffer (float32)
         + n**3  # presence mask (bool)
     )
-    return max(1, min(_MAX_BATCH, _BATCH_BUDGET_BYTES // per_lane))
+    return max(1, min(_MAX_BATCH, budget // per_lane))
+
+
+# Compaction trigger: compress the lane axis when live lanes drop to
+# <= 3/4 of the allocated width (bounding masked-lane waste at ~33%)
+# or — with pending lanes queued — on any retirement, so freed width is
+# refilled immediately.
+_COMPACT_NUM, _COMPACT_DEN = 3, 4
 
 
 def simulate_fastpath_batch(
     tasks: Sequence[FastPathTask],
     stop_when_all_decided: bool = True,
     enforce_self_delivery: bool = True,
+    width: int | None = None,
+    compact: bool = True,
 ) -> list[FastPathRun]:
     """Execute a whole stack of same-``n`` Algorithm 1 runs at once.
 
-    The batched twin of :func:`simulate_fastpath`: ``S`` lanes share every
-    kernel call, so one ensemble round costs one batched BLAS closure and
-    a handful of ``(S, n, ...)`` reductions instead of ``S`` separate sets
-    of kernel launches — this is what amortizes the per-round call
-    overhead that caps the per-scenario fast path's small-``n`` speedup.
+    The batched twin of :func:`simulate_fastpath`: the live lanes share
+    every kernel call, so one ensemble round costs one batched BLAS
+    closure and a handful of ``(S, n, ...)`` reductions instead of ``S``
+    separate sets of kernel launches — this is what amortizes the
+    per-round call overhead that caps the per-scenario fast path's
+    small-``n`` speedup.
 
     Semantics are *exactly* :func:`simulate_fastpath` per lane:
 
@@ -426,81 +442,125 @@ def simulate_fastpath_batch(
       ``(count, start)``, which :meth:`Adversary.adjacency_stack`
       guarantees);
     * lanes that terminate early (everyone decided, or the lane's own
-      ``max_rounds`` budget ran out) are *masked out* of the commit
-      points rather than forcing ragged control flow: the batch keeps
-      rolling for the live lanes while retired lanes' decision state is
-      frozen;
+      ``max_rounds`` budget ran out) retire: their results are harvested
+      immediately and — with ``compact`` on — the surviving lanes are
+      compressed into a dense tensor program once enough width has been
+      freed, so a heterogeneous batch's kernel cost tracks the *live*
+      lane count instead of the allocated width (``compact=False``
+      reproduces the mask-only behavior: retired lanes stay allocated
+      and are merely masked out of the commit points);
     * per-lane knobs (``purge_window``, ``prune_unreachable``,
       ``max_rounds``) are vectorized, so heterogeneous lanes batch
       together as long as they share ``n``.
+
+    ``width`` caps the *concurrent* lane count: the first ``width`` tasks
+    are admitted up front and the rest queue, refilling freed width as
+    lanes retire (each late-admitted lane runs its own round clock — a
+    per-lane offset against the global loop counter — and fetches its
+    schedule through the same block contract, so admission time is
+    invisible to the result).  ``width=None`` admits every task at once.
+    With ``compact=False`` the queue instead drains in width-sized
+    *generations* — the next wave is admitted only once the current one
+    has fully retired — so the concurrent lane count (and therefore the
+    memory envelope) never exceeds ``width`` in either mode.
 
     Returns one :class:`FastPathRun` per task, in task order, each
     bit-identical to what ``simulate_fastpath`` would have produced for
     that lane alone — the differential suite
     (``tests/test_batched_equivalence.py``) enforces this across the
-    randomized scenario grid and every batch partition.
+    randomized scenario grid, every batch partition, compaction on/off
+    and every ``width``.
     """
     if not tasks:
         return []
     n = len(tasks[0].initial_values)
     if n < 1:
         raise ValueError("need at least one process")
-    ests = []
-    for task in tasks:
+    T = len(tasks)
+    # Per-task parameters, resolved up front (admission can happen
+    # mid-run; validation errors must surface before any lane executes).
+    t_est: list[np.ndarray] = []
+    t_provider: list = []
+    t_mr = np.empty(T, dtype=np.int64)
+    t_window = np.empty(T, dtype=np.int64)
+    t_prune = np.zeros(T, dtype=bool)
+    for t, task in enumerate(tasks):
         if len(task.initial_values) != n:
             raise ValueError(
                 "mega-batch lanes must share n; got "
                 f"{len(task.initial_values)} and {n}"
             )
-        ests.append(_as_int_estimates(task.initial_values))
-    S = len(tasks)
-    idx = np.arange(n)
-    eye = np.eye(n, dtype=bool)
-
-    # Per-lane round budgets, purge windows and prune flags (vectorized
-    # so the round loop never branches per lane).
-    mr = np.empty(S, dtype=np.int64)
-    window = np.empty(S, dtype=np.int64)
-    prune = np.zeros(S, dtype=bool)
-    providers: list = [None] * S
-    for s, task in enumerate(tasks):
-        providers[s], mr[s] = _normalize_schedule(
-            task.adjacency, n, task.max_rounds
-        )
-        if mr[s] < 1:
+        t_est.append(_as_int_estimates(task.initial_values))
+        provider, lane_mr = _normalize_schedule(task.adjacency, n, task.max_rounds)
+        if lane_mr < 1:
             raise ValueError("need at least one scheduled round")
         w = n if task.purge_window is None else task.purge_window
         if w < 1:
             raise ValueError("purge window must be >= 1")
-        window[s] = w
-        prune[s] = task.prune_unreachable
-    prune_all = bool(prune.all())
+        t_provider.append(provider)
+        t_mr[t] = lane_mr
+        t_window[t] = w
+        t_prune[t] = task.prune_unreachable
 
-    # The per-lane schedules, materialized block-wise with a per-lane
-    # ``filled`` watermark.  The first block covers rounds 1..n+1 (no
-    # decision can land before round n+1, so it is never wasted); tail
-    # blocks are deliberately *smaller* than the per-scenario path's —
-    # lanes decide within a few rounds of each other, and short tail
-    # blocks keep the batch from paying RNG draws for rounds nobody
-    # executes.  Block boundaries are invisible by the adjacency_stack
-    # contract (pure function of ``(count, start)``), so any fetch
-    # pattern observes the same run.
-    rmax = int(mr.max())
-    schedule = np.zeros((S, rmax, n, n), dtype=bool)
-    filled = np.zeros(S, dtype=np.int64)
+    width_limit = T if width is None else max(1, int(width))
+    idx = np.arange(n)
+    eye = np.eye(n, dtype=bool)
+    big = np.iinfo(np.int64).max
+    # Block-fetch sizes (see ensure below): the first block covers rounds
+    # 1..n+1 (no decision can land before round n+1, so it is never
+    # wasted); tail blocks are deliberately small so the batch never pays
+    # RNG draws for rounds nobody executes.  Block boundaries are
+    # invisible by the adjacency_stack contract (pure function of
+    # ``(count, start)``), so any fetch pattern observes the same run.
     first_block = max(n + 1, 8)
     tail_block = max(4, (n + 1) // 4)
 
-    def ensure(upto_round: int, lanes: np.ndarray) -> None:
+    results: list[FastPathRun | None] = [None] * T
+
+    # Lane state, axis 0 = lane.  ``origin`` maps a lane back to its
+    # task; ``offset`` is the global round at which the lane was admitted
+    # (its local round clock is ``r - offset``), so late-admitted lanes
+    # run the exact per-lane program of simulate_fastpath.
+    S = min(T, width_limit)
+    origin = np.arange(S, dtype=np.int64)
+    offset = np.zeros(S, dtype=np.int64)
+    mr = t_mr[:S].copy()
+    window = t_window[:S].copy()
+    prune = t_prune[:S].copy()
+    filled = np.zeros(S, dtype=np.int64)
+    schedule = np.zeros((S, int(mr.max()), n, n), dtype=bool)
+    pt = np.ones((S, n, n), dtype=bool)
+    est = np.stack(t_est[:S])
+    labels = np.zeros((S, n, n, n), dtype=np.int32)
+    nodes = np.broadcast_to(eye, (S, n, n)).copy()
+    decided = np.zeros((S, n), dtype=bool)
+    dec_round = np.zeros((S, n), dtype=np.int64)
+    dec_value = np.zeros((S, n), dtype=np.int64)
+    active = np.ones(S, dtype=bool)
+    next_task = S
+    new_labels = np.empty_like(labels)
+    # Until the first mid-run admission every lane shares the global
+    # clock (offset 0), and the per-round schedule gather degrades to
+    # the plain slice view of the uniform-clock kernel — the common
+    # case for homogeneous batches, kept allocation-free.
+    has_offsets = False
+    # Lane-composition invariants, recomputed only when lanes change.
+    prune_all = bool(prune.all())
+    prune_any = bool(prune.any())
+
+    def ensure(targets: np.ndarray, lanes: np.ndarray) -> None:
+        """Fetch each lane's schedule up to its local target round."""
         for s in np.nonzero(lanes)[0]:
             lane_cap = int(mr[s])
             have = int(filled[s])
-            if have >= min(upto_round, lane_cap):
+            if have >= min(int(targets[s]), lane_cap):
                 continue
             block = first_block if have == 0 else tail_block
-            upto = min(max(upto_round, min(have + block, lane_cap)), lane_cap)
+            upto = min(
+                max(int(targets[s]), min(have + block, lane_cap)), lane_cap
+            )
             fetched = np.asarray(
-                providers[s](upto - have, have + 1), dtype=bool
+                t_provider[int(origin[s])](upto - have, have + 1), dtype=bool
             )
             if fetched.shape != (upto - have, n, n):
                 raise ValueError(
@@ -512,35 +572,42 @@ def simulate_fastpath_batch(
                 schedule[s, have:upto, idx, idx] = True
             filled[s] = upto
 
-    # Batched state tensors: one lane axis in front of every per-scenario
-    # tensor of simulate_fastpath.
-    pt = np.ones((S, n, n), dtype=bool)
-    est = np.stack(ests)
-    labels = np.zeros((S, n, n, n), dtype=np.int32)
-    nodes = np.broadcast_to(eye, (S, n, n)).copy()
-    decided = np.zeros((S, n), dtype=bool)
-    dec_round = np.zeros((S, n), dtype=np.int64)
-    dec_value = np.zeros((S, n), dtype=np.int64)
-    big = np.iinfo(np.int64).max
-    active = np.ones(S, dtype=bool)
-    num_rounds = mr.copy()
-
-    new_labels = np.empty_like(labels)
+    def harvest(s: int, local_round: int) -> None:
+        results[int(origin[s])] = FastPathRun(
+            n=n,
+            num_rounds=local_round,
+            initial_values=tuple(
+                int(v) for v in tasks[int(origin[s])].initial_values
+            ),
+            decided=decided[s].copy(),
+            decision_round=dec_round[s].copy(),
+            decision_value=dec_value[s].copy(),
+            adjacency=schedule[s, :local_round].copy(),
+        )
 
     r = 0
-    while active.any():
+    while active.any() or next_task < T:
         r += 1
-        need = active & (filled < r)
+        S = origin.size
+        r_loc = r - offset  # per-lane local round numbers
+        need = active & (filled < r_loc)
         if need.any():
-            ensure(r, need)
+            ensure(r_loc, need)
         act = active[:, None]
         # Sending phase: freeze beginning-of-round estimates for every
         # lane (cheap at (S, n); the per-scenario copy-elision would need
         # a per-lane branch).
         sent_est = est.copy()
 
-        # Line 9 / equation (7), all lanes at once.
-        pt &= schedule[:, r - 1].transpose(0, 2, 1)
+        # Line 9 / equation (7), all lanes at once.  Retired lanes not
+        # yet compacted away have stale clocks; clamp their row index —
+        # their state is frozen out of every commit point by ``act``.
+        if has_offsets:
+            rows = np.minimum(r_loc, schedule.shape[1]) - 1
+            sched_now = schedule[np.arange(S), rows]
+        else:
+            sched_now = schedule[:, r - 1]
+        pt &= sched_now.transpose(0, 2, 1)
 
         # Lines 10-13: adopt from the smallest decided sender in PT_p.
         if decided.any():
@@ -549,9 +616,10 @@ def simulate_fastpath_batch(
             if adopt.any():
                 first_decider = np.argmax(adoptable, axis=2)
                 adopted = np.take_along_axis(sent_est, first_decider, axis=1)
+                rl_mat = np.broadcast_to(r_loc[:, None], (S, n))
                 est[adopt] = adopted[adopt]
                 decided |= adopt
-                dec_round[adopt] = r
+                dec_round[adopt] = rl_mat[adopt]
                 dec_value[adopt] = est[adopt]
 
         # Lines 14-23: reset + fresh in-edges + max-merge over senders.
@@ -567,11 +635,13 @@ def simulate_fastpath_batch(
             out=new_labels,
         )
         ss, ps, qs = np.nonzero(pt)
-        new_labels[ss, ps, qs, ps] = r
+        new_labels[ss, ps, qs, ps] = r_loc[ss]
         new_nodes = (pt @ nodes) | eye
 
-        # Line 24: purge, with per-lane windows.
-        present = new_labels > np.maximum(r - window, 0)[:, None, None, None]
+        # Line 24: purge, with per-lane windows on per-lane clocks.
+        present = (
+            new_labels > np.maximum(r_loc - window, 0)[:, None, None, None]
+        )
         new_labels *= present
 
         # Lines 25 + 28 from one batched closure over all S·n graphs.
@@ -587,7 +657,7 @@ def simulate_fastpath_batch(
             new_labels *= (
                 reaches_owner[:, :, :, None] & reaches_owner[:, :, None, :]
             )
-        elif prune.any():
+        elif prune_any:
             keep = (
                 reaches_owner[:, :, :, None] & reaches_owner[:, :, None, :]
             )
@@ -603,38 +673,118 @@ def simulate_fastpath_batch(
         else:
             update = undecided & act & pt.any(axis=2)
         est[update] = candidate[update]
-        # Lines 28-30: hub-criterion decide once r > n (n is shared, so
-        # eligibility is one scalar test for the whole batch).
-        if r > n:
+        # Lines 28-30: hub-criterion decide once the lane's *own* clock
+        # passes n (late-admitted lanes become eligible later; with a
+        # shared clock the test is one scalar comparison).
+        if (r > n) if not has_offsets else bool((r_loc > n).any()):
             reached_by_owner = closure[:, idx, idx, :]  # [s, p, j]: p -> j
             mutual = reaches_owner & reached_by_owner
             strongly_connected = (mutual | ~new_nodes).all(axis=2)
             newly = undecided & strongly_connected & act
+            if has_offsets:
+                newly &= (r_loc > n)[:, None]
             if newly.any():
+                rl_mat = np.broadcast_to(r_loc[:, None], (S, n))
                 decided |= newly
-                dec_round[newly] = r
+                dec_round[newly] = rl_mat[newly]
                 dec_value[newly] = est[newly]
 
         labels, new_labels = new_labels, labels
         nodes = new_nodes
-        # Retire lanes: everyone decided (num_rounds = this round), or
-        # the lane's own round budget is spent (num_rounds stays mr).
+        # Retire lanes: everyone decided, or the lane's own round budget
+        # is spent — either way its local clock is its round count.
+        retire = np.zeros(S, dtype=bool)
         if stop_when_all_decided:
-            done = active & decided.all(axis=1)
-            if done.any():
-                num_rounds[done] = r
-                active &= ~done
-        active &= mr > r
+            retire |= active & decided.all(axis=1)
+        retire |= active & (r_loc >= mr)
+        if retire.any():
+            for s in np.nonzero(retire)[0]:
+                harvest(int(s), int(r_loc[s]))
+            active &= ~retire
 
-    return [
-        FastPathRun(
-            n=n,
-            num_rounds=int(num_rounds[s]),
-            initial_values=tuple(int(v) for v in tasks[s].initial_values),
-            decided=decided[s].copy(),
-            decision_round=dec_round[s].copy(),
-            decision_value=dec_value[s].copy(),
-            adjacency=schedule[s, : int(num_rounds[s])].copy(),
-        )
-        for s in range(S)
-    ]
+        live = int(active.sum())
+        lanes_changed = False
+        # Compress the lane axis: with compaction on, whenever enough
+        # width has been freed (or pending lanes wait on it); with
+        # compaction off, only once a whole generation has retired —
+        # results are already harvested, and dropping the dead
+        # generation is what keeps the concurrent lane count (and the
+        # memory envelope) capped at ``width`` even without compaction.
+        if (live < S and compact and (
+            next_task < T or live * _COMPACT_DEN <= S * _COMPACT_NUM
+        )) or (live == 0 and S > 0 and next_task < T):
+            lanes_changed = True
+            keep = active
+            origin = origin[keep]
+            offset = offset[keep]
+            mr = mr[keep]
+            window = window[keep]
+            prune = prune[keep]
+            filled = filled[keep]
+            schedule = schedule[keep]
+            pt = pt[keep]
+            est = est[keep]
+            labels = labels[keep]
+            nodes = nodes[keep]
+            decided = decided[keep]
+            dec_round = dec_round[keep]
+            dec_value = dec_value[keep]
+            active = active[keep]
+            live = origin.size
+        # Admission: with compaction on, refill freed width mid-run;
+        # with compaction off, start the next width-sized generation
+        # only once the current one has fully retired (mask-only
+        # semantics within each generation, width never exceeded).
+        if next_task < T and live < width_limit and (compact or live == 0):
+            lanes_changed = True
+            take = min(width_limit - live, T - next_task)
+            admitted = np.arange(next_task, next_task + take, dtype=np.int64)
+            next_task += take
+            rmax = int(t_mr[admitted].max())
+            if origin.size == 0:
+                schedule = np.zeros((0, rmax, n, n), dtype=bool)
+            elif schedule.shape[1] < rmax:
+                grown = np.zeros((origin.size, rmax, n, n), dtype=bool)
+                grown[:, : schedule.shape[1]] = schedule
+                schedule = grown
+            else:
+                rmax = schedule.shape[1]
+            origin = np.concatenate([origin, admitted])
+            offset = np.concatenate(
+                [offset, np.full(take, r, dtype=np.int64)]
+            )
+            has_offsets = True  # admissions only happen mid-run (r >= 1)
+            mr = np.concatenate([mr, t_mr[admitted]])
+            window = np.concatenate([window, t_window[admitted]])
+            prune = np.concatenate([prune, t_prune[admitted]])
+            filled = np.concatenate(
+                [filled, np.zeros(take, dtype=np.int64)]
+            )
+            schedule = np.concatenate(
+                [schedule, np.zeros((take, rmax, n, n), dtype=bool)]
+            )
+            pt = np.concatenate([pt, np.ones((take, n, n), dtype=bool)])
+            est = np.concatenate([est, np.stack([t_est[t] for t in admitted])])
+            labels = np.concatenate(
+                [labels, np.zeros((take, n, n, n), dtype=np.int32)]
+            )
+            nodes = np.concatenate(
+                [nodes, np.broadcast_to(eye, (take, n, n)).copy()]
+            )
+            decided = np.concatenate(
+                [decided, np.zeros((take, n), dtype=bool)]
+            )
+            dec_round = np.concatenate(
+                [dec_round, np.zeros((take, n), dtype=np.int64)]
+            )
+            dec_value = np.concatenate(
+                [dec_value, np.zeros((take, n), dtype=np.int64)]
+            )
+            active = np.concatenate([active, np.ones(take, dtype=bool)])
+        if lanes_changed:
+            if new_labels.shape != labels.shape:
+                new_labels = np.empty_like(labels)
+            prune_all = bool(prune.all())
+            prune_any = bool(prune.any())
+
+    return results

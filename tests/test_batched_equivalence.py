@@ -17,7 +17,14 @@ ways:
   between ``jobs=1`` and ``jobs=N`` runs;
 * **family-level equivalence** for every registered family that supports
   the batched backend, including the ``eventual`` family's fast-result
-  twin (extras and all).
+  twin (extras and all) and the ``ablation`` family's per-arm routing;
+* a **heterogeneous-latency grid** (mixed noise/adversary, so lanes of
+  one batch retire at wildly different rounds) pinning that the batch
+  scheduler's lane **compaction** and width **refill** are pure
+  execution-shape knobs: canonical lines equal across all three
+  backends, journal bytes invariant under compaction on/off, batch
+  shuffle, a degenerate ``--batch-memory`` envelope and
+  ``--jobs {1, 2, 4}``.
 
 ``scripts/smoke.sh`` additionally byte-compares whole campaign summaries
 produced by the three backends through the CLI on every change.
@@ -425,19 +432,22 @@ class TestBatchedDispatch:
         assert not batch_compatible(figure1)
 
     def test_envelope_sized_for_largest_round_budget(self, monkeypatch):
-        # The memory cap must account for the largest max_rounds in a
-        # segment, not just the first spec's — the shared schedule stack
-        # is (S, max-over-lanes-R, n, n).
-        import repro.engine.backends as backends
+        # The memory cap must account for the largest max_rounds sharing
+        # a batch, not just the first spec's — the shared schedule stack
+        # is (S, max-over-lanes-R, n, n).  The scheduler buckets round
+        # budgets by power-of-two ceiling, so wildly different budgets
+        # land in *different* batches and each width is computed from
+        # its own group's largest budget.
+        import repro.engine.scheduler as scheduler
 
         calls = []
-        real = backends.default_batch_size
+        real = scheduler.default_batch_size
 
-        def spy(n, rounds):
+        def spy(n, rounds, budget_bytes=None):
             calls.append((n, rounds))
-            return real(n, rounds)
+            return real(n, rounds, budget_bytes=budget_bytes)
 
-        monkeypatch.setattr(backends, "default_batch_size", spy)
+        monkeypatch.setattr(scheduler, "default_batch_size", spy)
         specs = [
             ScenarioSpec(n=5, k=2, num_groups=2, seed=0, max_rounds=10),
             ScenarioSpec(n=5, k=2, num_groups=2, seed=1, max_rounds=500),
@@ -449,6 +459,9 @@ class TestBatchedDispatch:
                 execute_scenario(spec)
             )
         assert (5, 500) in calls
+        # The 500-round lane must not have inflated the other groups'
+        # schedule stacks: every width call saw its own group's budget.
+        assert (5, 10) in calls and (5, 20) in calls
 
     def test_default_batch_size_envelope(self):
         assert default_batch_size(6, 56) >= 2
@@ -456,8 +469,211 @@ class TestBatchedDispatch:
         # The envelope shrinks as lanes get heavier, never below 1.
         assert default_batch_size(200, 1220) >= 1
         assert default_batch_size(200, 1220) <= default_batch_size(6, 56)
+        # --batch-memory plumbs straight into the budget: a tiny
+        # envelope degrades the width to 1 lane, never below.
+        assert default_batch_size(6, 56, budget_bytes=1) == 1
+        assert default_batch_size(6, 56, budget_bytes=2**40) == 64
         with pytest.raises(ValueError):
             default_batch_size(0, 10)
+
+
+# ----------------------------------------------------------------------
+# Lane compaction: heterogeneous-latency batches, scheduler-planned
+# ----------------------------------------------------------------------
+def _hetero_grid() -> list[ScenarioSpec]:
+    """A same-``n``-heavy grid whose lanes retire at wildly different
+    rounds: quiet grouped lanes decide just past ``r > n`` while noisy,
+    crashed and partitioned lanes straggle (some to their full round
+    budget) — the worst case for mask-only batching, the target case
+    for compaction.  The noise/adversary axes are *interleaved* so the
+    historical contiguous-segment packing would also have fragmented it.
+    """
+    specs: list[ScenarioSpec] = []
+    for seed in range(3):
+        for n in (7, 9):
+            specs.append(
+                ScenarioSpec(n=n, k=2, num_groups=2, seed=seed, noise=0.0)
+            )
+            specs.append(
+                ScenarioSpec(n=n, k=2, num_groups=2, seed=seed, noise=0.5)
+            )
+            specs.append(
+                ScenarioSpec(
+                    n=n, k=2, seed=seed, adversary="crash",
+                    options=(("f", max(1, n // 3)),),
+                )
+            )
+            specs.append(
+                ScenarioSpec(
+                    n=n, k=2, seed=seed, adversary="partition",
+                    options=(("k_env", 2),),
+                )
+            )
+            specs.append(
+                ScenarioSpec(
+                    n=n, k=2, num_groups=2, seed=seed, noise=0.3,
+                    options=(("purge_window", n - 1),),
+                )
+            )
+    return specs
+
+
+HETERO_GRID = _hetero_grid()
+
+
+class TestCompactionEquivalence:
+    """Compaction and refill are pure execution-shape knobs: results,
+    journal bytes and summaries are identical with compaction on/off,
+    at any kernel width, under batch shuffle and at any jobs count."""
+
+    def test_kernel_compaction_width_refill_equivalence(self):
+        specs = [s for s in HETERO_GRID if s.n == 9]
+        singles = [
+            simulate_fastpath(
+                t.adjacency, list(t.initial_values), max_rounds=t.max_rounds
+            )
+            for t in _tasks(specs)
+        ]
+        expected = [_run_key(r) for r in singles]
+        for kwargs in (
+            {"compact": False},
+            {"compact": True},
+            {"compact": True, "width": 3},
+            {"compact": False, "width": 3},
+            {"compact": True, "width": 1},
+        ):
+            got = simulate_fastpath_batch(_tasks(specs), **kwargs)
+            assert [_run_key(r) for r in got] == expected, kwargs
+
+    @pytest.mark.parametrize("compact", [True, False])
+    def test_width_caps_concurrent_lanes(self, compact, monkeypatch):
+        # The memory envelope is a hard cap in both modes: refill
+        # (compact on) and generation drain (compact off) must never
+        # run the kernel wider than ``width`` lanes.
+        import repro.rounds.fastpath as fastpath
+
+        specs = [s for s in HETERO_GRID if s.n == 9]
+        n = 9
+        peak = 0
+        real = fastpath.batched_transitive_closure
+
+        def spy(stack, **kwargs):
+            nonlocal peak
+            peak = max(peak, stack.shape[0] // n)
+            return real(stack, **kwargs)
+
+        monkeypatch.setattr(fastpath, "batched_transitive_closure", spy)
+        singles = [
+            simulate_fastpath(
+                t.adjacency, list(t.initial_values), max_rounds=t.max_rounds
+            )
+            for t in _tasks(specs)
+        ]
+        peak = 0
+        runs = simulate_fastpath_batch(
+            _tasks(specs), width=3, compact=compact
+        )
+        assert peak <= 3
+        assert [_run_key(r) for r in runs] == [_run_key(r) for r in singles]
+
+    @pytest.mark.parametrize(
+        "spec", HETERO_GRID, ids=lambda s: f"{s.adversary}-n{s.n}-{s.seed}"
+    )
+    def test_three_backends_agree_on_hetero_grid(self, spec):
+        line = canonical_line(execute_scenario(spec))
+        assert canonical_line(execute_scenario_vectorized(spec)) == line
+        assert canonical_line(
+            execute_scenario_with_backend(spec, BACKEND_BATCHED)
+        ) == line
+
+    def test_journal_bytes_invariant_under_compaction_and_shuffle(self):
+        serial = execute_scenarios(HETERO_GRID, backend=BACKEND_BATCHED)
+        expected = {
+            r.scenario_id: journal_line(r) for r in serial
+        }
+        no_compact = execute_scenarios(
+            HETERO_GRID, backend=BACKEND_BATCHED, compact=False
+        )
+        assert [journal_line(r) for r in no_compact] == [
+            journal_line(r) for r in serial
+        ]
+        shuffled = list(HETERO_GRID)
+        random.Random(11).shuffle(shuffled)
+        for spec, result in zip(
+            shuffled, execute_scenarios(shuffled, backend=BACKEND_BATCHED)
+        ):
+            assert journal_line(result) == expected[spec.scenario_id]
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_journal_bytes_invariant_across_jobs(self, jobs):
+        serial = execute_scenarios(HETERO_GRID, backend=BACKEND_BATCHED)
+        results = execute_scenarios(
+            HETERO_GRID, jobs=jobs, backend=BACKEND_BATCHED
+        )
+        assert [journal_line(r) for r in results] == [
+            journal_line(r) for r in serial
+        ]
+
+    def test_hetero_summaries_byte_identical_across_backends(self, tmp_path):
+        payloads = {}
+        for backend in (BACKEND_REFERENCE, BACKEND_VECTORIZED, BACKEND_BATCHED):
+            campaign = Campaign(
+                HETERO_GRID,
+                store=tmp_path / f"journal_{backend}.jsonl",
+                backend=backend,
+            )
+            report = campaign.run()
+            assert report.errors == 0 and report.timeouts == 0
+            summary = tmp_path / f"summary_{backend}.jsonl"
+            campaign.write_summary(summary)
+            payloads[backend] = summary.read_bytes()
+        assert payloads[BACKEND_REFERENCE] == payloads[BACKEND_VECTORIZED]
+        assert payloads[BACKEND_REFERENCE] == payloads[BACKEND_BATCHED]
+
+    def test_tiny_batch_memory_envelope_keeps_journal_bytes(self, tmp_path):
+        # campaign run --batch-memory: a degenerate 1-MiB envelope packs
+        # one-lane batches; journals must stay byte-identical.
+        blobs = {}
+        for label, batch_memory in (("default", None), ("tiny", 2**20)):
+            store = tmp_path / f"journal_{label}.jsonl"
+            campaign = Campaign(
+                FIXED_SPECS,
+                store=store,
+                backend=BACKEND_BATCHED,
+                batch_memory=batch_memory,
+            )
+            report = campaign.run()
+            assert report.errors == 0 and report.timeouts == 0
+            summary = tmp_path / f"summary_{label}.jsonl"
+            campaign.write_summary(summary)
+            blobs[label] = (
+                sorted(store.read_text().splitlines()),
+                summary.read_bytes(),
+            )
+        assert blobs["default"] == blobs["tiny"]
+
+    def test_cli_batch_memory_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_a = tmp_path / "a.jsonl"
+        store_b = tmp_path / "b.jsonl"
+        args = ["-n", "6", "-k", "2", "--seeds", "2", "--no-progress"]
+        code_a = main(
+            ["campaign", "run", "--store", str(store_a), "--backend",
+             "batched", "--summary", str(tmp_path / "a_sum.jsonl")] + args
+        )
+        code_b = main(
+            ["campaign", "run", "--store", str(store_b), "--backend",
+             "batched", "--batch-memory", "1",
+             "--summary", str(tmp_path / "b_sum.jsonl")] + args
+        )
+        assert code_a == 0 and code_b == 0
+        assert sorted(store_a.read_text().splitlines()) == sorted(
+            store_b.read_text().splitlines()
+        )
+        assert (tmp_path / "a_sum.jsonl").read_bytes() == (
+            tmp_path / "b_sum.jsonl"
+        ).read_bytes()
 
 
 # ----------------------------------------------------------------------
@@ -489,9 +705,45 @@ class TestFamilyBatched:
             assert ref.extras == bat.extras
             assert isinstance(bat.extra("all_decided_own"), bool)
 
-    def test_reference_only_family_rejects_batched(self):
+    def test_ablation_auto_routes_vectorizable_arms(self):
+        # The ablation family's non-hooked variants carry a fast twin:
+        # under auto they ride the batched kernel while the invariant-
+        # hook arm and the bespoke line-27 variant stay on the reference
+        # simulator — with byte-identical canonical lines throughout.
+        params = {"n": 6, "k": 2, "seeds": 2}
+        reference = run_family("ablation", params, backend=BACKEND_REFERENCE)
+        auto = run_family("ablation", params, backend=BACKEND_AUTO)
+        assert [canonical_line(r) for r in reference] == [
+            canonical_line(r) for r in auto
+        ]
+        by_variant: dict[str, set] = {}
+        for r in auto:
+            by_variant.setdefault(r.spec.opt("variant"), set()).add(r.backend)
+        assert by_variant["paper (window=n, prune, PT-min)"] == {"batched"}
+        assert by_variant["window=n/2"] == {"batched"}
+        assert by_variant["no pruning"] == {"batched"}
+        assert by_variant["window=2n"] == {"reference"}
+        assert by_variant["min over all received"] == {"reference"}
+
+    def test_ablation_batch_compatibility_is_per_arm(self):
+        from repro.experiments.ablation import ablation_spec
+
+        assert batch_compatible(
+            ablation_spec("paper", 6, 2, 0, hooks=False)
+        )
+        assert not batch_compatible(ablation_spec("hooked", 6, 2, 0))
+        assert not batch_compatible(
+            ablation_spec("m", 6, 2, 0, min_over_all=True, hooks=False)
+        )
+
+    def test_partial_coverage_family_rejects_forced_fast_backends(self):
+        # Partial fast-path coverage is auto-only: forcing batched or
+        # vectorized on the ablation family is rejected up front (its
+        # reference-only arms would come back as error records).
         with pytest.raises(ValueError, match="does not support"):
             family_campaign("ablation", backend=BACKEND_BATCHED)
+        with pytest.raises(ValueError, match="does not support"):
+            family_campaign("ablation", backend=BACKEND_VECTORIZED)
 
 
 # ----------------------------------------------------------------------

@@ -70,8 +70,20 @@ class TestRegistryBasics:
         assert "unknown experiment family" in result.error
 
     def test_forced_vectorized_on_custom_runner_family_errors(self):
-        spec = get_family("ablation").grid({"n": 5, "k": 2, "seeds": 1})[0]
-        result = run_registered_scenario(spec, "vectorized")
+        # The ablation grid mixes fast-path-covered arms (non-hooked
+        # variants, which a forced fast backend *can* run via the twin)
+        # with reference-only arms (the invariant-hook arm), which must
+        # come back as explicit errors — and partial coverage means the
+        # family as a whole rejects a forced fast backend up front.
+        grid = get_family("ablation").grid({"n": 5, "k": 2, "seeds": 1})
+        covered = next(
+            s for s in grid if not s.opt("hooks", True)
+            and not s.opt("min_over_all")
+        )
+        hooked = next(s for s in grid if s.opt("hooks", True))
+        ok = run_registered_scenario(covered, "vectorized")
+        assert ok.status == "ok" and ok.backend == "vectorized"
+        result = run_registered_scenario(hooked, "vectorized")
         assert result.status == "error"
         assert "FastPathUnsupported" in result.error
         with pytest.raises(ValueError, match="does not support backend"):
@@ -143,8 +155,9 @@ class TestAblationFamily:
     @staticmethod
     def _historical_outcome(variant, n, k, seeds, noise=0.35,
                             purge_window=None, prune_unreachable=True,
-                            min_over_all=False):
-        """The pre-registry driver loop, verbatim."""
+                            min_over_all=False, hooks=True):
+        """The pre-registry driver loop (hook attachment now follows the
+        variant's instrumentation flag — see standard_variants)."""
         from repro.adversaries.grouped import GroupedSourceAdversary
         from repro.analysis.properties import check_agreement_properties
         from repro.core.algorithm import SkeletonAgreementProcess
@@ -173,7 +186,7 @@ class TestAblationFamily:
             ]
             sim = RoundSimulator(
                 procs, adv, SimulationConfig(max_rounds=8 * n),
-                invariant_hooks=[make_invariant_hook()],
+                invariant_hooks=[make_invariant_hook()] if hooks else [],
             )
             try:
                 run = sim.run()
@@ -190,7 +203,7 @@ class TestAblationFamily:
                 max_decide = max(max_decide or 0, max(rounds))
         return AblationOutcome(
             variant=variant, runs=len(seeds),
-            invariant_violations=invariant_violations,
+            invariant_violations=invariant_violations if hooks else None,
             agreement_violations=agreement_violations,
             termination_failures=termination_failures,
             max_decision_round=max_decide,

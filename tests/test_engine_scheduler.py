@@ -1,0 +1,233 @@
+"""The batch scheduler: planning, determinism, progress reporting.
+
+Execution equivalence (compaction, refill, jobs/partition invariance)
+lives in ``tests/test_batched_equivalence.py``; this file pins the
+*planning* layer — global grouping, round-budget buckets, memory
+envelopes, deterministic plans — and the plan-derived progress reporter.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.engine.executor import ScenarioResult
+from repro.engine.scenarios import ScenarioSpec
+from repro.engine.scheduler import (
+    BATCH_DEPTH,
+    BatchPlan,
+    ProgressReporter,
+    plan_batches,
+    round_bucket,
+)
+from repro.rounds.fastpath import default_batch_size
+
+
+def _grouped(n, seed, noise=0.2, max_rounds=None):
+    return ScenarioSpec(
+        n=n, k=2, num_groups=2, seed=seed, noise=noise, max_rounds=max_rounds
+    )
+
+
+UNSUPPORTED = ScenarioSpec(
+    n=7, k=2, adversary="crash", algorithm="floodmin", options=(("f", 1),)
+)
+
+
+class TestRoundBucket:
+    def test_power_of_two_ceiling(self):
+        assert round_bucket(1) == 1
+        assert round_bucket(2) == 2
+        assert round_bucket(3) == 4
+        assert round_bucket(56) == 64
+        assert round_bucket(64) == 64
+        assert round_bucket(500) == 512
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            round_bucket(0)
+
+
+class TestPlanBatches:
+    def test_interleaved_grid_groups_globally(self):
+        # n alternates spec by spec: the historical contiguous-segment
+        # packing would have produced 8 one-lane batches; the planner
+        # packs one batch per n.
+        specs = []
+        for seed in range(4):
+            specs.append(_grouped(6, seed))
+            specs.append(_grouped(8, seed))
+        plan = plan_batches(list(enumerate(specs)))
+        assert len(plan.batches) == 2
+        assert sorted(b.n for b in plan.batches) == [6, 8]
+        assert not plan.singles
+        for batch in plan.batches:
+            assert [spec.n for _, spec in batch.items] == [batch.n] * 4
+        # Every work-list index appears exactly once.
+        indices = sorted(
+            idx for b in plan.batches for idx, _ in b.items
+        )
+        assert indices == list(range(len(specs)))
+
+    def test_incompatible_specs_become_singles_in_order(self):
+        specs = [_grouped(6, 0), UNSUPPORTED, _grouped(6, 1), UNSUPPORTED]
+        plan = plan_batches(list(enumerate(specs)))
+        assert len(plan.batches) == 1
+        assert [idx for idx, _ in plan.singles] == [1, 3]
+        assert plan.total == 4
+        assert plan.batched_lanes == 2
+
+    def test_round_budget_buckets_split_groups(self):
+        specs = [
+            _grouped(6, 0, max_rounds=10),
+            _grouped(6, 1, max_rounds=500),
+            _grouped(6, 2, max_rounds=12),
+        ]
+        plan = plan_batches(list(enumerate(specs)))
+        buckets = sorted(b.bucket for b in plan.batches)
+        # 10 and 12 share the 16-round bucket; 500 lands alone in 512.
+        assert buckets == [16, 512]
+        by_bucket = {b.bucket: b for b in plan.batches}
+        assert by_bucket[16].lanes == 2
+        # Each width is computed from its own group's largest budget,
+        # so the 500-round lane cannot shrink the short lanes' batches.
+        assert by_bucket[512].width == default_batch_size(6, 500)
+        assert by_bucket[16].width == default_batch_size(6, 12)
+
+    def test_batches_capped_at_depth_times_width(self):
+        n, rounds = 6, 6 * 6 + 20
+        width = default_batch_size(n, rounds)
+        total = width * BATCH_DEPTH + 3
+        specs = [_grouped(n, seed) for seed in range(total)]
+        plan = plan_batches(list(enumerate(specs)))
+        assert [b.lanes for b in plan.batches] == [width * BATCH_DEPTH, 3]
+        assert all(b.width == width for b in plan.batches)
+
+    def test_jobs_split_spreads_one_group_across_workers(self):
+        # A homogeneous campaign must not serialize onto one pool
+        # worker: with jobs > 1 a large group is cut into at least
+        # ~jobs batches (never thinner than MIN_SPLIT_LANES lanes),
+        # and execution results stay a pure function of the spec.
+        from repro.engine.executor import execute_scenarios
+        from repro.engine.store import journal_line
+
+        specs = [_grouped(6, seed) for seed in range(24)]
+        items = list(enumerate(specs))
+        assert len(plan_batches(items, jobs=1).batches) == 1
+        # jobs=4 wants 6-lane cuts, but the MIN_SPLIT_LANES floor keeps
+        # batches at >= 8 lanes (kernel amortization beats one idle
+        # worker at this size).
+        assert [b.lanes for b in plan_batches(items, jobs=4).batches] == [
+            8, 8, 8,
+        ]
+        # Tiny groups are not shredded below MIN_SPLIT_LANES.
+        small = list(enumerate(specs[:10]))
+        assert [b.lanes for b in plan_batches(small, jobs=8).batches] == [
+            8, 2,
+        ]
+        serial = execute_scenarios(specs, backend="batched")
+        split = execute_scenarios(specs, jobs=4, backend="batched")
+        assert [journal_line(r) for r in split] == [
+            journal_line(r) for r in serial
+        ]
+
+    def test_batch_memory_envelope_shrinks_width(self):
+        specs = [_grouped(6, seed) for seed in range(5)]
+        tiny = plan_batches(list(enumerate(specs)), batch_memory=1)
+        assert all(b.width == 1 for b in tiny.batches)
+        assert [b.lanes for b in tiny.batches] == [BATCH_DEPTH, 1]
+
+    def test_plan_is_deterministic(self):
+        specs = [_grouped(n, seed) for seed in range(3) for n in (5, 6, 7)]
+        specs.append(UNSUPPORTED)
+        a = plan_batches(list(enumerate(specs)))
+        b = plan_batches(list(enumerate(specs)))
+        assert a == b
+        assert isinstance(a, BatchPlan)
+        assert "batches" in a.describe() and "singles" in a.describe()
+
+
+class TestProgressReporter:
+    @staticmethod
+    def _results(specs):
+        return [ScenarioResult(spec=spec) for spec in specs]
+
+    def test_emits_rate_batches_and_eta(self):
+        specs = [_grouped(6, seed) for seed in range(4)]
+        plan = plan_batches(list(enumerate(specs)))
+        stream = io.StringIO()
+        ticks = iter(x * 0.5 for x in range(100))
+        reporter = ProgressReporter(
+            total=len(specs),
+            label="latency",
+            plan=plan,
+            stream=stream,
+            interval=0.0,
+            clock=lambda: next(ticks),
+        )
+        for result in self._results(specs):
+            reporter.update(result)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == len(specs)
+        assert lines[0].startswith("[latency] 1/4 scenarios (25%)")
+        assert "/s" in lines[0]
+        assert "eta" in lines[0]
+        # The final line reports the completed plan and drops the ETA.
+        assert lines[-1].startswith("[latency] 4/4 scenarios (100%)")
+        assert f"batch {len(plan.batches)}/{len(plan.batches)}" in lines[-1]
+        assert "eta" not in lines[-1]
+
+    def test_throttles_to_interval_but_always_emits_final(self):
+        specs = [_grouped(6, seed) for seed in range(10)]
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=len(specs),
+            stream=stream,
+            interval=1000.0,
+            clock=lambda: 0.0,
+        )
+        for result in self._results(specs):
+            reporter.update(result)
+        lines = stream.getvalue().splitlines()
+        # One initial line (first update is always due) + the final one.
+        assert len(lines) == 2
+        assert lines[-1].startswith("[campaign] 10/10")
+
+    def test_without_plan_no_batch_column(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, stream=stream, clock=lambda: 0.0)
+        reporter.update(self._results([_grouped(6, 0)])[0])
+        assert "batch" not in stream.getvalue()
+
+
+class TestCampaignProgress:
+    def test_campaign_run_reports_progress_to_stream(self, tmp_path):
+        from repro.engine.registry import family_campaign
+
+        stream = io.StringIO()
+        campaign = family_campaign(
+            "latency",
+            {"n": [5], "seeds": 2, "noise": (0.1,)},
+            store=tmp_path / "j.jsonl",
+        )
+        campaign.run(progress=stream)
+        out = stream.getvalue()
+        assert "[latency]" in out
+        assert "scenarios" in out and "/s" in out
+        assert "batch" in out  # derived from the batch plan (auto backend)
+
+    def test_progress_off_by_default_and_resume_silent(self, tmp_path):
+        from repro.engine.registry import family_campaign
+
+        stream = io.StringIO()
+        campaign = family_campaign(
+            "latency",
+            {"n": [5], "seeds": 1, "noise": (0.1,)},
+            store=tmp_path / "j.jsonl",
+        )
+        campaign.run()  # no progress arg: nothing anywhere but the store
+        # A fully-resumed campaign has nothing to report even with
+        # progress on (zero-scenario runs must not print a line).
+        campaign.run(progress=stream)
+        assert stream.getvalue() == ""
