@@ -178,6 +178,30 @@ def record_fastpath():
 
 
 @pytest.fixture
+def record_telemetry():
+    """Upsert the telemetry-overhead measurement into BENCH_FASTPATH.json
+    under a top-level ``"telemetry"`` key.  :func:`record_fastpath`
+    rewrites the file but preserves unknown top-level keys, so the two
+    recorders coexist."""
+
+    def _record(entry: dict) -> None:
+        data: dict = {}
+        if BENCH_FASTPATH_PATH.exists():
+            try:
+                data = json.loads(BENCH_FASTPATH_PATH.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        if not isinstance(data, dict):
+            data = {}
+        data["telemetry"] = entry
+        BENCH_FASTPATH_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _record
+
+
+@pytest.fixture
 def emit(capsys):
     """Print an experiment table and upsert it into results.txt."""
 

@@ -340,6 +340,127 @@ def test_bench_fastpath_hetero_latency(benchmark, emit, record_fastpath):
     )
 
 
+def _interleaved_best(
+    fns,
+    pairs,
+    min_repeats: int = 7,
+    max_repeats: int = 60,
+    converge: float = 0.015,
+) -> tuple[list[float], bool]:
+    """Best-of wall-clock per candidate with *interleaved* repeats.
+
+    Interleaving means slow drift (thermal throttling, background load)
+    hits every candidate in the same round, and the in-round order
+    rotates each round so no candidate systematically rides a
+    periodic-load pattern; the per-candidate minimum is the floor
+    estimator.  Each ``(i, j)`` in ``pairs`` names two candidates
+    running the *same* workload (an A/A pair): rounds continue past
+    ``min_repeats`` until every pair's minima agree within ``converge``,
+    so ratios between floors measure code, not scheduler luck — per-run
+    noise on a loaded box runs several percent, while the floors of
+    identical code converge given enough samples (minima only ever
+    improve).  Returns ``(floors, converged)``; a ``False`` flag means
+    the box was too noisy to resolve ``converge`` within
+    ``max_repeats`` rounds."""
+    best = [float("inf")] * len(fns)
+    for fn in fns:  # warm caches/allocators outside the timed rounds
+        fn()
+    converged = False
+    for r in range(max_repeats):
+        for i in range(len(fns)):
+            j = (i + r) % len(fns)
+            t0 = time.perf_counter()
+            fns[j]()
+            best[j] = min(best[j], time.perf_counter() - t0)
+        converged = r + 1 >= min_repeats and all(
+            max(best[i], best[j]) / min(best[i], best[j]) - 1 < converge
+            for i, j in pairs
+        )
+        if converged:
+            break
+    return best, converged
+
+
+def test_bench_telemetry_overhead(benchmark, emit, record_telemetry):
+    """TELEMETRY: the recorder must be zero-cost when off.
+
+    Times the TERMINATION-style batched ensemble four ways — an A/A pair
+    with the recorder off and an A/A pair with a live recorder.  The
+    off/off pair ratio is both the measurement noise floor and the
+    recorder-off overhead (since "off" *is* the instrumented code with
+    the null recorder): enforced < 2%.  Once both pairs converge the
+    floors are trustworthy, so the on/off overhead is enforced at a
+    generous < 5% (measured ~1%).  A box too noisy for both A/A pairs to
+    converge within the round cap cannot resolve either bound — that is
+    a measurement outcome, not a regression, and skips.
+    """
+    import pytest
+
+    from repro.engine.telemetry import Recorder
+
+    specs = termination_grid(ns=[9, 12, 16], seeds=range(48), noise=0.15)
+
+    def _off():
+        execute_scenarios(specs, backend="batched")
+
+    def _on():
+        execute_scenarios(specs, backend="batched", recorder=Recorder())
+
+    (off_a, off_b, on_a, on_b), converged = benchmark.pedantic(
+        lambda: _interleaved_best(
+            [_off, _off, _on, _on], pairs=[(0, 1), (2, 3)]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    if not converged:
+        pytest.skip(
+            "A/A timing pairs did not converge within the round cap — "
+            "the box is too noisy to resolve the 2% overhead guard"
+        )
+    off_s = min(off_a, off_b)
+    on_s = min(on_a, on_b)
+    off_overhead = max(off_a, off_b) / off_s - 1.0
+    on_overhead = on_s / off_s - 1.0
+    assert off_overhead < 0.02, (
+        f"recorder-off A/A ratio {off_overhead:.2%} >= 2% — the "
+        "null-recorder path is no longer measurement-stable"
+    )
+    assert on_overhead < 0.05, (
+        f"live-recorder overhead {on_overhead:.2%} >= 5% — recording "
+        "got expensive; check for unguarded hot-loop instrumentation"
+    )
+    record_telemetry(
+        {
+            "workload": "TERMINATION-style batched ensemble "
+            f"(ns=[9,12,16], {len(specs)} scenarios)",
+            "recorder_off_s": round(off_s, 4),
+            "recorder_on_s": round(on_s, 4),
+            "recorder_off_overhead": round(off_overhead, 4),
+            "recorder_on_overhead": round(on_overhead, 4),
+            "method": "interleaved best-of-N over two A/A pairs "
+            "(off/off + on/on), N adaptive until both converge "
+            "(7..60 rounds)",
+        }
+    )
+    emit(
+        format_table(
+            ["variant", "wall_ms", "overhead"],
+            [
+                ["recorder off", round(off_s * 1e3, 1), "baseline"],
+                [
+                    "recorder off (A/A twin)",
+                    round(max(off_a, off_b) * 1e3, 1),
+                    f"{off_overhead:+.1%}",
+                ],
+                ["recorder on", round(on_s * 1e3, 1), f"{on_overhead:+.1%}"],
+            ],
+            title="TELEMETRY — recorder overhead on the batched ensemble "
+            "(off/off pair bounds noise; off <2%, on <5% enforced)",
+        )
+    )
+
+
 def test_bench_fastpath_latency_dist(benchmark, emit, record_fastpath):
     scaling = [
         (

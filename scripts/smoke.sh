@@ -9,6 +9,9 @@
 # to be independent of the jobs count / batch partition, and a
 # scheduler-planned heterogeneous-latency family leg (--jobs 2, tiny
 # --batch-memory envelope) is diffed against the serial reference run.
+# A final telemetry leg records a --metrics sidecar (schema-validated,
+# all four engine sections non-zero) and byte-compares the journal
+# against a metrics-off run.
 #
 # Usage: scripts/smoke.sh [extra pytest args...]
 
@@ -162,6 +165,39 @@ python -m repro campaign report --family latency --aggregate \
     --noise 0.1 > "$workdir/aggregate.out"
 grep -q "p50_decide" "$workdir/aggregate.out"
 echo "aggregate report: OK"
+
+echo
+echo "== telemetry: --metrics sidecar, journal bytes untouched =="
+# A --metrics run must write a schema-valid sidecar with non-zero
+# scheduler/executor/kernel/store sections while leaving the journal
+# byte-identical to a metrics-off run of the same grid.
+met_args=(--family latency -n 5 6 --seeds 2 --noise 0.1)
+python -m repro campaign run "${met_args[@]}" --jobs 1 \
+    --store "$workdir/met_on.jsonl" --metrics --no-progress > /dev/null
+python -m repro campaign run "${met_args[@]}" --jobs 1 \
+    --store "$workdir/met_off.jsonl" --no-progress > /dev/null
+cmp "$workdir/met_on.jsonl" "$workdir/met_off.jsonl"
+echo "journal bytes identical with metrics on/off: OK"
+python - "$workdir/met_on.jsonl.metrics.json" <<'PY'
+import sys
+from repro.engine.telemetry import read_sidecar
+
+side = read_sidecar(sys.argv[1])  # validates schema + structure
+counters = {
+    **side["deterministic"]["counters"],
+    **side["volatile"]["counters"],
+}
+for prefix in ("scheduler.", "executor.", "kernel.", "store."):
+    assert any(
+        name.startswith(prefix) and value > 0
+        for name, value in counters.items()
+    ), f"no non-zero {prefix} counters in sidecar"
+print("sidecar schema and non-zero sections: OK")
+PY
+python -m repro campaign report "${met_args[@]}" \
+    --store "$workdir/met_on.jsonl" --metrics > "$workdir/metrics.out"
+grep -q "kernel.lanes" "$workdir/metrics.out"
+echo "campaign report --metrics renders the sidecar: OK"
 
 echo
 python -m repro campaign status --store "$store" "${grid[@]}"

@@ -21,8 +21,12 @@ per-family subcommands above are sugar over
 ``campaign run --family <name>`` and therefore all take ``--jobs N``,
 ``--store PATH`` (resume-by-hash), ``--backend
 {reference,vectorized,batched,auto}``, ``--batch-memory MIB`` (the
-batch scheduler's per-batch envelope) and ``--progress`` (stderr
-progress lines: completed/total, scenarios/s, batches, ETA).
+batch scheduler's per-batch envelope), ``--progress`` (stderr
+progress lines: completed/total, scenarios/s, batches, ETA) and
+``--metrics[=PATH]`` (write the engine-telemetry sidecar,
+default ``<store>.metrics.json``; journals and summaries are
+byte-identical with metrics on or off).  ``campaign report
+--metrics`` renders a recorded sidecar as a table.
 
 Campaign exit codes: 0 = complete and green, 1 = incomplete (half-executed
 grid) or failed (terminal errors), 2 = nothing to do (the grid expanded to
@@ -85,6 +89,35 @@ def _batch_memory_bytes(args: argparse.Namespace) -> int | None:
     return None if mib is None else mib * 2**20
 
 
+def _metrics_path(args: argparse.Namespace) -> str | None:
+    """Resolve ``--metrics[=PATH]``: an explicit PATH wins; a bare
+    ``--metrics`` derives ``<store>.metrics.json`` and therefore needs
+    ``--store``."""
+    value = getattr(args, "metrics", None)
+    if value is None:
+        return None
+    if value is True:
+        store = getattr(args, "store", None)
+        if not store:
+            raise ValueError(
+                "--metrics without a PATH requires --store (the sidecar "
+                "defaults to <store>.metrics.json)"
+            )
+        return f"{store}.metrics.json"
+    return value
+
+
+def _metrics_recorder(args: argparse.Namespace):
+    """``(recorder, sidecar_path)`` — ``(None, None)`` when metrics are
+    off, so the engine sees the zero-cost null recorder."""
+    path = _metrics_path(args)
+    if path is None:
+        return None, None
+    from repro.engine.telemetry import Recorder
+
+    return Recorder(), path
+
+
 def _progress_enabled(args: argparse.Namespace) -> bool:
     """Progress lines go to stderr when it is a terminal (or forced with
     ``--progress``); machine-read stdout is never touched either way."""
@@ -114,10 +147,14 @@ def _run_family_command(name: str, args: argparse.Namespace) -> int:
             backend=getattr(args, "backend", None),
             batch_memory=_batch_memory_bytes(args),
         )
+        recorder, metrics_path = _metrics_recorder(args)
     except (KeyError, ValueError) as exc:
         print(_errmsg(exc))
         return 2
-    campaign.run(progress=_progress_enabled(args))
+    campaign.run(progress=_progress_enabled(args), recorder=recorder)
+    if recorder is not None:
+        recorder.write_sidecar(metrics_path, label=family.name)
+        print(f"wrote metrics sidecar to {metrics_path}", file=sys.stderr)
     results = campaign.completed_results()
     failed = [r for r in results if not r.ok]
     if failed:
@@ -181,6 +218,17 @@ def _add_scheduler_args(p: argparse.ArgumentParser) -> None:
         dest="progress",
         action="store_false",
         help="never emit progress lines",
+    )
+    p.add_argument(
+        "--metrics",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="record engine telemetry (scheduler/executor/kernel/store "
+        "counters and timings) and write a schema-versioned JSON sidecar "
+        "(default PATH: <store>.metrics.json); journal and summary bytes "
+        "are identical with metrics on or off",
     )
 
 
@@ -302,12 +350,19 @@ def _campaign_from_args(args: argparse.Namespace):
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     try:
         campaign = _campaign_from_args(args)
+        recorder, metrics_path = _metrics_recorder(args)
     except (KeyError, ValueError) as exc:
         print(_errmsg(exc))
         return 2
     report = campaign.run(
-        resume=not args.no_resume, progress=_progress_enabled(args)
+        resume=not args.no_resume, progress=_progress_enabled(args),
+        recorder=recorder,
     )
+    if recorder is not None:
+        recorder.write_sidecar(
+            metrics_path, label=getattr(args, "family", None) or "grid"
+        )
+        print(f"wrote metrics sidecar to {metrics_path}", file=sys.stderr)
     print(report.summary())
     if args.summary:
         lines = campaign.write_summary(args.summary)
@@ -330,6 +385,28 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    if getattr(args, "metrics", None) is not None:
+        # Render a recorded telemetry sidecar instead of result rows.
+        try:
+            path = _metrics_path(args)
+        except ValueError as exc:
+            print(_errmsg(exc))
+            return 2
+        from repro.engine.telemetry import read_sidecar, render_sidecar
+
+        try:
+            sidecar = read_sidecar(path)
+        except FileNotFoundError:
+            print(
+                f"no metrics sidecar at {path} "
+                "(record one with `campaign run --metrics`)"
+            )
+            return 1
+        except ValueError as exc:
+            print(f"invalid metrics sidecar at {path}: {exc}")
+            return 1
+        print(render_sidecar(sidecar))
+        return 0
     try:
         campaign = _campaign_from_args(args)
     except (KeyError, ValueError) as exc:
@@ -552,6 +629,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the store-native aggregate table (the family's "
         "aggregator, or the generic latency percentile rollup) instead "
         "of per-scenario rows",
+    )
+    p_crep.add_argument(
+        "--metrics",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="render a recorded telemetry sidecar (default PATH: "
+        "<store>.metrics.json) instead of result rows",
     )
     p_crep.set_defaults(func=_cmd_campaign_report)
     return parser

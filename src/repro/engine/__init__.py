@@ -33,6 +33,13 @@ fleet-scale workload generator:
   reporting (:class:`ProgressReporter`) from the plan.
 * :mod:`repro.engine.store` — an append-only **JSONL result store**
   (:class:`ResultStore`) with a versioned codec and resume-by-hash.
+* :mod:`repro.engine.telemetry` — **engine telemetry**: a zero-cost-off
+  :class:`Recorder` (counters, gauges, histograms, span timers) threaded
+  through scheduler, executor, backends, kernels and store, split into a
+  *deterministic* plane (invariant across ``--jobs``/shuffle/compaction)
+  and a *volatile* plane (durations, batch shapes, worker profiles), and
+  written as a schema-versioned ``<store>.metrics.json`` sidecar via
+  ``campaign run --metrics``.
 * :mod:`repro.engine.campaign` — the **campaign API**
   (:class:`Campaign`), wired into the CLI as
   ``skeleton-agreement campaign run/status/report --jobs N --backend B``.
@@ -103,6 +110,15 @@ from repro.engine.scheduler import (
     round_bucket,
 )
 from repro.engine.store import ResultStore, decode_result, encode_result
+from repro.engine.telemetry import (
+    NULL,
+    NullRecorder,
+    Recorder,
+    SIDECAR_SCHEMA,
+    read_sidecar,
+    render_sidecar,
+    validate_sidecar,
+)
 from repro.rounds.fastpath import FastPathUnsupported
 
 __all__ = [
@@ -113,10 +129,14 @@ __all__ = [
     "CampaignReport",
     "Column",
     "ExperimentSpec",
+    "NULL",
+    "NullRecorder",
     "PlannedBatch",
     "ProgressReporter",
     "FastPathUnsupported",
+    "Recorder",
     "ResultStore",
+    "SIDECAR_SCHEMA",
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
@@ -137,9 +157,12 @@ __all__ = [
     "group_results",
     "latency_table",
     "plan_batches",
+    "read_sidecar",
     "register",
+    "render_sidecar",
     "round_bucket",
     "require_ok",
+    "validate_sidecar",
     "expand_grids",
     "rollup",
     "run_campaign",

@@ -232,7 +232,9 @@ def _fastpath_task(spec: ScenarioSpec, adversary) -> FastPathTask:
     )
 
 
-def execute_scenario_vectorized(spec: ScenarioSpec) -> ScenarioResult:
+def execute_scenario_vectorized(
+    spec: ScenarioSpec, recorder=None
+) -> ScenarioResult:
     """Run one scenario through the per-scenario matrix fast path.
 
     Raises
@@ -257,6 +259,7 @@ def execute_scenario_vectorized(spec: ScenarioSpec) -> ScenarioResult:
             purge_window=task.purge_window,
             prune_unreachable=task.prune_unreachable,
             max_rounds=task.max_rounds,
+            recorder=recorder,
         )
         return replace(
             builder(spec, fast, adversary), backend=BACKEND_VECTORIZED
@@ -275,6 +278,7 @@ def execute_scenario_batch(
     specs: Sequence[ScenarioSpec],
     width: int | None = None,
     compact: bool = True,
+    recorder=None,
 ) -> list[ScenarioResult]:
     """Run a group of same-``n`` scenarios through one mega-batched kernel.
 
@@ -323,7 +327,9 @@ def execute_scenario_batch(
             )
     if lanes:
         try:
-            runs = simulate_fastpath_batch(tasks, width=width, compact=compact)
+            runs = simulate_fastpath_batch(
+                tasks, width=width, compact=compact, recorder=recorder
+            )
         except Exception as exc:  # noqa: BLE001 — isolate, then retry solo
             if len(lanes) == 1:
                 pos, spec, _, _ = lanes[0]
@@ -336,8 +342,14 @@ def execute_scenario_batch(
                     spec, f"{prefix}{exc}", backend=BACKEND_BATCHED
                 )
             else:
+                if recorder:
+                    recorder.vinc(
+                        "executor.batch_singleton_retries", len(lanes)
+                    )
                 for pos, spec, _, _ in lanes:
-                    results[pos] = execute_scenario_batch([spec])[0]
+                    results[pos] = execute_scenario_batch(
+                        [spec], recorder=recorder
+                    )[0]
         else:
             cache: dict = {}
             for (pos, spec, adversary, builder), fast in zip(lanes, runs):
@@ -357,7 +369,7 @@ def execute_scenario_batch(
 
 
 def execute_scenario_with_backend(
-    spec: ScenarioSpec, backend: str = BACKEND_REFERENCE
+    spec: ScenarioSpec, backend: str = BACKEND_REFERENCE, recorder=None
 ) -> ScenarioResult:
     """Dispatch one scenario to a backend (the executor's worker kernel).
 
@@ -373,16 +385,16 @@ def execute_scenario_with_backend(
         return execute_scenario(spec)
     if backend == BACKEND_VECTORIZED:
         try:
-            return execute_scenario_vectorized(spec)
+            return execute_scenario_vectorized(spec, recorder=recorder)
         except FastPathUnsupported as exc:
             return ScenarioResult.failure(
                 spec, f"FastPathUnsupported: {exc}", backend=BACKEND_VECTORIZED
             )
     if backend == BACKEND_BATCHED:
-        return execute_scenario_batch([spec])[0]
+        return execute_scenario_batch([spec], recorder=recorder)[0]
     if backend == BACKEND_AUTO:
         try:
-            return execute_scenario_vectorized(spec)
+            return execute_scenario_vectorized(spec, recorder=recorder)
         except FastPathUnsupported:
             return execute_scenario(spec)
     raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")

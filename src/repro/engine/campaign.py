@@ -28,6 +28,7 @@ from repro.engine.executor import (
 )
 from repro.engine.scenarios import ScenarioGrid, ScenarioSpec
 from repro.engine.store import ResultStore
+from repro.engine.telemetry import NULL
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,13 @@ class CampaignStatus:
     errors: int
     timeouts: int
     missing: int
+    #: Wall-clock span of the journal's append timestamps (the ``.times``
+    #: sidecar), when at least two records carry one.  Advisory — old
+    #: journals without a sidecar report ``None``.
+    elapsed_s: float | None = None
+    #: Terminal records per second over ``elapsed_s`` (``None`` when the
+    #: span is degenerate).
+    rate: float | None = None
 
     @property
     def complete(self) -> bool:
@@ -120,7 +128,7 @@ class CampaignStatus:
         return {"ok": 0, "nothing-to-do": 2}.get(self.state(), 1)
 
     def as_rows(self) -> list[list]:
-        return [
+        rows = [
             ["scenarios in grid", self.total],
             ["ok", self.ok],
             ["errors", self.errors],
@@ -128,6 +136,11 @@ class CampaignStatus:
             ["missing", self.missing],
             ["complete", self.complete],
         ]
+        if self.elapsed_s is not None:
+            rows.append(["elapsed (journal)", f"{self.elapsed_s:.3f}s"])
+        if self.rate is not None:
+            rows.append(["scenarios/s", f"{self.rate:.1f}"])
+        return rows
 
     def summary(self) -> str:
         return format_table(["quantity", "value"], self.as_rows(),
@@ -247,6 +260,7 @@ class Campaign:
         timeout: float | None = None,
         backend: str | None = None,
         progress: object = False,
+        recorder=None,
     ) -> CampaignReport:
         """Execute every scenario that has no terminal record yet.
 
@@ -257,7 +271,14 @@ class Campaign:
         (completed/total, scenarios/s, batches completed/planned from
         the batch plan, and an ETA): pass ``True`` to emit to *stderr*
         — stdout summaries stay byte-identical — or a writable stream.
+
+        ``recorder`` is a :class:`repro.engine.telemetry.Recorder`; the
+        campaign threads it through the scheduler, executor, backends,
+        kernels and store, and the caller writes the metrics sidecar.
+        ``None`` (the default) is the zero-cost null recorder — journal
+        and summary bytes are identical either way.
         """
+        rec = NULL if recorder is None else recorder
         self.refresh()
         latest = self._load_latest()
         if resume:
@@ -271,6 +292,9 @@ class Campaign:
             ]
         else:
             todo = list(self.specs)
+        if rec:
+            self.store.recorder = rec
+            rec.inc("store.resume_hits", len(self.specs) - len(todo))
 
         resolved_backend = self.backend if backend is None else backend
         resolved_jobs = self.jobs if jobs is None else jobs
@@ -285,6 +309,7 @@ class Campaign:
                 list(enumerate(todo)),
                 self.batch_memory,
                 jobs=max(1, resolved_jobs),
+                recorder=rec,
             )
         reporter = None
         if progress and todo:
@@ -295,6 +320,7 @@ class Campaign:
                 label=self.label,
                 plan=plan,
                 stream=progress if hasattr(progress, "write") else None,
+                recorder=rec if rec else None,
             )
 
         def journal(result: ScenarioResult) -> None:
@@ -303,15 +329,17 @@ class Campaign:
             if reporter is not None:
                 reporter.update(result)
 
-        results = execute_scenarios(
-            todo,
-            jobs=resolved_jobs,
-            timeout=self.timeout if timeout is None else timeout,
-            on_result=journal,
-            backend=resolved_backend,
-            batch_memory=self.batch_memory,
-            plan=plan,
-        )
+        with rec.span("campaign.run_s"):
+            results = execute_scenarios(
+                todo,
+                jobs=resolved_jobs,
+                timeout=self.timeout if timeout is None else timeout,
+                on_result=journal,
+                backend=resolved_backend,
+                batch_memory=self.batch_memory,
+                plan=plan,
+                recorder=rec if rec else None,
+            )
         by_status = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
         for result in results:
             by_status[result.status] = by_status.get(result.status, 0) + 1
@@ -335,12 +363,23 @@ class Campaign:
                 missing += 1
             else:
                 counts[result.status] = counts.get(result.status, 0) + 1
+        elapsed_s = rate = None
+        wanted = {spec.scenario_id for spec in self.specs}
+        stamps = [t for sid, t in self.store.append_times() if sid in wanted]
+        if len(stamps) >= 2:
+            span = max(stamps) - min(stamps)
+            if span > 0:
+                elapsed_s = span
+                done = len(self.specs) - missing
+                rate = done / span if done else None
         return CampaignStatus(
             total=len(self.specs),
             ok=counts[STATUS_OK],
             errors=counts[STATUS_ERROR],
             timeouts=counts[STATUS_TIMEOUT],
             missing=missing,
+            elapsed_s=elapsed_s,
+            rate=rate,
         )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -48,6 +49,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.analysis.properties import check_agreement_properties
 from repro.analysis.stats import decision_stats
 from repro.engine.scenarios import ScenarioSpec
+from repro.engine.telemetry import Recorder
 from repro.graphs.condensation import root_components
 from repro.predicates.psrcs import Psrcs
 from repro.rounds.simulator import RoundSimulator, SimulationConfig
@@ -199,7 +201,9 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
 IndexedSpec = tuple[int, ScenarioSpec]
 
 
-def _run_one(spec: ScenarioSpec, backend: str) -> ScenarioResult:
+def _run_one(
+    spec: ScenarioSpec, backend: str, recorder=None
+) -> ScenarioResult:
     """Execute one scenario on the requested backend.
 
     Specs carrying a ``family`` option belong to a registered experiment
@@ -212,12 +216,12 @@ def _run_one(spec: ScenarioSpec, backend: str) -> ScenarioResult:
     if spec.opt("family") is not None:
         from repro.engine.registry import run_registered_scenario
 
-        return run_registered_scenario(spec, backend)
+        return run_registered_scenario(spec, backend, recorder=recorder)
     if backend == "reference":
         return execute_scenario(spec)
     from repro.engine.backends import execute_scenario_with_backend
 
-    return execute_scenario_with_backend(spec, backend)
+    return execute_scenario_with_backend(spec, backend, recorder=recorder)
 
 
 def _iter_chunk(
@@ -225,6 +229,7 @@ def _iter_chunk(
     backend: str,
     batch_memory: int | None = None,
     compact: bool = True,
+    recorder=None,
 ) -> Iterable[tuple[int, ScenarioResult]]:
     """Yield one work list's results, tagged with their input indices.
 
@@ -239,33 +244,95 @@ def _iter_chunk(
         from repro.engine.scheduler import iter_planned
 
         yield from iter_planned(
-            chunk, backend, batch_memory=batch_memory, compact=compact
+            chunk, backend, batch_memory=batch_memory, compact=compact,
+            recorder=recorder,
         )
         return
     for idx, spec in chunk:
-        yield idx, _run_one(spec, backend)
+        yield idx, _run_one(spec, backend, recorder=recorder)
+
+
+def _worker_meta(recorder: Recorder, t0: float) -> dict:
+    """The metrics envelope a collecting worker returns with its payload."""
+    return {
+        "pid": os.getpid(),
+        "busy_s": time.perf_counter() - t0,
+        "snapshot": recorder.snapshot(),
+    }
+
+
+def _split_payload(payload):
+    """``(payload, meta)`` from a worker return value.
+
+    Collecting workers return ``(payload, meta_dict)``; everything else
+    (legacy shape, monkeypatched test doubles, the parent's own
+    timeout/failure synthesizers) returns the bare payload.
+    """
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and isinstance(payload[1], dict)
+    ):
+        return payload
+    return payload, None
 
 
 def _execute_chunk(
-    chunk: Sequence[IndexedSpec], backend: str = "reference"
-) -> list[tuple[int, ScenarioResult]]:
+    chunk: Sequence[IndexedSpec],
+    backend: str = "reference",
+    collect_metrics: bool = False,
+) -> Any:
     """Worker entry point: run one slice of the grid (per-scenario
-    backends, and the scheduler's non-batchable singles)."""
-    return list(_iter_chunk(chunk, backend))
+    backends, and the scheduler's non-batchable singles).
+
+    With ``collect_metrics`` the worker builds its own
+    :class:`~repro.engine.telemetry.Recorder` and returns
+    ``(payload, meta)`` — pid, busy seconds and a metrics snapshot —
+    for the parent to merge; otherwise the bare payload (so existing
+    callers and test doubles see the historical shape).
+    """
+    if not collect_metrics:
+        return list(_iter_chunk(chunk, backend))
+    recorder = Recorder()
+    t0 = time.perf_counter()
+    payload = list(_iter_chunk(chunk, backend, recorder=recorder))
+    return payload, _worker_meta(recorder, t0)
 
 
 def _execute_planned(
-    batch, backend: str = "batched", compact: bool = True
-) -> list[tuple[int, ScenarioResult]]:
+    batch,
+    backend: str = "batched",
+    compact: bool = True,
+    collect_metrics: bool = False,
+) -> Any:
     """Worker entry point: run one whole planned batch.
 
     The pool ships :class:`~repro.engine.scheduler.PlannedBatch` units
     instead of order-chunks under the batched/auto backends, so pool
-    chunking can never break a batch.
+    chunking can never break a batch.  ``collect_metrics`` works as in
+    :func:`_execute_chunk`.
     """
     from repro.engine.scheduler import run_planned_batch
 
-    return run_planned_batch(batch, backend, compact=compact)
+    if not collect_metrics:
+        return run_planned_batch(batch, backend, compact=compact)
+    recorder = Recorder()
+    t0 = time.perf_counter()
+    payload = run_planned_batch(
+        batch, backend, compact=compact, recorder=recorder
+    )
+    return payload, _worker_meta(recorder, t0)
+
+
+def _count_result(recorder, result: ScenarioResult) -> None:
+    """Parent-side result accounting (single source for both backends)."""
+    recorder.inc("executor.scenarios")
+    if result.status == STATUS_OK:
+        recorder.inc("executor.results_ok")
+    elif result.status == STATUS_TIMEOUT:
+        recorder.vinc("executor.results_timeout")
+    else:
+        recorder.vinc("executor.results_error")
 
 
 def _chunked(items: Sequence[IndexedSpec], size: int) -> list[list[IndexedSpec]]:
@@ -289,6 +356,7 @@ def execute_scenarios(
     batch_memory: int | None = None,
     compact: bool = True,
     plan=None,
+    recorder=None,
 ) -> list[ScenarioResult]:
     """Execute many scenarios, serially or on a process pool.
 
@@ -334,6 +402,14 @@ def execute_scenarios(
         exactly this work list (the campaign layer passes the plan its
         progress reporter was built from, so the list is only planned
         once).  ``None``: the batched/auto backends plan here.
+    recorder:
+        Optional :class:`~repro.engine.telemetry.Recorder`.  On the pool
+        path workers collect into their own recorders and return
+        snapshots with their payloads; the parent merges them (the merge
+        is commutative, so the result is independent of worker count and
+        completion order) and adds dispatch-side durations — per-unit
+        turnaround, worker busy time, queue wait — plus per-worker
+        utilization info.
 
     Returns
     -------
@@ -351,15 +427,20 @@ def execute_scenarios(
         if backend in ("batched", "auto") and plan is not None:
             from repro.engine.scheduler import iter_plan
 
-            streamed = iter_plan(plan, backend, compact=compact)
+            streamed = iter_plan(
+                plan, backend, compact=compact, recorder=recorder
+            )
         else:
             streamed = _iter_chunk(
                 list(enumerate(spec_list)),
                 backend,
                 batch_memory=batch_memory,
                 compact=compact,
+                recorder=recorder,
             )
         for idx, result in streamed:
+            if recorder:
+                _count_result(recorder, result)
             if on_result is not None:
                 on_result(result)
             results[idx] = result
@@ -372,31 +453,61 @@ def execute_scenarios(
     # break batches); everything else — other backends, and the plan's
     # non-batchable singles — ships as contiguous order-chunks.
     units: list[tuple[list[IndexedSpec], tuple]] = []
+    # The collect flag is appended only when metrics are on, so the
+    # worker-call shape (and every monkeypatched test double) is
+    # untouched on the default path.
+    collect: tuple = (True,) if recorder else ()
     if backend in ("batched", "auto"):
         if plan is None:
             from repro.engine.scheduler import plan_batches
 
-            plan = plan_batches(indexed, batch_memory=batch_memory, jobs=jobs)
+            plan = plan_batches(
+                indexed, batch_memory=batch_memory, jobs=jobs,
+                recorder=recorder,
+            )
         for batch in plan.batches:
             units.append(
-                (list(batch.items), (_execute_planned, batch, backend, compact))
+                (
+                    list(batch.items),
+                    (_execute_planned, batch, backend, compact) + collect,
+                )
             )
         singles = list(plan.singles)
         if singles:
             for chunk in _chunked(
                 singles, chunksize or default_chunksize(len(singles), jobs)
             ):
-                units.append((chunk, (_execute_chunk, chunk, backend)))
+                units.append(
+                    (chunk, (_execute_chunk, chunk, backend) + collect)
+                )
     else:
         for chunk in _chunked(
             indexed, chunksize or default_chunksize(len(indexed), jobs)
         ):
-            units.append((chunk, (_execute_chunk, chunk, backend)))
+            units.append((chunk, (_execute_chunk, chunk, backend) + collect))
     workers = min(jobs, len(units))
     collected: dict[int, ScenarioResult] = {}
+    # pid -> [units, busy_s]; feeds the per-worker utilization info.
+    worker_stats: dict[int, list] = {}
 
-    def deliver(payload: Iterable[tuple[int, ScenarioResult]]) -> None:
+    def deliver(payload, submit_t: float | None = None) -> None:
+        payload, meta = _split_payload(payload)
+        if recorder and submit_t is not None:
+            turnaround = time.monotonic() - submit_t
+            recorder.add_duration("executor.unit_wall_s", turnaround)
+            if meta is not None:
+                recorder.merge(meta["snapshot"])
+                busy = meta["busy_s"]
+                recorder.add_duration("executor.worker_busy_s", busy)
+                recorder.add_duration(
+                    "executor.queue_wait_s", max(0.0, turnaround - busy)
+                )
+                stats = worker_stats.setdefault(meta["pid"], [0, 0.0])
+                stats[0] += 1
+                stats[1] += busy
         for idx, result in payload:
+            if recorder:
+                _count_result(recorder, result)
             collected[idx] = result
             if on_result is not None:
                 on_result(result)
@@ -464,7 +575,7 @@ def execute_scenarios(
             else None
         )
         pending = [
-            (items, executor.submit(fn, *args))
+            (items, executor.submit(fn, *args), time.monotonic())
             for items, (fn, *args) in units
         ]
         # Which futures were ever observed executing on a worker — the
@@ -479,7 +590,7 @@ def execute_scenarios(
         while pending:
             still_pending = []
             progressed = False
-            for chunk, handle in pending:
+            for chunk, handle, submit_t in pending:
                 if handle.running():
                     seen_running.add(id(handle))
                 if handle.done():
@@ -489,7 +600,7 @@ def execute_scenarios(
                         payload = failed_chunk(
                             chunk, exc, id(handle) in seen_running
                         )
-                    deliver(payload)
+                    deliver(payload, submit_t)
                     progressed = True
                 elif deadline is not None and time.monotonic() > deadline:
                     handle.cancel()
@@ -497,7 +608,7 @@ def execute_scenarios(
                     abandoned = True
                     progressed = True
                 else:
-                    still_pending.append((chunk, handle))
+                    still_pending.append((chunk, handle, submit_t))
             pending = still_pending
             if pending and not progressed:
                 time.sleep(poll_interval)
@@ -511,9 +622,32 @@ def execute_scenarios(
                 (getattr(executor, "_processes", None) or {}).values()
             )
             executor.shutdown(wait=False, cancel_futures=True)
+            terminated = 0
             for proc in stragglers:
                 if proc.is_alive():
                     proc.terminate()
+                    terminated += 1
+            if recorder and terminated:
+                recorder.vinc("executor.straggler_terminations", terminated)
         else:
             executor.shutdown(wait=True, cancel_futures=True)
+    if recorder:
+        recorder.vinc("executor.units_dispatched", len(units))
+        recorder.vgauge_max("executor.pool_workers", workers)
+        wall = time.monotonic() - start
+        if worker_stats:
+            recorder.set_info(
+                "executor.workers",
+                [
+                    {"pid": pid, "units": stats[0],
+                     "busy_s": round(stats[1], 6)}
+                    for pid, stats in sorted(worker_stats.items())
+                ],
+            )
+            busy_total = sum(stats[1] for stats in worker_stats.values())
+            if wall > 0:
+                recorder.vgauge_max(
+                    "executor.worker_utilization_pct",
+                    round(100.0 * busy_total / (workers * wall), 1),
+                )
     return [collected[i] for i in range(len(spec_list))]

@@ -234,12 +234,16 @@ def get_family(name: str) -> ExperimentSpec:
 # ----------------------------------------------------------------------
 # Worker-side dispatch
 # ----------------------------------------------------------------------
-def run_registered_scenario(spec: ScenarioSpec, backend: str) -> ScenarioResult:
+def run_registered_scenario(
+    spec: ScenarioSpec, backend: str, recorder=None
+) -> ScenarioResult:
     """Execute one family-tagged scenario (the executor's worker kernel
     for specs carrying a ``family`` option).
 
     Never raises: unknown families and runner crashes become terminal
     ``"error"`` results, preserving the executor's isolation contract.
+    The reference-simulator paths are uninstrumented; ``recorder``
+    reaches only the fast-path kernels.
     """
     try:
         family = get_family(spec.opt("family"))
@@ -251,7 +255,7 @@ def run_registered_scenario(spec: ScenarioSpec, backend: str) -> ScenarioResult:
             return execute_scenario(spec)
         from repro.engine.backends import execute_scenario_with_backend
 
-        return execute_scenario_with_backend(spec, backend)
+        return execute_scenario_with_backend(spec, backend, recorder=recorder)
     if family.fast_result is not None and backend != "reference":
         # The family registered a fast-path twin of its runner: forced
         # fast backends run it (the twin builds the runner's exact result
@@ -264,9 +268,9 @@ def run_registered_scenario(spec: ScenarioSpec, backend: str) -> ScenarioResult:
         )
 
         if backend in ("vectorized", "batched"):
-            return execute_scenario_with_backend(spec, backend)
+            return execute_scenario_with_backend(spec, backend, recorder=recorder)
         try:
-            return execute_scenario_vectorized(spec)
+            return execute_scenario_vectorized(spec, recorder=recorder)
         except FastPathUnsupported:
             pass
     elif backend in ("vectorized", "batched"):

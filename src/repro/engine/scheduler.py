@@ -45,6 +45,7 @@ summaries stay byte-identical.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from dataclasses import dataclass
@@ -144,6 +145,7 @@ def plan_batches(
     items: Iterable[IndexedSpec],
     batch_memory: int | None = None,
     jobs: int = 1,
+    recorder=None,
 ) -> BatchPlan:
     """Plan a work list into packed tensor batches.
 
@@ -189,11 +191,37 @@ def plan_batches(
                     items=tuple(members[lo : lo + cap]),
                 )
             )
-    return BatchPlan(batches=tuple(batches), singles=tuple(singles))
+    plan = BatchPlan(batches=tuple(batches), singles=tuple(singles))
+    if recorder:
+        # Deterministic plane: the global grouping is a pure function of
+        # the work list (jobs only changes how groups are *cut*).
+        recorder.inc("scheduler.scenarios", plan.total)
+        recorder.inc("scheduler.singles", len(plan.singles))
+        recorder.inc("scheduler.groups", len(groups))
+        recorder.inc("scheduler.batched_lanes", plan.batched_lanes)
+        for members in groups.values():
+            recorder.observe("scheduler.group_lanes", len(members))
+            recorder.gauge_max("scheduler.max_group_lanes", len(members))
+        # Volatile plane: batch cuts (and therefore packing efficiency)
+        # depend on the jobs split.
+        recorder.vinc("scheduler.batches_planned", len(plan.batches))
+        slots = sum(
+            b.width * -(-b.lanes // b.width) for b in plan.batches
+        )
+        recorder.vinc("scheduler.lane_slots", slots)
+        recorder.vinc(
+            "scheduler.wasted_lane_width", slots - plan.batched_lanes
+        )
+        if slots:
+            recorder.vgauge_max(
+                "scheduler.packing_efficiency_pct",
+                round(100.0 * plan.batched_lanes / slots, 1),
+            )
+    return plan
 
 
 def run_planned_batch(
-    batch: PlannedBatch, backend: str, compact: bool = True
+    batch: PlannedBatch, backend: str, compact: bool = True, recorder=None
 ) -> list[tuple[int, ScenarioResult]]:
     """Execute one planned batch; returns ``(work-list index, result)``.
 
@@ -207,10 +235,12 @@ def run_planned_batch(
     from repro.engine.executor import STATUS_ERROR, _run_one
 
     specs = [spec for _, spec in batch.items]
-    results = execute_scenario_batch(specs, width=batch.width, compact=compact)
+    results = execute_scenario_batch(
+        specs, width=batch.width, compact=compact, recorder=recorder
+    )
     if backend == BACKEND_AUTO:
         results = [
-            _run_one(spec, BACKEND_AUTO)
+            _run_one(spec, BACKEND_AUTO, recorder=recorder)
             if result.status == STATUS_ERROR
             and result.error is not None
             and result.error.startswith("FastPathUnsupported: ")
@@ -224,7 +254,7 @@ def run_planned_batch(
 
 
 def iter_plan(
-    plan: BatchPlan, backend: str, compact: bool = True
+    plan: BatchPlan, backend: str, compact: bool = True, recorder=None
 ) -> Iterator[tuple[int, ScenarioResult]]:
     """Execute an already-computed plan, yielding ``(index, result)``.
 
@@ -238,9 +268,11 @@ def iter_plan(
     from repro.engine.executor import _run_one
 
     for batch in plan.batches:
-        yield from run_planned_batch(batch, backend, compact=compact)
+        yield from run_planned_batch(
+            batch, backend, compact=compact, recorder=recorder
+        )
     for idx, spec in plan.singles:
-        yield idx, _run_one(spec, backend)
+        yield idx, _run_one(spec, backend, recorder=recorder)
 
 
 def iter_planned(
@@ -248,11 +280,19 @@ def iter_planned(
     backend: str,
     batch_memory: int | None = None,
     compact: bool = True,
+    recorder=None,
 ) -> Iterator[tuple[int, ScenarioResult]]:
     """Plan a work list and execute it: :func:`plan_batches` +
-    :func:`iter_plan` in one call."""
+    :func:`iter_plan` in one call.
+
+    ``recorder`` reaches only the *execution* half: pool workers re-plan
+    their own chunk through this helper, and letting that inner plan
+    record scheduler metrics would double-count them (the parent
+    campaign's :func:`plan_batches` is the single scheduler-metrics
+    source)."""
     yield from iter_plan(
-        plan_batches(items, batch_memory), backend, compact=compact
+        plan_batches(items, batch_memory), backend, compact=compact,
+        recorder=recorder,
     )
 
 
@@ -260,6 +300,8 @@ def iter_planned(
 # Campaign progress (stderr-only; stdout summaries stay byte-identical)
 # ----------------------------------------------------------------------
 def _fmt_eta(seconds: float) -> str:
+    if not math.isfinite(seconds):
+        return "?"
     seconds = max(0, int(round(seconds)))
     minutes, sec = divmod(seconds, 60)
     if minutes >= 60:
@@ -280,6 +322,9 @@ class ProgressReporter:
     batch counts as completed when all of its lanes have reported.
     Writes to ``stream`` (default: ``sys.stderr``) so machine-read
     stdout — campaign tables, canonical summaries — is never touched.
+    ``interval`` is floored at 0.1 s so tiny fast campaigns cannot spam
+    one line per scenario.  A live :class:`~repro.engine.telemetry.Recorder`
+    lets the reporter surface executor failure counters as they happen.
     """
 
     def __init__(
@@ -290,11 +335,13 @@ class ProgressReporter:
         stream: TextIO | None = None,
         interval: float = 0.5,
         clock=time.monotonic,
+        recorder=None,
     ) -> None:
         self.total = total
         self.label = label or "campaign"
         self.stream = stream if stream is not None else sys.stderr
-        self.interval = interval
+        self.interval = max(interval, 0.1)
+        self.recorder = recorder
         self._clock = clock
         self._start = clock()
         self._last_emit = float("-inf")
@@ -319,20 +366,30 @@ class ProgressReporter:
             if self._batch_left[b] == 0:
                 self._batches_done += 1
         now = self._clock()
-        if self._done >= self.total or now - self._last_emit >= self.interval:
+        if self._done == self.total or now - self._last_emit >= self.interval:
             self._last_emit = now
             self._emit(now)
 
     def _emit(self, now: float) -> None:
-        elapsed = max(now - self._start, 1e-9)
-        rate = self._done / elapsed
+        # Guard the rate (and the ETA derived from it) against a
+        # zero-elapsed first emission: a sub-millisecond clock delta
+        # yields an absurd rate and a divide-toward-infinity ETA.
+        elapsed = now - self._start
+        rate = self._done / elapsed if elapsed > 1e-3 else 0.0
         pct = 100 * self._done // self.total if self.total else 100
+        shown = f"{rate:.1f}" if rate > 0 else "?"
         line = (
             f"[{self.label}] {self._done}/{self.total} scenarios "
-            f"({pct}%) · {rate:.1f}/s"
+            f"({pct}%) · {shown}/s"
         )
         if self.num_batches:
             line += f" · batch {self._batches_done}/{self.num_batches}"
+        if self.recorder:
+            failed = self.recorder.counter(
+                "executor.results_error"
+            ) + self.recorder.counter("executor.results_timeout")
+            if failed:
+                line += f" · {failed} failed"
         remaining = self.total - self._done
         if remaining and rate > 0:
             line += f" · eta {_fmt_eta(remaining / rate)}"

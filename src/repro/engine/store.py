@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -26,6 +27,7 @@ from repro.engine.executor import (
     is_terminal,
 )
 from repro.engine.scenarios import ScenarioSpec
+from repro.engine.telemetry import NULL, Recorder
 
 SCHEMA_VERSION = 1
 
@@ -119,11 +121,25 @@ class ResultStore:
     A ``path`` of ``None`` keeps everything in memory (handy for tests and
     throwaway campaigns); otherwise the parent directory is created on
     first append.
+
+    Journal bytes are pinned (pure function of the spec set), so append
+    wall-clock timestamps live in a separate ``<journal>.times`` sidecar
+    — one tiny JSON line per append — which ``campaign status`` reads to
+    derive elapsed time and scenarios/s for finished stores.
     """
 
-    def __init__(self, path: str | os.PathLike | None) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike | None,
+        recorder: Recorder | None = None,
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.times_path = (
+            Path(str(self.path) + ".times") if self.path is not None else None
+        )
+        self.recorder = NULL if recorder is None else recorder
         self._memory: list[ScenarioResult] = []
+        self._memory_times: list[tuple[str, float]] = []
 
     # ------------------------------------------------------------------
     # Writing
@@ -131,13 +147,27 @@ class ResultStore:
     def append(self, result: ScenarioResult) -> None:
         """Journal one result (flushed immediately — a killed campaign
         loses at most the line being written)."""
+        line = journal_line(result)
+        now = time.time()
         if self.path is None:
             self._memory.append(result)
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(journal_line(result) + "\n")
-            fh.flush()
+            self._memory_times.append((result.scenario_id, now))
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+            with self.times_path.open("a", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps(
+                        {"id": result.scenario_id, "t": round(now, 6)},
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        if self.recorder:
+            self.recorder.inc("store.appends")
+            self.recorder.inc("store.bytes", len(line.encode("utf-8")) + 1)
 
     # ------------------------------------------------------------------
     # Reading
@@ -169,6 +199,28 @@ class ResultStore:
                     # the wrong shape): resume simply re-runs that
                     # scenario.
                     continue
+
+    def append_times(self) -> list[tuple[str, float]]:
+        """(scenario_id, unix_time) per journaled append, in append order.
+
+        Read from the ``.times`` sidecar (advisory: malformed or stale
+        lines are skipped, a missing sidecar yields ``[]``), so journals
+        produced before the sidecar existed — or hand-truncated ones —
+        still load fine."""
+        if self.path is None:
+            return list(self._memory_times)
+        if self.times_path is None or not self.times_path.exists():
+            return []
+        out: list[tuple[str, float]] = []
+        with self.times_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    record = json.loads(line)
+                    out.append((record["id"], float(record["t"])))
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    continue
+        return out
 
     def load(self) -> dict[str, ScenarioResult]:
         """Latest result per scenario id (last journal entry wins, so a

@@ -157,6 +157,17 @@ def _normalize_schedule(adjacency, n: int, max_rounds: int | None):
     return provider, max_rounds
 
 
+def _closure_iterations(n: int) -> int:
+    """Squarings one fixed-iterations transitive closure performs for
+    ``n`` nodes (mirrors the doubling loop in
+    :func:`repro.graphs.matrices.batched_transitive_closure`)."""
+    length, iters = 1, 0
+    while length < n - 1:
+        length *= 2
+        iters += 1
+    return iters
+
+
 def simulate_fastpath(
     adjacency,
     initial_values: Sequence[int],
@@ -165,6 +176,7 @@ def simulate_fastpath(
     stop_when_all_decided: bool = True,
     enforce_self_delivery: bool = True,
     max_rounds: int | None = None,
+    recorder=None,
 ) -> FastPathRun:
     """Execute Algorithm 1 with distinct-per-process tensor state.
 
@@ -192,6 +204,10 @@ def simulate_fastpath(
     max_rounds:
         Round budget; required with a schedule provider, defaults to the
         tensor length otherwise.
+    recorder:
+        Optional :class:`~repro.engine.telemetry.Recorder`.  Kernel
+        counters are accumulated in plain locals and flushed once at
+        (successful) return, so the disabled path costs one branch.
     """
     n = len(initial_values)
     provider, max_rounds = _normalize_schedule(adjacency, n, max_rounds)
@@ -212,12 +228,17 @@ def simulate_fastpath(
     schedule = np.zeros((max_rounds, n, n), dtype=bool)
     filled = 0
     block = max(n + 1, 8)
+    rng_fetches = rng_tail_fetches = rng_rounds_fetched = 0
 
     def ensure(upto: int) -> None:
-        nonlocal filled
+        nonlocal filled, rng_fetches, rng_tail_fetches, rng_rounds_fetched
         upto = min(max(upto, min(filled + block, max_rounds)), max_rounds)
         if upto <= filled:
             return
+        rng_fetches += 1
+        if filled > 0:
+            rng_tail_fetches += 1
+        rng_rounds_fetched += upto - filled
         fetched = np.asarray(
             provider(upto - filled, filled + 1), dtype=bool
         )
@@ -346,6 +367,21 @@ def simulate_fastpath(
             num_rounds = r
             break
 
+    if recorder:
+        # Deterministic plane: pure functions of the scenario.
+        recorder.inc("kernel.lanes")
+        recorder.inc("kernel.lane_rounds", num_rounds)
+        recorder.observe("kernel.lane_rounds", num_rounds)
+        recorder.inc("kernel.decisions", int(decided.sum()))
+        recorder.inc("kernel.rng_fetches", rng_fetches)
+        recorder.inc("kernel.rng_tail_fetches", rng_tail_fetches)
+        recorder.inc("kernel.rng_rounds_fetched", rng_rounds_fetched)
+        # Volatile plane: one loop iteration == one closure call here.
+        recorder.vinc("kernel.loop_rounds", num_rounds)
+        recorder.vinc("kernel.closure_calls", num_rounds)
+        recorder.vinc(
+            "kernel.closure_iterations", num_rounds * _closure_iterations(n)
+        )
     return FastPathRun(
         n=n,
         num_rounds=num_rounds,
@@ -424,6 +460,7 @@ def simulate_fastpath_batch(
     enforce_self_delivery: bool = True,
     width: int | None = None,
     compact: bool = True,
+    recorder=None,
 ) -> list[FastPathRun]:
     """Execute a whole stack of same-``n`` Algorithm 1 runs at once.
 
@@ -515,6 +552,13 @@ def simulate_fastpath_batch(
     first_block = max(n + 1, 8)
     tail_block = max(4, (n + 1) // 4)
 
+    # Kernel telemetry, accumulated in plain locals and flushed once at
+    # successful return — a crashed batch (whose lanes the backend
+    # retries as singletons) therefore contributes nothing, which keeps
+    # the deterministic plane a pure function of the scenario set.
+    rng_fetches = rng_tail_fetches = rng_rounds_fetched = 0
+    compactions = lanes_refilled = 0
+
     results: list[FastPathRun | None] = [None] * T
 
     # Lane state, axis 0 = lane.  ``origin`` maps a lane back to its
@@ -550,6 +594,7 @@ def simulate_fastpath_batch(
 
     def ensure(targets: np.ndarray, lanes: np.ndarray) -> None:
         """Fetch each lane's schedule up to its local target round."""
+        nonlocal rng_fetches, rng_tail_fetches, rng_rounds_fetched
         for s in np.nonzero(lanes)[0]:
             lane_cap = int(mr[s])
             have = int(filled[s])
@@ -559,6 +604,10 @@ def simulate_fastpath_batch(
             upto = min(
                 max(int(targets[s]), min(have + block, lane_cap)), lane_cap
             )
+            rng_fetches += 1
+            if have > 0:
+                rng_tail_fetches += 1
+            rng_rounds_fetched += upto - have
             fetched = np.asarray(
                 t_provider[int(origin[s])](upto - have, have + 1), dtype=bool
             )
@@ -714,6 +763,7 @@ def simulate_fastpath_batch(
             next_task < T or live * _COMPACT_DEN <= S * _COMPACT_NUM
         )) or (live == 0 and S > 0 and next_task < T):
             lanes_changed = True
+            compactions += 1
             keep = active
             origin = origin[keep]
             offset = offset[keep]
@@ -738,6 +788,7 @@ def simulate_fastpath_batch(
         if next_task < T and live < width_limit and (compact or live == 0):
             lanes_changed = True
             take = min(width_limit - live, T - next_task)
+            lanes_refilled += take
             admitted = np.arange(next_task, next_task + take, dtype=np.int64)
             next_task += take
             rmax = int(t_mr[admitted].max())
@@ -787,4 +838,27 @@ def simulate_fastpath_batch(
             prune_all = bool(prune.all())
             prune_any = bool(prune.any())
 
+    if recorder:
+        # Deterministic plane: per-lane quantities, invariant across
+        # batch cuts, admission order, and compaction (each lane runs
+        # the exact per-scenario program).
+        total_rounds = total_decided = 0
+        for run in results:
+            total_rounds += run.num_rounds
+            total_decided += int(run.decided.sum())
+            recorder.observe("kernel.lane_rounds", run.num_rounds)
+        recorder.inc("kernel.lanes", T)
+        recorder.inc("kernel.lane_rounds", total_rounds)
+        recorder.inc("kernel.decisions", total_decided)
+        recorder.inc("kernel.rng_fetches", rng_fetches)
+        recorder.inc("kernel.rng_tail_fetches", rng_tail_fetches)
+        recorder.inc("kernel.rng_rounds_fetched", rng_rounds_fetched)
+        # Volatile plane: execution shape (depends on batch packing).
+        recorder.vinc("kernel.loop_rounds", r)
+        recorder.vinc("kernel.compactions", compactions)
+        recorder.vinc("kernel.lanes_refilled", lanes_refilled)
+        recorder.vinc("kernel.closure_calls", r)
+        recorder.vinc(
+            "kernel.closure_iterations", r * _closure_iterations(n)
+        )
     return results
