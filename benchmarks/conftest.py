@@ -202,6 +202,29 @@ def record_telemetry():
 
 
 @pytest.fixture
+def record_contracts():
+    """Upsert the contracts-overhead measurement into BENCH_FASTPATH.json
+    under a top-level ``"contracts"`` key (coexists with the fastpath
+    and telemetry recorders exactly like :func:`record_telemetry`)."""
+
+    def _record(entry: dict) -> None:
+        data: dict = {}
+        if BENCH_FASTPATH_PATH.exists():
+            try:
+                data = json.loads(BENCH_FASTPATH_PATH.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        if not isinstance(data, dict):
+            data = {}
+        data["contracts"] = entry
+        BENCH_FASTPATH_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _record
+
+
+@pytest.fixture
 def emit(capsys):
     """Print an experiment table and upsert it into results.txt."""
 

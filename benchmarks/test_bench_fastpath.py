@@ -461,6 +461,85 @@ def test_bench_telemetry_overhead(benchmark, emit, record_telemetry):
     )
 
 
+def test_bench_contracts_overhead(benchmark, emit, record_contracts):
+    """CONTRACTS: the runtime contract layer must be zero-cost when off.
+
+    Same harness as the telemetry guard: an off/off A/A pair bounds both
+    the noise floor and the contracts-off overhead (the "off" path *is*
+    the instrumented code behind ``if contracts:`` guards and the
+    ``@contract`` decorator's one falsy lookup) — enforced < 2%.  The
+    contracts-on floor is informative only: armed contracts deliberately
+    re-derive work (re-fetched schedule blocks, re-planned batches,
+    singleton lane re-runs) on a sampled subset, so its cost is a design
+    dial, not a regression signal.
+    """
+    import pytest
+
+    from repro.engine.contracts import contracts_enabled
+
+    specs = termination_grid(ns=[9, 12, 16], seeds=range(48), noise=0.15)
+
+    def _off():
+        execute_scenarios(specs, backend="batched")
+
+    def _on():
+        with contracts_enabled():
+            execute_scenarios(specs, backend="batched")
+
+    (off_a, off_b, on_s), converged = benchmark.pedantic(
+        lambda: _interleaved_best([_off, _off, _on], pairs=[(0, 1)]),
+        rounds=1,
+        iterations=1,
+    )
+    if not converged:
+        pytest.skip(
+            "A/A timing pair did not converge within the round cap — "
+            "the box is too noisy to resolve the 2% overhead guard"
+        )
+    off_s = min(off_a, off_b)
+    off_overhead = max(off_a, off_b) / off_s - 1.0
+    on_overhead = on_s / off_s - 1.0
+    assert off_overhead < 0.02, (
+        f"contracts-off A/A ratio {off_overhead:.2%} >= 2% — the "
+        "null-contracts path is no longer measurement-stable"
+    )
+    record_contracts(
+        {
+            "workload": "TERMINATION-style batched ensemble "
+            f"(ns=[9,12,16], {len(specs)} scenarios)",
+            "contracts_off_s": round(off_s, 4),
+            "contracts_on_s": round(on_s, 4),
+            "contracts_off_overhead": round(off_overhead, 4),
+            "contracts_on_overhead": round(on_overhead, 4),
+            "method": "interleaved best-of-N with an off/off A/A pair, "
+            "N adaptive until the pair converges (7..60 rounds); "
+            "contracts-on is informative (sampled re-derivation "
+            "is paid work by design)",
+        }
+    )
+    emit(
+        format_table(
+            ["variant", "wall_ms", "overhead"],
+            [
+                ["contracts off", round(off_s * 1e3, 1), "baseline"],
+                [
+                    "contracts off (A/A twin)",
+                    round(max(off_a, off_b) * 1e3, 1),
+                    f"{off_overhead:+.1%}",
+                ],
+                [
+                    "contracts on (informative)",
+                    round(on_s * 1e3, 1),
+                    f"{on_overhead:+.1%}",
+                ],
+            ],
+            title="CONTRACTS — runtime contract layer overhead on the "
+            "batched ensemble (off/off pair bounds noise; off <2% "
+            "enforced, on informative)",
+        )
+    )
+
+
 def test_bench_fastpath_latency_dist(benchmark, emit, record_fastpath):
     scaling = [
         (

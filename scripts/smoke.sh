@@ -200,6 +200,49 @@ grep -q "kernel.lanes" "$workdir/metrics.out"
 echo "campaign report --metrics renders the sidecar: OK"
 
 echo
+echo "== fuzz family: randomized differential campaign under contracts =="
+# Every fuzz case re-runs the drawn scenario on every engine and
+# byte-compares canonical summaries; --contracts additionally arms the
+# sampled re-derive checkpoints.  A non-zero exit means a divergence
+# (with a shrunk repro in the journal) — set -e asserts it.
+python -m repro campaign run --family fuzz --seeds 6 \
+    --store "$workdir/fuzz.jsonl" --contracts --no-progress \
+    > "$workdir/fuzz.out"
+grep -q "state: ok" "$workdir/fuzz.out"
+echo "fuzz campaign (6 cases, contracts on): OK"
+
+echo
+echo "== fault injection: seeded kill+torn plan reconverges byte-identically =="
+# Seed 31 deterministically selects 2 kill victims (worker crashes,
+# absorbed in-run by --max-retries) and 2 torn victims (truncated
+# journal appends; each aborts the run once, the ledger prevents a
+# refire, resume heals the tail and re-runs the scenario).  After the
+# bounded retry loop the canonical summary must be byte-identical to a
+# fault-free run of the same grid.
+fault_grid=(-n 5 6 -k 2 --seeds 3 --noise 0.1)
+python -m repro campaign run "${fault_grid[@]}" --jobs 2 \
+    --store "$workdir/fault_clean.jsonl" \
+    --summary "$workdir/fault_clean_summary.jsonl" --no-progress > /dev/null
+fault_attempts=0
+until python -m repro campaign run "${fault_grid[@]}" --jobs 2 \
+        --max-retries 2 --faults "seed=31,kill=0.4,torn=0.4" \
+        --store "$workdir/faulted.jsonl" \
+        --summary "$workdir/faulted_summary.jsonl" --no-progress \
+        > /dev/null 2> "$workdir/faulted.err"; do
+    fault_attempts=$((fault_attempts + 1))
+    if [ "$fault_attempts" -gt 6 ]; then
+        cat "$workdir/faulted.err"
+        echo "faulted campaign failed to reconverge" >&2
+        exit 1
+    fi
+done
+cmp "$workdir/fault_clean_summary.jsonl" "$workdir/faulted_summary.jsonl"
+test -s "$workdir/faulted.jsonl.faults.ledger"
+grep -q "^kill:" "$workdir/faulted.jsonl.faults.ledger"
+grep -q "^torn:" "$workdir/faulted.jsonl.faults.ledger"
+echo "faulted summary byte-identical after $fault_attempts resume(s); ledger fired: OK"
+
+echo
 python -m repro campaign status --store "$store" "${grid[@]}"
 echo
 echo "smoke: OK"

@@ -70,6 +70,28 @@ class Adversary(abc.ABC):
             stack[i] = to_adjacency(self.graph(start + i), self.n)
         return stack
 
+    def schedule_fingerprint(self, rounds: int, start: int = 1) -> str:
+        """A content hash of the ``[start, start + rounds)`` schedule block.
+
+        Purity witness for the :meth:`adjacency_stack` contract: because
+        the stack must be a pure function of ``(rounds, start)``, calling
+        this twice — or on a fresh adversary built from the same spec —
+        must return the same digest.  The runtime contract layer
+        (``repro.engine.contracts``, checkpoint
+        ``adversary.block_fetch_purity``) enforces the same invariant by
+        re-fetching sampled blocks inside the kernels; this helper is the
+        cheap, kernel-free way for tests and fuzzers to compare whole
+        schedules across adversary instances."""
+        import hashlib
+
+        stack = np.ascontiguousarray(
+            np.asarray(self.adjacency_stack(rounds, start), dtype=bool)
+        )
+        digest = hashlib.sha256()
+        digest.update(f"{self.n}:{rounds}:{start}".encode())
+        digest.update(np.packbits(stack).tobytes())
+        return digest.hexdigest()
+
     def _constant_stack(self, graph: DiGraph, rounds: int, start: int) -> np.ndarray:
         """One conversion of ``graph`` broadcast across ``rounds`` rounds —
         the :meth:`adjacency_stack` body shared by every adversary whose

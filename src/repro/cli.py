@@ -10,6 +10,7 @@ Subcommands::
     skeleton-agreement ablation ...       # design-knob ablation matrix
     skeleton-agreement duality ...        # §V rc-vs-α exploration
     skeleton-agreement eventual ...       # ♦Psrcs bad-prefix step function
+    skeleton-agreement fuzz ...           # differential backend fuzzing
     skeleton-agreement campaign run ...   # parallel, resumable campaigns
     skeleton-agreement campaign status .. # store-vs-grid reconciliation
     skeleton-agreement campaign report .. # per-scenario / aggregate tables
@@ -27,6 +28,21 @@ progress lines: completed/total, scenarios/s, batches, ETA) and
 default ``<store>.metrics.json``; journals and summaries are
 byte-identical with metrics on or off).  ``campaign report
 --metrics`` renders a recorded sidecar as a table.
+
+Hardening flags (same sharing): ``--contracts`` arms the runtime
+contract layer (:mod:`repro.engine.contracts` — sampled re-derive-and-
+compare checkpoints inside the kernels; violations abort with a minimal
+JSON repro), ``--max-retries N`` retries transient worker failures
+in-run with capped deterministic backoff before anything is journaled,
+and ``--faults SPEC`` installs a seeded deterministic fault-injection
+plan (:mod:`repro.engine.faults`) for resilience drills.  The ``fuzz``
+family (``campaign run --family fuzz``) runs registered differential
+fuzzing across all execution backends with shrinking repros.
+
+``campaign run`` handles SIGINT/SIGTERM gracefully: the journal and
+sidecars are flushed, workers are terminated, and a one-line resume
+hint is printed before exiting 1 — re-running the same command resumes
+exactly the unfinished scenarios.
 
 Campaign exit codes: 0 = complete and green, 1 = incomplete (half-executed
 grid) or failed (terminal errors), 2 = nothing to do (the grid expanded to
@@ -61,6 +77,7 @@ _FAMILY_PARAM_KEYS = (
     "density",
     "bad_rounds",
     "max_rounds",
+    "salt",
 )
 
 
@@ -118,6 +135,25 @@ def _metrics_recorder(args: argparse.Namespace):
     return Recorder(), path
 
 
+def _apply_hardening(args: argparse.Namespace) -> None:
+    """Arm the opt-in hardening layers before any worker is spawned.
+
+    Both set process environment variables, so pool workers (fork or
+    spawn) inherit the configuration without any extra plumbing.
+    """
+    if getattr(args, "contracts", False):
+        from repro.engine import contracts
+
+        contracts.activate()
+    spec = getattr(args, "faults", None)
+    if spec:
+        from repro.engine import faults
+
+        store = getattr(args, "store", None)
+        ledger = f"{store}.faults.ledger" if store else None
+        faults.FaultPlan.parse(spec, ledger=ledger).install()
+
+
 def _progress_enabled(args: argparse.Namespace) -> bool:
     """Progress lines go to stderr when it is a terminal (or forced with
     ``--progress``); machine-read stdout is never touched either way."""
@@ -146,8 +182,10 @@ def _run_family_command(name: str, args: argparse.Namespace) -> int:
             timeout=getattr(args, "timeout", None),
             backend=getattr(args, "backend", None),
             batch_memory=_batch_memory_bytes(args),
+            max_retries=getattr(args, "max_retries", 0) or 0,
         )
         recorder, metrics_path = _metrics_recorder(args)
+        _apply_hardening(args)
     except (KeyError, ValueError) as exc:
         print(_errmsg(exc))
         return 2
@@ -230,6 +268,34 @@ def _add_scheduler_args(p: argparse.ArgumentParser) -> None:
         "(default PATH: <store>.metrics.json); journal and summary bytes "
         "are identical with metrics on or off",
     )
+    p.add_argument(
+        "--contracts",
+        action="store_true",
+        help="arm the runtime contract layer: sampled re-derive-and-"
+        "compare invariant checkpoints on the kernel/scheduler/executor/"
+        "store boundaries; a violation aborts the run with a minimal "
+        "JSON repro (journal and summary bytes are identical with "
+        "contracts on or off)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="in-run retry budget per work unit for transient worker "
+        "failures (crashed pools, injected faults), with capped "
+        "deterministic backoff; 0 (default) fails fast",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="install a deterministic seeded fault-injection plan, e.g. "
+        "'seed=7,kill=0.2,torn=0.5' (keys: seed, kill, stall, transient, "
+        "torn, drop_meta, stall_s); victims are chosen by content hash, "
+        "each fault fires once (ledger: <store>.faults.ledger), and a "
+        "resumed run reconverges to byte-identical summaries",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +365,10 @@ def _cmd_eventual(args: argparse.Namespace) -> int:
     return _run_family_command("eventual", args)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    return _run_family_command("fuzz", args)
+
+
 # ----------------------------------------------------------------------
 # Campaign subcommands
 # ----------------------------------------------------------------------
@@ -320,6 +390,7 @@ def _campaign_from_args(args: argparse.Namespace):
             timeout=getattr(args, "timeout", None),
             backend=getattr(args, "backend", None),
             batch_memory=_batch_memory_bytes(args),
+            max_retries=getattr(args, "max_retries", 0) or 0,
         )
     if args.grid_json:
         with open(args.grid_json, "r", encoding="utf-8") as fh:
@@ -344,25 +415,86 @@ def _campaign_from_args(args: argparse.Namespace):
         backend=getattr(args, "backend", None) or "reference",
         batch_memory=_batch_memory_bytes(args),
         label="grid",
+        max_retries=getattr(args, "max_retries", 0) or 0,
+    )
+
+
+def _resume_hint(args: argparse.Namespace, campaign) -> str:
+    """One line telling the user how to pick up an interrupted run."""
+    campaign.refresh()
+    status = campaign.status()
+    remaining = status.missing + status.timeouts
+    cmd = "campaign run"
+    if getattr(args, "family", None):
+        cmd += f" --family {args.family}"
+    if getattr(args, "store", None):
+        cmd += f" --store {args.store}"
+    return (
+        f"interrupted: journal flushed; re-run `{cmd}` to resume the "
+        f"{remaining} remaining scenario(s)"
     )
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.engine.contracts import ContractViolation
+    from repro.engine.faults import InjectedFault
+
     try:
         campaign = _campaign_from_args(args)
         recorder, metrics_path = _metrics_recorder(args)
+        _apply_hardening(args)
     except (KeyError, ValueError) as exc:
         print(_errmsg(exc))
         return 2
-    report = campaign.run(
-        resume=not args.no_resume, progress=_progress_enabled(args),
-        recorder=recorder,
-    )
-    if recorder is not None:
-        recorder.write_sidecar(
-            metrics_path, label=getattr(args, "family", None) or "grid"
+
+    def _flush_sidecar() -> None:
+        if recorder is not None:
+            recorder.write_sidecar(
+                metrics_path, label=getattr(args, "family", None) or "grid"
+            )
+            print(
+                f"wrote metrics sidecar to {metrics_path}", file=sys.stderr
+            )
+
+    def _on_term(signum, frame):  # noqa: ARG001 — signal API
+        raise KeyboardInterrupt
+
+    # SIGINT already raises KeyboardInterrupt; route SIGTERM onto the
+    # same path so both take the flush-journal/terminate-workers exit
+    # (handler restoration matters for in-process callers, e.g. tests).
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _on_term)
+        except ValueError:  # pragma: no cover — non-main thread
+            pass
+    try:
+        report = campaign.run(
+            resume=not args.no_resume, progress=_progress_enabled(args),
+            recorder=recorder,
         )
-        print(f"wrote metrics sidecar to {metrics_path}", file=sys.stderr)
+    except KeyboardInterrupt:
+        # Every journaled record is already on disk (append + flush per
+        # result) and the executor's shutdown path has terminated the
+        # workers; what is left is the sidecar and a resume hint.
+        _flush_sidecar()
+        print(_resume_hint(args, campaign), file=sys.stderr)
+        return 1
+    except ContractViolation as exc:
+        _flush_sidecar()
+        print(f"contract violation: {exc}", file=sys.stderr)
+        return 1
+    except InjectedFault as exc:
+        _flush_sidecar()
+        print(f"injected fault: {exc}", file=sys.stderr)
+        print(_resume_hint(args, campaign), file=sys.stderr)
+        return 1
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    _flush_sidecar()
     print(report.summary())
     if args.summary:
         lines = campaign.write_summary(args.summary)
@@ -551,6 +683,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p_ev)
     p_ev.set_defaults(func=_cmd_eventual)
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential backend fuzzing with shrinking repros"
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=None,
+                        help="case budget (default 20)")
+    p_fuzz.add_argument("--salt", type=int, default=None,
+                        help="grid salt: a different salt draws a fresh "
+                        "deterministic case set")
+    _add_engine_args(p_fuzz)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
     p_camp = sub.add_parser(
         "campaign", help="parallel, resumable Monte-Carlo campaigns"
     )
@@ -564,8 +707,8 @@ def build_parser() -> argparse.ArgumentParser:
             "--family",
             default=None,
             help="run a registered experiment family (figure1, theorem2, "
-            "sweeps, termination, ablation, duality, eventual, latency) "
-            "instead of the generic agreement grid",
+            "sweeps, termination, ablation, duality, eventual, latency, "
+            "fuzz) instead of the generic agreement grid",
         )
         p.add_argument("-n", type=int, nargs="+", default=None)
         p.add_argument("-k", type=int, nargs="+", default=None)
@@ -583,6 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bad-prefix lengths (eventual family)")
         p.add_argument("--max-rounds", type=int, default=None,
                        help="round cap override (figure1 family)")
+        p.add_argument("--salt", type=int, default=None,
+                       help="grid salt (fuzz family: a different salt "
+                       "draws a fresh deterministic case set)")
         p.add_argument(
             "--grid-json",
             default=None,

@@ -40,6 +40,19 @@ fleet-scale workload generator:
   and a *volatile* plane (durations, batch shapes, worker profiles), and
   written as a schema-versioned ``<store>.metrics.json`` sidecar via
   ``campaign run --metrics``.
+* :mod:`repro.engine.contracts` — the **runtime contract layer**: a
+  zero-cost-off twin of the telemetry recorder (`NO_CONTRACTS` falsy
+  singleton, armed via ``REPRO_CONTRACTS=1`` or ``campaign run
+  --contracts``) running sampled re-derive-and-compare invariant
+  checkpoints inside the kernels, scheduler, executor and store;
+  violations raise :class:`ContractViolation` carrying a minimal JSON
+  repro instead of journaling untrustworthy records.
+* :mod:`repro.engine.faults` — **deterministic fault injection**: a
+  seeded :class:`FaultPlan` (worker kills, straggler stalls, transient
+  pool breakage, torn journal tails, dropped telemetry) with
+  content-hash victim selection and a once-only ledger, used by the
+  resilience tests and ``campaign run --faults SPEC`` drills; faulted
+  runs must reconverge to byte-identical journals on resume.
 * :mod:`repro.engine.campaign` — the **campaign API**
   (:class:`Campaign`), wired into the CLI as
   ``skeleton-agreement campaign run/status/report --jobs N --backend B``.
@@ -81,6 +94,14 @@ from repro.engine.backends import (
     fastpath_supported,
 )
 from repro.engine.campaign import Campaign, CampaignReport, run_campaign
+from repro.engine.contracts import (
+    NO_CONTRACTS,
+    ContractViolation,
+    Contracts,
+    contract,
+    contracts_enabled,
+)
+from repro.engine.faults import FaultPlan, InjectedFault
 from repro.engine.registry import (
     ExperimentSpec,
     family_campaign,
@@ -128,7 +149,12 @@ __all__ = [
     "Campaign",
     "CampaignReport",
     "Column",
+    "ContractViolation",
+    "Contracts",
     "ExperimentSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "NO_CONTRACTS",
     "NULL",
     "NullRecorder",
     "PlannedBatch",
@@ -142,6 +168,8 @@ __all__ = [
     "ScenarioSpec",
     "agreement_grid",
     "decision_latency_summary",
+    "contract",
+    "contracts_enabled",
     "decode_result",
     "encode_result",
     "batch_compatible",

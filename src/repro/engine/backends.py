@@ -46,10 +46,13 @@ count.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import replace
 from typing import Sequence
 
 from repro.analysis.stats import DecisionStats
+from repro.engine.contracts import ContractViolation, contract
+from repro.engine.contracts import get as _get_contracts
 from repro.engine.executor import ScenarioResult, execute_scenario
 from repro.engine.scenarios import ScenarioSpec
 from repro.graphs.matrices import root_component_count_matrix
@@ -266,6 +269,12 @@ def execute_scenario_vectorized(
         )
     except FastPathUnsupported:
         raise
+    except ContractViolation as exc:
+        # A violated invariant must abort loudly, never become an
+        # "error" journal record a resume would treat as settled.
+        raise exc.with_context(
+            id=spec.scenario_id, seed=spec.seed, backend=BACKEND_VECTORIZED
+        ) from exc
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         return ScenarioResult.failure(
             spec,
@@ -274,6 +283,18 @@ def execute_scenario_vectorized(
         )
 
 
+@contract(
+    # Batches are same-n by construction (the scheduler groups by n);
+    # a mixed batch would silently misshape the shared tensor stack.
+    pre=lambda specs, width=None, compact=True, recorder=None: (
+        len({spec.n for spec in specs}) <= 1
+    ),
+    # One result per spec, in spec order, whatever fell back or failed.
+    post=lambda result, specs, width=None, compact=True, recorder=None: (
+        len(result) == len(specs)
+        and all(r.spec == s for r, s in zip(result, specs))
+    ),
+)
 def execute_scenario_batch(
     specs: Sequence[ScenarioSpec],
     width: int | None = None,
@@ -330,6 +351,11 @@ def execute_scenario_batch(
             runs = simulate_fastpath_batch(
                 tasks, width=width, compact=compact, recorder=recorder
             )
+        except ContractViolation as exc:
+            raise exc.with_context(
+                backend=BACKEND_BATCHED, lanes=len(lanes), width=width,
+                compact=compact,
+            ) from exc
         except Exception as exc:  # noqa: BLE001 — isolate, then retry solo
             if len(lanes) == 1:
                 pos, spec, _, _ = lanes[0]
@@ -351,6 +377,15 @@ def execute_scenario_batch(
                         [spec], recorder=recorder
                     )[0]
         else:
+            contracts = _get_contracts()
+            if (
+                contracts
+                and len(lanes) > 1
+                and contracts.sample("backends.lane_identity")
+            ):
+                _verify_lane_identity(
+                    contracts, lanes, runs, width=width, compact=compact
+                )
             cache: dict = {}
             for (pos, spec, adversary, builder), fast in zip(lanes, runs):
                 try:
@@ -359,6 +394,11 @@ def execute_scenario_batch(
                     else:
                         result = builder(spec, fast, adversary)
                     results[pos] = replace(result, backend=BACKEND_BATCHED)
+                except ContractViolation as exc:
+                    raise exc.with_context(
+                        id=spec.scenario_id, seed=spec.seed,
+                        backend=BACKEND_BATCHED, lanes=len(lanes),
+                    ) from exc
                 except Exception as exc:  # noqa: BLE001
                     results[pos] = ScenarioResult.failure(
                         spec,
@@ -366,6 +406,51 @@ def execute_scenario_batch(
                         backend=BACKEND_BATCHED,
                     )
     return [results[pos] for pos in range(len(specs))]
+
+
+def _verify_lane_identity(
+    contracts, lanes, runs, width, compact
+) -> None:
+    """Lane-compaction identity checkpoint: re-run one deterministically
+    sampled lane of a just-finished mega-batch as a *singleton* kernel
+    call (fresh adversary, so the pure schedule re-derives) and demand
+    bit-identical decisions — the live form of the batched-equivalence
+    differential suite."""
+    digest = hashlib.sha256(
+        "".join(spec.scenario_id for _, spec, _, _ in lanes).encode()
+    ).hexdigest()
+    lane = int(digest[:8], 16) % len(lanes)
+    _pos, spec, _adversary, _builder = lanes[lane]
+    batched = runs[lane]
+    adversary = spec.build_adversary()
+    task = _fastpath_task(spec, adversary)
+    solo = simulate_fastpath(
+        task.adjacency,
+        list(task.initial_values),
+        purge_window=task.purge_window,
+        prune_unreachable=task.prune_unreachable,
+        max_rounds=task.max_rounds,
+    )
+    fields = lambda run: {  # noqa: E731 — tiny local projection
+        "num_rounds": run.num_rounds,
+        "all_decided": run.all_decided(),
+        "decision_rounds": run.decision_rounds(),
+        "decision_values": sorted(run.decision_values(), key=repr),
+    }
+    contracts.check_lane_identity(
+        fields(solo),
+        fields(batched),
+        context={
+            "id": spec.scenario_id,
+            "seed": spec.seed,
+            "backend": BACKEND_BATCHED,
+            "n": spec.n,
+            "lane": lane,
+            "lanes": len(lanes),
+            "width": width,
+            "compact": compact,
+        },
+    )
 
 
 def execute_scenario_with_backend(

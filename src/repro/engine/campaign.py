@@ -210,6 +210,12 @@ class Campaign:
     label:
         Human name for progress reporting (the experiment family name
         when the campaign was built by the registry).
+    max_retries:
+        Default in-run retry budget per work unit for :meth:`run`
+        (see :func:`~repro.engine.executor.execute_scenarios`): transient
+        worker failures are retried with capped deterministic backoff
+        before anything is journaled.  ``0`` (the default) preserves the
+        historical fail-fast behavior.
     """
 
     def __init__(
@@ -221,6 +227,7 @@ class Campaign:
         backend: str = "reference",
         batch_memory: int | None = None,
         label: str | None = None,
+        max_retries: int = 0,
     ) -> None:
         if isinstance(scenarios, ScenarioGrid):
             self.specs = scenarios.expand()
@@ -237,6 +244,7 @@ class Campaign:
         self.backend = backend
         self.batch_memory = batch_memory
         self.label = label
+        self.max_retries = max_retries
         # Journal snapshot, keyed by id.  One scan serves run/status/
         # report/summary within this Campaign object; run() keeps it
         # current as results are journaled.  Call refresh() if another
@@ -261,6 +269,7 @@ class Campaign:
         backend: str | None = None,
         progress: object = False,
         recorder=None,
+        max_retries: int | None = None,
     ) -> CampaignReport:
         """Execute every scenario that has no terminal record yet.
 
@@ -339,6 +348,9 @@ class Campaign:
                 batch_memory=self.batch_memory,
                 plan=plan,
                 recorder=rec if rec else None,
+                max_retries=(
+                    self.max_retries if max_retries is None else max_retries
+                ),
             )
         by_status = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
         for result in results:

@@ -39,6 +39,8 @@ import math
 import multiprocessing
 import os
 import pickle
+import random
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -48,6 +50,9 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.properties import check_agreement_properties
 from repro.analysis.stats import decision_stats
+from repro.engine import faults as _faults
+from repro.engine.contracts import ContractViolation
+from repro.engine.contracts import get as _get_contracts
 from repro.engine.scenarios import ScenarioSpec
 from repro.engine.telemetry import Recorder
 from repro.graphs.condensation import root_components
@@ -213,6 +218,7 @@ def _run_one(
     (those modules import this one, so the imports must not be circular
     at load time).
     """
+    _faults.before_scenario(spec)
     if spec.opt("family") is not None:
         from repro.engine.registry import run_registered_scenario
 
@@ -296,6 +302,8 @@ def _execute_chunk(
     recorder = Recorder()
     t0 = time.perf_counter()
     payload = list(_iter_chunk(chunk, backend, recorder=recorder))
+    if _faults.drop_worker_meta(chunk):
+        return payload
     return payload, _worker_meta(recorder, t0)
 
 
@@ -314,6 +322,8 @@ def _execute_planned(
     """
     from repro.engine.scheduler import run_planned_batch
 
+    for _idx, spec in batch.items:
+        _faults.before_scenario(spec)
     if not collect_metrics:
         return run_planned_batch(batch, backend, compact=compact)
     recorder = Recorder()
@@ -321,6 +331,8 @@ def _execute_planned(
     payload = run_planned_batch(
         batch, backend, compact=compact, recorder=recorder
     )
+    if _faults.drop_worker_meta(list(batch.items)):
+        return payload
     return payload, _worker_meta(recorder, t0)
 
 
@@ -345,6 +357,52 @@ def default_chunksize(num_specs: int, jobs: int) -> int:
     return max(1, num_specs // max(1, jobs * 4))
 
 
+_RETRY_BASE_S = 0.05
+_RETRY_CAP_S = 2.0
+
+
+def retry_delay(key: str, attempt: int) -> float:
+    """Backoff before in-run retry ``attempt`` (1-based) of a unit.
+
+    Capped exponential with *deterministic* decorrelated jitter: the
+    jitter RNG is seeded from the unit's first scenario id (a content
+    hash that embeds the campaign seed) and the attempt number, so two
+    colliding units spread apart but the schedule is reproducible."""
+    spread = 0.5 + random.Random(f"{key}:{attempt}").random()
+    return min(_RETRY_CAP_S, _RETRY_BASE_S * (2 ** (attempt - 1)) * spread)
+
+
+def _terminate_pool(executor: ProcessPoolExecutor) -> int:
+    """Shut a pool down *without* waiting, terminating every live worker
+    (stragglers past the deadline, stalled or orphaned processes of a
+    broken pool).  Returns the number of processes terminated.  The
+    worker list must be snapshotted before shutdown clears it."""
+    procs = list((getattr(executor, "_processes", None) or {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    terminated = 0
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            terminated += 1
+    for proc in procs:
+        if proc.is_alive():
+            proc.join(timeout=5.0)
+    return terminated
+
+
+def _terminal_failure(exc: BaseException, was_running: bool) -> bool:
+    """Whether a unit-level failure is deterministic (retrying would
+    fail identically).  Single source for the journal classifier
+    (:func:`failed_chunk` records) and the in-run retry gate."""
+    if isinstance(exc, BrokenProcessPool):
+        return was_running
+    return isinstance(
+        exc,
+        (pickle.PicklingError, MaybeEncodingError, AttributeError,
+         TypeError),
+    )
+
+
 def execute_scenarios(
     specs: Iterable[ScenarioSpec],
     jobs: int = 1,
@@ -357,6 +415,7 @@ def execute_scenarios(
     compact: bool = True,
     plan=None,
     recorder=None,
+    max_retries: int = 0,
 ) -> list[ScenarioResult]:
     """Execute many scenarios, serially or on a process pool.
 
@@ -410,6 +469,15 @@ def execute_scenarios(
         completion order) and adds dispatch-side durations — per-unit
         turnaround, worker busy time, queue wait — plus per-worker
         utilization info.
+    max_retries:
+        Bounded *in-run* retries per dispatch unit for retriable
+        failures (fleet-deadline timeouts, transient worker errors,
+        broken pools) before the failure is journaled for a later
+        resume.  Retries back off with :func:`retry_delay`; a unit that
+        broke the pool while running is re-run as singleton chunks so
+        the innocent majority completes and only the true killer (if
+        deterministic) fails terminally.  ``0`` (default) preserves the
+        journal-on-first-failure behavior exactly.
 
     Returns
     -------
@@ -496,6 +564,8 @@ def execute_scenarios(
             turnaround = time.monotonic() - submit_t
             recorder.add_duration("executor.unit_wall_s", turnaround)
             if meta is not None:
+                if merge_witness is not None:
+                    merge_witness.append(meta["snapshot"])
                 recorder.merge(meta["snapshot"])
                 busy = meta["busy_s"]
                 recorder.add_duration("executor.worker_busy_s", busy)
@@ -543,14 +613,7 @@ def execute_scenarios(
         #   * transient worker infrastructure (MemoryError, broken
         #     pipes) — journaled retriable like a timeout so a resumed
         #     campaign re-runs the chunk.
-        if isinstance(exc, BrokenProcessPool):
-            terminal = was_running
-        else:
-            terminal = isinstance(
-                exc,
-                (pickle.PicklingError, MaybeEncodingError,
-                 AttributeError, TypeError),
-            )
+        terminal = _terminal_failure(exc, was_running)
         return [
             (
                 idx,
@@ -564,73 +627,183 @@ def execute_scenarios(
             for idx, spec in chunk
         ]
 
+    contracts = _get_contracts()
+    # Worker snapshots in delivery order: the merge-commutativity
+    # contract re-merges them forward and backward at the end.
+    merge_witness: list[dict] | None = [] if (contracts and recorder) else None
+    max_retries = max(0, max_retries)
+    # A broken pool must be rebuilt before retried work can run; bound
+    # the rebuilds so a deterministically-crashing workload terminates.
+    max_rebuilds = 2 * max_retries + 2
+    rebuilds = 0
     ctx = multiprocessing.get_context()
     executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
     abandoned = False
+    pool_dead = False
     try:
         start = time.monotonic()
-        deadline = (
-            start + timeout * math.ceil(len(spec_list) / workers)
+        window = (
+            timeout * math.ceil(len(spec_list) / workers)
             if timeout is not None
             else None
         )
-        pending = [
-            (items, executor.submit(fn, *args), time.monotonic())
-            for items, (fn, *args) in units
+        deadline = start + window if window is not None else None
+        # The work queue: [items, call, attempts, not_before].  Retried
+        # units re-enter with attempts+1 and a backoff delay.
+        queue: list[list] = [
+            [items, call, 0, 0.0] for items, call in units
         ]
+        pending: list[tuple] = []  # (items, call, attempts, handle, t)
         # Which futures were ever observed executing on a worker — the
         # broken-pool classifier's running/queued attribution.  Polled,
         # so a worker that dies within one poll interval of starting may
         # leave its chunk attributed as queued (retriable) — erring
         # retriable is safe: the run still terminates and reports red.
         seen_running: set[int] = set()
-        # Harvest chunks in *completion* order so every finished chunk is
-        # journaled immediately — a slow chunk must not hold back the
+
+        def unit_key(items) -> str:
+            return items[0][1].scenario_id if items else "empty"
+
+        def requeue(items, call, attempts) -> None:
+            delay = retry_delay(unit_key(items), attempts + 1)
+            queue.append(
+                [items, call, attempts + 1, time.monotonic() + delay]
+            )
+            if recorder:
+                recorder.vinc("executor.unit_retries")
+
+        def split_singletons(items, attempts) -> None:
+            # A hard-killed worker took a whole unit down without saying
+            # which scenario was guilty: re-run the members as singleton
+            # chunks so the innocent majority completes and only the
+            # true killer (if deterministic) fails terminally.  Safe for
+            # planned batches too — batched results are tagged by
+            # backend, not by grouping, so journal bytes are identical.
+            for item in items:
+                requeue(
+                    [item],
+                    (_execute_chunk, [item], backend) + collect,
+                    attempts,
+                )
+            if recorder:
+                recorder.vinc("executor.singleton_splits")
+
+        def rebuild_pool() -> None:
+            nonlocal executor, pool_dead, rebuilds
+            _terminate_pool(executor)
+            executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx
+            )
+            pool_dead = False
+            rebuilds += 1
+            if recorder:
+                recorder.vinc("executor.pool_rebuilds")
+
+        # Harvest units in *completion* order so every finished unit is
+        # journaled immediately — a slow unit must not hold back the
         # durability of the fast ones behind it.
-        while pending:
-            still_pending = []
+        while queue or pending:
+            now = time.monotonic()
             progressed = False
-            for chunk, handle, submit_t in pending:
+            if pool_dead and not pending and queue:
+                # Broken futures all drained; bring up a fresh pool for
+                # the retried/queued work (or give up retriably).
+                if rebuilds < max_rebuilds:
+                    rebuild_pool()
+                else:
+                    exc = BrokenProcessPool(
+                        "worker pool broken and rebuild budget exhausted"
+                    )
+                    for items, call, attempts, _ in queue:
+                        deliver(failed_chunk(items, exc, False))
+                    queue = []
+                progressed = True
+            if not pool_dead and queue:
+                waiting = []
+                for entry in queue:
+                    items, call, attempts, not_before = entry
+                    if not_before <= now:
+                        handle = executor.submit(call[0], *call[1:])
+                        pending.append(
+                            (items, call, attempts, handle,
+                             time.monotonic())
+                        )
+                        progressed = True
+                    else:
+                        waiting.append(entry)
+                queue = waiting
+            still_pending = []
+            deadline_retried = False
+            for items, call, attempts, handle, submit_t in pending:
                 if handle.running():
                     seen_running.add(id(handle))
                 if handle.done():
+                    progressed = True
                     try:
                         payload = handle.result()
+                    except ContractViolation:
+                        # A violated invariant aborts the run loudly —
+                        # never journaled, never retried.
+                        raise
                     except BaseException as exc:  # noqa: BLE001
-                        payload = failed_chunk(
-                            chunk, exc, id(handle) in seen_running
-                        )
+                        was_running = id(handle) in seen_running
+                        if isinstance(exc, BrokenProcessPool):
+                            pool_dead = True
+                        if attempts < max_retries and (
+                            isinstance(exc, BrokenProcessPool)
+                            or not _terminal_failure(exc, was_running)
+                        ):
+                            if (
+                                isinstance(exc, BrokenProcessPool)
+                                and was_running
+                                and len(items) > 1
+                            ):
+                                split_singletons(items, attempts)
+                            else:
+                                requeue(items, call, attempts)
+                            continue
+                        payload = failed_chunk(items, exc, was_running)
                     deliver(payload, submit_t)
-                    progressed = True
-                elif deadline is not None and time.monotonic() > deadline:
+                elif deadline is not None and now > deadline:
+                    # Fleet deadline: every still-pending unit expires
+                    # together.  With retries left the stragglers'
+                    # workers are killed (pool rebuild) and the units
+                    # re-enter the queue under a fresh window; otherwise
+                    # they journal as retriable timeouts for resume.
                     handle.cancel()
-                    deliver(timed_out(chunk, deadline - start))
-                    abandoned = True
+                    if attempts < max_retries:
+                        requeue(items, call, attempts)
+                        pool_dead = True
+                        deadline_retried = True
+                    else:
+                        deliver(timed_out(items, window))
+                        abandoned = True
                     progressed = True
                 else:
-                    still_pending.append((chunk, handle, submit_t))
+                    still_pending.append(
+                        (items, call, attempts, handle, submit_t)
+                    )
             pending = still_pending
-            if pending and not progressed:
+            if deadline_retried:
+                deadline = time.monotonic() + window
+            if (queue or pending) and not progressed:
                 time.sleep(poll_interval)
     finally:
-        if abandoned:
-            # Straggler termination: chunks past the fleet deadline are
-            # already journaled as timeouts; kill their workers rather
-            # than wait for scenarios nobody will read.  (The worker list
-            # must be snapshotted before shutdown clears it.)
-            stragglers = list(
-                (getattr(executor, "_processes", None) or {}).values()
-            )
-            executor.shutdown(wait=False, cancel_futures=True)
-            terminated = 0
-            for proc in stragglers:
-                if proc.is_alive():
-                    proc.terminate()
-                    terminated += 1
-            if recorder and terminated:
+        # Any in-flight exception (contract violation, injected fault,
+        # SIGINT/SIGTERM translated to KeyboardInterrupt) must not hang
+        # on stuck workers: terminate instead of waiting, exactly like
+        # the straggler path.
+        failing = sys.exc_info()[0] is not None
+        if abandoned or pool_dead or failing:
+            terminated = _terminate_pool(executor)
+            if recorder and terminated and abandoned:
                 recorder.vinc("executor.straggler_terminations", terminated)
         else:
             executor.shutdown(wait=True, cancel_futures=True)
+    if merge_witness is not None and len(merge_witness) > 1:
+        contracts.check_merge_commutative(
+            merge_witness, context={"backend": backend, "jobs": jobs}
+        )
     if recorder:
         recorder.vinc("executor.units_dispatched", len(units))
         recorder.vgauge_max("executor.pool_workers", workers)

@@ -47,6 +47,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.engine.aggregate import AggregateTable
+from repro.engine.contracts import ContractViolation
 from repro.engine.executor import ScenarioResult, execute_scenario
 from repro.engine.scenarios import ScenarioSpec
 
@@ -183,6 +184,7 @@ FAMILY_MODULES = (
     "repro.experiments.duality",
     "repro.experiments.eventual",
     "repro.analysis.distributions",
+    "repro.experiments.fuzz",
 )
 
 _loaded = False
@@ -284,6 +286,11 @@ def run_registered_scenario(
         )
     try:
         return family.runner(spec)
+    except ContractViolation as exc:
+        # A violated runtime contract means results can no longer be
+        # trusted: abort the run loudly instead of journaling an error
+        # record a resume would treat as settled.
+        raise exc.with_context(id=spec.scenario_id, seed=spec.seed)
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         return ScenarioResult.failure(spec, f"{type(exc).__name__}: {exc}")
 
@@ -299,6 +306,7 @@ def family_campaign(
     timeout: float | None = None,
     backend: str | None = None,
     batch_memory: int | None = None,
+    max_retries: int = 0,
 ):
     """A :class:`~repro.engine.campaign.Campaign` over a family's grid.
 
@@ -320,6 +328,7 @@ def family_campaign(
         backend=resolved,
         batch_memory=batch_memory,
         label=family.name,
+        max_retries=max_retries,
     )
 
 
@@ -331,6 +340,7 @@ def run_family(
     timeout: float | None = None,
     backend: str | None = None,
     batch_memory: int | None = None,
+    max_retries: int = 0,
 ) -> list[ScenarioResult]:
     """One-shot: run (resuming) a family campaign, return grid-ordered
     completed results."""
@@ -342,6 +352,7 @@ def run_family(
         timeout=timeout,
         backend=backend,
         batch_memory=batch_memory,
+        max_retries=max_retries,
     )
     campaign.run()
     return campaign.completed_results()

@@ -56,6 +56,8 @@ from repro.engine.backends import (
     batch_compatible,
     execute_scenario_batch,
 )
+from repro.engine.contracts import contract
+from repro.engine.contracts import get as _get_contracts
 from repro.engine.executor import ScenarioResult
 from repro.engine.scenarios import ScenarioSpec
 from repro.rounds.fastpath import default_batch_size
@@ -146,6 +148,7 @@ def plan_batches(
     batch_memory: int | None = None,
     jobs: int = 1,
     recorder=None,
+    _verify: bool = True,
 ) -> BatchPlan:
     """Plan a work list into packed tensor batches.
 
@@ -166,6 +169,7 @@ def plan_batches(
     and jobs, same plan — and execution results are a pure function of
     the spec, so the cut never shows in journal bytes.
     """
+    items = list(items)
     groups: dict[tuple[int, int], list[IndexedSpec]] = {}
     singles: list[IndexedSpec] = []
     for idx, spec in items:
@@ -217,9 +221,32 @@ def plan_batches(
                 "scheduler.packing_efficiency_pct",
                 round(100.0 * plan.batched_lanes / slots, 1),
             )
+    if _verify:
+        contracts = _get_contracts()
+        if contracts and contracts.sample("scheduler.plan_determinism"):
+            # Plan determinism: re-planning the identical work list must
+            # reproduce the plan bit-for-bit (the invariant that makes
+            # journal bytes independent of when/where planning happens).
+            contracts.check_plan(
+                plan,
+                lambda: plan_batches(
+                    items, batch_memory, jobs, recorder=None,
+                    _verify=False,
+                ),
+                context={
+                    "scenarios": len(items),
+                    "batch_memory": batch_memory,
+                    "jobs": jobs,
+                },
+            )
     return plan
 
 
+@contract(
+    post=lambda result, batch, backend, compact=True, recorder=None: (
+        [idx for idx, _ in result] == [idx for idx, _ in batch.items]
+    )
+)
 def run_planned_batch(
     batch: PlannedBatch, backend: str, compact: bool = True, recorder=None
 ) -> list[tuple[int, ScenarioResult]]:

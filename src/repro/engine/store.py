@@ -16,11 +16,15 @@ trailing lines from a killed writer are tolerated and skipped.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.engine import faults as _faults
+from repro.engine.contracts import get as _get_contracts
 from repro.engine.executor import (
     STATUS_OK,
     ScenarioResult,
@@ -28,6 +32,8 @@ from repro.engine.executor import (
 )
 from repro.engine.scenarios import ScenarioSpec
 from repro.engine.telemetry import NULL, Recorder
+
+log = logging.getLogger("repro.engine.store")
 
 SCHEMA_VERSION = 1
 
@@ -140,13 +146,47 @@ class ResultStore:
         self.recorder = NULL if recorder is None else recorder
         self._memory: list[ScenarioResult] = []
         self._memory_times: list[tuple[str, float]] = []
+        self._tail_checked = False
 
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    def _heal_torn_tail(self) -> None:
+        """Terminate a torn (newline-less) trailing line left by a killed
+        writer, so re-appended records start on their own line instead of
+        gluing onto the fragment (which would corrupt a *valid* record).
+        Checked once per store instance, before the first file append."""
+        if self._tail_checked:
+            return
+        self._tail_checked = True
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return
+        with self.path.open("rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            torn = fh.read(1) != b"\n"
+        if torn:
+            log.warning(
+                "journal %s ends in a torn line (killed writer?); "
+                "terminating it — the fragment is skipped on read and "
+                "its scenario re-runs", self.path,
+            )
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write("\n")
+
     def append(self, result: ScenarioResult) -> None:
         """Journal one result (flushed immediately — a killed campaign
         loses at most the line being written)."""
+        contracts = _get_contracts()
+        if contracts and contracts.sample("store.canonical_backend_free"):
+            contracts.check_canonical_backend_free(
+                canonical_line(result),
+                canonical_line(replace(result, backend="__contracts__")),
+                context={
+                    "id": result.scenario_id,
+                    "backend": result.backend,
+                    "seed": result.spec.seed,
+                },
+            )
         line = journal_line(result)
         now = time.time()
         if self.path is None:
@@ -154,6 +194,18 @@ class ResultStore:
             self._memory_times.append((result.scenario_id, now))
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._heal_torn_tail()
+            if _faults.torn_append(result):
+                # Simulate a writer killed mid-write: flush a truncated
+                # line with no newline, then die before the .times
+                # sidecar entry lands.
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write(line[: max(1, (2 * len(line)) // 3)])
+                    fh.flush()
+                raise _faults.InjectedFault(
+                    f"injected torn journal write for "
+                    f"{result.scenario_id}"
+                )
             with self.path.open("a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
                 fh.flush()
@@ -180,8 +232,8 @@ class ResultStore:
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
                 if not line:
                     continue
                 try:
@@ -198,6 +250,14 @@ class ResultStore:
                     # whose spec is missing ScenarioSpec fields or has
                     # the wrong shape): resume simply re-runs that
                     # scenario.
+                    log.warning(
+                        "skipping %s journal line %d in %s "
+                        "(%d bytes); its scenario will re-run on resume",
+                        "torn trailing"
+                        if not raw.endswith("\n")
+                        else "corrupt",
+                        lineno, self.path, len(raw),
+                    )
                     continue
 
     def append_times(self) -> list[tuple[str, float]]:

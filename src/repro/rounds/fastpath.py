@@ -52,6 +52,19 @@ class FastPathUnsupported(RuntimeError):
     Algorithm 1).  ``backend="auto"`` catches this and falls back."""
 
 
+def _get_contracts():
+    """The active runtime-contracts object, resolved lazily.
+
+    Imported at call time: :mod:`repro.engine.contracts` lives in the
+    ``repro.engine`` package, whose ``__init__`` imports (transitively)
+    this module — a top-level import here would be circular.  When
+    contracts are off this is one memoized-lookup call per fetched
+    block, dwarfed by the RNG work it guards."""
+    from repro.engine.contracts import get
+
+    return get()
+
+
 # Cap on the lines 14–23 merge intermediate; owners are chunked so the
 # buffer never exceeds roughly this many bytes (see simulate_fastpath).
 _MERGE_BUF_BYTES = 32 * 1024 * 1024
@@ -246,6 +259,12 @@ def simulate_fastpath(
             raise ValueError(
                 f"schedule provider returned shape {fetched.shape}, "
                 f"expected {(upto - filled, n, n)}"
+            )
+        contracts = _get_contracts()
+        if contracts and contracts.sample("kernel.block_fetch"):
+            contracts.check_block_fetch(
+                provider, upto - filled, filled + 1, fetched,
+                context={"n": n, "kernel": "simulate_fastpath"},
             )
         schedule[filled:upto] = fetched
         if enforce_self_delivery:
@@ -615,6 +634,17 @@ def simulate_fastpath_batch(
                 raise ValueError(
                     f"schedule provider returned shape {fetched.shape}, "
                     f"expected {(upto - have, n, n)}"
+                )
+            contracts = _get_contracts()
+            if contracts and contracts.sample("kernel.block_fetch"):
+                contracts.check_block_fetch(
+                    t_provider[int(origin[s])], upto - have, have + 1,
+                    fetched,
+                    context={
+                        "n": n,
+                        "lane": int(s),
+                        "kernel": "simulate_fastpath_batch",
+                    },
                 )
             schedule[s, have:upto] = fetched
             if enforce_self_delivery:

@@ -1,0 +1,353 @@
+"""Runtime contract layer: zero-cost-off, checkpoints, violations."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import contracts as contracts_module
+from repro.engine.contracts import (
+    NO_CONTRACTS,
+    ContractViolation,
+    Contracts,
+    contract,
+    contracts_enabled,
+)
+from repro.engine.backends import (
+    execute_scenario_batch,
+    execute_scenario_vectorized,
+)
+from repro.engine.campaign import Campaign
+from repro.engine.scenarios import (
+    ADVERSARIES,
+    ScenarioSpec,
+    register_adversary,
+)
+from repro.engine.scheduler import plan_batches
+from repro.engine.store import ResultStore, canonical_line
+
+
+@pytest.fixture(autouse=True)
+def _clean_contract_state(monkeypatch):
+    """Every test starts and ends with contracts off and unmemoized."""
+    monkeypatch.delenv(contracts_module.CONTRACTS_ENV, raising=False)
+    monkeypatch.setattr(contracts_module, "_ACTIVE", None)
+    yield
+    monkeypatch.setattr(contracts_module, "_ACTIVE", None)
+
+
+# ----------------------------------------------------------------------
+# Activation plumbing
+# ----------------------------------------------------------------------
+def test_null_contracts_is_falsy_and_inert():
+    assert not NO_CONTRACTS
+    assert NO_CONTRACTS.sample("anything") is False
+    # Every check is a no-op even on garbage input.
+    NO_CONTRACTS.check_block_fetch(None, 0, 0, None)
+    NO_CONTRACTS.check_plan(None, None)
+    NO_CONTRACTS.check_lane_identity({}, {"x": 1})
+    NO_CONTRACTS.check_canonical_backend_free("a", "b")
+    NO_CONTRACTS.check_merge_commutative([])
+
+
+def test_get_defaults_to_off():
+    assert contracts_module.get() is NO_CONTRACTS
+
+
+def test_env_var_arms_contracts(monkeypatch):
+    monkeypatch.setenv(contracts_module.CONTRACTS_ENV, "1")
+    monkeypatch.setattr(contracts_module, "_ACTIVE", None)
+    active = contracts_module.get()
+    assert isinstance(active, Contracts)
+    assert active
+    # Memoized: same object on repeat lookups.
+    assert contracts_module.get() is active
+
+
+def test_env_zero_means_off(monkeypatch):
+    monkeypatch.setenv(contracts_module.CONTRACTS_ENV, "0")
+    monkeypatch.setattr(contracts_module, "_ACTIVE", None)
+    assert contracts_module.get() is NO_CONTRACTS
+
+
+def test_context_manager_restores_previous_state():
+    import os
+
+    before = contracts_module.get()
+    with contracts_enabled() as active:
+        assert isinstance(active, Contracts)
+        assert contracts_module.get() is active
+        assert os.environ[contracts_module.CONTRACTS_ENV] == "1"
+    assert contracts_module.get() is before
+    assert contracts_module.CONTRACTS_ENV not in os.environ
+
+
+def test_sampling_first_and_every_nth():
+    active = Contracts(sample_every=4)
+    hits = [active.sample("cp") for _ in range(9)]
+    assert hits == [True, False, False, False, True,
+                    False, False, False, True]
+    # Independent counters per checkpoint name.
+    assert active.sample("other") is True
+
+
+# ----------------------------------------------------------------------
+# ContractViolation mechanics
+# ----------------------------------------------------------------------
+def test_violation_message_carries_json_repro():
+    exc = ContractViolation("x.y", "boom", {"id": "abc", "seed": 3})
+    text = str(exc)
+    assert "contract violated [x.y]: boom" in text
+    assert '"id": "abc"' in text
+
+
+def test_violation_with_context_inner_keys_win():
+    exc = ContractViolation("c", "d", {"lane": 2})
+    enriched = exc.with_context(lane=9, backend="batched")
+    assert enriched.repro == {"lane": 2, "backend": "batched"}
+
+
+def test_violation_pickles_with_structure():
+    exc = ContractViolation("c", "d", {"seed": 1})
+    back = pickle.loads(pickle.dumps(exc))
+    assert isinstance(back, ContractViolation)
+    assert back.contract == "c"
+    assert back.detail == "d"
+    assert back.repro == {"seed": 1}
+    assert isinstance(back, AssertionError)
+
+
+# ----------------------------------------------------------------------
+# The @contract decorator
+# ----------------------------------------------------------------------
+def test_decorator_is_inert_when_off():
+    @contract(pre=lambda x: False, post=lambda r, x: False)
+    def fn(x):
+        return x + 1
+
+    # Conditions would fail — but contracts are off, so they never run.
+    assert fn(1) == 2
+
+
+def test_decorator_enforces_pre_and_post():
+    @contract(pre=lambda x: x >= 0)
+    def sqrtish(x):
+        return x**0.5
+
+    @contract(post=lambda r, x: r == x * 2)
+    def broken_double(x):
+        return x * 3
+
+    with contracts_enabled() as active:
+        assert sqrtish(4) == 2.0
+        with pytest.raises(ContractViolation, match="sqrtish.pre"):
+            sqrtish(-1)
+        with pytest.raises(ContractViolation, match="broken_double.post"):
+            broken_double(2)
+        assert active.violations == 2
+
+
+def test_decorator_wraps_condition_crashes():
+    @contract(pre=lambda x: x.undefined_attr)
+    def fn(x):
+        return x
+
+    with contracts_enabled():
+        with pytest.raises(ContractViolation, match="AttributeError"):
+            fn(3)
+
+
+# ----------------------------------------------------------------------
+# The named checkpoints
+# ----------------------------------------------------------------------
+def test_check_block_fetch_pass_and_fail():
+    active = Contracts()
+    stack = np.ones((2, 3, 3), dtype=bool)
+    active.check_block_fetch(lambda c, s: stack, 2, 1, stack)
+
+    calls = iter([stack, np.zeros((2, 3, 3), dtype=bool)])
+
+    def impure(count, start):
+        return next(calls)
+
+    fetched = impure(2, 1)
+    with pytest.raises(ContractViolation) as info:
+        active.check_block_fetch(impure, 2, 1, fetched, context={"n": 3})
+    assert info.value.contract == "adversary.block_fetch_purity"
+    assert info.value.repro["n"] == 3
+    assert info.value.repro["count"] == 2
+
+
+def test_check_plan_determinism():
+    active = Contracts()
+    active.check_plan([1, 2], lambda: [1, 2])
+    with pytest.raises(ContractViolation) as info:
+        active.check_plan([1, 2], lambda: [2, 1])
+    assert info.value.contract == "scheduler.plan_determinism"
+
+
+def test_check_lane_identity_compares_arrays():
+    active = Contracts()
+    active.check_lane_identity(
+        {"rounds": 5, "vals": np.array([1, 2])},
+        {"rounds": 5, "vals": np.array([1, 2])},
+    )
+    with pytest.raises(ContractViolation, match="lane field 'rounds'"):
+        active.check_lane_identity({"rounds": 5}, {"rounds": 6})
+
+
+def test_check_canonical_backend_free():
+    active = Contracts()
+    active.check_canonical_backend_free("x", "x")
+    with pytest.raises(ContractViolation) as info:
+        active.check_canonical_backend_free("x", "y", context={"id": "a"})
+    assert info.value.contract == "store.canonical_backend_free"
+
+
+def test_check_merge_commutative_passes_on_real_snapshots():
+    from repro.engine.telemetry import Recorder
+
+    a, b = Recorder(), Recorder()
+    a.inc("k", 2)
+    b.inc("k", 3)
+    b.inc("other", 1)
+    active = Contracts()
+    active.check_merge_commutative([a.snapshot(), b.snapshot()])
+    # Fewer than two snapshots: vacuously fine.
+    active.check_merge_commutative([a.snapshot()])
+
+
+# ----------------------------------------------------------------------
+# End-to-end: checkpoints wired into the engine
+# ----------------------------------------------------------------------
+def _spec(seed=0, n=6, **kw):
+    return ScenarioSpec(n=n, k=2, num_groups=2, seed=seed, noise=0.1, **kw)
+
+
+def test_vectorized_run_clean_under_contracts():
+    with contracts_enabled() as active:
+        result = execute_scenario_vectorized(_spec())
+        assert result.ok
+        assert active.checks > 0
+
+
+def test_batch_run_clean_under_contracts():
+    specs = [_spec(seed=s) for s in range(3)]
+    with contracts_enabled() as active:
+        results = execute_scenario_batch(specs)
+        assert [r.ok for r in results] == [True, True, True]
+        # The lane-identity checkpoint sampled at least the first batch.
+        assert active.checks > 0
+
+
+def test_plan_batches_verified_under_contracts():
+    items = list(enumerate(_spec(seed=s) for s in range(6)))
+    with contracts_enabled() as active:
+        plan = plan_batches(items, None, jobs=2)
+        assert plan is not None
+        assert active.checks > 0
+
+
+def test_impure_adversary_caught_by_block_fetch_contract():
+    from repro.adversaries.base import Adversary
+    from repro.graphs.digraph import DiGraph
+
+    class ImpureAdversary(Adversary):
+        """Returns a different schedule on every block fetch."""
+
+        def __init__(self, n):
+            super().__init__(n)
+            self._flips = 0
+
+        def graph(self, round_no):
+            g = DiGraph(nodes=range(self.n))
+            for p in range(self.n):
+                g.add_edge(p, p)
+                g.add_edge(p, (p + 1) % self.n)
+            return g
+
+        def adjacency_stack(self, rounds, start=1):
+            stack = super().adjacency_stack(rounds, start)
+            self._flips += 1
+            if self._flips > 1 and rounds:
+                stack[0, 0, 1] = not stack[0, 0, 1]
+            return stack
+
+    register_adversary("_impure_test", lambda spec: ImpureAdversary(spec.n))
+    try:
+        spec = ScenarioSpec(n=4, k=1, adversary="_impure_test")
+        with contracts_enabled():
+            with pytest.raises(ContractViolation) as info:
+                execute_scenario_vectorized(spec)
+        assert info.value.contract == "adversary.block_fetch_purity"
+        # The repro names the spec and backend for reproduction.
+        assert info.value.repro.get("backend") == "vectorized"
+        assert info.value.repro.get("id") == spec.scenario_id
+    finally:
+        ADVERSARIES.pop("_impure_test", None)
+
+
+def test_schedule_fingerprint_is_pure_witness():
+    spec = _spec()
+    a = spec.build_adversary().schedule_fingerprint(10)
+    b = spec.build_adversary().schedule_fingerprint(10)
+    assert a == b
+    assert a != spec.build_adversary().schedule_fingerprint(11)
+
+
+# ----------------------------------------------------------------------
+# Bytes are identical with contracts on or off
+# ----------------------------------------------------------------------
+def test_journal_and_summary_bytes_identical_on_off(tmp_path):
+    specs = [_spec(seed=s) for s in range(4)]
+
+    def run(tag, armed):
+        journal = tmp_path / f"{tag}.jsonl"
+        summary = tmp_path / f"{tag}.summary.jsonl"
+        campaign = Campaign(specs, store=str(journal), backend="auto")
+        if armed:
+            with contracts_enabled():
+                campaign.run()
+        else:
+            campaign.run()
+        campaign.write_summary(summary)
+        return journal.read_bytes(), summary.read_bytes()
+
+    journal_off, summary_off = run("off", armed=False)
+    journal_on, summary_on = run("on", armed=True)
+    assert summary_on == summary_off
+    assert journal_on == journal_off
+
+
+def test_canonical_line_is_backend_free():
+    from dataclasses import replace
+
+    from repro.engine.executor import execute_scenario
+
+    result = execute_scenario(_spec())
+    assert canonical_line(result) == canonical_line(
+        replace(result, backend="batched")
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_campaign_run_contracts_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    store = tmp_path / "journal.jsonl"
+    code = main(
+        [
+            "campaign", "run", "--store", str(store),
+            "--contracts", "--backend", "auto", "--no-progress",
+            "-n", "5", "-k", "2", "--seeds", "2", "--noise", "0.1",
+        ]
+    )
+    assert code == 0
+    assert store.exists()
+    out = capsys.readouterr().out
+    assert "state: ok" in out
+    # Contracts were actually armed in-process.
+    assert contracts_module.enabled()
