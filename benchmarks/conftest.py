@@ -91,7 +91,14 @@ def record_fastpath():
     * ``median_compaction_gain`` (schema 3) — the batch scheduler's
       lane-compaction gain over mask-only batching (the PR-4 kernel
       behavior), median across every group that records a
-      ``compaction_gain`` (the heterogeneous-latency ensembles).
+      ``compaction_gain`` (the heterogeneous-latency ensembles);
+    * ``median_packing_gain`` (schema 4) — cross-``n`` lane packing
+      over the per-``n`` grouping (the PR-5 scheduler behavior), median
+      across every group recording a ``packing_gain`` (the mixed-width
+      ensembles);
+    * ``median_steal_gain`` (schema 4) — work-stealing pool mode over
+      the throttled-but-no-steal pool on the same plan, median across
+      every group recording a ``steal_gain``.
     """
 
     def _record(
@@ -137,7 +144,7 @@ def record_fastpath():
         workloads = data.setdefault("workloads", {})
         workloads[workload] = entry
         data.pop("host", None)  # legacy file-level host block
-        data["schema"] = 3
+        data["schema"] = 4
         data["median_speedup"] = round(
             statistics.median(w["speedup"] for w in workloads.values()), 2
         )
@@ -160,16 +167,19 @@ def record_fastpath():
             data["median_batched_vs_vectorized"] = round(
                 statistics.median(group_gains), 2
             )
-        compaction_gains = [
-            g["compaction_gain"]
-            for w in workloads.values()
-            for g in w.get("groups", ())
-            if "compaction_gain" in g
-        ]
-        if compaction_gains:
-            data["median_compaction_gain"] = round(
-                statistics.median(compaction_gains), 2
-            )
+        for gain_key, file_key in (
+            ("compaction_gain", "median_compaction_gain"),
+            ("packing_gain", "median_packing_gain"),
+            ("steal_gain", "median_steal_gain"),
+        ):
+            gains = [
+                g[gain_key]
+                for w in workloads.values()
+                for g in w.get("groups", ())
+                if gain_key in g
+            ]
+            if gains:
+                data[file_key] = round(statistics.median(gains), 2)
         BENCH_FASTPATH_PATH.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"
         )

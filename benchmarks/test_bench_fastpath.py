@@ -36,6 +36,16 @@ MIN_BATCH_GAIN = 1.2  # batched over vectorized, median across groups
 # Lane compaction over mask-only batching (the PR-4 kernel behavior) on
 # the heterogeneous-latency ensemble; measured ~1.9-2.7x.
 MIN_COMPACTION_GAIN = 1.3
+# Cross-n packing over the per-n grouping (the PR-5 scheduler behavior)
+# on sparse mixed-width ensembles; measured ~1.5-2.1x.
+MIN_PACKING_GAIN = 1.3
+# The schema-3 BENCH_FASTPATH.json floor for median_speedup_batched: the
+# regression guard below fails a run that lands under FLOOR * SLACK.
+# The slack absorbs shared-box noise (per-group timings on a loaded CI
+# host jitter by tens of percent); a real regression — losing the
+# mega-batch, the scheduler, or compaction — lands at 2-7x, far below.
+SCHEMA3_SPEEDUP_FLOOR = 14.44
+FLOOR_SLACK = 0.7
 
 SEEDS = 24
 
@@ -537,6 +547,230 @@ def test_bench_contracts_overhead(benchmark, emit, record_contracts):
             "batched ensemble (off/off pair bounds noise; off <2% "
             "enforced, on informative)",
         )
+    )
+
+
+def _mixed_width_specs() -> list[tuple[str, list[ScenarioSpec]]]:
+    """Sparse mixed-``n`` ensembles sharing one round bucket (n=4..7 all
+    resolve inside the 64-round budget): the PR-5 scheduler runs one
+    tensor program per ``n`` — four programs of a handful of lanes each,
+    where per-program fixed cost and the per-round Python loop dominate
+    — while ``pack_widths`` fuses them into one padded program.  This is
+    the workload cross-``n`` packing exists for; dense per-``n``
+    ensembles (24+ seeds each) and wide-``n`` spreads amortize fine
+    unpacked and are *not* claimed here (padding can even lose — see the
+    README's when-it-wins notes)."""
+    term = [
+        ScenarioSpec(n=n, k=2, num_groups=2, seed=s, noise=0.15)
+        for n in (4, 5, 6, 7)
+        for s in range(4)
+    ]
+    hetero = [
+        ScenarioSpec(n=n, k=2, num_groups=2, seed=s, noise=noise,
+                     options=options)
+        for n in (4, 5, 6, 7)
+        for s in range(2)
+        for noise, options in (
+            (0.3, ()),
+            (0.1, (("purge_window", 3),)),
+            (0.15, (("prune_unreachable", False),)),
+        )
+    ]
+    return [("term ns=4..7", term), ("hetero ns=4..7", hetero)]
+
+
+PACKED_HEADERS = [
+    "group",
+    "scenarios",
+    "pr5_ms",
+    "packed_ms",
+    "packing",
+    "steal",
+]
+
+
+def test_bench_fastpath_cross_width_packing(benchmark, emit, record_fastpath):
+    """PACKED-MIX: cross-n packing + work stealing vs the PR-5 scheduler.
+
+    Each group is timed through the identical executor twice — per-``n``
+    grouping (the PR-5 plan) vs ``pack_widths`` — with journal bytes
+    asserted identical first.  The steal column is the pooled leg on the
+    packed plan (jobs=2, steal on vs off): on a multi-core host stealing
+    shortens skewed tails; on a single-core host it is granularity
+    insurance and the ratio sits near 1.0 — recorded either way, never
+    floor-gated (the packing gain carries the speedup criterion).
+    """
+    groups = _mixed_width_specs()
+
+    def _run():
+        rows, entries = [], []
+        total_ref = total_vect = total_pr5 = total_packed = total_n = 0
+        for label, specs in groups:
+            pr5 = execute_scenarios(specs, backend="batched")
+            packed = execute_scenarios(
+                specs, backend="batched", pack_widths=True
+            )
+            lines = [canonical_line(r) for r in pr5]
+            assert lines == [canonical_line(r) for r in packed]
+            assert lines == [
+                canonical_line(r)
+                for r in execute_scenarios(specs, backend="reference")
+            ]
+            ref_s = _best_of(
+                lambda: execute_scenarios(specs, backend="reference")
+            )
+            vect_s = _best_of(
+                lambda: execute_scenarios(specs, backend="vectorized")
+            )
+            pr5_s = _best_of(
+                lambda: execute_scenarios(specs, backend="batched"),
+                repeats=5,
+            )
+            packed_s = _best_of(
+                lambda: execute_scenarios(
+                    specs, backend="batched", pack_widths=True
+                ),
+                repeats=5,
+            )
+            rows.append(
+                [
+                    label,
+                    len(specs),
+                    round(pr5_s * 1e3, 1),
+                    round(packed_s * 1e3, 1),
+                    round(pr5_s / packed_s, 2),
+                    "-",
+                ]
+            )
+            entries.append(
+                {
+                    "group": label,
+                    "scenarios": len(specs),
+                    "reference_s": round(ref_s, 4),
+                    "vectorized_s": round(vect_s, 4),
+                    "batched_unpacked_s": round(pr5_s, 4),
+                    "batched_s": round(packed_s, 4),
+                    "speedup_vs_reference": round(ref_s / packed_s, 2),
+                    "packing_gain": round(pr5_s / packed_s, 2),
+                }
+            )
+            total_ref += ref_s
+            total_vect += vect_s
+            total_pr5 += pr5_s
+            total_packed += packed_s
+            total_n += len(specs)
+        # The pooled steal leg: one skewed packed plan across two
+        # workers, steal off vs on (identical journal bytes asserted by
+        # the differential suite; here only the wall-clocks differ).
+        steal_specs = [
+            spec
+            for _, specs in groups
+            for spec in specs
+        ] + [
+            ScenarioSpec(n=7, k=2, num_groups=2, seed=s, noise=0.35)
+            for s in range(8)
+        ]
+        pool_kw = dict(backend="batched", pack_widths=True, jobs=2)
+        nosteal_s = _best_of(
+            lambda: execute_scenarios(steal_specs, **pool_kw), repeats=3
+        )
+        steal_s = _best_of(
+            lambda: execute_scenarios(steal_specs, steal=True, **pool_kw),
+            repeats=3,
+        )
+        entries.append(
+            {
+                "group": "pool jobs=2",
+                "scenarios": len(steal_specs),
+                "pool_nosteal_s": round(nosteal_s, 4),
+                "pool_steal_s": round(steal_s, 4),
+                "steal_gain": round(nosteal_s / steal_s, 2),
+            }
+        )
+        rows.append(
+            [
+                "pool jobs=2",
+                len(steal_specs),
+                round(nosteal_s * 1e3, 1),
+                round(steal_s * 1e3, 1),
+                "-",
+                round(nosteal_s / steal_s, 2),
+            ]
+        )
+        rows.append(
+            [
+                "total",
+                total_n,
+                round(total_pr5 * 1e3, 1),
+                round(total_packed * 1e3, 1),
+                round(total_pr5 / total_packed, 2),
+                "-",
+            ]
+        )
+        totals = (total_ref, total_vect, total_pr5, total_packed, total_n)
+        return rows, entries, totals
+
+    rows, entries, totals = benchmark.pedantic(_run, rounds=1, iterations=1)
+    total_ref, total_vect, total_pr5, total_packed, total_n = totals
+    median_packing = statistics.median(
+        g["packing_gain"] for g in entries if "packing_gain" in g
+    )
+    assert median_packing >= MIN_PACKING_GAIN, (
+        f"cross-n packing gain {median_packing} < {MIN_PACKING_GAIN} on "
+        "the sparse mixed-width ensembles it exists for"
+    )
+    record_fastpath(
+        "PACKED-MIX",
+        total_ref,
+        total_vect,
+        total_n,
+        batched_s=total_packed,
+        extra={
+            "grid": "sparse mixed-width ensembles ns=4..7 (termination-"
+            "style 4 seeds/n + hetero-latency 6 variants/n), one "
+            "64-round bucket",
+            "batched_unpacked_s": round(total_pr5, 4),
+            "packing_gain": round(total_pr5 / total_packed, 2),
+            "packing_baseline": "batched with per-n grouping (the PR-5 "
+            "scheduler behavior)",
+            "steal_baseline": "pool jobs=2 on the packed plan with "
+            "steal off (throttled dispatch either way); single-core "
+            "hosts show ~1.0",
+            "groups": entries,
+        },
+    )
+    emit(
+        format_table(
+            PACKED_HEADERS,
+            rows,
+            title="FASTPATH-PACKED — cross-n packing vs per-n grouping "
+            "on sparse mixed-width ensembles, plus the pooled "
+            "steal leg (identical journal bytes asserted first)",
+        )
+    )
+
+
+def test_bench_fastpath_floor_guard():
+    """The recorded trajectory must not regress below the schema-3 floor.
+
+    Reads ``median_speedup_batched`` back from BENCH_FASTPATH.json after
+    the workload benches above have upserted their timings (file order
+    runs them first) and fails if it fell below the schema-3 recorded
+    floor with shared-box slack — the backstop that keeps a silent
+    kernel/scheduler regression from shipping inside an otherwise-green
+    bench run.
+    """
+    import json
+    import pathlib
+
+    path = pathlib.Path(__file__).parent / "BENCH_FASTPATH.json"
+    data = json.loads(path.read_text())
+    assert data["schema"] >= 3
+    recorded = data["median_speedup_batched"]
+    assert recorded >= SCHEMA3_SPEEDUP_FLOOR * FLOOR_SLACK, (
+        f"median_speedup_batched {recorded} fell below the schema-3 "
+        f"floor {SCHEMA3_SPEEDUP_FLOOR} (x{FLOOR_SLACK} noise slack) — "
+        "the mega-batched backend has regressed"
     )
 
 

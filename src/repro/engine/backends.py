@@ -47,8 +47,9 @@ count.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.analysis.stats import DecisionStats
 from repro.engine.contracts import ContractViolation, contract
@@ -78,6 +79,59 @@ BACKENDS = (
 
 # Algorithms the fast path covers; everything else falls back/raises.
 _FASTPATH_ALGORITHMS = frozenset({"algorithm1"})
+
+
+class SkeletonCache:
+    """Bounded LRU for skeleton-only statistics, shared across batches.
+
+    Ensemble campaigns sweep many seeds over few adversary *skeletons*:
+    every seed of one cell declares the same stable matrix, so the two
+    skeleton-only verdicts (root-component count, ``Psrcs(k)``) repeat
+    across batches, not just within one.  Keys embed the stable matrix
+    *bytes* (plus ``k`` for Psrcs), so a hit can only ever return the
+    value the miss path would have computed — pure memoization, journal
+    bytes are cache-invariant (the differential suite pins this).
+    Hit/miss totals land on the telemetry *volatile* plane: they depend
+    on batch execution order, never on results.
+
+    Per-process state: pool workers each grow their own (their counters
+    merge through the worker telemetry sidecar).  ``clear()`` exists for
+    tests and memory hygiene, not correctness.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("need max_entries >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, compute: Callable):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._data[key] = value
+            if len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+            return value
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: The process-wide skeleton-statistics cache (see :class:`SkeletonCache`).
+skeleton_cache = SkeletonCache()
 
 
 def fastpath_supported(spec: ScenarioSpec) -> bool:
@@ -167,7 +221,7 @@ def _stock_result(
     spec: ScenarioSpec,
     fast: FastPathRun,
     adversary,
-    cache: dict | None = None,
+    cache: SkeletonCache | None = None,
 ) -> ScenarioResult:
     """Build the stock metric schema from one finished fast-path run.
 
@@ -176,12 +230,13 @@ def _stock_result(
     machinery the reference path uses — on the *same* stable skeleton, so
     equality is structural, not approximate.
 
-    ``cache`` (per mega-batch) memoizes the two skeleton-only statistics
-    — root-component count and the ``Psrcs(k)`` verdict — keyed by the
-    stable matrix bytes: every seed of one ensemble cell shares its
-    declared stable skeleton, so a batch computes each verdict once
-    instead of once per lane.  Pure memoization: values are identical
-    with or without it.
+    ``cache`` (the process-wide :class:`SkeletonCache` on the batch
+    path) memoizes the two skeleton-only statistics — root-component
+    count and the ``Psrcs(k)`` verdict — keyed by the stable matrix
+    bytes: every seed of one ensemble cell shares its declared stable
+    skeleton, so the campaign computes each verdict once instead of
+    once per lane.  Pure memoization: values are identical with or
+    without it.
     """
     stats, declared_matrix = fastpath_decision_stats(fast, adversary)
     stable_matrix = (
@@ -196,16 +251,14 @@ def _stock_result(
         psrcs_holds = Psrcs(spec.k).check_skeleton_matrix(stable_matrix).holds
     else:
         stable_key = stable_matrix.tobytes()
-        roots_key = ("roots", stable_key)
-        if roots_key not in cache:
-            cache[roots_key] = root_component_count_matrix(stable_matrix)
-        root_components = cache[roots_key]
-        psrcs_key = ("psrcs", spec.k, stable_key)
-        if psrcs_key not in cache:
-            cache[psrcs_key] = (
-                Psrcs(spec.k).check_skeleton_matrix(stable_matrix).holds
-            )
-        psrcs_holds = cache[psrcs_key]
+        root_components = cache.get(
+            ("roots", stable_key),
+            lambda: root_component_count_matrix(stable_matrix),
+        )
+        psrcs_holds = cache.get(
+            ("psrcs", spec.k, stable_key),
+            lambda: Psrcs(spec.k).check_skeleton_matrix(stable_matrix).holds,
+        )
     return ScenarioResult(
         spec=spec,
         num_rounds=fast.num_rounds,
@@ -284,12 +337,9 @@ def execute_scenario_vectorized(
 
 
 @contract(
-    # Batches are same-n by construction (the scheduler groups by n);
-    # a mixed batch would silently misshape the shared tensor stack.
-    pre=lambda specs, width=None, compact=True, recorder=None: (
-        len({spec.n for spec in specs}) <= 1
-    ),
     # One result per spec, in spec order, whatever fell back or failed.
+    # (Mixed-n batches are legal since cross-n packing: the kernel pads
+    # narrower lanes to the widest member and masks the padding.)
     post=lambda result, specs, width=None, compact=True, recorder=None: (
         len(result) == len(specs)
         and all(r.spec == s for r, s in zip(result, specs))
@@ -301,13 +351,15 @@ def execute_scenario_batch(
     compact: bool = True,
     recorder=None,
 ) -> list[ScenarioResult]:
-    """Run a group of same-``n`` scenarios through one mega-batched kernel.
+    """Run a group of scenarios through one mega-batched kernel.
 
     The scenario-level face of
     :func:`~repro.rounds.fastpath.simulate_fastpath_batch`: adversary
     schedules are pulled lane-wise through ``adjacency_stack`` into the
     shared ``(S, R, n, n)`` stack and the whole group advances round by
-    round with zero per-scenario Python control flow.  ``width`` caps
+    round with zero per-scenario Python control flow.  Lanes need not
+    share ``n``: a packed (mixed-``n``) group runs at the widest
+    member's width with the padding masked by the kernel.  ``width`` caps
     the kernel's concurrent lanes (the scheduler passes the memory
     envelope; surplus lanes refill freed width as batchmates retire)
     and ``compact`` toggles live-lane compaction — both are pure
@@ -386,7 +438,8 @@ def execute_scenario_batch(
                 _verify_lane_identity(
                     contracts, lanes, runs, width=width, compact=compact
                 )
-            cache: dict = {}
+            cache = skeleton_cache
+            hits0, misses0 = cache.hits, cache.misses
             for (pos, spec, adversary, builder), fast in zip(lanes, runs):
                 try:
                     if builder is _stock_result:
@@ -405,6 +458,19 @@ def execute_scenario_batch(
                         f"{type(exc).__name__}: {exc}",
                         backend=BACKEND_BATCHED,
                     )
+            if recorder:
+                # Volatile plane: hit/miss split depends on how the
+                # campaign was cut into batches and which worker ran
+                # them — never on result bytes.
+                recorder.vinc(
+                    "backends.skeleton_cache_hits", cache.hits - hits0
+                )
+                recorder.vinc(
+                    "backends.skeleton_cache_misses", cache.misses - misses0
+                )
+                recorder.vgauge_max(
+                    "backends.skeleton_cache_entries", len(cache)
+                )
     return [results[pos] for pos in range(len(specs))]
 
 

@@ -207,6 +207,18 @@ class Campaign:
         backends (``None``: the built-in budget).  A pure packing knob
         for the batch scheduler — journals and summaries are
         byte-identical whatever the envelope.
+    pack_widths:
+        Cross-``n`` lane packing for the batched/auto backends: group
+        mixed-``n`` batch-compatible scenarios into one padded tensor
+        program per round bucket (see
+        :func:`repro.engine.scheduler.plan_batches`).  Pure packing
+        knob — journals and summaries are byte-identical either way.
+    steal:
+        Work-stealing pool mode: idle workers steal deterministic
+        halves of oversized planned batches (see
+        :func:`~repro.engine.executor.execute_scenarios`).  Pure
+        execution-shape knob — journals and summaries are
+        byte-identical either way.
     label:
         Human name for progress reporting (the experiment family name
         when the campaign was built by the registry).
@@ -226,6 +238,8 @@ class Campaign:
         timeout: float | None = None,
         backend: str = "reference",
         batch_memory: int | None = None,
+        pack_widths: bool = False,
+        steal: bool = False,
         label: str | None = None,
         max_retries: int = 0,
     ) -> None:
@@ -243,6 +257,8 @@ class Campaign:
         self.timeout = timeout
         self.backend = backend
         self.batch_memory = batch_memory
+        self.pack_widths = pack_widths
+        self.steal = steal
         self.label = label
         self.max_retries = max_retries
         # Journal snapshot, keyed by id.  One scan serves run/status/
@@ -318,6 +334,7 @@ class Campaign:
                 list(enumerate(todo)),
                 self.batch_memory,
                 jobs=max(1, resolved_jobs),
+                pack_widths=self.pack_widths,
                 recorder=rec,
             )
         reporter = None
@@ -346,6 +363,8 @@ class Campaign:
                 on_result=journal,
                 backend=resolved_backend,
                 batch_memory=self.batch_memory,
+                pack_widths=self.pack_widths,
+                steal=self.steal,
                 plan=plan,
                 recorder=rec if rec else None,
                 max_retries=(
@@ -430,6 +449,8 @@ def run_campaign(
     resume: bool = True,
     backend: str = "reference",
     batch_memory: int | None = None,
+    pack_widths: bool = False,
+    steal: bool = False,
 ) -> list[ScenarioResult]:
     """One-shot convenience: run (resuming) and return grid-ordered
     results.  The workhorse behind the refactored sweeps and benchmarks."""
@@ -440,6 +461,8 @@ def run_campaign(
         timeout=timeout,
         backend=backend,
         batch_memory=batch_memory,
+        pack_widths=pack_widths,
+        steal=steal,
     )
     campaign.run(resume=resume)
     return campaign.completed_results()

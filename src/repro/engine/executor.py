@@ -235,6 +235,7 @@ def _iter_chunk(
     backend: str,
     batch_memory: int | None = None,
     compact: bool = True,
+    pack_widths: bool = False,
     recorder=None,
 ) -> Iterable[tuple[int, ScenarioResult]]:
     """Yield one work list's results, tagged with their input indices.
@@ -251,7 +252,7 @@ def _iter_chunk(
 
         yield from iter_planned(
             chunk, backend, batch_memory=batch_memory, compact=compact,
-            recorder=recorder,
+            pack_widths=pack_widths, recorder=recorder,
         )
         return
     for idx, spec in chunk:
@@ -413,6 +414,8 @@ def execute_scenarios(
     backend: str = "reference",
     batch_memory: int | None = None,
     compact: bool = True,
+    pack_widths: bool = False,
+    steal: bool = False,
     plan=None,
     recorder=None,
     max_retries: int = 0,
@@ -456,6 +459,24 @@ def execute_scenarios(
         Whether the batch kernel compacts live lanes as batchmates
         retire (diagnostic toggle for the differential suite and the
         fast-path benchmark; results are bit-identical either way).
+    pack_widths:
+        Cross-``n`` packing for the batched/auto backends when the plan
+        is computed *here* (``plan=None``): mixed-``n`` grids batch into
+        one padded tensor program per round bucket — see
+        :func:`repro.engine.scheduler.plan_batches`.  A pure packing
+        knob: results and journal bytes are identical either way.
+    steal:
+        Work-stealing pool mode (pool path, batched/auto backends).
+        The parent throttles dispatch to one in-flight unit per worker
+        and keeps the rest queued; whenever the ready backlog is
+        thinner than the pool, the largest queued planned batch is cut
+        in half at its deterministic midpoint
+        (:func:`repro.engine.scheduler.split_planned`) so idle workers
+        steal the tail of oversized batches instead of draining out.
+        Split points are a pure function of the plan and batched
+        results are tagged by backend, never by grouping — journal
+        bytes and the deterministic telemetry plane are steal-invariant
+        (the differential suite pins this).
     plan:
         A precomputed :class:`~repro.engine.scheduler.BatchPlan` for
         exactly this work list (the campaign layer passes the plan its
@@ -504,6 +525,7 @@ def execute_scenarios(
                 backend,
                 batch_memory=batch_memory,
                 compact=compact,
+                pack_widths=pack_widths,
                 recorder=recorder,
             )
         for idx, result in streamed:
@@ -531,7 +553,7 @@ def execute_scenarios(
 
             plan = plan_batches(
                 indexed, batch_memory=batch_memory, jobs=jobs,
-                recorder=recorder,
+                pack_widths=pack_widths, recorder=recorder,
             )
         for batch in plan.batches:
             units.append(
@@ -553,6 +575,48 @@ def execute_scenarios(
             indexed, chunksize or default_chunksize(len(indexed), jobs)
         ):
             units.append((chunk, (_execute_chunk, chunk, backend) + collect))
+    steal = steal and backend in ("batched", "auto")
+    steal_splits = 0
+
+    def _split_unit(call) -> list[tuple[list[IndexedSpec], tuple]]:
+        # Halve one planned batch at the deterministic midpoint; the
+        # halves inherit the call's backend/compact/collect tail.
+        from repro.engine.scheduler import split_planned
+
+        nonlocal steal_splits
+        steal_splits += 1
+        halves = split_planned(call[1])
+        active_contracts = _get_contracts()
+        if active_contracts and active_contracts.sample("steal_split"):
+            active_contracts.check_split_partition(
+                call[1], halves, context={"backend": backend}
+            )
+        return [
+            (list(half.items), (_execute_planned, half) + call[2:])
+            for half in halves
+        ]
+
+    def _largest_splittable(entries, unit_of) -> int | None:
+        from repro.engine.scheduler import can_split
+
+        best = None
+        best_lanes = 0
+        for i, entry in enumerate(entries):
+            call = unit_of(entry)
+            if call[0] is _execute_planned and can_split(call[1]):
+                if call[1].lanes > best_lanes:
+                    best, best_lanes = i, call[1].lanes
+        return best
+
+    if steal:
+        # Pre-split so the pool is never narrower than jobs just
+        # because the plan produced few (large) batches.
+        while len(units) < jobs:
+            i = _largest_splittable(units, lambda entry: entry[1])
+            if i is None:
+                break
+            call = units.pop(i)[1]
+            units[i:i] = _split_unit(call)
     workers = min(jobs, len(units))
     collected: dict[int, ScenarioResult] = {}
     # pid -> [units, busy_s]; feeds the per-worker utilization info.
@@ -719,10 +783,33 @@ def execute_scenarios(
                     queue = []
                 progressed = True
             if not pool_dead and queue:
+                if steal:
+                    # Steal: keep the backlog deep enough that no
+                    # worker can go idle behind one oversized batch —
+                    # cut the largest queued planned batch in half
+                    # (deterministic midpoint) until there are at least
+                    # two units per worker in the system or nothing
+                    # splittable is left.
+                    while len(queue) + len(pending) < 2 * workers:
+                        i = _largest_splittable(
+                            queue, lambda entry: entry[1]
+                        )
+                        if i is None:
+                            break
+                        items, call, attempts, not_before = queue.pop(i)
+                        queue[i:i] = [
+                            [half_items, half_call, attempts, not_before]
+                            for half_items, half_call in _split_unit(call)
+                        ]
                 waiting = []
                 for entry in queue:
                     items, call, attempts, not_before = entry
-                    if not_before <= now:
+                    # Throttled dispatch under steal: one in-flight unit
+                    # per worker, the rest stay here where they can
+                    # still be split.  Eager dispatch otherwise.
+                    if not_before <= now and (
+                        not steal or len(pending) < workers
+                    ):
                         handle = executor.submit(call[0], *call[1:])
                         pending.append(
                             (items, call, attempts, handle,
@@ -806,6 +893,12 @@ def execute_scenarios(
         )
     if recorder:
         recorder.vinc("executor.units_dispatched", len(units))
+        if steal_splits:
+            # One split turns one queued batch into two stealable
+            # halves.  Volatile plane: how often stealing kicked in is
+            # pure execution shape (jobs, timing), never results.
+            recorder.vinc("executor.steal_splits", steal_splits)
+            recorder.vinc("executor.batches_stolen", 2 * steal_splits)
         recorder.vgauge_max("executor.pool_workers", workers)
         wall = time.monotonic() - start
         if worker_stats:

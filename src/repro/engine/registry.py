@@ -306,6 +306,8 @@ def family_campaign(
     timeout: float | None = None,
     backend: str | None = None,
     batch_memory: int | None = None,
+    pack_widths: bool = False,
+    steal: bool = False,
     max_retries: int = 0,
 ):
     """A :class:`~repro.engine.campaign.Campaign` over a family's grid.
@@ -327,6 +329,8 @@ def family_campaign(
         timeout=timeout,
         backend=resolved,
         batch_memory=batch_memory,
+        pack_widths=pack_widths,
+        steal=steal,
         label=family.name,
         max_retries=max_retries,
     )
@@ -340,6 +344,8 @@ def run_family(
     timeout: float | None = None,
     backend: str | None = None,
     batch_memory: int | None = None,
+    pack_widths: bool = False,
+    steal: bool = False,
     max_retries: int = 0,
 ) -> list[ScenarioResult]:
     """One-shot: run (resuming) a family campaign, return grid-ordered
@@ -352,6 +358,8 @@ def run_family(
         timeout=timeout,
         backend=backend,
         batch_memory=batch_memory,
+        pack_widths=pack_widths,
+        steal=steal,
         max_retries=max_retries,
     )
     campaign.run()

@@ -60,7 +60,7 @@ from repro.engine.contracts import contract
 from repro.engine.contracts import get as _get_contracts
 from repro.engine.executor import ScenarioResult
 from repro.engine.scenarios import ScenarioSpec
-from repro.rounds.fastpath import default_batch_size
+from repro.rounds.fastpath import default_batch_size, lane_bytes
 
 IndexedSpec = tuple[int, ScenarioSpec]
 
@@ -88,12 +88,16 @@ def round_bucket(max_rounds: int) -> int:
 
 @dataclass(frozen=True)
 class PlannedBatch:
-    """One packed tensor batch: same-``n``, same round-budget bucket.
+    """One packed tensor batch, sharing a round-budget bucket.
 
     ``items`` holds ``(work-list index, spec)`` pairs in work-list order;
     ``width`` is the kernel's concurrent-lane cap (the memory envelope) —
     ``len(items)`` may exceed it, in which case the kernel refills freed
-    width from the remaining lanes as earlier ones retire.
+    width from the remaining lanes as earlier ones retire.  ``n`` is the
+    batch's *tensor* width: without ``pack_widths`` every member shares
+    it; under cross-``n`` packing it is the widest member's ``n`` and
+    narrower lanes run padded up to it (the kernel masks the padding, so
+    results are bit-identical either way).
     """
 
     n: int
@@ -143,10 +147,60 @@ class BatchPlan:
 MIN_SPLIT_LANES = 8
 
 
+def estimate_batch_bytes(n: int, max_rounds: int, lanes: int = 1) -> int:
+    """Working-set bytes of a planned batch running ``lanes`` concurrent
+    lanes at tensor width ``n``.
+
+    This is the quantity the ``--batch-memory`` envelope bounds.  Under
+    cross-``n`` packing, ``n`` must be the batch's *padded* width (its
+    widest member), never a member's nominal ``n`` — a packed lane
+    occupies a full padded slice of every kernel tensor, so sizing the
+    envelope from nominal widths would overflow it by up to
+    ``(pad/n)^3`` per lane.
+    """
+    if lanes < 1:
+        raise ValueError("need lanes >= 1")
+    return lanes * lane_bytes(n, max_rounds)
+
+
+def can_split(batch: PlannedBatch) -> bool:
+    """Whether a planned batch is worth cutting in half for stealing."""
+    return batch.lanes >= 2 * MIN_SPLIT_LANES
+
+
+def split_planned(batch: PlannedBatch) -> tuple[PlannedBatch, PlannedBatch]:
+    """Cut a planned batch in two at the deterministic midpoint.
+
+    The split point (``lanes // 2``) is a pure function of the batch —
+    and the batch is a pure function of the plan — so work stealing
+    built on this cut can never leak into journal bytes or the
+    deterministic telemetry plane: both halves keep the parent's tensor
+    width and kernel envelope, and every lane still runs its exact
+    per-scenario program.
+    """
+    if not can_split(batch):
+        raise ValueError(
+            f"batch of {batch.lanes} lanes is below the "
+            f"{2 * MIN_SPLIT_LANES}-lane split threshold"
+        )
+    mid = batch.lanes // 2
+    return (
+        PlannedBatch(
+            n=batch.n, bucket=batch.bucket, width=batch.width,
+            items=batch.items[:mid],
+        ),
+        PlannedBatch(
+            n=batch.n, bucket=batch.bucket, width=batch.width,
+            items=batch.items[mid:],
+        ),
+    )
+
+
 def plan_batches(
     items: Iterable[IndexedSpec],
     batch_memory: int | None = None,
     jobs: int = 1,
+    pack_widths: bool = False,
     recorder=None,
     _verify: bool = True,
 ) -> BatchPlan:
@@ -161,48 +215,75 @@ def plan_batches(
     (``batch_memory`` overrides the envelope budget, in bytes).
     Everything else becomes a single.
 
+    ``pack_widths`` drops ``n`` from the grouping key: every
+    batch-compatible spec in a round bucket lands in *one* group, run at
+    the widest member's ``n`` with narrower lanes padded (cross-``n``
+    packing).  A mixed-``n`` grid then becomes one tensor program
+    instead of one group per ``n``, at the cost of padded cells — see
+    the ``scheduler.padded_lane_width`` / ``scheduler.wasted_pad_cells``
+    counters for how much.  The width envelope is sized from the
+    *padded* width (:func:`estimate_batch_bytes`), so ``batch_memory``
+    bounds the real tensor program, and the kernel masks padding out of
+    every commit point, so results and journal bytes are identical to
+    the unpacked plan.
+
     ``jobs`` is the pool width the plan will be dispatched across: a
     group large enough to keep several workers busy is cut into at
     least ``jobs`` batches (never thinner than
     :data:`MIN_SPLIT_LANES` lanes), so a homogeneous campaign cannot
-    serialize onto one worker.  Deterministic: same work list, envelope
-    and jobs, same plan — and execution results are a pure function of
-    the spec, so the cut never shows in journal bytes.
+    serialize onto one worker.  Deterministic: same work list, envelope,
+    packing and jobs, same plan — and execution results are a pure
+    function of the spec, so the cut never shows in journal bytes.
     """
     items = list(items)
     groups: dict[tuple[int, int], list[IndexedSpec]] = {}
     singles: list[IndexedSpec] = []
     for idx, spec in items:
         if batch_compatible(spec):
-            key = (spec.n, round_bucket(spec.resolved_max_rounds()))
+            bucket = round_bucket(spec.resolved_max_rounds())
+            key = (0, bucket) if pack_widths else (spec.n, bucket)
             groups.setdefault(key, []).append((idx, spec))
         else:
             singles.append((idx, spec))
     batches: list[PlannedBatch] = []
-    for (n, bucket), members in groups.items():
+    padded_lane_width = wasted_pad_cells = 0
+    max_batch_bytes = 0
+    for (_, bucket), members in groups.items():
+        # The group's tensor width: the widest member (== every member
+        # without pack_widths).  Sizing the envelope from it is what
+        # keeps --batch-memory honest under packing.
+        n = max(spec.n for _, spec in members)
         rmax = max(spec.resolved_max_rounds() for _, spec in members)
         width = default_batch_size(n, rmax, budget_bytes=batch_memory)
+        for _, spec in members:
+            if spec.n < n:
+                padded_lane_width += n
+                wasted_pad_cells += n * n - spec.n * spec.n
         cap = width * BATCH_DEPTH
         if jobs > 1:
             per_worker = -(-len(members) // jobs)  # ceil
             cap = min(cap, max(per_worker, min(width, MIN_SPLIT_LANES)))
         for lo in range(0, len(members), cap):
+            chunk = tuple(members[lo : lo + cap])
+            max_batch_bytes = max(
+                max_batch_bytes,
+                estimate_batch_bytes(n, rmax, min(width, len(chunk))),
+            )
             batches.append(
-                PlannedBatch(
-                    n=n,
-                    bucket=bucket,
-                    width=width,
-                    items=tuple(members[lo : lo + cap]),
-                )
+                PlannedBatch(n=n, bucket=bucket, width=width, items=chunk)
             )
     plan = BatchPlan(batches=tuple(batches), singles=tuple(singles))
     if recorder:
         # Deterministic plane: the global grouping is a pure function of
-        # the work list (jobs only changes how groups are *cut*).
+        # the work list and the packing mode (jobs only changes how
+        # groups are *cut*; padding is decided per group, not per cut).
         recorder.inc("scheduler.scenarios", plan.total)
         recorder.inc("scheduler.singles", len(plan.singles))
         recorder.inc("scheduler.groups", len(groups))
         recorder.inc("scheduler.batched_lanes", plan.batched_lanes)
+        if pack_widths:
+            recorder.inc("scheduler.padded_lane_width", padded_lane_width)
+            recorder.inc("scheduler.wasted_pad_cells", wasted_pad_cells)
         for members in groups.values():
             recorder.observe("scheduler.group_lanes", len(members))
             recorder.gauge_max("scheduler.max_group_lanes", len(members))
@@ -221,6 +302,8 @@ def plan_batches(
                 "scheduler.packing_efficiency_pct",
                 round(100.0 * plan.batched_lanes / slots, 1),
             )
+        if max_batch_bytes:
+            recorder.vgauge_max("scheduler.max_batch_bytes", max_batch_bytes)
     if _verify:
         contracts = _get_contracts()
         if contracts and contracts.sample("scheduler.plan_determinism"):
@@ -230,13 +313,14 @@ def plan_batches(
             contracts.check_plan(
                 plan,
                 lambda: plan_batches(
-                    items, batch_memory, jobs, recorder=None,
+                    items, batch_memory, jobs, pack_widths, recorder=None,
                     _verify=False,
                 ),
                 context={
                     "scenarios": len(items),
                     "batch_memory": batch_memory,
                     "jobs": jobs,
+                    "pack_widths": pack_widths,
                 },
             )
     return plan
@@ -307,6 +391,7 @@ def iter_planned(
     backend: str,
     batch_memory: int | None = None,
     compact: bool = True,
+    pack_widths: bool = False,
     recorder=None,
 ) -> Iterator[tuple[int, ScenarioResult]]:
     """Plan a work list and execute it: :func:`plan_batches` +
@@ -318,8 +403,8 @@ def iter_planned(
     campaign's :func:`plan_batches` is the single scheduler-metrics
     source)."""
     yield from iter_plan(
-        plan_batches(items, batch_memory), backend, compact=compact,
-        recorder=recorder,
+        plan_batches(items, batch_memory, pack_widths=pack_widths),
+        backend, compact=compact, recorder=recorder,
     )
 
 

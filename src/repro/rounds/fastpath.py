@@ -44,6 +44,7 @@ from repro.graphs.matrices import (
     batched_transitive_closure,
     prefix_intersections,
 )
+from repro.rounds.array_backend import KernelNamespace, resolve_namespace
 
 
 class FastPathUnsupported(RuntimeError):
@@ -429,8 +430,11 @@ class FastPathTask:
     Mirrors the per-lane parameters of :func:`simulate_fastpath`:
     ``adjacency`` is an ``(R, n, n)`` tensor or a schedule provider
     (an adversary's bound ``adjacency_stack``), the design knobs have the
-    same semantics and defaults.  Lanes of one batch must share ``n`` but
-    may differ in everything else.
+    same semantics and defaults.  Lanes may differ in **everything**,
+    including ``n``: smaller-``n`` lanes are padded to the batch's widest
+    lane (cross-``n`` packing), with the padded rows/cols masked out of
+    every commit point so each lane's result is bit-identical to its
+    standalone run.
     """
 
     adjacency: object
@@ -440,30 +444,40 @@ class FastPathTask:
     max_rounds: int | None = None
 
 
-def default_batch_size(
-    n: int, max_rounds: int, budget_bytes: int | None = None
-) -> int:
-    """How many same-``n`` lanes one mega-batch should hold.
-
-    Sized so the batch working set — the ``(S, R, n, n)`` schedule, the
-    two ``(S, n, n, n)`` int32 label tensors, the ``(S·n, n, n)`` float32
-    closure and its squaring buffer, and the presence mask — stays under
-    ``budget_bytes`` (default ``_BATCH_BUDGET_BYTES``), capped at
-    ``_MAX_BATCH`` lanes (per-round Python overhead is fully amortized
-    long before that).  ``budget_bytes`` is the ``campaign run
-    --batch-memory`` envelope: results are byte-identical whatever the
-    envelope, only the batch packing changes.
-    """
+def lane_bytes(n: int, max_rounds: int) -> int:
+    """Working-set bytes one lane of width ``n`` pins in a mega-batch:
+    its slice of the ``(S, R, n, n)`` schedule, the two ``(S, n, n, n)``
+    int32 label tensors, the ``(S·n, n, n)`` float32 closure and its
+    squaring buffer, and the presence mask.  Under cross-``n`` packing
+    ``n`` must be the *padded* batch width — a packed lane occupies the
+    widest lane's slice regardless of its own nominal ``n`` (the
+    scheduler's ``estimate_batch_bytes`` builds on this)."""
     if n < 1 or max_rounds < 1:
         raise ValueError("need n >= 1 and max_rounds >= 1")
-    budget = _BATCH_BUDGET_BYTES if budget_bytes is None else budget_bytes
-    per_lane = (
+    return (
         max_rounds * n * n  # schedule prefix (bool)
         + 2 * 4 * n**3  # labels + new_labels (int32)
         + 2 * 4 * n**3  # closure + squaring buffer (float32)
         + n**3  # presence mask (bool)
     )
-    return max(1, min(_MAX_BATCH, budget // per_lane))
+
+
+def default_batch_size(
+    n: int, max_rounds: int, budget_bytes: int | None = None
+) -> int:
+    """How many width-``n`` lanes one mega-batch should hold.
+
+    Sized so the batch working set (:func:`lane_bytes` per lane) stays
+    under ``budget_bytes`` (default ``_BATCH_BUDGET_BYTES``), capped at
+    ``_MAX_BATCH`` lanes (per-round Python overhead is fully amortized
+    long before that).  ``budget_bytes`` is the ``campaign run
+    --batch-memory`` envelope: results are byte-identical whatever the
+    envelope, only the batch packing changes.  For packed mixed-``n``
+    batches callers must pass the *padded* width, not a member's
+    nominal ``n``.
+    """
+    budget = _BATCH_BUDGET_BYTES if budget_bytes is None else budget_bytes
+    return max(1, min(_MAX_BATCH, budget // lane_bytes(n, max_rounds)))
 
 
 # Compaction trigger: compress the lane axis when live lanes drop to
@@ -480,8 +494,9 @@ def simulate_fastpath_batch(
     width: int | None = None,
     compact: bool = True,
     recorder=None,
+    namespace=None,
 ) -> list[FastPathRun]:
-    """Execute a whole stack of same-``n`` Algorithm 1 runs at once.
+    """Execute a whole stack of Algorithm 1 runs at once.
 
     The batched twin of :func:`simulate_fastpath`: the live lanes share
     every kernel call, so one ensemble round costs one batched BLAS
@@ -506,8 +521,25 @@ def simulate_fastpath_batch(
       reproduces the mask-only behavior: retired lanes stay allocated
       and are merely masked out of the commit points);
     * per-lane knobs (``purge_window``, ``prune_unreachable``,
-      ``max_rounds``) are vectorized, so heterogeneous lanes batch
-      together as long as they share ``n``.
+      ``max_rounds``) are vectorized, and lanes may even differ in
+      ``n``: the batch runs at the widest lane's width and smaller
+      lanes are *packed* — their padded rows/cols are masked out of the
+      schedule (pad entries stay ``False``, so the round-1 ``PT``
+      intersection removes every padded sender before anything reads
+      it), the decide test (a lane becomes eligible at its *own*
+      ``r > n_lane``, and padded owner slots never decide), and the RNG
+      block fetches (block sizes derive from the lane's own ``n``, so
+      each lane's ``(count, start)`` stream is untouched by packing).
+
+    The tensor core is expressed through the Python Array API standard
+    via a :class:`~repro.rounds.array_backend.KernelNamespace`
+    (``namespace`` accepts a namespace object or a device string; the
+    default resolves the ``REPRO_DEVICE`` environment variable and falls
+    back to NumPy).  On NumPy the host/device transfer seams are
+    identity functions and the kernel is byte-identical to the pre-port
+    code; on CuPy/torch the closure/label tensors live on the device and
+    only the per-lane bookkeeping (round clocks, RNG fetches, harvest)
+    touches the host.
 
     ``width`` caps the *concurrent* lane count: the first ``width`` tasks
     are admitted up front and the rest queue, refilling freed width as
@@ -529,47 +561,53 @@ def simulate_fastpath_batch(
     """
     if not tasks:
         return []
-    n = len(tasks[0].initial_values)
-    if n < 1:
-        raise ValueError("need at least one process")
+    ns = resolve_namespace(namespace)
+    xp = ns.xp
     T = len(tasks)
     # Per-task parameters, resolved up front (admission can happen
     # mid-run; validation errors must surface before any lane executes).
+    t_n = np.empty(T, dtype=np.int64)
     t_est: list[np.ndarray] = []
     t_provider: list = []
     t_mr = np.empty(T, dtype=np.int64)
     t_window = np.empty(T, dtype=np.int64)
     t_prune = np.zeros(T, dtype=bool)
     for t, task in enumerate(tasks):
-        if len(task.initial_values) != n:
-            raise ValueError(
-                "mega-batch lanes must share n; got "
-                f"{len(task.initial_values)} and {n}"
-            )
+        lane_n = len(task.initial_values)
+        if lane_n < 1:
+            raise ValueError("need at least one process")
+        t_n[t] = lane_n
         t_est.append(_as_int_estimates(task.initial_values))
-        provider, lane_mr = _normalize_schedule(task.adjacency, n, task.max_rounds)
+        provider, lane_mr = _normalize_schedule(
+            task.adjacency, lane_n, task.max_rounds
+        )
         if lane_mr < 1:
             raise ValueError("need at least one scheduled round")
-        w = n if task.purge_window is None else task.purge_window
+        w = lane_n if task.purge_window is None else task.purge_window
         if w < 1:
             raise ValueError("purge window must be >= 1")
         t_provider.append(provider)
         t_mr[t] = lane_mr
         t_window[t] = w
         t_prune[t] = task.prune_unreachable
+    # The batch runs at the widest lane's width; narrower lanes are
+    # padded up to it and masked (cross-n packing).
+    n = int(t_n.max())
 
     width_limit = T if width is None else max(1, int(width))
     idx = np.arange(n)
-    eye = np.eye(n, dtype=bool)
-    big = np.iinfo(np.int64).max
-    # Block-fetch sizes (see ensure below): the first block covers rounds
-    # 1..n+1 (no decision can land before round n+1, so it is never
-    # wasted); tail blocks are deliberately small so the batch never pays
-    # RNG draws for rounds nobody executes.  Block boundaries are
-    # invisible by the adjacency_stack contract (pure function of
-    # ``(count, start)``), so any fetch pattern observes the same run.
-    first_block = max(n + 1, 8)
-    tail_block = max(4, (n + 1) // 4)
+    eye = xp.eye(n, dtype=xp.bool)
+    big = int(np.iinfo(np.int64).max)
+    big0 = xp.asarray(big, dtype=xp.int64)
+
+    def stack_est(task_ids) -> np.ndarray:
+        """Per-lane initial estimates, padded to width ``n`` with +inf
+        sentinels (padded owner slots never adopt a real estimate)."""
+        out = np.full((len(task_ids), n), big, dtype=np.int64)
+        for i, t in enumerate(task_ids):
+            v = t_est[int(t)]
+            out[i, : v.size] = v
+        return out
 
     # Kernel telemetry, accumulated in plain locals and flushed once at
     # successful return — a crashed batch (whose lanes the backend
@@ -583,25 +621,28 @@ def simulate_fastpath_batch(
     # Lane state, axis 0 = lane.  ``origin`` maps a lane back to its
     # task; ``offset`` is the global round at which the lane was admitted
     # (its local round clock is ``r - offset``), so late-admitted lanes
-    # run the exact per-lane program of simulate_fastpath.
+    # run the exact per-lane program of simulate_fastpath.  Bookkeeping
+    # vectors stay host NumPy; the heavy tensors live in the active
+    # namespace (identical objects on the NumPy default).
     S = min(T, width_limit)
     origin = np.arange(S, dtype=np.int64)
     offset = np.zeros(S, dtype=np.int64)
     mr = t_mr[:S].copy()
     window = t_window[:S].copy()
     prune = t_prune[:S].copy()
+    ln = t_n[:S].copy()  # per-lane nominal n (<= padded width n)
     filled = np.zeros(S, dtype=np.int64)
-    schedule = np.zeros((S, int(mr.max()), n, n), dtype=bool)
-    pt = np.ones((S, n, n), dtype=bool)
-    est = np.stack(t_est[:S])
-    labels = np.zeros((S, n, n, n), dtype=np.int32)
-    nodes = np.broadcast_to(eye, (S, n, n)).copy()
-    decided = np.zeros((S, n), dtype=bool)
-    dec_round = np.zeros((S, n), dtype=np.int64)
-    dec_value = np.zeros((S, n), dtype=np.int64)
+    schedule = xp.zeros((S, int(mr.max()), n, n), dtype=xp.bool)
+    pt = xp.ones((S, n, n), dtype=xp.bool)
+    est = ns.from_host(stack_est(range(S)))
+    labels = xp.zeros((S, n, n, n), dtype=xp.int32)
+    nodes = xp.asarray(xp.broadcast_to(eye, (S, n, n)), copy=True)
+    decided = xp.zeros((S, n), dtype=xp.bool)
+    dec_round = xp.zeros((S, n), dtype=xp.int64)
+    dec_value = xp.zeros((S, n), dtype=xp.int64)
     active = np.ones(S, dtype=bool)
     next_task = S
-    new_labels = np.empty_like(labels)
+    new_labels = xp.empty_like(labels)
     # Until the first mid-run admission every lane shares the global
     # clock (offset 0), and the per-round schedule gather degrades to
     # the plain slice view of the uniform-clock kernel — the common
@@ -610,16 +651,32 @@ def simulate_fastpath_batch(
     # Lane-composition invariants, recomputed only when lanes change.
     prune_all = bool(prune.all())
     prune_any = bool(prune.any())
+    lane_ok = idx[None, :] < ln[:, None]  # host (S, n): real owner slots
+    has_padding = bool((ln < n).any())
+    pad_dev = ns.from_host(~lane_ok) if has_padding else None
 
     def ensure(targets: np.ndarray, lanes: np.ndarray) -> None:
-        """Fetch each lane's schedule up to its local target round."""
+        """Fetch each lane's schedule up to its local target round.
+
+        Block sizes derive from the lane's *own* ``n`` (never the padded
+        batch width): the first block covers rounds ``1..n+1`` (no
+        decision can land before round ``n+1``, so it is never wasted);
+        tail blocks are deliberately small so the batch never pays RNG
+        draws for rounds nobody executes.  Block boundaries are
+        invisible by the adjacency_stack contract (pure function of
+        ``(count, start)``), and because the sizes ignore batchmates,
+        each lane's fetch stream is bit-identical under any packing.
+        """
         nonlocal rng_fetches, rng_tail_fetches, rng_rounds_fetched
         for s in np.nonzero(lanes)[0]:
             lane_cap = int(mr[s])
             have = int(filled[s])
             if have >= min(int(targets[s]), lane_cap):
                 continue
-            block = first_block if have == 0 else tail_block
+            lane_n = int(ln[s])
+            block = (
+                max(lane_n + 1, 8) if have == 0 else max(4, (lane_n + 1) // 4)
+            )
             upto = min(
                 max(int(targets[s]), min(have + block, lane_cap)), lane_cap
             )
@@ -630,10 +687,10 @@ def simulate_fastpath_batch(
             fetched = np.asarray(
                 t_provider[int(origin[s])](upto - have, have + 1), dtype=bool
             )
-            if fetched.shape != (upto - have, n, n):
+            if fetched.shape != (upto - have, lane_n, lane_n):
                 raise ValueError(
                     f"schedule provider returned shape {fetched.shape}, "
-                    f"expected {(upto - have, n, n)}"
+                    f"expected {(upto - have, lane_n, lane_n)}"
                 )
             contracts = _get_contracts()
             if contracts and contracts.sample("kernel.block_fetch"):
@@ -641,27 +698,34 @@ def simulate_fastpath_batch(
                     t_provider[int(origin[s])], upto - have, have + 1,
                     fetched,
                     context={
-                        "n": n,
+                        "n": lane_n,
                         "lane": int(s),
                         "kernel": "simulate_fastpath_batch",
                     },
                 )
-            schedule[s, have:upto] = fetched
+            # Padded rows/cols (>= lane_n) stay False: the round-1 PT
+            # intersection then removes every padded sender before any
+            # commit point reads it.
+            schedule[s, have:upto, :lane_n, :lane_n] = ns.from_host(fetched)
             if enforce_self_delivery:
-                schedule[s, have:upto, idx, idx] = True
+                d = idx[:lane_n]
+                schedule[s, have:upto, d, d] = True
             filled[s] = upto
 
     def harvest(s: int, local_round: int) -> None:
+        lane_n = int(ln[s])
         results[int(origin[s])] = FastPathRun(
-            n=n,
+            n=lane_n,
             num_rounds=local_round,
             initial_values=tuple(
                 int(v) for v in tasks[int(origin[s])].initial_values
             ),
-            decided=decided[s].copy(),
-            decision_round=dec_round[s].copy(),
-            decision_value=dec_value[s].copy(),
-            adjacency=schedule[s, :local_round].copy(),
+            decided=ns.to_host(decided[s])[:lane_n].copy(),
+            decision_round=ns.to_host(dec_round[s])[:lane_n].copy(),
+            decision_value=ns.to_host(dec_value[s])[:lane_n].copy(),
+            adjacency=ns.to_host(schedule[s, :local_round])[
+                :, :lane_n, :lane_n
+            ].copy(),
         )
 
     r = 0
@@ -672,11 +736,11 @@ def simulate_fastpath_batch(
         need = active & (filled < r_loc)
         if need.any():
             ensure(r_loc, need)
-        act = active[:, None]
+        act = ns.from_host(active)[:, None]
         # Sending phase: freeze beginning-of-round estimates for every
         # lane (cheap at (S, n); the per-scenario copy-elision would need
         # a per-lane branch).
-        sent_est = est.copy()
+        sent_est = xp.asarray(est, copy=True)
 
         # Line 9 / equation (7), all lanes at once.  Retired lanes not
         # yet compacted away have stale clocks; clamp their row index —
@@ -686,50 +750,46 @@ def simulate_fastpath_batch(
             sched_now = schedule[np.arange(S), rows]
         else:
             sched_now = schedule[:, r - 1]
-        pt &= sched_now.transpose(0, 2, 1)
+        pt &= xp.permute_dims(sched_now, (0, 2, 1))
 
         # Lines 10-13: adopt from the smallest decided sender in PT_p.
-        if decided.any():
+        if bool(xp.any(decided)):
             adoptable = pt & decided[:, None, :]
-            adopt = adoptable.any(axis=2) & ~decided & act
-            if adopt.any():
-                first_decider = np.argmax(adoptable, axis=2)
-                adopted = np.take_along_axis(sent_est, first_decider, axis=1)
-                rl_mat = np.broadcast_to(r_loc[:, None], (S, n))
+            adopt = xp.any(adoptable, axis=2) & ~decided & act
+            if bool(xp.any(adopt)):
+                first_decider = xp.argmax(
+                    xp.astype(adoptable, xp.int8), axis=2
+                )
+                adopted = xp.take_along_axis(sent_est, first_decider, axis=1)
+                rl_mat = ns.from_host(np.broadcast_to(r_loc[:, None], (S, n)))
                 est[adopt] = adopted[adopt]
                 decided |= adopt
                 dec_round[adopt] = rl_mat[adopt]
                 dec_value[adopt] = est[adopt]
 
         # Lines 14-23: reset + fresh in-edges + max-merge over senders.
-        # A masked maximum-reduce over the (virtual, broadcast) sender
-        # axis — no (S, n, n, n, n) product intermediate is ever
-        # materialized, which halves the traffic of the batch's one
-        # O(n^4)-per-lane kernel.
-        np.maximum.reduce(
-            np.broadcast_to(labels[:, None], (S, n, n, n, n)),
-            axis=2,
-            where=pt[:, :, :, None, None],
-            initial=0,
-            out=new_labels,
-        )
-        ss, ps, qs = np.nonzero(pt)
-        new_labels[ss, ps, qs, ps] = r_loc[ss]
-        new_nodes = (pt @ nodes) | eye
+        # The namespace's masked sender-max never materializes the full
+        # (S, n, n, n, n) product intermediate (NumPy runs the fused
+        # where-reduce into ``new_labels``; devices chunk it), which
+        # halves the traffic of the batch's one O(n^4)-per-lane kernel.
+        new_labels = ns.masked_sender_max(labels, pt, new_labels)
+        ss, ps, qs = xp.nonzero(pt)
+        new_labels[ss, ps, qs, ps] = ns.from_host(r_loc)[ss]
+        new_nodes = ns.bool_matmul(pt, nodes) | eye
 
         # Line 24: purge, with per-lane windows on per-lane clocks.
-        present = (
-            new_labels > np.maximum(r_loc - window, 0)[:, None, None, None]
-        )
+        purge_floor = ns.from_host(np.maximum(r_loc - window, 0))
+        present = new_labels > purge_floor[:, None, None, None]
         new_labels *= present
 
         # Lines 25 + 28 from one batched closure over all S·n graphs.
-        closure = batched_transitive_closure(
-            present.reshape(S * n, n, n), reflexive=True, fixed_iterations=True
-        ).reshape(S, n, n, n)
+        closure = xp.reshape(
+            ns.batched_closure(xp.reshape(present, (S * n, n, n))),
+            (S, n, n, n),
+        )
         # [s, p, i] — i reaches the owner p in G_p of lane s.
         reaches_owner = (
-            np.moveaxis(closure[:, idx, :, idx], 0, 1) & new_nodes
+            xp.moveaxis(closure[:, idx, :, idx], 0, 1) & new_nodes
         )
         if prune_all:
             new_nodes = reaches_owner
@@ -740,30 +800,35 @@ def simulate_fastpath_batch(
             keep = (
                 reaches_owner[:, :, :, None] & reaches_owner[:, :, None, :]
             )
-            lane = prune[:, None, None]
-            new_nodes = np.where(lane, reaches_owner, new_nodes)
-            new_labels *= np.where(lane[..., None], keep, True)
+            lane = ns.from_host(prune)[:, None, None]
+            new_nodes = xp.where(lane, reaches_owner, new_nodes)
+            new_labels *= xp.where(
+                lane[..., None], keep, xp.ones((), dtype=xp.bool)
+            )
 
         undecided = ~decided
         # Line 27: min over beginning-of-round estimates of PT_p.
-        candidate = np.where(pt, sent_est[:, None, :], big).min(axis=2)
+        candidate = xp.min(xp.where(pt, sent_est[:, None, :], big0), axis=2)
         if enforce_self_delivery:
             update = undecided & act
         else:
-            update = undecided & act & pt.any(axis=2)
+            update = undecided & act & xp.any(pt, axis=2)
         est[update] = candidate[update]
         # Lines 28-30: hub-criterion decide once the lane's *own* clock
-        # passes n (late-admitted lanes become eligible later; with a
-        # shared clock the test is one scalar comparison).
-        if (r > n) if not has_offsets else bool((r_loc > n).any()):
+        # passes its *own* n — packed narrow lanes become eligible
+        # before the padded width would, late-admitted lanes later.
+        elig = r_loc > ln
+        if bool(elig.any()):
             reached_by_owner = closure[:, idx, idx, :]  # [s, p, j]: p -> j
             mutual = reaches_owner & reached_by_owner
-            strongly_connected = (mutual | ~new_nodes).all(axis=2)
+            strongly_connected = xp.all(mutual | ~new_nodes, axis=2)
             newly = undecided & strongly_connected & act
-            if has_offsets:
-                newly &= (r_loc > n)[:, None]
-            if newly.any():
-                rl_mat = np.broadcast_to(r_loc[:, None], (S, n))
+            if has_padding or not bool(elig.all()):
+                # Gate out ineligible lanes and padded owner slots
+                # (their trivial {p} components would "decide").
+                newly &= ns.from_host(elig[:, None] & lane_ok)
+            if bool(xp.any(newly)):
+                rl_mat = ns.from_host(np.broadcast_to(r_loc[:, None], (S, n)))
                 decided |= newly
                 dec_round[newly] = rl_mat[newly]
                 dec_value[newly] = est[newly]
@@ -772,9 +837,11 @@ def simulate_fastpath_batch(
         nodes = new_nodes
         # Retire lanes: everyone decided, or the lane's own round budget
         # is spent — either way its local clock is its round count.
+        # Padded owner slots never decide, so completion ignores them.
         retire = np.zeros(S, dtype=bool)
         if stop_when_all_decided:
-            retire |= active & decided.all(axis=1)
+            done = decided | pad_dev if has_padding else decided
+            retire |= active & ns.to_host(xp.all(done, axis=1))
         retire |= active & (r_loc >= mr)
         if retire.any():
             for s in np.nonzero(retire)[0]:
@@ -795,20 +862,22 @@ def simulate_fastpath_batch(
             lanes_changed = True
             compactions += 1
             keep = active
+            keep_dev = ns.from_host(keep)
             origin = origin[keep]
             offset = offset[keep]
             mr = mr[keep]
             window = window[keep]
             prune = prune[keep]
+            ln = ln[keep]
             filled = filled[keep]
-            schedule = schedule[keep]
-            pt = pt[keep]
-            est = est[keep]
-            labels = labels[keep]
-            nodes = nodes[keep]
-            decided = decided[keep]
-            dec_round = dec_round[keep]
-            dec_value = dec_value[keep]
+            schedule = schedule[keep_dev]
+            pt = pt[keep_dev]
+            est = est[keep_dev]
+            labels = labels[keep_dev]
+            nodes = nodes[keep_dev]
+            decided = decided[keep_dev]
+            dec_round = dec_round[keep_dev]
+            dec_value = dec_value[keep_dev]
             active = active[keep]
             live = origin.size
         # Admission: with compaction on, refill freed width mid-run;
@@ -823,9 +892,11 @@ def simulate_fastpath_batch(
             next_task += take
             rmax = int(t_mr[admitted].max())
             if origin.size == 0:
-                schedule = np.zeros((0, rmax, n, n), dtype=bool)
+                schedule = xp.zeros((0, rmax, n, n), dtype=xp.bool)
             elif schedule.shape[1] < rmax:
-                grown = np.zeros((origin.size, rmax, n, n), dtype=bool)
+                grown = xp.zeros(
+                    (origin.size, rmax, n, n), dtype=xp.bool
+                )
                 grown[:, : schedule.shape[1]] = schedule
                 schedule = grown
             else:
@@ -838,35 +909,42 @@ def simulate_fastpath_batch(
             mr = np.concatenate([mr, t_mr[admitted]])
             window = np.concatenate([window, t_window[admitted]])
             prune = np.concatenate([prune, t_prune[admitted]])
+            ln = np.concatenate([ln, t_n[admitted]])
             filled = np.concatenate(
                 [filled, np.zeros(take, dtype=np.int64)]
             )
-            schedule = np.concatenate(
-                [schedule, np.zeros((take, rmax, n, n), dtype=bool)]
+            schedule = xp.concat(
+                [schedule, xp.zeros((take, rmax, n, n), dtype=xp.bool)]
             )
-            pt = np.concatenate([pt, np.ones((take, n, n), dtype=bool)])
-            est = np.concatenate([est, np.stack([t_est[t] for t in admitted])])
-            labels = np.concatenate(
-                [labels, np.zeros((take, n, n, n), dtype=np.int32)]
+            pt = xp.concat([pt, xp.ones((take, n, n), dtype=xp.bool)])
+            est = xp.concat([est, ns.from_host(stack_est(admitted))])
+            labels = xp.concat(
+                [labels, xp.zeros((take, n, n, n), dtype=xp.int32)]
             )
-            nodes = np.concatenate(
-                [nodes, np.broadcast_to(eye, (take, n, n)).copy()]
+            nodes = xp.concat(
+                [
+                    nodes,
+                    xp.asarray(xp.broadcast_to(eye, (take, n, n)), copy=True),
+                ]
             )
-            decided = np.concatenate(
-                [decided, np.zeros((take, n), dtype=bool)]
+            decided = xp.concat(
+                [decided, xp.zeros((take, n), dtype=xp.bool)]
             )
-            dec_round = np.concatenate(
-                [dec_round, np.zeros((take, n), dtype=np.int64)]
+            dec_round = xp.concat(
+                [dec_round, xp.zeros((take, n), dtype=xp.int64)]
             )
-            dec_value = np.concatenate(
-                [dec_value, np.zeros((take, n), dtype=np.int64)]
+            dec_value = xp.concat(
+                [dec_value, xp.zeros((take, n), dtype=xp.int64)]
             )
             active = np.concatenate([active, np.ones(take, dtype=bool)])
         if lanes_changed:
             if new_labels.shape != labels.shape:
-                new_labels = np.empty_like(labels)
+                new_labels = xp.empty_like(labels)
             prune_all = bool(prune.all())
             prune_any = bool(prune.any())
+            lane_ok = idx[None, :] < ln[:, None]
+            has_padding = bool((ln < n).any())
+            pad_dev = ns.from_host(~lane_ok) if has_padding else None
 
     if recorder:
         # Deterministic plane: per-lane quantities, invariant across

@@ -766,3 +766,202 @@ class TestStaticAdversary:
         a = spec.build_adversary().adjacency_stack(5)
         b = spec.build_adversary().adjacency_stack(5)
         assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Cross-n packing, work stealing, and the Array-API namespace
+# ----------------------------------------------------------------------
+MIXED_N_SPECS = [
+    ScenarioSpec(n=n, k=2, num_groups=2, seed=s, noise=0.2)
+    for n in (4, 5, 6, 7)
+    for s in range(6)
+]
+
+
+class TestCrossWidthPacking:
+    """Mixed-n grids through one padded tensor program: bit-identical."""
+
+    def test_packed_kernel_matches_singletons(self):
+        singles = [
+            simulate_fastpath(
+                t.adjacency, list(t.initial_values), max_rounds=t.max_rounds
+            )
+            for t in _tasks(MIXED_N_SPECS)
+        ]
+        expected = [_run_key(r) for r in singles]
+        # Full-width mixed batch, a narrow refilling window, and the
+        # narrow window without compaction: padding must be invisible.
+        for kwargs in ({}, {"width": 3}, {"width": 3, "compact": False}):
+            runs = simulate_fastpath_batch(_tasks(MIXED_N_SPECS), **kwargs)
+            assert [_run_key(r) for r in runs] == expected, kwargs
+
+    def test_three_backends_agree_on_packed_grid(self):
+        packed = execute_scenarios(
+            MIXED_N_SPECS, backend=BACKEND_BATCHED, pack_widths=True
+        )
+        for spec, result in zip(MIXED_N_SPECS, packed):
+            assert result.status == "ok", result.error
+            line = canonical_line(result)
+            assert line == canonical_line(execute_scenario(spec))
+            assert line == canonical_line(execute_scenario_vectorized(spec))
+
+    def test_journal_bytes_invariant_under_pack_steal_jobs_compaction(self):
+        expected = [
+            journal_line(r)
+            for r in execute_scenarios(MIXED_N_SPECS, backend=BACKEND_BATCHED)
+        ]
+        combos = [
+            # (pack, steal, jobs, compact) — every axis of the product
+            # is exercised against the serial unpacked baseline.
+            (True, False, 1, True),
+            (True, False, 1, False),
+            (False, False, 2, True),
+            (True, False, 2, True),
+            (False, True, 2, True),
+            (True, True, 2, True),
+            (True, True, 2, False),
+            (False, True, 4, True),
+            (True, True, 4, True),
+        ]
+        for pack, steal, jobs, compact in combos:
+            results = execute_scenarios(
+                MIXED_N_SPECS,
+                jobs=jobs,
+                backend=BACKEND_BATCHED,
+                pack_widths=pack,
+                steal=steal,
+                compact=compact,
+            )
+            assert [journal_line(r) for r in results] == expected, (
+                pack, steal, jobs, compact,
+            )
+
+    def test_packed_deterministic_plane_matches_unpacked_kernel_work(self):
+        # Packing pads the *tensors*, never the per-lane programs: the
+        # kernel's deterministic counters (rounds, decisions, RNG
+        # fetches) are identical with packing on or off.
+        from repro.engine.telemetry import Recorder
+
+        kernel = {}
+        for pack in (False, True):
+            rec = Recorder()
+            execute_scenarios(
+                MIXED_N_SPECS,
+                backend=BACKEND_BATCHED,
+                pack_widths=pack,
+                recorder=rec,
+            )
+            counters = rec.snapshot()["deterministic"]["counters"]
+            kernel[pack] = {
+                k: v for k, v in counters.items() if k.startswith("kernel.")
+            }
+        assert kernel[False] == kernel[True]
+
+    def test_campaign_summary_bytes_pack_invariant(self, tmp_path):
+        blobs = {}
+        for pack in (False, True):
+            store = tmp_path / f"journal_pack{pack}.jsonl"
+            campaign = Campaign(
+                MIXED_N_SPECS,
+                store=store,
+                jobs=2,
+                backend=BACKEND_BATCHED,
+                pack_widths=pack,
+                steal=pack,
+            )
+            report = campaign.run()
+            assert report.errors == 0 and report.timeouts == 0
+            summary = tmp_path / f"summary_pack{pack}.jsonl"
+            campaign.write_summary(summary)
+            blobs[pack] = (
+                sorted(store.read_text().splitlines()),
+                summary.read_bytes(),
+            )
+        assert blobs[False] == blobs[True]
+
+
+class TestArrayNamespaceSubstitution:
+    """The kernel runs unchanged on a strict Array-API namespace."""
+
+    def test_strict_namespace_bit_identical(self):
+        expected = [
+            _run_key(r) for r in simulate_fastpath_batch(_tasks(MIXED_N_SPECS))
+        ]
+        for kwargs in ({}, {"width": 4}, {"compact": False}):
+            runs = simulate_fastpath_batch(
+                _tasks(MIXED_N_SPECS), namespace="strict", **kwargs
+            )
+            assert [_run_key(r) for r in runs] == expected, kwargs
+
+    def test_env_device_reaches_the_executor(self, monkeypatch):
+        specs = MIXED_N_SPECS[:8]
+        expected = [
+            journal_line(r)
+            for r in execute_scenarios(specs, backend=BACKEND_BATCHED)
+        ]
+        monkeypatch.setenv("REPRO_DEVICE", "strict")
+        results = execute_scenarios(
+            specs, backend=BACKEND_BATCHED, pack_widths=True
+        )
+        assert [journal_line(r) for r in results] == expected
+
+
+class TestSkeletonCache:
+    """The cross-batch Psrcs/root-component LRU must stay invisible."""
+
+    def test_journal_bytes_cache_invariant(self):
+        from repro.engine.backends import SkeletonCache, skeleton_cache
+
+        specs = MIXED_N_SPECS[:8]
+        skeleton_cache.clear()
+        cold = [journal_line(r) for r in execute_scenario_batch(specs)]
+        assert skeleton_cache.misses > 0
+        # Second pass: served from the memo, bytes unchanged.
+        hits0 = skeleton_cache.hits
+        warm = [journal_line(r) for r in execute_scenario_batch(specs)]
+        assert warm == cold
+        assert skeleton_cache.hits > hits0
+        # A tiny cache that evicts constantly still changes nothing.
+        import repro.engine.backends as backends_mod
+
+        original = backends_mod.skeleton_cache
+        backends_mod.skeleton_cache = SkeletonCache(max_entries=1)
+        try:
+            tiny = [journal_line(r) for r in execute_scenario_batch(specs)]
+        finally:
+            backends_mod.skeleton_cache = original
+        assert tiny == cold
+
+    def test_lru_bounds_and_counters(self):
+        from repro.engine.backends import SkeletonCache
+
+        cache = SkeletonCache(max_entries=2)
+        assert cache.get("a", lambda: 1) == 1
+        assert cache.get("b", lambda: 2) == 2
+        assert cache.get("a", lambda: -1) == 1  # hit refreshes recency
+        cache.get("c", lambda: 3)  # evicts "b", the least recent
+        assert len(cache) == 2
+        assert cache.get("b", lambda: 20) == 20  # recomputed: was evicted
+        assert cache.hits == 1
+        assert cache.misses == 4
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_miss_counters_reach_the_volatile_plane(self):
+        from repro.engine.backends import skeleton_cache
+        from repro.engine.telemetry import Recorder
+
+        specs = MIXED_N_SPECS[:6]
+        skeleton_cache.clear()
+        rec = Recorder()
+        execute_scenario_batch(specs, recorder=rec)
+        vol = rec.snapshot()["volatile"]
+        assert vol["counters"]["backends.skeleton_cache_misses"] > 0
+        assert vol["gauges"]["backends.skeleton_cache_entries"] >= 1
+        # Deterministic plane untouched: the cache is an execution
+        # detail, never part of the result contract.
+        rec2 = Recorder()
+        execute_scenario_batch(specs, recorder=rec2)
+        assert rec2.snapshot()["volatile"]["counters"][
+            "backends.skeleton_cache_hits"
+        ] > 0

@@ -231,3 +231,130 @@ class TestCampaignProgress:
         # progress on (zero-scenario runs must not print a line).
         campaign.run(progress=stream)
         assert stream.getvalue() == ""
+
+
+class TestCrossWidthPlanning:
+    """pack_widths grouping, the padded envelope, and batch splitting."""
+
+    def test_pack_widths_merges_one_group_per_bucket(self):
+        # n 4..7 share the 64-round bucket: unpacked plans one tensor
+        # program per n, packed collapses them into a single program at
+        # the widest member's width.
+        specs = [_grouped(n, seed) for n in (4, 5, 6, 7) for seed in range(2)]
+        items = list(enumerate(specs))
+        unpacked = plan_batches(items)
+        assert sorted(b.n for b in unpacked.batches) == [4, 5, 6, 7]
+        packed = plan_batches(items, pack_widths=True)
+        assert len(packed.batches) == 1
+        (batch,) = packed.batches
+        assert batch.n == 7
+        assert batch.lanes == len(specs)
+        assert sorted(idx for idx, _ in batch.items) == list(
+            range(len(specs))
+        )
+
+    def test_pack_widths_respects_round_buckets(self):
+        # n=4 resolves to 44 rounds (bucket 64), n=8 to 68 (bucket 128):
+        # packing never merges across round budgets.
+        specs = [_grouped(4, 0), _grouped(8, 0)]
+        packed = plan_batches(list(enumerate(specs)), pack_widths=True)
+        assert sorted(b.bucket for b in packed.batches) == [64, 128]
+        assert sorted(b.n for b in packed.batches) == [4, 8]
+
+    def test_pad_counters_live_on_the_deterministic_plane(self):
+        from repro.engine.telemetry import Recorder
+
+        specs = [_grouped(4, 0), _grouped(4, 1), _grouped(7, 0)]
+        rec = Recorder()
+        plan_batches(list(enumerate(specs)), pack_widths=True, recorder=rec)
+        det = rec.snapshot()["deterministic"]["counters"]
+        # Two n=4 lanes padded up to width 7.
+        assert det["scheduler.padded_lane_width"] == 2 * 7
+        assert det["scheduler.wasted_pad_cells"] == 2 * (49 - 16)
+        # Without packing the counters are absent, not zero.
+        rec2 = Recorder()
+        plan_batches(list(enumerate(specs)), recorder=rec2)
+        det2 = rec2.snapshot()["deterministic"]["counters"]
+        assert "scheduler.padded_lane_width" not in det2
+        assert "scheduler.wasted_pad_cells" not in det2
+
+    def test_envelope_sized_from_padded_width(self):
+        # The estimate_batch_bytes overflow regression: under packing the
+        # --batch-memory envelope must bound the *padded* tensor program.
+        # Sizing width from a narrow member's nominal n would overflow
+        # the budget once that lane runs padded to the widest member.
+        from repro.engine.scheduler import estimate_batch_bytes
+        from repro.rounds.fastpath import lane_bytes
+
+        rmax = _grouped(7, 0).resolved_max_rounds()  # 62
+        budget = 3 * lane_bytes(7, rmax)
+        specs = [_grouped(4, s) for s in range(6)] + [_grouped(7, 0)]
+        packed = plan_batches(
+            list(enumerate(specs)), batch_memory=budget, pack_widths=True
+        )
+        (batch,) = packed.batches
+        assert batch.n == 7
+        assert batch.width == default_batch_size(7, rmax, budget_bytes=budget)
+        assert estimate_batch_bytes(batch.n, rmax, batch.width) <= budget
+        # The buggy sizing (nominal n=4) would have claimed more width
+        # than the padded program can afford.
+        nominal = default_batch_size(
+            4, _grouped(4, 0).resolved_max_rounds(), budget_bytes=budget
+        )
+        assert nominal > batch.width
+
+    def test_estimate_batch_bytes_scales_with_lanes(self):
+        from repro.engine.scheduler import estimate_batch_bytes
+        from repro.rounds.fastpath import lane_bytes
+
+        assert estimate_batch_bytes(7, 62) == lane_bytes(7, 62)
+        assert estimate_batch_bytes(7, 62, lanes=3) == 3 * lane_bytes(7, 62)
+        with pytest.raises(ValueError):
+            estimate_batch_bytes(7, 62, lanes=0)
+
+    def test_split_planned_deterministic_partition(self):
+        from repro.engine.scheduler import (
+            MIN_SPLIT_LANES,
+            can_split,
+            split_planned,
+        )
+
+        specs = [_grouped(6, s) for s in range(2 * MIN_SPLIT_LANES)]
+        (batch,) = plan_batches(list(enumerate(specs))).batches
+        assert can_split(batch)
+        first, second = split_planned(batch)
+        assert first.items + second.items == batch.items
+        assert first.lanes == batch.lanes // 2
+        for half in (first, second):
+            assert (half.n, half.bucket, half.width) == (
+                batch.n, batch.bucket, batch.width,
+            )
+        # Pure function of the batch: same cut every time.
+        assert split_planned(batch) == (first, second)
+        # Below the threshold: can_split says no and split_planned raises.
+        assert not can_split(first)
+        with pytest.raises(ValueError):
+            split_planned(first)
+
+    def test_progress_reporter_split_batches_not_double_counted(self):
+        # Stolen halves report the same scenario ids as the parent batch:
+        # the batch column must complete exactly once and the scenario
+        # total must not inflate.
+        from repro.engine.scheduler import split_planned
+
+        specs = [_grouped(6, s) for s in range(16)]
+        plan = plan_batches(list(enumerate(specs)))
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=len(specs),
+            plan=plan,
+            stream=stream,
+            interval=0.0,
+            clock=lambda: 0.0,
+        )
+        for half in split_planned(plan.batches[0]):
+            for _, spec in half.items:
+                reporter.update(ScenarioResult(spec=spec))
+        lines = stream.getvalue().splitlines()
+        assert lines[-1].startswith("[campaign] 16/16 scenarios (100%)")
+        assert f"batch 1/{len(plan.batches)}" in lines[-1]
