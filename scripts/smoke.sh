@@ -264,6 +264,49 @@ grep -q "^torn:" "$workdir/faulted.jsonl.faults.ledger"
 echo "faulted summary byte-identical after $fault_attempts resume(s); ledger fired: OK"
 
 echo
+echo "== campaign service: daemon-served campaigns over HTTP =="
+# Boot `campaign serve` on an ephemeral port, submit the fuzz family
+# (contracts armed) plus a standard latency family through the thin
+# `campaign run --connect` client, check the status client, then SIGTERM
+# and require a clean (exit 0) drain.
+daemon_spool="$workdir/daemon_spool"
+port_file="$workdir/daemon.url"
+python -m repro campaign serve --port 0 --port-file "$port_file" \
+    --jobs 2 --slots 2 --spool "$daemon_spool" --contracts \
+    2> "$workdir/daemon.err" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || {
+        cat "$workdir/daemon.err" >&2
+        echo "daemon died during startup" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+daemon_url="$(cat "$port_file")"
+echo "daemon listening at $daemon_url"
+python -m repro campaign run --connect "$daemon_url" --family fuzz \
+    --seeds 4 --store "$workdir/served_fuzz.jsonl" --contracts \
+    --no-progress > "$workdir/served_fuzz.out"
+grep -q "state: ok" "$workdir/served_fuzz.out"
+python -m repro campaign run --connect "$daemon_url" --family latency \
+    -n 5 6 --seeds 2 --noise 0.1 --store "$workdir/served_lat.jsonl" \
+    --no-progress > "$workdir/served_lat.out"
+grep -q "state: ok" "$workdir/served_lat.out"
+python -m repro campaign status --connect "$daemon_url" --family latency \
+    -n 5 6 --seeds 2 --noise 0.1 --store "$workdir/served_lat.jsonl" \
+    > /dev/null
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || {
+    echo "daemon exited non-zero on SIGTERM" >&2
+    cat "$workdir/daemon.err" >&2
+    exit 1
+}
+grep -q "shutting down" "$workdir/daemon.err"
+echo "daemon leg (fuzz + latency served, clean SIGTERM drain): OK"
+
+echo
 python -m repro campaign status --store "$store" "${grid[@]}"
 echo
 echo "smoke: OK"

@@ -14,6 +14,7 @@ Subcommands::
     skeleton-agreement campaign run ...   # parallel, resumable campaigns
     skeleton-agreement campaign status .. # store-vs-grid reconciliation
     skeleton-agreement campaign report .. # per-scenario / aggregate tables
+    skeleton-agreement campaign serve ... # always-on campaign service daemon
 
 Every experiment family (``figure1``, ``theorem2``, ``sweeps``,
 ``termination``, ``ablation``, ``duality``, ``eventual``, ``latency``) is
@@ -53,6 +54,14 @@ sidecars are flushed, workers are terminated, and a one-line resume
 hint is printed before exiting 1 — re-running the same command resumes
 exactly the unfinished scenarios.
 
+``campaign serve`` runs the engine as an always-on daemon (persistent
+worker pool, FIFO job queue, local HTTP/JSON API — see
+:mod:`repro.engine.service`); ``campaign run/status/report --connect
+URL`` (or the ``REPRO_DAEMON`` environment variable) turn the same
+commands into thin clients of a running daemon, with transparent
+fallback to in-process execution when it is unreachable.  Journal and
+summary bytes of a served campaign are identical to the one-shot run.
+
 Campaign exit codes: 0 = complete and green, 1 = incomplete (half-executed
 grid) or failed (terminal errors), 2 = nothing to do (the grid expanded to
 zero scenarios).
@@ -63,6 +72,7 @@ Also runnable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.adversaries.grouped import GroupedSourceAdversary
@@ -421,8 +431,30 @@ _GRID_DEFAULTS = {"n": [6, 9], "k": [2, 3], "seeds": 3, "noise": [0.15],
                   "topology": "cycle"}
 
 
+def _grid_from_args(args: argparse.Namespace):
+    """The generic agreement grid (or ``--grid-json`` file) — shared by
+    in-process execution and daemon submission so both run the exact
+    same grid."""
+    from repro.engine import ScenarioGrid, agreement_grid
+
+    if args.grid_json:
+        with open(args.grid_json, "r", encoding="utf-8") as fh:
+            return ScenarioGrid.from_json(fh.read())
+    return agreement_grid(
+        ns=args.n if args.n is not None else _GRID_DEFAULTS["n"],
+        ks=args.k if args.k is not None else _GRID_DEFAULTS["k"],
+        seeds=range(
+            args.seeds if args.seeds is not None
+            else _GRID_DEFAULTS["seeds"]
+        ),
+        noises=args.noise if args.noise is not None
+        else _GRID_DEFAULTS["noise"],
+        topology=args.topology or _GRID_DEFAULTS["topology"],
+    )
+
+
 def _campaign_from_args(args: argparse.Namespace):
-    from repro.engine import Campaign, ScenarioGrid, agreement_grid
+    from repro.engine import Campaign
 
     if getattr(args, "family", None):
         from repro.engine.registry import family_campaign
@@ -439,21 +471,7 @@ def _campaign_from_args(args: argparse.Namespace):
             steal=getattr(args, "steal", False),
             max_retries=getattr(args, "max_retries", 0) or 0,
         )
-    if args.grid_json:
-        with open(args.grid_json, "r", encoding="utf-8") as fh:
-            grid = ScenarioGrid.from_json(fh.read())
-    else:
-        grid = agreement_grid(
-            ns=args.n if args.n is not None else _GRID_DEFAULTS["n"],
-            ks=args.k if args.k is not None else _GRID_DEFAULTS["k"],
-            seeds=range(
-                args.seeds if args.seeds is not None
-                else _GRID_DEFAULTS["seeds"]
-            ),
-            noises=args.noise if args.noise is not None
-            else _GRID_DEFAULTS["noise"],
-            topology=args.topology or _GRID_DEFAULTS["topology"],
-        )
+    grid = _grid_from_args(args)
     return Campaign(
         grid,
         store=args.store,
@@ -484,12 +502,187 @@ def _resume_hint(args: argparse.Namespace, campaign) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# Daemon client mode (campaign run/status/report --connect URL)
+# ----------------------------------------------------------------------
+def _daemon_client(args: argparse.Namespace):
+    """``(client, url)`` for a *reachable* daemon, else ``(None, None)``
+    — the caller falls back to in-process execution."""
+    from repro.engine.service import ServiceClient, ServiceError, daemon_url
+
+    url = daemon_url(getattr(args, "connect", None))
+    if not url:
+        return None, None
+    client = ServiceClient(url)
+    try:
+        client.health()
+    except ServiceError as exc:
+        print(
+            f"daemon at {url} unavailable ({exc}); running in-process",
+            file=sys.stderr,
+        )
+        return None, None
+    return client, url
+
+
+def _daemon_submission(args: argparse.Namespace) -> dict:
+    """Translate ``campaign run`` flags into one POST /campaigns body.
+
+    The daemon rebuilds the identical campaign from this (same grid,
+    same backend and scheduler knobs), so its journal and summary bytes
+    match the in-process run byte for byte.
+    """
+    payload: dict = {
+        "store": os.path.abspath(args.store) if args.store else None,
+        "backend": getattr(args, "backend", None),
+        "batch_memory": _batch_memory_bytes(args),
+        "pack_widths": getattr(args, "pack_widths", False),
+        "steal": getattr(args, "steal", False),
+        "max_retries": getattr(args, "max_retries", 0) or 0,
+        "timeout": getattr(args, "timeout", None),
+        "resume": not getattr(args, "no_resume", False),
+        "contracts": getattr(args, "contracts", False),
+    }
+    if getattr(args, "family", None):
+        payload["family"] = args.family
+        params = _family_params(args)
+        if params:
+            payload["params"] = params
+    else:
+        payload["grid"] = _grid_from_args(args).to_dict()
+    return {k: v for k, v in payload.items() if v is not None}
+
+
+def _run_via_daemon(args: argparse.Namespace, client, url: str) -> int:
+    from repro.engine.campaign import CampaignReport
+    from repro.engine.service import ServiceError
+
+    try:
+        payload = _daemon_submission(args)
+    except (KeyError, ValueError) as exc:
+        print(_errmsg(exc))
+        return 2
+    progress = _progress_enabled(args)
+
+    def on_progress(doc: dict) -> None:
+        p = doc["progress"]
+        eta = f" · eta {p['eta_s']:.0f}s" if p.get("eta_s") else ""
+        print(
+            f"[daemon {doc['id']}] {p['done']}/{p['total']} scenarios"
+            f" · batch {p['batches_done']}/{p['batches_planned']}{eta}",
+            file=sys.stderr, flush=True,
+        )
+
+    try:
+        submitted = client.submit(payload)
+        print(
+            f"submitted campaign {submitted['id']} to {url} "
+            f"(store {submitted['store']})",
+            file=sys.stderr,
+        )
+        doc = client.wait(
+            submitted["id"], on_progress=on_progress if progress else None
+        )
+    except ServiceError as exc:
+        print(f"daemon error: {exc}", file=sys.stderr)
+        return 1
+    if doc.get("report"):
+        print(CampaignReport(**doc["report"]).summary())
+    if doc.get("error"):
+        print(f"daemon: {doc['error']}", file=sys.stderr)
+    if getattr(args, "summary", None):
+        text = client.results_text(doc["id"], view="summary")
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        lines = text.count("\n")
+        print(f"\nwrote {lines} canonical summary lines to {args.summary}")
+    status = doc.get("status")
+    if status:
+        print(f"\n{status['describe']}")
+        return int(status["exit_code"])
+    return 1 if doc["state"] == "failed" else 0
+
+
+def _daemon_job_for_store(args: argparse.Namespace, client):
+    """The latest daemon job journaling to ``--store`` (``None`` when
+    the daemon never saw this store — reconcile locally instead)."""
+    from repro.engine.service import ServiceError
+
+    try:
+        jobs = client.jobs(store=args.store)
+    except ServiceError:
+        return None
+    return jobs[-1] if jobs else None
+
+
+def _daemon_state_exit(job: dict) -> int:
+    """Translate a daemon job document to the 0/1/2 exit-code contract:
+    queued/running count as incomplete (1); terminal jobs answer with
+    their store-vs-grid reconciliation."""
+    if job["state"] in ("queued", "running"):
+        return 1
+    status = job.get("status")
+    if status is not None:
+        return int(status["exit_code"])
+    return 1 if job["state"] == "failed" else 0
+
+
+def _status_via_daemon(args: argparse.Namespace, client, url: str) -> int:
+    job = _daemon_job_for_store(args, client)
+    if job is None:
+        print(
+            f"daemon at {url} has no campaign for this store; "
+            "reconciling locally",
+            file=sys.stderr,
+        )
+        return -1
+    line = f"daemon campaign {job['id']}: {job['state']}"
+    progress = job.get("progress")
+    if progress:
+        line += f" ({progress['done']}/{progress['total']} scenarios)"
+    print(line)
+    status = job.get("status")
+    if status:
+        print(status["describe"])
+    elif job["state"] in ("queued", "running"):
+        print("state: incomplete (campaign still running on the daemon)")
+    elif job.get("error"):
+        print(f"state: failed ({job['error']})")
+    return _daemon_state_exit(job)
+
+
+def _report_via_daemon(args: argparse.Namespace, client, url: str) -> int:
+    from repro.engine.service import ServiceError
+
+    job = _daemon_job_for_store(args, client)
+    if job is None:
+        print(
+            f"daemon at {url} has no campaign for this store; "
+            "reporting locally",
+            file=sys.stderr,
+        )
+        return -1
+    view = "aggregate" if getattr(args, "aggregate", False) else "table"
+    try:
+        print(client.results_text(job["id"], view=view), end="")
+    except ServiceError as exc:
+        print(f"daemon error: {exc}", file=sys.stderr)
+        return 1
+    status = job.get("status")
+    if status:
+        print(f"\n{status['describe']}")
+    return _daemon_state_exit(job)
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     import signal
 
     from repro.engine.contracts import ContractViolation
     from repro.engine.faults import InjectedFault
 
+    client, daemon = _daemon_client(args)
+    if client is not None:
+        return _run_via_daemon(args, client, daemon)
     try:
         campaign = _campaign_from_args(args)
         recorder, metrics_path = _metrics_recorder(args)
@@ -554,6 +747,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    client, daemon = _daemon_client(args)
+    if client is not None:
+        code = _status_via_daemon(args, client, daemon)
+        if code >= 0:
+            return code
     try:
         campaign = _campaign_from_args(args)
     except (KeyError, ValueError) as exc:
@@ -566,6 +764,12 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    if getattr(args, "metrics", None) is None:
+        client, daemon = _daemon_client(args)
+        if client is not None:
+            code = _report_via_daemon(args, client, daemon)
+            if code >= 0:
+                return code
     if getattr(args, "metrics", None) is not None:
         # Render a recorded telemetry sidecar instead of result rows.
         try:
@@ -656,6 +860,33 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         # green iff fully executed with no terminal failures.
         return 0 if status.succeeded and results else 1
     return 0 if status.succeeded and results and not bad else 1
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    try:
+        _apply_hardening(args)
+    except (ValueError, DeviceUnavailableError) as exc:
+        print(_errmsg(exc))
+        return 2
+    spool = args.spool
+    if spool is None:
+        spool = tempfile.mkdtemp(prefix="repro-campaigns-")
+    else:
+        os.makedirs(spool, exist_ok=True)
+    from repro.engine.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        slots=args.slots,
+        spool=spool,
+        shutdown_after=args.shutdown_after,
+        port_file=args.port_file,
+        metrics=not args.no_metrics,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -783,6 +1014,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help='grid file {"axes": {...}} overriding the flag-built grid',
         )
+        p.add_argument(
+            "--connect",
+            default=None,
+            metavar="URL",
+            help="talk to a running `campaign serve` daemon at URL "
+            "instead of executing in-process (also honored from the "
+            "REPRO_DAEMON environment variable); falls back to "
+            "in-process execution when the daemon is unreachable",
+        )
 
     p_crun = camp_sub.add_parser("run", help="execute missing scenarios")
     _add_grid_args(p_crun)
@@ -835,6 +1075,55 @@ def build_parser() -> argparse.ArgumentParser:
         "<store>.metrics.json) instead of result rows",
     )
     p_crep.set_defaults(func=_cmd_campaign_report)
+
+    p_serve = camp_sub.add_parser(
+        "serve",
+        help="run the always-on campaign service: a persistent worker "
+        "pool behind a local HTTP/JSON job API (submit with `campaign "
+        "run --connect URL`)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port (0 = ephemeral; the resolved "
+                         "URL is announced on stderr and in --port-file)")
+    p_serve.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the resolved base URL here "
+                         "(atomically) once listening")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="persistent pool worker processes shared "
+                         "by all campaigns (default 2)")
+    p_serve.add_argument("--slots", type=int, default=2,
+                         help="campaigns running concurrently over the "
+                         "shared pool (default 2)")
+    p_serve.add_argument("--spool", default=None, metavar="DIR",
+                         help="journal directory for submissions without "
+                         "a store path (default: a fresh temp dir)")
+    p_serve.add_argument("--shutdown-after", type=float, default=None,
+                         metavar="S",
+                         help="after S seconds stop accepting, drain the "
+                         "queue, flush sidecars and exit 0 (SIGTERM "
+                         "instead interrupts running campaigns — their "
+                         "journals stay resumable by hash)")
+    p_serve.add_argument("--no-metrics", action="store_true",
+                         help="disable per-campaign telemetry recorders "
+                         "(journal bytes are identical either way)")
+    p_serve.add_argument(
+        "--device", default=None, metavar="DEV",
+        help="array namespace for the batched kernel (see campaign run)",
+    )
+    p_serve.add_argument(
+        "--contracts", action="store_true",
+        help="arm the runtime contract layer before the pool spawns, so "
+        "every worker inherits it",
+    )
+    p_serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="install a deterministic fault-injection plan for the whole "
+        "service (resilience drills; add ledger=PATH inside SPEC for "
+        "once-only faults)",
+    )
+    p_serve.set_defaults(func=_cmd_campaign_serve)
     return parser
 
 

@@ -56,6 +56,13 @@ fleet-scale workload generator:
 * :mod:`repro.engine.campaign` — the **campaign API**
   (:class:`Campaign`), wired into the CLI as
   ``skeleton-agreement campaign run/status/report --jobs N --backend B``.
+* :mod:`repro.engine.service` — the **campaign service**: a
+  long-running ``campaign serve`` daemon owning one persistent
+  :class:`~repro.engine.executor.WorkerPool`, multiplexing concurrent
+  campaign submissions (FIFO queue, ``--slots`` runners) over a local
+  HTTP/JSON job API, each journaling to its own store with bytes
+  identical to a one-shot run; the CLI doubles as a thin client
+  (``campaign run --connect URL`` / ``REPRO_DAEMON``).
 * :mod:`repro.engine.registry` — the **experiment registry**: every
   experiment family (figure1, theorem2, sweeps, termination, ablation,
   duality, eventual, latency) as one declarative
@@ -111,10 +118,21 @@ from repro.engine.registry import (
     run_family,
 )
 from repro.engine.executor import (
+    ExecutionStopped,
     ScenarioResult,
+    WorkerPool,
     execute_scenario,
     execute_scenarios,
     require_ok,
+)
+from repro.engine.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceError,
+    SubmissionError,
+    campaign_from_submission,
+    daemon_url,
+    serve,
 )
 from repro.engine.scenarios import (
     ScenarioGrid,
@@ -148,7 +166,9 @@ __all__ = [
     "BatchPlan",
     "Campaign",
     "CampaignReport",
+    "CampaignService",
     "Column",
+    "ExecutionStopped",
     "ContractViolation",
     "Contracts",
     "ExperimentSpec",
@@ -166,7 +186,14 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
+    "ServiceClient",
+    "ServiceError",
+    "SubmissionError",
+    "WorkerPool",
     "agreement_grid",
+    "campaign_from_submission",
+    "daemon_url",
+    "serve",
     "decision_latency_summary",
     "contract",
     "contracts_enabled",

@@ -286,6 +286,10 @@ class Campaign:
         progress: object = False,
         recorder=None,
         max_retries: int | None = None,
+        pool=None,
+        should_stop=None,
+        reporter_factory=None,
+        on_result=None,
     ) -> CampaignReport:
         """Execute every scenario that has no terminal record yet.
 
@@ -302,6 +306,19 @@ class Campaign:
         kernels and store, and the caller writes the metrics sidecar.
         ``None`` (the default) is the zero-cost null recorder — journal
         and summary bytes are identical either way.
+
+        The remaining seams exist for the campaign service
+        (:mod:`repro.engine.service`); none of them changes journal or
+        summary bytes.  ``pool`` is a shared
+        :class:`~repro.engine.executor.WorkerPool` the executor uses
+        instead of creating its own; ``should_stop`` is polled by the
+        executor and aborts the run with
+        :class:`~repro.engine.executor.ExecutionStopped` (already-
+        journaled results stay durable); ``reporter_factory(total,
+        plan)`` builds the progress reporter — overriding ``progress``
+        — so the daemon can expose plan-derived progress snapshots over
+        HTTP; ``on_result`` is an extra parent-side callback invoked
+        after each result is journaled.
         """
         rec = NULL if recorder is None else recorder
         self.refresh()
@@ -338,7 +355,9 @@ class Campaign:
                 recorder=rec,
             )
         reporter = None
-        if progress and todo:
+        if reporter_factory is not None and todo:
+            reporter = reporter_factory(len(todo), plan)
+        elif progress and todo:
             from repro.engine.scheduler import ProgressReporter
 
             reporter = ProgressReporter(
@@ -354,6 +373,8 @@ class Campaign:
             latest[result.scenario_id] = result
             if reporter is not None:
                 reporter.update(result)
+            if on_result is not None:
+                on_result(result)
 
         with rec.span("campaign.run_s"):
             results = execute_scenarios(
@@ -370,6 +391,8 @@ class Campaign:
                 max_retries=(
                     self.max_retries if max_retries is None else max_retries
                 ),
+                pool=pool,
+                should_stop=should_stop,
             )
         by_status = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
         for result in results:

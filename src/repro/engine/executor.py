@@ -40,7 +40,9 @@ import multiprocessing
 import os
 import pickle
 import random
+import signal
 import sys
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -62,6 +64,13 @@ from repro.rounds.simulator import RoundSimulator, SimulationConfig
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+
+
+class ExecutionStopped(RuntimeError):
+    """Raised when a run is interrupted by a ``should_stop`` signal (the
+    campaign service's shutdown path).  Every result journaled before the
+    stop is already durable; the remaining scenarios simply never ran, so
+    a resumed/resubmitted campaign picks up exactly where this left off."""
 
 
 def is_terminal(status: str) -> bool:
@@ -373,6 +382,24 @@ def retry_delay(key: str, attempt: int) -> float:
     return min(_RETRY_CAP_S, _RETRY_BASE_S * (2 ** (attempt - 1)) * spread)
 
 
+def _reset_worker_signals() -> None:  # pragma: no cover — runs in workers
+    """Pool-worker initializer: restore default signal dispositions.
+
+    Workers fork *after* the CLI (or the service daemon) installed its
+    graceful SIGTERM/SIGINT handlers, and fork copies those handlers
+    into the child.  A worker that inherits "SIGTERM raises
+    KeyboardInterrupt" survives ``proc.terminate()``: the interrupt is
+    swallowed by the executor's task loop as an ordinary task failure
+    and the worker goes right back to waiting for work — which turns
+    every straggler-termination / fast-shutdown path into a hang (the
+    parent exits only after joining the executor's manager thread,
+    which waits on the immortal worker).  SIGTERM must mean death here;
+    SIGINT is ignored so a terminal Ctrl-C interrupts only the parent,
+    which then winds the pool down deliberately."""
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _terminate_pool(executor: ProcessPoolExecutor) -> int:
     """Shut a pool down *without* waiting, terminating every live worker
     (stragglers past the deadline, stalled or orphaned processes of a
@@ -388,7 +415,108 @@ def _terminate_pool(executor: ProcessPoolExecutor) -> int:
     for proc in procs:
         if proc.is_alive():
             proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover — last resort
+                proc.kill()
+                proc.join(timeout=1.0)
     return terminated
+
+
+class WorkerPool:
+    """A rebuildable process pool that can outlive one campaign.
+
+    :func:`execute_scenarios` historically created (and destroyed) a
+    ``ProcessPoolExecutor`` per call — the right shape for one-shot CLI
+    runs, the wrong one for the always-on campaign service, which pays
+    pool spin-up once and then multiplexes many campaign submissions
+    across the same warm workers.  This wrapper owns that lifecycle:
+
+    * ``submit`` delegates to the live executor (thread-safe: concurrent
+      campaigns dispatch from their own threads);
+    * ``rebuild`` terminates every worker and swaps in a fresh executor
+      — the broken-pool / straggler recovery primitive.  It is
+      *generation-aware*: a caller that observed the pool break passes
+      the generation it saw, and the rebuild is skipped when another
+      campaign already replaced that generation (so N concurrent victims
+      of one crash do not thrash N fresh pools);
+    * ``close`` ends the pool for good (``terminate=True`` kills live
+      workers instead of waiting — the service's fast-shutdown path).
+      A closed pool refuses new work and ``rebuild`` becomes a no-op,
+      so in-flight campaigns wind down instead of respawning workers
+      under a daemon that is exiting.
+
+    Sharing one pool means one campaign's recovery actions are visible
+    to its neighbors: a rebuild kills *all* in-flight units, whose
+    campaigns see ``BrokenProcessPool`` and retry (``max_retries``) or
+    journal retriable records for resume.  That is the deliberate
+    trade — crash isolation stays at the campaign level, capacity is
+    shared at the batch level.
+    """
+
+    def __init__(self, workers: int, mp_context=None) -> None:
+        self.workers = max(1, workers)
+        self._ctx = mp_context or multiprocessing.get_context()
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._closing = False
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._ctx,
+            initializer=_reset_worker_signals,
+        )
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every rebuild (see :meth:`rebuild`)."""
+        return self._generation
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    def submit(self, fn, /, *args):
+        """Submit one call to the live executor.
+
+        Raises ``RuntimeError`` once the pool is closed and
+        ``BrokenProcessPool`` when the executor is broken — callers
+        treat both as "this unit did not dispatch" and requeue."""
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("worker pool is closed")
+            return self._executor.submit(fn, *args)
+
+    def rebuild(self, seen_generation: int | None = None) -> int:
+        """Terminate every worker and bring up a fresh executor.
+
+        Returns the number of processes terminated (0 when the rebuild
+        was skipped: pool closing, or ``seen_generation`` already
+        replaced by a concurrent rebuild)."""
+        with self._lock:
+            if self._closing:
+                return 0
+            if (
+                seen_generation is not None
+                and seen_generation != self._generation
+            ):
+                return 0
+            terminated = _terminate_pool(self._executor)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._ctx,
+                initializer=_reset_worker_signals,
+            )
+            self._generation += 1
+            return terminated
+
+    def close(self, terminate: bool = False) -> int:
+        """Shut the pool down for good.  ``terminate=True`` kills live
+        workers (fast shutdown); otherwise waits for in-flight work.
+        Returns the number of processes terminated."""
+        with self._lock:
+            if self._closing:
+                return 0
+            self._closing = True
+            if terminate:
+                return _terminate_pool(self._executor)
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            return 0
 
 
 def _terminal_failure(exc: BaseException, was_running: bool) -> bool:
@@ -419,6 +547,8 @@ def execute_scenarios(
     plan=None,
     recorder=None,
     max_retries: int = 0,
+    pool: "WorkerPool | None" = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> list[ScenarioResult]:
     """Execute many scenarios, serially or on a process pool.
 
@@ -499,6 +629,21 @@ def execute_scenarios(
         the innocent majority completes and only the true killer (if
         deterministic) fails terminally.  ``0`` (default) preserves the
         journal-on-first-failure behavior exactly.
+    pool:
+        A shared :class:`WorkerPool` (the campaign service's persistent
+        pool).  ``None`` (default): a private pool is created and torn
+        down here, exactly as before.  With a shared pool this call
+        never shuts the pool down — broken pools and stragglers are
+        handled by generation-aware :meth:`WorkerPool.rebuild` so
+        concurrent campaigns on the same pool keep running.  A pool
+        forces the pool code path even for ``jobs <= 1`` (the daemon
+        multiplexes every campaign through its workers).
+    should_stop:
+        Zero-argument callable polled between dispatch rounds (and
+        between serial results).  Returning ``True`` cancels pending
+        work and raises :class:`ExecutionStopped`; everything already
+        delivered to ``on_result`` stays journaled, so the campaign is
+        resumable by hash.
 
     Returns
     -------
@@ -507,7 +652,7 @@ def execute_scenarios(
     spec_list = list(specs)
     if not spec_list:
         return []
-    if (jobs <= 1 or len(spec_list) <= 1) and timeout is None:
+    if (jobs <= 1 or len(spec_list) <= 1) and timeout is None and pool is None:
         # The serial path streams through the same kernels the pool
         # workers use, so the batched/auto backends run the scheduler's
         # planned batches here too; results are re-sorted into grid
@@ -534,6 +679,8 @@ def execute_scenarios(
             if on_result is not None:
                 on_result(result)
             results[idx] = result
+            if should_stop is not None and should_stop():
+                raise ExecutionStopped("run interrupted by shutdown signal")
         return results
 
     indexed = list(enumerate(spec_list))
@@ -700,10 +847,14 @@ def execute_scenarios(
     # the rebuilds so a deterministically-crashing workload terminates.
     max_rebuilds = 2 * max_retries + 2
     rebuilds = 0
-    ctx = multiprocessing.get_context()
-    executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    owned = pool is None
+    if owned:
+        pool = WorkerPool(workers)
     abandoned = False
     pool_dead = False
+    # Generation of the pool observed broken — a concurrent campaign on
+    # a shared pool may rebuild it first, making our rebuild a no-op.
+    dead_gen: int | None = None
     try:
         start = time.monotonic()
         window = (
@@ -717,7 +868,8 @@ def execute_scenarios(
         queue: list[list] = [
             [items, call, 0, 0.0] for items, call in units
         ]
-        pending: list[tuple] = []  # (items, call, attempts, handle, t)
+        # (items, call, attempts, handle, t, pool generation at submit)
+        pending: list[tuple] = []
         # Which futures were ever observed executing on a worker — the
         # broken-pool classifier's running/queued attribution.  Polled,
         # so a worker that dies within one poll interval of starting may
@@ -753,12 +905,10 @@ def execute_scenarios(
                 recorder.vinc("executor.singleton_splits")
 
         def rebuild_pool() -> None:
-            nonlocal executor, pool_dead, rebuilds
-            _terminate_pool(executor)
-            executor = ProcessPoolExecutor(
-                max_workers=workers, mp_context=ctx
-            )
+            nonlocal pool_dead, rebuilds, dead_gen
+            pool.rebuild(dead_gen)
             pool_dead = False
+            dead_gen = None
             rebuilds += 1
             if recorder:
                 recorder.vinc("executor.pool_rebuilds")
@@ -767,6 +917,13 @@ def execute_scenarios(
         # journaled immediately — a slow unit must not hold back the
         # durability of the fast ones behind it.
         while queue or pending:
+            if should_stop is not None and should_stop():
+                # Service shutdown: cancel what never dispatched and
+                # bail.  Delivered results are already journaled; a
+                # resubmit of the same grid resumes by hash.
+                for _items, _call, _attempts, handle, _t, _gen in pending:
+                    handle.cancel()
+                raise ExecutionStopped("run interrupted by shutdown signal")
             now = time.monotonic()
             progressed = False
             if pool_dead and not pending and queue:
@@ -807,21 +964,33 @@ def execute_scenarios(
                     # Throttled dispatch under steal: one in-flight unit
                     # per worker, the rest stay here where they can
                     # still be split.  Eager dispatch otherwise.
-                    if not_before <= now and (
-                        not steal or len(pending) < workers
+                    if pool_dead or not (
+                        not_before <= now
+                        and (not steal or len(pending) < workers)
                     ):
-                        handle = executor.submit(call[0], *call[1:])
-                        pending.append(
-                            (items, call, attempts, handle,
-                             time.monotonic())
-                        )
-                        progressed = True
-                    else:
                         waiting.append(entry)
+                        continue
+                    submit_gen = pool.generation
+                    try:
+                        handle = pool.submit(call[0], *call[1:])
+                    except (BrokenProcessPool, RuntimeError):
+                        # The pool broke (or a shared pool is closing)
+                        # before this unit dispatched — it never ran,
+                        # so it stays queued for the rebuilt pool.
+                        pool_dead = True
+                        if dead_gen is None:
+                            dead_gen = submit_gen
+                        waiting.append(entry)
+                        continue
+                    pending.append(
+                        (items, call, attempts, handle,
+                         time.monotonic(), submit_gen)
+                    )
+                    progressed = True
                 queue = waiting
             still_pending = []
             deadline_retried = False
-            for items, call, attempts, handle, submit_t in pending:
+            for items, call, attempts, handle, submit_t, gen in pending:
                 if handle.running():
                     seen_running.add(id(handle))
                 if handle.done():
@@ -836,6 +1005,8 @@ def execute_scenarios(
                         was_running = id(handle) in seen_running
                         if isinstance(exc, BrokenProcessPool):
                             pool_dead = True
+                            if dead_gen is None:
+                                dead_gen = gen
                         if attempts < max_retries and (
                             isinstance(exc, BrokenProcessPool)
                             or not _terminal_failure(exc, was_running)
@@ -861,6 +1032,8 @@ def execute_scenarios(
                     if attempts < max_retries:
                         requeue(items, call, attempts)
                         pool_dead = True
+                        if dead_gen is None:
+                            dead_gen = gen
                         deadline_retried = True
                     else:
                         deliver(timed_out(items, window))
@@ -868,7 +1041,7 @@ def execute_scenarios(
                     progressed = True
                 else:
                     still_pending.append(
-                        (items, call, attempts, handle, submit_t)
+                        (items, call, attempts, handle, submit_t, gen)
                     )
             pending = still_pending
             if deadline_retried:
@@ -881,12 +1054,24 @@ def execute_scenarios(
         # on stuck workers: terminate instead of waiting, exactly like
         # the straggler path.
         failing = sys.exc_info()[0] is not None
-        if abandoned or pool_dead or failing:
-            terminated = _terminate_pool(executor)
+        if owned:
+            if abandoned or pool_dead or failing:
+                terminated = pool.close(terminate=True)
+                if recorder and terminated and abandoned:
+                    recorder.vinc(
+                        "executor.straggler_terminations", terminated
+                    )
+            else:
+                pool.close()
+        elif abandoned or pool_dead:
+            # A shared pool outlives this campaign: replace the broken
+            # or straggler-holding workers instead of shutting down, so
+            # the daemon's other campaigns keep a live pool.  No-op if
+            # the pool is closing (service shutdown) or a neighbor
+            # already rebuilt the generation we saw break.
+            terminated = pool.rebuild(dead_gen)
             if recorder and terminated and abandoned:
                 recorder.vinc("executor.straggler_terminations", terminated)
-        else:
-            executor.shutdown(wait=True, cancel_futures=True)
     if merge_witness is not None and len(merge_witness) > 1:
         contracts.check_merge_commutative(
             merge_witness, context={"backend": backend, "jobs": jobs}

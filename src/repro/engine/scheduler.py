@@ -482,6 +482,27 @@ class ProgressReporter:
             self._last_emit = now
             self._emit(now)
 
+    def snapshot(self) -> dict:
+        """Machine-readable progress (the campaign service's status
+        endpoint).  Same numbers the human line prints: completed/total,
+        rate, plan-derived batch progress, and an ETA in seconds
+        (``None`` until there is a measurable rate)."""
+        now = self._clock()
+        elapsed = now - self._start
+        rate = self._done / elapsed if elapsed > 1e-3 else 0.0
+        remaining = self.total - self._done
+        return {
+            "done": self._done,
+            "total": self.total,
+            "elapsed_s": round(elapsed, 3),
+            "rate_per_s": round(rate, 3) if rate > 0 else None,
+            "batches_done": self._batches_done,
+            "batches_planned": self.num_batches,
+            "eta_s": (
+                round(remaining / rate, 3) if remaining and rate > 0 else None
+            ),
+        }
+
     def _emit(self, now: float) -> None:
         # Guard the rate (and the ETA derived from it) against a
         # zero-elapsed first emission: a sub-millisecond clock delta

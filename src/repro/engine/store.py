@@ -308,6 +308,26 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Canonical summaries
     # ------------------------------------------------------------------
+    def summary_lines(
+        self,
+        specs: Iterable[ScenarioSpec],
+        latest: dict[str, ScenarioResult] | None = None,
+    ) -> list[str]:
+        """The canonical summary lines for ``specs``, grid-ordered.
+
+        The exact lines :meth:`write_summary` writes (without trailing
+        newlines) — the campaign service serves them over HTTP so a
+        daemon-fetched summary is byte-identical to a written one.
+        """
+        if latest is None:
+            latest = self.load()
+        lines = []
+        for spec in specs:
+            result = latest.get(spec.scenario_id)
+            if result is not None:
+                lines.append(canonical_line(result))
+        return lines
+
     def write_summary(
         self,
         path: str | os.PathLike,
@@ -322,13 +342,7 @@ class ResultStore:
         the number of lines written.  Pass a pre-:meth:`load`-ed
         ``latest`` snapshot to skip re-scanning the journal.
         """
-        if latest is None:
-            latest = self.load()
-        lines = []
-        for spec in specs:
-            result = latest.get(spec.scenario_id)
-            if result is not None:
-                lines.append(canonical_line(result))
+        lines = self.summary_lines(specs, latest)
         out = Path(path)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(

@@ -54,3 +54,36 @@ def to_networkx(graph: DiGraph):
     g.add_nodes_from(graph.nodes())
     g.add_edges_from(graph.edges())
     return g
+
+
+# ----------------------------------------------------------------------
+# Per-test timeout for @pytest.mark.daemon (subprocess-based service
+# tests): a hung daemon must fail its test fast, not wedge the suite.
+# Implemented with SIGALRM (no plugin dependency); the marker accepts
+# an override: @pytest.mark.daemon(timeout=300).
+# ----------------------------------------------------------------------
+DAEMON_TEST_TIMEOUT = 180.0
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    import signal
+
+    marker = item.get_closest_marker("daemon")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    seconds = float(marker.kwargs.get("timeout", DAEMON_TEST_TIMEOUT))
+
+    def _expired(signum, frame):  # noqa: ARG001 — signal API
+        raise TimeoutError(
+            f"daemon test exceeded its {seconds:.0f}s timeout "
+            "(hung daemon or stuck poll loop)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

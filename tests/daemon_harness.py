@@ -1,0 +1,153 @@
+"""Boot a real ``campaign serve`` daemon for tests, with guaranteed
+teardown.
+
+The harness runs the daemon exactly as a user would — ``python -m repro
+campaign serve`` in a subprocess on an ephemeral port — waits for
+``/healthz``, and yields a :class:`DaemonHandle` wrapping the live
+process and a :class:`~repro.engine.service.ServiceClient`.  Teardown
+(SIGTERM, bounded wait, SIGKILL escalation) runs even when the test
+body raises, so a failing assertion can never leave a daemon wedging
+the suite.
+
+Usage::
+
+    from daemon_harness import daemon
+
+    def test_something(tmp_path):
+        with daemon(tmp_path) as d:
+            job = d.client.submit({...})
+            ...
+
+All tests using this module must carry the ``daemon`` marker (see
+``pytest.ini``), which arms a per-test SIGALRM timeout so a hung daemon
+fails the test fast instead of hanging the run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.engine.service import ServiceClient, ServiceError
+
+STARTUP_TIMEOUT = 30.0
+SHUTDOWN_TIMEOUT = 30.0
+
+
+def repro_env(extra: dict | None = None) -> dict:
+    """A subprocess environment that can ``import repro``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(__file__).resolve().parents[1] / "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    if extra:
+        env.update(extra)
+    return env
+
+
+class DaemonHandle:
+    """One live daemon subprocess plus its HTTP client."""
+
+    def __init__(
+        self, proc: subprocess.Popen, client: ServiceClient,
+        url: str, spool: Path,
+    ) -> None:
+        self.proc = proc
+        self.client = client
+        self.url = url
+        self.spool = spool
+        self.stdout: str | None = None
+        self.stderr: str | None = None
+        self.returncode: int | None = None
+
+    def stop(
+        self, sig: int = signal.SIGTERM, timeout: float = SHUTDOWN_TIMEOUT
+    ) -> int:
+        """Signal the daemon and wait; returns its exit code.  Captured
+        stdout/stderr land on ``self.stdout`` / ``self.stderr``."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(sig)
+        try:
+            self.stdout, self.stderr = self.proc.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.stdout, self.stderr = self.proc.communicate(timeout=10)
+        self.returncode = self.proc.returncode
+        return self.returncode
+
+
+@contextlib.contextmanager
+def daemon(
+    tmp_path: Path,
+    jobs: int = 2,
+    slots: int = 2,
+    extra_args: tuple[str, ...] = (),
+    env_extra: dict | None = None,
+    startup_timeout: float = STARTUP_TIMEOUT,
+):
+    """Boot ``campaign serve`` on an ephemeral port; yield a
+    :class:`DaemonHandle`; always tear the subprocess down."""
+    port_file = tmp_path / "daemon.url"
+    spool = tmp_path / "spool"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "serve",
+            "--port", "0", "--port-file", str(port_file),
+            "--jobs", str(jobs), "--slots", str(slots),
+            "--spool", str(spool), *extra_args,
+        ],
+        env=repro_env(env_extra),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    handle: DaemonHandle | None = None
+    try:
+        deadline = time.monotonic() + startup_timeout
+        url = None
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                raise RuntimeError(
+                    f"daemon exited during startup (rc {proc.returncode}):\n"
+                    f"{err}"
+                )
+            if port_file.exists():
+                text = port_file.read_text().strip()
+                if text:
+                    url = text
+                    break
+            time.sleep(0.05)
+        if url is None:
+            raise RuntimeError(
+                f"daemon wrote no port file within {startup_timeout:.0f}s"
+            )
+        client = ServiceClient(url)
+        while time.monotonic() < deadline:
+            try:
+                if client.health().get("ok"):
+                    break
+            except ServiceError:
+                time.sleep(0.05)
+        else:
+            raise RuntimeError(f"daemon at {url} never became healthy")
+        handle = DaemonHandle(proc, client, url, spool)
+        yield handle
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                out, err = proc.communicate(timeout=SHUTDOWN_TIMEOUT)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                out, err = proc.communicate(timeout=10)
+            if handle is not None and handle.stdout is None:
+                handle.stdout, handle.stderr = out, err
+                handle.returncode = proc.returncode

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.analysis.properties import check_agreement_properties
@@ -336,3 +338,93 @@ class TestWorkStealing:
             assert active._counts.get("steal_split", 0) >= 1
         finally:
             contracts_mod.deactivate()
+
+
+def _sleep_chunk(seconds):
+    # Module-level so the pool can pickle it to a worker by reference.
+    import time
+
+    time.sleep(seconds)
+    return "slept"
+
+
+class TestWorkerPool:
+    """The shared, rebuildable pool behind the campaign service."""
+
+    SPECS = [
+        ScenarioSpec(n=5, k=2, num_groups=2, seed=s, noise=0.1)
+        for s in range(6)
+    ]
+
+    def test_shared_pool_matches_owned_pool_results(self):
+        from repro.engine.executor import WorkerPool
+
+        baseline = execute_scenarios(self.SPECS, jobs=2)
+        pool = WorkerPool(2)
+        try:
+            first = execute_scenarios(self.SPECS, jobs=2, pool=pool)
+            second = execute_scenarios(self.SPECS, jobs=2, pool=pool)
+        finally:
+            pool.close(terminate=True)
+        assert first == baseline
+        assert second == baseline
+
+    def test_rebuild_skips_stale_generation(self):
+        from repro.engine.executor import WorkerPool
+
+        pool = WorkerPool(1)
+        try:
+            gen = pool.generation
+            pool.rebuild(gen)
+            assert pool.generation == gen + 1
+            # A second victim of the *same* crash reports the old
+            # generation: its rebuild must no-op instead of thrashing.
+            assert pool.rebuild(gen) == 0
+            assert pool.generation == gen + 1
+        finally:
+            pool.close(terminate=True)
+
+    def test_closed_pool_refuses_work_and_rebuilds(self):
+        from repro.engine.executor import WorkerPool
+
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(_sleep_chunk, 0.0)
+        assert pool.rebuild() == 0
+
+    def test_terminate_kills_workers_despite_inherited_sigterm_handler(
+        self,
+    ):
+        """Regression: the CLI/daemon installs SIGTERM→KeyboardInterrupt
+        before the pool forks its workers.  Fork copies that handler
+        into the children, where the executor task loop swallows the
+        interrupt as a task failure — so terminate() never killed a
+        busy worker and every fast-shutdown path hung on the immortal
+        process.  The worker initializer must reset the disposition."""
+        import signal as _signal
+
+        from repro.engine.executor import WorkerPool
+
+        def _graceful(signum, frame):  # noqa: ARG001 — signal API
+            raise KeyboardInterrupt
+
+        previous = _signal.signal(_signal.SIGTERM, _graceful)
+        try:
+            pool = WorkerPool(1)
+            handle = pool.submit(_sleep_chunk, 60.0)
+            deadline = time.monotonic() + 10.0
+            while not handle.running():
+                assert time.monotonic() < deadline, "chunk never started"
+                time.sleep(0.01)
+            procs = list(pool._executor._processes.values())
+            assert procs and all(p.is_alive() for p in procs)
+            assert pool.close(terminate=True) >= 1
+            deadline = time.monotonic() + 10.0
+            while any(p.is_alive() for p in procs):
+                assert (
+                    time.monotonic() < deadline
+                ), "terminate() left a worker alive (inherited handler)"
+                time.sleep(0.05)
+        finally:
+            _signal.signal(_signal.SIGTERM, previous)
