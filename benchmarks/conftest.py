@@ -144,7 +144,7 @@ def record_fastpath():
         workloads = data.setdefault("workloads", {})
         workloads[workload] = entry
         data.pop("host", None)  # legacy file-level host block
-        data["schema"] = 4
+        data["schema"] = 5
         data["median_speedup"] = round(
             statistics.median(w["speedup"] for w in workloads.values()), 2
         )
@@ -204,6 +204,33 @@ def record_telemetry():
         if not isinstance(data, dict):
             data = {}
         data["telemetry"] = entry
+        BENCH_FASTPATH_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _record
+
+
+@pytest.fixture
+def record_dist_scale():
+    """Upsert the distributed-execution measurement into
+    BENCH_FASTPATH.json under a top-level ``"dist_scale"`` key
+    (schema 5; coexists with the fastpath/telemetry/contracts recorders
+    exactly like :func:`record_telemetry`)."""
+
+    def _record(entry: dict) -> None:
+        data: dict = {}
+        if BENCH_FASTPATH_PATH.exists():
+            try:
+                data = json.loads(BENCH_FASTPATH_PATH.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        if not isinstance(data, dict):
+            data = {}
+        data["dist_scale"] = entry
+        # dist_scale is a schema-5 field; stamp the version even when
+        # no fastpath workload re-ran in this session.
+        data["schema"] = max(5, int(data.get("schema", 0)))
         BENCH_FASTPATH_PATH.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"
         )

@@ -307,6 +307,54 @@ grep -q "shutting down" "$workdir/daemon.err"
 echo "daemon leg (fuzz + latency served, clean SIGTERM drain): OK"
 
 echo
+echo "== distributed execution: 2 remote workers vs serial, byte-compared =="
+# Boot two `repro worker --listen` processes on ephemeral ports, ship the
+# heterogeneous-latency family to them with `campaign run --workers`, and
+# require the shard-merged journal AND summary to be byte-identical to
+# the serial single-host run — then SIGTERM both workers and require
+# clean (exit 0) shutdowns.
+dist_args=(--family latency -n 5 6 --seeds 2 --noise 0.0 0.4)
+python -m repro campaign run "${dist_args[@]}" --jobs 1 \
+    --store "$workdir/dist_serial.jsonl" \
+    --summary "$workdir/dist_serial_summary.jsonl" --no-progress > /dev/null
+worker_pids=()
+for i in 0 1; do
+    python -m repro worker --listen 127.0.0.1:0 \
+        --port-file "$workdir/worker$i.port" \
+        2> "$workdir/worker$i.err" &
+    worker_pids+=($!)
+done
+for i in 0 1; do
+    for _ in $(seq 1 100); do
+        [ -s "$workdir/worker$i.port" ] && break
+        kill -0 "${worker_pids[$i]}" 2>/dev/null || {
+            cat "$workdir/worker$i.err" >&2
+            echo "worker $i died during startup" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+done
+dist_workers="$(cat "$workdir/worker0.port"),$(cat "$workdir/worker1.port")"
+echo "workers listening at $dist_workers"
+python -m repro campaign run "${dist_args[@]}" --workers "$dist_workers" \
+    --store "$workdir/dist_remote.jsonl" \
+    --summary "$workdir/dist_remote_summary.jsonl" --no-progress > /dev/null
+cmp "$workdir/dist_serial.jsonl" "$workdir/dist_remote.jsonl"
+cmp "$workdir/dist_serial_summary.jsonl" "$workdir/dist_remote_summary.jsonl"
+for pid in "${worker_pids[@]}"; do
+    kill -TERM "$pid"
+done
+for i in 0 1; do
+    wait "${worker_pids[$i]}" || {
+        echo "worker $i exited non-zero on SIGTERM" >&2
+        cat "$workdir/worker$i.err" >&2
+        exit 1
+    }
+done
+echo "distributed journal+summary byte-identical to serial; workers drained: OK"
+
+echo
 python -m repro campaign status --store "$store" "${grid[@]}"
 echo
 echo "smoke: OK"

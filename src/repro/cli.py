@@ -351,6 +351,17 @@ def _add_scheduler_args(p: argparse.ArgumentParser) -> None:
         "each fault fires once (ledger: <store>.faults.ledger), and a "
         "resumed run reconverges to byte-identical summaries",
     )
+    p.add_argument(
+        "--workers",
+        default=None,
+        metavar="LIST",
+        help="distributed execution: comma-separated remote worker "
+        "endpoints (host:port to dial a 'repro worker --listen', or "
+        "listen:[host:]port to accept a 'repro worker --connect'); "
+        "planned batches ship to the fleet and results shard-merge "
+        "back in plan order, so journal and summary bytes are "
+        "identical to a serial single-host run",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -525,6 +536,15 @@ def _daemon_client(args: argparse.Namespace):
     return client, url
 
 
+def _workers_list(args: argparse.Namespace) -> list[str] | None:
+    """The ``--workers`` endpoints as a list (``None`` when unset)."""
+    raw = getattr(args, "workers", None)
+    if not raw:
+        return None
+    parts = [part.strip() for part in raw.split(",") if part.strip()]
+    return parts or None
+
+
 def _daemon_submission(args: argparse.Namespace) -> dict:
     """Translate ``campaign run`` flags into one POST /campaigns body.
 
@@ -542,6 +562,7 @@ def _daemon_submission(args: argparse.Namespace) -> dict:
         "timeout": getattr(args, "timeout", None),
         "resume": not getattr(args, "no_resume", False),
         "contracts": getattr(args, "contracts", False),
+        "workers": _workers_list(args),
     }
     if getattr(args, "family", None):
         payload["family"] = args.family
@@ -679,6 +700,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
     from repro.engine.contracts import ContractViolation
     from repro.engine.faults import InjectedFault
+    from repro.engine.remote import RemoteWorkerError
 
     client, daemon = _daemon_client(args)
     if client is not None:
@@ -715,7 +737,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     try:
         report = campaign.run(
             resume=not args.no_resume, progress=_progress_enabled(args),
-            recorder=recorder,
+            recorder=recorder, workers=_workers_list(args),
         )
     except KeyboardInterrupt:
         # Every journaled record is already on disk (append + flush per
@@ -731,6 +753,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     except InjectedFault as exc:
         _flush_sidecar()
         print(f"injected fault: {exc}", file=sys.stderr)
+        print(_resume_hint(args, campaign), file=sys.stderr)
+        return 1
+    except RemoteWorkerError as exc:
+        _flush_sidecar()
+        print(f"remote worker error: {exc}", file=sys.stderr)
         print(_resume_hint(args, campaign), file=sys.stderr)
         return 1
     finally:
@@ -886,6 +913,18 @@ def _cmd_campaign_serve(args: argparse.Namespace) -> int:
         shutdown_after=args.shutdown_after,
         port_file=args.port_file,
         metrics=not args.no_metrics,
+        workers=_workers_list(args),
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine.remote import worker_serve
+
+    return worker_serve(
+        listen=args.listen,
+        connect=args.connect,
+        spool=args.spool,
+        port_file=args.port_file,
     )
 
 
@@ -1123,7 +1162,42 @@ def build_parser() -> argparse.ArgumentParser:
         "service (resilience drills; add ledger=PATH inside SPEC for "
         "once-only faults)",
     )
+    p_serve.add_argument(
+        "--workers", default=None, metavar="LIST",
+        help="default remote worker fleet for served campaigns: "
+        "comma-separated endpoints (host:port / listen:[host:]port); "
+        "submissions may override with their own \"workers\" list, and "
+        "/metrics reports per-endpoint liveness",
+    )
     p_serve.set_defaults(func=_cmd_campaign_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a distributed execution worker: executes planned "
+        "batches shipped by a campaign coordinator (campaign run "
+        "--workers) and returns journal-record shards",
+    )
+    p_worker.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="bind and serve coordinator sessions until SIGTERM "
+        "(port 0 picks a free port; see --port-file)",
+    )
+    p_worker.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="dial a coordinator's listen: endpoint instead (the "
+        "ssh-spawned transport shape) and serve one session",
+    )
+    p_worker.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="with --listen: write the bound host:port here "
+        "(atomically) once listening",
+    )
+    p_worker.add_argument(
+        "--spool", default=None, metavar="PATH",
+        help="append every produced journal record to this local shard "
+        "file as well (worker-side durability)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
     return parser
 
 

@@ -53,6 +53,17 @@ fleet-scale workload generator:
   content-hash victim selection and a once-only ledger, used by the
   resilience tests and ``campaign run --faults SPEC`` drills; faulted
   runs must reconverge to byte-identical journals on resume.
+* :mod:`repro.engine.remote` — **distributed batch execution**: a
+  coordinator (:func:`execute_remote`) ships whole planned batches to
+  remote ``repro worker`` processes over a pluggable JSON-lines/TCP
+  transport (dial ``host:port`` or accept ``listen:port`` — an
+  ssh-spawned worker is a drop-in), each worker appending to its own
+  journal shard; a deterministic :class:`ShardMerger` releases results
+  in canonical plan order so the merged journal and summary are
+  byte-identical to a serial single-host run whatever the worker count,
+  completion order or mid-run worker loss, with crash requeue/backoff,
+  straggler cut-off and crash-resume via :func:`absorb_shards`
+  (``campaign run --workers host1:port,host2:port``).
 * :mod:`repro.engine.campaign` — the **campaign API**
   (:class:`Campaign`), wired into the CLI as
   ``skeleton-agreement campaign run/status/report --jobs N --backend B``.
@@ -148,7 +159,23 @@ from repro.engine.scheduler import (
     plan_batches,
     round_bucket,
 )
-from repro.engine.store import ResultStore, decode_result, encode_result
+from repro.engine.remote import (
+    RemoteWorkerError,
+    ShardMerger,
+    WorkerEndpoint,
+    absorb_shards,
+    execute_remote,
+    parse_workers,
+    probe_worker,
+    worker_serve,
+)
+from repro.engine.store import (
+    ResultStore,
+    decode_result,
+    encode_result,
+    journal_line,
+    journal_record,
+)
 from repro.engine.telemetry import (
     NULL,
     NullRecorder,
@@ -181,6 +208,9 @@ __all__ = [
     "ProgressReporter",
     "FastPathUnsupported",
     "Recorder",
+    "RemoteWorkerError",
+    "ShardMerger",
+    "WorkerEndpoint",
     "ResultStore",
     "SIDECAR_SCHEMA",
     "ScenarioGrid",
@@ -199,6 +229,13 @@ __all__ = [
     "contracts_enabled",
     "decode_result",
     "encode_result",
+    "journal_line",
+    "journal_record",
+    "absorb_shards",
+    "execute_remote",
+    "parse_workers",
+    "probe_worker",
+    "worker_serve",
     "batch_compatible",
     "execute_scenario",
     "execute_scenario_batch",

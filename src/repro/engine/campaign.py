@@ -242,6 +242,7 @@ class Campaign:
         steal: bool = False,
         label: str | None = None,
         max_retries: int = 0,
+        workers: Sequence[str] | None = None,
     ) -> None:
         if isinstance(scenarios, ScenarioGrid):
             self.specs = scenarios.expand()
@@ -261,6 +262,7 @@ class Campaign:
         self.steal = steal
         self.label = label
         self.max_retries = max_retries
+        self.workers = list(workers) if workers else None
         # Journal snapshot, keyed by id.  One scan serves run/status/
         # report/summary within this Campaign object; run() keeps it
         # current as results are journaled.  Call refresh() if another
@@ -290,6 +292,7 @@ class Campaign:
         should_stop=None,
         reporter_factory=None,
         on_result=None,
+        workers=None,
     ) -> CampaignReport:
         """Execute every scenario that has no terminal record yet.
 
@@ -319,8 +322,26 @@ class Campaign:
         — so the daemon can expose plan-derived progress snapshots over
         HTTP; ``on_result`` is an extra parent-side callback invoked
         after each result is journaled.
+
+        ``workers`` (or the constructor's default) selects *distributed*
+        execution: a list of remote worker endpoints (see
+        :func:`repro.engine.remote.parse_workers`) the planned batches
+        ship to, instead of a local pool.  The plan is computed with
+        ``jobs=1`` and results are shard-merged back in plan order, so
+        journal and summary bytes are identical to a serial single-host
+        run; on resume, orphaned per-worker shard files from a crashed
+        coordinator are folded into the journal first.
         """
         rec = NULL if recorder is None else recorder
+        resolved_workers = self.workers if workers is None else workers
+        if resolved_workers is not None and not resolved_workers:
+            resolved_workers = None
+        if resolved_workers and resume and self.store.path is not None:
+            # Fold shard records a crashed coordinator never journaled
+            # back into the journal before computing the todo list.
+            from repro.engine.remote import absorb_shards
+
+            absorb_shards(self.store, recorder=rec if rec else None)
         self.refresh()
         latest = self._load_latest()
         if resume:
@@ -347,10 +368,15 @@ class Campaign:
         if todo and resolved_backend in ("batched", "auto"):
             from repro.engine.scheduler import plan_batches
 
+            # Remote runs plan with jobs=1: the plan is a pure function
+            # of the work list, so the jobs=1 plan — and hence the
+            # journal order — matches the serial single-host run
+            # byte-for-byte; fleet parallelism comes from deterministic
+            # batch pre-splitting inside the remote dispatcher.
             plan = plan_batches(
                 list(enumerate(todo)),
                 self.batch_memory,
-                jobs=max(1, resolved_jobs),
+                jobs=1 if resolved_workers else max(1, resolved_jobs),
                 pack_widths=self.pack_widths,
                 recorder=rec,
             )
@@ -377,23 +403,47 @@ class Campaign:
                 on_result(result)
 
         with rec.span("campaign.run_s"):
-            results = execute_scenarios(
-                todo,
-                jobs=resolved_jobs,
-                timeout=self.timeout if timeout is None else timeout,
-                on_result=journal,
-                backend=resolved_backend,
-                batch_memory=self.batch_memory,
-                pack_widths=self.pack_widths,
-                steal=self.steal,
-                plan=plan,
-                recorder=rec if rec else None,
-                max_retries=(
-                    self.max_retries if max_retries is None else max_retries
-                ),
-                pool=pool,
-                should_stop=should_stop,
-            )
+            if resolved_workers:
+                from repro.engine.remote import execute_remote
+
+                results = execute_remote(
+                    todo,
+                    resolved_workers,
+                    timeout=self.timeout if timeout is None else timeout,
+                    on_result=journal,
+                    backend=resolved_backend,
+                    batch_memory=self.batch_memory,
+                    pack_widths=self.pack_widths,
+                    plan=plan,
+                    recorder=rec if rec else None,
+                    max_retries=(
+                        self.max_retries
+                        if max_retries is None
+                        else max_retries
+                    ),
+                    should_stop=should_stop,
+                    shard_base=self.store.path,
+                )
+            else:
+                results = execute_scenarios(
+                    todo,
+                    jobs=resolved_jobs,
+                    timeout=self.timeout if timeout is None else timeout,
+                    on_result=journal,
+                    backend=resolved_backend,
+                    batch_memory=self.batch_memory,
+                    pack_widths=self.pack_widths,
+                    steal=self.steal,
+                    plan=plan,
+                    recorder=rec if rec else None,
+                    max_retries=(
+                        self.max_retries
+                        if max_retries is None
+                        else max_retries
+                    ),
+                    pool=pool,
+                    should_stop=should_stop,
+                )
         by_status = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
         for result in results:
             by_status[result.status] = by_status.get(result.status, 0) + 1

@@ -130,6 +130,10 @@ class NullContracts:
     def check_merge_commutative(self, snapshots, context=None) -> None:
         pass
 
+    def check_shard_merge(self, expected_ids, delivered_ids,
+                          context=None) -> None:
+        pass
+
 
 NO_CONTRACTS = NullContracts()
 
@@ -330,6 +334,39 @@ class Contracts:
                 "worker snapshot merge is order-dependent on the "
                 "deterministic plane",
                 {"snapshots": len(snapshots), **(context or {})},
+            )
+
+    def check_shard_merge(
+        self,
+        expected_ids: list[str],
+        delivered_ids: list[str],
+        context: dict | None = None,
+    ) -> None:
+        """Distributed shard-merge determinism: the coordinator must
+        deliver results in exactly the canonical plan order — the order
+        a serial single-host run journals in — whatever the worker
+        count, completion order, or retry history.  ``expected_ids`` is
+        the plan-order scenario-id sequence, ``delivered_ids`` the
+        order results actually reached the journal callback."""
+        self.checks += 1
+        if list(expected_ids) != list(delivered_ids):
+            first = next(
+                (
+                    i
+                    for i, (a, b) in enumerate(
+                        zip(expected_ids, delivered_ids)
+                    )
+                    if a != b
+                ),
+                min(len(expected_ids), len(delivered_ids)),
+            )
+            self._raise(
+                "remote.shard_merge_order",
+                f"merged delivery order diverges from plan order at "
+                f"position {first} "
+                f"(expected {len(expected_ids)} results, "
+                f"delivered {len(delivered_ids)})",
+                {"position": first, **(context or {})},
             )
 
 

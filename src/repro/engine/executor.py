@@ -371,6 +371,29 @@ _RETRY_BASE_S = 0.05
 _RETRY_CAP_S = 2.0
 
 
+def _stop_aware_sleep(
+    seconds: float,
+    should_stop: Callable[[], bool] | None,
+    slice_s: float = 0.05,
+) -> None:
+    """Sleep up to ``seconds``, waking early when ``should_stop`` flips.
+
+    The dispatch loop's idle wait covers retry-backoff windows too
+    (queued units gate on ``not_before``), so a plain ``time.sleep``
+    would stall daemon drain for the whole backoff when SIGTERM lands
+    mid-window.  Slicing the wait keeps the stop latency bounded by
+    ``slice_s`` whatever the poll interval or backoff schedule."""
+    if should_stop is None or seconds <= slice_s:
+        time.sleep(seconds)
+        return
+    deadline = time.monotonic() + seconds
+    while not should_stop():
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(slice_s, remaining))
+
+
 def retry_delay(key: str, attempt: int) -> float:
     """Backoff before in-run retry ``attempt`` (1-based) of a unit.
 
@@ -1047,7 +1070,7 @@ def execute_scenarios(
             if deadline_retried:
                 deadline = time.monotonic() + window
             if (queue or pending) and not progressed:
-                time.sleep(poll_interval)
+                _stop_aware_sleep(poll_interval, should_stop)
     finally:
         # Any in-flight exception (contract violation, injected fault,
         # SIGINT/SIGTERM translated to KeyboardInterrupt) must not hang

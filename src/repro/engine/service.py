@@ -183,6 +183,7 @@ class CampaignJob:
         self.status: CampaignStatus | None = None
         self.reporter = None  # plan-derived ProgressReporter once running
         self.recorder = None  # per-campaign telemetry Recorder
+        self.workers: list[str] | None = None  # remote fleet, if any
         self.submitted_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -226,11 +227,16 @@ class CampaignService:
         slots: int = 2,
         spool: str | os.PathLike | None = None,
         metrics: bool = True,
+        workers: list | None = None,
     ) -> None:
         self.pool = WorkerPool(jobs)
         self.slots = max(1, slots)
         self.spool = os.fspath(spool) if spool is not None else None
         self.metrics = metrics
+        # Default remote worker fleet (``campaign serve --workers``):
+        # served campaigns fan out to these endpoints instead of the
+        # local pool; a submission's own "workers" list overrides.
+        self.workers = [str(w) for w in workers] if workers else None
         self.started_at = time.time()
         self.accepting = True
         self._queue: "queue.Queue[CampaignJob | None]" = queue.Queue()
@@ -321,6 +327,15 @@ class CampaignService:
             contracts.activate()
         campaign = campaign_from_submission(payload, store, self.pool.workers)
         job = CampaignJob(job_id, campaign, payload)
+        raw_workers = payload.get("workers", self.workers)
+        if raw_workers:
+            from repro.engine.remote import parse_workers
+
+            try:
+                parse_workers(raw_workers)
+            except ValueError as exc:
+                raise SubmissionError(str(exc)) from exc
+            job.workers = [str(w) for w in raw_workers]
         with self._lock:
             self._jobs[job_id] = job
             self._order.append(job_id)
@@ -374,9 +389,12 @@ class CampaignService:
                 jobs=self.pool.workers,
                 resume=job.resume,
                 recorder=job.recorder,
-                pool=self.pool,
+                # A remote fleet replaces the local pool for this job
+                # (Campaign.run ignores pool when workers are set).
+                pool=None if job.workers else self.pool,
                 should_stop=self._stop.is_set,
                 reporter_factory=reporter_factory,
+                workers=job.workers,
             )
             job.campaign.refresh()
             job.status = job.campaign.status()
@@ -424,16 +442,62 @@ class CampaignService:
 
     def metrics_document(self) -> dict:
         """The ``/metrics`` body: per-campaign telemetry sidecars
-        namespaced by campaign id, plus service-level gauges."""
+        namespaced by campaign id, plus service-level gauges and a
+        top-level pool/worker section — local pool size and generation
+        plus remote-fleet endpoint liveness and the latest observed
+        per-worker utilization — so fleet health is observable from one
+        endpoint."""
         doc: dict = {"schema": SERVICE_SCHEMA, "service": self.health()}
+        doc["pool"] = {
+            "workers": self.pool.workers,
+            "generation": self.pool.generation,
+            "slots": self.slots,
+        }
+        remote = self._remote_section()
+        if remote is not None:
+            doc["remote"] = remote
         campaigns = {}
         for job in self.jobs():
             entry: dict = {"label": job.label, "state": job.state}
+            if job.workers:
+                entry["workers"] = list(job.workers)
             if job.recorder is not None:
                 entry["metrics"] = job.recorder.to_sidecar(label=job.label)
             campaigns[job.id] = entry
         doc["campaigns"] = campaigns
         return doc
+
+    def _remote_section(self) -> dict | None:
+        """Remote-fleet health: configured endpoints probed live, plus
+        the most recent finished job's per-worker utilization info (the
+        ``remote.workers`` recorder info, if any job ran remotely)."""
+        endpoints: list[str] = list(self.workers or [])
+        jobs = self.jobs()
+        for job in jobs:
+            for endpoint in job.workers or []:
+                if endpoint not in endpoints:
+                    endpoints.append(endpoint)
+        if not endpoints:
+            return None
+        from repro.engine.remote import probe_worker
+
+        section: dict = {
+            "endpoints": [probe_worker(endpoint) for endpoint in endpoints]
+        }
+        for job in reversed(jobs):
+            if job.recorder is None or not job.workers:
+                continue
+            info = (
+                job.recorder.snapshot().get("volatile", {}).get("info", {})
+            )
+            utilization = info.get("remote.workers")
+            if utilization:
+                section["utilization"] = {
+                    "job": job.id,
+                    "workers": utilization,
+                }
+                break
+        return section
 
     def results_text(self, job: CampaignJob, view: str = "summary") -> str:
         """Render one campaign's results (the ``/results`` endpoint).
@@ -691,6 +755,7 @@ def serve(
     port_file: str | os.PathLike | None = None,
     metrics: bool = True,
     stream=None,
+    workers: list | None = None,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT (or ``shutdown_after``).
 
@@ -703,7 +768,8 @@ def serve(
     """
     out = stream if stream is not None else sys.stderr
     service = CampaignService(
-        jobs=jobs, slots=slots, spool=spool, metrics=metrics
+        jobs=jobs, slots=slots, spool=spool, metrics=metrics,
+        workers=workers,
     )
     httpd = ServiceServer((host, port), service)
     actual_host, actual_port = httpd.server_address[:2]

@@ -113,12 +113,22 @@ def canonical_line(result: ScenarioResult) -> str:
     )
 
 
-def journal_line(result: ScenarioResult) -> str:
-    """One *journal* line: the canonical record plus the producing
-    backend (provenance that must not leak into summaries)."""
+def journal_record(result: ScenarioResult) -> dict:
+    """The journal-line dict: the canonical record plus the producing
+    backend (provenance that must not leak into summaries).  Also the
+    unit the distributed workers ship back over the wire
+    (:mod:`repro.engine.remote`), so remote shards carry exactly what
+    the journal stores."""
     record = encode_result(result)
     record["backend"] = result.backend
-    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return record
+
+
+def journal_line(result: ScenarioResult) -> str:
+    """One *journal* line (the serialized :func:`journal_record`)."""
+    return json.dumps(
+        journal_record(result), sort_keys=True, separators=(",", ":")
+    )
 
 
 class ResultStore:

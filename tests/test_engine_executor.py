@@ -428,3 +428,36 @@ class TestWorkerPool:
                 time.sleep(0.05)
         finally:
             _signal.signal(_signal.SIGTERM, previous)
+
+
+class TestStopAwareSleep:
+    """The dispatch loop's idle wait (which also covers retry-backoff
+    windows) must wake promptly when the stop signal flips — a daemon
+    SIGTERM may land mid-backoff."""
+
+    def test_wakes_early_when_stop_flips(self):
+        import threading
+
+        from repro.engine.executor import _stop_aware_sleep
+
+        stop = threading.Event()
+        threading.Timer(0.15, stop.set).start()
+        t0 = time.monotonic()
+        _stop_aware_sleep(30.0, stop.is_set)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 2.0, f"slept {elapsed:.2f}s past the stop signal"
+
+    def test_returns_immediately_when_already_stopped(self):
+        from repro.engine.executor import _stop_aware_sleep
+
+        t0 = time.monotonic()
+        _stop_aware_sleep(30.0, lambda: True)
+        assert time.monotonic() - t0 < 1.0
+
+    def test_sleeps_fully_without_stop_signal(self):
+        from repro.engine.executor import _stop_aware_sleep
+
+        t0 = time.monotonic()
+        _stop_aware_sleep(0.15, None)
+        _stop_aware_sleep(0.15, lambda: False)
+        assert time.monotonic() - t0 >= 0.25

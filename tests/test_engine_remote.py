@@ -1,0 +1,336 @@
+"""Distributed batch execution: endpoint parsing, deterministic
+shard-merge, and the headline acceptance property — a campaign run
+through real ``repro worker`` subprocesses produces a journal and
+summary **byte-identical** to a serial single-host run, whatever the
+worker count, completion order, or mid-run worker loss."""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from daemon_harness import repro_env
+from worker_harness import worker_fleet
+
+from repro.engine import faults as _faults
+from repro.engine.campaign import Campaign
+from repro.engine.faults import FaultPlan
+from repro.engine.remote import (
+    RemoteWorkerError,
+    ShardMerger,
+    WorkerEndpoint,
+    absorb_shards,
+    execute_remote,
+    parse_workers,
+    shard_paths,
+)
+from repro.engine.scenarios import ScenarioGrid
+from repro.engine.store import ResultStore, journal_line
+from repro.engine.telemetry import Recorder
+
+
+def small_grid() -> ScenarioGrid:
+    return ScenarioGrid(n=[5, 6], k=2, num_groups=[1, 2], seed=range(3),
+                        noise=0.1)
+
+
+# ----------------------------------------------------------------------
+# Endpoint parsing — the transport seam.
+# ----------------------------------------------------------------------
+
+
+class TestParseWorkers:
+    def test_dial_endpoint_with_default_host(self):
+        ep = WorkerEndpoint.parse("9101")
+        assert (ep.kind, ep.host, ep.port) == ("dial", "127.0.0.1", 9101)
+        assert ep.spec == "127.0.0.1:9101"
+
+    def test_dial_endpoint_with_host(self):
+        ep = WorkerEndpoint.parse("10.0.0.7:9101")
+        assert (ep.kind, ep.host, ep.port) == ("dial", "10.0.0.7", 9101)
+
+    def test_accept_endpoint(self):
+        ep = WorkerEndpoint.parse("listen:9101")
+        assert (ep.kind, ep.host, ep.port) == ("accept", "127.0.0.1", 9101)
+        assert ep.spec == "listen:127.0.0.1:9101"
+        ep = WorkerEndpoint.parse("listen:0.0.0.0:9101")
+        assert (ep.kind, ep.host) == ("accept", "0.0.0.0")
+
+    @pytest.mark.parametrize("bad", ["", "host:port", "1:2:x", "a:70000"])
+    def test_invalid_endpoint_raises(self, bad):
+        with pytest.raises(ValueError):
+            WorkerEndpoint.parse(bad)
+
+    def test_comma_separated_string(self):
+        eps = parse_workers("h1:1, h2:2 ,")
+        assert [ep.spec for ep in eps] == ["h1:1", "h2:2"]
+
+    def test_endpoint_objects_pass_through(self):
+        ep = WorkerEndpoint(kind="accept", host="127.0.0.1", port=0)
+        assert parse_workers([ep, "h:3"])[0] is ep
+
+    def test_none_is_empty(self):
+        assert parse_workers(None) == []
+
+
+# ----------------------------------------------------------------------
+# ShardMerger — completion order in, plan order out.
+# ----------------------------------------------------------------------
+
+
+class TestShardMerger:
+    def test_releases_in_plan_order_whatever_the_arrival_order(self):
+        order = [4, 0, 7, 2, 9, 1]
+        for shuffle_seed in range(20):
+            arrivals = list(order)
+            random.Random(shuffle_seed).shuffle(arrivals)
+            merger = ShardMerger(order)
+            released = []
+            for idx in arrivals:
+                released.extend(merger.add(idx, f"r{idx}"))
+            assert [idx for idx, _ in released] == order
+            assert [res for _, res in released] == [f"r{i}" for i in order]
+            assert merger.released == merger.total == len(order)
+            assert merger.pending == 0
+
+    def test_contiguous_prefix_releases_eagerly(self):
+        merger = ShardMerger([5, 3, 8])
+        assert merger.add(3, "b") == []
+        assert merger.add(5, "a") == [(5, "a"), (3, "b")]
+        assert merger.pending == 0
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(KeyError):
+            ShardMerger([1, 2]).add(99, "x")
+
+    def test_duplicate_arrival_raises(self):
+        merger = ShardMerger([1, 2])
+        merger.add(2, "x")
+        with pytest.raises(ValueError):
+            merger.add(2, "again")
+        merger.add(1, "y")  # releases both
+        with pytest.raises(ValueError):
+            merger.add(1, "released dup")
+
+    def test_duplicate_order_index_raises(self):
+        with pytest.raises(ValueError):
+            ShardMerger([1, 1])
+
+    def test_drain_flushes_held_results_in_position_order(self):
+        merger = ShardMerger([4, 0, 7])
+        merger.add(7, "c")
+        merger.add(0, "b")  # 4 never arrives — gap stays pending
+        assert merger.drain() == [(0, "b"), (7, "c")]
+        assert merger.pending == 0
+
+
+# ----------------------------------------------------------------------
+# Coordinator error paths that need no subprocess.
+# ----------------------------------------------------------------------
+
+
+class TestCoordinatorErrors:
+    def test_unreachable_worker_raises_remote_error(self):
+        specs = small_grid().expand()
+        with pytest.raises(RemoteWorkerError):
+            execute_remote(
+                specs, "127.0.0.1:1", backend="auto", connect_timeout=0.5
+            )
+
+    def test_no_endpoints_raises(self):
+        with pytest.raises(ValueError):
+            execute_remote(small_grid().expand(), [])
+
+
+# ----------------------------------------------------------------------
+# The headline property: byte-identical journals and summaries.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.daemon
+class TestRemoteByteIdentity:
+    def test_journal_and_summary_bytes_invariant_under_fleet_size(
+        self, tmp_path
+    ):
+        grid = small_grid()
+        serial = Campaign(grid, store=tmp_path / "serial.jsonl")
+        report = serial.run(jobs=1, backend="auto")
+        assert report.ok == report.total
+        serial.write_summary(tmp_path / "serial.summary.jsonl")
+        journal_ref = (tmp_path / "serial.jsonl").read_bytes()
+        summary_ref = (tmp_path / "serial.summary.jsonl").read_bytes()
+
+        with worker_fleet(tmp_path, count=4) as fleet:
+            for count in (1, 2, 4):
+                store = tmp_path / f"remote{count}.jsonl"
+                campaign = Campaign(grid, store=store)
+                report = campaign.run(
+                    backend="auto", workers=fleet.endpoints[:count]
+                )
+                assert report.ok == report.total
+                campaign.write_summary(tmp_path / f"remote{count}.summary")
+                assert store.read_bytes() == journal_ref, (
+                    f"journal bytes diverged with {count} workers"
+                )
+                assert (
+                    tmp_path / f"remote{count}.summary"
+                ).read_bytes() == summary_ref, (
+                    f"summary bytes diverged with {count} workers"
+                )
+                # Clean completion leaves no orphaned shard files.
+                assert shard_paths(store) == []
+            assert fleet.stop() == [0, 0, 0, 0]
+
+    def test_remote_telemetry_counts_every_record_once(self, tmp_path):
+        grid = small_grid()
+        with worker_fleet(tmp_path, count=2) as fleet:
+            rec = Recorder()
+            campaign = Campaign(grid, store=tmp_path / "j.jsonl")
+            campaign.run(
+                backend="auto", workers=fleet.endpoints, recorder=rec
+            )
+            snap = rec.snapshot()
+            merged = snap["deterministic"]["counters"][
+                "remote.shard_records_merged"
+            ]
+            assert merged == len(grid.expand())
+            info = snap["volatile"]["info"]["remote.workers"]
+            assert len(info) == 2
+            assert sum(w["units"] for w in info) >= 1
+
+
+@pytest.mark.daemon
+class TestRemoteWorkerLoss:
+    def test_seeded_worker_kill_reconverges_to_identical_bytes(
+        self, tmp_path
+    ):
+        grid = small_grid()
+        ids = [spec.scenario_id for spec in grid.expand()]
+        # Pick a seed whose kill plan targets exactly one scenario, so
+        # the drill is a single deterministic mid-run worker death.
+        seed = next(
+            s for s in range(1000)
+            if len(FaultPlan(seed=s, kill=0.1).victims("kill", ids)) == 1
+        )
+
+        serial = Campaign(grid, store=tmp_path / "serial.jsonl")
+        assert serial.run(jobs=1, backend="auto").ok == len(ids)
+        journal_ref = (tmp_path / "serial.jsonl").read_bytes()
+
+        ledger = tmp_path / "kill.ledger"
+        try:
+            FaultPlan.from_seed(
+                seed, kill=0.1, ledger=str(ledger)
+            ).install()
+            with worker_fleet(tmp_path, count=2) as fleet:
+                store = tmp_path / "remote.jsonl"
+                campaign = Campaign(grid, store=store)
+                report = campaign.run(
+                    backend="auto", workers=fleet.endpoints, max_retries=3
+                )
+                assert report.ok == len(ids)
+                assert store.read_bytes() == journal_ref
+        finally:
+            _faults.clear()
+        fired = ledger.read_text().splitlines()
+        assert len(fired) == 1 and fired[0].startswith("kill:")
+
+
+# ----------------------------------------------------------------------
+# Accept endpoints: the coordinator binds, the worker dials in.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.daemon
+class TestAcceptEndpoint:
+    def test_connect_back_worker_is_a_drop_in(self, tmp_path):
+        specs = small_grid().expand()
+        serial = Campaign(small_grid(), store=tmp_path / "serial.jsonl")
+        serial.run(jobs=1, backend="auto")
+        ref_lines = (
+            (tmp_path / "serial.jsonl").read_text().splitlines()
+        )
+
+        ep = WorkerEndpoint.parse("listen:127.0.0.1:0")
+        ep.prepare()  # resolves port 0 before the worker spawns
+        assert ep.port != 0
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--connect", f"127.0.0.1:{ep.port}",
+            ],
+            env=repro_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            lines = []
+            results = execute_remote(
+                specs, [ep], backend="auto",
+                on_result=lambda r: lines.append(journal_line(r)),
+            )
+            assert [r.scenario_id for r in results] == [
+                s.scenario_id for s in specs
+            ]
+            assert lines == ref_lines
+            assert proc.wait(timeout=30) == 0  # one session, clean exit
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Crash-resume: orphaned worker shards fold back into the journal.
+# ----------------------------------------------------------------------
+
+
+class TestAbsorbShards:
+    def test_orphaned_shard_records_absorb_and_resume(self, tmp_path):
+        grid = small_grid()
+        full = Campaign(grid, store=tmp_path / "full.jsonl")
+        full.run(jobs=1, backend="auto")
+        lines = (tmp_path / "full.jsonl").read_text().splitlines()
+        assert len(lines) == 12
+
+        # Simulate a coordinator crash: the journal has the first half,
+        # a worker shard holds the rest (shard lines use the journal
+        # codec, so real shard files round-trip through this path).
+        crashed = tmp_path / "crashed.jsonl"
+        crashed.write_text("".join(line + "\n" for line in lines[:6]))
+        shard = tmp_path / "crashed.jsonl.shard-w0.jsonl"
+        shard.write_text("".join(line + "\n" for line in lines[6:]))
+
+        store = ResultStore(crashed)
+        rec = Recorder()
+        assert absorb_shards(store, recorder=rec) == 6
+        assert not shard.exists()
+        snap = rec.snapshot()
+        assert snap["volatile"]["counters"][
+            "remote.shard_records_absorbed"
+        ] == 6
+
+        campaign = Campaign(grid, store=crashed)
+        status = campaign.status()
+        assert status.missing == 0
+        # Absorbing again is a no-op.
+        assert absorb_shards(store) == 0
+
+    def test_terminal_journal_records_win_over_shards(self, tmp_path):
+        grid = small_grid()
+        full = Campaign(grid, store=tmp_path / "full.jsonl")
+        full.run(jobs=1, backend="auto")
+        lines = (tmp_path / "full.jsonl").read_text().splitlines()
+
+        target = tmp_path / "j.jsonl"
+        target.write_text("".join(line + "\n" for line in lines))
+        shard = tmp_path / "j.jsonl.shard-w1.jsonl"
+        # Duplicate + torn tail: neither may dirty the journal.
+        shard.write_text(lines[0] + "\n" + '{"torn": ')
+        store = ResultStore(target)
+        assert absorb_shards(store) == 0
+        assert not shard.exists()
+        assert target.read_text().splitlines() == lines

@@ -339,3 +339,41 @@ class TestHarness:
             tmp_path, env_extra={"COLUMNS": "123"}
         ) as d:
             assert d.client.health()["ok"]
+
+
+@pytest.mark.daemon
+class TestPoolAndRemoteMetrics:
+    """/metrics exposes a top-level pool/worker section: local pool
+    size and generation, plus remote-fleet endpoint liveness."""
+
+    def test_metrics_has_pool_section(self, tmp_path):
+        with daemon(tmp_path, jobs=2, slots=2) as d:
+            doc = d.client.metrics()
+            assert doc["pool"] == {
+                "workers": 2, "generation": 0, "slots": 2,
+            }
+            assert "remote" not in doc  # no fleet configured
+
+    def test_remote_section_probes_configured_fleet(self, tmp_path):
+        # Port 1 is never listening: the probe must report the endpoint
+        # as configured-but-dead rather than omitting or hanging.
+        with daemon(
+            tmp_path, extra_args=("--workers", "127.0.0.1:1")
+        ) as d:
+            doc = d.client.metrics()
+            (probe,) = doc["remote"]["endpoints"]
+            assert probe["endpoint"] == "127.0.0.1:1"
+            assert probe["alive"] is False
+
+    def test_in_process_remote_section_merges_job_fleets(self):
+        from repro.engine.service import CampaignService
+
+        service = CampaignService(jobs=1, workers=["127.0.0.1:1"])
+        doc = service.metrics_document()
+        assert doc["pool"]["workers"] == 1
+        endpoints = [e["endpoint"] for e in doc["remote"]["endpoints"]]
+        assert endpoints == ["127.0.0.1:1"]
+        # Accept endpoints cannot be dial-probed: liveness is None.
+        service.workers = ["listen:127.0.0.1:9999"]
+        probe = service.metrics_document()["remote"]["endpoints"][0]
+        assert probe["alive"] is None
